@@ -1,0 +1,81 @@
+"""ABL-STRAT — executor-strategy ablation (design choice in DESIGN.md).
+
+The same subgraph query run under both strategies: the set-frontier
+two-pass (per-step sets, linear in traversed edges) vs forced path
+enumeration (bindings).  The set strategy's advantage grows with path
+multiplicity — the reason the planner defaults to it for subgraph
+results.
+"""
+
+import pytest
+
+from repro.workloads.berlin import berlin_database
+
+# high-multiplicity pattern: person -> reviews -> products -> offers
+QUERY = (
+    "select * from graph PersonVtx ( ) <--reviewer-- ReviewVtx ( ) "
+    "--reviewFor--> ProductVtx ( ) <--product-- OfferVtx ( ) "
+    "into subgraph {}"
+)
+
+
+@pytest.mark.parametrize("strategy", ["set", "bindings"])
+def test_ablation_strategy(benchmark, berlin_bench_db, strategy):
+    db = berlin_bench_db
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return db.execute(
+            QUERY.format(f"ab_{strategy}_{counter[0]}"),
+            force_strategy=strategy,
+        )
+
+    results = benchmark(run)
+    sg = results[0].subgraph
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["vertices"] = sg.num_vertices
+    benchmark.extra_info["edges"] = sg.num_edges
+
+
+def test_ablation_strategies_agree(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+    out = {}
+
+    def run():
+        out["a"] = db.execute(QUERY.format("agA"), force_strategy="set")[0].subgraph
+        out["b"] = db.execute(QUERY.format("agB"), force_strategy="bindings")[0].subgraph
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    a, b = out["a"], out["b"]
+    assert {k: v.tolist() for k, v in a.vertices.items()} == {
+        k: v.tolist() for k, v in b.vertices.items()
+    }
+    assert {k: v.tolist() for k, v in a.edges.items()} == {
+        k: v.tolist() for k, v in b.edges.items()
+    }
+
+
+def test_ablation_set_wins_at_scale(benchmark):
+    """Shape: set-frontier beats enumeration on multiplicity-heavy
+    subgraph queries at scale."""
+    import time
+
+    db = berlin_database(scale=1000, seed=9)
+    reps = 3
+    out = {}
+
+    def run():
+        t0 = time.perf_counter()
+        for i in range(reps):
+            db.execute(QUERY.format(f"s{i}"), force_strategy="set")
+        out["set"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for i in range(reps):
+            db.execute(QUERY.format(f"b{i}"), force_strategy="bindings")
+        out["bindings"] = time.perf_counter() - t0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["set_ms"] = round(out["set"] / reps * 1e3, 2)
+    benchmark.extra_info["bindings_ms"] = round(out["bindings"] / reps * 1e3, 2)
+    assert out["set"] < out["bindings"], out

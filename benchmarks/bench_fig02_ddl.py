@@ -1,0 +1,46 @@
+"""FIG2/FIG3/APPENDIX — front-end processing of the paper's verbatim DDL.
+
+Measures the client/front-end pipeline of Section III on the Appendix-A +
+Figs. 2-3 declarations: lex + parse, static analysis against the catalog,
+and binary-IR encode/decode round-trip.  These are the costs a GEMS
+front-end pays before anything reaches the backend.
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.graql.compiler import compile_script
+from repro.graql.ir import decode_statement, encode_script
+from repro.graql.parser import parse_script
+from repro.workloads.berlin import BERLIN_DDL
+
+
+def test_fig02_parse(benchmark):
+    script = benchmark(parse_script, BERLIN_DDL)
+    assert len(script) == 26
+    benchmark.extra_info["statements"] = len(script)
+
+
+def test_fig02_compile_with_static_analysis(benchmark):
+    catalog = Catalog()
+
+    def compile_fresh():
+        return compile_script(BERLIN_DDL, catalog)
+
+    program = benchmark(compile_fresh)
+    benchmark.extra_info["ir_bytes"] = program.total_ir_size
+    assert program.total_ir_size > 0
+
+
+def test_fig02_ir_roundtrip(benchmark):
+    script = parse_script(BERLIN_DDL)
+
+    def roundtrip():
+        blob = encode_script(script)
+        # decode each statement the way the backend does
+        from repro.graql.ir import decode_script
+
+        return decode_script(blob)
+
+    again = benchmark(roundtrip)
+    assert again == script

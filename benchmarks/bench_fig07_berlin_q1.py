@@ -1,0 +1,37 @@
+"""FIG7/FIG8 — Berlin Query 1: multi-path composition with a foreach label.
+
+The verbatim Fig. 7 script: the review path and the type path joined on
+the element-wise ``y`` label (the Fig. 8 branch point), then the top-k
+group count.
+"""
+
+import pytest
+
+from repro.workloads.berlin import COUNTRIES, Q1_FIG7
+
+
+def test_fig07_berlin_q1(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+    params = {"Country1": COUNTRIES[0], "Country2": COUNTRIES[1]}
+
+    def run():
+        return db.query(Q1_FIG7, params=params)
+
+    table = benchmark(run)
+    benchmark.extra_info["result_rows"] = table.num_rows
+    assert list(table.schema.names()) == ["id", "groupCount"]
+
+
+def test_fig07_and_composition_only(benchmark, berlin_bench_db):
+    """The multi-path graph part in isolation (bindings + label join)."""
+    db = berlin_bench_db
+    graph_part = Q1_FIG7.split("select top 10")[0].replace(
+        "into table T1", "into table T1benchQ1"
+    )
+    params = {"Country1": COUNTRIES[0], "Country2": COUNTRIES[1]}
+
+    def run():
+        return db.execute(graph_part, params=params)
+
+    results = benchmark(run)
+    benchmark.extra_info["joined_paths"] = results[0].table.num_rows

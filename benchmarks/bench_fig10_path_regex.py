@@ -1,0 +1,70 @@
+"""FIG10 — path regular expressions over variant steps.
+
+Measures ``+`` closure (subclass-hierarchy reachability), ``*``, and
+``{n}`` exact repetition on chains of growing length, demonstrating the
+fixpoint evaluation's termination and scaling.
+"""
+
+import pytest
+
+from repro import Database
+from repro.workloads.berlin import Q_REGEX
+
+
+def chain_database(n: int) -> Database:
+    db = Database()
+    db.execute(
+        """
+        create table N(id integer)
+        create table E(src integer, dst integer)
+        create vertex V(id) from table N
+        create edge next with vertices (V as A, V as B) from table E
+        where E.src = A.id and E.dst = B.id
+        """
+    )
+    db.db.ingest_rows("N", [(i,) for i in range(n)])
+    db.db.ingest_rows("E", [(i, i + 1) for i in range(n - 1)])
+    db.catalog.refresh(db.db)
+    return db
+
+
+def test_fig10_subclass_closure(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+    leaf = db.query(
+        "select distinct type from table ProductTypes order by type desc"
+    ).row(0)[0]
+
+    def run():
+        return db.query_subgraph(Q_REGEX, params={"Type1": leaf})
+
+    sg = benchmark(run)
+    benchmark.extra_info["ancestors"] = int(sg.vertex_ids("TypeVtx").size)
+
+
+@pytest.mark.parametrize("length", [64, 256, 1024])
+def test_fig10_plus_closure_chain(benchmark, length):
+    db = chain_database(length)
+
+    def run():
+        return db.query_subgraph(
+            "select * from graph V (id = 0) ( --next--> [ ] )+ V ( ) "
+            "into subgraph R"
+        )
+
+    sg = benchmark(run)
+    benchmark.extra_info["chain_length"] = length
+    assert sg.vertex_ids("V").size == length  # start + all reachable
+
+
+@pytest.mark.parametrize("count", [2, 8])
+def test_fig10_counted_repetition(benchmark, count):
+    db = chain_database(64)
+
+    def run():
+        return db.query_subgraph(
+            "select * from graph V (id = 0) ( --next--> [ ] ){%d} V ( ) "
+            "into subgraph R" % count
+        )
+
+    sg = benchmark(run)
+    assert sg.vertex_ids("V").size == count + 1  # the exact-length path

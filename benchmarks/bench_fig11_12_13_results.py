@@ -1,0 +1,94 @@
+"""FIG11 + FIG12 + FIG13 — result capture and chaining (Section II-C).
+
+* Fig. 11: ``select *`` vs endpoint projection into subgraphs;
+* Fig. 12: seeding a second query from a named result subgraph;
+* Fig. 13: the full matching subgraph materialized as a wide table with
+  every step's attributes.
+"""
+
+import pytest
+
+from repro.workloads.berlin import Q_FIG11, Q_FIG13
+
+
+def test_fig11_star_capture(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+
+    def run():
+        return db.query_subgraph(
+            "select * from graph PersonVtx ( ) <--reviewer-- ReviewVtx ( ) "
+            "--reviewFor--> ProductVtx ( ) into subgraph fig11star"
+        )
+
+    sg = benchmark(run)
+    benchmark.extra_info["vertices"] = sg.num_vertices
+    benchmark.extra_info["edges"] = sg.num_edges
+
+
+def test_fig11_endpoint_projection(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+
+    def run():
+        return db.query_subgraph(Q_FIG11, params={"Country1": "US"})
+
+    sg = benchmark(run)
+    assert sg.num_edges == 0
+
+
+def test_fig12_chained_queries(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+    script = """
+    select ReviewVtx from graph
+    ProductVtx (propertyNumeric_1 > 1500) <--reviewFor-- ReviewVtx ( )
+    into subgraph fig12seed
+
+    select PersonVtx.id from graph
+    fig12seed.ReviewVtx ( ) --reviewer--> PersonVtx ( )
+    into table fig12out
+    """
+
+    def run():
+        return db.execute(script)
+
+    results = benchmark(run)
+    benchmark.extra_info["seeded_rows"] = results[1].table.num_rows
+
+
+def test_fig12_seeding_cheaper_than_full(benchmark, berlin_bench_db):
+    """Seeded second query must beat the unseeded equivalent."""
+    import time
+
+    db = berlin_bench_db
+    db.execute(
+        "select ReviewVtx from graph ProductVtx (propertyNumeric_1 > 1900) "
+        "<--reviewFor-- ReviewVtx ( ) into subgraph tinySeed"
+    )
+
+    def seeded():
+        return db.query(
+            "select PersonVtx.id from graph tinySeed.ReviewVtx ( ) "
+            "--reviewer--> PersonVtx ( ) into table seededOut"
+        )
+
+    benchmark(seeded)
+    t0 = time.perf_counter()
+    full = db.query(
+        "select PersonVtx.id from graph ReviewVtx ( ) --reviewer--> "
+        "PersonVtx ( ) into table fullOut"
+    )
+    full_time = time.perf_counter() - t0
+    benchmark.extra_info["full_query_seconds"] = round(full_time, 6)
+    benchmark.extra_info["full_rows"] = full.num_rows
+
+
+def test_fig13_wide_table(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+
+    def run():
+        return db.query(Q_FIG13, params={"Threshold": 1000})
+
+    table = benchmark(run)
+    benchmark.extra_info["rows"] = table.num_rows
+    benchmark.extra_info["columns"] = table.num_columns
+    # all three steps' attributes plus edge attrs appear
+    assert table.num_columns > 30

@@ -1,0 +1,90 @@
+"""S3A — static query analysis throughput and error detection (III-A).
+
+    "These are a number of possible query checks that can be computed in
+    a fully static manner without having access to the real data."
+
+Measures type-checking of valid queries against the catalog, and verifies
+that every error class the paper lists is caught without touching data.
+"""
+
+import pytest
+
+from repro.errors import CatalogError, TypeCheckError
+from repro.graql.parser import parse_script, parse_statement
+from repro.graql.typecheck import check_script, check_statement
+from repro.workloads.berlin import Q1_FIG7, Q2_FIG6
+from repro.graql.params import substitute_statement
+
+VALID = [
+    "select * from graph ProductVtx (propertyNumeric_1 > 5) --feature--> "
+    "FeatureVtx ( ) into subgraph g1",
+    "select top 3 vendor, count(*) as n from table Offers group by vendor "
+    "order by n desc",
+    "select * from graph OfferVtx (price < 100.0) --product--> "
+    "ProductVtx ( ) --producer--> ProducerVtx (country = 'US') "
+    "into subgraph g2",
+]
+
+# one representative per Section III-A error class
+INVALID = [
+    # date compared to a float — the paper's example
+    "select * from graph OfferVtx (validFrom = 3.14) --product--> "
+    "ProductVtx ( ) into subgraph g",
+    # table used where a vertex type is required
+    "select * from graph Offers ( ) --product--> ProductVtx ( ) "
+    "into subgraph g",
+    # ill-formed path: edge cannot arrive at that vertex type
+    "select * from graph ProductVtx ( ) --product--> OfferVtx ( ) "
+    "into subgraph g",
+    # unknown attribute
+    "select * from graph ProductVtx (nonexistent = 1) --feature--> "
+    "FeatureVtx ( ) into subgraph g",
+]
+
+
+def test_s3a_check_throughput(benchmark, berlin_bench_db):
+    catalog = berlin_bench_db.catalog
+    stmts = [parse_statement(v) for v in VALID]
+
+    def check_all():
+        return [check_statement(s, catalog) for s in stmts]
+
+    out = benchmark(check_all)
+    assert len(out) == len(VALID)
+    benchmark.extra_info["queries_checked"] = len(VALID)
+
+
+def test_s3a_berlin_queries_check(benchmark, berlin_bench_db):
+    catalog = berlin_bench_db.catalog
+    script = parse_script(Q2_FIG6 + "\n" + Q1_FIG7)
+    script = type(script)(
+        [
+            substitute_statement(
+                s, {"Product1": "p", "Country1": "US", "Country2": "DE"}
+            )
+            for s in script.statements
+        ]
+    )
+
+    def check():
+        return check_script(script, catalog)
+
+    benchmark(check)
+
+
+def test_s3a_all_error_classes_caught(benchmark, berlin_bench_db):
+    catalog = berlin_bench_db.catalog
+    stmts = [parse_statement(v) for v in INVALID]
+
+    def check_invalid():
+        caught = 0
+        for s in stmts:
+            try:
+                check_statement(s, catalog)
+            except (TypeCheckError, CatalogError):
+                caught += 1
+        return caught
+
+    caught = benchmark(check_invalid)
+    assert caught == len(INVALID)
+    benchmark.extra_info["error_classes"] = len(INVALID)

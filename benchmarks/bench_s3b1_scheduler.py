@@ -1,0 +1,58 @@
+"""S3B1 — multi-statement dependence scheduling (Section III-B1).
+
+A script of independent per-country analysis statements: the dependence
+DAG should expose them as one parallel wave, and wave-parallel execution
+should not lose to serial (NumPy kernels release the GIL).
+"""
+
+import pytest
+
+from repro.engine.scheduler import build_schedule, run_scheduled
+from repro.graql.parser import parse_script
+from repro.workloads.berlin import COUNTRIES, berlin_database
+
+
+def make_script(n_countries: int):
+    parts = []
+    for i, c in enumerate(COUNTRIES[:n_countries]):
+        parts.append(
+            f"select y.id from graph PersonVtx (country = '{c}') "
+            f"<--reviewer-- ReviewVtx ( ) --reviewFor--> def y: "
+            f"ProductVtx ( ) into table byC{i}"
+        )
+        parts.append(
+            f"select id, count(*) as n from table byC{i} group by id "
+            f"into table aggC{i}"
+        )
+    return parse_script("\n".join(parts))
+
+
+def test_s3b1_schedule_construction(benchmark, berlin_bench_db):
+    script = make_script(6)
+
+    def build():
+        return build_schedule(script, berlin_bench_db.catalog)
+
+    schedule = benchmark(build)
+    benchmark.extra_info["statements"] = len(script)
+    benchmark.extra_info["waves"] = schedule.num_waves
+    benchmark.extra_info["max_parallelism"] = schedule.max_parallelism
+    # 6 independent chains: graph selects all in wave 0, aggs in wave 1
+    assert schedule.max_parallelism == 6
+    assert schedule.num_waves == 2
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["serial", "dag-parallel"])
+def test_s3b1_script_execution(benchmark, parallel):
+    script = make_script(4)
+
+    def run():
+        db = berlin_database(scale=150, seed=3)
+        return run_scheduled(
+            db.db, db.catalog, script, parallel=parallel, max_workers=4
+        )
+
+    results, schedule = benchmark(run)
+    benchmark.extra_info["parallel"] = parallel
+    benchmark.extra_info["waves"] = schedule.num_waves
+    assert len(results) == len(script)

@@ -1,0 +1,67 @@
+"""S3B-IDX — what the reverse edge index buys (Section III-B ablation).
+
+    "The existence of both forward and reverse indices enables significant
+    flexibility on how to execute a path query: the execution is not
+    restricted to the forward-looking lexical representation."
+
+The query is written with its selective filter at the *end* (lexically),
+so a forward-only engine expands a huge frontier before filtering.  The
+planner, free to start from the selective side via the reverse index,
+should win by a growing factor with scale.
+"""
+
+import time
+
+import pytest
+
+# selective condition last: lexical order is the bad direction
+QUERY = (
+    "select * from graph PersonVtx ( ) <--reviewer-- ReviewVtx ( ) "
+    "--reviewFor--> ProductVtx (id = 'product3') into subgraph {}"
+)
+
+
+def test_s3b_planned_direction(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+
+    def run():
+        return db.execute(QUERY.format("pd1"))
+
+    results = benchmark(run)
+    plan = results[0].plan
+    ap = next(iter(plan.atom_plans.values()))
+    benchmark.extra_info["chosen_direction"] = ap.direction
+    assert ap.direction == "backward"  # the planner must spot it
+
+
+def test_s3b_forced_lexical_direction(benchmark, berlin_bench_db):
+    db = berlin_bench_db
+
+    def run():
+        return db.execute(QUERY.format("pd2"), force_direction="forward")
+
+    benchmark(run)
+
+
+def test_s3b_direction_speedup_shape(benchmark, berlin_large_db):
+    """Shape assertion: planned beats forced-forward at scale."""
+    db = berlin_large_db
+    reps = 5
+    out = {}
+
+    def run():
+        t0 = time.perf_counter()
+        for i in range(reps):
+            db.execute(QUERY.format(f"pf{i}"), force_direction="forward")
+        out["forced"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for i in range(reps):
+            db.execute(QUERY.format(f"pp{i}"))
+        out["planned"] = time.perf_counter() - t0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["forced_ms_per_query"] = round(out["forced"] / reps * 1e3, 3)
+    benchmark.extra_info["planned_ms_per_query"] = round(out["planned"] / reps * 1e3, 3)
+    # the shape claim: best-direction execution is faster when the
+    # selective end is not the lexical start
+    assert out["planned"] < out["forced"], out

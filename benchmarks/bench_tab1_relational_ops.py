@@ -1,0 +1,41 @@
+"""TAB1 — every relational operation of Table I, measured individually.
+
+select (selection + projection), order by, group by, distinct, count,
+avg, min, max, sum, top n, and ``as`` aliasing — all on the Berlin
+Products/Offers tables at bench scale.
+"""
+
+import pytest
+
+QUERIES = {
+    "select_projection": "select id, label from table Products",
+    "select_where": "select id from table Products where propertyNumeric_1 > 1000",
+    "order_by": "select id from table Offers order by price desc",
+    "group_by_count": "select vendor, count(*) as n from table Offers group by vendor",
+    "distinct": "select distinct country from table Producers",
+    "count": "select count(*) as n from table Offers",
+    "avg": "select avg(price) as p from table Offers",
+    "min_max": "select min(price) as lo, max(price) as hi from table Offers",
+    "sum": "select sum(deliveryDays) as d from table Offers",
+    "top_n": "select top 10 id from table Offers order by price desc",
+    "alias": "select id as offerId, price as euros from table Offers",
+    "full_pipeline": (
+        "select top 5 vendor, count(*) as n, avg(price) as p "
+        "from table Offers where deliveryDays < 10 "
+        "group by vendor order by p desc"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_tab1_operation(benchmark, berlin_bench_db, name):
+    db = berlin_bench_db
+    query = QUERIES[name]
+
+    def run():
+        return db.query(query)
+
+    table = benchmark(run)
+    benchmark.extra_info["operation"] = name
+    benchmark.extra_info["result_rows"] = table.num_rows
+    assert table.num_rows >= 1

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (figure or table — see the
+per-experiment index in DESIGN.md) and records the *shape* facts the paper
+claims in ``benchmark.extra_info`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.berlin import berlin_database, generate_berlin
+
+BENCH_SCALE = 300
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def berlin_bench_db():
+    return berlin_database(scale=BENCH_SCALE, seed=BENCH_SEED, with_export=True)
+
+
+@pytest.fixture(scope="session")
+def berlin_bench_data():
+    return generate_berlin(BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def berlin_large_db():
+    return berlin_database(scale=1000, seed=BENCH_SEED, with_export=False)

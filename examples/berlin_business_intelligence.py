@@ -1,0 +1,90 @@
+"""The paper's running example: Berlin (BSBM) business intelligence.
+
+Loads the Appendix-A schema with the Fig. 2/3 vertex/edge declarations,
+generates a BSBM-style e-commerce dataset, and runs the paper's queries:
+
+* Fig. 6 (Berlin Query 2): top-10 products most similar to a product by
+  shared features;
+* Fig. 7 (Berlin Query 1): top-10 most discussed product categories for
+  products of Country1 reviewed from Country2 (multi-path + foreach);
+* Fig. 4/5: the many-to-one ``export`` edge between producer and vendor
+  countries;
+* Fig. 9: the type-matching query returning all offers and reviews of a
+  product;
+* Fig. 10-style path regular expression over the subclass hierarchy.
+
+Run:  python examples/berlin_business_intelligence.py [scale]
+"""
+
+import sys
+
+from repro.workloads.berlin import (
+    Q1_FIG7,
+    Q2_FIG6,
+    Q_FIG9,
+    Q_REGEX,
+    berlin_database,
+)
+
+
+def main(scale: int = 300) -> None:
+    print(f"generating Berlin dataset at scale {scale} ...")
+    db = berlin_database(scale=scale, seed=7, with_export=True)
+    print(db.db)
+
+    # --- Fig. 6 / Berlin Q2 ------------------------------------------------
+    product = "product1"
+    print(f"\n=== Berlin Query 2 (Fig. 6): products most similar to {product}")
+    t = db.query(Q2_FIG6, params={"Product1": product})
+    print(t.pretty())
+
+    # --- Fig. 7 / Berlin Q1 ------------------------------------------------
+    print("\n=== Berlin Query 1 (Fig. 7): most discussed categories "
+          "(producers in US, reviewers in DE)")
+    t = db.query(Q1_FIG7, params={"Country1": "US", "Country2": "DE"})
+    print(t.pretty())
+
+    # --- Fig. 4/5: the export many-to-one edge ------------------------------
+    print("\n=== Fig. 4/5: export edges between producer and vendor countries")
+    et = db.db.edge_type("export")
+    pc = db.db.vertex_type("ProducerCountry")
+    vc = db.db.vertex_type("VendorCountry")
+    shown = 0
+    for eid in range(et.num_edges):
+        s, t_ = et.endpoints_of(eid)
+        print(f"  {pc.key_of(s)[0]} -> {vc.key_of(t_)[0]}")
+        shown += 1
+        if shown >= 12:
+            print(f"  ... ({et.num_edges} export edges total)")
+            break
+
+    # --- Fig. 9: type matching ----------------------------------------------
+    print(f"\n=== Fig. 9: subgraph of everything pointing at {product}")
+    sg = db.query_subgraph(Q_FIG9, params={"Product1": product})
+    for vt, vids in sorted(sg.vertices.items()):
+        print(f"  vertices {vt}: {len(vids)}")
+    for etn, eids in sorted(sg.edges.items()):
+        print(f"  edges {etn}: {len(eids)}")
+
+    # --- Fig. 10: path regular expression ------------------------------------
+    leaf = db.query(
+        "select distinct type from table ProductTypes order by type desc",
+    ).row(0)[0]
+    print(f"\n=== Fig. 10-style regex: ancestors of type {leaf} via subclass+")
+    sg = db.query_subgraph(Q_REGEX, params={"Type1": leaf})
+    print(f"  reachable types: {len(sg.vertex_ids('TypeVtx'))}, "
+          f"subclass edges on paths: {len(sg.edge_ids('subclass'))}")
+
+    # --- planner insight ------------------------------------------------------
+    print("\n=== planner: direction choice for Berlin Q1's main path")
+    results = db.execute(Q1_FIG7, params={"Country1": "US", "Country2": "DE"})
+    plan = results[0].plan
+    for ap in plan.atom_plans.values():
+        print(
+            f"  atom: chose {ap.direction} "
+            f"(cost forward={ap.cost_forward:.0f}, backward={ap.cost_backward:.0f})"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

@@ -1,0 +1,66 @@
+"""GraQL/GEMS reproduction — an attributed graph database with a
+SQL-extension query language.
+
+Reproduces *"GraQL: A Query Language for High-Performance Attributed
+Graph Databases"* (Chavarría-Miranda et al., PNNL, IPPS 2016): the
+table-backed attributed-graph data model, the full GraQL language (DDL,
+path queries with labels / multi-path composition / type matching / path
+regular expressions, the relational subset), the GEMS front-end
+(catalog, static analysis, binary IR) and a simulated distributed
+backend.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute('''
+        create table People(id varchar(10), country varchar(10))
+        create table Follows(src varchar(10), dst varchar(10))
+        create vertex Person(id) from table People
+        create edge follows with vertices (Person as A, Person as B)
+        from table Follows
+        where Follows.src = A.id and Follows.dst = B.id
+    ''')
+    db.ingest_rows("People", [("p1", "US"), ("p2", "DE")])
+    db.ingest_rows("Follows", [("p1", "p2")])
+    t = db.query(
+        "select B.id from graph "
+        "Person (country = 'US') --follows--> def B: Person ( ) "
+        "into table T1"
+    )
+"""
+
+from repro.engine.session import Database
+from repro.engine.server import Server, User
+from repro.errors import (
+    AccessError,
+    CatalogError,
+    ExecutionError,
+    GraQLError,
+    IngestError,
+    IRError,
+    LexError,
+    ParseError,
+    PlanError,
+    TypeCheckError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Server",
+    "User",
+    "GraQLError",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "CatalogError",
+    "IngestError",
+    "ExecutionError",
+    "PlanError",
+    "IRError",
+    "AccessError",
+    "__version__",
+]

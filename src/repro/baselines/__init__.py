@@ -1,0 +1,18 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.triplestore` — an in-memory RDF-style triple
+  store with SPARQL-like basic-graph-pattern evaluation.  This stands in
+  for the *first-generation GEMS* system the paper's introduction
+  motivates against: "our system only supported graph representations.
+  We found that we lacked efficient ways to store fixed sets of
+  attributes" — every fixed attribute becomes a triple and every query
+  a chain of triple-pattern joins.
+* :mod:`repro.baselines.nx_backend` — a brute-force subgraph matcher
+  over a networkx multigraph.  Used as the correctness oracle for the
+  property-based tests and as a naive baseline series in the benchmarks.
+"""
+
+from repro.baselines.nx_backend import NxOracle
+from repro.baselines.triplestore import TriplePattern, TripleStore, Var
+
+__all__ = ["TripleStore", "TriplePattern", "Var", "NxOracle"]

@@ -1,0 +1,180 @@
+"""Brute-force subgraph matching over networkx — the correctness oracle.
+
+Builds a ``networkx.MultiDiGraph`` mirror of a
+:class:`~repro.graph.graphdb.GraphDB` (nodes keyed ``(type, vid)``, edges
+attributed with ``(etype, eid)``) and enumerates path matches by plain
+DFS, evaluating step conditions per element.  Deliberately slow and
+obviously correct: the property-based tests assert that the set-frontier
+executor's per-step sets equal the union of these enumerated paths, and
+the benchmark suite uses it as the naive baseline series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.graphdb import GraphDB
+from repro.graql.ast import DIR_OUT, LABEL_FOREACH
+from repro.graql.typecheck import RAtom, REdgeStep, RVertexStep
+from repro.errors import ExecutionError
+
+
+class NxOracle:
+    """A networkx mirror of the database plus a brute-force matcher."""
+
+    def __init__(self, db: GraphDB) -> None:
+        self.db = db
+        self.graph = nx.MultiDiGraph()
+        for tname, vt in db.vertex_types.items():
+            for vid in range(vt.num_vertices):
+                self.graph.add_node((tname, vid))
+        for ename, et in db.edge_types.items():
+            for eid in range(et.num_edges):
+                self.graph.add_edge(
+                    (et.source.name, int(et.src_vids[eid])),
+                    (et.target.name, int(et.tgt_vids[eid])),
+                    key=(ename, eid),
+                )
+
+    # ------------------------------------------------------------------
+    # Element-level condition evaluation (slow path, per vertex)
+    # ------------------------------------------------------------------
+    def _vertex_ok(self, step: RVertexStep, tname: str, vid: int) -> bool:
+        if tname not in step.types:
+            return False
+        vt = self.db.vertex_type(tname)
+        if step.seed is not None:
+            seeds = self.db.subgraph(step.seed).vertex_ids(tname)
+            if vid not in seeds:
+                return False
+        if step.cond is None:
+            return True
+        sel = vt.select(step.cond, np.asarray([vid], dtype=np.int64))
+        return len(sel) == 1
+
+    def _edge_ok(self, step: REdgeStep, ename: str, eid: int) -> bool:
+        if ename not in step.names:
+            return False
+        if step.cond is None:
+            return True
+        et = self.db.edge_type(ename)
+        sel = et.select(step.cond, np.asarray([eid], dtype=np.int64))
+        return len(sel) == 1
+
+    # ------------------------------------------------------------------
+    # Path enumeration
+    # ------------------------------------------------------------------
+    def enumerate_paths(self, atom: RAtom) -> list[tuple]:
+        """All matching paths of a (regex-free) atom.
+
+        A path is a tuple alternating ``(type, vid)`` and ``(etype, eid)``
+        entries, one per step.  ``foreach`` labels enforce same-instance
+        equality.  ``def`` labels follow the paper's Eq. 6/7 prefix
+        semantics: the label aliases V(q(i)), the set of instances with a
+        matching path *prefix* up to the defining step — so downstream
+        references test membership in that prefix-matched set (which the
+        whole-query Eq. 5 cull then shrinks further).
+        """
+        steps = atom.steps
+        for s in steps:
+            if not isinstance(s, (RVertexStep, REdgeStep)):
+                raise ExecutionError("oracle does not support path regexes")
+        # compute each def label's prefix set in definition order
+        label_sets: dict[str, set] = {}
+        for i, s in enumerate(steps):
+            if isinstance(s, RVertexStep) and s.label is not None:
+                prefix = steps[: i + 1]
+                prefix_paths = self._enumerate(prefix, dict(label_sets))
+                label_sets[s.label.name] = {p[i] for p in prefix_paths}
+        return list(self._enumerate(steps, label_sets))
+
+    def _enumerate(self, steps, label_sets) -> Iterator[tuple]:
+        first = steps[0]
+        assert isinstance(first, RVertexStep)
+        for tname in first.types:
+            vt = self.db.vertex_type(tname)
+            for vid in range(vt.num_vertices):
+                if not self._vertex_ok(first, tname, vid):
+                    continue
+                node = (tname, vid)
+                if not self._label_ok(first, node, label_sets, ()):
+                    continue
+                yield from self._extend(steps, 1, (node,), label_sets)
+
+    def _extend(self, steps, i, path, label_sets) -> Iterator[tuple]:
+        if i >= len(steps):
+            yield path
+            return
+        estep = steps[i]
+        vstep = steps[i + 1]
+        cur = path[-1]
+        if estep.direction == DIR_OUT:
+            candidates = [
+                (v, k) for _, v, k in self.graph.out_edges(cur, keys=True)
+            ]
+        else:
+            candidates = [
+                (u, k) for u, _, k in self.graph.in_edges(cur, keys=True)
+            ]
+        for node, (ename, eid) in candidates:
+            if not self._edge_ok(estep, ename, eid):
+                continue
+            tname, vid = node
+            if not self._vertex_ok(vstep, tname, vid):
+                continue
+            if not self._label_ok(vstep, node, label_sets, path):
+                continue
+            yield from self._extend(
+                steps, i + 2, path + ((ename, eid), node), label_sets
+            )
+
+    def _label_ok(self, step: RVertexStep, node, label_sets, path) -> bool:
+        if step.label_ref is None:
+            return True
+        kind, def_index = self._label_info(step.label_ref)
+        if kind == LABEL_FOREACH:
+            # same instance as the defining step *in this path*
+            if def_index is not None and def_index < len(path):
+                return path[def_index] == node
+            return True
+        sets = label_sets.get(step.label_ref)
+        if sets is None:
+            return True  # first fixpoint round: unconstrained
+        return node in sets
+
+    def _label_info(self, label: str):
+        self._label_cache = getattr(self, "_label_cache", {})
+        return self._label_cache.get(label, ("def", None))
+
+    def prepare_labels(self, atom: RAtom) -> None:
+        """Record label kinds/positions before enumeration."""
+        self._label_cache = {}
+        for i, s in enumerate(atom.steps):
+            if isinstance(s, RVertexStep) and s.label is not None:
+                self._label_cache[s.label.name] = (s.label.kind, i)
+
+    # ------------------------------------------------------------------
+    # Set-semantics view of the enumeration (for comparing with the
+    # set-frontier executor)
+    # ------------------------------------------------------------------
+    def step_sets(self, atom: RAtom) -> tuple[dict[int, dict[str, set]], dict[int, dict[str, set]]]:
+        """Per-step vertex/edge element sets across all full paths."""
+        self.prepare_labels(atom)
+        paths = self.enumerate_paths(atom)
+        vsets: dict[int, dict[str, set]] = {}
+        esets: dict[int, dict[str, set]] = {}
+        for p in paths:
+            for i, element in enumerate(p):
+                name, ident = element
+                if i % 2 == 0:  # vertex position
+                    vsets.setdefault(i, {}).setdefault(name, set()).add(ident)
+                else:
+                    esets.setdefault(i, {}).setdefault(name, set()).add(ident)
+        return vsets, esets
+
+    def count_paths(self, atom: RAtom) -> int:
+        self.prepare_labels(atom)
+        return len(self.enumerate_paths(atom))

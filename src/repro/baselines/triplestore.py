@@ -1,0 +1,251 @@
+"""An RDF-style triple store with SPARQL-like BGP evaluation.
+
+Models the paper's *previous* system ("RDF/SPARQL databases ... our
+system only supported graph representations", Section I): all data —
+structure *and* fixed attributes — lives in (subject, predicate, object)
+triples, and queries are conjunctions of triple patterns joined on shared
+variables.
+
+The store keeps the three classic permutation indexes (SPO, POS, OSP) as
+nested dicts, evaluates basic graph patterns by binding propagation with
+a greedy smallest-first pattern order, and counts intermediate bindings.
+The motivation benchmark compares it against the attributed-table engine
+on the same Berlin queries: the triple store pays one join per attribute
+access, which is precisely the overhead GraQL's design removes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.graph.graphdb import GraphDB
+
+
+class Var:
+    """A query variable (?x in SPARQL syntax)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+class TriplePattern:
+    """One (s, p, o) pattern; any position may be a Var or a constant."""
+
+    __slots__ = ("s", "p", "o")
+
+    def __init__(self, s: Any, p: Any, o: Any) -> None:
+        self.s = s
+        self.p = p
+        self.o = o
+
+    def variables(self) -> list[Var]:
+        return [x for x in (self.s, self.p, self.o) if isinstance(x, Var)]
+
+    def __repr__(self) -> str:
+        return f"({self.s} {self.p} {self.o})"
+
+
+class TripleStore:
+    """In-memory triple store with SPO / POS / OSP indexes."""
+
+    def __init__(self) -> None:
+        self.spo: dict[Any, dict[Any, set]] = {}
+        self.pos: dict[Any, dict[Any, set]] = {}
+        self.osp: dict[Any, dict[Any, set]] = {}
+        self.num_triples = 0
+        #: joins statistics from the last query
+        self.last_intermediate_bindings = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add(self, s: Any, p: Any, o: Any) -> None:
+        self.spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self.pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self.osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self.num_triples += 1
+
+    @classmethod
+    def from_graphdb(cls, db: GraphDB) -> "TripleStore":
+        """Triple-ize an attributed graph the way an RDF mapping would.
+
+        Every vertex becomes an entity URI ``Type/vid``; every visible
+        attribute becomes one triple per vertex; every edge becomes a
+        ``Type --edgeName--> Type`` triple (edge attributes are reified
+        as ``edge/eid`` entities when an associated table exists).
+        """
+        ts = cls()
+        for tname, vt in db.vertex_types.items():
+            schema = vt.attribute_schema()
+            arrs = {c.name: vt.attribute_array(c.name)[0] for c in schema}
+            for vid in range(vt.num_vertices):
+                ent = f"{tname}/{vid}"
+                ts.add(ent, "rdf:type", tname)
+                for aname, arr in arrs.items():
+                    v = arr[vid]
+                    if v is not None:
+                        ts.add(ent, f"{tname}.{aname}", v)
+        for ename, et in db.edge_types.items():
+            sname = et.source.name
+            tname = et.target.name
+            if et.assoc_table is None:
+                for eid in range(et.num_edges):
+                    ts.add(
+                        f"{sname}/{et.src_vids[eid]}",
+                        ename,
+                        f"{tname}/{et.tgt_vids[eid]}",
+                    )
+            else:
+                attrs = {
+                    c.name: et.attribute_array(c.name)[0]
+                    for c in et.attribute_schema()
+                }
+                for eid in range(et.num_edges):
+                    node = f"{ename}/{eid}"
+                    ts.add(f"{sname}/{et.src_vids[eid]}", ename, node)
+                    ts.add(node, f"{ename}.target", f"{tname}/{et.tgt_vids[eid]}")
+                    for aname, arr in attrs.items():
+                        v = arr[eid]
+                        if v is not None:
+                            ts.add(node, f"{ename}.{aname}", v)
+        return ts
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _match_one(self, pattern: TriplePattern, binding: dict[str, Any]) -> Iterable[dict[str, Any]]:
+        def resolve(x):
+            if isinstance(x, Var):
+                return binding.get(x.name, x)
+            return x
+
+        s, p, o = resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+        s_var = isinstance(s, Var)
+        p_var = isinstance(p, Var)
+        o_var = isinstance(o, Var)
+        if not s_var and not p_var and not o_var:
+            if o in self.spo.get(s, {}).get(p, ()):  # fully ground
+                yield binding
+            return
+        if not s_var and not p_var:
+            for obj in self.spo.get(s, {}).get(p, ()):
+                yield {**binding, o.name: obj}
+            return
+        if not p_var and not o_var:
+            for subj in self.pos.get(p, {}).get(o, ()):
+                yield {**binding, s.name: subj}
+            return
+        if not s_var and not o_var:
+            for pred in self.osp.get(o, {}).get(s, ()):
+                yield {**binding, p.name: pred}
+            return
+        if not s_var:
+            for pred, objs in self.spo.get(s, {}).items():
+                if not p_var and pred != p:
+                    continue
+                for obj in objs:
+                    nb = dict(binding)
+                    if p_var:
+                        nb[p.name] = pred
+                    nb[o.name] = obj
+                    yield nb
+            return
+        if not p_var:
+            for obj, subjs in self.pos.get(p, {}).items():
+                if not o_var and obj != o:
+                    continue
+                for subj in subjs:
+                    nb = dict(binding)
+                    nb[s.name] = subj
+                    if o_var:
+                        nb[o.name] = obj
+                    yield nb
+            return
+        # fully unbound scan (rare)
+        for subj, preds in self.spo.items():
+            for pred, objs in preds.items():
+                for obj in objs:
+                    nb = dict(binding)
+                    nb[s.name] = subj
+                    if p_var:
+                        nb[p.name] = pred
+                    nb[o.name] = obj
+                    yield nb
+
+    def _pattern_cardinality(self, pattern: TriplePattern) -> int:
+        """Rough result size used for greedy ordering."""
+        s, p, o = pattern.s, pattern.p, pattern.o
+        if not isinstance(p, Var):
+            index = self.pos.get(p, {})
+            if not isinstance(o, Var):
+                return len(index.get(o, ()))
+            return sum(len(v) for v in index.values())
+        if not isinstance(s, Var):
+            return sum(len(v) for v in self.spo.get(s, {}).values())
+        return self.num_triples
+
+    def query(
+        self,
+        patterns: list[TriplePattern],
+        select: Optional[list[str]] = None,
+        filters: Optional[list] = None,
+    ) -> list[tuple]:
+        """Evaluate a basic graph pattern; returns projected binding rows.
+
+        *filters* are callables ``binding -> bool`` applied as soon as
+        their variables are bound (checked lazily each round).
+        """
+        remaining = sorted(patterns, key=self._pattern_cardinality)
+        bindings: list[dict[str, Any]] = [{}]
+        self.last_intermediate_bindings = 0
+        filters = list(filters or [])
+        while remaining:
+            # prefer a pattern sharing a bound variable (index-driven join)
+            bound_vars = set(bindings[0].keys()) if bindings else set()
+            pick = None
+            for i, pat in enumerate(remaining):
+                if any(v.name in bound_vars for v in pat.variables()):
+                    pick = i
+                    break
+            if pick is None:
+                pick = 0
+            pattern = remaining.pop(pick)
+            new_bindings: list[dict[str, Any]] = []
+            for b in bindings:
+                for nb in self._match_one(pattern, b):
+                    new_bindings.append(nb)
+            bindings = new_bindings
+            self.last_intermediate_bindings += len(bindings)
+            if not bindings:
+                break
+            # apply ready filters
+            still = []
+            for f in filters:
+                try:
+                    bindings = [b for b in bindings if f(b)]
+                except KeyError:
+                    still.append(f)  # variables not bound yet
+            filters = still
+        for f in filters:
+            bindings = [b for b in bindings if _safe_filter(f, b)]
+        if select is None:
+            select = sorted({k for b in bindings for k in b})
+        return [tuple(b.get(name) for name in select) for b in bindings]
+
+
+def _safe_filter(f, binding) -> bool:
+    try:
+        return f(binding)
+    except KeyError:
+        return False

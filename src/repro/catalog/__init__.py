@@ -1,0 +1,22 @@
+"""Metadata catalog (paper Section III).
+
+The GEMS front-end server keeps "a central metadata repository (catalog)
+of all existing database objects (tables, vertices, edges) ... updated
+information on the sizes of those objects".  Static query analysis
+(Section III-A) runs against this catalog *without touching data*;
+dynamic planning (Section III-B) additionally uses the statistical
+summaries in :mod:`repro.catalog.stats` (cardinalities, degree
+distributions, per-attribute distinct counts).
+"""
+
+from repro.catalog.catalog import Catalog, EdgeMeta, TableMeta, VertexMeta
+from repro.catalog.stats import DegreeStats, estimate_selectivity
+
+__all__ = [
+    "Catalog",
+    "TableMeta",
+    "VertexMeta",
+    "EdgeMeta",
+    "DegreeStats",
+    "estimate_selectivity",
+]

@@ -1,0 +1,228 @@
+"""The metadata catalog: schemas, sizes, statistics — no row data.
+
+A :class:`Catalog` is a *snapshot* of a :class:`~repro.graph.graphdb.GraphDB`'s
+metadata, matching the paper's front-end/backend split: the front-end
+server type-checks queries against the catalog alone (Section III-A), while
+the data stays on the backend.  ``Catalog.refresh`` recomputes sizes and
+statistics after DDL or ingest, mirroring the paper's "updated information
+on the sizes of those objects (e.g. how many rows in table? how many
+vertex instances of certain type?)".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.catalog.stats import DegreeStats, distinct_count
+from repro.errors import CatalogError
+from repro.storage.schema import Schema
+
+
+class TableMeta:
+    """Metadata for one table."""
+
+    def __init__(self, name: str, schema: Schema, num_rows: int, derived: bool) -> None:
+        self.name = name
+        self.schema = schema
+        self.num_rows = num_rows
+        self.derived = derived
+
+    def __repr__(self) -> str:
+        return f"TableMeta({self.name!r}, rows={self.num_rows})"
+
+
+class VertexMeta:
+    """Metadata for one vertex type (a view per Eq. 1)."""
+
+    def __init__(
+        self,
+        name: str,
+        key_cols: list[str],
+        table: str,
+        attr_schema: Schema,
+        one_to_one: bool,
+        num_vertices: int,
+        distinct_counts: dict[str, int],
+    ) -> None:
+        self.name = name
+        self.key_cols = key_cols
+        self.table = table
+        self.attr_schema = attr_schema
+        self.one_to_one = one_to_one
+        self.num_vertices = num_vertices
+        #: per-attribute distinct-value counts for selectivity estimation
+        self.distinct_counts = distinct_counts
+
+    def __repr__(self) -> str:
+        return f"VertexMeta({self.name!r}, n={self.num_vertices})"
+
+
+class EdgeMeta:
+    """Metadata for one edge type (a view per Eq. 2)."""
+
+    def __init__(
+        self,
+        name: str,
+        source_type: str,
+        target_type: str,
+        attr_schema: Schema,
+        num_edges: int,
+        degree_stats: DegreeStats,
+    ) -> None:
+        self.name = name
+        self.source_type = source_type
+        self.target_type = target_type
+        self.attr_schema = attr_schema
+        self.num_edges = num_edges
+        self.degree_stats = degree_stats
+
+    def __repr__(self) -> str:
+        return f"EdgeMeta({self.name!r}, {self.source_type}->{self.target_type}, m={self.num_edges})"
+
+
+class Catalog:
+    """Snapshot of all database-object metadata."""
+
+    #: attributes with at most this many rows get exact distinct counts;
+    #: larger columns are sampled (keeps refresh cheap on big ingests)
+    DISTINCT_SAMPLE = 100_000
+
+    def __init__(self) -> None:
+        self.tables: dict[str, TableMeta] = {}
+        self.vertices: dict[str, VertexMeta] = {}
+        self.edges: dict[str, EdgeMeta] = {}
+        self.subgraphs: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Refresh from a GraphDB
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_db(cls, db) -> "Catalog":
+        cat = cls()
+        cat.refresh(db)
+        return cat
+
+    def refresh(self, db) -> None:
+        """Recompute all metadata.
+
+        Builds into fresh dicts and swaps them in with single assignments,
+        so concurrent readers (parallel scheduled statements) never observe
+        a half-rebuilt catalog.
+        """
+        tables = {
+            name: TableMeta(name, t.schema, t.num_rows, name in db.derived_tables)
+            for name, t in db.tables.items()
+        }
+        vertices: dict[str, VertexMeta] = {}
+        for name, vt in db.vertex_types.items():
+            schema = vt.attribute_schema()
+            distincts: dict[str, int] = {}
+            for cdef in schema:
+                arr, _ = vt.attribute_array(cdef.name)
+                if len(arr) > self.DISTINCT_SAMPLE:
+                    sample = arr[
+                        np.linspace(0, len(arr) - 1, self.DISTINCT_SAMPLE).astype(np.int64)
+                    ]
+                    distincts[cdef.name] = max(
+                        1, int(distinct_count(sample) * len(arr) / len(sample))
+                    )
+                else:
+                    distincts[cdef.name] = distinct_count(arr)
+            vertices[name] = VertexMeta(
+                name,
+                vt.key_cols,
+                vt.table.name,
+                schema,
+                vt.one_to_one,
+                vt.num_vertices,
+                distincts,
+            )
+        edges: dict[str, EdgeMeta] = {}
+        for name, et in db.edge_types.items():
+            idx = db.indexes[name]
+            stats = DegreeStats(idx.forward.degrees(), idx.reverse.degrees())
+            edges[name] = EdgeMeta(
+                name,
+                et.source.name,
+                et.target.name,
+                et.attribute_schema(),
+                et.num_edges,
+                stats,
+            )
+        subgraphs = {
+            name: {k: len(v) for k, v in sg.vertices.items()}
+            for name, sg in db.subgraphs.items()
+        }
+        # atomic swap: each assignment publishes a complete dict
+        self.tables = tables
+        self.vertices = vertices
+        self.edges = edges
+        self.subgraphs = subgraphs
+
+    def register_result_table(self, name: str, table) -> None:
+        """Targeted metadata update for an 'into table' result (cheap and
+        safe to call from parallel statements)."""
+        self.tables[name] = TableMeta(name, table.schema, table.num_rows, True)
+
+    # ------------------------------------------------------------------
+    # Lookups (raise CatalogError with III-A-style messages)
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> TableMeta:
+        if name not in self.tables:
+            hint = ""
+            if name in self.vertices:
+                hint = " (it is a vertex type; a table name is required here)"
+            elif name in self.edges:
+                hint = " (it is an edge type; a table name is required here)"
+            raise CatalogError(f"unknown table {name!r}{hint}")
+        return self.tables[name]
+
+    def vertex(self, name: str) -> VertexMeta:
+        if name not in self.vertices:
+            hint = ""
+            if name in self.tables:
+                hint = " (it is a table; a vertex type is required here)"
+            elif name in self.edges:
+                hint = " (it is an edge type; a vertex type is required here)"
+            raise CatalogError(f"unknown vertex type {name!r}{hint}")
+        return self.vertices[name]
+
+    def edge(self, name: str) -> EdgeMeta:
+        if name not in self.edges:
+            hint = ""
+            if name in self.tables:
+                hint = " (it is a table; an edge type is required here)"
+            elif name in self.vertices:
+                hint = " (it is a vertex type; an edge type is required here)"
+            raise CatalogError(f"unknown edge type {name!r}{hint}")
+        return self.edges[name]
+
+    def is_vertex(self, name: str) -> bool:
+        return name in self.vertices
+
+    def is_edge(self, name: str) -> bool:
+        return name in self.edges
+
+    def is_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def edges_between(
+        self, source_type: Optional[str], target_type: Optional[str]
+    ) -> list[EdgeMeta]:
+        """Edge types compatible with the endpoint types (variant steps)."""
+        out = []
+        for em in self.edges.values():
+            if source_type is not None and em.source_type != source_type:
+                continue
+            if target_type is not None and em.target_type != target_type:
+                continue
+            out.append(em)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog(tables={len(self.tables)}, vertices={len(self.vertices)}, "
+            f"edges={len(self.edges)})"
+        )

@@ -1,0 +1,115 @@
+"""Data statistics for dynamic query planning (Section III-B).
+
+    "Examples of these properties could be number of instances of vertex
+    and edge types, as well as statistical properties of the degree
+    distribution of a vertex type with respect to an edge type."
+
+:class:`DegreeStats` summarizes exactly that degree distribution, and
+:func:`estimate_selectivity` is the textbook heuristic estimator the
+planner uses to decide which end of a path query to start from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.expr import (
+    BinOp,
+    ColRef,
+    Const,
+    Expr,
+    IsNull,
+    Not,
+)
+
+# Default selectivity guesses (System-R style heuristics)
+SEL_EQ_DEFAULT = 0.1
+SEL_RANGE = 1.0 / 3.0
+SEL_NEQ = 0.9
+SEL_FALLBACK = 0.5
+
+
+class DegreeStats:
+    """Degree-distribution summary of one edge type w.r.t. its endpoints."""
+
+    def __init__(self, out_degrees: np.ndarray, in_degrees: np.ndarray) -> None:
+        self.avg_out = float(out_degrees.mean()) if len(out_degrees) else 0.0
+        self.max_out = int(out_degrees.max()) if len(out_degrees) else 0
+        self.frac_out_nonzero = (
+            float((out_degrees > 0).mean()) if len(out_degrees) else 0.0
+        )
+        self.avg_in = float(in_degrees.mean()) if len(in_degrees) else 0.0
+        self.max_in = int(in_degrees.max()) if len(in_degrees) else 0
+        self.frac_in_nonzero = (
+            float((in_degrees > 0).mean()) if len(in_degrees) else 0.0
+        )
+
+    def expansion_factor(self, outgoing: bool) -> float:
+        """Expected frontier growth when traversing this edge type."""
+        return self.avg_out if outgoing else self.avg_in
+
+    def __repr__(self) -> str:
+        return (
+            f"DegreeStats(out: avg={self.avg_out:.2f} max={self.max_out}, "
+            f"in: avg={self.avg_in:.2f} max={self.max_in})"
+        )
+
+
+def estimate_selectivity(
+    cond: Optional[Expr],
+    distinct_counts: Optional[dict[str, int]] = None,
+) -> float:
+    """Estimate the fraction of instances a step condition retains.
+
+    *distinct_counts* maps attribute names to their number of distinct
+    values (from the catalog); equality against a literal then estimates
+    1/ndistinct, the classic uniformity assumption.  Without statistics
+    the System-R defaults apply.  The result is clamped to (0, 1].
+    """
+    if cond is None:
+        return 1.0
+    sel = _estimate(cond, distinct_counts or {})
+    return float(min(max(sel, 1e-9), 1.0))
+
+
+def _estimate(cond: Expr, distincts: dict[str, int]) -> float:
+    if isinstance(cond, BinOp):
+        if cond.op == "and":
+            return _estimate(cond.left, distincts) * _estimate(cond.right, distincts)
+        if cond.op == "or":
+            a = _estimate(cond.left, distincts)
+            b = _estimate(cond.right, distincts)
+            return min(a + b, 1.0)
+        if cond.op == "=":
+            attr = _literal_comparison_attr(cond)
+            if attr is not None and distincts.get(attr, 0) > 0:
+                return 1.0 / distincts[attr]
+            return SEL_EQ_DEFAULT
+        if cond.op in ("<>", "!="):
+            return SEL_NEQ
+        if cond.op in ("<", "<=", ">", ">="):
+            return SEL_RANGE
+        return SEL_FALLBACK
+    if isinstance(cond, Not):
+        return 1.0 - _estimate(cond.operand, distincts)
+    if isinstance(cond, IsNull):
+        return 0.1 if not cond.negated else 0.9
+    return SEL_FALLBACK
+
+
+def _literal_comparison_attr(cond: BinOp) -> Optional[str]:
+    """The attribute name if *cond* compares a column against a literal."""
+    if isinstance(cond.left, ColRef) and isinstance(cond.right, Const):
+        return cond.left.name
+    if isinstance(cond.right, ColRef) and isinstance(cond.left, Const):
+        return cond.right.name
+    return None
+
+
+def distinct_count(arr: np.ndarray) -> int:
+    """Number of distinct values in a column array (catalog refresh)."""
+    if arr.dtype == np.dtype(object):
+        return len({v for v in arr})
+    return int(len(np.unique(arr)))

@@ -1,0 +1,188 @@
+"""Command-line client (paper Section III: "clients can range from a
+simple command-line interface to web-based front-ends").
+
+Usage::
+
+    graql run script.graql --param Product1=product42
+    graql repl
+    graql demo berlin --scale 200
+    graql demo cyber
+    graql demo biology
+
+The REPL accepts a statement per paragraph: terminate input with an empty
+line (or end with ``;``).  ``\\tables``, ``\\vertices``, ``\\edges`` and
+``\\subgraphs`` list catalog objects; ``\\quit`` exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Optional
+
+from repro.engine.session import Database
+from repro.errors import GraQLError
+from repro.query.executor import StatementResult
+
+
+def _parse_params(pairs: list[str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects Name=Value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        for conv in (int, float):
+            try:
+                params[name] = conv(value)
+                break
+            except ValueError:
+                continue
+        else:
+            params[name] = value
+    return params
+
+
+def _print_result(result: StatementResult, limit: int) -> None:
+    if result.kind == "table" and result.table is not None:
+        print(result.table.pretty(limit))
+        print(f"({result.table.num_rows} rows)")
+    elif result.kind == "subgraph" and result.subgraph is not None:
+        sg = result.subgraph
+        print(f"subgraph {sg.name!r}:")
+        for t, v in sorted(sg.vertices.items()):
+            print(f"  vertices {t}: {len(v)}")
+        for t, e in sorted(sg.edges.items()):
+            print(f"  edges {t}: {len(e)}")
+    else:
+        print(result.message or result.kind)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    db = Database()
+    params = _parse_params(args.param or [])
+    try:
+        if args.explain:
+            with open(args.script, encoding="utf-8") as fh:
+                print(db.explain(fh.read(), params))
+            return 0
+        results = db.execute_file(args.script, params)
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    for r in results:
+        _print_result(r, args.limit)
+    return 0
+
+
+def _demo_database(name: str, scale: int) -> Database:
+    if name == "berlin":
+        from repro.workloads.berlin import berlin_database
+
+        return berlin_database(scale=scale, with_export=True)
+    if name == "cyber":
+        from repro.workloads.cyber import cyber_database
+
+        return cyber_database(hosts_per_subnet=max(scale // 4, 5))
+    if name == "biology":
+        from repro.workloads.biology import biology_database
+
+        return biology_database(num_pathways=max(scale // 40, 2))
+    raise SystemExit(f"unknown demo {name!r} (berlin | cyber | biology)")
+
+
+def _repl(db: Database, limit: int) -> int:
+    print(
+        "GraQL REPL — terminate a statement with an empty line; "
+        "\\explain <stmt> shows plans; \\quit to exit"
+    )
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "graql> " if not buffer else "  ...> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\explain "):
+            try:
+                print(db.explain(stripped[len("\\explain "):]))
+            except GraQLError as e:
+                print(f"error: {e}", file=sys.stderr)
+            continue
+        if not buffer and stripped.startswith("\\"):
+            if stripped in ("\\quit", "\\q"):
+                return 0
+            if stripped == "\\tables":
+                for name, meta in sorted(db.catalog.tables.items()):
+                    print(f"  {name} ({meta.num_rows} rows)")
+            elif stripped == "\\vertices":
+                for name, meta in sorted(db.catalog.vertices.items()):
+                    print(f"  {name} ({meta.num_vertices} instances)")
+            elif stripped == "\\edges":
+                for name, meta in sorted(db.catalog.edges.items()):
+                    print(f"  {name} ({meta.num_edges} edges)")
+            elif stripped == "\\subgraphs":
+                for name in sorted(db.catalog.subgraphs):
+                    print(f"  {name}")
+            else:
+                print(f"unknown command {stripped!r}")
+            continue
+        terminated = stripped.endswith(";")
+        if stripped:
+            buffer.append(line.rstrip(";") if terminated else line)
+        if buffer and (not stripped or terminated):
+            text = "\n".join(buffer)
+            buffer = []
+            try:
+                for r in db.execute(text):
+                    _print_result(r, limit)
+            except GraQLError as e:
+                print(f"error: {e}", file=sys.stderr)
+
+
+def cmd_repl(args: argparse.Namespace) -> int:
+    return _repl(Database(), args.limit)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    db = _demo_database(args.name, args.scale)
+    print(f"loaded demo {args.name!r}: {db.db}")
+    return _repl(db, args.limit)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="graql", description="GraQL attributed-graph database client"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20, help="max rows printed per table"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a GraQL script file")
+    p_run.add_argument("script")
+    p_run.add_argument(
+        "--param", action="append", metavar="NAME=VALUE", help="query parameter"
+    )
+    p_run.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plans instead of executing",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_repl = sub.add_parser("repl", help="interactive session (empty database)")
+    p_repl.set_defaults(func=cmd_repl)
+
+    p_demo = sub.add_parser("demo", help="interactive session on a demo dataset")
+    p_demo.add_argument("name", choices=["berlin", "cyber", "biology"])
+    p_demo.add_argument("--scale", type=int, default=200)
+    p_demo.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

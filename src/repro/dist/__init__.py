@@ -1,0 +1,33 @@
+"""Simulated distributed in-memory backend (paper Sections I and III).
+
+The paper targets "a cluster of high-performance servers with ample DRAM
+... the database is primarily resident on the aggregated memory of the
+compute nodes".  We cannot ship an InfiniBand cluster in a Python
+package, so this subpackage simulates one faithfully enough to exercise
+every distributed code path the paper's design implies:
+
+* **partitioning** (:mod:`repro.dist.partition`) — vertices are hash
+  partitioned per type; each edge type is sharded twice, by source owner
+  (forward index shard) and by target owner (reverse index shard),
+  mirroring GEMS's bidirectional edge indexes per node;
+* **communication** (:mod:`repro.dist.comm`) — an explicit message layer
+  with per-message byte accounting.  Execution is bulk-synchronous: in
+  each superstep every worker expands its local frontier shard and the
+  communicator routes remote candidates to their owners;
+* **distributed queries** (:mod:`repro.dist.dist_query`) — the
+  set-frontier path-query executor re-implemented over shards; its
+  results are asserted identical to the single-node engine in the test
+  suite;
+* **distributed relational ops** (:mod:`repro.dist.dist_relops`) —
+  partial aggregation + hash shuffle + merge for the Table I subset.
+
+The simulation is sequential and deterministic; what it *measures* —
+messages, bytes moved, per-worker work, load balance — is what the
+paper's performance argument is about.
+"""
+
+from repro.dist.cluster import Cluster
+from repro.dist.comm import CommStats, Communicator
+from repro.dist.partition import Partitioner
+
+__all__ = ["Cluster", "Communicator", "CommStats", "Partitioner"]

@@ -1,0 +1,107 @@
+"""Hash partitioning of the attributed graph across workers.
+
+    "These challenges include the difficulty of partitioning graphs
+    across nodes on a cluster ..." (Section I)
+
+The baseline GEMS answer is hash partitioning: vertex *v* of any type is
+owned by worker ``v % n``.  Each edge type is sharded twice — once by
+source owner (that worker serves forward expansions) and once by target
+owner (reverse expansions) — which is exactly the distributed realization
+of the bidirectional edge index of Section III-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edge_index import EdgeIndex
+from repro.graph.graphdb import GraphDB
+
+
+class Partitioner:
+    """Maps vertex ids to owning workers (per type, hash by id)."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+
+    def owner_of(self, vids: np.ndarray) -> np.ndarray:
+        """Owning worker of each vid (vectorized)."""
+        return vids % self.num_workers
+
+    def local_vids(self, worker: int, num_vertices: int) -> np.ndarray:
+        """All vids of a type owned by *worker*."""
+        return np.arange(worker, num_vertices, self.num_workers, dtype=np.int64)
+
+    def split_by_owner(self, vids: np.ndarray) -> list[np.ndarray]:
+        """Partition an id array into per-owner buckets (sorted, unique)."""
+        owners = self.owner_of(vids)
+        return [
+            np.unique(vids[owners == w]) for w in range(self.num_workers)
+        ]
+
+
+class EdgeShard:
+    """One worker's slice of one edge type, in both directions."""
+
+    def __init__(
+        self,
+        edge_type_name: str,
+        forward: EdgeIndex,
+        reverse: EdgeIndex,
+        forward_eids_local: np.ndarray,
+        reverse_eids_local: np.ndarray,
+    ) -> None:
+        self.edge_type_name = edge_type_name
+        #: CSR over *all* source vids but containing only locally-owned
+        #: source rows' edges (other rows are empty)
+        self.forward = forward
+        self.reverse = reverse
+        self.forward_eids_local = forward_eids_local
+        self.reverse_eids_local = reverse_eids_local
+
+    @property
+    def num_forward_edges(self) -> int:
+        return self.forward.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeShard({self.edge_type_name!r}, fwd={self.forward.num_edges}, "
+            f"rev={self.reverse.num_edges})"
+        )
+
+
+def build_edge_shards(db: GraphDB, partitioner: Partitioner) -> list[dict[str, EdgeShard]]:
+    """Shard every edge type across workers.
+
+    Returns ``shards[worker][edge_type_name]``.  The forward shard of a
+    worker holds edges whose *source* it owns; the reverse shard edges
+    whose *target* it owns.  Shard CSRs are indexed by global vid, which
+    keeps frontier arrays directly usable without translation.
+    """
+    n = partitioner.num_workers
+    shards: list[dict[str, EdgeShard]] = [dict() for _ in range(n)]
+    for name, et in db.edge_types.items():
+        src_owner = partitioner.owner_of(et.src_vids)
+        tgt_owner = partitioner.owner_of(et.tgt_vids)
+        all_eids = np.arange(et.num_edges, dtype=np.int64)
+        for w in range(n):
+            fmask = src_owner == w
+            rmask = tgt_owner == w
+            forward = EdgeIndex(
+                et.source.num_vertices,
+                et.src_vids[fmask],
+                et.tgt_vids[fmask],
+                all_eids[fmask],
+            )
+            reverse = EdgeIndex(
+                et.target.num_vertices,
+                et.tgt_vids[rmask],
+                et.src_vids[rmask],
+                all_eids[rmask],
+            )
+            shards[w][name] = EdgeShard(
+                name, forward, reverse, all_eids[fmask], all_eids[rmask]
+            )
+    return shards

@@ -1,0 +1,61 @@
+"""Strongly-typed attribute system for the GraQL data model.
+
+The paper's third design principle is that *all database elements are
+strongly typed* (Section I).  Every table column ("attribute"), and hence
+every vertex/edge attribute, carries one of the scalar types declared in the
+DDL: ``varchar(n)``, ``integer``, ``float``, ``date`` (Appendix A), plus
+``boolean`` as a convenience extension used by derived tables.
+
+This package provides the type objects themselves, value parsing and
+formatting (used by CSV ingest), NULL handling conventions for the columnar
+store, and the comparability rules consumed by static query analysis
+(Section III-A).
+"""
+
+from repro.dtypes.datatypes import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    Boolean,
+    DataType,
+    Date,
+    Float,
+    Integer,
+    VarChar,
+    comparable,
+    common_type,
+    parse_type_name,
+)
+from repro.dtypes.values import (
+    DATE_NULL,
+    INT_NULL,
+    date_to_ordinal,
+    format_date,
+    is_null,
+    ordinal_to_date,
+    parse_date,
+)
+
+__all__ = [
+    "DataType",
+    "VarChar",
+    "Integer",
+    "Float",
+    "Date",
+    "Boolean",
+    "INTEGER",
+    "FLOAT",
+    "DATE",
+    "BOOLEAN",
+    "parse_type_name",
+    "comparable",
+    "common_type",
+    "INT_NULL",
+    "DATE_NULL",
+    "is_null",
+    "parse_date",
+    "format_date",
+    "date_to_ordinal",
+    "ordinal_to_date",
+]

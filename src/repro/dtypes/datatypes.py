@@ -1,0 +1,272 @@
+"""Data types for GraQL attributes.
+
+The DDL of Appendix A uses four scalar types — ``varchar(n)``, ``integer``,
+``float`` and ``date`` — and the paper's design principles require every
+attribute to be strongly typed.  A :class:`DataType` instance knows:
+
+* its DDL spelling (``ddl()``),
+* the NumPy representation used by the columnar store (``numpy_dtype`` and
+  ``kind``),
+* how to parse a CSV field into a stored value (``parse``) and render one
+  back (``format``),
+* which *comparability class* it belongs to, used by static analysis
+  (Section III-A) to reject e.g. ``date = 3.14``.
+
+Types are value objects: two ``VarChar(10)`` instances compare equal.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+import numpy as np
+
+from repro.dtypes.values import (
+    BOOL_NULL,
+    DATE_NULL,
+    INT_NULL,
+    format_date,
+    parse_date,
+)
+
+# Comparability classes (Section III-A static checks).
+KIND_STRING = "string"
+KIND_NUMERIC = "numeric"
+KIND_DATE = "date"
+KIND_BOOL = "bool"
+
+
+class DataType:
+    """Abstract base for GraQL scalar types."""
+
+    #: comparability class; subclasses override
+    kind: str = ""
+    #: numpy dtype used for columnar storage
+    numpy_dtype: np.dtype = np.dtype(object)
+    #: in-band NULL sentinel for this type's storage
+    null_value: Any = None
+
+    def ddl(self) -> str:
+        """The DDL spelling of this type (e.g. ``varchar(10)``)."""
+        raise NotImplementedError
+
+    def parse(self, text: str) -> Any:
+        """Parse a CSV field into the stored representation.
+
+        An empty field parses to this type's NULL sentinel.
+        Raises ``ValueError`` on malformed input.
+        """
+        raise NotImplementedError
+
+    def format(self, value: Any) -> str:
+        """Render a stored value back to text (inverse of :meth:`parse`)."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> bool:
+        """True if *value* is a legal stored value for this type."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.ddl()!r})"
+
+
+class VarChar(DataType):
+    """Variable-length string, capped at *length* characters.
+
+    Following common SQL practice, over-long CSV fields are rejected at
+    ingest rather than silently truncated; the length is part of the type
+    identity (``varchar(10) != varchar(255)``) but does not affect
+    comparability.
+    """
+
+    kind = KIND_STRING
+    numpy_dtype = np.dtype(object)
+    null_value = None
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError(f"varchar length must be positive, got {length}")
+        self.length = int(length)
+
+    def ddl(self) -> str:
+        return f"varchar({self.length})"
+
+    def parse(self, text: str) -> Any:
+        if text == "":
+            return None
+        if len(text) > self.length:
+            raise ValueError(
+                f"string of length {len(text)} exceeds varchar({self.length})"
+            )
+        return text
+
+    def format(self, value: Any) -> str:
+        return "" if value is None else str(value)
+
+    def validate(self, value: Any) -> bool:
+        return value is None or (isinstance(value, str) and len(value) <= self.length)
+
+
+class Integer(DataType):
+    """64-bit signed integer."""
+
+    kind = KIND_NUMERIC
+    numpy_dtype = np.dtype(np.int64)
+    null_value = INT_NULL
+
+    def ddl(self) -> str:
+        return "integer"
+
+    def parse(self, text: str) -> Any:
+        if text == "":
+            return INT_NULL
+        return int(text)
+
+    def format(self, value: Any) -> str:
+        return "" if int(value) == INT_NULL else str(int(value))
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+class Float(DataType):
+    """64-bit IEEE-754 float; NULL is NaN."""
+
+    kind = KIND_NUMERIC
+    numpy_dtype = np.dtype(np.float64)
+    null_value = float("nan")
+
+    def ddl(self) -> str:
+        return "float"
+
+    def parse(self, text: str) -> Any:
+        if text == "":
+            return float("nan")
+        return float(text)
+
+    def format(self, value: Any) -> str:
+        v = float(value)
+        return "" if v != v else repr(v)
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (float, int, np.floating, np.integer)) and not isinstance(
+            value, bool
+        )
+
+
+class Date(DataType):
+    """Calendar date, stored as a proleptic Gregorian ordinal (int64)."""
+
+    kind = KIND_DATE
+    numpy_dtype = np.dtype(np.int64)
+    null_value = DATE_NULL
+
+    def ddl(self) -> str:
+        return "date"
+
+    def parse(self, text: str) -> Any:
+        if text == "":
+            return DATE_NULL
+        return parse_date(text)
+
+    def format(self, value: Any) -> str:
+        return "" if int(value) == DATE_NULL else format_date(int(value))
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+class Boolean(DataType):
+    """Boolean stored as int8 (0 / 1, NULL = -1).
+
+    Not in the paper's Appendix-A DDL, but needed internally for derived
+    predicate columns and exposed as a convenience extension.
+    """
+
+    kind = KIND_BOOL
+    numpy_dtype = np.dtype(np.int8)
+    null_value = BOOL_NULL
+
+    def ddl(self) -> str:
+        return "boolean"
+
+    def parse(self, text: str) -> Any:
+        if text == "":
+            return BOOL_NULL
+        low = text.strip().lower()
+        if low in ("true", "t", "1", "yes"):
+            return 1
+        if low in ("false", "f", "0", "no"):
+            return 0
+        raise ValueError(f"invalid boolean literal: {text!r}")
+
+    def format(self, value: Any) -> str:
+        v = int(value)
+        if v == BOOL_NULL:
+            return ""
+        return "true" if v else "false"
+
+    def validate(self, value: Any) -> bool:
+        return value in (0, 1, BOOL_NULL, True, False)
+
+
+# Singletons for the parameterless types.
+INTEGER = Integer()
+FLOAT = Float()
+DATE = Date()
+BOOLEAN = Boolean()
+
+_VARCHAR_RE = re.compile(r"^varchar\s*\(\s*(\d+)\s*\)$", re.IGNORECASE)
+
+
+def parse_type_name(text: str) -> DataType:
+    """Parse a DDL type spelling into a :class:`DataType`.
+
+    >>> parse_type_name("varchar(10)")
+    VarChar('varchar(10)')
+    >>> parse_type_name("integer") is INTEGER
+    True
+    """
+    t = text.strip().lower()
+    if t == "integer" or t == "int":
+        return INTEGER
+    if t == "float" or t == "double":
+        return FLOAT
+    if t == "date":
+        return DATE
+    if t == "boolean" or t == "bool":
+        return BOOLEAN
+    m = _VARCHAR_RE.match(text.strip())
+    if m:
+        return VarChar(int(m.group(1)))
+    raise ValueError(f"unknown type name: {text!r}")
+
+
+def comparable(a: DataType, b: DataType) -> bool:
+    """True if values of types *a* and *b* may be compared (III-A check)."""
+    return a.kind == b.kind
+
+
+def common_type(a: DataType, b: DataType) -> DataType:
+    """The wider of two comparable types (used for expression results).
+
+    Numeric widening: integer + float -> float.  Strings widen to the longer
+    varchar.  Raises ``ValueError`` for incomparable kinds.
+    """
+    if not comparable(a, b):
+        raise ValueError(f"incomparable types: {a.ddl()} vs {b.ddl()}")
+    if a.kind == KIND_NUMERIC:
+        if isinstance(a, Float) or isinstance(b, Float):
+            return FLOAT
+        return INTEGER
+    if a.kind == KIND_STRING:
+        assert isinstance(a, VarChar) and isinstance(b, VarChar)
+        return a if a.length >= b.length else b
+    return a

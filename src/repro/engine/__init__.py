@@ -1,0 +1,21 @@
+"""The GEMS engine: client session, front-end server, scheduler.
+
+Maps the paper's Section III system picture:
+
+* **Clients** — :mod:`repro.cli` (command line) or the in-process
+  :class:`~repro.engine.session.Database` API.
+* **Server** — :class:`~repro.engine.server.Server`: access control, user
+  accounts, the central catalog, static analysis, IR compilation.
+* **Backend** — a :class:`~repro.graph.graphdb.GraphDB` (single node) or a
+  :class:`~repro.dist.cluster.Cluster` (simulated distributed memory).
+
+:mod:`repro.engine.scheduler` implements Section III-B1: the
+multi-statement dependence DAG that decides which statements of a script
+can execute in parallel.
+"""
+
+from repro.engine.scheduler import ScriptSchedule, build_schedule
+from repro.engine.server import Server, User
+from repro.engine.session import Database
+
+__all__ = ["Database", "Server", "User", "ScriptSchedule", "build_schedule"]

@@ -1,0 +1,164 @@
+"""The in-process client API.
+
+:class:`Database` is the public entry point of this library::
+
+    from repro import Database
+
+    db = Database()
+    db.execute(open("schema.graql").read())
+    db.execute("ingest table Products products.csv")
+    result = db.query(
+        "select y.id from graph "
+        "ProductVtx (id = %Product1%) --feature--> FeatureVtx "
+        "<--feature-- def y: ProductVtx into table T1",
+        params={"Product1": "p42"},
+    )
+
+It wires together the full GEMS pipeline: parse -> parameter substitution
+-> static analysis against the catalog -> (binary IR) -> plan -> execute,
+and keeps the catalog statistics fresh across DDL and ingest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.graph.graphdb import GraphDB
+from repro.graph.subgraph import Subgraph
+from repro.graql.parser import parse_script
+from repro.query.executor import StatementResult, execute_statement
+from repro.storage.table import Table
+
+
+class Database:
+    """An in-memory attributed-graph database speaking GraQL."""
+
+    def __init__(self) -> None:
+        self.db = GraphDB()
+        self.catalog = Catalog()
+
+    # ------------------------------------------------------------------
+    # GraQL execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        force_direction: Optional[str] = None,
+        force_strategy: Optional[str] = None,
+    ) -> list[StatementResult]:
+        """Execute a GraQL script (one or more statements), in order."""
+        script = parse_script(graql)
+        return [
+            execute_statement(
+                self.db,
+                self.catalog,
+                stmt,
+                params,
+                force_direction=force_direction,
+                force_strategy=force_strategy,
+            )
+            for stmt in script.statements
+        ]
+
+    def query(
+        self, graql: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Table:
+        """Execute a script and return the last statement's table result."""
+        results = self.execute(graql, params)
+        for r in reversed(results):
+            if r.kind == "table" and r.table is not None:
+                return r.table
+        raise ExecutionError("script produced no table result")
+
+    def query_subgraph(
+        self, graql: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Subgraph:
+        """Execute a script and return the last subgraph result."""
+        results = self.execute(graql, params)
+        for r in reversed(results):
+            if r.kind == "subgraph" and r.subgraph is not None:
+                return r.subgraph
+        raise ExecutionError("script produced no subgraph result")
+
+    def execute_file(
+        self, path: str, params: Optional[Mapping[str, Any]] = None
+    ) -> list[StatementResult]:
+        """Execute a GraQL script file."""
+        with open(path, encoding="utf-8") as fh:
+            return self.execute(fh.read(), params)
+
+    # ------------------------------------------------------------------
+    # Direct data access (bypassing CSV files)
+    # ------------------------------------------------------------------
+    def ingest_rows(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Append stored-form rows and rebuild dependent views (atomic)."""
+        n = self.db.ingest_rows(table, rows)
+        self.catalog.refresh(self.db)
+        return n
+
+    def ingest_text(self, table: str, csv_text: str) -> int:
+        """Ingest CSV text (same semantics as ``ingest table``)."""
+        n = self.db.ingest_text(table, csv_text)
+        self.catalog.refresh(self.db)
+        return n
+
+    def table(self, name: str) -> Table:
+        return self.db.table(name)
+
+    def subgraph(self, name: str) -> Subgraph:
+        return self.db.subgraph(name)
+
+    def subgraph_tables(self, name: str, register: bool = False) -> dict[str, Table]:
+        """Render a named subgraph back into per-type tables (the paper's
+        table/graph duality).  With ``register=True`` the tables become
+        queryable result tables named ``{subgraph}_{type}``."""
+        from repro.query.duality import register_subgraph_tables, subgraph_tables
+
+        sg = self.db.subgraph(name)
+        if register:
+            register_subgraph_tables(self.db, self.catalog, sg)
+        return subgraph_tables(self.db, sg)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(
+        self, graql: str, params: Optional[Mapping[str, Any]] = None
+    ) -> str:
+        """The plan the engine would execute, as indented text.
+
+        Shows strategy choice, per-atom sweep directions with cost
+        estimates, per-step cardinalities/selectivities, relational
+        operator pipelines, and the script's dependence schedule.
+        """
+        from repro.query.explain import explain_script
+
+        return explain_script(graql, self.catalog, params)
+
+    def execute_pipelined(
+        self,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        num_chunks: int = 8,
+    ):
+        """Execute with Section III-B1 pipelining: dependent
+        (graph-select -> aggregation) pairs run fused in chunks, bounding
+        intermediate materialization.  Returns (results, pipeline stats).
+        """
+        from repro.engine.pipeline import run_pipelined
+
+        return run_pipelined(
+            self.db, self.catalog, parse_script(graql), params, num_chunks
+        )
+
+    def vertex_count(self, type_name: str) -> int:
+        return self.db.vertex_type(type_name).num_vertices
+
+    def edge_count(self, type_name: str) -> int:
+        return self.db.edge_type(type_name).num_edges
+
+    def __repr__(self) -> str:
+        return f"Database({self.db!r})"

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the GraQL/GEMS reproduction.
+
+Every error raised by the library derives from :class:`GraQLError` so
+applications can catch one type.  The hierarchy mirrors the stages of the
+GEMS pipeline described in Section III of the paper: lexing/parsing on the
+client, static analysis on the front-end server (catalog-based type
+checking), and execution on the backend cluster.
+"""
+
+from __future__ import annotations
+
+
+class GraQLError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LexError(GraQLError):
+    """Raised when the lexer encounters an invalid character sequence.
+
+    Carries ``line`` and ``column`` (1-based) of the offending position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(GraQLError):
+    """Raised when the parser cannot build an AST from a token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(GraQLError):
+    """Raised by static query analysis (paper Section III-A).
+
+    Examples: comparing a date to a float, using a table name where a
+    vertex type is required, ill-formed path queries (vertex step followed
+    by a vertex step), or referencing undeclared attributes.
+    """
+
+
+class CatalogError(GraQLError):
+    """Raised for catalog violations: duplicate or unknown database objects."""
+
+
+class IngestError(GraQLError):
+    """Raised when CSV ingest fails (missing file, arity or type mismatch)."""
+
+
+class ExecutionError(GraQLError):
+    """Raised by the backend when a statically-valid query cannot execute."""
+
+
+class PlanError(GraQLError):
+    """Raised when the planner cannot produce a physical plan for a query."""
+
+
+class IRError(GraQLError):
+    """Raised when binary IR encoding or decoding fails."""
+
+
+class AccessError(GraQLError):
+    """Raised by the front-end server when a user lacks permission."""

@@ -1,0 +1,27 @@
+"""Graph views over tabular data — the paper's second design principle.
+
+Vertex and edge types are *views* over tables (Section II-A):
+
+* :class:`~repro.graph.vertex.VertexType` implements Eq. 1 — a selection
+  over the source table followed by key projection; one vertex instance
+  per distinct key (one-to-one when the key is unique per row, many-to-one
+  otherwise, as in the ProducerCountry example of Figs. 4-5).
+* :class:`~repro.graph.edge.EdgeType` implements Eq. 2 — the natural join
+  of the source vertices, an optional associated table, and the target
+  vertices, driven by the declaration's ``where`` clause.
+* :class:`~repro.graph.edge_index.EdgeIndex` is the fundamental backend
+  data structure of Section III-B: CSR adjacency in both the declared
+  (forward) and reverse directions, enabling direction-free query
+  planning.
+* :class:`~repro.graph.graphdb.GraphDB` assembles the overall multigraph
+  G = (∪ V_p, ∪ E_r) whose vertex/edge types partition V and E
+  (Section II-A1).
+"""
+
+from repro.graph.edge import EdgeType
+from repro.graph.edge_index import EdgeIndex
+from repro.graph.graphdb import GraphDB
+from repro.graph.subgraph import Subgraph
+from repro.graph.vertex import VertexType
+
+__all__ = ["VertexType", "EdgeType", "EdgeIndex", "GraphDB", "Subgraph"]

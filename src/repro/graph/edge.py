@@ -1,0 +1,336 @@
+"""Edge types: join-defined views over vertex types and tables (Eq. 2).
+
+.. math::
+
+   E(a_1,...,a_n) = (S \\bowtie (\\sigma_\\varphi A)) \\bowtie T
+
+An edge declaration names a source and target vertex endpoint, optional
+associated table(s) (``from table``), and a ``where`` clause.  Building the
+edge type executes a small join plan:
+
+1. split the ``where`` clause into conjuncts; equality conjuncts between
+   columns of *different* relations are join predicates, everything else
+   is a post-join filter;
+2. start from the source endpoint's relation (its selected source rows,
+   carrying a hidden vid column) and greedily join in connected relations
+   — the target endpoint, declared ``from table`` relations, and any table
+   mentioned only in the ``where`` clause (the paper's Fig. 3 ``feature``
+   edge does exactly that);
+3. apply residual filters, project the two vid columns, and deduplicate.
+
+Deduplication implements the paper's many-to-one semantics (Fig. 5): edges
+declared *without* an associated table are identified by the (source vid,
+target vid) pair — the four-way country join yields exactly two ``export``
+edges.  Edges *with* ``from table`` create one edge per qualifying
+associated row (Section II-A: "an edge is created for each table entry
+satisfying the where clause"), so parallel edges with distinct attributes
+survive, making G a multigraph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.dtypes import DataType, INTEGER
+from repro.errors import CatalogError, TypeCheckError
+from repro.storage.column import Column
+from repro.storage.expr import (
+    BinOp,
+    ColRef,
+    Env,
+    Expr,
+    col_refs,
+    conjuncts,
+    evaluate_predicate,
+)
+from repro.storage.relops import _shared_codes
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.graph.vertex import VertexType
+
+VID = "__vid"
+ROWID = "__row"
+
+
+class _Relation:
+    """A working relation during edge construction.
+
+    Columns are keyed by (qualifier, name); all arrays share ``nrows``.
+    """
+
+    def __init__(self, columns: dict[tuple[str, str], Column], nrows: int) -> None:
+        self.columns = columns
+        self.nrows = nrows
+
+    @classmethod
+    def for_endpoint(cls, vt: VertexType, ref: str) -> "_Relation":
+        cols: dict[tuple[str, str], Column] = {}
+        for cdef in vt.table.schema:
+            src = vt.table.column(cdef.name)
+            cols[(ref, cdef.name)] = src.take(vt.rows)
+        cols[(ref, VID)] = Column(INTEGER, vt.row_vids.astype(np.int64))
+        return cls(cols, len(vt.rows))
+
+    @classmethod
+    def for_table(cls, table: Table, ref: str) -> "_Relation":
+        cols: dict[tuple[str, str], Column] = {}
+        for cdef in table.schema:
+            cols[(ref, cdef.name)] = table.column(cdef.name)
+        cols[(ref, ROWID)] = Column(INTEGER, np.arange(table.num_rows, dtype=np.int64))
+        return cls(cols, table.num_rows)
+
+    def qualifiers(self) -> set[str]:
+        return {q for q, _ in self.columns}
+
+    def take(self, idx: np.ndarray) -> "_Relation":
+        return _Relation({k: c.take(idx) for k, c in self.columns.items()}, len(idx))
+
+    def join(self, other: "_Relation", pairs: list[tuple[tuple[str, str], tuple[str, str]]]) -> "_Relation":
+        """Equi-join on [(my_key, other_key)] column pairs (vectorized)."""
+        lcols = [self.columns[a] for a, _ in pairs]
+        rcols = [other.columns[b] for _, b in pairs]
+        li, ri = _join_arrays(lcols, rcols)
+        cols = {k: c.take(li) for k, c in self.columns.items()}
+        cols.update({k: c.take(ri) for k, c in other.columns.items()})
+        return _Relation(cols, len(li))
+
+    def cross(self, other: "_Relation") -> "_Relation":
+        li = np.repeat(np.arange(self.nrows), other.nrows)
+        ri = np.tile(np.arange(other.nrows), self.nrows)
+        cols = {k: c.take(li) for k, c in self.columns.items()}
+        cols.update({k: c.take(ri) for k, c in other.columns.items()})
+        return _Relation(cols, len(li))
+
+    def env(self) -> Env:
+        mapping = {
+            (q, n): (c.data, c.dtype) for (q, n), c in self.columns.items()
+        }
+        return Env.from_columns(mapping, self.nrows)
+
+
+def _join_arrays(lcols: list[Column], rcols: list[Column]) -> tuple[np.ndarray, np.ndarray]:
+    """All matching row-index pairs between two column lists (inner join)."""
+    lcodes, rcodes, lvalid, rvalid = _shared_codes(lcols, rcols)
+    lidx = np.flatnonzero(lvalid)
+    ridx = np.flatnonzero(rvalid)
+    lc = lcodes[lidx]
+    rc = rcodes[ridx]
+    order = np.argsort(rc, kind="stable")
+    rs = rc[order]
+    lo = np.searchsorted(rs, lc, side="left")
+    hi = np.searchsorted(rs, lc, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    li_rep = np.repeat(np.arange(len(lc)), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return lidx[li_rep], ridx[order[starts + offsets]]
+
+
+class EdgeType:
+    """A built edge view: source/target vid arrays plus optional attributes."""
+
+    def __init__(
+        self,
+        name: str,
+        source: VertexType,
+        target: VertexType,
+        source_ref: str,
+        target_ref: str,
+        from_tables: list[Table],
+        where: Optional[Expr],
+        table_lookup: Optional[Callable[[str], Optional[Table]]] = None,
+    ) -> None:
+        if source_ref == target_ref:
+            raise CatalogError(
+                f"edge {name!r}: endpoints must have distinct names — "
+                f"alias one of them ('{source.name} as A')"
+            )
+        self.name = name
+        self.source = source
+        self.target = target
+        self.source_ref = source_ref
+        self.target_ref = target_ref
+        self.from_tables = list(from_tables)
+        self.where = where
+        self._table_lookup = table_lookup or (lambda _n: None)
+        if len(self.from_tables) == 1:
+            self.assoc_table: Optional[Table] = self.from_tables[0]
+        else:
+            self.assoc_table = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction (Eq. 2)
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        relations: dict[str, _Relation] = {
+            self.source_ref: _Relation.for_endpoint(self.source, self.source_ref),
+            self.target_ref: _Relation.for_endpoint(self.target, self.target_ref),
+        }
+        for t in self.from_tables:
+            if t.name in relations:
+                raise CatalogError(
+                    f"edge {self.name!r}: relation name {t.name!r} used twice"
+                )
+            relations[t.name] = _Relation.for_table(t, t.name)
+        cjs = conjuncts(self.where)
+        # resolve qualifiers; pull in tables referenced only in the where
+        for cj in cjs:
+            for ref in col_refs(cj):
+                q = ref.qualifier
+                if q is None:
+                    raise TypeCheckError(
+                        f"edge {self.name!r}: unqualified attribute "
+                        f"{ref.name!r} in where clause — qualify it"
+                    )
+                if q not in relations:
+                    t = self._table_lookup(q)
+                    if t is None:
+                        raise TypeCheckError(
+                            f"edge {self.name!r}: unknown relation {q!r} in "
+                            f"where clause"
+                        )
+                    relations[q] = _Relation.for_table(t, q)
+        join_preds: list[tuple[tuple[str, str], tuple[str, str], Expr]] = []
+        filters: list[Expr] = []
+        for cj in cjs:
+            pred = _as_join_predicate(cj)
+            if pred is not None and pred[0][0] != pred[1][0]:
+                join_preds.append((pred[0], pred[1], cj))
+            else:
+                filters.append(cj)
+        working = relations[self.source_ref]
+        joined = {self.source_ref}
+        remaining = {q: r for q, r in relations.items() if q != self.source_ref}
+        pending = list(join_preds)
+        while remaining:
+            # gather all predicates connecting the joined set to one relation
+            batch: dict[str, list[tuple[tuple[str, str], tuple[str, str]]]] = {}
+            for a, b, _ in pending:
+                if a[0] in joined and b[0] in remaining:
+                    batch.setdefault(b[0], []).append((a, b))
+                elif b[0] in joined and a[0] in remaining:
+                    batch.setdefault(a[0], []).append((b, a))
+            if batch:
+                # join the relation with the most predicates first (most
+                # selective under equal cardinalities)
+                q = max(batch, key=lambda k: len(batch[k]))
+                working = working.join(remaining.pop(q), batch[q])
+                joined.add(q)
+                pending = [
+                    p for p in pending
+                    if not (p[0][0] in joined and p[1][0] in joined)
+                ]
+            else:
+                # no connecting predicate: cross join (rare, but Eq. 2's
+                # "tables of the vertex types are joined" permits it)
+                q = next(iter(remaining))
+                working = working.cross(remaining.pop(q))
+                joined.add(q)
+        # join predicates both of whose sides were already joined act as
+        # filters (cycles in the join graph)
+        for a, b, cj in pending:
+            filters.append(cj)
+        for f in filters:
+            mask = evaluate_predicate(f, working.env())
+            working = working.take(np.flatnonzero(mask))
+        src = working.columns[(self.source_ref, VID)].data
+        tgt = working.columns[(self.target_ref, VID)].data
+        if self.assoc_table is not None:
+            rows = working.columns[(self.assoc_table.name, ROWID)].data
+            triples = np.stack([src, tgt, rows])
+            _, keep = np.unique(triples, axis=1, return_index=True)
+            keep.sort()
+            self.src_vids = src[keep]
+            self.tgt_vids = tgt[keep]
+            self.assoc_rows: Optional[np.ndarray] = rows[keep]
+        else:
+            pairs = np.stack([src, tgt]) if len(src) else np.empty((2, 0), dtype=np.int64)
+            _, keep = np.unique(pairs, axis=1, return_index=True)
+            keep.sort()
+            self.src_vids = src[keep]
+            self.tgt_vids = tgt[keep]
+            self.assoc_rows = None
+        self.num_edges: int = len(self.src_vids)
+
+    def refresh(self) -> None:
+        """Rebuild after any underlying table changed (atomic ingest)."""
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Attributes (from the associated table)
+    # ------------------------------------------------------------------
+    def attribute_schema(self) -> Schema:
+        if self.assoc_table is None:
+            return Schema([])
+        return self.assoc_table.schema
+
+    def has_attribute(self, name: str) -> bool:
+        return self.assoc_table is not None and self.assoc_table.schema.has(name)
+
+    def attribute_type(self, name: str) -> DataType:
+        if not self.has_attribute(name):
+            raise TypeCheckError(
+                f"edge type {self.name!r} has no attribute {name!r}"
+            )
+        return self.assoc_table.schema.type_of(name)
+
+    def attribute_array(self, name: str) -> tuple[np.ndarray, DataType]:
+        """Attribute values aligned with eids 0..m-1."""
+        dtype = self.attribute_type(name)
+        col = self.assoc_table.column(name)
+        return col.data[self.assoc_rows], dtype
+
+    # ------------------------------------------------------------------
+    # Query-time selection (an edge query step)
+    # ------------------------------------------------------------------
+    def select(self, cond: Optional[Expr], candidates: Optional[np.ndarray] = None) -> np.ndarray:
+        """eids satisfying *cond*, optionally restricted to *candidates*."""
+        if candidates is None:
+            candidates = np.arange(self.num_edges)
+        if cond is None or len(candidates) == 0:
+            return candidates
+
+        def resolver(qualifier: str | None, name: str):
+            if qualifier not in (None, self.name):
+                raise TypeCheckError(
+                    f"cannot resolve qualifier {qualifier!r} on edge type "
+                    f"{self.name!r}"
+                )
+            arr, dtype = self.attribute_array(name)
+            return arr[candidates], dtype
+
+        env = Env(resolver, len(candidates))
+        mask = evaluate_predicate(cond, env)
+        return candidates[mask]
+
+    def endpoints_of(self, eid: int) -> tuple[int, int]:
+        return int(self.src_vids[eid]), int(self.tgt_vids[eid])
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeType({self.name!r}, {self.source.name} -> {self.target.name}, "
+            f"m={self.num_edges})"
+        )
+
+
+def _as_join_predicate(expr: Expr):
+    """If *expr* is ``a.x = b.y`` with qualified refs, return the pair."""
+    if (
+        isinstance(expr, BinOp)
+        and expr.op == "="
+        and isinstance(expr.left, ColRef)
+        and isinstance(expr.right, ColRef)
+        and expr.left.qualifier is not None
+        and expr.right.qualifier is not None
+    ):
+        return (
+            (expr.left.qualifier, expr.left.name),
+            (expr.right.qualifier, expr.right.name),
+        )
+    return None

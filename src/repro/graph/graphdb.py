@@ -1,0 +1,243 @@
+"""The assembled attributed-graph database.
+
+:class:`GraphDB` owns the tabular store plus every declared vertex/edge
+view and their bidirectional edge indexes, and maintains the paper's
+structural invariants:
+
+* G = (V, E) with V = ∪ V_p and E = ∪ E_r, the types partitioning each
+  (Section II-A1) — guaranteed by construction since ids are per-type;
+* G is a directed multigraph (parallel edges allowed via ``from table``
+  edge declarations);
+* ``ingest`` is atomic: the table append either fully succeeds or changes
+  nothing, and *every* dependent vertex/edge view (and its indexes) is
+  rebuilt before the call returns (Section II-A2).
+
+This class is the single-node backend; the simulated cluster
+(:mod:`repro.dist`) partitions one of these across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.graph.edge import EdgeType
+from repro.graph.edge_index import BidirectionalIndex
+from repro.graph.subgraph import Subgraph
+from repro.graph.vertex import VertexType
+from repro.storage.csvio import read_csv_into, read_csv_text_into
+from repro.storage.expr import Expr, col_refs
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+class GraphDB:
+    """Tables + vertex/edge views + indexes + named query results."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.vertex_types: dict[str, VertexType] = {}
+        self.edge_types: dict[str, EdgeType] = {}
+        self.indexes: dict[str, BidirectionalIndex] = {}
+        self.subgraphs: dict[str, Subgraph] = {}
+        #: names of tables created by 'into table' (overwritable results)
+        self.derived_tables: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        if name in self.vertex_types or name in self.edge_types:
+            raise CatalogError(f"name {name!r} already used by a graph type")
+        table = Table(name, schema)
+        self.tables[name] = table
+        return table
+
+    def create_vertex(
+        self,
+        name: str,
+        key_cols: list[str],
+        table_name: str,
+        where: Optional[Expr] = None,
+    ) -> VertexType:
+        if name in self.vertex_types:
+            raise CatalogError(f"vertex type {name!r} already exists")
+        if name in self.tables or name in self.edge_types:
+            raise CatalogError(f"name {name!r} already in use")
+        table = self.table(table_name)
+        vt = VertexType(name, key_cols, table, where)
+        self.vertex_types[name] = vt
+        return vt
+
+    def create_edge(
+        self,
+        name: str,
+        source_type: str,
+        target_type: str,
+        source_ref: Optional[str] = None,
+        target_ref: Optional[str] = None,
+        from_tables: Optional[list[str]] = None,
+        where: Optional[Expr] = None,
+    ) -> EdgeType:
+        if name in self.edge_types:
+            raise CatalogError(f"edge type {name!r} already exists")
+        if name in self.tables or name in self.vertex_types:
+            raise CatalogError(f"name {name!r} already in use")
+        src = self.vertex_type(source_type)
+        tgt = self.vertex_type(target_type)
+        tables = [self.table(t) for t in (from_tables or [])]
+        et = EdgeType(
+            name,
+            src,
+            tgt,
+            source_ref or source_type,
+            target_ref or target_type,
+            tables,
+            where,
+            table_lookup=self.tables.get,
+        )
+        self.edge_types[name] = et
+        self.indexes[name] = BidirectionalIndex(et)
+        return et
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def vertex_type(self, name: str) -> VertexType:
+        try:
+            return self.vertex_types[name]
+        except KeyError:
+            raise CatalogError(f"unknown vertex type {name!r}") from None
+
+    def edge_type(self, name: str) -> EdgeType:
+        try:
+            return self.edge_types[name]
+        except KeyError:
+            raise CatalogError(f"unknown edge type {name!r}") from None
+
+    def index(self, edge_name: str) -> BidirectionalIndex:
+        return self.indexes[edge_name]
+
+    def subgraph(self, name: str) -> Subgraph:
+        try:
+            return self.subgraphs[name]
+        except KeyError:
+            raise CatalogError(f"unknown subgraph {name!r}") from None
+
+    def edge_types_between(
+        self, source_type: Optional[str], target_type: Optional[str]
+    ) -> list[EdgeType]:
+        """All edge types E_i(V_a, V_b) compatible with the given endpoint
+        types — the union of Section II-B4's variant-step matching.  A None
+        endpoint matches any type."""
+        out = []
+        for et in self.edge_types.values():
+            if source_type is not None and et.source.name != source_type:
+                continue
+            if target_type is not None and et.target.name != target_type:
+                continue
+            out.append(et)
+        return out
+
+    # ------------------------------------------------------------------
+    # Ingest (atomic, with dependent-view rebuild)
+    # ------------------------------------------------------------------
+    def ingest(self, table_name: str, path: str) -> int:
+        table = self.table(table_name)
+        count = read_csv_into(table, path)
+        self._rebuild_dependents(table_name)
+        return count
+
+    def ingest_text(self, table_name: str, text: str) -> int:
+        """Ingest from CSV text (workload generators and tests)."""
+        table = self.table(table_name)
+        count = read_csv_text_into(table, text)
+        self._rebuild_dependents(table_name)
+        return count
+
+    def ingest_rows(self, table_name: str, rows) -> int:
+        """Ingest stored-form rows directly (fast path for generators)."""
+        table = self.table(table_name)
+        table.append_rows(rows)
+        self._rebuild_dependents(table_name)
+        return len(rows)
+
+    def _edge_dependencies(self, et: EdgeType) -> set[str]:
+        deps = {et.source.table.name, et.target.table.name}
+        deps.update(t.name for t in et.from_tables)
+        if et.where is not None:
+            for ref in col_refs(et.where):
+                if ref.qualifier in self.tables:
+                    deps.add(ref.qualifier)
+        return deps
+
+    def _rebuild_dependents(self, table_name: str) -> None:
+        refreshed_vertices = set()
+        for vt in self.vertex_types.values():
+            if vt.table.name == table_name:
+                vt.refresh()
+                refreshed_vertices.add(vt.name)
+        for et in self.edge_types.values():
+            deps = self._edge_dependencies(et)
+            if (
+                table_name in deps
+                or et.source.name in refreshed_vertices
+                or et.target.name in refreshed_vertices
+            ):
+                et.refresh()
+                self.indexes[et.name] = BidirectionalIndex(et)
+
+    # ------------------------------------------------------------------
+    # Query results
+    # ------------------------------------------------------------------
+    def register_result_table(self, name: str, table: Table) -> None:
+        """Bind an ``into table`` result; results may be overwritten but
+        never shadow a declared base table."""
+        if name in self.tables and name not in self.derived_tables:
+            raise CatalogError(
+                f"cannot overwrite base table {name!r} with a query result"
+            )
+        self.tables[name] = Table(name, table.schema, table.columns)
+        self.derived_tables.add(name)
+
+    def register_subgraph(self, subgraph: Subgraph) -> None:
+        self.subgraphs[subgraph.name] = subgraph
+
+    # ------------------------------------------------------------------
+    # Whole-graph statistics
+    # ------------------------------------------------------------------
+    def total_vertices(self) -> int:
+        return sum(vt.num_vertices for vt in self.vertex_types.values())
+
+    def total_edges(self) -> int:
+        return sum(et.num_edges for et in self.edge_types.values())
+
+    def check_partition_invariants(self) -> bool:
+        """Verify Section II-A1: every edge endpoint is a valid vid of its
+        declared endpoint type (types partition V/E by construction)."""
+        for et in self.edge_types.values():
+            if len(et.src_vids) == 0:
+                continue
+            if et.src_vids.min() < 0 or et.src_vids.max() >= et.source.num_vertices:
+                return False
+            if et.tgt_vids.min() < 0 or et.tgt_vids.max() >= et.target.num_vertices:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDB(tables={len(self.tables)}, "
+            f"vertex_types={len(self.vertex_types)}, "
+            f"edge_types={len(self.edge_types)}, "
+            f"V={self.total_vertices()}, E={self.total_edges()})"
+        )

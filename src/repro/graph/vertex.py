@@ -1,0 +1,200 @@
+"""Vertex types: views over tables (Eq. 1 of the paper).
+
+.. math::
+
+   V(a_1, ..., a_k) = \\Pi_{a_1,...,a_k} \\, \\sigma_\\varphi(T)
+
+Building a vertex type applies the declaration's ``where`` selection to the
+source table, projects the key columns, and creates **one vertex instance
+per distinct key combination**.  Vertex ids (vids) are dense ``0..n-1``
+integers in first-occurrence order, so every per-type vertex set is just an
+int64 array and every frontier a boolean mask — the flat-array layout the
+GEMS backend relies on.
+
+One-to-one mappings (key unique per selected row, e.g. ``ProductVtx(id)``)
+expose *every* source-table column as a vertex attribute.  Many-to-one
+mappings (e.g. ``ProducerCountry(country)``) expose only the key columns,
+since other attributes are not single-valued per vertex — exactly the
+restriction Section II-A implies and the type checker enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.errors import CatalogError, TypeCheckError
+from repro.storage.expr import Env, Expr, evaluate_predicate
+from repro.storage.relops import group_rows
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+class VertexType:
+    """A built vertex view: declaration + materialized instance mapping."""
+
+    def __init__(
+        self,
+        name: str,
+        key_cols: list[str],
+        table: Table,
+        where: Optional[Expr] = None,
+    ) -> None:
+        for k in key_cols:
+            if not table.schema.has(k):
+                raise CatalogError(
+                    f"vertex {name!r}: key column {k!r} not in table {table.name!r}"
+                )
+        self.name = name
+        self.key_cols = list(key_cols)
+        self.table = table
+        self.where = where
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction (Eq. 1)
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        table = self.table
+        if self.where is not None:
+            mask = evaluate_predicate(self.where, Env.from_table(table))
+            selected = np.flatnonzero(mask)
+        else:
+            selected = np.arange(table.num_rows)
+        view = table.take(selected)
+        # drop rows whose key contains a NULL: a NULL key identifies nothing
+        key_null = np.zeros(view.num_rows, dtype=bool)
+        for k in self.key_cols:
+            key_null |= view.column(k).null_mask()
+        if key_null.any():
+            keep = ~key_null
+            selected = selected[keep]
+            view = view.filter(keep)
+        _, first, inv = group_rows(view, self.key_cols)
+        order = np.argsort(first, kind="stable")  # first-occurrence order
+        remap = np.empty(len(first), dtype=np.int64)
+        remap[order] = np.arange(len(first))
+        #: number of vertex instances
+        self.num_vertices: int = len(first)
+        #: vid of each *selected source row* (aligned with ``self.rows``)
+        self.row_vids: np.ndarray = remap[inv]
+        #: source-table row index of each selected row
+        self.rows: np.ndarray = selected
+        #: representative source row per vid (first occurrence)
+        self.rep_rows: np.ndarray = selected[first[order]]
+        self.one_to_one: bool = self.num_vertices == len(selected)
+        # key tuples per vid (materialized lazily)
+        self._keys: Optional[list[tuple]] = None
+        self._key_index: Optional[dict[tuple, int]] = None
+
+    def refresh(self) -> None:
+        """Rebuild after the source table changed (atomic ingest)."""
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def key_schema(self) -> Schema:
+        return self.table.schema.subset(self.key_cols)
+
+    def attribute_schema(self) -> Schema:
+        """The attributes visible in queries: all source columns for
+        one-to-one views, just the key for many-to-one views."""
+        if self.one_to_one:
+            return self.table.schema
+        return self.key_schema()
+
+    def has_attribute(self, name: str) -> bool:
+        return self.attribute_schema().has(name)
+
+    def attribute_type(self, name: str) -> DataType:
+        schema = self.attribute_schema()
+        if not schema.has(name):
+            extra = "" if self.one_to_one else " (many-to-one view: only key attributes)"
+            raise TypeCheckError(
+                f"vertex type {self.name!r} has no attribute {name!r}{extra}"
+            )
+        return schema.type_of(name)
+
+    # ------------------------------------------------------------------
+    # Attribute access, vid-aligned
+    # ------------------------------------------------------------------
+    def attribute_array(self, name: str) -> tuple[np.ndarray, DataType]:
+        """The attribute values aligned with vids 0..n-1."""
+        dtype = self.attribute_type(name)
+        col = self.table.column(name)
+        return col.data[self.rep_rows], dtype
+
+    def key_tuples(self) -> list[tuple]:
+        """Key tuple of each vid (cached)."""
+        if self._keys is None:
+            cols = [self.table.column(k) for k in self.key_cols]
+            self._keys = [
+                tuple(c.value(int(r)) for c in cols) for r in self.rep_rows
+            ]
+        return self._keys
+
+    def key_of(self, vid: int) -> tuple:
+        return self.key_tuples()[vid]
+
+    def vid_of(self, key: tuple) -> Optional[int]:
+        """The vid carrying *key*, or None."""
+        if self._key_index is None:
+            self._key_index = {k: i for i, k in enumerate(self.key_tuples())}
+        return self._key_index.get(tuple(key))
+
+    def attributes_of(self, vid: int) -> dict[str, Any]:
+        """All visible attributes of one vertex (cold path)."""
+        schema = self.attribute_schema()
+        row = int(self.rep_rows[vid])
+        return {c.name: self.table.column(c.name).value(row) for c in schema}
+
+    # ------------------------------------------------------------------
+    # Query-time selection (a vertex query step, Eq. 4)
+    # ------------------------------------------------------------------
+    def select(self, cond: Optional[Expr], candidates: Optional[np.ndarray] = None) -> np.ndarray:
+        """vids satisfying *cond*, optionally restricted to *candidates*.
+
+        This is the per-step selection sigma_phi(V) of Eq. 4: conditions are
+        evaluated over the vid-aligned attribute arrays.
+        """
+        if candidates is None:
+            candidates = np.arange(self.num_vertices)
+        if cond is None or len(candidates) == 0:
+            return candidates
+
+        def resolver(qualifier: str | None, name: str):
+            arr, dtype = self.attribute_array(name)
+            return arr[candidates], dtype
+
+        env = Env(resolver, len(candidates))
+        mask = evaluate_predicate(cond, env)
+        return candidates[mask]
+
+    def env_for(self, vids: np.ndarray, qualifier_names: tuple[str, ...] = ()) -> Env:
+        """An expression environment over the given vids.
+
+        Accepts unqualified references and any qualifier in
+        *qualifier_names* (the step's own type/label names).
+        """
+        allowed = set(qualifier_names) | {None, self.name}
+
+        def resolver(qualifier: str | None, name: str):
+            if qualifier not in allowed:
+                raise TypeCheckError(
+                    f"cannot resolve qualifier {qualifier!r} on vertex type "
+                    f"{self.name!r}"
+                )
+            arr, dtype = self.attribute_array(name)
+            return arr[vids], dtype
+
+        return Env(resolver, len(vids))
+
+    def __repr__(self) -> str:
+        kind = "1:1" if self.one_to_one else "N:1"
+        return (
+            f"VertexType({self.name!r}, key={self.key_cols}, "
+            f"table={self.table.name!r}, n={self.num_vertices}, {kind})"
+        )

@@ -1,0 +1,27 @@
+"""GraQL language front-end.
+
+The pipeline mirrors the paper's Section III client/front-end split:
+
+``lexer`` → ``parser`` (AST in :mod:`repro.graql.ast`) → ``params``
+substitution → ``typecheck`` (static analysis, Section III-A, against the
+catalog) → ``compiler`` (logical plans) → ``ir`` (binary intermediate
+representation shipped to the backend).
+
+``parse_script`` is the main entry point: a GraQL script is a series of
+data-definition, ingest and query statements (Section III).
+"""
+
+from repro.graql.ast import Script, Statement
+from repro.graql.lexer import tokenize
+from repro.graql.parser import parse_script, parse_statement
+from repro.graql.pretty import pretty_script, pretty_statement
+
+__all__ = [
+    "tokenize",
+    "parse_script",
+    "parse_statement",
+    "pretty_script",
+    "pretty_statement",
+    "Script",
+    "Statement",
+]

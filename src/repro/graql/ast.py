@@ -1,0 +1,412 @@
+"""Abstract syntax tree for GraQL.
+
+Node classes are immutable value objects with structural equality, which
+the property-based round-trip tests rely on (pretty-print then re-parse
+must reproduce the same tree).
+
+Statement forms (Section II):
+
+* DDL: :class:`CreateTable`, :class:`CreateVertex`, :class:`CreateEdge`
+* Ingest: :class:`Ingest`
+* Queries: :class:`GraphSelect` (path patterns, Section II-B/II-C) and
+  :class:`TableSelect` (the Table I relational subset)
+
+Path patterns are composition trees over :class:`PathAtom` (a linear
+path of alternating vertex/edge steps) using :class:`PathAnd` /
+:class:`PathOr` (Section II-B3).  Expressions reuse
+:mod:`repro.storage.expr` nodes directly — the parser emits them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.dtypes import DataType
+from repro.storage.expr import ColRef, Expr
+from repro.storage.schema import Schema
+
+LABEL_SET = "def"
+LABEL_FOREACH = "foreach"
+
+DIR_OUT = "out"
+DIR_IN = "in"
+
+REGEX_STAR = "star"
+REGEX_PLUS = "plus"
+REGEX_COUNT = "count"
+
+INTO_TABLE = "table"
+INTO_SUBGRAPH = "subgraph"
+
+
+class Node:
+    """Base AST node with structural equality."""
+
+    __slots__ = ()
+
+    def _fields(self) -> tuple:
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._fields() == other._fields()
+
+    def __hash__(self) -> int:
+        def freeze(v):
+            if isinstance(v, list):
+                return tuple(freeze(x) for x in v)
+            return v
+
+        return hash((type(self).__name__,) + tuple(freeze(f) for f in self._fields()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s}={getattr(self, s)!r}" for s in self.__slots__)
+        return f"{type(self).__name__}({inner})"
+
+
+class Statement(Node):
+    """Base class for top-level statements."""
+
+    __slots__ = ()
+
+
+class Script(Node):
+    """A GraQL script: Omega = q1, q2, ..., qn (Section III)."""
+
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Statement]) -> None:
+        self.statements = list(statements)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+# ----------------------------------------------------------------------
+# DDL
+# ----------------------------------------------------------------------
+
+class CreateTable(Statement):
+    """``create table Name ( col type, ... )``"""
+
+    __slots__ = ("name", "schema")
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+
+
+class CreateVertex(Statement):
+    """``create vertex Name(keycols) from table T [where cond]`` (Eq. 1)."""
+
+    __slots__ = ("name", "key_cols", "table", "where")
+
+    def __init__(
+        self,
+        name: str,
+        key_cols: Sequence[str],
+        table: str,
+        where: Optional[Expr] = None,
+    ) -> None:
+        self.name = name
+        self.key_cols = list(key_cols)
+        self.table = table
+        self.where = where
+
+
+class VertexEndpoint(Node):
+    """One endpoint in ``with vertices (Type [as Alias], ...)``."""
+
+    __slots__ = ("type_name", "alias")
+
+    def __init__(self, type_name: str, alias: Optional[str] = None) -> None:
+        self.type_name = type_name
+        self.alias = alias
+
+    @property
+    def ref_name(self) -> str:
+        """The name conditions use to refer to this endpoint."""
+        return self.alias or self.type_name
+
+
+class CreateEdge(Statement):
+    """``create edge Name with vertices (S, T) [from table A...] where cond``
+    (Eq. 2).  Direction: source -> target follows declaration order."""
+
+    __slots__ = ("name", "source", "target", "from_tables", "where")
+
+    def __init__(
+        self,
+        name: str,
+        source: VertexEndpoint,
+        target: VertexEndpoint,
+        from_tables: Sequence[str] = (),
+        where: Optional[Expr] = None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.target = target
+        self.from_tables = list(from_tables)
+        self.where = where
+
+
+class Ingest(Statement):
+    """``ingest table Name file.csv`` (Section II-A2, atomic)."""
+
+    __slots__ = ("table", "path")
+
+    def __init__(self, table: str, path: str) -> None:
+        self.table = table
+        self.path = path
+
+
+# ----------------------------------------------------------------------
+# Path patterns
+# ----------------------------------------------------------------------
+
+class Label(Node):
+    """A step label: ``def X:`` (set) or ``foreach x:`` (element-wise)."""
+
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: str, name: str) -> None:
+        assert kind in (LABEL_SET, LABEL_FOREACH)
+        self.kind = kind
+        self.name = name
+
+
+class VertexStep(Node):
+    """One vertex step in a path.
+
+    ``name`` is the vertex-type name, a previously-defined label name
+    (resolved during binding), or None for a variant step ``[ ]``.
+    ``seed`` names a result subgraph used to restrict this step
+    (``resQ1.Vn(...)``, Fig. 12).
+    """
+
+    __slots__ = ("name", "is_variant", "cond", "label", "seed")
+
+    def __init__(
+        self,
+        name: Optional[str],
+        is_variant: bool = False,
+        cond: Optional[Expr] = None,
+        label: Optional[Label] = None,
+        seed: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.is_variant = is_variant
+        self.cond = cond
+        self.label = label
+        self.seed = seed
+
+
+class EdgeStep(Node):
+    """One edge step: ``--name(cond)-->`` (out) or ``<--name(cond)--`` (in).
+
+    Variant edges are ``--[]-->`` / ``<--[]--`` with ``name=None``.
+    """
+
+    __slots__ = ("name", "is_variant", "cond", "direction", "label")
+
+    def __init__(
+        self,
+        name: Optional[str],
+        direction: str,
+        is_variant: bool = False,
+        cond: Optional[Expr] = None,
+        label: Optional[Label] = None,
+    ) -> None:
+        assert direction in (DIR_OUT, DIR_IN)
+        self.name = name
+        self.is_variant = is_variant
+        self.cond = cond
+        self.direction = direction
+        self.label = label
+
+
+class RegexGroup(Node):
+    """A path regular expression over (edge, vertex) pairs (Fig. 10).
+
+    Appears in edge position: ``V1 ( --[]--> [] )+ V2``.  Each unrolling
+    appends the group's pairs; the final vertex of the last unrolling is
+    unified with the following vertex step.  ``op`` is ``star`` (k >= 0),
+    ``plus`` (k >= 1) or ``count`` with exact ``count=k``.
+    """
+
+    __slots__ = ("pairs", "op", "count")
+
+    def __init__(
+        self,
+        pairs: Sequence[tuple[EdgeStep, VertexStep]],
+        op: str,
+        count: Optional[int] = None,
+    ) -> None:
+        assert op in (REGEX_STAR, REGEX_PLUS, REGEX_COUNT)
+        self.pairs = [tuple(p) for p in pairs]
+        self.op = op
+        self.count = count
+
+
+class PathAtom(Node):
+    """A linear path: vertex (edge-or-regex vertex)* (Eq. 3)."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[Node]) -> None:
+        self.steps = list(steps)
+
+    def vertex_steps(self) -> list[VertexStep]:
+        return [s for s in self.steps if isinstance(s, VertexStep)]
+
+    def edge_steps(self) -> list[EdgeStep]:
+        return [s for s in self.steps if isinstance(s, EdgeStep)]
+
+
+class PathAnd(Node):
+    """``and`` composition of two patterns (shared labels, Section II-B3)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Node, right: Node) -> None:
+        self.left = left
+        self.right = right
+
+
+class PathOr(Node):
+    """``or`` composition: union of the matched subgraphs."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Node, right: Node) -> None:
+        self.left = left
+        self.right = right
+
+
+def atoms(pattern: Node) -> list[PathAtom]:
+    """All PathAtoms of a composition tree, left to right."""
+    if isinstance(pattern, PathAtom):
+        return [pattern]
+    assert isinstance(pattern, (PathAnd, PathOr))
+    return atoms(pattern.left) + atoms(pattern.right)
+
+
+# ----------------------------------------------------------------------
+# Select statements
+# ----------------------------------------------------------------------
+
+class SelectItem(Node):
+    """Base for items in a select list."""
+
+    __slots__ = ()
+
+
+class StarItem(SelectItem):
+    """``select *``"""
+
+    __slots__ = ()
+
+
+class AttrItem(SelectItem):
+    """``select TypeVtx.id`` / ``select y.id as pid`` / ``select id``."""
+
+    __slots__ = ("ref", "alias")
+
+    def __init__(self, ref: ColRef, alias: Optional[str] = None) -> None:
+        self.ref = ref
+        self.alias = alias
+
+
+class StepItem(SelectItem):
+    """``select V0, Vn`` — a whole step by type or label name (Fig. 11)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class AggItem(SelectItem):
+    """``count(*) as groupCount`` and friends (Table I)."""
+
+    __slots__ = ("func", "arg", "alias")
+
+    def __init__(self, func: str, arg: Optional[str], alias: Optional[str] = None) -> None:
+        self.func = func
+        self.arg = arg  # None means '*'
+        self.alias = alias
+
+
+class IntoClause(Node):
+    """``into table T`` / ``into subgraph G`` (Section II-C)."""
+
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: str, name: str) -> None:
+        assert kind in (INTO_TABLE, INTO_SUBGRAPH)
+        self.kind = kind
+        self.name = name
+
+
+class GraphSelect(Statement):
+    """``select items from graph <pattern> [into ...]``"""
+
+    __slots__ = ("items", "pattern", "into")
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        pattern: Node,
+        into: Optional[IntoClause] = None,
+    ) -> None:
+        self.items = list(items)
+        self.pattern = pattern
+        self.into = into
+
+
+class OrderKey(Node):
+    """One ``order by`` key."""
+
+    __slots__ = ("column", "ascending")
+
+    def __init__(self, column: str, ascending: bool = True) -> None:
+        self.column = column
+        self.ascending = ascending
+
+
+class TableSelect(Statement):
+    """``select [top n] [distinct] items from table T [where] [group by]
+    [order by] [into table X]`` — the Table I relational subset."""
+
+    __slots__ = (
+        "items",
+        "source",
+        "top",
+        "distinct",
+        "where",
+        "group_by",
+        "order_by",
+        "into",
+    )
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        source: str,
+        top: Optional[int] = None,
+        distinct: bool = False,
+        where: Optional[Expr] = None,
+        group_by: Sequence[str] = (),
+        order_by: Sequence[OrderKey] = (),
+        into: Optional[IntoClause] = None,
+    ) -> None:
+        self.items = list(items)
+        self.source = source
+        self.top = top
+        self.distinct = distinct
+        self.where = where
+        self.group_by = list(group_by)
+        self.order_by = list(order_by)
+        self.into = into

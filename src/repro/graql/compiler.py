@@ -1,0 +1,75 @@
+"""Front-end compilation: text -> AST -> static checks -> binary IR.
+
+This is the paper's front-end pipeline in one call: a GraQL script is
+parsed, parameter-substituted, statically analyzed against the catalog
+(Section III-A), and compiled to the binary IR (Section III) that the
+front-end server ships to the backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.catalog import Catalog
+from repro.graql.ast import Script, Statement
+from repro.graql.ir import encode_statement
+from repro.graql.params import substitute_statement
+from repro.graql.parser import parse_script
+from repro.graql.typecheck import check_script
+
+
+class CompiledStatement:
+    """One statement ready for backend execution."""
+
+    def __init__(self, statement: Statement, ir: bytes, checked: object) -> None:
+        self.statement = statement
+        self.ir = ir
+        #: the typecheck result (a CheckedGraphSelect for graph queries)
+        self.checked = checked
+
+    @property
+    def ir_size(self) -> int:
+        return len(self.ir)
+
+    def __repr__(self) -> str:
+        return f"CompiledStatement({type(self.statement).__name__}, ir={len(self.ir)}B)"
+
+
+class CompiledProgram:
+    """A compiled script: the unit shipped to the backend cluster."""
+
+    def __init__(self, statements: list[CompiledStatement]) -> None:
+        self.statements = statements
+
+    @property
+    def total_ir_size(self) -> int:
+        return sum(s.ir_size for s in self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+def compile_script(
+    source: str | Script,
+    catalog: Catalog,
+    params: Optional[Mapping[str, Any]] = None,
+) -> CompiledProgram:
+    """Parse, substitute, check and encode a script.
+
+    Raises :class:`~repro.errors.ParseError` /
+    :class:`~repro.errors.TypeCheckError` without touching any data —
+    everything here is front-end work against catalog metadata only.
+    """
+    script = parse_script(source) if isinstance(source, str) else source
+    if params:
+        script = Script(
+            [substitute_statement(s, params) for s in script.statements]
+        )
+    checked = check_script(script, catalog)
+    compiled = []
+    for stmt, chk in zip(script.statements, checked):
+        compiled.append(CompiledStatement(stmt, encode_statement(stmt), chk))
+    return CompiledProgram(compiled)

@@ -1,0 +1,596 @@
+"""Binary intermediate representation (paper Section III).
+
+    "A GraQL script is parsed and compiled into a high-level binary
+    intermediate representation (IR) that is a convenient mechanism for
+    moving the query script from the front-end portion of the GEMS system
+    to the backend for execution."
+
+The IR is a compact tagged binary encoding of the (parameter-substituted)
+AST: a one-byte tag per node, varint-style lengths, UTF-8 strings, and
+little-endian scalars.  ``decode(encode(x)) == x`` is a property-tested
+invariant, and the front-end server ships exactly these bytes to the
+backend cluster (:mod:`repro.dist` measures them as part of the message
+accounting).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.dtypes import parse_type_name
+from repro.errors import IRError
+from repro.graql.ast import (
+    AggItem,
+    AttrItem,
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    EdgeStep,
+    GraphSelect,
+    Ingest,
+    IntoClause,
+    Label,
+    OrderKey,
+    PathAnd,
+    PathAtom,
+    PathOr,
+    RegexGroup,
+    Script,
+    StarItem,
+    Statement,
+    StepItem,
+    TableSelect,
+    VertexEndpoint,
+    VertexStep,
+)
+from repro.storage.expr import BinOp, ColRef, Const, Expr, IsNull, Not, Param
+from repro.storage.schema import ColumnDef, Schema
+
+MAGIC = b"GQIR"
+VERSION = 1
+
+# node tags
+_T_NONE = 0x00
+_T_CREATE_TABLE = 0x01
+_T_CREATE_VERTEX = 0x02
+_T_CREATE_EDGE = 0x03
+_T_INGEST = 0x04
+_T_GRAPH_SELECT = 0x05
+_T_TABLE_SELECT = 0x06
+_T_PATH_ATOM = 0x10
+_T_PATH_AND = 0x11
+_T_PATH_OR = 0x12
+_T_VSTEP = 0x13
+_T_ESTEP = 0x14
+_T_REGEX = 0x15
+_T_STAR_ITEM = 0x20
+_T_ATTR_ITEM = 0x21
+_T_STEP_ITEM = 0x22
+_T_AGG_ITEM = 0x23
+_T_CONST_INT = 0x30
+_T_CONST_FLOAT = 0x31
+_T_CONST_STR = 0x32
+_T_CONST_BOOL = 0x33
+_T_PARAM = 0x34
+_T_COLREF = 0x35
+_T_BINOP = 0x36
+_T_NOT = 0x37
+_T_ISNULL = 0x38
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.parts: list[bytes] = []
+
+    def tag(self, t: int) -> None:
+        self.parts.append(bytes([t]))
+
+    def u8(self, v: int) -> None:
+        self.parts.append(bytes([v & 0xFF]))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(struct.pack("<I", v))
+
+    def i64(self, v: int) -> None:
+        self.parts.append(struct.pack("<q", v))
+
+    def f64(self, v: float) -> None:
+        self.parts.append(struct.pack("<d", v))
+
+    def string(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.u32(len(raw))
+        self.parts.append(raw)
+
+    def opt_string(self, s: str | None) -> None:
+        if s is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.string(s)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def tag(self) -> int:
+        return self.u8()
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise IRError("truncated IR stream")
+        v = self.data[self.pos]
+        self.pos += 1
+        return v
+
+    def u32(self) -> int:
+        v = struct.unpack_from("<I", self.data, self.pos)[0]
+        self.pos += 4
+        return v
+
+    def i64(self) -> int:
+        v = struct.unpack_from("<q", self.data, self.pos)[0]
+        self.pos += 8
+        return v
+
+    def f64(self) -> float:
+        v = struct.unpack_from("<d", self.data, self.pos)[0]
+        self.pos += 8
+        return v
+
+    def string(self) -> str:
+        n = self.u32()
+        raw = self.data[self.pos : self.pos + n]
+        if len(raw) != n:
+            raise IRError("truncated IR string")
+        self.pos += n
+        return raw.decode("utf-8")
+
+    def opt_string(self) -> str | None:
+        return self.string() if self.u8() else None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+def _enc_expr(w: _Writer, e: Expr | None) -> None:
+    if e is None:
+        w.tag(_T_NONE)
+        return
+    if isinstance(e, Const):
+        if e.dtype.kind == "bool":
+            w.tag(_T_CONST_BOOL)
+            w.u8(1 if e.value else 0)
+        elif isinstance(e.value, int):
+            w.tag(_T_CONST_INT)
+            w.i64(e.value)
+        elif isinstance(e.value, float):
+            w.tag(_T_CONST_FLOAT)
+            w.f64(e.value)
+        elif isinstance(e.value, str):
+            w.tag(_T_CONST_STR)
+            w.string(e.value)
+        else:
+            raise IRError(f"cannot encode constant {e.value!r}")
+    elif isinstance(e, Param):
+        w.tag(_T_PARAM)
+        w.string(e.name)
+    elif isinstance(e, ColRef):
+        w.tag(_T_COLREF)
+        w.opt_string(e.qualifier)
+        w.string(e.name)
+    elif isinstance(e, BinOp):
+        w.tag(_T_BINOP)
+        w.string(e.op)
+        _enc_expr(w, e.left)
+        _enc_expr(w, e.right)
+    elif isinstance(e, Not):
+        w.tag(_T_NOT)
+        _enc_expr(w, e.operand)
+    elif isinstance(e, IsNull):
+        w.tag(_T_ISNULL)
+        w.u8(1 if e.negated else 0)
+        _enc_expr(w, e.operand)
+    else:
+        raise IRError(f"cannot encode expression node {type(e).__name__}")
+
+
+def _dec_expr(r: _Reader) -> Expr | None:
+    t = r.tag()
+    if t == _T_NONE:
+        return None
+    if t == _T_CONST_INT:
+        return Const(r.i64())
+    if t == _T_CONST_FLOAT:
+        return Const(r.f64())
+    if t == _T_CONST_STR:
+        return Const(r.string())
+    if t == _T_CONST_BOOL:
+        return Const(bool(r.u8()))
+    if t == _T_PARAM:
+        return Param(r.string())
+    if t == _T_COLREF:
+        q = r.opt_string()
+        return ColRef(q, r.string())
+    if t == _T_BINOP:
+        op = r.string()
+        left = _dec_expr(r)
+        right = _dec_expr(r)
+        return BinOp(op, left, right)
+    if t == _T_NOT:
+        return Not(_dec_expr(r))
+    if t == _T_ISNULL:
+        neg = bool(r.u8())
+        return IsNull(_dec_expr(r), neg)
+    raise IRError(f"unknown expression tag 0x{t:02x}")
+
+
+# ----------------------------------------------------------------------
+# Steps and patterns
+# ----------------------------------------------------------------------
+
+def _enc_label(w: _Writer, label: Label | None) -> None:
+    if label is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.string(label.kind)
+        w.string(label.name)
+
+
+def _dec_label(r: _Reader) -> Label | None:
+    if not r.u8():
+        return None
+    kind = r.string()
+    return Label(kind, r.string())
+
+
+def _enc_vstep(w: _Writer, s: VertexStep) -> None:
+    w.tag(_T_VSTEP)
+    w.opt_string(s.name)
+    w.u8(1 if s.is_variant else 0)
+    _enc_expr(w, s.cond)
+    _enc_label(w, s.label)
+    w.opt_string(s.seed)
+
+
+def _dec_vstep(r: _Reader) -> VertexStep:
+    t = r.tag()
+    if t != _T_VSTEP:
+        raise IRError(f"expected vertex step, got tag 0x{t:02x}")
+    name = r.opt_string()
+    is_variant = bool(r.u8())
+    cond = _dec_expr(r)
+    label = _dec_label(r)
+    seed = r.opt_string()
+    return VertexStep(name, is_variant, cond, label, seed)
+
+
+def _enc_estep(w: _Writer, s: EdgeStep) -> None:
+    w.tag(_T_ESTEP)
+    w.opt_string(s.name)
+    w.string(s.direction)
+    w.u8(1 if s.is_variant else 0)
+    _enc_expr(w, s.cond)
+    _enc_label(w, s.label)
+
+
+def _dec_estep(r: _Reader) -> EdgeStep:
+    t = r.tag()
+    if t != _T_ESTEP:
+        raise IRError(f"expected edge step, got tag 0x{t:02x}")
+    name = r.opt_string()
+    direction = r.string()
+    is_variant = bool(r.u8())
+    cond = _dec_expr(r)
+    label = _dec_label(r)
+    return EdgeStep(name, direction, is_variant, cond, label)
+
+
+def _enc_pattern(w: _Writer, node: Any) -> None:
+    if isinstance(node, PathAtom):
+        w.tag(_T_PATH_ATOM)
+        w.u32(len(node.steps))
+        for s in node.steps:
+            if isinstance(s, VertexStep):
+                _enc_vstep(w, s)
+            elif isinstance(s, EdgeStep):
+                _enc_estep(w, s)
+            else:
+                assert isinstance(s, RegexGroup)
+                w.tag(_T_REGEX)
+                w.string(s.op)
+                w.i64(s.count if s.count is not None else -1)
+                w.u32(len(s.pairs))
+                for e, v in s.pairs:
+                    _enc_estep(w, e)
+                    _enc_vstep(w, v)
+    elif isinstance(node, PathAnd):
+        w.tag(_T_PATH_AND)
+        _enc_pattern(w, node.left)
+        _enc_pattern(w, node.right)
+    else:
+        assert isinstance(node, PathOr)
+        w.tag(_T_PATH_OR)
+        _enc_pattern(w, node.left)
+        _enc_pattern(w, node.right)
+
+
+def _dec_pattern(r: _Reader) -> Any:
+    t = r.tag()
+    if t == _T_PATH_ATOM:
+        n = r.u32()
+        steps: list[Any] = []
+        i = 0
+        while i < n:
+            peek = r.data[r.pos]
+            if peek == _T_VSTEP:
+                steps.append(_dec_vstep(r))
+            elif peek == _T_ESTEP:
+                steps.append(_dec_estep(r))
+            elif peek == _T_REGEX:
+                r.tag()
+                op = r.string()
+                count = r.i64()
+                pairs_n = r.u32()
+                pairs = []
+                for _ in range(pairs_n):
+                    e = _dec_estep(r)
+                    v = _dec_vstep(r)
+                    pairs.append((e, v))
+                steps.append(
+                    RegexGroup(pairs, op, count if count >= 0 else None)
+                )
+            else:
+                raise IRError(f"unexpected step tag 0x{peek:02x}")
+            i += 1
+        return PathAtom(steps)
+    if t == _T_PATH_AND:
+        left = _dec_pattern(r)
+        return PathAnd(left, _dec_pattern(r))
+    if t == _T_PATH_OR:
+        left = _dec_pattern(r)
+        return PathOr(left, _dec_pattern(r))
+    raise IRError(f"unknown pattern tag 0x{t:02x}")
+
+
+# ----------------------------------------------------------------------
+# Select items / into
+# ----------------------------------------------------------------------
+
+def _enc_items(w: _Writer, items: list) -> None:
+    w.u32(len(items))
+    for item in items:
+        if isinstance(item, StarItem):
+            w.tag(_T_STAR_ITEM)
+        elif isinstance(item, AttrItem):
+            w.tag(_T_ATTR_ITEM)
+            w.opt_string(item.ref.qualifier)
+            w.string(item.ref.name)
+            w.opt_string(item.alias)
+        elif isinstance(item, StepItem):
+            w.tag(_T_STEP_ITEM)
+            w.string(item.name)
+        else:
+            assert isinstance(item, AggItem)
+            w.tag(_T_AGG_ITEM)
+            w.string(item.func)
+            w.opt_string(item.arg)
+            w.opt_string(item.alias)
+
+
+def _dec_items(r: _Reader) -> list:
+    n = r.u32()
+    items = []
+    for _ in range(n):
+        t = r.tag()
+        if t == _T_STAR_ITEM:
+            items.append(StarItem())
+        elif t == _T_ATTR_ITEM:
+            q = r.opt_string()
+            name = r.string()
+            alias = r.opt_string()
+            items.append(AttrItem(ColRef(q, name), alias))
+        elif t == _T_STEP_ITEM:
+            items.append(StepItem(r.string()))
+        elif t == _T_AGG_ITEM:
+            func = r.string()
+            arg = r.opt_string()
+            alias = r.opt_string()
+            items.append(AggItem(func, arg, alias))
+        else:
+            raise IRError(f"unknown item tag 0x{t:02x}")
+    return items
+
+
+def _enc_into(w: _Writer, into: IntoClause | None) -> None:
+    if into is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.string(into.kind)
+        w.string(into.name)
+
+
+def _dec_into(r: _Reader) -> IntoClause | None:
+    if not r.u8():
+        return None
+    kind = r.string()
+    return IntoClause(kind, r.string())
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+def encode_statement(stmt: Statement) -> bytes:
+    """Encode one statement to IR bytes (with header)."""
+    w = _Writer()
+    w.parts.append(MAGIC)
+    w.u8(VERSION)
+    _enc_statement(w, stmt)
+    return w.getvalue()
+
+
+def _enc_statement(w: _Writer, stmt: Statement) -> None:
+    if isinstance(stmt, CreateTable):
+        w.tag(_T_CREATE_TABLE)
+        w.string(stmt.name)
+        w.u32(len(stmt.schema))
+        for c in stmt.schema:
+            w.string(c.name)
+            w.string(c.dtype.ddl())
+    elif isinstance(stmt, CreateVertex):
+        w.tag(_T_CREATE_VERTEX)
+        w.string(stmt.name)
+        w.u32(len(stmt.key_cols))
+        for k in stmt.key_cols:
+            w.string(k)
+        w.string(stmt.table)
+        _enc_expr(w, stmt.where)
+    elif isinstance(stmt, CreateEdge):
+        w.tag(_T_CREATE_EDGE)
+        w.string(stmt.name)
+        w.string(stmt.source.type_name)
+        w.opt_string(stmt.source.alias)
+        w.string(stmt.target.type_name)
+        w.opt_string(stmt.target.alias)
+        w.u32(len(stmt.from_tables))
+        for t in stmt.from_tables:
+            w.string(t)
+        _enc_expr(w, stmt.where)
+    elif isinstance(stmt, Ingest):
+        w.tag(_T_INGEST)
+        w.string(stmt.table)
+        w.string(stmt.path)
+    elif isinstance(stmt, GraphSelect):
+        w.tag(_T_GRAPH_SELECT)
+        _enc_items(w, stmt.items)
+        _enc_pattern(w, stmt.pattern)
+        _enc_into(w, stmt.into)
+    else:
+        assert isinstance(stmt, TableSelect)
+        w.tag(_T_TABLE_SELECT)
+        _enc_items(w, stmt.items)
+        w.string(stmt.source)
+        w.i64(stmt.top if stmt.top is not None else -1)
+        w.u8(1 if stmt.distinct else 0)
+        _enc_expr(w, stmt.where)
+        w.u32(len(stmt.group_by))
+        for g in stmt.group_by:
+            w.string(g)
+        w.u32(len(stmt.order_by))
+        for k in stmt.order_by:
+            w.string(k.column)
+            w.u8(1 if k.ascending else 0)
+        _enc_into(w, stmt.into)
+
+
+def decode_statement(data: bytes) -> Statement:
+    """Decode IR bytes back into a statement AST."""
+    r = _Reader(data)
+    if r.data[:4] != MAGIC:
+        raise IRError("bad IR magic")
+    r.pos = 4
+    version = r.u8()
+    if version != VERSION:
+        raise IRError(f"unsupported IR version {version}")
+    return _dec_statement(r)
+
+
+def _dec_statement(r: _Reader) -> Statement:
+    t = r.tag()
+    if t == _T_CREATE_TABLE:
+        name = r.string()
+        n = r.u32()
+        cols = []
+        for _ in range(n):
+            cname = r.string()
+            cols.append(ColumnDef(cname, parse_type_name(r.string())))
+        return CreateTable(name, Schema(cols))
+    if t == _T_CREATE_VERTEX:
+        name = r.string()
+        n = r.u32()
+        keys = [r.string() for _ in range(n)]
+        table = r.string()
+        where = _dec_expr(r)
+        return CreateVertex(name, keys, table, where)
+    if t == _T_CREATE_EDGE:
+        name = r.string()
+        stype = r.string()
+        salias = r.opt_string()
+        ttype = r.string()
+        talias = r.opt_string()
+        n = r.u32()
+        tables = [r.string() for _ in range(n)]
+        where = _dec_expr(r)
+        return CreateEdge(
+            name,
+            VertexEndpoint(stype, salias),
+            VertexEndpoint(ttype, talias),
+            tables,
+            where,
+        )
+    if t == _T_INGEST:
+        table = r.string()
+        return Ingest(table, r.string())
+    if t == _T_GRAPH_SELECT:
+        items = _dec_items(r)
+        pattern = _dec_pattern(r)
+        into = _dec_into(r)
+        return GraphSelect(items, pattern, into)
+    if t == _T_TABLE_SELECT:
+        items = _dec_items(r)
+        source = r.string()
+        top = r.i64()
+        distinct = bool(r.u8())
+        where = _dec_expr(r)
+        n = r.u32()
+        group_by = [r.string() for _ in range(n)]
+        n = r.u32()
+        order_by = []
+        for _ in range(n):
+            col = r.string()
+            order_by.append(OrderKey(col, bool(r.u8())))
+        into = _dec_into(r)
+        return TableSelect(
+            items,
+            source,
+            top if top >= 0 else None,
+            distinct,
+            where,
+            group_by,
+            order_by,
+            into,
+        )
+    raise IRError(f"unknown statement tag 0x{t:02x}")
+
+
+def encode_script(script: Script) -> bytes:
+    """Encode a whole script: header + statement count + bodies."""
+    w = _Writer()
+    w.parts.append(MAGIC)
+    w.u8(VERSION)
+    w.u32(len(script.statements))
+    for stmt in script.statements:
+        _enc_statement(w, stmt)
+    return w.getvalue()
+
+
+def decode_script(data: bytes) -> Script:
+    r = _Reader(data)
+    if r.data[:4] != MAGIC:
+        raise IRError("bad IR magic")
+    r.pos = 4
+    version = r.u8()
+    if version != VERSION:
+        raise IRError(f"unsupported IR version {version}")
+    n = r.u32()
+    return Script([_dec_statement(r) for _ in range(n)])

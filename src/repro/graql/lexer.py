@@ -1,0 +1,234 @@
+"""Hand-written lexer for GraQL.
+
+The syntactically interesting part is the edge-arrow notation of
+Section II-B: ``--producer-->`` (outedge, left-to-right) and
+``<--reviewer--`` (inedge, right-to-left).  The lexer resolves the clash
+between arrow shafts and arithmetic minus with maximal munch:
+
+* ``<`` immediately followed by two or more dashes lexes as ``LARROW``;
+* a run of two or more dashes followed by ``>`` lexes as ``RARROW``;
+* a bare run of two or more dashes lexes as ``DASHES``;
+* a single dash is arithmetic ``MINUS``.
+
+Comments are ``//`` to end of line (the Appendix-A style).  Keywords are
+case-insensitive; identifiers keep their case (``ProductVtx``).
+Parameters are ``%Name%`` (Berlin-query style).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.graql.tokens import (
+    BANG_NE,
+    COLON,
+    COMMA,
+    DASHES,
+    DOT,
+    EOF,
+    EQ,
+    GE,
+    GT,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    LARROW,
+    LBRACE,
+    LBRACKET,
+    LE,
+    LPAREN,
+    LT,
+    MINUS,
+    NE,
+    NUMBER,
+    PARAM,
+    PLUS,
+    RARROW,
+    RBRACE,
+    RBRACKET,
+    RPAREN,
+    SEMI,
+    SLASH,
+    STAR,
+    STRING,
+    Token,
+)
+
+_SIMPLE = {
+    "(": LPAREN,
+    ")": RPAREN,
+    "[": LBRACKET,
+    "]": RBRACKET,
+    "{": LBRACE,
+    "}": RBRACE,
+    ",": COMMA,
+    ".": DOT,
+    ":": COLON,
+    ";": SEMI,
+    "*": STAR,
+    "+": PLUS,
+    "=": EQ,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex *text* into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def pos() -> tuple[int, int]:
+        return line, i - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        # whitespace / newlines
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # comments: // to end of line
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        ln, col = pos()
+        # dash runs: arrows vs minus
+        if ch == "-":
+            j = i
+            while j < n and text[j] == "-":
+                j += 1
+            run = j - i
+            if run >= 2:
+                if j < n and text[j] == ">":
+                    tokens.append(Token(RARROW, "-->", ln, col))
+                    i = j + 1
+                else:
+                    tokens.append(Token(DASHES, "--", ln, col))
+                    i = j
+            else:
+                tokens.append(Token(MINUS, "-", ln, col))
+                i = j
+            continue
+        if ch == "<":
+            # <-- (inedge arrowhead), <=, <>, or <
+            j = i + 1
+            dash_run = 0
+            while j < n and text[j] == "-":
+                dash_run += 1
+                j += 1
+            if dash_run >= 2:
+                tokens.append(Token(LARROW, "<--", ln, col))
+                i = j
+                continue
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(LE, "<=", ln, col))
+                i += 2
+                continue
+            if i + 1 < n and text[i + 1] == ">":
+                tokens.append(Token(NE, "<>", ln, col))
+                i += 2
+                continue
+            tokens.append(Token(LT, "<", ln, col))
+            i += 1
+            continue
+        if ch == ">":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(GE, ">=", ln, col))
+                i += 2
+            else:
+                tokens.append(Token(GT, ">", ln, col))
+                i += 1
+            continue
+        if ch == "!":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(BANG_NE, "!=", ln, col))
+                i += 2
+                continue
+            raise LexError("unexpected character '!'", ln, col)
+        # strings: single or double quoted, backslash escapes
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                elif text[j] == "\n":
+                    raise LexError("unterminated string literal", ln, col)
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", ln, col)
+            tokens.append(Token(STRING, "".join(buf), ln, col))
+            i = j + 1
+            continue
+        # parameters: %Name%
+        if ch == "%":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j >= n or text[j] != "%" or j == i + 1:
+                raise LexError("malformed parameter (expected %Name%)", ln, col)
+            tokens.append(Token(PARAM, text[i + 1 : j], ln, col))
+            i = j + 1
+            continue
+        # numbers: integer or float (exponents supported).  ASCII digits
+        # only: str.isdigit() accepts unicode digits that int() rejects
+        if "0" <= ch <= "9":
+            j = i
+            while j < n and "0" <= text[j] <= "9":
+                j += 1
+            is_float = False
+            if j < n and text[j] == "." and j + 1 < n and "0" <= text[j + 1] <= "9":
+                is_float = True
+                j += 1
+                while j < n and "0" <= text[j] <= "9":
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and "0" <= text[k] <= "9":
+                    is_float = True
+                    j = k
+                    while j < n and "0" <= text[j] <= "9":
+                        j += 1
+            raw = text[i:j]
+            tokens.append(
+                Token(NUMBER, float(raw) if is_float else int(raw), ln, col)
+            )
+            i = j
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            low = word.lower()
+            if low in KEYWORDS:
+                tokens.append(Token(KEYWORD, low, ln, col))
+            else:
+                tokens.append(Token(IDENT, word, ln, col))
+            i = j
+            continue
+        if ch == "/":
+            tokens.append(Token(SLASH, "/", ln, col))
+            i += 1
+            continue
+        if ch in _SIMPLE:
+            tokens.append(Token(_SIMPLE[ch], ch, ln, col))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", ln, col)
+
+    tokens.append(Token(EOF, None, line, n - line_start + 1))
+    return tokens

@@ -1,0 +1,171 @@
+"""Query-parameter substitution (``%Product1%``, ``%Country2%`` ...).
+
+The Berlin queries (Figs. 6-7) are parameterized templates.  Parameters
+are substituted into the AST *before* static analysis so type checking
+sees concrete literals (a date parameter becomes a string literal that
+the date-coercion rules accept).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Mapping
+
+from repro.errors import ExecutionError
+from repro.graql.ast import (
+    CreateEdge,
+    CreateVertex,
+    EdgeStep,
+    GraphSelect,
+    PathAnd,
+    PathAtom,
+    PathOr,
+    RegexGroup,
+    Script,
+    Statement,
+    TableSelect,
+    VertexStep,
+)
+from repro.storage.expr import Const, Expr, Param, substitute_params
+
+
+def _normalize(values: Mapping[str, Any]) -> dict[str, Const]:
+    out: dict[str, Const] = {}
+    for name, v in values.items():
+        if isinstance(v, Const):
+            out[name] = v
+        elif isinstance(v, _dt.date):
+            out[name] = Const(v.isoformat())
+        elif isinstance(v, (str, int, float, bool)):
+            out[name] = Const(v)
+        else:
+            raise ExecutionError(
+                f"unsupported parameter value for %{name}%: {type(v).__name__}"
+            )
+    return out
+
+
+def _sub_expr(expr: Expr | None, values: dict[str, Const]) -> Expr | None:
+    if expr is None:
+        return None
+    return substitute_params(expr, values)
+
+
+def _sub_pattern(node, values):
+    if isinstance(node, PathAtom):
+        steps = []
+        for s in node.steps:
+            if isinstance(s, VertexStep):
+                steps.append(
+                    VertexStep(
+                        s.name, s.is_variant, _sub_expr(s.cond, values), s.label, s.seed
+                    )
+                )
+            elif isinstance(s, EdgeStep):
+                steps.append(
+                    EdgeStep(
+                        s.name,
+                        s.direction,
+                        s.is_variant,
+                        _sub_expr(s.cond, values),
+                        s.label,
+                    )
+                )
+            else:
+                assert isinstance(s, RegexGroup)
+                pairs = [
+                    (
+                        EdgeStep(
+                            e.name,
+                            e.direction,
+                            e.is_variant,
+                            _sub_expr(e.cond, values),
+                            e.label,
+                        ),
+                        VertexStep(
+                            v.name,
+                            v.is_variant,
+                            _sub_expr(v.cond, values),
+                            v.label,
+                            v.seed,
+                        ),
+                    )
+                    for e, v in s.pairs
+                ]
+                steps.append(RegexGroup(pairs, s.op, s.count))
+        return PathAtom(steps)
+    if isinstance(node, PathAnd):
+        return PathAnd(_sub_pattern(node.left, values), _sub_pattern(node.right, values))
+    assert isinstance(node, PathOr)
+    return PathOr(_sub_pattern(node.left, values), _sub_pattern(node.right, values))
+
+
+def substitute_statement(stmt: Statement, values: Mapping[str, Any]) -> Statement:
+    """Return *stmt* with every ``%Param%`` replaced by a literal."""
+    consts = _normalize(values)
+    if isinstance(stmt, GraphSelect):
+        return GraphSelect(stmt.items, _sub_pattern(stmt.pattern, consts), stmt.into)
+    if isinstance(stmt, TableSelect):
+        return TableSelect(
+            stmt.items,
+            stmt.source,
+            stmt.top,
+            stmt.distinct,
+            _sub_expr(stmt.where, consts),
+            stmt.group_by,
+            stmt.order_by,
+            stmt.into,
+        )
+    if isinstance(stmt, CreateVertex):
+        return CreateVertex(
+            stmt.name, stmt.key_cols, stmt.table, _sub_expr(stmt.where, consts)
+        )
+    if isinstance(stmt, CreateEdge):
+        return CreateEdge(
+            stmt.name,
+            stmt.source,
+            stmt.target,
+            stmt.from_tables,
+            _sub_expr(stmt.where, consts),
+        )
+    return stmt
+
+
+def substitute_script(script: Script, values: Mapping[str, Any]) -> Script:
+    """Parameter-substitute every statement of a script."""
+    return Script([substitute_statement(s, values) for s in script.statements])
+
+
+def unbound_params(stmt: Statement) -> set[str]:
+    """Names of parameters still present in *stmt* (for error reporting)."""
+    found: set[str] = set()
+
+    def scan_expr(e: Expr | None) -> None:
+        if e is None:
+            return
+        for node in e.walk():
+            if isinstance(node, Param):
+                found.add(node.name)
+
+    if isinstance(stmt, (CreateVertex,)):
+        scan_expr(stmt.where)
+    elif isinstance(stmt, CreateEdge):
+        scan_expr(stmt.where)
+    elif isinstance(stmt, TableSelect):
+        scan_expr(stmt.where)
+    elif isinstance(stmt, GraphSelect):
+        def scan_pattern(node):
+            if isinstance(node, PathAtom):
+                for s in node.steps:
+                    if isinstance(s, (VertexStep, EdgeStep)):
+                        scan_expr(s.cond)
+                    elif isinstance(s, RegexGroup):
+                        for e, v in s.pairs:
+                            scan_expr(e.cond)
+                            scan_expr(v.cond)
+            else:
+                scan_pattern(node.left)
+                scan_pattern(node.right)
+
+        scan_pattern(stmt.pattern)
+    return found

@@ -1,0 +1,247 @@
+"""AST → GraQL source rendering.
+
+``parse_script(pretty_script(ast)) == ast`` is a tested invariant
+(property-based round-trip in ``tests/properties/test_property_parser.py``), which
+makes the printer a reliable way to materialize programmatically-built
+queries — the workload generators use it to emit their query catalogs.
+"""
+
+from __future__ import annotations
+
+from repro.graql.ast import (
+    AggItem,
+    AttrItem,
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    DIR_OUT,
+    EdgeStep,
+    GraphSelect,
+    Ingest,
+    IntoClause,
+    Label,
+    Node,
+    OrderKey,
+    PathAnd,
+    PathAtom,
+    PathOr,
+    RegexGroup,
+    REGEX_COUNT,
+    REGEX_PLUS,
+    Script,
+    SelectItem,
+    StarItem,
+    Statement,
+    StepItem,
+    TableSelect,
+    VertexStep,
+)
+from repro.storage.expr import (
+    BinOp,
+    ColRef,
+    Const,
+    Expr,
+    IsNull,
+    Not,
+    Param,
+)
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4,
+    "<>": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+}
+
+
+def pretty_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Const):
+        v = expr.value
+        if isinstance(v, str):
+            escaped = v.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        if isinstance(v, bool):
+            return "true" if v else "false"
+        if expr.dtype.kind == "bool":
+            return "true" if v else "false"
+        return repr(v)
+    if isinstance(expr, Param):
+        return f"%{expr.name}%"
+    if isinstance(expr, ColRef):
+        return f"{expr.qualifier}.{expr.name}" if expr.qualifier else expr.name
+    if isinstance(expr, Not):
+        inner = pretty_expr(expr.operand, 3)
+        text = f"not {inner}"
+        if parent_prec > 3:  # 'not' cannot appear inside comparisons bare
+            return f"({text})"
+        return text
+    if isinstance(expr, IsNull):
+        # 'is null' binds like a comparison (precedence 4); the parser
+        # cannot chain it, so wrap whenever a comparison context encloses
+        inner = pretty_expr(expr.operand, 5)
+        text = f"{inner} is {'not ' if expr.negated else ''}null"
+        if parent_prec >= 4:
+            return f"({text})"
+        return text
+    assert isinstance(expr, BinOp)
+    prec = _PRECEDENCE[expr.op]
+    # comparisons are non-associative: both operands must bind tighter;
+    # other operators are left-associative: only the right side does
+    left_prec = prec + 1 if prec == 4 else prec
+    left = pretty_expr(expr.left, left_prec)
+    right = pretty_expr(expr.right, prec + 1)
+    text = f"{left} {expr.op} {right}"
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _pretty_label(label: Label | None) -> str:
+    return f"{label.kind} {label.name}: " if label else ""
+
+
+def _pretty_vstep(step: VertexStep) -> str:
+    out = _pretty_label(step.label)
+    if step.is_variant:
+        return out + "[ ]"
+    name = f"{step.seed}.{step.name}" if step.seed else step.name
+    out += name
+    if step.cond is not None:
+        out += f" ({pretty_expr(step.cond)})"
+    return out
+
+
+def _pretty_estep(step: EdgeStep) -> str:
+    core = _pretty_label(step.label)
+    core += "[ ]" if step.is_variant else step.name
+    if step.cond is not None:
+        core += f"({pretty_expr(step.cond)})"
+    if step.direction == DIR_OUT:
+        return f"--{core}-->"
+    return f"<--{core}--"
+
+
+def _pretty_regex(group: RegexGroup) -> str:
+    inner = " ".join(
+        f"{_pretty_estep(e)} {_pretty_vstep(v)}" for e, v in group.pairs
+    )
+    if group.op == REGEX_PLUS:
+        op = "+"
+    elif group.op == REGEX_COUNT:
+        op = f"{{{group.count}}}"
+    else:
+        op = "*"
+    return f"( {inner} ){op}"
+
+
+def pretty_pattern(pattern: Node) -> str:
+    """Render a path-pattern composition tree."""
+    if isinstance(pattern, PathAtom):
+        parts = []
+        for step in pattern.steps:
+            if isinstance(step, VertexStep):
+                parts.append(_pretty_vstep(step))
+            elif isinstance(step, EdgeStep):
+                parts.append(_pretty_estep(step))
+            else:
+                assert isinstance(step, RegexGroup)
+                parts.append(_pretty_regex(step))
+        return " ".join(parts)
+    if isinstance(pattern, PathAnd):
+        return (
+            f"{pretty_pattern(pattern.left)} and ({pretty_pattern(pattern.right)})"
+        )
+    assert isinstance(pattern, PathOr)
+    return f"{pretty_pattern(pattern.left)} or ({pretty_pattern(pattern.right)})"
+
+
+def _pretty_item(item: SelectItem) -> str:
+    if isinstance(item, StarItem):
+        return "*"
+    if isinstance(item, StepItem):
+        return item.name
+    if isinstance(item, AggItem):
+        arg = item.arg if item.arg is not None else "*"
+        out = f"{item.func}({arg})"
+        return f"{out} as {item.alias}" if item.alias else out
+    assert isinstance(item, AttrItem)
+    ref = item.ref
+    out = f"{ref.qualifier}.{ref.name}" if ref.qualifier else ref.name
+    return f"{out} as {item.alias}" if item.alias else out
+
+
+def _pretty_into(into: IntoClause | None) -> str:
+    if into is None:
+        return ""
+    return f" into {into.kind} {into.name}"
+
+
+def pretty_statement(stmt: Statement) -> str:
+    """Render one statement as GraQL source."""
+    if isinstance(stmt, CreateTable):
+        return f"create table {stmt.name}{stmt.schema.ddl()}"
+    if isinstance(stmt, CreateVertex):
+        keys = ", ".join(stmt.key_cols)
+        out = f"create vertex {stmt.name}({keys})\nfrom table {stmt.table}"
+        if stmt.where is not None:
+            out += f"\nwhere {pretty_expr(stmt.where)}"
+        return out
+    if isinstance(stmt, CreateEdge):
+        def ep(e):
+            return f"{e.type_name} as {e.alias}" if e.alias else e.type_name
+
+        out = (
+            f"create edge {stmt.name} with\n"
+            f"vertices ({ep(stmt.source)}, {ep(stmt.target)})"
+        )
+        if stmt.from_tables:
+            out += f"\nfrom table {', '.join(stmt.from_tables)}"
+        if stmt.where is not None:
+            out += f"\nwhere {pretty_expr(stmt.where)}"
+        return out
+    if isinstance(stmt, Ingest):
+        path = stmt.path
+        if any(c in path for c in " '\"") or path == "":
+            escaped = path.replace("\\", "\\\\").replace("'", "\\'")
+            path = f"'{escaped}'"
+        return f"ingest table {stmt.table} {path}"
+    if isinstance(stmt, GraphSelect):
+        items = ", ".join(_pretty_item(i) for i in stmt.items)
+        return (
+            f"select {items} from graph\n{pretty_pattern(stmt.pattern)}"
+            f"{_pretty_into(stmt.into)}"
+        )
+    assert isinstance(stmt, TableSelect)
+    parts = ["select"]
+    if stmt.top is not None:
+        parts.append(f"top {stmt.top}")
+    if stmt.distinct:
+        parts.append("distinct")
+    parts.append(", ".join(_pretty_item(i) for i in stmt.items))
+    parts.append(f"from table {stmt.source}")
+    if stmt.where is not None:
+        parts.append(f"where {pretty_expr(stmt.where)}")
+    if stmt.group_by:
+        parts.append("group by " + ", ".join(stmt.group_by))
+    if stmt.order_by:
+        keys = ", ".join(
+            f"{k.column} {'asc' if k.ascending else 'desc'}" for k in stmt.order_by
+        )
+        parts.append("order by " + keys)
+    out = " ".join(parts)
+    return out + _pretty_into(stmt.into)
+
+
+def pretty_script(script: Script) -> str:
+    """Render a whole script, statements separated by blank lines."""
+    return "\n\n".join(pretty_statement(s) for s in script.statements)

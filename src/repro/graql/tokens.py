@@ -1,0 +1,97 @@
+"""Token kinds for the GraQL lexer."""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"  # int or float literal
+STRING = "STRING"  # quoted literal
+PARAM = "PARAM"  # %Name%
+KEYWORD = "KEYWORD"  # reserved word, value is lowercase
+
+# punctuation kinds use their own spelling as the kind
+LPAREN = "("
+RPAREN = ")"
+LBRACKET = "["
+RBRACKET = "]"
+LBRACE = "{"
+RBRACE = "}"
+COMMA = ","
+DOT = "."
+COLON = ":"
+SEMI = ";"
+STAR = "*"
+SLASH = "/"
+PLUS = "+"
+MINUS = "-"
+EQ = "="
+LT = "<"
+LE = "<="
+GT = ">"
+GE = ">="
+NE = "<>"
+BANG_NE = "!="
+DASHES = "--"  # run of >= 2 dashes (edge-arrow shaft)
+RARROW = "-->"  # dashes followed by '>'
+LARROW = "<--"  # '<' followed by dashes
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "create",
+        "table",
+        "vertex",
+        "edge",
+        "with",
+        "vertices",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "is",
+        "null",
+        "ingest",
+        "select",
+        "into",
+        "subgraph",
+        "graph",
+        "def",
+        "foreach",
+        "top",
+        "distinct",
+        "group",
+        "by",
+        "order",
+        "asc",
+        "desc",
+        "as",
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "true",
+        "false",
+    }
+)
+
+
+class Token:
+    """A lexical token with source position (1-based line/column)."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value: Any, line: int, column: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"

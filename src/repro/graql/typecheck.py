@@ -1,0 +1,941 @@
+"""Static query analysis (paper Section III-A).
+
+    "Correctness checks include a number of different type checking
+    issues: is the query comparing an attribute with a constant (or other
+    attribute) of the wrong type? ... is the query using an entity of
+    correct type for certain operations? ... is a path query correctly
+    formulated?"
+
+Everything here runs against the :class:`~repro.catalog.Catalog` alone —
+no row data — exactly as the paper's front-end server does.  Checking a
+``GraphSelect`` also *resolves* it: every step is annotated with the set
+of concrete vertex/edge types it can match (singleton for concrete steps,
+several for variant ``[ ]`` steps after neighbor narrowing), labels are
+bound to their defining steps, and cross-step condition references are
+identified.  The resolved pattern is what the planner and executors
+consume.
+
+Feasibility: a variant step with *no* compatible edge type, or a concrete
+edge whose endpoints cannot line up, is reported statically — the paper's
+"will the query result be empty?" check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog import Catalog
+from repro.dtypes import DataType
+from repro.dtypes.datatypes import KIND_BOOL
+from repro.errors import TypeCheckError
+from repro.graql.ast import (
+    AggItem,
+    AttrItem,
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    DIR_OUT,
+    EdgeStep,
+    GraphSelect,
+    Ingest,
+    INTO_SUBGRAPH,
+    INTO_TABLE,
+    Label,
+    LABEL_FOREACH,
+    PathAnd,
+    PathAtom,
+    PathOr,
+    RegexGroup,
+    Script,
+    StarItem,
+    Statement,
+    StepItem,
+    TableSelect,
+    VertexStep,
+)
+from repro.storage.expr import ColRef, Expr, col_refs, infer_type, params
+from repro.storage.relops import AGGREGATE_FUNCS
+
+
+# ----------------------------------------------------------------------
+# Resolved pattern representation (consumed by the planner/executors)
+# ----------------------------------------------------------------------
+
+class RVertexStep:
+    """A resolved vertex step."""
+
+    __slots__ = (
+        "types",
+        "cond",
+        "label",
+        "label_ref",
+        "seed",
+        "is_variant",
+        "cross_refs",
+        "names",
+    )
+
+    def __init__(
+        self,
+        types: list[str],
+        cond: Optional[Expr],
+        label: Optional[Label],
+        label_ref: Optional[str],
+        seed: Optional[str],
+        is_variant: bool,
+        cross_refs: list[str],
+        names: tuple[str, ...],
+    ) -> None:
+        self.types = types  # candidate vertex-type names
+        self.cond = cond
+        self.label = label
+        self.label_ref = label_ref  # earlier label this step re-matches
+        self.seed = seed
+        self.is_variant = is_variant
+        #: qualifiers in ``cond`` referring to *other* steps (labels)
+        self.cross_refs = cross_refs
+        #: names by which conditions/items may refer to this step
+        self.names = names
+
+    @property
+    def single_type(self) -> str:
+        assert len(self.types) == 1
+        return self.types[0]
+
+    def __repr__(self) -> str:
+        return f"RVertexStep(types={self.types}, label={self.label}, ref={self.label_ref})"
+
+
+class REdgeStep:
+    """A resolved edge step."""
+
+    __slots__ = ("names", "direction", "cond", "label", "is_variant", "label_ref")
+
+    def __init__(
+        self,
+        names: list[str],
+        direction: str,
+        cond: Optional[Expr],
+        label: Optional[Label],
+        is_variant: bool,
+        label_ref: Optional[str] = None,
+    ) -> None:
+        self.names = names  # candidate edge-type names
+        self.direction = direction
+        self.cond = cond
+        self.label = label
+        self.is_variant = is_variant
+        #: earlier *edge* label this step re-matches (Eq. 6 for edges)
+        self.label_ref = label_ref
+
+    def __repr__(self) -> str:
+        return f"REdgeStep(names={self.names}, dir={self.direction})"
+
+
+class RRegex:
+    """A resolved path-regex group."""
+
+    __slots__ = ("pairs", "op", "count")
+
+    def __init__(self, pairs: list[tuple[REdgeStep, RVertexStep]], op: str, count: Optional[int]) -> None:
+        self.pairs = pairs
+        self.op = op
+        self.count = count
+
+
+class RAtom:
+    """A resolved linear path."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: list) -> None:
+        self.steps = steps
+
+    def vertex_steps(self) -> list[RVertexStep]:
+        return [s for s in self.steps if isinstance(s, RVertexStep)]
+
+
+class RPattern:
+    """A resolved composition tree plus pattern-wide facts."""
+
+    __slots__ = ("root", "labels", "edge_labels", "needs_bindings", "has_regex")
+
+    def __init__(
+        self,
+        root,
+        labels: dict[str, tuple[str, "RVertexStep"]],
+        needs_bindings: bool,
+        has_regex: bool,
+        edge_labels: Optional[dict[str, tuple[str, "REdgeStep"]]] = None,
+    ) -> None:
+        self.root = root  # RAtom | ('and', l, r) | ('or', l, r)
+        self.labels = labels  # name -> (kind, defining RVertexStep)
+        self.edge_labels = edge_labels or {}
+        self.needs_bindings = needs_bindings
+        self.has_regex = has_regex
+
+    @property
+    def has_edge_labels(self) -> bool:
+        return bool(self.edge_labels)
+
+    def atoms(self) -> list[RAtom]:
+        def walk(node):
+            if isinstance(node, RAtom):
+                return [node]
+            return walk(node[1]) + walk(node[2])
+
+        return walk(self.root)
+
+
+class CheckedGraphSelect:
+    """A type-checked graph select with its resolved pattern."""
+
+    def __init__(self, stmt: GraphSelect, pattern: RPattern) -> None:
+        self.stmt = stmt
+        self.pattern = pattern
+
+
+# ----------------------------------------------------------------------
+# Statement dispatch
+# ----------------------------------------------------------------------
+
+def check_statement(stmt: Statement, catalog: Catalog):
+    """Type-check one statement; returns the statement (or a
+    :class:`CheckedGraphSelect` for graph queries).  Raises
+    :class:`TypeCheckError` / :class:`CatalogError` on violation."""
+    if isinstance(stmt, CreateTable):
+        _check_create_table(stmt, catalog)
+        return stmt
+    if isinstance(stmt, CreateVertex):
+        _check_create_vertex(stmt, catalog)
+        return stmt
+    if isinstance(stmt, CreateEdge):
+        _check_create_edge(stmt, catalog)
+        return stmt
+    if isinstance(stmt, Ingest):
+        catalog.table(stmt.table)
+        return stmt
+    if isinstance(stmt, TableSelect):
+        _check_table_select(stmt, catalog)
+        return stmt
+    assert isinstance(stmt, GraphSelect)
+    return _check_graph_select(stmt, catalog)
+
+
+def check_script(script: Script, catalog: Catalog) -> list:
+    """Check a whole script statement-by-statement.
+
+    DDL statements update a *scratch copy* of the catalog metadata so later
+    statements can reference objects created earlier in the same script
+    (the real objects are built at execution time).
+    """
+    import copy
+
+    scratch = copy.deepcopy(catalog)
+    out = []
+    for stmt in script.statements:
+        out.append(check_statement(stmt, scratch))
+        _apply_ddl_to_catalog(stmt, scratch)
+    return out
+
+
+def _apply_ddl_to_catalog(stmt: Statement, catalog: Catalog) -> None:
+    """Register metadata for objects a statement will create."""
+    from repro.catalog.catalog import EdgeMeta, TableMeta, VertexMeta
+    from repro.catalog.stats import DegreeStats
+    import numpy as np
+
+    empty_stats = DegreeStats(np.empty(0), np.empty(0))
+    if isinstance(stmt, CreateTable):
+        catalog.tables[stmt.name] = TableMeta(stmt.name, stmt.schema, 0, False)
+    elif isinstance(stmt, CreateVertex):
+        table = catalog.table(stmt.table)
+        key_schema = table.schema.subset(stmt.key_cols)
+        # one-to-one is unknowable statically; assume yes (full attributes)
+        catalog.vertices[stmt.name] = VertexMeta(
+            stmt.name, stmt.key_cols, stmt.table, table.schema, True, 0, {}
+        )
+        _ = key_schema
+    elif isinstance(stmt, CreateEdge):
+        attr_schema = (
+            catalog.table(stmt.from_tables[0]).schema
+            if len(stmt.from_tables) == 1
+            else None
+        )
+        from repro.storage.schema import Schema
+
+        catalog.edges[stmt.name] = EdgeMeta(
+            stmt.name,
+            stmt.source.type_name,
+            stmt.target.type_name,
+            attr_schema if attr_schema is not None else Schema([]),
+            0,
+            empty_stats,
+        )
+    elif isinstance(stmt, (GraphSelect, TableSelect)) and stmt.into is not None:
+        if stmt.into.kind == INTO_TABLE:
+            # result schema depends on execution; register a marker so a
+            # later 'from table' reference does not fail statically
+            from repro.storage.schema import Schema
+
+            catalog.tables[stmt.into.name] = TableMeta(
+                stmt.into.name, Schema([]), 0, True
+            )
+        else:
+            catalog.subgraphs[stmt.into.name] = {}
+
+
+# ----------------------------------------------------------------------
+# DDL checks
+# ----------------------------------------------------------------------
+
+def _no_params(expr: Optional[Expr], where: str) -> None:
+    if expr is not None and params(expr):
+        raise TypeCheckError(
+            f"{where}: unsubstituted parameters {sorted(set(params(expr)))}"
+        )
+
+
+def _check_bool(t: DataType, where: str) -> None:
+    if t.kind != KIND_BOOL:
+        raise TypeCheckError(f"{where}: condition is not boolean (got {t.ddl()})")
+
+
+def _check_create_table(stmt: CreateTable, catalog: Catalog) -> None:
+    if catalog.is_table(stmt.name) or catalog.is_vertex(stmt.name) or catalog.is_edge(stmt.name):
+        raise TypeCheckError(f"name {stmt.name!r} already in use")
+    if len(stmt.schema) == 0:
+        raise TypeCheckError(f"table {stmt.name!r} has no columns")
+
+
+def _check_create_vertex(stmt: CreateVertex, catalog: Catalog) -> None:
+    if catalog.is_table(stmt.name) or catalog.is_vertex(stmt.name) or catalog.is_edge(stmt.name):
+        raise TypeCheckError(f"name {stmt.name!r} already in use")
+    table = catalog.table(stmt.table)
+    for k in stmt.key_cols:
+        if not table.schema.has(k):
+            raise TypeCheckError(
+                f"vertex {stmt.name!r}: key column {k!r} not in table {stmt.table!r}"
+            )
+    if len(set(stmt.key_cols)) != len(stmt.key_cols):
+        raise TypeCheckError(f"vertex {stmt.name!r}: duplicate key columns")
+    if stmt.where is not None:
+        _no_params(stmt.where, f"vertex {stmt.name!r} where clause")
+
+        def resolve(qualifier: Optional[str], name: str) -> DataType:
+            if qualifier not in (None, stmt.table):
+                raise TypeCheckError(
+                    f"vertex {stmt.name!r}: unknown qualifier {qualifier!r}"
+                )
+            if not table.schema.has(name):
+                raise TypeCheckError(
+                    f"vertex {stmt.name!r}: table {stmt.table!r} has no "
+                    f"column {name!r}"
+                )
+            return table.schema.type_of(name)
+
+        _check_bool(infer_type(stmt.where, resolve), f"vertex {stmt.name!r}")
+
+
+def _check_create_edge(stmt: CreateEdge, catalog: Catalog) -> None:
+    if catalog.is_table(stmt.name) or catalog.is_vertex(stmt.name) or catalog.is_edge(stmt.name):
+        raise TypeCheckError(f"name {stmt.name!r} already in use")
+    src_meta = catalog.vertex(stmt.source.type_name)
+    tgt_meta = catalog.vertex(stmt.target.type_name)
+    src_ref = stmt.source.ref_name
+    tgt_ref = stmt.target.ref_name
+    if src_ref == tgt_ref:
+        raise TypeCheckError(
+            f"edge {stmt.name!r}: endpoints must be distinguishable — "
+            f"alias one of them"
+        )
+    qualifiers: dict[str, object] = {}
+    qualifiers[src_ref] = catalog.table(src_meta.table).schema
+    qualifiers[tgt_ref] = catalog.table(tgt_meta.table).schema
+    for t in stmt.from_tables:
+        qualifiers[t] = catalog.table(t).schema
+    if stmt.where is not None:
+        _no_params(stmt.where, f"edge {stmt.name!r} where clause")
+        # tables referenced only in the where clause join implicitly
+        for ref in col_refs(stmt.where):
+            if ref.qualifier is None:
+                raise TypeCheckError(
+                    f"edge {stmt.name!r}: unqualified attribute {ref.name!r} "
+                    f"in where clause"
+                )
+            if ref.qualifier not in qualifiers:
+                if catalog.is_table(ref.qualifier):
+                    qualifiers[ref.qualifier] = catalog.table(ref.qualifier).schema
+                else:
+                    raise TypeCheckError(
+                        f"edge {stmt.name!r}: unknown relation "
+                        f"{ref.qualifier!r} in where clause"
+                    )
+
+        def resolve(qualifier: Optional[str], name: str) -> DataType:
+            schema = qualifiers[qualifier]
+            if not schema.has(name):
+                raise TypeCheckError(
+                    f"edge {stmt.name!r}: relation {qualifier!r} has no "
+                    f"attribute {name!r}"
+                )
+            return schema.type_of(name)
+
+        _check_bool(infer_type(stmt.where, resolve), f"edge {stmt.name!r}")
+
+
+# ----------------------------------------------------------------------
+# Relational select checks
+# ----------------------------------------------------------------------
+
+def _check_table_select(stmt: TableSelect, catalog: Catalog) -> None:
+    table = catalog.table(stmt.source)
+    schema = table.schema
+    if stmt.top is not None and stmt.top < 0:
+        raise TypeCheckError("top n requires n >= 0")
+    if table.derived and len(schema) == 0:
+        # a result table declared earlier in the same script: its schema is
+        # only known at execution time, so column checks are deferred
+        if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+            raise TypeCheckError("a table select cannot produce a subgraph")
+        return
+    if stmt.where is not None:
+        _no_params(stmt.where, f"select from {stmt.source!r}")
+
+        def resolve(qualifier: Optional[str], name: str) -> DataType:
+            if qualifier not in (None, stmt.source):
+                raise TypeCheckError(
+                    f"unknown qualifier {qualifier!r} in select from "
+                    f"{stmt.source!r}"
+                )
+            if not schema.has(name):
+                raise TypeCheckError(
+                    f"table {stmt.source!r} has no column {name!r}"
+                )
+            return schema.type_of(name)
+
+        _check_bool(infer_type(stmt.where, resolve), f"select from {stmt.source!r}")
+    for g in stmt.group_by:
+        if not schema.has(g):
+            raise TypeCheckError(
+                f"group by: table {stmt.source!r} has no column {g!r}"
+            )
+    has_agg = any(isinstance(i, AggItem) for i in stmt.items)
+    output_names: list[str] = []
+    for item in stmt.items:
+        if isinstance(item, StarItem):
+            if stmt.group_by:
+                raise TypeCheckError("select * cannot be combined with group by")
+            output_names.extend(schema.names())
+            continue
+        if isinstance(item, AggItem):
+            if item.func not in AGGREGATE_FUNCS:
+                raise TypeCheckError(f"unknown aggregate {item.func!r}")
+            if item.arg is not None and not schema.has(item.arg):
+                raise TypeCheckError(
+                    f"aggregate {item.func}({item.arg}): no such column"
+                )
+            if item.func in ("sum", "avg") and item.arg is not None:
+                if schema.type_of(item.arg).kind != "numeric":
+                    raise TypeCheckError(
+                        f"{item.func}() requires a numeric column, "
+                        f"{item.arg!r} is {schema.type_of(item.arg).ddl()}"
+                    )
+            if item.func != "count" and item.arg is None:
+                raise TypeCheckError(f"{item.func}(*) is not defined")
+            output_names.append(item.alias or f"{item.func}")
+            continue
+        if isinstance(item, StepItem):
+            # bare names in table selects parse as AttrItems; StepItems
+            # cannot appear here
+            raise TypeCheckError(
+                f"step selection {item.name!r} is only valid in graph selects"
+            )
+        assert isinstance(item, AttrItem)
+        ref = item.ref
+        if ref.qualifier not in (None, stmt.source):
+            raise TypeCheckError(
+                f"unknown qualifier {ref.qualifier!r} in select list"
+            )
+        if not schema.has(ref.name):
+            raise TypeCheckError(
+                f"table {stmt.source!r} has no column {ref.name!r}"
+            )
+        if (stmt.group_by or has_agg) and ref.name not in stmt.group_by:
+            raise TypeCheckError(
+                f"column {ref.name!r} must appear in group by to be selected "
+                f"alongside aggregates"
+            )
+        output_names.append(item.alias or ref.name)
+    for key in stmt.order_by:
+        if key.column not in output_names and not schema.has(key.column):
+            raise TypeCheckError(
+                f"order by: unknown column {key.column!r}"
+            )
+    if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+        raise TypeCheckError("a table select cannot produce a subgraph")
+
+
+# ----------------------------------------------------------------------
+# Graph select checks + resolution
+# ----------------------------------------------------------------------
+
+def _check_graph_select(stmt: GraphSelect, catalog: Catalog) -> CheckedGraphSelect:
+    labels: dict[str, tuple[str, RVertexStep]] = {}
+    edge_labels: dict[str, tuple[str, REdgeStep]] = {}
+    needs_bindings = False
+    has_regex = False
+    # step-name registry for qualifier resolution: name -> RVertexStep list
+    step_names: dict[str, list[RVertexStep]] = {}
+
+    def resolve_pattern(node):
+        nonlocal needs_bindings, has_regex
+        if isinstance(node, PathAtom):
+            return resolve_atom(node)
+        if isinstance(node, PathAnd):
+            labels_before = set(labels)
+            left = resolve_pattern(node.left)
+            right = resolve_pattern(node.right)
+            # "The and composition of two queries is only well defined if
+            # the two simple path queries share a label" (Section II-B3)
+            if not _shares_label(right, labels_before | set(labels)):
+                raise TypeCheckError(
+                    "'and' composition requires the right-hand path to "
+                    "reference a label shared with the left-hand path"
+                )
+            return ("and", left, right)
+        assert isinstance(node, PathOr)
+        left = resolve_pattern(node.left)
+        right = resolve_pattern(node.right)
+        return ("or", left, right)
+
+    def _shares_label(resolved, known: set) -> bool:
+        def walk(node):
+            if isinstance(node, RAtom):
+                for s in node.steps:
+                    if isinstance(s, RVertexStep) and s.label_ref is not None:
+                        return True
+                    if isinstance(s, RVertexStep) and s.cross_refs:
+                        return True
+                    if isinstance(s, REdgeStep) and s.label_ref is not None:
+                        return True
+                return False
+            return walk(node[1]) or walk(node[2])
+
+        return walk(resolved)
+
+    def resolve_vertex(step: VertexStep) -> RVertexStep:
+        nonlocal needs_bindings
+        label_ref = None
+        if step.is_variant:
+            types = sorted(catalog.vertices.keys())
+        elif catalog.is_vertex(step.name):
+            types = [step.name]
+        elif step.name in labels:
+            kind, defstep = labels[step.name]
+            label_ref = step.name
+            types = list(defstep.types)
+            if kind == LABEL_FOREACH:
+                needs_bindings = True
+        else:
+            catalog.vertex(step.name)  # raises with a helpful hint
+            raise AssertionError("unreachable")
+        if step.seed is not None and step.seed not in catalog.subgraphs:
+            raise TypeCheckError(
+                f"unknown result subgraph {step.seed!r} used to seed a step"
+            )
+        if step.is_variant and step.cond is not None:
+            raise TypeCheckError(
+                "conditional expressions are not allowed on variant steps "
+                "(attributes are not common across matching types)"
+            )
+        names = tuple(
+            n for n in ((step.label.name if step.label else None), step.name)
+            if n is not None
+        )
+        rstep = RVertexStep(
+            types,
+            step.cond,
+            step.label,
+            label_ref,
+            step.seed,
+            step.is_variant,
+            [],
+            names,
+        )
+        if step.label is not None:
+            if step.label.name in labels:
+                raise TypeCheckError(
+                    f"label {step.label.name!r} defined more than once"
+                )
+            if (
+                catalog.is_vertex(step.label.name)
+                or catalog.is_edge(step.label.name)
+                or catalog.is_table(step.label.name)
+            ):
+                raise TypeCheckError(
+                    f"label {step.label.name!r} shadows a database object"
+                )
+            labels[step.label.name] = (step.label.kind, rstep)
+            step_names.setdefault(step.label.name, []).append(rstep)
+            if step.label.kind == LABEL_FOREACH:
+                needs_bindings = True
+        if not step.is_variant and label_ref is None:
+            # a label-reference step re-matches the defining step; only the
+            # defining step registers the name (keeps references unambiguous)
+            step_names.setdefault(step.name, []).append(rstep)
+        return rstep
+
+    def resolve_edge(step: EdgeStep, prev: RVertexStep, nxt_name_hint: Optional[VertexStep]) -> REdgeStep:
+        label_ref = None
+        if step.is_variant:
+            names = None  # narrowed later
+        elif catalog.is_edge(step.name):
+            names = [step.name]
+        elif step.name in edge_labels:
+            # Eq. 6 for edges: re-match the labeled step's edge set
+            _kind, defstep = edge_labels[step.name]
+            label_ref = step.name
+            names = list(defstep.names)
+        else:
+            catalog.edge(step.name)  # raises with a helpful hint
+            raise AssertionError("unreachable")
+        rstep = REdgeStep(
+            names if names is not None else [],
+            step.direction,
+            step.cond,
+            step.label,
+            step.is_variant,
+            label_ref,
+        )
+        if step.label is not None:
+            if step.label.name in labels or step.label.name in edge_labels:
+                raise TypeCheckError(
+                    f"label {step.label.name!r} defined more than once"
+                )
+            if (
+                catalog.is_vertex(step.label.name)
+                or catalog.is_edge(step.label.name)
+                or catalog.is_table(step.label.name)
+            ):
+                raise TypeCheckError(
+                    f"label {step.label.name!r} shadows a database object"
+                )
+            if step.label.kind == LABEL_FOREACH:
+                raise TypeCheckError(
+                    "element-wise (foreach) labels on edge steps are not "
+                    "supported; use a set label ('def')"
+                )
+            edge_labels[step.label.name] = (step.label.kind, rstep)
+        return rstep
+
+    def resolve_atom(atom: PathAtom) -> RAtom:
+        nonlocal has_regex, needs_bindings
+        rsteps: list = []
+        steps = atom.steps
+        if not steps or not isinstance(steps[0], VertexStep):
+            raise TypeCheckError("a path query must start with a vertex step")
+        if not isinstance(steps[-1], (VertexStep,)):
+            raise TypeCheckError("a path query must end with a vertex step")
+        for i, s in enumerate(steps):
+            if isinstance(s, VertexStep):
+                rsteps.append(resolve_vertex(s))
+            elif isinstance(s, EdgeStep):
+                rsteps.append(resolve_edge(s, None, None))
+            else:
+                assert isinstance(s, RegexGroup)
+                has_regex = True
+                pairs = []
+                for e, v in s.pairs:
+                    re_ = resolve_edge(e, None, None)
+                    rv = resolve_vertex(v)
+                    pairs.append((re_, rv))
+                rsteps.append(RRegex(pairs, s.op, s.count))
+        _narrow_types(rsteps, catalog)
+        _check_step_conditions(rsteps, catalog, labels, step_names)
+        for s in rsteps:
+            if isinstance(s, RVertexStep) and s.cross_refs:
+                needs_bindings = True
+        return RAtom(rsteps)
+
+    root = resolve_pattern(stmt.pattern)
+    pattern = RPattern(root, labels, needs_bindings, has_regex, edge_labels)
+    _check_items(stmt, pattern, catalog, step_names)
+    if stmt.into is None or stmt.into.kind == INTO_TABLE:
+        # table outputs enumerate paths (Fig. 6: one row per matched path)
+        pattern.needs_bindings = True
+        if isinstance(root, tuple) and _contains_or(root):
+            raise TypeCheckError(
+                "'or' composition unions subgraphs (Section II-B3) — use "
+                "'into subgraph' for the result"
+            )
+    if pattern.needs_bindings and _has_unbounded_regex(pattern):
+        raise TypeCheckError(
+            "unbounded path regular expressions ('*'/'+') are only "
+            "supported under set semantics — use 'into subgraph' without "
+            "foreach labels or cross-step comparisons, or bound the "
+            "repetition with '{n}'"
+        )
+    return CheckedGraphSelect(stmt, pattern)
+
+
+def _contains_or(node) -> bool:
+    if isinstance(node, RAtom):
+        return False
+    if node[0] == "or":
+        return True
+    return _contains_or(node[1]) or _contains_or(node[2])
+
+
+def _has_unbounded_regex(pattern: RPattern) -> bool:
+    from repro.graql.ast import REGEX_COUNT
+
+    for atom in pattern.atoms():
+        for s in atom.steps:
+            if isinstance(s, RRegex) and s.op != REGEX_COUNT:
+                return True
+    return False
+
+
+def _narrow_types(rsteps: list, catalog: Catalog) -> None:
+    """Propagate endpoint-type constraints through the atom until fixpoint.
+
+    Concrete edges pin their endpoints; variant edges narrow to the edge
+    types compatible with the neighboring vertex-step candidates (Section
+    II-B4's union over matching types); variant vertices narrow to the
+    endpoint types of their adjacent edges.  An empty candidate set is a
+    static infeasibility — the query cannot match anything.
+    """
+    changed = True
+    guard = 0
+    while changed:
+        changed = False
+        guard += 1
+        if guard > 100:  # pragma: no cover - safety net
+            break
+        for i, s in enumerate(rsteps):
+            if not isinstance(s, REdgeStep):
+                continue
+            prev = rsteps[i - 1]
+            nxt = rsteps[i + 1]
+            if not isinstance(prev, RVertexStep) or not isinstance(nxt, RVertexStep):
+                continue  # regex neighbors handled dynamically
+            if s.direction == DIR_OUT:
+                src_candidates, tgt_candidates = prev, nxt
+            else:
+                src_candidates, tgt_candidates = nxt, prev
+            if s.is_variant:
+                compatible = [
+                    em.name
+                    for em in catalog.edges.values()
+                    if em.source_type in src_candidates.types
+                    and em.target_type in tgt_candidates.types
+                ]
+                compatible.sort()
+                if compatible != s.names:
+                    s.names = compatible
+                    changed = True
+            else:
+                em = catalog.edge(s.names[0])
+                if em.source_type not in src_candidates.types:
+                    raise TypeCheckError(
+                        f"edge {em.name!r} cannot leave a step of type(s) "
+                        f"{src_candidates.types} (its source is "
+                        f"{em.source_type!r})"
+                    )
+                if em.target_type not in tgt_candidates.types:
+                    raise TypeCheckError(
+                        f"edge {em.name!r} cannot arrive at a step of "
+                        f"type(s) {tgt_candidates.types} (its target is "
+                        f"{em.target_type!r})"
+                    )
+            # narrow vertex candidates from the edge side
+            if s.names:
+                srcs = sorted({catalog.edge(n).source_type for n in s.names})
+                tgts = sorted({catalog.edge(n).target_type for n in s.names})
+                new_src = [t for t in src_candidates.types if t in srcs]
+                new_tgt = [t for t in tgt_candidates.types if t in tgts]
+                if new_src != src_candidates.types:
+                    src_candidates.types = new_src
+                    changed = True
+                if new_tgt != tgt_candidates.types:
+                    tgt_candidates.types = new_tgt
+                    changed = True
+            if not s.names:
+                raise TypeCheckError(
+                    "statically infeasible query step: no edge type connects "
+                    f"{src_candidates.types or '(none)'} to "
+                    f"{tgt_candidates.types or '(none)'}"
+                )
+    for s in rsteps:
+        if isinstance(s, RVertexStep) and not s.types:
+            raise TypeCheckError(
+                "statically infeasible query step: no vertex type can match"
+            )
+
+
+def _check_step_conditions(
+    rsteps: list,
+    catalog: Catalog,
+    labels: dict[str, tuple[str, RVertexStep]],
+    step_names: dict[str, list[RVertexStep]],
+) -> None:
+    """Type-check every step condition; record cross-step references."""
+    for s in rsteps:
+        if isinstance(s, RVertexStep):
+            _check_vertex_cond(s, catalog, step_names)
+        elif isinstance(s, REdgeStep):
+            _check_edge_cond(s, catalog)
+        elif isinstance(s, RRegex):
+            for e, v in s.pairs:
+                _check_vertex_cond(v, catalog, step_names)
+                _check_edge_cond(e, catalog)
+
+
+def _attr_type_for_types(types: list[str], name: str, catalog: Catalog, ctx: str) -> DataType:
+    """Attribute type across candidate types; must exist on all of them."""
+    found: Optional[DataType] = None
+    for t in types:
+        vm = catalog.vertex(t)
+        if not vm.attr_schema.has(name):
+            extra = "" if vm.one_to_one else " (many-to-one view exposes only key attributes)"
+            raise TypeCheckError(
+                f"{ctx}: vertex type {t!r} has no attribute {name!r}{extra}"
+            )
+        t2 = vm.attr_schema.type_of(name)
+        if found is not None and found.kind != t2.kind:
+            raise TypeCheckError(
+                f"{ctx}: attribute {name!r} has incompatible types across "
+                f"candidate vertex types"
+            )
+        found = t2
+    assert found is not None
+    return found
+
+
+def _check_vertex_cond(s: RVertexStep, catalog: Catalog, step_names: dict[str, list[RVertexStep]]) -> None:
+    if s.cond is None:
+        return
+    _no_params(s.cond, "graph step condition")
+    own = set(s.names) | set(s.types) | {None}
+    cross: list[str] = []
+
+    def resolve(qualifier: Optional[str], name: str) -> DataType:
+        if qualifier in own:
+            return _attr_type_for_types(s.types, name, catalog, "step condition")
+        # cross-step reference: must name exactly one other step
+        steps = step_names.get(qualifier, [])
+        if not steps:
+            raise TypeCheckError(
+                f"step condition: unknown qualifier {qualifier!r} (not this "
+                f"step, an earlier label, or a step type name)"
+            )
+        if len(steps) > 1:
+            raise TypeCheckError(
+                f"step condition: qualifier {qualifier!r} is ambiguous — "
+                f"label the intended step"
+            )
+        cross.append(qualifier)
+        return _attr_type_for_types(steps[0].types, name, catalog, "step condition")
+
+    _check_bool(infer_type(s.cond, resolve), "step condition")
+    s.cross_refs = sorted(set(cross))
+
+
+def _check_edge_cond(s: REdgeStep, catalog: Catalog) -> None:
+    if s.cond is None:
+        return
+    if s.is_variant:
+        raise TypeCheckError(
+            "conditional expressions are not allowed on variant edge steps"
+        )
+    _no_params(s.cond, "edge step condition")
+    em = catalog.edge(s.names[0])
+
+    def resolve(qualifier: Optional[str], name: str) -> DataType:
+        if qualifier not in (None, em.name):
+            raise TypeCheckError(
+                f"edge condition: unknown qualifier {qualifier!r}"
+            )
+        if not em.attr_schema.has(name):
+            raise TypeCheckError(
+                f"edge type {em.name!r} has no attribute {name!r} "
+                f"(edge attributes come from its 'from table')"
+            )
+        return em.attr_schema.type_of(name)
+
+    _check_bool(infer_type(s.cond, resolve), "edge condition")
+
+
+def _check_items(
+    stmt: GraphSelect,
+    pattern: RPattern,
+    catalog: Catalog,
+    step_names: dict[str, list[RVertexStep]],
+) -> None:
+    into_subgraph = stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH
+    for item in stmt.items:
+        if isinstance(item, StarItem):
+            continue
+        if isinstance(item, AggItem):
+            raise TypeCheckError(
+                "aggregates are not allowed in graph selects — capture into "
+                "a table and aggregate there (Fig. 7 pattern)"
+            )
+        if isinstance(item, StepItem):
+            steps = step_names.get(item.name, [])
+            if not steps and item.name in pattern.edge_labels:
+                if not into_subgraph:
+                    raise TypeCheckError(
+                        f"edge label {item.name!r} can only be selected "
+                        f"into a subgraph"
+                    )
+                continue  # labeled edge step -> its edge set
+            if not steps:
+                raise TypeCheckError(
+                    f"select item {item.name!r}: no step with that type or "
+                    f"label name"
+                )
+            if len(steps) > 1:
+                raise TypeCheckError(
+                    f"select item {item.name!r} is ambiguous — label the "
+                    f"intended step (Section II-C)"
+                )
+            continue
+        assert isinstance(item, AttrItem)
+        if into_subgraph:
+            raise TypeCheckError(
+                "attribute selections cannot produce a subgraph — use "
+                "'into table' for attribute output"
+            )
+        q = item.ref.qualifier
+        if q is None:
+            raise TypeCheckError(
+                f"graph select attribute {item.ref.name!r} must be "
+                f"qualified with a step type or label"
+            )
+        steps = step_names.get(q, [])
+        if not steps:
+            if q in pattern.edge_labels:
+                # edge-attribute selection via an edge label
+                _kind, estep = pattern.edge_labels[q]
+                if len(estep.names) != 1:
+                    raise TypeCheckError(
+                        f"select item: edge label {q!r} matches several "
+                        f"edge types with different attributes"
+                    )
+                em = catalog.edge(estep.names[0])
+                if not em.attr_schema.has(item.ref.name):
+                    raise TypeCheckError(
+                        f"edge type {estep.names[0]!r} has no attribute "
+                        f"{item.ref.name!r} (edge attributes come from its "
+                        f"'from table')"
+                    )
+                continue
+            raise TypeCheckError(f"select item: unknown step {q!r}")
+        if len(steps) > 1:
+            raise TypeCheckError(
+                f"select item: step {q!r} is ambiguous — label the intended "
+                f"step"
+            )
+        _attr_type_for_types(steps[0].types, item.ref.name, catalog, "select item")

@@ -1,0 +1,89 @@
+"""The table/graph duality bridge for result subgraphs.
+
+    "We have discussed the key features of GraQL/GEMS including ...
+    flexible manipulation of query results as subgraphs and tables."
+    (Conclusions)
+
+A named subgraph is a per-type selection of vertices and edges; this
+module renders it back into tables so the relational subset can keep
+working on it: one table per vertex type (the visible attributes of the
+selected vertices) and one per edge type (source/target keys plus the
+edge's associated-table attributes).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graphdb import GraphDB
+from repro.graph.subgraph import Subgraph
+from repro.storage.column import Column
+from repro.storage.schema import ColumnDef, Schema
+from repro.storage.table import Table
+
+
+def vertex_table(db: GraphDB, sg: Subgraph, type_name: str, table_name: str | None = None) -> Table:
+    """The selected vertices of one type as an attribute table."""
+    vt = db.vertex_type(type_name)
+    vids = sg.vertex_ids(type_name)
+    defs: list[ColumnDef] = []
+    cols: list[Column] = []
+    for cdef in vt.attribute_schema():
+        arr, dtype = vt.attribute_array(cdef.name)
+        defs.append(ColumnDef(cdef.name, dtype))
+        cols.append(Column(dtype, arr[vids]))
+    return Table(table_name or f"{sg.name}_{type_name}", Schema(defs), cols)
+
+
+def edge_table(db: GraphDB, sg: Subgraph, type_name: str, table_name: str | None = None) -> Table:
+    """The selected edges of one type: endpoint keys + edge attributes."""
+    et = db.edge_type(type_name)
+    eids = sg.edge_ids(type_name)
+    defs: list[ColumnDef] = []
+    cols: list[Column] = []
+    src_vids = et.src_vids[eids]
+    tgt_vids = et.tgt_vids[eids]
+    for endpoint, vids, prefix in (
+        (et.source, src_vids, "source_"),
+        (et.target, tgt_vids, "target_"),
+    ):
+        for kc in endpoint.key_cols:
+            arr, dtype = endpoint.attribute_array(kc)
+            defs.append(ColumnDef(f"{prefix}{kc}", dtype))
+            cols.append(Column(dtype, arr[vids]))
+    for cdef in et.attribute_schema():
+        arr, dtype = et.attribute_array(cdef.name)
+        defs.append(ColumnDef(cdef.name, dtype))
+        cols.append(Column(dtype, arr[eids]))
+    return Table(table_name or f"{sg.name}_{type_name}", Schema(defs), cols)
+
+
+def subgraph_tables(db: GraphDB, sg: Subgraph) -> dict[str, Table]:
+    """Every type of the subgraph as a table, keyed by type name.
+
+    Vertex and edge types share a namespace in the result (they already
+    do in the catalog), so the keys never collide.
+    """
+    out: dict[str, Table] = {}
+    for t in sg.vertices:
+        out[t] = vertex_table(db, sg, t)
+    for t in sg.edges:
+        out[t] = edge_table(db, sg, t)
+    return out
+
+
+def register_subgraph_tables(
+    db: GraphDB, catalog, sg: Subgraph, prefix: str | None = None
+) -> list[str]:
+    """Register each per-type table as a derived result table.
+
+    Names are ``{prefix or subgraph name}_{type}``; returns the names so
+    follow-up relational statements can reference them.
+    """
+    base = prefix or sg.name
+    names: list[str] = []
+    for t, table in subgraph_tables(db, sg).items():
+        name = f"{base}_{t}"
+        renamed = Table(name, table.schema, table.columns)
+        db.register_result_table(name, renamed)
+        catalog.register_result_table(name, renamed)
+        names.append(name)
+    return names

@@ -1,0 +1,316 @@
+"""Top-level statement execution and pattern composition.
+
+Dispatches every GraQL statement kind against a
+:class:`~repro.graph.graphdb.GraphDB` + :class:`~repro.catalog.Catalog`
+pair, and implements multi-path composition (Section II-B3):
+
+* ``and`` — atoms share labels.  Under set semantics the atoms run
+  left-to-right sharing a label environment, then a short fixpoint
+  iteration re-culls each atom with the intersection of every label's
+  defining and referencing sets (so a constraint discovered in the right
+  path propagates back into the left path's matched subgraph).  Under
+  binding semantics the atoms' path tables are equi-joined on the shared
+  label columns.
+* ``or`` — the union of the matched subgraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.graph.graphdb import GraphDB
+from repro.graph.subgraph import Subgraph
+from repro.graql.ast import (
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    GraphSelect,
+    Ingest,
+    INTO_SUBGRAPH,
+    Script,
+    Statement,
+    TableSelect,
+)
+from repro.graql.params import substitute_statement
+from repro.graql.typecheck import (
+    CheckedGraphSelect,
+    RAtom,
+    RVertexStep,
+    check_statement,
+)
+from repro.query.bindings import BindingExecutor
+from repro.query.frontier import AtomSets, FrontierExecutor
+from repro.query.planner import QueryPlan, plan_graph_select
+from repro.query.relational import execute_table_select
+from repro.query.results import (
+    JoinedBindings,
+    NameMap,
+    subgraph_from_bindings,
+    subgraph_from_sets,
+    table_from_bindings,
+)
+from repro.storage.table import Table
+
+#: max and-composition refinement rounds under set semantics
+MAX_REFINE_ROUNDS = 4
+
+
+class StatementResult:
+    """Outcome of executing one statement."""
+
+    def __init__(
+        self,
+        kind: str,
+        table: Optional[Table] = None,
+        subgraph: Optional[Subgraph] = None,
+        message: str = "",
+        count: int = 0,
+        plan: Optional[QueryPlan] = None,
+    ) -> None:
+        self.kind = kind  # 'ddl' | 'ingest' | 'table' | 'subgraph'
+        self.table = table
+        self.subgraph = subgraph
+        self.message = message
+        self.count = count
+        self.plan = plan
+
+    def __repr__(self) -> str:
+        if self.kind == "table" and self.table is not None:
+            return f"StatementResult(table {self.table.name!r}, rows={self.table.num_rows})"
+        if self.kind == "subgraph" and self.subgraph is not None:
+            return f"StatementResult({self.subgraph!r})"
+        return f"StatementResult({self.kind}, {self.message!r})"
+
+
+# ----------------------------------------------------------------------
+# Statement dispatch
+# ----------------------------------------------------------------------
+
+def execute_statement(
+    db: GraphDB,
+    catalog: Catalog,
+    stmt: Statement,
+    params: Optional[Mapping[str, Any]] = None,
+    force_direction: Optional[str] = None,
+    force_strategy: Optional[str] = None,
+) -> StatementResult:
+    """Type-check and execute one statement (parameters substituted first)."""
+    if params:
+        stmt = substitute_statement(stmt, params)
+    checked = check_statement(stmt, catalog)
+    if isinstance(stmt, CreateTable):
+        db.create_table(stmt.name, stmt.schema)
+        catalog.refresh(db)
+        return StatementResult("ddl", message=f"created table {stmt.name}")
+    if isinstance(stmt, CreateVertex):
+        vt = db.create_vertex(stmt.name, stmt.key_cols, stmt.table, stmt.where)
+        catalog.refresh(db)
+        return StatementResult(
+            "ddl", message=f"created vertex {stmt.name}", count=vt.num_vertices
+        )
+    if isinstance(stmt, CreateEdge):
+        et = db.create_edge(
+            stmt.name,
+            stmt.source.type_name,
+            stmt.target.type_name,
+            stmt.source.ref_name,
+            stmt.target.ref_name,
+            stmt.from_tables,
+            stmt.where,
+        )
+        catalog.refresh(db)
+        return StatementResult(
+            "ddl", message=f"created edge {stmt.name}", count=et.num_edges
+        )
+    if isinstance(stmt, Ingest):
+        n = db.ingest(stmt.table, stmt.path)
+        catalog.refresh(db)
+        return StatementResult(
+            "ingest", message=f"ingested {n} rows into {stmt.table}", count=n
+        )
+    if isinstance(stmt, TableSelect):
+        table = execute_table_select(db, stmt)
+        if stmt.into is not None:
+            db.register_result_table(stmt.into.name, table)
+            catalog.register_result_table(stmt.into.name, table)
+        return StatementResult("table", table=table, count=table.num_rows)
+    assert isinstance(checked, CheckedGraphSelect)
+    return _execute_graph_select(
+        db, catalog, checked, force_direction, force_strategy
+    )
+
+
+def execute_script(
+    db: GraphDB,
+    catalog: Catalog,
+    script: Script,
+    params: Optional[Mapping[str, Any]] = None,
+) -> list[StatementResult]:
+    """Execute a whole GraQL script in order (Section III's Omega)."""
+    return [
+        execute_statement(db, catalog, stmt, params) for stmt in script.statements
+    ]
+
+
+# ----------------------------------------------------------------------
+# Graph select execution
+# ----------------------------------------------------------------------
+
+def _execute_graph_select(
+    db: GraphDB,
+    catalog: Catalog,
+    checked: CheckedGraphSelect,
+    force_direction: Optional[str],
+    force_strategy: Optional[str],
+) -> StatementResult:
+    stmt = checked.stmt
+    plan = plan_graph_select(checked, catalog, force_direction, force_strategy)
+    atoms = checked.pattern.atoms()
+    ordinals = {id(a): i for i, a in enumerate(atoms)}
+    name_map = NameMap()
+    for i, a in enumerate(atoms):
+        name_map.add_atom(i, a)
+    result_name = stmt.into.name if stmt.into is not None else "result"
+
+    if plan.strategy == "set":
+        atom_results = _run_set(db, checked, plan, atoms, ordinals)
+        subgraph = subgraph_from_sets(
+            stmt, [(a, atom_results[i]) for i, a in enumerate(atoms)], name_map, result_name
+        )
+        if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+            db.register_subgraph(subgraph)
+            catalog.subgraphs[subgraph.name] = {
+                k: len(v) for k, v in subgraph.vertices.items()
+            }
+        return StatementResult(
+            "subgraph", subgraph=subgraph, count=subgraph.num_vertices, plan=plan
+        )
+
+    # binding strategy
+    branches = _run_bindings(db, catalog, checked, plan, ordinals)
+    if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+        subgraph = Subgraph(result_name)
+        for jb in branches:
+            subgraph = subgraph.union(
+                subgraph_from_bindings(stmt, jb, name_map, result_name, db),
+                result_name,
+            )
+        db.register_subgraph(subgraph)
+        catalog.subgraphs[subgraph.name] = {
+            k: len(v) for k, v in subgraph.vertices.items()
+        }
+        return StatementResult(
+            "subgraph", subgraph=subgraph, count=subgraph.num_vertices, plan=plan
+        )
+    if len(branches) != 1:
+        raise ExecutionError("'or' composition cannot produce a table result")
+    table = table_from_bindings(stmt, branches[0], name_map, result_name, db)
+    if stmt.into is not None:
+        db.register_result_table(stmt.into.name, table)
+        catalog.register_result_table(stmt.into.name, table)
+    return StatementResult("table", table=table, count=table.num_rows, plan=plan)
+
+
+def _run_set(db, checked, plan, atoms, ordinals) -> dict[int, AtomSets]:
+    """Run all atoms under set semantics with and-composition refinement."""
+    fx = FrontierExecutor(db)
+    results: dict[int, AtomSets] = {}
+
+    def run_all():
+        for a in atoms:
+            direction = plan.plan_for(a).direction
+            results[ordinals[id(a)]] = fx.run_atom(a, direction)
+
+    run_all()
+    # refinement: intersect each label's defining set with every
+    # referencing step's final set; rerun until stable
+    pairs = _label_def_ref_pairs(atoms, ordinals)
+    for _ in range(MAX_REFINE_ROUNDS):
+        changed = False
+        for label, (d_ord, d_pos), refs in pairs:
+            def_sets = results[d_ord].vertex_sets.get(d_pos, {})
+            refined = def_sets
+            for r_ord, r_pos in refs:
+                ref_sets = results[r_ord].vertex_sets.get(r_pos, {})
+                refined = {
+                    t: np.intersect1d(v, ref_sets.get(t, np.empty(0, dtype=np.int64)))
+                    for t, v in refined.items()
+                }
+            refined = {t: v for t, v in refined.items() if len(v)}
+            if _sizes(refined) != _sizes(def_sets):
+                fx.pin_labels[label] = refined
+                changed = True
+        if not changed:
+            break
+        fx.label_env.clear()
+        run_all()
+    return results
+
+
+def _sizes(sets) -> dict[str, int]:
+    return {t: len(v) for t, v in sets.items()}
+
+
+def _label_def_ref_pairs(atoms, ordinals):
+    """[(label, (def_ord, def_pos), [(ref_ord, ref_pos), ...])]"""
+    defs: dict[str, tuple[int, int]] = {}
+    refs: dict[str, list[tuple[int, int]]] = {}
+    for a in atoms:
+        o = ordinals[id(a)]
+        for pos, s in enumerate(a.steps):
+            if isinstance(s, RVertexStep):
+                if s.label is not None:
+                    defs[s.label.name] = (o, pos)
+                if s.label_ref is not None:
+                    refs.setdefault(s.label_ref, []).append((o, pos))
+    return [
+        (label, loc, refs[label]) for label, loc in defs.items() if label in refs
+    ]
+
+
+def _run_bindings(db, catalog, checked, plan, ordinals) -> list[JoinedBindings]:
+    """Run the composition tree under path enumeration.
+
+    Returns one JoinedBindings per or-branch (a single element when the
+    pattern has no 'or').
+    """
+    fx = FrontierExecutor(db)
+    bex = BindingExecutor(db, catalog, frontier=fx)
+
+    def run(node) -> list[JoinedBindings]:
+        if isinstance(node, RAtom):
+            o = ordinals[id(node)]
+            res = bex.run_atom(node, plan.plan_for(node).direction)
+            return [JoinedBindings.from_result(o, res, node)]
+        op, left, right = node
+        lbs = run(left)
+        rbs = run(right)
+        if op == "or":
+            return lbs + rbs
+        out = []
+        for lb in lbs:
+            for rb in rbs:
+                pairs = _shared_label_pairs(lb, rb)
+                out.append(lb.join(rb, pairs))
+        return out
+
+    return run(checked.pattern.root)
+
+
+def _shared_label_pairs(lb: JoinedBindings, rb: JoinedBindings):
+    """Join keys: (left def column, right ref column) per shared label."""
+    left_defs: dict[str, tuple[int, str, int]] = {}
+    for aord, steps in lb._steps.items():
+        for pos, s in enumerate(steps):
+            if isinstance(s, RVertexStep) and s.label is not None:
+                left_defs[s.label.name] = (aord, "v", pos)
+    pairs = []
+    for aord, steps in rb._steps.items():
+        for pos, s in enumerate(steps):
+            if isinstance(s, RVertexStep) and s.label_ref in left_defs:
+                pairs.append((left_defs[s.label_ref], (aord, "v", pos)))
+    return pairs

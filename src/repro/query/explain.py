@@ -1,0 +1,213 @@
+"""EXPLAIN: human-readable query plans.
+
+Renders what the Section III-B machinery decided for a statement: the
+chosen execution strategy, each atom's sweep direction with both cost
+estimates, per-step candidate types with estimated cardinalities and
+selectivities, and — for relational statements — the operator pipeline.
+
+Exposed as ``Database.explain(graql)``; used by the planner ablation
+benchmarks and handy when debugging query performance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.catalog import Catalog, estimate_selectivity
+from repro.graql.ast import (
+    AggItem,
+    AttrItem,
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    GraphSelect,
+    Ingest,
+    StarItem,
+    Statement,
+    TableSelect,
+)
+from repro.graql.params import substitute_statement
+from repro.graql.pretty import pretty_expr
+from repro.graql.typecheck import (
+    CheckedGraphSelect,
+    RAtom,
+    REdgeStep,
+    RRegex,
+    RVertexStep,
+    check_statement,
+)
+from repro.query.planner import plan_graph_select
+
+
+def explain_statement(
+    stmt: Statement,
+    catalog: Catalog,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """One statement's plan as indented text."""
+    if params:
+        stmt = substitute_statement(stmt, params)
+    if isinstance(stmt, CreateTable):
+        return f"CREATE TABLE {stmt.name} ({len(stmt.schema)} columns)"
+    if isinstance(stmt, CreateVertex):
+        return (
+            f"CREATE VERTEX {stmt.name} <- view over {stmt.table} "
+            f"(key: {', '.join(stmt.key_cols)})"
+        )
+    if isinstance(stmt, CreateEdge):
+        return (
+            f"CREATE EDGE {stmt.name}: {stmt.source.type_name} -> "
+            f"{stmt.target.type_name}"
+            + (f" via {', '.join(stmt.from_tables)}" if stmt.from_tables else "")
+        )
+    if isinstance(stmt, Ingest):
+        return f"INGEST {stmt.path} -> {stmt.table} (atomic view rebuild)"
+    if isinstance(stmt, TableSelect):
+        check_statement(stmt, catalog)  # surface static errors in explain
+        return _explain_table_select(stmt, catalog)
+    assert isinstance(stmt, GraphSelect)
+    checked = check_statement(stmt, catalog)
+    assert isinstance(checked, CheckedGraphSelect)
+    return _explain_graph_select(checked, catalog)
+
+
+def _explain_table_select(stmt: TableSelect, catalog: Catalog) -> str:
+    lines = [f"TABLE SELECT from {stmt.source}"]
+    meta = catalog.tables.get(stmt.source)
+    if meta is not None:
+        lines.append(f"  scan {stmt.source} ({meta.num_rows} rows)")
+    if stmt.where is not None:
+        sel = estimate_selectivity(stmt.where)
+        lines.append(
+            f"  filter {pretty_expr(stmt.where)} (est. selectivity {sel:.3f})"
+        )
+    if stmt.group_by or any(isinstance(i, AggItem) for i in stmt.items):
+        aggs = [
+            f"{i.func}({i.arg or '*'})"
+            for i in stmt.items
+            if isinstance(i, AggItem)
+        ]
+        keys = ", ".join(stmt.group_by) or "<all rows>"
+        lines.append(f"  aggregate [{', '.join(aggs)}] group by {keys}")
+    else:
+        cols = [
+            i.ref.name for i in stmt.items if isinstance(i, AttrItem)
+        ] or ["*"]
+        lines.append(f"  project [{', '.join(cols)}]")
+    if stmt.distinct:
+        lines.append("  distinct")
+    if stmt.order_by:
+        keys = ", ".join(
+            f"{k.column} {'asc' if k.ascending else 'desc'}" for k in stmt.order_by
+        )
+        lines.append(f"  sort by {keys}")
+    if stmt.top is not None:
+        lines.append(f"  top {stmt.top}")
+    if stmt.into is not None:
+        lines.append(f"  -> into table {stmt.into.name}")
+    return "\n".join(lines)
+
+
+def _explain_graph_select(checked: CheckedGraphSelect, catalog: Catalog) -> str:
+    stmt = checked.stmt
+    plan = plan_graph_select(checked, catalog)
+    lines = [f"GRAPH SELECT (strategy: {plan.strategy})"]
+    if checked.pattern.needs_bindings:
+        reasons = []
+        if any(
+            s.label is not None and s.label.kind == "foreach"
+            for a in checked.pattern.atoms()
+            for s in a.steps
+            if isinstance(s, RVertexStep)
+        ):
+            reasons.append("foreach label")
+        if any(
+            s.cross_refs
+            for a in checked.pattern.atoms()
+            for s in a.steps
+            if isinstance(s, RVertexStep)
+        ):
+            reasons.append("cross-step condition")
+        if stmt.into is None or stmt.into.kind == "table":
+            reasons.append("table output (row per path)")
+        lines.append(f"  bindings needed: {', '.join(reasons)}")
+    for n, atom in enumerate(checked.pattern.atoms()):
+        ap = plan.plan_for(atom)
+        lines.append(
+            f"  atom {n}: sweep {ap.direction} "
+            f"(cost fwd={ap.cost_forward:.1f}, bwd={ap.cost_backward:.1f})"
+        )
+        for step in atom.steps:
+            lines.append("    " + _explain_step(step, catalog))
+    if stmt.into is not None:
+        lines.append(f"  -> into {stmt.into.kind} {stmt.into.name}")
+    return "\n".join(lines)
+
+
+def _explain_step(step, catalog: Catalog) -> str:
+    if isinstance(step, RVertexStep):
+        parts = []
+        if step.label is not None:
+            parts.append(f"{step.label.kind} {step.label.name}:")
+        if step.is_variant:
+            parts.append(f"[any of {len(step.types)} vertex types]")
+        else:
+            t = step.types[0] if step.types else "?"
+            meta = catalog.vertices.get(t)
+            card = meta.num_vertices if meta else "?"
+            parts.append(f"vertex {t} ({card} instances)")
+        if step.seed is not None:
+            parts.append(f"seeded by subgraph {step.seed}")
+        if step.label_ref is not None:
+            parts.append(f"member of label {step.label_ref}")
+        if step.cond is not None:
+            distincts = (
+                catalog.vertices[step.types[0]].distinct_counts
+                if len(step.types) == 1 and step.types[0] in catalog.vertices
+                else None
+            )
+            sel = estimate_selectivity(step.cond, distincts)
+            parts.append(
+                f"where {pretty_expr(step.cond)} (est. sel {sel:.3f})"
+            )
+        return " ".join(parts)
+    if isinstance(step, REdgeStep):
+        arrow = "-->" if step.direction == "out" else "<--"
+        names = ", ".join(step.names) if step.names else "[]"
+        extras = ""
+        if step.cond is not None:
+            extras = f" where {pretty_expr(step.cond)}"
+        return f"edge {arrow} {names}{extras}"
+    assert isinstance(step, RRegex)
+    op = {"star": "*", "plus": "+"}.get(step.op, f"{{{step.count}}}")
+    return f"regex group ({len(step.pairs)} pair(s)){op} [fixpoint closure]"
+
+
+def explain_script(
+    source: str,
+    catalog: Catalog,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Explain every statement of a script, plus its dependence schedule."""
+    import copy
+
+    from repro.engine.scheduler import build_schedule
+    from repro.graql.parser import parse_script
+    from repro.graql.typecheck import _apply_ddl_to_catalog
+
+    script = parse_script(source)
+    schedule = build_schedule(script, catalog)
+    scratch = copy.deepcopy(catalog)
+    blocks = []
+    for i, stmt in enumerate(script.statements):
+        wave = next(w for w, idx in enumerate(schedule.waves) if i in idx)
+        text = explain_statement(stmt, scratch, params)
+        blocks.append(f"-- statement {i} (wave {wave}) " + "-" * 20 + f"\n{text}")
+        if params:
+            stmt = substitute_statement(stmt, params)
+        _apply_ddl_to_catalog(stmt, scratch)
+    blocks.append(
+        f"-- schedule: {schedule.num_waves} wave(s), "
+        f"max parallelism {schedule.max_parallelism}"
+    )
+    return "\n".join(blocks)

@@ -1,0 +1,209 @@
+"""Dynamic query planning (paper Section III-B).
+
+    "The existence of both forward and reverse indices enables significant
+    flexibility on how to execute a path query: the execution is not
+    restricted to the forward-looking lexical representation of the path
+    query in GraQL."
+
+For each linear path (atom) the planner estimates the cost of sweeping the
+steps left-to-right versus right-to-left.  The cost model is the classic
+frontier-size recurrence: starting from the anchor step's estimated
+cardinality (type cardinality x condition selectivity), each edge step
+multiplies by the catalog's average degree in the traversal direction and
+each vertex step filters by its selectivity.  The cheaper direction wins;
+``force_direction`` exists so the S3B ablation benchmark can pin the
+lexical order and measure what the reverse index buys.
+
+Strategy choice: patterns that need per-path bindings (``foreach`` labels,
+cross-step attribute references, table outputs) run the binding-join
+executor; pure structural queries with subgraph output run the cheaper
+set-frontier executor.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+from repro.catalog import Catalog, estimate_selectivity
+from repro.errors import PlanError
+from repro.graql.ast import DIR_OUT, GraphSelect, INTO_SUBGRAPH
+from repro.graql.typecheck import (
+    CheckedGraphSelect,
+    RAtom,
+    REdgeStep,
+    RPattern,
+    RRegex,
+    RVertexStep,
+)
+
+Direction = Literal["forward", "backward"]
+Strategy = Literal["set", "bindings"]
+
+#: cost charged per regex-group iteration (treated as one variant hop)
+_REGEX_HOP_PENALTY = 2.0
+
+
+class AtomPlan:
+    """Planned execution of one linear path."""
+
+    def __init__(
+        self,
+        atom: RAtom,
+        direction: Direction,
+        cost_forward: float,
+        cost_backward: float,
+    ) -> None:
+        self.atom = atom
+        self.direction = direction
+        self.cost_forward = cost_forward
+        self.cost_backward = cost_backward
+
+    def __repr__(self) -> str:
+        return (
+            f"AtomPlan({self.direction}, fwd={self.cost_forward:.1f}, "
+            f"bwd={self.cost_backward:.1f})"
+        )
+
+
+class QueryPlan:
+    """Planned execution of a whole graph select."""
+
+    def __init__(
+        self,
+        checked: CheckedGraphSelect,
+        strategy: Strategy,
+        atom_plans: dict[int, AtomPlan],
+    ) -> None:
+        self.checked = checked
+        self.strategy = strategy
+        self.atom_plans = atom_plans  # keyed by id(atom)
+
+    def plan_for(self, atom: RAtom) -> AtomPlan:
+        return self.atom_plans[id(atom)]
+
+    def __repr__(self) -> str:
+        return f"QueryPlan(strategy={self.strategy}, atoms={len(self.atom_plans)})"
+
+
+def _vertex_cardinality(step: RVertexStep, catalog: Catalog) -> float:
+    """Estimated matches of a vertex step in isolation."""
+    total = 0.0
+    for t in step.types:
+        meta = catalog.vertex(t)
+        sel = estimate_selectivity(step.cond, meta.distinct_counts)
+        total += meta.num_vertices * sel
+    if step.seed is not None:
+        seeded = catalog.subgraphs.get(step.seed, {})
+        cap = sum(seeded.get(t, 0) for t in step.types)
+        total = min(total, float(cap)) if seeded else total
+    return max(total, 0.0)
+
+
+def _edge_expansion(step: REdgeStep, catalog: Catalog, along_lexical: bool) -> float:
+    """Average frontier growth for one edge step in traversal direction.
+
+    *along_lexical* is True when the sweep traverses the step from its
+    lexical left vertex to its right vertex.
+    """
+    factors = []
+    for name in step.names:
+        em = catalog.edge(name)
+        # going left->right on an OUT edge follows the declared direction
+        outgoing = (step.direction == DIR_OUT) == along_lexical
+        factors.append(em.degree_stats.expansion_factor(outgoing))
+    if not factors:
+        return 0.0
+    sel = estimate_selectivity(step.cond)
+    return max(factors) * sel
+
+
+def _sweep_cost(steps: list, catalog: Catalog, forward: bool) -> float:
+    """Frontier-recurrence cost of sweeping an atom in one direction."""
+    ordered = steps if forward else list(reversed(steps))
+    first = ordered[0]
+    if not isinstance(first, RVertexStep):  # pragma: no cover - grammar
+        raise PlanError("path must start and end with vertex steps")
+    frontier = _vertex_cardinality(first, catalog)
+    cost = frontier
+    i = 1
+    while i < len(ordered):
+        estep = ordered[i]
+        vstep = ordered[i + 1]
+        if isinstance(estep, RRegex):
+            # a regex group behaves like a couple of variant hops
+            frontier *= _REGEX_HOP_PENALTY
+        else:
+            assert isinstance(estep, REdgeStep)
+            frontier *= max(_edge_expansion(estep, catalog, along_lexical=forward), 1e-3)
+        assert isinstance(vstep, RVertexStep)
+        selectivities = [
+            estimate_selectivity(vstep.cond, catalog.vertex(t).distinct_counts)
+            for t in vstep.types
+        ] or [1.0]
+        frontier *= max(selectivities)
+        # frontier cannot exceed the step's own cardinality
+        frontier = min(frontier, max(_vertex_cardinality(vstep, catalog), 1e-3))
+        cost += frontier
+        i += 2
+    return cost
+
+
+def _has_internal_label_ref(atom: RAtom) -> bool:
+    """True if a step references a label defined earlier in this atom.
+
+    Such atoms must sweep forward so the defining step is processed before
+    the referencing step.
+    """
+    defined: set[str] = set()
+    for s in atom.steps:
+        if isinstance(s, (RVertexStep, REdgeStep)):
+            if s.label_ref is not None and s.label_ref in defined:
+                return True
+            if s.label is not None:
+                defined.add(s.label.name)
+    return False
+
+
+def plan_atom(
+    atom: RAtom,
+    catalog: Catalog,
+    force_direction: Optional[Direction] = None,
+) -> AtomPlan:
+    """Choose the sweep direction for one atom."""
+    cf = _sweep_cost(atom.steps, catalog, forward=True)
+    cb = _sweep_cost(atom.steps, catalog, forward=False)
+    if _has_internal_label_ref(atom):
+        direction: Direction = "forward"
+    elif force_direction is not None:
+        direction = force_direction
+    else:
+        direction = "forward" if cf <= cb else "backward"
+    return AtomPlan(atom, direction, cf, cb)
+
+
+def plan_graph_select(
+    checked: CheckedGraphSelect,
+    catalog: Catalog,
+    force_direction: Optional[Direction] = None,
+    force_strategy: Optional[Strategy] = None,
+) -> QueryPlan:
+    """Plan a checked graph select: strategy + per-atom directions."""
+    pattern: RPattern = checked.pattern
+    stmt: GraphSelect = checked.stmt
+    if force_strategy is not None:
+        strategy: Strategy = force_strategy
+    elif pattern.needs_bindings:
+        strategy = "bindings"
+    elif stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+        strategy = "set"
+    else:
+        strategy = "bindings"
+    if strategy == "set" and pattern.needs_bindings:
+        raise PlanError(
+            "this query needs per-path bindings (foreach labels or "
+            "cross-step references) and cannot run with the set strategy"
+        )
+    atom_plans: dict[int, AtomPlan] = {}
+    for atom in pattern.atoms():
+        atom_plans[id(atom)] = plan_atom(atom, catalog, force_direction)
+    return QueryPlan(checked, strategy, atom_plans)

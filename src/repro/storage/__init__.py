@@ -1,0 +1,20 @@
+"""Tabular storage engine.
+
+First design principle of the paper: *all data is stored in tabular form*
+(Section I).  This package is the in-memory columnar table store that
+everything else — vertex views, edge views, the relational subset of GraQL
+(Table I) — is built on.
+
+Layout follows the HPC guidance for Python: each attribute is a flat NumPy
+array (int64 / float64 / object), operators are vectorized (masks, argsort,
+bincount, reduceat) rather than row loops, and row-id arrays (``int64``
+index vectors) are the universal currency between operators so data is
+never copied until materialization.
+"""
+
+from repro.storage.column import Column
+from repro.storage.csvio import read_csv_into, write_csv
+from repro.storage.schema import ColumnDef, Schema
+from repro.storage.table import Table
+
+__all__ = ["Column", "ColumnDef", "Schema", "Table", "read_csv_into", "write_csv"]

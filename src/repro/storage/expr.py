@@ -1,0 +1,503 @@
+"""Scalar expression trees and their vectorized evaluator.
+
+GraQL conditions appear in three places: ``where`` clauses of vertex/edge
+declarations (Figs 3-4), per-step filters of path queries (``country =
+%Country1%``), and the relational subset's ``where``.  All three share this
+expression representation; the parser builds these nodes directly.
+
+Evaluation is *columnar*: an expression evaluates against an
+:class:`Env` that resolves (qualifier, attribute) references to NumPy
+arrays, and produces a full-length result array in one vectorized pass.
+NULL semantics follow the pragmatic two-valued convention: any comparison
+involving NULL is False, and arithmetic involving NULL yields NULL.
+
+Static type inference (:func:`infer_type`) implements the Section III-A
+checks: comparing incomparable kinds (e.g. a date against a float) raises
+:class:`~repro.errors.TypeCheckError` without touching any data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.dtypes import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    DataType,
+    VarChar,
+    parse_date,
+)
+from repro.dtypes.datatypes import (
+    KIND_BOOL,
+    KIND_DATE,
+    KIND_NUMERIC,
+    KIND_STRING,
+    common_type,
+)
+from repro.dtypes.values import DATE_NULL, INT_NULL
+from repro.errors import ExecutionError, TypeCheckError
+
+COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+ARITHMETIC_OPS = ("+", "-", "*", "/")
+LOGICAL_OPS = ("and", "or")
+
+
+class Expr:
+    """Base class for expression nodes (immutable)."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return False
+        return all(
+            getattr(self, s) == getattr(other, s) for s in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,) + tuple(
+            getattr(self, s) if not isinstance(getattr(self, s), list) else tuple(getattr(self, s))
+            for s in self.__slots__
+        ))
+
+
+class Const(Expr):
+    """A literal constant.  ``dtype`` is the literal's natural type."""
+
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value: Any, dtype: DataType | None = None) -> None:
+        if dtype is None:
+            if isinstance(value, bool):
+                dtype = BOOLEAN
+                value = int(value)
+            elif isinstance(value, int):
+                dtype = INTEGER
+            elif isinstance(value, float):
+                dtype = FLOAT
+            elif isinstance(value, str):
+                dtype = VarChar(max(1, len(value)))
+            else:
+                raise TypeError(f"unsupported literal: {value!r}")
+        self.value = value
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Param(Expr):
+    """A ``%Name%`` query parameter, replaced before execution."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Param(%{self.name}%)"
+
+
+class ColRef(Expr):
+    """A reference to an attribute, optionally qualified.
+
+    ``ProductVtx.producer`` parses to ``ColRef("ProductVtx", "producer")``;
+    a bare ``country`` inside a step filter parses to
+    ``ColRef(None, "country")`` and is resolved against the step's own type.
+    """
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, qualifier: str | None, name: str) -> None:
+        self.qualifier = qualifier
+        self.name = name
+
+    def __repr__(self) -> str:
+        q = f"{self.qualifier}." if self.qualifier else ""
+        return f"ColRef({q}{self.name})"
+
+
+class BinOp(Expr):
+    """Binary operation: comparison, arithmetic, or logical."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        op = op.lower() if op.lower() in LOGICAL_OPS else op
+        if op not in COMPARISON_OPS + ARITHMETIC_OPS + tuple(LOGICAL_OPS):
+            raise ValueError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.left!r} {self.op} {self.right!r})"
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+class IsNull(Expr):
+    """``x is null`` / ``x is not null`` test."""
+
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expr, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"IsNull({self.operand!r}, negated={self.negated})"
+
+
+# ----------------------------------------------------------------------
+# Tree utilities
+# ----------------------------------------------------------------------
+
+def col_refs(expr: Expr) -> list[ColRef]:
+    """All column references in the tree, in traversal order."""
+    return [n for n in expr.walk() if isinstance(n, ColRef)]
+
+
+def params(expr: Expr) -> list[str]:
+    """All parameter names in the tree."""
+    return [n.name for n in expr.walk() if isinstance(n, Param)]
+
+
+def substitute_params(expr: Expr, values: dict[str, Any]) -> Expr:
+    """Replace every ``Param`` with a ``Const`` from *values* (copying)."""
+    if isinstance(expr, Param):
+        if expr.name not in values:
+            raise ExecutionError(f"unbound query parameter %{expr.name}%")
+        v = values[expr.name]
+        return v if isinstance(v, Const) else Const(v)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute_params(expr.left, values),
+            substitute_params(expr.right, values),
+        )
+    if isinstance(expr, Not):
+        return Not(substitute_params(expr.operand, values))
+    if isinstance(expr, IsNull):
+        return IsNull(substitute_params(expr.operand, values), expr.negated)
+    return expr
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Split a condition into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(exprs: list[Expr]) -> Expr | None:
+    """Re-combine conjuncts into a single AND tree (None if empty)."""
+    if not exprs:
+        return None
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = BinOp("and", out, e)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Static type inference (Section III-A)
+# ----------------------------------------------------------------------
+
+TypeResolver = Callable[[str | None, str], DataType]
+
+
+def infer_type(expr: Expr, resolve: TypeResolver) -> DataType:
+    """Infer the type of *expr*, raising ``TypeCheckError`` on misuse.
+
+    *resolve* maps a (qualifier, attribute) pair to the attribute's
+    declared type; it raises ``TypeCheckError`` for unknown names.
+    String literals are admissible wherever a date is expected (date
+    literals are written as quoted strings).
+    """
+    if isinstance(expr, Const):
+        return expr.dtype
+    if isinstance(expr, Param):
+        raise TypeCheckError(
+            f"parameter %{expr.name}% not substituted before type checking"
+        )
+    if isinstance(expr, ColRef):
+        return resolve(expr.qualifier, expr.name)
+    if isinstance(expr, Not):
+        t = infer_type(expr.operand, resolve)
+        if t.kind != KIND_BOOL:
+            raise TypeCheckError(f"'not' requires a boolean, got {t.ddl()}")
+        return BOOLEAN
+    if isinstance(expr, IsNull):
+        infer_type(expr.operand, resolve)
+        return BOOLEAN
+    assert isinstance(expr, BinOp)
+    lt = infer_type(expr.left, resolve)
+    rt = infer_type(expr.right, resolve)
+    if expr.op in LOGICAL_OPS:
+        if lt.kind != KIND_BOOL or rt.kind != KIND_BOOL:
+            raise TypeCheckError(
+                f"'{expr.op}' requires boolean operands, got "
+                f"{lt.ddl()} and {rt.ddl()}"
+            )
+        return BOOLEAN
+    # date literals arrive as strings: allow string<->date pairing when one
+    # side is a string *literal*
+    lt, rt = _coerce_date_literal_types(expr, lt, rt)
+    if expr.op in COMPARISON_OPS:
+        if lt.kind != rt.kind:
+            raise TypeCheckError(
+                f"cannot compare {lt.ddl()} with {rt.ddl()} "
+                f"(operator '{expr.op}')"
+            )
+        return BOOLEAN
+    # arithmetic
+    if lt.kind != KIND_NUMERIC or rt.kind != KIND_NUMERIC:
+        raise TypeCheckError(
+            f"arithmetic '{expr.op}' requires numeric operands, got "
+            f"{lt.ddl()} and {rt.ddl()}"
+        )
+    if expr.op == "/":
+        return FLOAT
+    return common_type(lt, rt)
+
+
+def _coerce_date_literal_types(
+    expr: BinOp, lt: DataType, rt: DataType
+) -> tuple[DataType, DataType]:
+    if lt.kind == KIND_DATE and rt.kind == KIND_STRING and isinstance(expr.right, Const):
+        try:
+            parse_date(expr.right.value)
+        except ValueError:
+            raise TypeCheckError(
+                f"cannot compare date with non-date string {expr.right.value!r}"
+            ) from None
+        return lt, DATE
+    if rt.kind == KIND_DATE and lt.kind == KIND_STRING and isinstance(expr.left, Const):
+        try:
+            parse_date(expr.left.value)
+        except ValueError:
+            raise TypeCheckError(
+                f"cannot compare date with non-date string {expr.left.value!r}"
+            ) from None
+        return DATE, rt
+    return lt, rt
+
+
+# ----------------------------------------------------------------------
+# Vectorized evaluation
+# ----------------------------------------------------------------------
+
+class Env:
+    """Resolution environment for evaluation.
+
+    Subclasses (or instances built with :meth:`from_table`) provide
+    ``resolve(qualifier, name) -> (np.ndarray, DataType)`` plus the row
+    count ``nrows``; all returned arrays must have ``nrows`` elements.
+    """
+
+    def __init__(
+        self,
+        resolver: Callable[[str | None, str], tuple[np.ndarray, DataType]],
+        nrows: int,
+    ) -> None:
+        self._resolver = resolver
+        self.nrows = nrows
+
+    def resolve(self, qualifier: str | None, name: str) -> tuple[np.ndarray, DataType]:
+        return self._resolver(qualifier, name)
+
+    @classmethod
+    def from_table(cls, table) -> "Env":
+        """Environment over a single table; qualifier must be absent or
+        match the table name."""
+
+        def resolver(qualifier: str | None, name: str):
+            if qualifier is not None and qualifier != table.name:
+                raise ExecutionError(
+                    f"unknown qualifier {qualifier!r} (table is {table.name!r})"
+                )
+            col = table.column(name)
+            return col.data, col.dtype
+
+        return cls(resolver, table.num_rows)
+
+    @classmethod
+    def from_columns(cls, mapping: dict[tuple[str | None, str], tuple[np.ndarray, DataType]], nrows: int) -> "Env":
+        def resolver(qualifier: str | None, name: str):
+            try:
+                return mapping[(qualifier, name)]
+            except KeyError:
+                raise ExecutionError(
+                    f"cannot resolve attribute "
+                    f"{qualifier + '.' if qualifier else ''}{name}"
+                ) from None
+
+        return cls(resolver, nrows)
+
+
+def _null_mask_of(arr: np.ndarray, dtype: DataType) -> np.ndarray:
+    if arr.dtype == np.dtype(object):
+        return np.array([v is None for v in arr], dtype=bool)
+    if arr.dtype == np.float64:
+        return np.isnan(arr)
+    if dtype.kind == KIND_DATE:
+        return arr == DATE_NULL
+    if dtype.kind == KIND_BOOL:
+        return arr == -1
+    return arr == INT_NULL
+
+
+def _broadcast_const(value: Any, dtype: DataType, n: int) -> np.ndarray:
+    if dtype.numpy_dtype == np.dtype(object):
+        arr = np.empty(n, dtype=object)
+        arr[:] = value
+        return arr
+    return np.full(n, value, dtype=dtype.numpy_dtype)
+
+
+def _eval(expr: Expr, env: Env) -> tuple[np.ndarray, DataType, np.ndarray]:
+    """Evaluate to (values, dtype, null_mask)."""
+    n = env.nrows
+    if isinstance(expr, Const):
+        arr = _broadcast_const(expr.value, expr.dtype, n)
+        return arr, expr.dtype, np.zeros(n, dtype=bool)
+    if isinstance(expr, Param):
+        raise ExecutionError(f"unbound parameter %{expr.name}% at evaluation")
+    if isinstance(expr, ColRef):
+        arr, dtype = env.resolve(expr.qualifier, expr.name)
+        return arr, dtype, _null_mask_of(arr, dtype)
+    if isinstance(expr, Not):
+        v, t, nm = _eval(expr.operand, env)
+        return ~v.astype(bool), BOOLEAN, nm
+    if isinstance(expr, IsNull):
+        _, _, nm = _eval(expr.operand, env)
+        out = ~nm if expr.negated else nm
+        return out, BOOLEAN, np.zeros(n, dtype=bool)
+    assert isinstance(expr, BinOp)
+    lv, lt, lnull = _eval(expr.left, env)
+    rv, rt, rnull = _eval(expr.right, env)
+    if expr.op in LOGICAL_OPS:
+        lb = lv.astype(bool)
+        rb = rv.astype(bool)
+        out = (lb & rb) if expr.op == "and" else (lb | rb)
+        return out, BOOLEAN, np.zeros(n, dtype=bool)
+    # date-literal coercion: string constant compared against date column
+    lv, lt, rv, rt = _coerce_date_values(expr, lv, lt, rv, rt)
+    nulls = lnull | rnull
+    if expr.op in COMPARISON_OPS:
+        out = _compare(expr.op, lv, lt, rv, rt, nulls)
+        out[nulls] = False
+        return out, BOOLEAN, np.zeros(n, dtype=bool)
+    # arithmetic
+    out_t = FLOAT if (expr.op == "/" or lt == FLOAT or rt == FLOAT) else INTEGER
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        a = lv.astype(np.float64) if out_t == FLOAT else lv.astype(np.int64)
+        b = rv.astype(np.float64) if out_t == FLOAT else rv.astype(np.int64)
+        if expr.op == "+":
+            out = a + b
+        elif expr.op == "-":
+            out = a - b
+        elif expr.op == "*":
+            out = a * b
+        else:
+            out = a.astype(np.float64) / b.astype(np.float64)
+    if out_t == FLOAT:
+        out = out.astype(np.float64)
+        out[nulls] = np.nan
+        return out, FLOAT, np.zeros(n, dtype=bool)
+    out = out.astype(np.int64)
+    out[nulls] = INT_NULL
+    return out, INTEGER, nulls
+
+
+def _coerce_date_values(expr, lv, lt, rv, rt):
+    if lt.kind == KIND_DATE and rt.kind == KIND_STRING:
+        rv = np.array(
+            [DATE_NULL if v is None else parse_date(v) for v in rv], dtype=np.int64
+        )
+        rt = DATE
+    elif rt.kind == KIND_DATE and lt.kind == KIND_STRING:
+        lv = np.array(
+            [DATE_NULL if v is None else parse_date(v) for v in lv], dtype=np.int64
+        )
+        lt = DATE
+    return lv, lt, rv, rt
+
+
+def _compare(op, lv, lt, rv, rt, nulls) -> np.ndarray:
+    if lv.dtype == np.dtype(object) or rv.dtype == np.dtype(object):
+        # string comparison: mask nulls with "" so object compare is safe
+        ls = np.array(["" if v is None else str(v) for v in lv], dtype=object)
+        rs = np.array(["" if v is None else str(v) for v in rv], dtype=object)
+        lv, rv = ls, rs
+    if op == "=":
+        return np.asarray(lv == rv, dtype=bool)
+    if op in ("<>", "!="):
+        return np.asarray(lv != rv, dtype=bool)
+    if op == "<":
+        return np.asarray(lv < rv, dtype=bool)
+    if op == "<=":
+        return np.asarray(lv <= rv, dtype=bool)
+    if op == ">":
+        return np.asarray(lv > rv, dtype=bool)
+    return np.asarray(lv >= rv, dtype=bool)
+
+
+def evaluate(expr: Expr, env: Env) -> np.ndarray:
+    """Evaluate *expr* to a value array of length ``env.nrows``."""
+    v, _, _ = _eval(expr, env)
+    return v
+
+
+def evaluate_predicate(expr: Expr | None, env: Env) -> np.ndarray:
+    """Evaluate a condition to a boolean mask (None = all True)."""
+    if expr is None:
+        return np.ones(env.nrows, dtype=bool)
+    v, t, _ = _eval(expr, env)
+    if t.kind != KIND_BOOL:
+        raise ExecutionError(
+            f"condition does not evaluate to a boolean (got {t.ddl()})"
+        )
+    return v.astype(bool)
+
+
+def evaluate_scalar(expr: Expr) -> Any:
+    """Evaluate a constant expression (no column refs) to a Python value."""
+    env = Env.from_columns({}, 1)
+    v, _, nm = _eval(expr, env)
+    return None if nm[0] else (v[0].item() if isinstance(v[0], np.generic) else v[0])

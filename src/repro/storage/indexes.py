@@ -1,0 +1,97 @@
+"""Secondary indexes over table columns.
+
+Two index kinds back the graph layer:
+
+* :class:`HashIndex` — exact-match lookup from a key tuple to the row ids
+  holding it.  This is how a vertex view maps a vertex key to its source
+  row(s): one row for one-to-one mappings, several for many-to-one
+  (Section II-A).
+* :class:`SortedIndex` — a sorted-codes index supporting vectorized batch
+  lookup (``lookup_many``), the building block the CSR edge index
+  (:mod:`repro.graph.edge_index`) uses for bulk endpoint resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.storage.table import Table
+
+
+class HashIndex:
+    """Exact-match index: key tuple -> int64 array of row ids."""
+
+    def __init__(self, table: Table, key_names: Sequence[str]) -> None:
+        self.key_names = list(key_names)
+        self._map: dict[tuple, list[int]] = {}
+        cols = [table.column(k) for k in self.key_names]
+        for i in range(table.num_rows):
+            key = tuple(c.value(i) for c in cols)
+            self._map.setdefault(key, []).append(i)
+        self._frozen: dict[tuple, np.ndarray] = {
+            k: np.asarray(v, dtype=np.int64) for k, v in self._map.items()
+        }
+
+    def lookup(self, key: tuple) -> np.ndarray:
+        """Row ids holding *key* (possibly empty)."""
+        return self._frozen.get(tuple(key), np.empty(0, dtype=np.int64))
+
+    def contains(self, key: tuple) -> bool:
+        return tuple(key) in self._frozen
+
+    def keys(self) -> list[tuple]:
+        return list(self._frozen.keys())
+
+    def __len__(self) -> int:
+        return len(self._frozen)
+
+
+class SortedIndex:
+    """Vectorized batch-lookup index over a single int64 code array.
+
+    Build once over ``codes`` (e.g. factorized key codes); then
+    :meth:`lookup_many` maps a query array to (row_ids, query_offsets)
+    fully vectorized via searchsorted.
+    """
+
+    def __init__(self, codes: np.ndarray) -> None:
+        self.order = np.argsort(codes, kind="stable")
+        self.sorted_codes = codes[self.order]
+
+    def lookup_many(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """For each query code, every matching row id.
+
+        Returns ``(row_ids, query_index)`` aligned arrays: row ``row_ids[i]``
+        matches ``queries[query_index[i]]``.
+        """
+        lo = np.searchsorted(self.sorted_codes, queries, side="left")
+        hi = np.searchsorted(self.sorted_codes, queries, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        qidx = np.repeat(np.arange(len(queries)), counts)
+        starts = np.repeat(lo, counts)
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        return self.order[starts + offsets], qidx
+
+
+def unique_key_codes(table: Table, key_names: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
+    """Factorize key columns; return (codes per row, distinct key tuples).
+
+    ``codes[i] == j`` means row *i* carries distinct key ``keys[j]``.
+    Used by many-to-one vertex views where several rows share one key.
+    """
+    from repro.storage.relops import group_rows
+
+    _, first, inv = group_rows(table, key_names)
+    cols = [table.column(k) for k in key_names]
+    keys = [tuple(c.value(int(i)) for c in cols) for i in first]
+    return inv, keys
+
+
+def key_tuple(table: Table, key_names: Sequence[str], row: int) -> tuple[Any, ...]:
+    """The key tuple of one row (cold path)."""
+    return tuple(table.column(k).value(row) for k in key_names)

@@ -1,0 +1,100 @@
+"""Table schemas: ordered, named, strongly-typed attribute lists."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dtypes import DataType
+from repro.errors import CatalogError
+
+
+class ColumnDef:
+    """A single attribute declaration: name + type."""
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, name: str, dtype: DataType) -> None:
+        self.name = name
+        self.dtype = dtype
+
+    def ddl(self) -> str:
+        return f"{self.name} {self.dtype.ddl()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ColumnDef)
+            and self.name == other.name
+            and self.dtype == other.dtype
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype))
+
+    def __repr__(self) -> str:
+        return f"ColumnDef({self.name!r}, {self.dtype!r})"
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnDef` with unique names.
+
+    Attribute names are case-sensitive, matching the paper's examples
+    (``propertyNumeric_1``, ``reviewFor`` ...).
+    """
+
+    def __init__(self, columns: Iterable[ColumnDef]) -> None:
+        self.columns: list[ColumnDef] = list(columns)
+        self._index: dict[str, int] = {}
+        for i, c in enumerate(self.columns):
+            if c.name in self._index:
+                raise CatalogError(f"duplicate column name {c.name!r} in schema")
+            self._index[c.name] = i
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Build a schema from (name, type) pairs."""
+        return cls(ColumnDef(n, t) for n, t in pairs)
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def types(self) -> list[DataType]:
+        return [c.dtype for c in self.columns]
+
+    def has(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def type_of(self, name: str) -> DataType:
+        return self.columns[self.index_of(name)].dtype
+
+    def subset(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only *names*, in the given order."""
+        return Schema(self.columns[self.index_of(n)] for n in names)
+
+    def concat(self, other: "Schema", prefix: str = "") -> "Schema":
+        """Concatenate two schemas, optionally prefixing *other*'s names."""
+        cols = list(self.columns)
+        for c in other.columns:
+            cols.append(ColumnDef(prefix + c.name, c.dtype))
+        return Schema(cols)
+
+    def ddl(self) -> str:
+        inner = ",\n  ".join(c.ddl() for c in self.columns)
+        return f"(\n  {inner}\n)"
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnDef]:
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(c.ddl() for c in self.columns)})"

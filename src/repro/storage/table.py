@@ -1,0 +1,175 @@
+"""In-memory tables: a named schema plus aligned columns.
+
+Tables are *logically immutable*: every operator returns a new ``Table``
+sharing column arrays where possible (views, not copies — per the HPC
+guidance).  The only mutating operation is :meth:`Table.append_rows`,
+used by atomic CSV ingest, which replaces the column set wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnDef, Schema
+
+
+class Table:
+    """A named, strongly-typed, columnar table."""
+
+    def __init__(self, name: str, schema: Schema, columns: list[Column] | None = None) -> None:
+        self.name = name
+        self.schema = schema
+        if columns is None:
+            columns = [Column.empty(c.dtype) for c in schema]
+        if len(columns) != len(schema):
+            raise CatalogError(
+                f"table {name!r}: {len(columns)} columns for {len(schema)} schema entries"
+            )
+        n = len(columns[0]) if columns else 0
+        for c in columns:
+            if len(c) != n:
+                raise CatalogError(f"table {name!r}: ragged column lengths")
+        self.columns = columns
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, name: str, schema: Schema, rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from row tuples of stored values."""
+        rows = list(rows)
+        cols = []
+        for i, cdef in enumerate(schema):
+            cols.append(Column.from_values(cdef.dtype, [r[i] for r in rows]))
+        return cls(name, schema, cols)
+
+    @classmethod
+    def from_texts(cls, name: str, schema: Schema, rows: Iterable[Sequence[str]]) -> "Table":
+        """Build a table by parsing textual fields (CSV-style)."""
+        rows = list(rows)
+        cols = []
+        for i, cdef in enumerate(schema):
+            cols.append(
+                Column.from_values(cdef.dtype, [cdef.dtype.parse(r[i]) for r in rows])
+            )
+        return cls(name, schema, cols)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.schema.index_of(name)]
+
+    def column_at(self, i: int) -> Column:
+        return self.columns[i]
+
+    def row(self, i: int) -> tuple:
+        return tuple(c.value(i) for c in self.columns)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def to_rows(self) -> list[tuple]:
+        return list(self.iter_rows())
+
+    def column_dict(self) -> dict[str, np.ndarray]:
+        """Raw arrays keyed by column name (zero-copy)."""
+        return {c.name: col.data for c, col in zip(self.schema, self.columns)}
+
+    # ------------------------------------------------------------------
+    # Vectorized transformations (return new tables)
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        return Table(name or self.name, self.schema, [c.take(indices) for c in self.columns])
+
+    def filter(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        return Table(name or self.name, self.schema, [c.filter(mask) for c in self.columns])
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "Table":
+        idx = [self.schema.index_of(n) for n in names]
+        return Table(
+            name or self.name,
+            Schema(self.schema.columns[i] for i in idx),
+            [self.columns[i] for i in idx],
+        )
+
+    def rename_columns(self, mapping: dict[str, str], name: str | None = None) -> "Table":
+        cols = [
+            ColumnDef(mapping.get(c.name, c.name), c.dtype) for c in self.schema
+        ]
+        return Table(name or self.name, Schema(cols), list(self.columns))
+
+    def with_column(self, cdef: ColumnDef, col: Column, name: str | None = None) -> "Table":
+        if len(col) != self.num_rows and self.num_columns > 0:
+            raise CatalogError(
+                f"column length {len(col)} != table rows {self.num_rows}"
+            )
+        return Table(
+            name or self.name,
+            Schema(list(self.schema.columns) + [cdef]),
+            list(self.columns) + [col],
+        )
+
+    def head(self, n: int, name: str | None = None) -> "Table":
+        return self.take(np.arange(min(n, self.num_rows)), name)
+
+    def concat(self, other: "Table", name: str | None = None) -> "Table":
+        if other.schema.types() != self.schema.types():
+            raise CatalogError(
+                f"cannot concat tables with different schemas: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        return Table(
+            name or self.name,
+            self.schema,
+            [a.concat(b) for a, b in zip(self.columns, other.columns)],
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation (ingest only)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append stored-form rows in place (atomic-ingest building block)."""
+        appended = Table.from_rows(self.name, self.schema, rows)
+        merged = self.concat(appended)
+        self.columns = merged.columns
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def pretty(self, limit: int = 20) -> str:
+        """Fixed-width textual rendering (CLI output)."""
+        names = self.schema.names()
+        shown = [
+            [c.dtype.format(col.value(i)) or "NULL" for c, col in zip(self.schema, self.columns)]
+            for i in range(min(limit, self.num_rows))
+        ]
+        widths = [
+            max(len(n), *(len(r[j]) for r in shown)) if shown else len(n)
+            for j, n in enumerate(names)
+        ]
+        lines = [
+            " | ".join(n.ljust(w) for n, w in zip(names, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for r in shown:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self.num_rows > limit:
+            lines.append(f"... ({self.num_rows} rows total)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.schema.names()})"

@@ -1,0 +1,31 @@
+"""Workload generators.
+
+* :mod:`repro.workloads.berlin` — the paper's running example: a
+  BSBM-style (Berlin SPARQL Benchmark) e-commerce dataset matching the
+  Appendix-A schema exactly, plus the verbatim GraQL of Figs. 2-13 and a
+  catalog of business-intelligence queries with parameter generators.
+* :mod:`repro.workloads.cyber` — the introduction's cybersecurity
+  motivation: interaction graphs of hosts communicating over time.
+* :mod:`repro.workloads.biology` — the introduction's computational
+  biology motivation: signaling-pathway graphs (genes, proteins,
+  reactions).
+
+All generators are deterministic given a seed and scale with a single
+``scale`` knob.
+"""
+
+from repro.workloads.berlin import (
+    BERLIN_DDL,
+    BERLIN_EXPORT_DDL,
+    BerlinData,
+    berlin_database,
+    generate_berlin,
+)
+
+__all__ = [
+    "BERLIN_DDL",
+    "BERLIN_EXPORT_DDL",
+    "BerlinData",
+    "generate_berlin",
+    "berlin_database",
+]

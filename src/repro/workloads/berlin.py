@@ -1,0 +1,660 @@
+"""The Berlin (BSBM) workload — the paper's running example.
+
+``BERLIN_DDL`` is the paper's data definition: the Appendix-A table
+declarations, the Fig. 2 vertex declarations and the Fig. 3 edge
+declarations (including the ``feature`` edge that references its relation
+table only in the ``where`` clause, exactly as printed).  One deviation:
+the Appendix declares most string columns ``varchar(10)``, which cannot
+hold the paper's own example value "ProductType" (11 chars) nor ids past
+``product999``; those columns are widened to ``varchar(16)`` here.
+``BERLIN_EXPORT_DDL`` adds the Fig. 4 many-to-one country vertices and
+``export`` edge.
+
+``generate_berlin`` synthesizes a deterministic dataset in the spirit of
+the Berlin SPARQL Benchmark's e-commerce generator: products made by
+producers, carrying features and types from a subclass hierarchy, offered
+by vendors, reviewed by persons.  One ``scale`` knob sets the product
+count; every other entity count follows BSBM's rough proportions.
+
+``QUERIES`` is the query catalog: the verbatim Figs. 6/7/9/11/13 queries
+plus additional business-intelligence queries exercising every language
+feature, with parameter generators for benchmarking.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.session import Database
+from repro.storage.csvio import write_csv
+
+COUNTRIES = ["US", "DE", "FR", "GB", "JP", "CN", "IT", "ES", "RU", "BR", "CA", "AT"]
+
+BERLIN_DDL = """
+create table Types(
+  id varchar(16),
+  type varchar(16), // ProductType
+  comment varchar(255),
+  subclassOf varchar(16), // Types.id
+  publisher varchar(16),
+  date date
+)
+
+create table Features(
+  id varchar(16),
+  type varchar(16), // ProductFeatures
+  label varchar(16),
+  comment varchar(255),
+  publisher varchar(16),
+  date date
+)
+
+create table Producers(
+  id varchar(16),
+  type varchar(16), // Producer
+  label varchar(16),
+  comment varchar(255),
+  homepage varchar(16),
+  country varchar(16),
+  publisher varchar(16),
+  date date
+)
+
+create table Products(
+  id varchar(16),
+  type varchar(16), // Product
+  label varchar(16),
+  comment varchar(255),
+  producer varchar(16), // Producers.id
+  propertyNumeric_1 integer,
+  propertyNumeric_2 integer,
+  propertyNumeric_3 integer,
+  propertyNumeric_4 integer,
+  propertyNumeric_5 integer,
+  propertyText_1 varchar(16),
+  propertyText_2 varchar(16),
+  propertyText_3 varchar(16),
+  propertyText_4 varchar(16),
+  propertyText_5 varchar(16),
+  publisher varchar(16),
+  date date
+)
+
+create table ProductTypes(
+  product varchar(16), // Products.id
+  type varchar(16) // Types.id
+)
+
+create table ProductFeatures(
+  product varchar(16), // Products.id
+  feature varchar(16) // Features.id
+)
+
+create table Vendors(
+  id varchar(16),
+  type varchar(16), // Vendor
+  label varchar(16),
+  comment varchar(255),
+  homepage varchar(16),
+  country varchar(16),
+  publisher varchar(16),
+  date date
+)
+
+create table Offers(
+  id varchar(16),
+  type varchar(16), // Offer
+  product varchar(16), // Products.id
+  vendor varchar(16), // Vendors.id
+  price float,
+  validFrom date,
+  validTo date,
+  deliveryDays integer,
+  offerWebPage varchar(16),
+  publisher varchar(16),
+  date date
+)
+
+create table Persons(
+  id varchar(16),
+  type varchar(16), // Person
+  name varchar(16),
+  mailbox varchar(16),
+  country varchar(16),
+  publisher varchar(16),
+  date date
+)
+
+create table Reviews(
+  id varchar(16),
+  type varchar(16), // Review
+  reviewFor varchar(16), // Products.id
+  reviewer varchar(16), // Persons.id
+  reviewDate date,
+  title varchar(16),
+  text varchar(16),
+  ratings_1 integer,
+  ratings_2 integer,
+  ratings_3 integer,
+  ratings_4 integer,
+  publisher varchar(16),
+  date date
+)
+
+create vertex TypeVtx(id)
+from table Types
+
+create vertex FeatureVtx(id)
+from table Features
+
+create vertex ProducerVtx(id)
+from table Producers
+
+create vertex ProductVtx(id)
+from table Products
+
+create vertex VendorVtx(id)
+from table Vendors
+
+create vertex OfferVtx(id)
+from table Offers
+
+create vertex PersonVtx(id)
+from table Persons
+
+create vertex ReviewVtx(id)
+from table Reviews
+
+create edge subclass with
+vertices (TypeVtx as A, TypeVtx as B)
+where A.subclassOf = B.id
+
+create edge producer with
+vertices (ProductVtx, ProducerVtx)
+where ProductVtx.producer = ProducerVtx.id
+
+create edge type with
+vertices (ProductVtx, TypeVtx)
+from table ProductTypes
+where ProductTypes.product = ProductVtx.id
+and ProductTypes.type = TypeVtx.id
+
+create edge feature with
+vertices (ProductVtx, FeatureVtx)
+where ProductFeatures.product = ProductVtx.id
+and ProductFeatures.feature = FeatureVtx.id
+
+create edge product with
+vertices (OfferVtx, ProductVtx)
+where OfferVtx.product = ProductVtx.id
+
+create edge vendor with
+vertices (OfferVtx, VendorVtx)
+where OfferVtx.vendor = VendorVtx.id
+
+create edge reviewFor with
+vertices (ReviewVtx, ProductVtx)
+where ReviewVtx.reviewFor = ProductVtx.id
+
+create edge reviewer with
+vertices (ReviewVtx, PersonVtx)
+where ReviewVtx.reviewer = PersonVtx.id
+"""
+
+#: Fig. 4: many-to-one country vertices + the export edge whose four-way
+#: join derives country-to-country trade links (Fig. 5 semantics)
+BERLIN_EXPORT_DDL = """
+create vertex ProducerCountry(country)
+from table Producers
+
+create vertex VendorCountry(country)
+from table Vendors
+
+create edge export with
+vertices (ProducerCountry as PC, VendorCountry as VC)
+where Products.producer = PC.id
+and Offers.product = Products.id
+and Offers.vendor = VC.id
+and PC.country <> VC.country
+"""
+
+
+class BerlinData:
+    """Generated rows per table (stored-form tuples)."""
+
+    def __init__(self, tables: dict[str, list[tuple]], scale: int, seed: int) -> None:
+        self.tables = tables
+        self.scale = scale
+        self.seed = seed
+
+    def counts(self) -> dict[str, int]:
+        return {k: len(v) for k, v in self.tables.items()}
+
+    def __repr__(self) -> str:
+        return f"BerlinData(scale={self.scale}, {self.counts()})"
+
+
+def _date(rng: np.random.Generator, start=_dt.date(2005, 1, 1), span_days=3000) -> int:
+    return (start + _dt.timedelta(days=int(rng.integers(span_days)))).toordinal()
+
+
+def generate_berlin(scale: int = 200, seed: int = 7) -> BerlinData:
+    """Generate a Berlin dataset with ``scale`` products.
+
+    BSBM-style proportions: ~1 producer per 25 products, ~1 vendor per
+    20, features ~ scale/2 with 5-15 per product, a subclass hierarchy of
+    branching factor 4, ~1 person per 10 products, ~2 reviews and ~4
+    offers per product.
+    """
+    rng = np.random.default_rng(seed)
+    n_products = max(scale, 4)
+    n_producers = max(n_products // 25, 2)
+    n_vendors = max(n_products // 20, 2)
+    n_features = max(n_products // 2, 8)
+    n_persons = max(n_products // 10, 4)
+    n_offers = n_products * 4
+    n_reviews = n_products * 2
+
+    def country() -> str:
+        # skewed: earlier countries more common (BSBM-ish Zipf)
+        weights = 1.0 / np.arange(1, len(COUNTRIES) + 1)
+        weights /= weights.sum()
+        return str(rng.choice(COUNTRIES, p=weights))
+
+    # type hierarchy: root + levels of branching factor 4
+    types: list[tuple] = []
+    parents: list[str | None] = [None]
+    type_ids = ["type0"]
+    types.append(("type0", "ProductType", "root type", None, "pub1", _date(rng)))
+    level = ["type0"]
+    depth = 0
+    while len(type_ids) < max(8, n_products // 20) and depth < 6:
+        nxt = []
+        for parent in level:
+            for _ in range(4):
+                tid = f"type{len(type_ids)}"
+                type_ids.append(tid)
+                types.append(
+                    (tid, "ProductType", f"subtype of {parent}", parent, "pub1", _date(rng))
+                )
+                nxt.append(tid)
+                if len(type_ids) >= max(8, n_products // 20):
+                    break
+            if len(type_ids) >= max(8, n_products // 20):
+                break
+        level = nxt
+        depth += 1
+    leaf_types = [t for t in type_ids if t not in {r[3] for r in types}]
+    if not leaf_types:
+        leaf_types = type_ids[1:] or type_ids
+
+    features = [
+        (
+            f"feat{i}",
+            "ProductFeature",
+            f"label{i}",
+            f"feature {i}",
+            "pub1",
+            _date(rng),
+        )
+        for i in range(n_features)
+    ]
+
+    producers = [
+        (
+            f"producer{i}",
+            "Producer",
+            f"label{i}",
+            f"producer {i}",
+            f"hp{i}",
+            country(),
+            "pub1",
+            _date(rng),
+        )
+        for i in range(n_producers)
+    ]
+
+    # parent map for ancestor closure
+    parent_of = {r[0]: r[3] for r in types}
+
+    products: list[tuple] = []
+    product_types: list[tuple] = []
+    product_features: list[tuple] = []
+    for i in range(n_products):
+        pid = f"product{i}"
+        products.append(
+            (
+                pid,
+                "Product",
+                f"label{i}",
+                f"product {i}",
+                f"producer{int(rng.integers(n_producers))}",
+                int(rng.integers(1, 2001)),
+                int(rng.integers(1, 2001)),
+                int(rng.integers(1, 2001)),
+                int(rng.integers(1, 2001)),
+                int(rng.integers(1, 2001)),
+                f"text{int(rng.integers(100))}",
+                f"text{int(rng.integers(100))}",
+                f"text{int(rng.integers(100))}",
+                f"text{int(rng.integers(100))}",
+                f"text{int(rng.integers(100))}",
+                "pub1",
+                _date(rng),
+            )
+        )
+        # leaf type + all ancestors (BSBM assigns the full chain)
+        leaf = leaf_types[int(rng.integers(len(leaf_types)))]
+        t: str | None = leaf
+        while t is not None:
+            product_types.append((pid, t))
+            t = parent_of.get(t)
+        nfeat = int(rng.integers(5, 16))
+        chosen = rng.choice(n_features, size=min(nfeat, n_features), replace=False)
+        for f in chosen:
+            product_features.append((pid, f"feat{int(f)}"))
+
+    vendors = [
+        (
+            f"vendor{i}",
+            "Vendor",
+            f"label{i}",
+            f"vendor {i}",
+            f"hp{i}",
+            country(),
+            "pub1",
+            _date(rng),
+        )
+        for i in range(n_vendors)
+    ]
+
+    offers: list[tuple] = []
+    for i in range(n_offers):
+        valid_from = _date(rng)
+        offers.append(
+            (
+                f"offer{i}",
+                "Offer",
+                f"product{int(rng.integers(n_products))}",
+                f"vendor{int(rng.integers(n_vendors))}",
+                float(np.round(rng.uniform(5, 10_000), 2)),
+                valid_from,
+                valid_from + int(rng.integers(10, 200)),
+                int(rng.integers(1, 15)),
+                f"page{i}",
+                "pub1",
+                _date(rng),
+            )
+        )
+
+    persons = [
+        (
+            f"person{i}",
+            "Person",
+            f"name{i}",
+            f"mb{i}",
+            country(),
+            "pub1",
+            _date(rng),
+        )
+        for i in range(n_persons)
+    ]
+
+    reviews: list[tuple] = []
+    for i in range(n_reviews):
+        reviews.append(
+            (
+                f"review{i}",
+                "Review",
+                f"product{int(rng.integers(n_products))}",
+                f"person{int(rng.integers(n_persons))}",
+                _date(rng),
+                f"title{i}",
+                f"text{i}",
+                int(rng.integers(1, 11)),
+                int(rng.integers(1, 11)),
+                int(rng.integers(1, 11)),
+                int(rng.integers(1, 11)),
+                "pub1",
+                _date(rng),
+            )
+        )
+
+    return BerlinData(
+        {
+            "Types": types,
+            "Features": features,
+            "Producers": producers,
+            "Products": products,
+            "ProductTypes": product_types,
+            "ProductFeatures": product_features,
+            "Vendors": vendors,
+            "Offers": offers,
+            "Persons": persons,
+            "Reviews": reviews,
+        },
+        scale,
+        seed,
+    )
+
+
+def berlin_database(
+    scale: int = 200, seed: int = 7, with_export: bool = False
+) -> Database:
+    """A fully-loaded Berlin database (DDL executed, rows ingested)."""
+    db = Database()
+    db.execute(BERLIN_DDL)
+    data = generate_berlin(scale, seed)
+    for name, rows in data.tables.items():
+        db.db.ingest_rows(name, rows)
+    if with_export:
+        db.catalog.refresh(db.db)
+        db.execute(BERLIN_EXPORT_DDL)
+    db.catalog.refresh(db.db)
+    return db
+
+
+def write_berlin_csvs(directory: str, scale: int = 200, seed: int = 7) -> dict[str, str]:
+    """Write the generated dataset as CSV files for ``ingest table``."""
+    os.makedirs(directory, exist_ok=True)
+    db = Database()
+    db.execute(BERLIN_DDL)
+    data = generate_berlin(scale, seed)
+    paths = {}
+    for name, rows in data.tables.items():
+        table = db.db.table(name)
+        table.append_rows(rows)
+        path = os.path.join(directory, f"{name}.csv")
+        write_csv(table, path, header=False)
+        paths[name] = path
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Query catalog (verbatim paper queries + additional BI queries)
+# ----------------------------------------------------------------------
+
+#: Fig. 6 — Berlin Query 2: top 10 products most similar to %Product1%
+#: by the count of features in common.
+Q2_FIG6 = """
+select y.id from graph
+ProductVtx (id = %Product1%)
+--feature--> FeatureVtx ( )
+<--feature-- def y: ProductVtx (id <> %Product1%)
+into table T1
+
+select top 10 id, count(*) as groupCount
+from table T1
+group by id order by groupCount desc, id asc
+"""
+
+#: Fig. 7 — Berlin Query 1: top 10 most discussed product categories of
+#: products from %Country1% based on reviews from reviewers in %Country2%.
+Q1_FIG7 = """
+select TypeVtx.id from graph
+PersonVtx (country = %Country2%)
+<--reviewer-- ReviewVtx ( )
+--reviewFor--> foreach y: ProductVtx ( )
+--producer--> ProducerVtx (country = %Country1%)
+and
+(y --type--> TypeVtx ( ))
+into table T1
+
+select top 10 id, count(*) as groupCount
+from table T1
+group by id order by groupCount desc, id asc
+"""
+
+#: Fig. 9 — the subgraph of all reviews and offers of %Product1%
+#: (type-matching variant step).
+Q_FIG9 = """
+select * from graph
+ProductVtx (id = %Product1%) <--[]-- [ ]
+into subgraph resultsG
+"""
+
+#: Fig. 10-style — types reachable from a product's direct type through
+#: one or more subclass hops (path regular expression).
+Q_REGEX = """
+select * from graph
+TypeVtx (id = %Type1%) ( --subclass--> [ ] )+ TypeVtx ( )
+into subgraph ancestors
+"""
+
+#: Fig. 11 — endpoint projection into a subgraph.
+Q_FIG11 = """
+select PersonVtx, ProducerVtx from graph
+PersonVtx ( ) <--reviewer-- ReviewVtx ( ) --reviewFor--> ProductVtx ( )
+--producer--> ProducerVtx (country = %Country1%)
+into subgraph endpoints
+"""
+
+#: Fig. 13 — the full matching subgraph as a wide table.
+Q_FIG13 = """
+select * from graph
+ReviewVtx ( ) --reviewFor--> ProductVtx (propertyNumeric_1 > %Threshold%)
+--producer--> ProducerVtx ( )
+into table fullPaths
+"""
+
+#: BI query: average offer price per vendor country for one product type.
+Q_PRICE = """
+select OfferVtx.price, VendorVtx.country from graph
+TypeVtx (id = %Type1%) <--type-- ProductVtx ( )
+<--product-- foreach o: OfferVtx (deliveryDays < 7)
+and
+(o --vendor--> VendorVtx ( ))
+into table offerPrices
+
+select country, count(*) as offers, avg(price) as avgPrice
+from table offerPrices
+group by country order by avgPrice desc
+"""
+
+#: BI query: reviewers who reviewed products of a given producer.
+Q_REVIEWERS = """
+select distinct id from table reviewerIds order by id asc
+"""
+
+Q_REVIEWERS_GRAPH = """
+select PersonVtx.id from graph
+ProducerVtx (id = %Producer1%) <--producer-- ProductVtx ( )
+<--reviewFor-- ReviewVtx (ratings_1 >= %MinRating%)
+--reviewer--> PersonVtx ( )
+into table reviewerIds
+"""
+
+#: BI query: offers valid on a given date, rolled up by vendor country.
+Q_VALID_OFFERS = """
+select o.price as price, VendorVtx.country as country from graph
+foreach o: OfferVtx (validFrom <= %Day% and validTo >= %Day%)
+--vendor--> VendorVtx ( )
+and
+(o --product--> ProductVtx (propertyNumeric_1 > %MinProp%))
+into table validOffers
+
+select country, count(*) as offers, min(price) as cheapest
+from table validOffers
+group by country order by offers desc, country asc
+"""
+
+#: BI query: rating summary per product of one producer (edge-date mix).
+Q_RATINGS = """
+select p.id as product, ReviewVtx.ratings_1 as r1 from graph
+ProducerVtx (id = %Producer1%) <--producer-- def p: ProductVtx ( )
+<--reviewFor-- ReviewVtx ( )
+into table producerRatings
+
+select product, count(*) as reviews, avg(r1) as meanRating,
+       max(r1) as best
+from table producerRatings
+group by product order by meanRating desc, product asc
+"""
+
+#: BI query: feature popularity — how many products carry each feature.
+Q_FEATURES = """
+select f.id as feature from graph
+ProductVtx ( ) --feature--> def f: FeatureVtx ( )
+into table featureUse
+
+select top 10 feature, count(*) as products from table featureUse
+group by feature order by products desc, feature asc
+"""
+
+
+class QuerySpec:
+    """A named query plus a parameter generator."""
+
+    def __init__(self, name: str, graql: str, params: Callable[[np.random.Generator, BerlinData], dict[str, Any]]) -> None:
+        self.name = name
+        self.graql = graql
+        self.params = params
+
+
+def _p_product(rng, data):
+    return {"Product1": f"product{int(rng.integers(len(data.tables['Products'])))}"}
+
+
+def _p_countries(rng, data):
+    return {"Country1": COUNTRIES[0], "Country2": COUNTRIES[1]}
+
+
+def _p_type(rng, data):
+    ids = [r[0] for r in data.tables["Types"]]
+    return {"Type1": ids[int(rng.integers(len(ids)))]}
+
+
+def _p_threshold(rng, data):
+    return {"Threshold": 1500}
+
+
+def _p_producer(rng, data):
+    ids = [r[0] for r in data.tables["Producers"]]
+    return {"Producer1": ids[int(rng.integers(len(ids)))], "MinRating": 5}
+
+
+def _p_day(rng, data):
+    import datetime as _dtmod
+
+    return {"Day": _dtmod.date(2010, 6, 1), "MinProp": 500}
+
+
+QUERIES: dict[str, QuerySpec] = {
+    "berlin_q1": QuerySpec("berlin_q1", Q1_FIG7, _p_countries),
+    "berlin_q2": QuerySpec("berlin_q2", Q2_FIG6, _p_product),
+    "fig9_type_match": QuerySpec("fig9_type_match", Q_FIG9, _p_product),
+    "fig10_regex": QuerySpec("fig10_regex", Q_REGEX, _p_type),
+    "fig11_endpoints": QuerySpec("fig11_endpoints", Q_FIG11, _p_countries),
+    "fig13_full_table": QuerySpec("fig13_full_table", Q_FIG13, _p_threshold),
+    "bi_price": QuerySpec("bi_price", Q_PRICE, _p_type),
+    "bi_reviewers": QuerySpec(
+        "bi_reviewers", Q_REVIEWERS_GRAPH + "\n" + Q_REVIEWERS, _p_producer
+    ),
+    "bi_valid_offers": QuerySpec("bi_valid_offers", Q_VALID_OFFERS, _p_day),
+    "bi_ratings": QuerySpec("bi_ratings", Q_RATINGS, _p_producer),
+    "bi_features": QuerySpec("bi_features", Q_FEATURES, lambda rng, data: {}),
+}

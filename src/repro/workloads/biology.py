@@ -1,0 +1,208 @@
+"""Computational-biology workload — the paper's second motivating domain.
+
+    "Examples from biology include the modeling of biological pathways
+    which represent the flow of molecular 'signals' inside a cell for
+    purposes of metabolism, gene expression or other cellular functions."
+    (Section I)
+
+Schema: genes encode proteins, proteins catalyze reactions, and reactions
+feed downstream reactions (the signal flow).  The generator builds layered
+pathway DAGs; the example queries trace signal propagation with path
+regular expressions and find the genes upstream of a phenotype reaction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.engine.session import Database
+
+BIOLOGY_DDL = """
+create table Genes(
+  id varchar(12),
+  symbol varchar(12),
+  chromosome varchar(4),
+  expression float
+)
+
+create table Proteins(
+  id varchar(12),
+  family varchar(12),
+  mass float
+)
+
+create table Reactions(
+  id varchar(12),
+  pathway varchar(16),
+  kind varchar(12), // phosphorylation | binding | expression
+  rate float
+)
+
+create table Encodes(
+  gene varchar(12),
+  protein varchar(12)
+)
+
+create table Catalyzes(
+  protein varchar(12),
+  reaction varchar(12)
+)
+
+create table SignalFlow(
+  upstream varchar(12),
+  downstream varchar(12),
+  weight float
+)
+
+create vertex GeneVtx(id)
+from table Genes
+
+create vertex ProteinVtx(id)
+from table Proteins
+
+create vertex ReactionVtx(id)
+from table Reactions
+
+create edge encodes with
+vertices (GeneVtx, ProteinVtx)
+from table Encodes
+where Encodes.gene = GeneVtx.id and Encodes.protein = ProteinVtx.id
+
+create edge catalyzes with
+vertices (ProteinVtx, ReactionVtx)
+from table Catalyzes
+where Catalyzes.protein = ProteinVtx.id
+and Catalyzes.reaction = ReactionVtx.id
+
+create edge feeds with
+vertices (ReactionVtx as Up, ReactionVtx as Down)
+from table SignalFlow
+where SignalFlow.upstream = Up.id and SignalFlow.downstream = Down.id
+"""
+
+#: signal propagation: every reaction downstream of those catalyzed by a
+#: gene's protein (unbounded path regex over 'feeds')
+DOWNSTREAM = """
+select * from graph
+GeneVtx (symbol = %Gene%) --encodes--> ProteinVtx ( )
+--catalyzes--> ReactionVtx ( ) ( --feeds--> [ ] )* ReactionVtx ( )
+into subgraph downstream
+"""
+
+#: genes whose products act in a pathway (table output)
+PATHWAY_GENES = """
+select GeneVtx.symbol, ReactionVtx.id from graph
+GeneVtx ( ) --encodes--> ProteinVtx ( )
+--catalyzes--> ReactionVtx (pathway = %Pathway%)
+into table pathwayGenes
+
+select distinct symbol from table pathwayGenes order by symbol asc
+"""
+
+
+def generate_biology(
+    num_pathways: int = 5,
+    reactions_per_pathway: int = 12,
+    genes_per_pathway: int = 8,
+    seed: int = 23,
+) -> dict[str, list[tuple]]:
+    """Layered pathway DAGs with genes -> proteins -> reactions."""
+    rng = np.random.default_rng(seed)
+    genes: list[tuple] = []
+    proteins: list[tuple] = []
+    reactions: list[tuple] = []
+    encodes: list[tuple] = []
+    catalyzes: list[tuple] = []
+    signal: list[tuple] = []
+    for p in range(num_pathways):
+        pname = f"pathway{p}"
+        # layered DAG of reactions
+        layer_sizes = []
+        remaining = reactions_per_pathway
+        while remaining > 0:
+            k = int(rng.integers(2, 5))
+            layer_sizes.append(min(k, remaining))
+            remaining -= k
+        layers: list[list[str]] = []
+        for li, size in enumerate(layer_sizes):
+            layer = []
+            for j in range(size):
+                rid = f"rx{p}_{li}_{j}"
+                layer.append(rid)
+                reactions.append(
+                    (
+                        rid,
+                        pname,
+                        str(rng.choice(["phosphorylation", "binding", "expression"])),
+                        float(np.round(rng.uniform(0.1, 9.9), 3)),
+                    )
+                )
+            layers.append(layer)
+        for up_layer, down_layer in zip(layers, layers[1:]):
+            for up in up_layer:
+                for down in down_layer:
+                    if rng.random() < 0.6:
+                        signal.append(
+                            (up, down, float(np.round(rng.uniform(0.1, 1.0), 3)))
+                        )
+                # guarantee connectivity: at least one downstream link
+                if not any(s[0] == up and s[1] in down_layer for s in signal):
+                    signal.append(
+                        (
+                            up,
+                            down_layer[int(rng.integers(len(down_layer)))],
+                            0.5,
+                        )
+                    )
+        for g in range(genes_per_pathway):
+            gid = f"gene{p}_{g}"
+            genes.append(
+                (
+                    gid,
+                    f"SYM{p}_{g}",
+                    str(rng.choice(["1", "2", "7", "X"])),
+                    float(np.round(rng.uniform(0.0, 20.0), 3)),
+                )
+            )
+            prid = f"prot{p}_{g}"
+            proteins.append(
+                (
+                    prid,
+                    f"fam{int(rng.integers(6))}",
+                    float(np.round(rng.uniform(10.0, 200.0), 2)),
+                )
+            )
+            encodes.append((gid, prid))
+            # proteins catalyze reactions in the first layers
+            targets = layers[0] + (layers[1] if len(layers) > 1 else [])
+            for rid in rng.choice(
+                targets, size=min(2, len(targets)), replace=False
+            ):
+                catalyzes.append((prid, str(rid)))
+    return {
+        "Genes": genes,
+        "Proteins": proteins,
+        "Reactions": reactions,
+        "Encodes": encodes,
+        "Catalyzes": catalyzes,
+        "SignalFlow": signal,
+    }
+
+
+def biology_database(
+    num_pathways: int = 5,
+    reactions_per_pathway: int = 12,
+    genes_per_pathway: int = 8,
+    seed: int = 23,
+) -> Database:
+    """A loaded pathway database."""
+    db = Database()
+    db.execute(BIOLOGY_DDL)
+    for name, rows in generate_biology(
+        num_pathways, reactions_per_pathway, genes_per_pathway, seed
+    ).items():
+        db.db.ingest_rows(name, rows)
+    db.catalog.refresh(db.db)
+    return db

@@ -1,0 +1,183 @@
+"""Cybersecurity workload — the paper's first motivating domain.
+
+    "In cybersecurity, interaction graphs representing communication
+    occurring over time between different hosts or devices on a network
+    can be modeled and represented accurately in a graph database."
+    (Section I)
+
+Schema: ``Hosts`` (fixed per-host attributes — exactly the "fixed sets of
+attributes" the paper says a pure graph representation stores wastefully),
+``Flows`` (one row per network flow, carried as edge attributes via the
+``from table`` clause), and ``Alerts``.  The generator builds a network of
+subnets with servers and workstations, normal intra-subnet traffic, and
+plants a *lateral-movement* chain (compromised workstation -> stepping
+stones -> domain controller) that the example queries hunt for.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+import numpy as np
+
+from repro.engine.session import Database
+
+CYBER_DDL = """
+create table Hosts(
+  ip varchar(16),
+  subnet varchar(16),
+  os varchar(16),
+  role varchar(16), // workstation | server | dc
+  criticality integer
+)
+
+create table Flows(
+  src varchar(16),
+  dst varchar(16),
+  port integer,
+  proto varchar(8),
+  bytes integer,
+  packets integer,
+  day date
+)
+
+create table Alerts(
+  id varchar(10),
+  host varchar(16),
+  kind varchar(16),
+  severity integer,
+  day date
+)
+
+create vertex HostVtx(ip)
+from table Hosts
+
+create vertex AlertVtx(id)
+from table Alerts
+
+create edge flow with
+vertices (HostVtx as Src, HostVtx as Dst)
+from table Flows
+where Flows.src = Src.ip and Flows.dst = Dst.ip
+
+create edge raised with
+vertices (HostVtx, AlertVtx)
+where AlertVtx.host = HostVtx.ip
+"""
+
+#: the lateral-movement hunt: an alerted workstation that reaches a
+#: domain controller through admin-port flows in at most 3 hops
+LATERAL_2HOP = """
+select * from graph
+HostVtx (role = 'workstation')
+--flow(port = 3389)--> HostVtx ( )
+--flow(port = 3389)--> HostVtx (role = 'dc')
+into subgraph lateral
+"""
+
+LATERAL_REGEX = """
+select * from graph
+HostVtx (role = 'workstation') ( --flow--> [ ] )+ HostVtx (role = 'dc')
+into subgraph reachesDC
+"""
+
+BEACON_COUNT = """
+select Dst.ip from graph
+HostVtx (subnet = %Subnet%) --flow(bytes < 1000)--> def Dst: HostVtx ( )
+into table beacons
+
+select top 10 ip, count(*) as hits
+from table beacons
+group by ip order by hits desc, ip asc
+"""
+
+
+def generate_cyber(
+    num_subnets: int = 4,
+    hosts_per_subnet: int = 25,
+    flows_per_host: int = 20,
+    seed: int = 11,
+) -> dict[str, list[tuple]]:
+    """Deterministic network + traffic + one planted lateral-movement chain."""
+    rng = np.random.default_rng(seed)
+    hosts: list[tuple] = []
+    ips: list[str] = []
+    roles: dict[str, str] = {}
+    for s in range(num_subnets):
+        subnet = f"10.0.{s}.0"
+        for h in range(hosts_per_subnet):
+            ip = f"10.0.{s}.{h + 1}"
+            if h == 0 and s == 0:
+                role = "dc"
+            elif h < 3:
+                role = "server"
+            else:
+                role = "workstation"
+            os_name = str(rng.choice(["linux", "windows", "macos"]))
+            hosts.append((ip, subnet, os_name, role, int(rng.integers(1, 6))))
+            ips.append(ip)
+            roles[ip] = role
+    day0 = _dt.date(2016, 3, 1)
+    flows: list[tuple] = []
+    for ip in ips:
+        for _ in range(flows_per_host):
+            # mostly intra-subnet traffic
+            if rng.random() < 0.8:
+                peer_candidates = [p for p in ips if p.rsplit(".", 1)[0] == ip.rsplit(".", 1)[0] and p != ip]
+            else:
+                peer_candidates = [p for p in ips if p != ip]
+            dst = peer_candidates[int(rng.integers(len(peer_candidates)))]
+            flows.append(
+                (
+                    ip,
+                    dst,
+                    int(rng.choice([22, 80, 443, 445, 3389, 8080])),
+                    str(rng.choice(["tcp", "udp"])),
+                    int(rng.integers(100, 1_000_000)),
+                    int(rng.integers(1, 1000)),
+                    (day0 + _dt.timedelta(days=int(rng.integers(30)))).toordinal(),
+                )
+            )
+    # planted lateral movement: workstation in last subnet -> server hop ->
+    # server hop -> the DC, all on RDP
+    chain = [
+        f"10.0.{num_subnets - 1}.{hosts_per_subnet}",
+        f"10.0.{num_subnets - 1}.2",
+        "10.0.0.2",
+        "10.0.0.1",
+    ]
+    for a, b in zip(chain, chain[1:]):
+        flows.append((a, b, 3389, "tcp", 52_000, 80, day0.toordinal()))
+    alerts = [
+        ("alert0", chain[0], "malware", 5, day0.toordinal()),
+        ("alert1", chain[1], "anomaly", 3, (day0 + _dt.timedelta(days=1)).toordinal()),
+    ]
+    for i in range(2, max(3, len(ips) // 20)):
+        alerts.append(
+            (
+                f"alert{i}",
+                ips[int(rng.integers(len(ips)))],
+                str(rng.choice(["portscan", "anomaly", "bruteforce"])),
+                int(rng.integers(1, 5)),
+                (day0 + _dt.timedelta(days=int(rng.integers(30)))).toordinal(),
+            )
+        )
+    return {"Hosts": hosts, "Flows": flows, "Alerts": alerts}
+
+
+def cyber_database(
+    num_subnets: int = 4,
+    hosts_per_subnet: int = 25,
+    flows_per_host: int = 20,
+    seed: int = 11,
+) -> Database:
+    """A loaded cybersecurity database."""
+    db = Database()
+    db.execute(CYBER_DDL)
+    for name, rows in generate_cyber(
+        num_subnets, hosts_per_subnet, flows_per_host, seed
+    ).items():
+        db.db.ingest_rows(name, rows)
+    db.catalog.refresh(db.db)
+    return db

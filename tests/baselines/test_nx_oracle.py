@@ -1,0 +1,71 @@
+"""Sanity tests for the networkx oracle itself."""
+
+from repro.baselines import NxOracle
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import check_statement
+
+
+def atom_of(db, text):
+    return check_statement(parse_statement(text), db.catalog).pattern.atoms()[0]
+
+
+class TestMirror:
+    def test_node_and_edge_counts(self, social_db):
+        oracle = NxOracle(social_db.db)
+        assert oracle.graph.number_of_nodes() == social_db.db.total_vertices()
+        assert oracle.graph.number_of_edges() == social_db.db.total_edges()
+
+    def test_parallel_edges_kept(self, social_db):
+        oracle = NxOracle(social_db.db)
+        p = social_db.db.vertex_type("Person")
+        a = ("Person", p.vid_of(("p1",)))
+        b = ("Person", p.vid_of(("p2",)))
+        assert oracle.graph.number_of_edges(a, b) == 2
+
+
+class TestEnumeration:
+    def test_simple_count(self, social_db):
+        atom = atom_of(
+            social_db,
+            "select * from graph Person (country = 'US') --follows--> "
+            "Person ( ) into subgraph G",
+        )
+        oracle = NxOracle(social_db.db)
+        assert oracle.count_paths(atom) == 5
+
+    def test_conditions_respected(self, social_db):
+        atom = atom_of(
+            social_db,
+            "select * from graph Person ( ) --follows(weight > 6)--> "
+            "Person ( ) into subgraph G",
+        )
+        oracle = NxOracle(social_db.db)
+        paths = oracle.enumerate_paths(atom)
+        et = social_db.db.edge_type("follows")
+        for p in paths:
+            ename, eid = p[1]
+            w, _ = et.attribute_array("weight")
+            assert w[eid] > 6
+
+    def test_foreach_only_cycles(self, social_db):
+        atom = atom_of(
+            social_db,
+            "select * from graph foreach x: Person ( ) --follows--> "
+            "Person ( ) --follows--> Person ( ) --follows--> x "
+            "into subgraph G",
+        )
+        oracle = NxOracle(social_db.db)
+        oracle.prepare_labels(atom)
+        for p in oracle.enumerate_paths(atom):
+            assert p[0] == p[6]
+
+    def test_step_sets_shape(self, social_db):
+        atom = atom_of(
+            social_db,
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph G",
+        )
+        oracle = NxOracle(social_db.db)
+        vsets, esets = oracle.step_sets(atom)
+        assert set(vsets) == {0, 2}
+        assert set(esets) == {1}

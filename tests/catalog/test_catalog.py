@@ -1,0 +1,91 @@
+"""Unit tests for the metadata catalog (Section III)."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.errors import CatalogError
+
+
+class TestRefresh:
+    def test_tables(self, social_db):
+        cat = social_db.catalog
+        assert cat.table("People").num_rows == 6
+        assert cat.table("People").schema.has("country")
+
+    def test_vertices(self, social_db):
+        vm = social_db.catalog.vertex("Person")
+        assert vm.num_vertices == 6
+        assert vm.one_to_one
+        assert vm.key_cols == ["id"]
+        assert vm.table == "People"
+
+    def test_vertex_distinct_counts(self, social_db):
+        vm = social_db.catalog.vertex("Person")
+        assert vm.distinct_counts["country"] == 3
+        assert vm.distinct_counts["id"] == 6
+
+    def test_edges(self, social_db):
+        em = social_db.catalog.edge("follows")
+        assert em.num_edges == 8
+        assert em.source_type == "Person" and em.target_type == "Person"
+
+    def test_degree_stats(self, social_db):
+        em = social_db.catalog.edge("follows")
+        st = em.degree_stats
+        assert st.avg_out == pytest.approx(8 / 6)
+        assert st.max_out >= 2  # p1 follows p2 twice + p5 two targets
+
+    def test_edge_attr_schema(self, social_db):
+        em = social_db.catalog.edge("follows")
+        assert em.attr_schema.has("weight")
+        em2 = social_db.catalog.edge("livesIn")
+        assert len(em2.attr_schema) == 0
+
+    def test_refresh_after_ingest(self, social_db):
+        social_db.ingest_rows("People", [("p9", "Zoe", "JP", 30, 1.0, 735700)])
+        assert social_db.catalog.vertex("Person").num_vertices == 7
+
+
+class TestLookupHints:
+    """III-A style 'wrong entity kind' messages."""
+
+    def test_vertex_as_table(self, social_db):
+        with pytest.raises(CatalogError, match="vertex type; a table name"):
+            social_db.catalog.table("Person")
+
+    def test_table_as_vertex(self, social_db):
+        with pytest.raises(CatalogError, match="table; a vertex type"):
+            social_db.catalog.vertex("People")
+
+    def test_edge_as_vertex(self, social_db):
+        with pytest.raises(CatalogError, match="edge type; a vertex type"):
+            social_db.catalog.vertex("follows")
+
+    def test_vertex_as_edge(self, social_db):
+        with pytest.raises(CatalogError, match="vertex type; an edge type"):
+            social_db.catalog.edge("Person")
+
+    def test_plain_unknown(self, social_db):
+        with pytest.raises(CatalogError, match="unknown table"):
+            social_db.catalog.table("Nothing")
+
+
+class TestEdgesBetween:
+    def test_exact(self, social_db):
+        ems = social_db.catalog.edges_between("Person", "City")
+        assert [e.name for e in ems] == ["livesIn"]
+
+    def test_wildcard_source(self, social_db):
+        ems = social_db.catalog.edges_between(None, "Person")
+        assert [e.name for e in ems] == ["follows"]
+
+    def test_no_match(self, social_db):
+        assert social_db.catalog.edges_between("City", "City") == []
+
+
+class TestPredicates:
+    def test_is_kind(self, social_db):
+        cat = social_db.catalog
+        assert cat.is_table("People") and not cat.is_table("Person")
+        assert cat.is_vertex("Person") and not cat.is_vertex("follows")
+        assert cat.is_edge("livesIn") and not cat.is_edge("People")

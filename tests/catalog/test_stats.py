@@ -1,0 +1,85 @@
+"""Unit tests for selectivity estimation and degree statistics."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.stats import (
+    DegreeStats,
+    SEL_EQ_DEFAULT,
+    SEL_NEQ,
+    SEL_RANGE,
+    distinct_count,
+    estimate_selectivity,
+)
+from repro.graql.parser import parse_expression
+
+
+def est(text, distincts=None):
+    return estimate_selectivity(parse_expression(text), distincts)
+
+
+class TestSelectivity:
+    def test_none_is_one(self):
+        assert estimate_selectivity(None) == 1.0
+
+    def test_equality_default(self):
+        assert est("a = 1") == SEL_EQ_DEFAULT
+
+    def test_equality_with_distincts(self):
+        assert est("a = 1", {"a": 50}) == pytest.approx(1 / 50)
+
+    def test_inequality(self):
+        assert est("a <> 1") == SEL_NEQ
+
+    def test_range(self):
+        assert est("a < 5") == SEL_RANGE
+        assert est("a >= 5") == SEL_RANGE
+
+    def test_conjunction_multiplies(self):
+        assert est("a = 1 and b = 2", {"a": 10, "b": 10}) == pytest.approx(0.01)
+
+    def test_disjunction_adds_capped(self):
+        assert est("a <> 1 or b <> 2") == 1.0
+
+    def test_not_complements(self):
+        assert est("not a = 1", {"a": 4}) == pytest.approx(0.75)
+
+    def test_clamped_to_unit_interval(self):
+        assert 0 < est("a = 1 and b = 2 and c = 3", {"a": 10**6, "b": 10**6, "c": 10**6}) <= 1.0
+
+    def test_is_null(self):
+        assert est("a is null") == pytest.approx(0.1)
+        assert est("a is not null") == pytest.approx(0.9)
+
+    def test_more_selective_ordering(self):
+        # equality should look more selective than a range, which beats <>
+        assert est("a = 1", {"a": 100}) < est("a < 1") < est("a <> 1")
+
+
+class TestDegreeStats:
+    def test_basic(self):
+        out = np.asarray([2, 0, 4])
+        inn = np.asarray([1, 1, 1, 3])
+        st = DegreeStats(out, inn)
+        assert st.avg_out == pytest.approx(2.0)
+        assert st.max_out == 4
+        assert st.frac_out_nonzero == pytest.approx(2 / 3)
+        assert st.avg_in == pytest.approx(1.5)
+
+    def test_expansion_factor(self):
+        st = DegreeStats(np.asarray([4.0]), np.asarray([1.0]))
+        assert st.expansion_factor(True) == 4.0
+        assert st.expansion_factor(False) == 1.0
+
+    def test_empty(self):
+        st = DegreeStats(np.empty(0), np.empty(0))
+        assert st.avg_out == 0.0 and st.max_in == 0
+
+
+class TestDistinctCount:
+    def test_ints(self):
+        assert distinct_count(np.asarray([1, 2, 2, 3])) == 3
+
+    def test_objects(self):
+        arr = np.asarray(["a", "b", "a"], dtype=object)
+        assert distinct_count(arr) == 2

@@ -1,0 +1,164 @@
+"""Shared fixtures: a hand-built social database and Berlin databases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.workloads.berlin import berlin_database
+
+SOCIAL_DDL = """
+create table People(
+  id varchar(10),
+  name varchar(32),
+  country varchar(8),
+  age integer,
+  score float,
+  joined date
+)
+
+create table Cities(
+  id varchar(10),
+  country varchar(8),
+  population integer
+)
+
+create table Follows(
+  src varchar(10),
+  dst varchar(10),
+  weight integer
+)
+
+create vertex Person(id) from table People
+
+create vertex City(id) from table Cities
+
+create edge follows with
+vertices (Person as A, Person as B)
+from table Follows
+where Follows.src = A.id and Follows.dst = B.id
+
+create edge livesIn with
+vertices (Person, City)
+where Person.country = City.country
+"""
+
+PEOPLE_ROWS = [
+    ("p1", "Alice", "US", 34, 1.5, 735000),
+    ("p2", "Bob", "DE", 28, 2.5, 735100),
+    ("p3", "Carol", "US", 41, 3.5, 735200),
+    ("p4", "Dan", "FR", 23, 0.5, 735300),
+    ("p5", "Eve", "US", 55, 4.5, 735400),
+    ("p6", "Frank", "DE", 19, 2.0, 735500),
+]
+
+CITY_ROWS = [
+    ("nyc", "US", 8_000_000),
+    ("berlin", "DE", 3_600_000),
+    ("paris", "FR", 2_100_000),
+]
+
+FOLLOW_ROWS = [
+    ("p1", "p2", 5),
+    ("p2", "p3", 3),
+    ("p3", "p1", 1),
+    ("p4", "p1", 2),
+    ("p5", "p3", 9),
+    ("p5", "p6", 4),
+    ("p6", "p2", 7),
+    ("p1", "p2", 8),  # parallel edge (from-table edges keep duplicates)
+]
+
+
+def build_social_db() -> Database:
+    db = Database()
+    db.execute(SOCIAL_DDL)
+    db.db.ingest_rows("People", PEOPLE_ROWS)
+    db.db.ingest_rows("Cities", CITY_ROWS)
+    db.db.ingest_rows("Follows", FOLLOW_ROWS)
+    db.catalog.refresh(db.db)
+    return db
+
+
+@pytest.fixture
+def social_db() -> Database:
+    return build_social_db()
+
+
+@pytest.fixture(scope="session")
+def berlin_db() -> Database:
+    """A small, session-cached Berlin database (read-only in tests!)."""
+    return berlin_database(scale=60, seed=7, with_export=True)
+
+
+@pytest.fixture(scope="session")
+def berlin_db_medium() -> Database:
+    return berlin_database(scale=200, seed=13, with_export=False)
+
+
+def random_graph_db(
+    seed: int,
+    num_vertices: int = 40,
+    num_edges: int = 120,
+    num_types: int = 2,
+) -> Database:
+    """A random multigraph database used by property-based tests.
+
+    ``num_types`` vertex types, one intra-type edge type per type plus a
+    cross-type edge type, integer/str attributes for conditions.
+    """
+    rng = np.random.default_rng(seed)
+    db = Database()
+    ddl = []
+    for t in range(num_types):
+        ddl.append(
+            f"create table T{t}(id integer, color varchar(8), weight integer)"
+        )
+        ddl.append(f"create vertex V{t}(id) from table T{t}")
+    for t in range(num_types):
+        ddl.append(f"create table E{t}(src integer, dst integer, cap integer)")
+        ddl.append(
+            f"create edge e{t} with vertices (V{t} as A, V{t} as B) "
+            f"from table E{t} "
+            f"where E{t}.src = A.id and E{t}.dst = B.id"
+        )
+    ddl.append("create table EX(src integer, dst integer, cap integer)")
+    ddl.append(
+        "create edge cross0 with vertices (V0, V1) from table EX "
+        "where EX.src = V0.id and EX.dst = V1.id"
+    )
+    db.execute("\n".join(ddl))
+    per_type = max(num_vertices // num_types, 2)
+    for t in range(num_types):
+        rows = [
+            (
+                i,
+                str(rng.choice(["red", "green", "blue"])),
+                int(rng.integers(0, 10)),
+            )
+            for i in range(per_type)
+        ]
+        db.db.ingest_rows(f"T{t}", rows)
+    per_edge = max(num_edges // (num_types + 1), 1)
+    for t in range(num_types):
+        rows = [
+            (
+                int(rng.integers(per_type)),
+                int(rng.integers(per_type)),
+                int(rng.integers(0, 10)),
+            )
+            for _ in range(per_edge)
+        ]
+        db.db.ingest_rows(f"E{t}", rows)
+    rows = [
+        (
+            int(rng.integers(per_type)),
+            int(rng.integers(per_type)),
+            int(rng.integers(0, 10)),
+        )
+        for _ in range(per_edge)
+    ]
+    db.db.ingest_rows("EX", rows)
+    db.catalog.refresh(db.db)
+    return db

@@ -1,0 +1,90 @@
+"""Unit tests for the message layer and partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import ENVELOPE_BYTES, CommStats, Communicator
+from repro.dist.partition import Partitioner
+
+
+class TestCommunicator:
+    def test_alltoall_routing(self):
+        comm = Communicator(3)
+        payload = lambda s, d: np.asarray([s * 10 + d], dtype=np.int64)
+        outboxes = [[payload(s, d) for d in range(3)] for s in range(3)]
+        inboxes = comm.alltoall(outboxes)
+        for d in range(3):
+            for s in range(3):
+                assert inboxes[d][s][0] == s * 10 + d
+
+    def test_local_delivery_free(self):
+        comm = Communicator(2)
+        arr = np.arange(10, dtype=np.int64)
+        outboxes = [[arr, None], [None, arr]]  # only local deliveries
+        comm.alltoall(outboxes)
+        assert comm.stats.messages == 0
+        assert comm.stats.bytes == 0
+
+    def test_remote_delivery_accounted(self):
+        comm = Communicator(2)
+        arr = np.arange(10, dtype=np.int64)
+        outboxes = [[None, arr], [None, None]]
+        comm.alltoall(outboxes)
+        assert comm.stats.messages == 1
+        assert comm.stats.bytes == arr.nbytes + ENVELOPE_BYTES
+
+    def test_supersteps_counted(self):
+        comm = Communicator(2)
+        empty = [[None, None], [None, None]]
+        comm.alltoall(empty)
+        comm.alltoall(empty)
+        assert comm.stats.supersteps == 2
+
+    def test_broadcast(self):
+        comm = Communicator(4)
+        comm.broadcast(0, np.arange(4, dtype=np.int64))
+        assert comm.stats.messages == 3
+
+    def test_gather(self):
+        comm = Communicator(3)
+        out = comm.gather([np.asarray([i]) for i in range(3)], root=0)
+        assert len(out) == 3
+        assert comm.stats.messages == 2  # roots own part is free
+
+    def test_reset(self):
+        comm = Communicator(2)
+        comm.alltoall([[None, np.arange(3)], [None, None]])
+        comm.reset()
+        assert comm.stats.messages == 0
+
+    def test_tuple_payload_sizes(self):
+        comm = Communicator(2)
+        payload = (np.arange(4, dtype=np.int64), np.arange(2, dtype=np.int64))
+        comm.alltoall([[None, payload], [None, None]])
+        assert comm.stats.bytes == 4 * 8 + 2 * 8 + ENVELOPE_BYTES
+
+
+class TestPartitioner:
+    def test_owner_of(self):
+        p = Partitioner(4)
+        vids = np.arange(10, dtype=np.int64)
+        assert p.owner_of(vids).tolist() == [i % 4 for i in range(10)]
+
+    def test_local_vids(self):
+        p = Partitioner(3)
+        assert p.local_vids(1, 10).tolist() == [1, 4, 7]
+
+    def test_partition_is_complete_and_disjoint(self):
+        p = Partitioner(3)
+        vids = np.arange(17, dtype=np.int64)
+        buckets = p.split_by_owner(vids)
+        combined = np.sort(np.concatenate(buckets))
+        assert combined.tolist() == vids.tolist()
+
+    def test_single_worker(self):
+        p = Partitioner(1)
+        assert p.owner_of(np.asarray([5, 9])).tolist() == [0, 0]
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)

@@ -1,0 +1,94 @@
+"""Distributed relational operators vs single-node reference."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import Communicator
+from repro.dist.dist_relops import dist_filter_count, dist_group_by_aggregate
+from repro.dtypes import FLOAT, INTEGER, VarChar
+from repro.graql.parser import parse_expression
+from repro.storage import Schema, Table, relops
+from repro.storage.relops import AggSpec
+
+
+def random_table(seed: int, n: int = 200) -> Table:
+    rng = np.random.default_rng(seed)
+    rows = [
+        (
+            str(rng.choice(["a", "b", "c", "d"])),
+            int(rng.integers(0, 50)),
+            float(rng.uniform(0, 10)),
+        )
+        for _ in range(n)
+    ]
+    return Table.from_rows(
+        "T", Schema.of(("g", VarChar(2)), ("n", INTEGER), ("x", FLOAT)), rows
+    )
+
+
+def normalize(table: Table):
+    return sorted(
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in table.to_rows()
+    )
+
+
+AGGS = [
+    [AggSpec("count", None, "c")],
+    [AggSpec("sum", "n", "s")],
+    [AggSpec("min", "n", "lo"), AggSpec("max", "n", "hi")],
+    [AggSpec("avg", "x", "a")],
+    [AggSpec("count", None, "c"), AggSpec("sum", "n", "s"), AggSpec("avg", "x", "a")],
+]
+
+
+class TestDistGroupBy:
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    @pytest.mark.parametrize("agg_idx", range(len(AGGS)))
+    def test_matches_single_node(self, workers, agg_idx):
+        table = random_table(agg_idx + 1)
+        aggs = AGGS[agg_idx]
+        ref = relops.group_by_aggregate(table, ["g"], aggs)
+        got = dist_group_by_aggregate(table, ["g"], aggs, Communicator(workers))
+        assert normalize(got) == normalize(ref)
+
+    def test_multi_key_groups(self):
+        table = random_table(9)
+        aggs = [AggSpec("count", None, "c")]
+        ref = relops.group_by_aggregate(table, ["g", "n"], aggs)
+        got = dist_group_by_aggregate(table, ["g", "n"], aggs, Communicator(3))
+        assert normalize(got) == normalize(ref)
+
+    def test_global_aggregate_no_groups(self):
+        table = random_table(4)
+        aggs = [AggSpec("sum", "n", "s"), AggSpec("count", None, "c")]
+        ref = relops.group_by_aggregate(table, [], aggs)
+        got = dist_group_by_aggregate(table, [], aggs, Communicator(4))
+        assert normalize(got) == normalize(ref)
+
+    def test_empty_table(self):
+        table = Table("E", Schema.of(("g", VarChar(2)), ("n", INTEGER), ("x", FLOAT)))
+        got = dist_group_by_aggregate(
+            table, [], [AggSpec("count", None, "c")], Communicator(2)
+        )
+        assert got.row(0) == (0,)
+
+    def test_messages_accounted(self):
+        comm = Communicator(4)
+        dist_group_by_aggregate(
+            random_table(2), ["g"], [AggSpec("count", None, "c")], comm
+        )
+        assert comm.stats.messages > 0
+
+
+class TestDistFilterCount:
+    def test_matches_single_node(self):
+        table = random_table(5)
+        cond = parse_expression("n > 25")
+        ref = relops.filter_table(table, cond).num_rows
+        got = dist_filter_count(table, cond, Communicator(3))
+        assert got == ref
+
+    def test_none_condition(self):
+        table = random_table(6)
+        assert dist_filter_count(table, None, Communicator(2)) == table.num_rows

@@ -1,0 +1,203 @@
+"""Unit tests for the strongly-typed attribute system."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    Boolean,
+    Date,
+    Float,
+    Integer,
+    VarChar,
+    comparable,
+    common_type,
+    parse_type_name,
+)
+from repro.dtypes.values import DATE_NULL, INT_NULL
+
+
+class TestParseTypeName:
+    def test_integer(self):
+        assert parse_type_name("integer") is INTEGER
+        assert parse_type_name("INT") is INTEGER
+
+    def test_float(self):
+        assert parse_type_name("float") is FLOAT
+        assert parse_type_name("double") is FLOAT
+
+    def test_date(self):
+        assert parse_type_name("date") is DATE
+
+    def test_boolean(self):
+        assert parse_type_name("boolean") is BOOLEAN
+
+    def test_varchar(self):
+        t = parse_type_name("varchar(10)")
+        assert isinstance(t, VarChar)
+        assert t.length == 10
+
+    def test_varchar_spaces(self):
+        assert parse_type_name("varchar( 255 )") == VarChar(255)
+
+    def test_case_insensitive(self):
+        assert parse_type_name("VARCHAR(5)") == VarChar(5)
+        assert parse_type_name("Integer") is INTEGER
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_type_name("blob")
+
+    def test_bad_varchar_length(self):
+        with pytest.raises(ValueError):
+            VarChar(0)
+
+
+class TestVarChar:
+    def test_parse_and_format(self):
+        t = VarChar(8)
+        assert t.parse("hello") == "hello"
+        assert t.format("hello") == "hello"
+
+    def test_empty_is_null(self):
+        assert VarChar(4).parse("") is None
+        assert VarChar(4).format(None) == ""
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            VarChar(3).parse("toolong")
+
+    def test_validate(self):
+        t = VarChar(3)
+        assert t.validate("abc")
+        assert t.validate(None)
+        assert not t.validate("abcd")
+        assert not t.validate(42)
+
+    def test_equality_includes_length(self):
+        assert VarChar(10) == VarChar(10)
+        assert VarChar(10) != VarChar(255)
+        assert hash(VarChar(10)) == hash(VarChar(10))
+
+    def test_ddl(self):
+        assert VarChar(10).ddl() == "varchar(10)"
+
+
+class TestInteger:
+    def test_parse(self):
+        assert INTEGER.parse("42") == 42
+        assert INTEGER.parse("-7") == -7
+
+    def test_null(self):
+        assert INTEGER.parse("") == INT_NULL
+        assert INTEGER.format(INT_NULL) == ""
+
+    def test_roundtrip(self):
+        assert INTEGER.parse(INTEGER.format(123)) == 123
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            INTEGER.parse("3.5")
+
+    def test_validate_rejects_bool(self):
+        assert not INTEGER.validate(True)
+        assert INTEGER.validate(np.int64(3))
+
+
+class TestFloat:
+    def test_parse(self):
+        assert FLOAT.parse("3.25") == 3.25
+        assert FLOAT.parse("1e3") == 1000.0
+
+    def test_null_is_nan(self):
+        v = FLOAT.parse("")
+        assert v != v
+        assert FLOAT.format(float("nan")) == ""
+
+    def test_format_roundtrip(self):
+        assert FLOAT.parse(FLOAT.format(2.5)) == 2.5
+
+
+class TestDate:
+    def test_parse_iso(self):
+        import datetime
+
+        assert DATE.parse("2016-03-01") == datetime.date(2016, 3, 1).toordinal()
+
+    def test_parse_alternate_formats(self):
+        assert DATE.parse("2016/03/01") == DATE.parse("2016-03-01")
+        assert DATE.parse("03/01/2016") == DATE.parse("2016-03-01")
+
+    def test_null(self):
+        assert DATE.parse("") == DATE_NULL
+        assert DATE.format(DATE_NULL) == ""
+
+    def test_format_roundtrip(self):
+        ordinal = DATE.parse("2010-12-31")
+        assert DATE.format(ordinal) == "2010-12-31"
+
+    def test_bad_date(self):
+        with pytest.raises(ValueError):
+            DATE.parse("not-a-date")
+        with pytest.raises(ValueError):
+            DATE.parse("2016-13-45")
+
+    def test_ordering_by_ordinal(self):
+        assert DATE.parse("2016-01-02") > DATE.parse("2016-01-01")
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("text,expected", [
+        ("true", 1), ("True", 1), ("t", 1), ("1", 1), ("yes", 1),
+        ("false", 0), ("F", 0), ("0", 0), ("no", 0),
+    ])
+    def test_parse(self, text, expected):
+        assert BOOLEAN.parse(text) == expected
+
+    def test_bad(self):
+        with pytest.raises(ValueError):
+            BOOLEAN.parse("maybe")
+
+    def test_format(self):
+        assert BOOLEAN.format(1) == "true"
+        assert BOOLEAN.format(0) == "false"
+        assert BOOLEAN.format(-1) == ""
+
+
+class TestComparability:
+    def test_numeric_kinds_compare(self):
+        assert comparable(INTEGER, FLOAT)
+        assert comparable(FLOAT, INTEGER)
+
+    def test_strings_compare_across_lengths(self):
+        assert comparable(VarChar(10), VarChar(255))
+
+    def test_date_float_incomparable(self):
+        # the paper's Section III-A example: comparing a date to a float
+        assert not comparable(DATE, FLOAT)
+
+    def test_string_int_incomparable(self):
+        assert not comparable(VarChar(10), INTEGER)
+
+    def test_common_type_widens(self):
+        assert common_type(INTEGER, FLOAT) is FLOAT
+        assert common_type(INTEGER, INTEGER) is INTEGER
+        assert common_type(VarChar(5), VarChar(9)) == VarChar(9)
+
+    def test_common_type_incomparable_raises(self):
+        with pytest.raises(ValueError):
+            common_type(DATE, INTEGER)
+
+
+class TestSingletonsAndRepr:
+    def test_singleton_types_are_equal(self):
+        assert Integer() == INTEGER
+        assert Float() == FLOAT
+        assert Date() == DATE
+        assert Boolean() == BOOLEAN
+
+    def test_repr_contains_ddl(self):
+        assert "varchar(7)" in repr(VarChar(7))

@@ -1,0 +1,54 @@
+"""Unit tests for value conventions (NULL sentinels, date encoding)."""
+
+import datetime
+
+import pytest
+
+from repro.dtypes import (
+    DATE_NULL,
+    INT_NULL,
+    date_to_ordinal,
+    format_date,
+    is_null,
+    ordinal_to_date,
+    parse_date,
+)
+
+
+class TestDates:
+    def test_parse_iso(self):
+        assert parse_date("2016-05-17") == datetime.date(2016, 5, 17).toordinal()
+
+    def test_parse_strips_whitespace(self):
+        assert parse_date(" 2016-05-17 ") == parse_date("2016-05-17")
+
+    def test_roundtrip_through_date(self):
+        d = datetime.date(1999, 12, 31)
+        assert ordinal_to_date(date_to_ordinal(d)) == d
+
+    def test_format(self):
+        assert format_date(parse_date("2000-02-29")) == "2000-02-29"
+
+    def test_format_null(self):
+        assert format_date(DATE_NULL) == "NULL"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_date("17-05-2016x")
+
+
+class TestIsNull:
+    def test_none(self):
+        assert is_null(None)
+
+    def test_nan(self):
+        assert is_null(float("nan"))
+
+    def test_int_sentinel(self):
+        assert is_null(INT_NULL)
+
+    def test_regular_values(self):
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(0.0)
+        assert not is_null("x")

@@ -1,0 +1,86 @@
+"""Unit tests for the public Database session API."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError, IngestError
+
+
+class TestExecute:
+    def test_multi_statement_script(self):
+        db = Database()
+        results = db.execute(
+            """
+            create table T(id varchar(4), n integer)
+            create vertex V(id) from table T
+            """
+        )
+        assert [r.kind for r in results] == ["ddl", "ddl"]
+
+    def test_query_returns_last_table(self, social_db):
+        t = social_db.query(
+            """
+            select y.id from graph Person ( ) --follows--> def y: Person ( )
+            into table A
+            select id, count(*) as n from table A group by id
+            """
+        )
+        assert "n" in t.schema.names()
+
+    def test_query_without_table_raises(self, social_db):
+        with pytest.raises(ExecutionError):
+            social_db.query(
+                "select * from graph Person ( ) --follows--> Person ( ) "
+                "into subgraph G"
+            )
+
+    def test_query_subgraph(self, social_db):
+        sg = social_db.query_subgraph(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph G"
+        )
+        assert sg.num_vertices > 0
+
+    def test_execute_file(self, tmp_path, social_db):
+        path = tmp_path / "script.graql"
+        path.write_text(
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table FromFile"
+        )
+        social_db.execute_file(str(path))
+        assert social_db.table("FromFile").num_rows > 0
+
+
+class TestIngestHelpers:
+    def test_ingest_rows_refreshes_catalog(self, social_db):
+        before = social_db.catalog.vertex("Person").num_vertices
+        social_db.ingest_rows("People", [("px", "Xan", "US", 20, 0.1, 735650)])
+        assert social_db.catalog.vertex("Person").num_vertices == before + 1
+
+    def test_ingest_text(self, social_db):
+        n = social_db.ingest_text("Cities", "tokyo,JP,14000000\n")
+        assert n == 1
+
+    def test_ingest_statement_with_file(self, tmp_path, social_db):
+        path = tmp_path / "cities.csv"
+        path.write_text("osaka,JP,2700000\n")
+        r = social_db.execute(f"ingest table Cities '{path}'")[0]
+        assert r.kind == "ingest" and r.count == 1
+
+    def test_ingest_missing_file(self, social_db):
+        with pytest.raises(IngestError):
+            social_db.execute("ingest table Cities /no/such/file.csv")
+
+
+class TestIntrospection:
+    def test_counts(self, social_db):
+        assert social_db.vertex_count("Person") == 6
+        assert social_db.edge_count("follows") == 8
+
+    def test_table_and_subgraph_access(self, social_db):
+        assert social_db.table("People").num_rows == 6
+        social_db.execute(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph SG"
+        )
+        assert social_db.subgraph("SG").num_vertices > 0

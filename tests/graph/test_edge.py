@@ -1,0 +1,232 @@
+"""Unit tests for edge views (Eq. 2 semantics, Figs. 3-5)."""
+
+import pytest
+
+from repro.dtypes import INTEGER, VarChar
+from repro.errors import CatalogError, TypeCheckError
+from repro.graph import GraphDB
+from repro.graql.parser import parse_expression
+from repro.storage.schema import Schema
+
+
+def fig5_db() -> GraphDB:
+    """The exact Fig. 5 micro-dataset."""
+    db = GraphDB()
+    db.create_table("Producers", Schema.of(("id", VarChar(10)), ("country", VarChar(10))))
+    db.create_table("Vendors", Schema.of(("id", VarChar(10)), ("country", VarChar(10))))
+    db.create_table("Products", Schema.of(("id", VarChar(10)), ("producer", VarChar(10))))
+    db.create_table(
+        "Offers",
+        Schema.of(("id", VarChar(10)), ("product", VarChar(10)), ("vendor", VarChar(10))),
+    )
+    db.tables["Producers"].append_rows([("1", "US"), ("2", "IT"), ("3", "FR"), ("4", "US")])
+    db.tables["Vendors"].append_rows([("1", "CA"), ("2", "CN")])
+    db.tables["Products"].append_rows([("p1", "1"), ("p2", "4"), ("p3", "2"), ("p4", "2")])
+    db.tables["Offers"].append_rows(
+        [("o1", "p1", "1"), ("o2", "p2", "1"), ("o3", "p3", "2"), ("o4", "p4", "2")]
+    )
+    db.create_vertex("ProducerCountry", ["country"], "Producers")
+    db.create_vertex("VendorCountry", ["country"], "Vendors")
+    db.create_vertex("ProductVtx", ["id"], "Products")
+    db.create_vertex("ProducerVtx", ["id"], "Producers")
+    db.create_vertex("OfferVtx", ["id"], "Offers")
+    return db
+
+
+class TestFig5ManyToOne:
+    """The paper's worked example must come out exactly."""
+
+    def test_export_edges(self):
+        db = fig5_db()
+        where = parse_expression(
+            "Products.producer = PC.id and Offers.product = Products.id "
+            "and Offers.vendor = VC.id and PC.country <> VC.country"
+        )
+        et = db.create_edge(
+            "export", "ProducerCountry", "VendorCountry", "PC", "VC", None, where
+        )
+        pc = db.vertex_type("ProducerCountry")
+        vc = db.vertex_type("VendorCountry")
+        pairs = {
+            (pc.key_of(int(et.src_vids[i]))[0], vc.key_of(int(et.tgt_vids[i]))[0])
+            for i in range(et.num_edges)
+        }
+        # Figure 5: exactly US->CA and IT->CN
+        assert pairs == {("US", "CA"), ("IT", "CN")}
+        assert et.num_edges == 2
+
+    def test_same_country_excluded(self):
+        # drop the inequality filter: self-pairs may appear
+        db = fig5_db()
+        where = parse_expression(
+            "Products.producer = PC.id and Offers.product = Products.id "
+            "and Offers.vendor = VC.id"
+        )
+        et = db.create_edge(
+            "export2", "ProducerCountry", "VendorCountry", "PC", "VC", None, where
+        )
+        assert et.num_edges == 2  # same pairs here, but no filter applied
+
+
+class TestSimpleEdges:
+    def test_one_to_one_fk_edge(self):
+        db = fig5_db()
+        et = db.create_edge(
+            "producer",
+            "ProductVtx",
+            "ProducerVtx",
+            None,
+            None,
+            None,
+            parse_expression("ProductVtx.producer = ProducerVtx.id"),
+        )
+        assert et.num_edges == 4  # p4 and p3 share producer 2 but distinct pairs? p3,p4 -> 2
+        # products p1->1, p2->4, p3->2, p4->2: four distinct (src,tgt) pairs
+        pv = db.vertex_type("ProductVtx")
+        pr = db.vertex_type("ProducerVtx")
+        pairs = {
+            (pv.key_of(int(et.src_vids[i]))[0], pr.key_of(int(et.tgt_vids[i]))[0])
+            for i in range(et.num_edges)
+        }
+        assert pairs == {("p1", "1"), ("p2", "4"), ("p3", "2"), ("p4", "2")}
+
+    def test_direction_follows_declaration_order(self):
+        db = fig5_db()
+        et = db.create_edge(
+            "product",
+            "OfferVtx",
+            "ProductVtx",
+            None,
+            None,
+            None,
+            parse_expression("OfferVtx.product = ProductVtx.id"),
+        )
+        assert et.source.name == "OfferVtx"
+        assert et.target.name == "ProductVtx"
+
+
+class TestFromTableEdges:
+    def build(self, rows):
+        db = GraphDB()
+        db.create_table("N", Schema.of(("id", INTEGER)))
+        db.create_table("R", Schema.of(("s", INTEGER), ("t", INTEGER), ("w", INTEGER)))
+        db.tables["N"].append_rows([(i,) for i in range(4)])
+        db.tables["R"].append_rows(rows)
+        db.create_vertex("V", ["id"], "N")
+        et = db.create_edge(
+            "r",
+            "V",
+            "V",
+            "A",
+            "B",
+            ["R"],
+            parse_expression("R.s = A.id and R.t = B.id"),
+        )
+        return db, et
+
+    def test_one_edge_per_row(self):
+        # "an edge is created for each table entry satisfying the where
+        # clause" — duplicates in R give parallel edges (multigraph)
+        db, et = self.build([(0, 1, 5), (0, 1, 7), (1, 2, 9)])
+        assert et.num_edges == 3
+
+    def test_edge_attributes_from_table(self):
+        db, et = self.build([(0, 1, 5), (1, 2, 9)])
+        arr, dtype = et.attribute_array("w")
+        assert sorted(arr.tolist()) == [5, 9]
+
+    def test_edge_select_on_attribute(self):
+        db, et = self.build([(0, 1, 5), (0, 2, 7), (1, 2, 9)])
+        out = et.select(parse_expression("w > 6"))
+        assert len(out) == 2
+
+    def test_dangling_rows_dropped(self):
+        db, et = self.build([(0, 99, 5)])  # 99 is not a vertex
+        assert et.num_edges == 0
+
+    def test_no_attributes_without_table(self):
+        db = fig5_db()
+        et = db.create_edge(
+            "producer",
+            "ProductVtx",
+            "ProducerVtx",
+            None,
+            None,
+            None,
+            parse_expression("ProductVtx.producer = ProducerVtx.id"),
+        )
+        with pytest.raises(TypeCheckError):
+            et.attribute_type("anything")
+
+
+class TestImplicitWhereTables:
+    def test_paper_fig3_feature_form(self):
+        """Fig. 3's 'feature' edge names ProductFeatures only in where."""
+        db = GraphDB()
+        db.create_table("Products", Schema.of(("id", VarChar(10))))
+        db.create_table("Features", Schema.of(("id", VarChar(10))))
+        db.create_table(
+            "ProductFeatures",
+            Schema.of(("product", VarChar(10)), ("feature", VarChar(10))),
+        )
+        db.tables["Products"].append_rows([("p1",), ("p2",)])
+        db.tables["Features"].append_rows([("f1",), ("f2",)])
+        db.tables["ProductFeatures"].append_rows(
+            [("p1", "f1"), ("p1", "f2"), ("p2", "f1")]
+        )
+        db.create_vertex("ProductVtx", ["id"], "Products")
+        db.create_vertex("FeatureVtx", ["id"], "Features")
+        et = db.create_edge(
+            "feature",
+            "ProductVtx",
+            "FeatureVtx",
+            None,
+            None,
+            None,  # note: no from_tables — pulled in from the where clause
+            parse_expression(
+                "ProductFeatures.product = ProductVtx.id "
+                "and ProductFeatures.feature = FeatureVtx.id"
+            ),
+        )
+        assert et.num_edges == 3
+
+
+class TestErrors:
+    def test_same_ref_name_rejected(self):
+        db = fig5_db()
+        with pytest.raises(CatalogError, match="distinct"):
+            db.create_edge(
+                "selfloop",
+                "ProductVtx",
+                "ProductVtx",
+                None,
+                None,
+                None,
+                parse_expression("ProductVtx.id = ProductVtx.id"),
+            )
+
+    def test_unknown_relation(self):
+        db = fig5_db()
+        with pytest.raises(TypeCheckError, match="unknown relation"):
+            db.create_edge(
+                "bad",
+                "ProductVtx",
+                "ProducerVtx",
+                None,
+                None,
+                None,
+                parse_expression("Mystery.x = ProductVtx.id"),
+            )
+
+    def test_unqualified_attr(self):
+        db = fig5_db()
+        with pytest.raises(TypeCheckError, match="unqualified"):
+            db.create_edge(
+                "bad",
+                "ProductVtx",
+                "ProducerVtx",
+                None,
+                None,
+                None,
+                parse_expression("producer = ProducerVtx.id"),
+            )

@@ -1,0 +1,113 @@
+"""Unit tests for the bidirectional CSR edge index (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edge_index import EdgeIndex
+
+
+def make_index():
+    # edges: 0->1, 0->2, 1->2, 2->0, 2->0 (parallel)
+    src = np.asarray([0, 0, 1, 2, 2], dtype=np.int64)
+    tgt = np.asarray([1, 2, 2, 0, 0], dtype=np.int64)
+    return EdgeIndex(3, src, tgt)
+
+
+class TestStructure:
+    def test_counts(self):
+        idx = make_index()
+        assert idx.num_edges == 5
+        assert idx.num_sources == 3
+
+    def test_degrees(self):
+        idx = make_index()
+        assert idx.degrees().tolist() == [2, 1, 2]
+        assert idx.degree(0) == 2
+
+    def test_neighbors_of(self):
+        idx = make_index()
+        assert sorted(idx.neighbors_of(0).tolist()) == [1, 2]
+        assert idx.neighbors_of(2).tolist() == [0, 0]  # parallel edges kept
+
+    def test_indptr_invariants(self):
+        idx = make_index()
+        assert idx.indptr[0] == 0
+        assert idx.indptr[-1] == idx.num_edges
+        assert (np.diff(idx.indptr) >= 0).all()
+
+    def test_eids_unique_and_complete(self):
+        idx = make_index()
+        assert sorted(idx.eids.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_empty_index(self):
+        idx = EdgeIndex(4, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert idx.num_edges == 0
+        assert idx.degrees().tolist() == [0, 0, 0, 0]
+
+
+class TestExpand:
+    def test_single_vertex(self):
+        idx = make_index()
+        srcs, tgts, eids = idx.expand(np.asarray([0], dtype=np.int64))
+        assert srcs.tolist() == [0, 0]
+        assert sorted(tgts.tolist()) == [1, 2]
+
+    def test_frontier(self):
+        idx = make_index()
+        srcs, tgts, eids = idx.expand(np.asarray([0, 2], dtype=np.int64))
+        assert len(srcs) == 4
+        assert sorted(tgts.tolist()) == [0, 0, 1, 2]
+
+    def test_empty_frontier(self):
+        idx = make_index()
+        srcs, tgts, eids = idx.expand(np.empty(0, dtype=np.int64))
+        assert len(srcs) == 0
+
+    def test_duplicate_frontier_entries_expand_independently(self):
+        # the binding executor relies on this: one expansion per input row
+        idx = make_index()
+        srcs, tgts, eids = idx.expand(np.asarray([0, 0], dtype=np.int64))
+        assert len(srcs) == 4
+
+    def test_expand_restricted(self):
+        idx = make_index()
+        allowed = np.asarray([0], dtype=np.int64)  # only eid 0 (0->1)
+        srcs, tgts, eids = idx.expand_restricted(
+            np.asarray([0], dtype=np.int64), allowed
+        )
+        assert eids.tolist() == [0]
+        assert tgts.tolist() == [1]
+
+    def test_expand_restricted_none_means_all(self):
+        idx = make_index()
+        _, tgts, _ = idx.expand_restricted(np.asarray([0], dtype=np.int64), None)
+        assert len(tgts) == 2
+
+    def test_expand_restricted_empty_allowed(self):
+        idx = make_index()
+        _, tgts, eids = idx.expand_restricted(
+            np.asarray([0], dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert len(eids) == 0
+
+
+class TestBidirectional:
+    def test_forward_reverse_consistency(self, social_db):
+        bidx = social_db.db.index("follows")
+        et = social_db.db.edge_type("follows")
+        # every edge appears once in each direction with matching endpoints
+        for eid in range(et.num_edges):
+            s, t = et.endpoints_of(eid)
+            assert t in bidx.forward.neighbors_of(s).tolist()
+            assert s in bidx.reverse.neighbors_of(t).tolist()
+
+    def test_direction_helper(self, social_db):
+        bidx = social_db.db.index("follows")
+        assert bidx.direction(True) is bidx.forward
+        assert bidx.direction(False) is bidx.reverse
+
+    def test_edge_count_matches(self, social_db):
+        bidx = social_db.db.index("follows")
+        et = social_db.db.edge_type("follows")
+        assert bidx.forward.num_edges == et.num_edges
+        assert bidx.reverse.num_edges == et.num_edges

@@ -1,0 +1,68 @@
+"""Unit tests for the front-end compiler (text -> checked AST -> IR)."""
+
+import pytest
+
+from repro.errors import CatalogError, ParseError, TypeCheckError
+from repro.graql.compiler import compile_script
+from repro.graql.ir import decode_statement
+from repro.graql.typecheck import CheckedGraphSelect
+
+
+class TestCompileScript:
+    def test_pipeline_produces_ir_and_checked(self, social_db):
+        program = compile_script(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph G",
+            social_db.catalog,
+        )
+        assert len(program) == 1
+        cs = program.statements[0]
+        assert cs.ir_size > 0
+        assert isinstance(cs.checked, CheckedGraphSelect)
+        assert decode_statement(cs.ir) == cs.statement
+
+    def test_parameters_substituted_before_encoding(self, social_db):
+        program = compile_script(
+            "select * from graph Person (name = %Who%) --follows--> "
+            "Person ( ) into subgraph G",
+            social_db.catalog,
+            params={"Who": "Alice"},
+        )
+        decoded = decode_statement(program.statements[0].ir)
+        cond = decoded.pattern.steps[0].cond
+        assert cond.right.value == "Alice"
+
+    def test_parse_error_propagates(self, social_db):
+        with pytest.raises(ParseError):
+            compile_script("select banana from", social_db.catalog)
+
+    def test_type_error_propagates(self, social_db):
+        with pytest.raises((TypeCheckError, CatalogError)):
+            compile_script("select * from table Missing", social_db.catalog)
+
+    def test_total_ir_size(self, social_db):
+        program = compile_script(
+            "select * from table People\nselect * from table Cities",
+            social_db.catalog,
+        )
+        assert program.total_ir_size == sum(
+            cs.ir_size for cs in program.statements
+        )
+
+    def test_forward_declared_objects_compile(self, social_db):
+        # a script may create and then query an object (scratch catalog)
+        program = compile_script(
+            "create table Fresh(id integer)\n"
+            "select count(*) as n from table Fresh",
+            social_db.catalog,
+        )
+        assert len(program) == 2
+        # compiling had no side effect on the live catalog
+        assert not social_db.catalog.is_table("Fresh")
+
+    def test_unbound_param_rejected_at_compile(self, social_db):
+        with pytest.raises(TypeCheckError, match="parameters"):
+            compile_script(
+                "select * from table People where age = %Missing%",
+                social_db.catalog,
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for the binary IR (paper Section III)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.graql.ir import (
+    MAGIC,
+    decode_script,
+    decode_statement,
+    encode_script,
+    encode_statement,
+)
+from repro.graql.parser import parse_script, parse_statement
+
+STATEMENTS = [
+    "create table T(id varchar(10), n integer, x float, d date)",
+    "create vertex V(id, n) from table T where T.n > 3",
+    "create edge e with vertices (V as A, V as B) from table R "
+    "where R.s = A.id and R.t = B.id and R.cap >= 2",
+    "ingest table T data.csv",
+    "select * from table T",
+    "select top 3 distinct id, count(*) as c from table T where x < 1.5 "
+    "group by id order by c desc into table R",
+    "select y.id as pid from graph A (id = %P% and n is not null) "
+    "--e(w > 2)--> def y: B ( ) into table T1",
+    "select * from graph A ( ) <--[]-- foreach z: [ ] into subgraph G",
+    "select * from graph A ( ) ( --[]--> [ ] )+ B (x = 'end') into subgraph G",
+    "select * from graph A ( ) ( --e--> [ ] ){3} B ( ) into subgraph G",
+    "select V0, Vn from graph resQ1.V0 ( ) --e--> Vn ( ) into subgraph G2",
+    "select T.id from graph A ( ) --e--> def y: B ( ) and (y --f--> T ( )) "
+    "into table R2",
+    "select * from graph A ( ) --e--> B ( ) or (A ( ) --f--> C ( )) "
+    "into subgraph U",
+]
+
+
+@pytest.mark.parametrize("text", STATEMENTS)
+def test_statement_roundtrip(text):
+    stmt = parse_statement(text)
+    data = encode_statement(stmt)
+    assert data[:4] == MAGIC
+    assert decode_statement(data) == stmt
+
+
+def test_script_roundtrip():
+    script = parse_script("\n\n".join(STATEMENTS))
+    data = encode_script(script)
+    assert decode_script(data) == script
+
+
+def test_ir_is_compact():
+    stmt = parse_statement(STATEMENTS[6])
+    data = encode_statement(stmt)
+    # binary IR should be in the same ballpark as the source text
+    assert len(data) < 4 * len(STATEMENTS[6])
+
+
+def test_bad_magic():
+    with pytest.raises(IRError, match="magic"):
+        decode_statement(b"XXXX\x01\x05")
+
+
+def test_bad_version():
+    stmt = parse_statement("select * from table T")
+    data = bytearray(encode_statement(stmt))
+    data[4] = 99
+    with pytest.raises(IRError, match="version"):
+        decode_statement(bytes(data))
+
+
+def test_truncated_stream():
+    stmt = parse_statement("select * from table T")
+    data = encode_statement(stmt)
+    with pytest.raises(Exception):
+        decode_statement(data[: len(data) // 2])
+
+
+def test_unknown_tag():
+    with pytest.raises(IRError):
+        decode_statement(MAGIC + b"\x01\xff")
+
+
+def test_distinct_statements_encode_differently():
+    a = encode_statement(parse_statement("select a from table T"))
+    b = encode_statement(parse_statement("select b from table T"))
+    assert a != b

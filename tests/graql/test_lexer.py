@@ -1,0 +1,137 @@
+"""Unit tests for the GraQL lexer, especially the arrow/minus rules."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.graql import tokens as T
+from repro.graql.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestArrows:
+    def test_out_edge(self):
+        assert kinds("--producer-->") == [T.DASHES, T.IDENT, T.RARROW]
+
+    def test_in_edge(self):
+        assert kinds("<--reviewer--") == [T.LARROW, T.IDENT, T.DASHES]
+
+    def test_long_dash_runs(self):
+        assert kinds("----x---->") == [T.DASHES, T.IDENT, T.RARROW]
+
+    def test_single_minus_is_arithmetic(self):
+        assert kinds("a - b") == [T.IDENT, T.MINUS, T.IDENT]
+
+    def test_lt_vs_larrow(self):
+        assert kinds("a < b") == [T.IDENT, T.LT, T.IDENT]
+        assert kinds("a <-- b") == [T.IDENT, T.LARROW, T.IDENT]
+
+    def test_le_ne(self):
+        assert kinds("<= <> >=") == [T.LE, T.NE, T.GE]
+
+    def test_bang_ne(self):
+        assert kinds("a != b") == [T.IDENT, T.BANG_NE, T.IDENT]
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a ! b")
+
+
+class TestLiterals:
+    def test_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind == T.NUMBER and toks[0].value == 42
+
+    def test_float(self):
+        assert tokenize("3.25")[0].value == 3.25
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5E-2")[0].value == 0.025
+
+    def test_int_then_dot_ident(self):
+        # "1.x" must not parse as a float
+        assert kinds("1.x") == [T.NUMBER, T.DOT, T.IDENT]
+
+    def test_single_quoted_string(self):
+        assert tokenize("'hello'")[0].value == "hello"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"hi there"')[0].value == "hi there"
+
+    def test_escapes(self):
+        assert tokenize(r"'it\'s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_param(self):
+        tok = tokenize("%Product1%")[0]
+        assert tok.kind == T.PARAM and tok.value == "Product1"
+
+    def test_malformed_param(self):
+        with pytest.raises(LexError):
+            tokenize("%oops")
+
+
+class TestKeywordsAndIdents:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("SELECT Select select")
+        assert all(t.is_keyword("select") for t in toks[:-1])
+
+    def test_identifiers_keep_case(self):
+        assert tokenize("ProductVtx")[0].value == "ProductVtx"
+
+    def test_underscore_idents(self):
+        assert tokenize("propertyNumeric_1")[0].value == "propertyNumeric_1"
+
+    def test_keyword_list(self):
+        for word in ("create", "foreach", "def", "ingest", "subgraph", "top"):
+            assert tokenize(word)[0].kind == T.KEYWORD
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [T.IDENT, T.IDENT]
+
+    def test_comment_at_eof(self):
+        assert kinds("a // trailing") == [T.IDENT]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_position(self):
+        try:
+            tokenize("ok\n   $")
+        except LexError as e:
+            assert e.line == 2 and e.column == 4
+        else:
+            pytest.fail("expected LexError")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == T.EOF
+
+
+class TestPunctuation:
+    def test_braces_brackets(self):
+        assert kinds("[ ] { } ( )") == [
+            T.LBRACKET, T.RBRACKET, T.LBRACE, T.RBRACE, T.LPAREN, T.RPAREN,
+        ]
+
+    def test_star_slash_plus(self):
+        assert kinds("* / +") == [T.STAR, T.SLASH, T.PLUS]
+
+    def test_full_statement(self):
+        text = "select y.id from graph P (id = %X%) --e--> def y: Q ( )"
+        ks = kinds(text)
+        assert T.PARAM in [tokenize(text)[i].kind for i in range(len(ks))]
+        assert T.RARROW in ks and T.DASHES in ks

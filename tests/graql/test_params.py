@@ -1,0 +1,88 @@
+"""Unit tests for %Param% substitution."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graql.params import substitute_statement, unbound_params
+from repro.graql.parser import parse_statement
+from repro.storage.expr import Const
+
+
+def sub(text, **params):
+    return substitute_statement(parse_statement(text), params)
+
+
+class TestSubstitution:
+    def test_graph_step_condition(self):
+        stmt = sub(
+            "select * from graph A (id = %P%) --e--> B ( ) into subgraph G",
+            P="p1",
+        )
+        cond = stmt.pattern.steps[0].cond
+        assert isinstance(cond.right, Const) and cond.right.value == "p1"
+
+    def test_edge_condition(self):
+        stmt = sub(
+            "select * from graph A ( ) --e(w > %W%)--> B ( ) into subgraph G",
+            W=5,
+        )
+        assert stmt.pattern.steps[1].cond.right.value == 5
+
+    def test_table_where(self):
+        stmt = sub("select * from table T where n = %N%", N=3)
+        assert stmt.where.right.value == 3
+
+    def test_regex_inner_condition(self):
+        stmt = sub(
+            "select * from graph A ( ) ( --e--> B (x = %X%) ){2} C ( ) "
+            "into subgraph G",
+            X="v",
+        )
+        group = stmt.pattern.steps[1]
+        assert group.pairs[0][1].cond.right.value == "v"
+
+    def test_date_parameter(self):
+        stmt = sub(
+            "select * from table T where d > %When%",
+            When=datetime.date(2016, 1, 1),
+        )
+        assert stmt.where.right.value == "2016-01-01"
+
+    def test_numeric_kinds_preserved(self):
+        stmt = sub("select * from table T where x > %X%", X=1.5)
+        assert stmt.where.right.value == 1.5
+
+    def test_missing_param_raises(self):
+        with pytest.raises(ExecutionError, match="unbound"):
+            sub("select * from table T where n = %N%")
+
+    def test_unsupported_value_type(self):
+        with pytest.raises(ExecutionError):
+            sub("select * from table T where n = %N%", N=[1, 2])
+
+    def test_ddl_where_substitution(self):
+        stmt = sub("create vertex V(id) from table T where T.k = %K%", K="x")
+        assert stmt.where.right.value == "x"
+
+    def test_extra_params_ignored(self):
+        stmt = sub("select * from table T", Unused=1)
+        assert stmt.where is None
+
+
+class TestUnboundParams:
+    def test_detects_graph_params(self):
+        stmt = parse_statement(
+            "select * from graph A (id = %P%) --e(w=%W%)--> B ( ) "
+            "into subgraph G"
+        )
+        assert unbound_params(stmt) == {"P", "W"}
+
+    def test_detects_table_params(self):
+        stmt = parse_statement("select * from table T where n = %N%")
+        assert unbound_params(stmt) == {"N"}
+
+    def test_none_after_substitution(self):
+        stmt = sub("select * from table T where n = %N%", N=1)
+        assert unbound_params(stmt) == set()

@@ -1,0 +1,74 @@
+"""Pretty-printer round-trip tests on hand-written statements."""
+
+import pytest
+
+from repro.graql.parser import parse_expression, parse_script, parse_statement
+from repro.graql.pretty import pretty_expr, pretty_script, pretty_statement
+
+STATEMENTS = [
+    "create table T(id varchar(10), n integer, x float, d date)",
+    "create vertex V(id) from table T",
+    "create vertex V(a, b) from table T where T.n > 3",
+    "create edge e with vertices (A, B) where A.x = B.y",
+    "create edge e with vertices (V as A, V as B) from table R "
+    "where R.s = A.id and R.t = B.id",
+    "ingest table P products.csv",
+    "ingest table P 'white space/dir.csv'",
+    "select * from table T",
+    "select top 10 id, count(*) as c from table T where n > 1 "
+    "group by id order by c desc, id asc into table R",
+    "select distinct a as x from table T",
+    "select * from graph A ( ) --e--> B (n = 3) into subgraph G",
+    "select y.id from graph A (id = %P%) --e--> def y: B ( ) into table T1",
+    "select * from graph A ( ) <--e(w > 2)-- foreach z: B ( ) into subgraph G",
+    "select * from graph A ( ) <--[]-- [ ] into subgraph G",
+    "select * from graph A ( ) ( --[]--> [ ] )+ B ( ) into subgraph G",
+    "select * from graph A ( ) ( --e--> [ ] ){4} B ( ) into subgraph G",
+    "select V0, Vn from graph V0 ( ) --e--> Vn ( ) into subgraph G",
+    "select * from graph resQ1.Vn (x > 1) --e--> B ( ) into subgraph G2",
+    "select T.id from graph A ( ) --e--> def y: B ( ) and (y --f--> T ( )) "
+    "into table R",
+    "select * from graph A ( ) --e--> B ( ) or (A ( ) --f--> C ( )) "
+    "into subgraph G",
+]
+
+
+@pytest.mark.parametrize("text", STATEMENTS)
+def test_statement_roundtrip(text):
+    stmt = parse_statement(text)
+    rendered = pretty_statement(stmt)
+    again = parse_statement(rendered)
+    assert again == stmt, f"round-trip changed:\n{rendered}"
+
+
+EXPRESSIONS = [
+    "a = 1",
+    "a <> 'x'",
+    "a < b and c >= d",
+    "not (a = 1 or b = 2)",
+    "a + b * c - d / e",
+    "(a + b) * c",
+    "x is null",
+    "x is not null",
+    "price > 3.5 and name = 'it\\'s'",
+    "d = %When% and n = -4",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_expression_roundtrip(text):
+    expr = parse_expression(text)
+    rendered = pretty_expr(expr)
+    assert parse_expression(rendered) == expr, rendered
+
+
+def test_script_roundtrip():
+    script = parse_script("\n\n".join(STATEMENTS))
+    assert parse_script(pretty_script(script)) == script
+
+
+def test_minus_association_preserved():
+    # left associativity: a - b - c == (a - b) - c, not a - (b - c)
+    e = parse_expression("1 - 2 - 3")
+    again = parse_expression(pretty_expr(e))
+    assert again == e

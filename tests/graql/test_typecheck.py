@@ -1,0 +1,291 @@
+"""Unit tests for static query analysis (paper Section III-A).
+
+The paper enumerates the check classes: wrong-type comparisons, wrong
+entity kinds (table vs vertex vs edge), and ill-formed path queries.
+Every class gets at least one accept and one reject case here.
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.errors import CatalogError, TypeCheckError
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import CheckedGraphSelect, check_statement
+from tests.conftest import build_social_db
+
+
+@pytest.fixture(scope="module")
+def catalog() -> Catalog:
+    return build_social_db().catalog
+
+
+def check(text, catalog):
+    return check_statement(parse_statement(text), catalog)
+
+
+class TestEntityKinds:
+    def test_table_where_vertex_required(self, catalog):
+        # "a table name should be used when a table is required, rather
+        # than a vertex type name" — and vice versa
+        with pytest.raises(CatalogError, match="it is a table"):
+            check("select * from graph People ( ) --follows--> Person ( ) "
+                  "into subgraph G", catalog)
+
+    def test_vertex_where_table_required(self, catalog):
+        with pytest.raises(CatalogError, match="it is a vertex type"):
+            check("select * from table Person", catalog)
+
+    def test_edge_where_vertex_required(self, catalog):
+        with pytest.raises(CatalogError, match="it is an edge type"):
+            check("select * from graph follows ( ) --follows--> Person ( ) "
+                  "into subgraph G", catalog)
+
+    def test_unknown_edge(self, catalog):
+        with pytest.raises(CatalogError, match="unknown edge"):
+            check("select * from graph Person ( ) --friendOf--> Person ( ) "
+                  "into subgraph G", catalog)
+
+    def test_vertex_used_as_edge(self, catalog):
+        with pytest.raises(CatalogError, match="it is a vertex type"):
+            check("select * from graph Person ( ) --City--> Person ( ) "
+                  "into subgraph G", catalog)
+
+
+class TestTypeErrors:
+    def test_date_vs_float(self, catalog):
+        with pytest.raises(TypeCheckError, match="compare"):
+            check("select * from graph Person (joined = 3.14) "
+                  "--follows--> Person ( ) into subgraph G", catalog)
+
+    def test_date_vs_date_literal_ok(self, catalog):
+        out = check("select * from graph Person (joined > '2013-01-01') "
+                    "--follows--> Person ( ) into subgraph G", catalog)
+        assert isinstance(out, CheckedGraphSelect)
+
+    def test_string_vs_int(self, catalog):
+        with pytest.raises(TypeCheckError):
+            check("select * from graph Person (name = 5) --follows--> "
+                  "Person ( ) into subgraph G", catalog)
+
+    def test_unknown_attribute(self, catalog):
+        with pytest.raises(TypeCheckError, match="no attribute"):
+            check("select * from graph Person (salary > 10) --follows--> "
+                  "Person ( ) into subgraph G", catalog)
+
+    def test_condition_must_be_boolean(self, catalog):
+        with pytest.raises(TypeCheckError):
+            check("select * from graph Person (age + 1) --follows--> "
+                  "Person ( ) into subgraph G", catalog)
+
+    def test_where_in_table_select(self, catalog):
+        with pytest.raises(TypeCheckError):
+            check("select * from table People where name > 3", catalog)
+
+
+class TestPathFormation:
+    def test_edge_endpoint_mismatch(self, catalog):
+        # follows connects Person->Person; City cannot be its source
+        with pytest.raises(TypeCheckError, match="cannot"):
+            check("select * from graph City ( ) --follows--> Person ( ) "
+                  "into subgraph G", catalog)
+
+    def test_in_edge_endpoint_mismatch(self, catalog):
+        with pytest.raises(TypeCheckError, match="cannot"):
+            check("select * from graph Person ( ) <--livesIn-- Person ( ) "
+                  "into subgraph G", catalog)
+
+    def test_correct_direction_accepted(self, catalog):
+        out = check("select * from graph City ( ) <--livesIn-- Person ( ) "
+                    "into subgraph G", catalog)
+        assert isinstance(out, CheckedGraphSelect)
+
+    def test_variant_edge_narrowing(self, catalog):
+        out = check("select * from graph Person ( ) --[]--> [ ] "
+                    "into subgraph G", catalog)
+        atom = out.pattern.atoms()[0]
+        edge = atom.steps[1]
+        assert set(edge.names) == {"follows", "livesIn"}
+        # the variant vertex narrowed to the possible targets
+        assert set(atom.steps[2].types) == {"Person", "City"}
+
+    def test_infeasible_variant(self, catalog):
+        # nothing points *into* a City from a City
+        with pytest.raises(TypeCheckError, match="infeasible"):
+            check("select * from graph City ( ) --[]--> City ( ) "
+                  "into subgraph G", catalog)
+
+    def test_variant_with_condition_rejected(self, catalog):
+        with pytest.raises(TypeCheckError, match="variant"):
+            # conditions on variant edges are rejected by the grammar for
+            # "[ ]"; emulate via edge cond on multi-type... instead check
+            # the vertex-level rule through a crafted AST
+            from repro.graql.ast import (
+                EdgeStep,
+                GraphSelect,
+                IntoClause,
+                PathAtom,
+                StarItem,
+                VertexStep,
+            )
+            from repro.storage.expr import BinOp, ColRef, Const
+
+            stmt = GraphSelect(
+                [StarItem()],
+                PathAtom([
+                    VertexStep("Person"),
+                    EdgeStep(None, "out", is_variant=True,
+                             cond=BinOp("=", ColRef(None, "weight"), Const(1))),
+                    VertexStep(None, is_variant=True),
+                ]),
+                IntoClause("subgraph", "G"),
+            )
+            check_statement(stmt, catalog)
+
+
+class TestLabels:
+    def test_duplicate_label(self, catalog):
+        with pytest.raises(TypeCheckError, match="more than once"):
+            check("select * from graph def x: Person ( ) --follows--> "
+                  "def x: Person ( ) into subgraph G", catalog)
+
+    def test_label_shadowing_object(self, catalog):
+        with pytest.raises(TypeCheckError, match="shadows"):
+            check("select * from graph def Person: Person ( ) --follows--> "
+                  "Person ( ) into subgraph G", catalog)
+
+    def test_label_reference_resolves(self, catalog):
+        out = check("select * from graph def x: Person ( ) --follows--> "
+                    "Person ( ) --follows--> x into subgraph G", catalog)
+        atom = out.pattern.atoms()[0]
+        assert atom.steps[4].label_ref == "x"
+
+    def test_foreach_forces_bindings(self, catalog):
+        out = check("select * from graph foreach x: Person ( ) --follows--> "
+                    "Person ( ) --follows--> x into subgraph G", catalog)
+        assert out.pattern.needs_bindings
+
+    def test_unknown_step_name(self, catalog):
+        with pytest.raises(CatalogError):
+            check("select * from graph zz ( ) --follows--> Person ( ) "
+                  "into subgraph G", catalog)
+
+
+class TestComposition:
+    def test_and_requires_shared_label(self, catalog):
+        with pytest.raises(TypeCheckError, match="shared"):
+            check("select * from graph Person ( ) --follows--> Person ( ) "
+                  "and (City ( ) <--livesIn-- Person ( )) into subgraph G",
+                  catalog)
+
+    def test_and_with_shared_label_ok(self, catalog):
+        out = check("select * from graph Person ( ) --follows--> def y: "
+                    "Person ( ) and (y --livesIn--> City ( )) "
+                    "into subgraph G", catalog)
+        assert isinstance(out, CheckedGraphSelect)
+
+    def test_or_with_table_output_rejected(self, catalog):
+        with pytest.raises(TypeCheckError, match="'or' composition"):
+            check("select y.id from graph def y: Person ( ) --follows--> "
+                  "Person ( ) or (Person ( ) --livesIn--> City ( )) "
+                  "into table T", catalog)
+
+
+class TestSelectItems:
+    def test_ambiguous_type_name(self, catalog):
+        with pytest.raises(TypeCheckError, match="ambiguous"):
+            check("select Person.id from graph Person ( ) --follows--> "
+                  "Person ( ) into table T", catalog)
+
+    def test_label_disambiguates(self, catalog):
+        out = check("select y.id from graph Person ( ) --follows--> def y: "
+                    "Person ( ) into table T", catalog)
+        assert isinstance(out, CheckedGraphSelect)
+
+    def test_unqualified_attr_rejected_for_tables(self, catalog):
+        with pytest.raises(TypeCheckError):
+            check("select id as x from graph Person ( ) --follows--> "
+                  "Person ( ) into table T", catalog)
+
+    def test_attr_into_subgraph_rejected(self, catalog):
+        with pytest.raises(TypeCheckError, match="attribute"):
+            check("select y.id from graph Person ( ) --follows--> def y: "
+                  "Person ( ) into subgraph G", catalog)
+
+    def test_aggregate_in_graph_select_rejected(self, catalog):
+        with pytest.raises(TypeCheckError, match="aggregate"):
+            check("select count(*) from graph Person ( ) --follows--> "
+                  "Person ( ) into table T", catalog)
+
+    def test_group_by_rules(self, catalog):
+        with pytest.raises(TypeCheckError, match="group by"):
+            check("select name, count(*) as c from table People group by country",
+                  catalog)
+
+    def test_order_by_unknown_column(self, catalog):
+        with pytest.raises(TypeCheckError, match="order by"):
+            check("select name from table People order by nonexistent", catalog)
+
+
+class TestRegexChecks:
+    def test_unbounded_regex_table_output_rejected(self, catalog):
+        with pytest.raises(TypeCheckError, match="regular expressions"):
+            check("select y.id from graph Person ( ) ( --follows--> [ ] )+ "
+                  "def y: Person ( ) into table T", catalog)
+
+    def test_counted_regex_table_output_ok(self, catalog):
+        out = check("select y.id from graph Person ( ) ( --follows--> [ ] ){2} "
+                    "def y: Person ( ) into table T", catalog)
+        assert isinstance(out, CheckedGraphSelect)
+
+    def test_unbounded_regex_subgraph_ok(self, catalog):
+        out = check("select * from graph Person ( ) ( --follows--> [ ] )+ "
+                    "Person ( ) into subgraph G", catalog)
+        assert out.pattern.has_regex
+
+
+class TestDDLChecks:
+    def test_duplicate_name(self, catalog):
+        with pytest.raises(TypeCheckError, match="already in use"):
+            check("create table People(id integer)", catalog)
+
+    def test_vertex_key_not_in_table(self, catalog):
+        with pytest.raises(TypeCheckError, match="key column"):
+            check("create vertex V(nope) from table People", catalog)
+
+    def test_edge_same_endpoint_needs_alias(self, catalog):
+        with pytest.raises(TypeCheckError, match="alias"):
+            check("create edge e2 with vertices (Person, Person) "
+                  "where Person.id = Person.id", catalog)
+
+    def test_edge_unknown_relation_in_where(self, catalog):
+        with pytest.raises(TypeCheckError, match="unknown relation"):
+            check("create edge e2 with vertices (Person as A, Person as B) "
+                  "where Mystery.x = A.id", catalog)
+
+    def test_edge_unqualified_ref_rejected(self, catalog):
+        with pytest.raises(TypeCheckError, match="unqualified"):
+            check("create edge e2 with vertices (Person as A, Person as B) "
+                  "where id = A.id", catalog)
+
+    def test_ingest_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            check("ingest table Nope file.csv", catalog)
+
+
+class TestScriptChecking:
+    def test_forward_references_within_script(self, catalog):
+        # a script may query objects it declares earlier in the same script
+        from repro.graql.parser import parse_script
+        from repro.graql.typecheck import check_script
+
+        script = parse_script(
+            """
+            create table Fresh(id varchar(8))
+            create vertex FreshV(id) from table Fresh
+            select * from table Fresh
+            """
+        )
+        out = check_script(script, catalog)
+        assert len(out) == 3
+        # the scratch catalog must not leak into the real one
+        assert "Fresh" not in catalog.tables

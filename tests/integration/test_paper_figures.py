@@ -1,0 +1,286 @@
+"""End-to-end reproduction of every figure in the paper.
+
+Each test executes the *verbatim* GraQL of a figure (modulo parameter
+values) against generated Berlin data and asserts the semantics the paper
+describes.  This file is the per-figure index promised in DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.workloads.berlin import (
+    BERLIN_DDL,
+    BERLIN_EXPORT_DDL,
+    Q1_FIG7,
+    Q2_FIG6,
+    Q_FIG9,
+    Q_FIG11,
+    Q_FIG13,
+    Q_REGEX,
+    generate_berlin,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.workloads.berlin import berlin_database
+
+    return berlin_database(scale=80, seed=21, with_export=True)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_berlin(80, seed=21)
+
+
+class TestFig1SchemaGraph:
+    """Fig. 1: the Berlin logical data model as vertex/edge types."""
+
+    def test_nine_entity_types(self, db):
+        assert len([v for v in db.db.vertex_types if v.endswith("Vtx")]) == 8
+
+    def test_eight_relationship_types(self, db):
+        assert set(db.db.edge_types) >= {
+            "subclass", "producer", "type", "feature",
+            "product", "vendor", "reviewFor", "reviewer",
+        }
+
+    def test_edge_endpoints_match_figure(self, db):
+        expect = {
+            "subclass": ("TypeVtx", "TypeVtx"),
+            "producer": ("ProductVtx", "ProducerVtx"),
+            "type": ("ProductVtx", "TypeVtx"),
+            "feature": ("ProductVtx", "FeatureVtx"),
+            "product": ("OfferVtx", "ProductVtx"),
+            "vendor": ("OfferVtx", "VendorVtx"),
+            "reviewFor": ("ReviewVtx", "ProductVtx"),
+            "reviewer": ("ReviewVtx", "PersonVtx"),
+        }
+        for name, (s, t) in expect.items():
+            et = db.db.edge_type(name)
+            assert (et.source.name, et.target.name) == (s, t)
+
+
+class TestFig2Fig3Appendix:
+    """Figs. 2-3 + Appendix A: the DDL parses and builds."""
+
+    def test_ddl_builds_fresh(self):
+        fresh = Database()
+        results = fresh.execute(BERLIN_DDL)
+        assert all(r.kind == "ddl" for r in results)
+        # 10 tables + 8 vertex types + 8 edge types
+        assert len(results) == 26
+
+    def test_vertex_views_are_one_to_one(self, db):
+        for name in ("ProductVtx", "OfferVtx", "ReviewVtx"):
+            assert db.db.vertex_type(name).one_to_one
+
+    def test_counts_match_tables(self, db):
+        assert db.vertex_count("ProductVtx") == db.table("Products").num_rows
+        assert db.edge_count("reviewFor") == db.table("Reviews").num_rows
+
+
+class TestFig4Fig5ManyToOne:
+    """Figs. 4-5: country vertices and the export edge."""
+
+    def test_country_vertices_are_many_to_one(self, db):
+        pc = db.db.vertex_type("ProducerCountry")
+        assert not pc.one_to_one or pc.num_vertices == db.table("Producers").num_rows
+
+    def test_one_vertex_per_unique_country(self, db, data):
+        pc = db.db.vertex_type("ProducerCountry")
+        countries = {r[5] for r in data.tables["Producers"]}
+        assert pc.num_vertices == len(countries)
+
+    def test_export_edges_deduplicated(self, db, data):
+        """Fig. 5: one edge per country pair, however many product/offer
+        combinations support it."""
+        et = db.db.edge_type("export")
+        pc = db.db.vertex_type("ProducerCountry")
+        vc = db.db.vertex_type("VendorCountry")
+        pairs = [
+            (pc.key_of(int(et.src_vids[i]))[0], vc.key_of(int(et.tgt_vids[i]))[0])
+            for i in range(et.num_edges)
+        ]
+        assert len(pairs) == len(set(pairs))
+        # verify against a hand computation over the raw tables
+        producers = {r[0]: r[5] for r in data.tables["Producers"]}
+        vendors = {r[0]: r[5] for r in data.tables["Vendors"]}
+        products = {r[0]: r[4] for r in data.tables["Products"]}
+        expected = set()
+        for o in data.tables["Offers"]:
+            pcountry = producers[products[o[2]]]
+            vcountry = vendors[o[3]]
+            if pcountry != vcountry:
+                expected.add((pcountry, vcountry))
+        assert set(pairs) == expected
+
+
+class TestFig6BerlinQ2:
+    """Fig. 6: top-10 products most similar to Product1 by shared features."""
+
+    def test_verbatim_query(self, db, data):
+        t = db.query(Q2_FIG6, params={"Product1": "product5"})
+        assert list(t.schema.names()) == ["id", "groupCount"]
+        assert t.num_rows <= 10
+        # descending counts
+        counts = [r[1] for r in t.to_rows()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_intermediate_table_multiplicity(self, db):
+        """'each id repeated for each feature the product has in common'"""
+        db.execute(Q2_FIG6.split("into table T1")[0] + "into table T1x",
+                   params={"Product1": "product5"})
+        t1 = db.table("T1x")
+        agg = db.query(
+            "select id, count(*) as n from table T1x group by id"
+        )
+        assert t1.num_rows == sum(r[1] for r in agg.to_rows())
+
+
+class TestFig7Fig8BerlinQ1:
+    """Fig. 7/8: multi-path composition with a foreach label."""
+
+    def test_verbatim_query(self, db):
+        t = db.query(Q1_FIG7, params={"Country1": "US", "Country2": "DE"})
+        assert list(t.schema.names()) == ["id", "groupCount"]
+
+    def test_counts_match_hand_computation(self, db, data):
+        t = db.query(Q1_FIG7, params={"Country1": "US", "Country2": "DE"})
+        got = dict(t.to_rows())
+        # hand computation over raw tables
+        producers = {r[0]: r[5] for r in data.tables["Producers"]}
+        persons = {r[0]: r[4] for r in data.tables["Persons"]}
+        products = {r[0]: r[4] for r in data.tables["Products"]}
+        ptypes = {}
+        for pid, tid in data.tables["ProductTypes"]:
+            ptypes.setdefault(pid, set()).add(tid)
+        expected: dict[str, int] = {}
+        for rv in data.tables["Reviews"]:
+            pid = rv[2]
+            if persons[rv[3]] != "DE":
+                continue
+            if producers[products[pid]] != "US":
+                continue
+            for tid in ptypes.get(pid, ()):
+                expected[tid] = expected.get(tid, 0) + 1
+        top10 = dict(
+            sorted(expected.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        )
+        assert got == top10
+
+
+class TestFig9TypeMatching:
+    """Fig. 9: the subgraph of all reviews and offers of Product1."""
+
+    def test_variant_step_matches_offers_and_reviews(self, db, data):
+        sg = db.query_subgraph(Q_FIG9, params={"Product1": "product5"})
+        # incoming edges to a product: product (from offers), reviewFor
+        assert set(sg.edges) <= {"product", "reviewFor"}
+        offers = [o for o in data.tables["Offers"] if o[2] == "product5"]
+        reviews = [r for r in data.tables["Reviews"] if r[2] == "product5"]
+        assert len(sg.edge_ids("product")) == len(offers)
+        assert len(sg.edge_ids("reviewFor")) == len(reviews)
+        assert len(sg.vertex_ids("OfferVtx")) == len(offers)
+        assert len(sg.vertex_ids("ReviewVtx")) == len(reviews)
+
+
+class TestFig10PathRegex:
+    """Fig. 10: regular-expression paths over the subclass hierarchy."""
+
+    def test_ancestor_closure(self, db, data):
+        # pick a leaf type and verify the + closure matches the chain
+        by_id = {r[0]: r for r in data.tables["Types"]}
+        children = {r[0] for r in data.tables["Types"] if r[3] is not None}
+        leaf = sorted(children)[0]
+        sg = db.query_subgraph(Q_REGEX, params={"Type1": leaf})
+        expected = set()
+        cur = by_id[leaf][3]
+        while cur is not None:
+            expected.add(cur)
+            cur = by_id[cur][3]
+        tv = db.db.vertex_type("TypeVtx")
+        got = {tv.key_of(int(v))[0] for v in sg.vertex_ids("TypeVtx")} - {leaf}
+        assert got == expected
+
+
+class TestFig11SubgraphCapture:
+    """Fig. 11: select * / endpoint projection into named subgraphs."""
+
+    def test_star_and_endpoints(self, db):
+        full = db.query_subgraph(
+            "select * from graph PersonVtx ( ) <--reviewer-- ReviewVtx ( ) "
+            "into subgraph resultsG"
+        )
+        ends = db.query_subgraph(
+            "select PersonVtx, ReviewVtx from graph PersonVtx ( ) "
+            "<--reviewer-- ReviewVtx ( ) into subgraph resultsBE"
+        )
+        # endpoint projection has the same vertices but no edges
+        assert ends.num_edges == 0
+        for t in ("PersonVtx", "ReviewVtx"):
+            assert np.array_equal(full.vertex_ids(t), ends.vertex_ids(t))
+        assert full.num_edges > 0
+
+    def test_fig11_named_query(self, db):
+        sg = db.query_subgraph(Q_FIG11, params={"Country1": "US"})
+        assert "PersonVtx" in sg.vertices and "ProducerVtx" in sg.vertices
+
+
+class TestFig12Chaining:
+    """Fig. 12: a result subgraph seeds the next query's first step."""
+
+    def test_two_statement_chain(self, db):
+        script = """
+        select ReviewVtx from graph
+        ProductVtx (id = 'product5') <--reviewFor-- ReviewVtx ( )
+        into subgraph resQ1
+
+        select PersonVtx.id from graph
+        resQ1.ReviewVtx ( ) --reviewer--> PersonVtx ( )
+        into table chained
+        """
+        results = db.execute(script)
+        reviewers = {r[0] for r in results[1].table.to_rows()}
+        # cross-check: reviewers of product5 straight from the tables
+        data = generate_berlin(80, seed=21)
+        expected = {r[3] for r in data.tables["Reviews"] if r[2] == "product5"}
+        assert reviewers == expected
+
+    def test_seeding_restricts(self, db):
+        total = db.query(
+            "select PersonVtx.id from graph ReviewVtx ( ) --reviewer--> "
+            "PersonVtx ( ) into table allReviewers"
+        )
+        db.execute(
+            "select ReviewVtx from graph ProductVtx (id = 'product5') "
+            "<--reviewFor-- ReviewVtx ( ) into subgraph seedSG"
+        )
+        seeded = db.query(
+            "select PersonVtx.id from graph seedSG.ReviewVtx ( ) "
+            "--reviewer--> PersonVtx ( ) into table someReviewers"
+        )
+        assert seeded.num_rows <= total.num_rows
+
+
+class TestFig13ResultsAsTables:
+    """Fig. 13: the full matching subgraph as a wide table."""
+
+    def test_wide_table_has_all_attributes(self, db):
+        t = db.query(Q_FIG13, params={"Threshold": 1000})
+        names = t.schema.names()
+        # attributes of every step, prefixed by type name
+        assert any(n.startswith("ReviewVtx_") for n in names)
+        assert any(n.startswith("ProductVtx_") for n in names)
+        assert any(n.startswith("ProducerVtx_") for n in names)
+        # one row per path: every review of a qualifying product
+        assert t.num_rows > 0
+
+    def test_row_multiplicity_is_per_path(self, db, data):
+        t = db.query(Q_FIG13, params={"Threshold": 1000})
+        qualifying = {
+            r[0] for r in data.tables["Products"] if r[5] > 1000
+        }
+        expected = sum(1 for r in data.tables["Reviews"] if r[2] in qualifying)
+        assert t.num_rows == expected

@@ -1,0 +1,312 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.dtypes import DATE, FLOAT, INTEGER, VarChar
+from repro.graql.ast import (
+    AggItem,
+    AttrItem,
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    DIR_IN,
+    DIR_OUT,
+    EdgeStep,
+    GraphSelect,
+    Ingest,
+    IntoClause,
+    Label,
+    OrderKey,
+    PathAtom,
+    RegexGroup,
+    StarItem,
+    StepItem,
+    TableSelect,
+    VertexEndpoint,
+    VertexStep,
+)
+from repro.storage.expr import BinOp, ColRef, Const, IsNull, Not, Param
+from repro.storage.schema import ColumnDef, Schema
+
+# ----------------------------------------------------------------------
+# Identifiers and literals
+# ----------------------------------------------------------------------
+
+idents = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,9}", fullmatch=True).filter(
+    lambda s: s.lower()
+    not in {
+        "create", "table", "vertex", "edge", "with", "vertices", "from",
+        "where", "and", "or", "not", "is", "null", "ingest", "select",
+        "into", "subgraph", "graph", "def", "foreach", "top", "distinct",
+        "group", "by", "order", "asc", "desc", "as", "count", "sum",
+        "avg", "min", "max", "true", "false", "int", "integer", "float",
+        "double", "date", "boolean", "bool", "varchar",
+    }
+)
+
+string_literals = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=126, blacklist_characters="\\'\"%"
+    ),
+    max_size=12,
+)
+
+literals = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    string_literals,
+    st.booleans(),
+)
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+col_refs_st = st.builds(
+    ColRef, st.one_of(st.none(), idents), idents
+)
+
+_atoms = st.one_of(
+    st.builds(Const, literals),
+    col_refs_st,
+    st.builds(Param, idents),
+)
+
+
+def _compound(children):
+    comparisons = st.builds(
+        BinOp,
+        st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+        children,
+        children,
+    )
+    arithmetic = st.builds(
+        BinOp, st.sampled_from(["+", "-", "*", "/"]), children, children
+    )
+    logical = st.builds(
+        BinOp, st.sampled_from(["and", "or"]), children, children
+    )
+    return st.one_of(
+        comparisons,
+        arithmetic,
+        logical,
+        st.builds(Not, children),
+        st.builds(IsNull, children, st.booleans()),
+    )
+
+
+expressions = st.recursive(_atoms, _compound, max_leaves=12)
+
+# Boolean-shaped expressions for where clauses / step conditions
+conditions = st.builds(
+    BinOp,
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    st.one_of(col_refs_st, st.builds(Const, literals)),
+    st.one_of(col_refs_st, st.builds(Const, literals)),
+)
+
+# ----------------------------------------------------------------------
+# Schemas / DDL
+# ----------------------------------------------------------------------
+
+dtypes_st = st.one_of(
+    st.just(INTEGER),
+    st.just(FLOAT),
+    st.just(DATE),
+    st.integers(min_value=1, max_value=255).map(VarChar),
+)
+
+
+@st.composite
+def schemas(draw):
+    names = draw(
+        st.lists(idents, min_size=1, max_size=6, unique_by=str)
+    )
+    return Schema([ColumnDef(n, draw(dtypes_st)) for n in names])
+
+
+create_tables = st.builds(CreateTable, idents, schemas())
+
+
+@st.composite
+def create_vertices(draw):
+    keys = draw(st.lists(idents, min_size=1, max_size=3, unique_by=str))
+    where = draw(st.one_of(st.none(), conditions))
+    return CreateVertex(draw(idents), keys, draw(idents), where)
+
+
+@st.composite
+def create_edges(draw):
+    s = VertexEndpoint(draw(idents), draw(st.one_of(st.none(), idents)))
+    t = VertexEndpoint(draw(idents), draw(st.one_of(st.none(), idents)))
+    tables = draw(st.lists(idents, max_size=2, unique_by=str))
+    where = draw(st.one_of(st.none(), conditions))
+    return CreateEdge(draw(idents), s, t, tables, where)
+
+
+ingests = st.builds(
+    Ingest,
+    idents,
+    st.from_regex(r"[a-z][a-z0-9_]{0,8}(/[a-z][a-z0-9_]{0,8}){0,2}\.csv", fullmatch=True),
+)
+
+# ----------------------------------------------------------------------
+# Path patterns
+# ----------------------------------------------------------------------
+
+labels_st = st.one_of(
+    st.none(),
+    st.builds(Label, st.sampled_from(["def", "foreach"]), idents),
+)
+
+
+@st.composite
+def vertex_steps(draw):
+    if draw(st.booleans()):
+        return VertexStep(None, is_variant=True, label=draw(labels_st))
+    seed = draw(st.one_of(st.none(), idents))
+    return VertexStep(
+        draw(idents),
+        cond=draw(st.one_of(st.none(), conditions)),
+        label=draw(labels_st),
+        seed=seed,
+    )
+
+
+@st.composite
+def edge_steps(draw):
+    direction = draw(st.sampled_from([DIR_OUT, DIR_IN]))
+    if draw(st.booleans()):
+        return EdgeStep(None, direction, is_variant=True, label=draw(labels_st))
+    return EdgeStep(
+        draw(idents),
+        direction,
+        cond=draw(st.one_of(st.none(), conditions)),
+        label=draw(labels_st),
+    )
+
+
+@st.composite
+def regex_groups(draw):
+    pairs = draw(
+        st.lists(st.tuples(edge_steps(), vertex_steps()), min_size=1, max_size=2)
+    )
+    # labels/seeds inside regex groups are not meaningful; strip them
+    pairs = [
+        (e, VertexStep(v.name, v.is_variant, v.cond, None, None))
+        for e, v in pairs
+    ]
+    op = draw(st.sampled_from(["star", "plus", "count"]))
+    count = draw(st.integers(min_value=1, max_value=5)) if op == "count" else None
+    return RegexGroup(pairs, op, count)
+
+
+@st.composite
+def path_atoms(draw):
+    steps = [draw(vertex_steps())]
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        if draw(st.integers(0, 3)) == 0:
+            steps.append(draw(regex_groups()))
+        else:
+            steps.append(draw(edge_steps()))
+        steps.append(draw(vertex_steps()))
+    return PathAtom(steps)
+
+
+@st.composite
+def graph_selects(draw):
+    into = draw(
+        st.one_of(
+            st.none(),
+            st.builds(IntoClause, st.sampled_from(["table", "subgraph"]), idents),
+        )
+    )
+    if into is not None and into.kind == "subgraph":
+        items = draw(
+            st.one_of(
+                st.just([StarItem()]),
+                st.lists(st.builds(StepItem, idents), min_size=1, max_size=3),
+            )
+        )
+    else:
+        items = draw(
+            st.one_of(
+                st.just([StarItem()]),
+                st.lists(
+                    st.builds(
+                        AttrItem,
+                        st.builds(ColRef, idents, idents),
+                        st.one_of(st.none(), idents),
+                    ),
+                    min_size=1,
+                    max_size=3,
+                ),
+            )
+        )
+    return GraphSelect(items, draw(path_atoms()), into)
+
+
+@st.composite
+def table_selects(draw):
+    has_agg = draw(st.booleans())
+    if has_agg:
+        items = draw(
+            st.lists(
+                st.one_of(
+                    st.builds(
+                        AggItem,
+                        st.sampled_from(["count", "sum", "avg", "min", "max"]),
+                        st.one_of(st.none(), idents),
+                        st.one_of(st.none(), idents),
+                    ),
+                    st.builds(
+                        AttrItem,
+                        st.builds(ColRef, st.none(), idents),
+                        st.none(),
+                    ),
+                ),
+                min_size=1,
+                max_size=3,
+            )
+        )
+    else:
+        items = draw(
+            st.one_of(
+                st.just([StarItem()]),
+                st.lists(
+                    st.builds(
+                        AttrItem,
+                        st.builds(ColRef, st.none(), idents),
+                        st.one_of(st.none(), idents),
+                    ),
+                    min_size=1,
+                    max_size=3,
+                ),
+            )
+        )
+    return TableSelect(
+        items,
+        draw(idents),
+        top=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=100))),
+        distinct=draw(st.booleans()),
+        where=draw(st.one_of(st.none(), conditions)),
+        group_by=draw(st.lists(idents, max_size=2, unique_by=str)),
+        order_by=draw(
+            st.lists(st.builds(OrderKey, idents, st.booleans()), max_size=2)
+        ),
+        into=draw(
+            st.one_of(st.none(), st.builds(IntoClause, st.just("table"), idents))
+        ),
+    )
+
+
+statements = st.one_of(
+    create_tables,
+    create_vertices(),
+    create_edges(),
+    ingests,
+    graph_selects(),
+    table_selects(),
+)

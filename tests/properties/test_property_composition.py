@@ -1,0 +1,113 @@
+"""Property-based tests for multi-path composition semantics.
+
+* ``or`` must equal the union of the branch subgraphs.
+* ``and`` under set semantics must reach the shared-label fixpoint: the
+  label set equals the intersection of "on a full q1 path at the defining
+  step" and "on a full q2 path at the referencing step", iterated to
+  stability — verified against a brute-force oracle.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines import NxOracle
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import check_statement
+
+from tests.conftest import random_graph_db
+
+
+def subgraph_of(db, text, name):
+    return db.execute(text.format(name))[0].subgraph
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=3000),
+    k=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=40, deadline=None)
+def test_or_is_union(seed, k):
+    db = random_graph_db(seed, num_vertices=24, num_edges=60)
+    a = (
+        "select * from graph V0 (weight > %d) --e0--> V0 ( ) "
+        "into subgraph {}" % k
+    )
+    b = "select * from graph V0 ( ) --cross0--> V1 ( ) into subgraph {}"
+    combined = (
+        "select * from graph V0 (weight > %d) --e0--> V0 ( ) "
+        "or (V0 ( ) --cross0--> V1 ( )) into subgraph {}" % k
+    )
+    sa = subgraph_of(db, a, "A")
+    sb = subgraph_of(db, b, "B")
+    su = subgraph_of(db, combined, "U")
+    assert su == sa.union(sb, "U")
+
+
+def _and_oracle(db, q1_text, q2_text, def_pos, ref_pos):
+    """Brute-force fixpoint for 'q1 and q2' sharing one set label."""
+    oracle = NxOracle(db.db)
+    atom1 = check_statement(parse_statement(q1_text), db.catalog).pattern.atoms()[0]
+    atom2_checked = check_statement(parse_statement(q2_text), db.catalog)
+    atom2 = atom2_checked.pattern.atoms()[0]
+
+    def paths_with_constraint(atom, pos, allowed):
+        oracle.prepare_labels(atom)
+        out = []
+        for p in oracle.enumerate_paths(atom):
+            if allowed is None or p[pos] in allowed:
+                out.append(p)
+        return out
+
+    allowed = None
+    for _ in range(8):
+        p1 = paths_with_constraint(atom1, def_pos, allowed)
+        s1 = {p[def_pos] for p in p1}
+        p2 = paths_with_constraint(atom2, ref_pos, s1)
+        s2 = {p[ref_pos] for p in p2}
+        if s2 == allowed:
+            break
+        allowed = s2
+    p1 = paths_with_constraint(atom1, def_pos, allowed)
+    p2 = paths_with_constraint(atom2, ref_pos, allowed)
+    vset: dict[str, set] = {}
+    eset: dict[str, set] = {}
+    for paths in (p1, p2):
+        for p in paths:
+            for i, el in enumerate(p):
+                name, ident = el
+                (vset if i % 2 == 0 else eset).setdefault(name, set()).add(ident)
+    return vset, eset
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    k=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_and_reaches_shared_label_fixpoint(seed, k):
+    db = random_graph_db(seed, num_vertices=20, num_edges=50)
+    q1 = (
+        "select * from graph V0 (weight > %d) --e0--> def y: V0 ( ) "
+        "into subgraph G1" % k
+    )
+    q2 = "select * from graph y --cross0--> V1 (weight < 8) into subgraph G2"
+    combined = (
+        "select * from graph V0 (weight > %d) --e0--> def y: V0 ( ) "
+        "and (y --cross0--> V1 (weight < 8)) into subgraph {}" % k
+    )
+    got = subgraph_of(db, combined, f"AND{seed}")
+    # oracle: q2 as a standalone atom whose first step is unconstrained V0
+    q2_standalone = (
+        "select * from graph V0 ( ) --cross0--> V1 (weight < 8) "
+        "into subgraph G2x"
+    )
+    vset, eset = _and_oracle(db, q1, q2_standalone, def_pos=2, ref_pos=0)
+    got_v = {
+        (t, int(v)) for t, vs in got.vertices.items() for v in vs
+    }
+    want_v = {(t, v) for t, vs in vset.items() for v in vs}
+    assert got_v == want_v, f"seed {seed}"
+    got_e = {(t, int(e)) for t, es in got.edges.items() for e in es}
+    want_e = {(t, e) for t, es in eset.items() for e in es}
+    assert got_e == want_e, f"seed {seed}"

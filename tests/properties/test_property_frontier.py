@@ -1,0 +1,154 @@
+"""Property-based equivalence: executors vs brute-force oracle.
+
+On random multigraph databases and a family of randomized path queries,
+the set-frontier executor's per-step sets must equal the union over the
+oracle's enumerated paths (Eq. 5), and the binding executor's row count
+must equal the oracle's path count.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import NxOracle
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import check_statement
+from repro.query.bindings import BindingExecutor
+from repro.query.frontier import FrontierExecutor
+
+from tests.conftest import random_graph_db
+
+# a family of query templates over the random schema (V0/V1, e0/e1/cross0)
+TEMPLATES = [
+    "select * from graph V0 ( ) --e0--> V0 ( ) into subgraph G",
+    "select * from graph V0 (color = 'red') --e0--> V0 ( ) into subgraph G",
+    "select * from graph V0 ( ) --e0(cap > {k})--> V0 (weight < {k2}) "
+    "into subgraph G",
+    "select * from graph V0 ( ) --e0--> V0 ( ) --e0--> V0 (color = 'blue') "
+    "into subgraph G",
+    "select * from graph V0 ( ) <--e0-- V0 (weight > {k}) into subgraph G",
+    "select * from graph V1 ( ) <--cross0-- V0 (color = 'green') "
+    "into subgraph G",
+    "select * from graph V0 ( ) --e0--> V0 ( ) --cross0--> V1 ( ) "
+    "into subgraph G",
+    "select * from graph V0 (weight > {k}) --[]--> [ ] into subgraph G",
+    "select * from graph def x: V0 ( ) --e0--> V0 ( ) --e0--> x "
+    "into subgraph G",
+]
+
+
+def checked_atom(db, text):
+    return check_statement(parse_statement(text), db.catalog).pattern.atoms()[0]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    tidx=st.integers(min_value=0, max_value=len(TEMPLATES) - 1),
+    k=st.integers(min_value=0, max_value=9),
+    k2=st.integers(min_value=0, max_value=9),
+    direction=st.sampled_from(["forward", "backward"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_set_frontier_equals_oracle(seed, tidx, k, k2, direction):
+    db = random_graph_db(seed, num_vertices=24, num_edges=70)
+    text = TEMPLATES[tidx].format(k=k, k2=k2)
+    atom = checked_atom(db, text)
+    if direction == "backward" and any(
+        getattr(s, "label_ref", None) for s in atom.steps
+    ):
+        direction = "forward"
+    res = FrontierExecutor(db.db).run_atom(atom, direction)
+    vsets, esets = NxOracle(db.db).step_sets(atom)
+    for i in range(len(atom.steps)):
+        if i % 2 == 0:
+            got = {
+                (t, int(v))
+                for t, vs in res.vertex_sets.get(i, {}).items()
+                for v in vs
+            }
+            want = {
+                (t, v) for t, vs in vsets.get(i, {}).items() for v in vs
+            }
+        else:
+            got = {
+                (t, int(e))
+                for t, es in res.edge_sets.get(i, {}).items()
+                for e in es
+            }
+            want = {
+                (t, e) for t, es in esets.get(i, {}).items() for e in es
+            }
+        assert got == want, f"step {i} of {text!r} (seed {seed})"
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    tidx=st.integers(min_value=0, max_value=len(TEMPLATES) - 1),
+    k=st.integers(min_value=0, max_value=9),
+    k2=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=40, deadline=None)
+def test_binding_rows_equal_oracle_paths(seed, tidx, k, k2):
+    db = random_graph_db(seed, num_vertices=20, num_edges=50)
+    text = TEMPLATES[tidx].format(k=k, k2=k2)
+    atom = checked_atom(db, text)
+    bex = BindingExecutor(db.db, db.catalog)
+    res = bex.run_atom(atom)
+    oracle = NxOracle(db.db)
+    assert res.nrows == oracle.count_paths(atom), f"{text!r} (seed {seed})"
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    hops=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_regex_plus_equals_bfs_reachability(seed, hops):
+    """(--e0--> [])+ from a start set == networkx reachability."""
+    import networkx as nx
+
+    db = random_graph_db(seed, num_vertices=20, num_edges=45)
+    atom = checked_atom(
+        db,
+        "select * from graph V0 (weight > 4) ( --e0--> [ ] )+ V0 ( ) "
+        "into subgraph G",
+    )
+    res = FrontierExecutor(db.db).run_atom(atom)
+    vt = db.db.vertex_type("V0")
+    starts = vt.select(
+        __import__("repro.graql.parser", fromlist=["parse_expression"])
+        .parse_expression("weight > 4")
+    )
+    et = db.db.edge_type("e0")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(vt.num_vertices))
+    g.add_edges_from(zip(et.src_vids.tolist(), et.tgt_vids.tolist()))
+    reachable = set()
+    for s in starts.tolist():
+        desc = nx.descendants(g, s)
+        reachable |= desc
+        # s itself is reachable in >= 1 hops when it lies on a cycle
+        if any(g.has_edge(u, s) for u in desc | {s}):
+            reachable.add(s)
+    got = set(res.vertex_sets[2].get("V0", np.empty(0)).astype(int).tolist())
+    assert got == reachable
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=30, deadline=None)
+def test_foreach_subset_of_set_label(seed):
+    """Eq. 8: element-wise matches are a subset of set-label matches."""
+    db = random_graph_db(seed, num_vertices=16, num_edges=40)
+    q_each = ("select * from graph foreach x: V0 ( ) --e0--> V0 ( ) "
+              "--e0--> x into subgraph G")
+    q_set = ("select * from graph def x: V0 ( ) --e0--> V0 ( ) "
+             "--e0--> x into subgraph G")
+    bex = BindingExecutor(db.db, db.catalog)
+    each = bex.run_atom(checked_atom(db, q_each))
+    sets = FrontierExecutor(db.db).run_atom(checked_atom(db, q_set))
+    each_last = set(each.vertex_column(4).astype(int).tolist())
+    set_last = set(
+        sets.vertex_sets[4].get("V0", np.empty(0)).astype(int).tolist()
+    )
+    assert each_last <= set_last

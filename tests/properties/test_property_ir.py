@@ -1,0 +1,34 @@
+"""Property-based round-trip for the binary IR: decode(encode(x)) == x."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graql.ast import Script
+from repro.graql.ir import (
+    decode_script,
+    decode_statement,
+    encode_script,
+    encode_statement,
+)
+
+from tests.properties.strategies import statements
+
+
+@given(statements)
+@settings(max_examples=200, deadline=None)
+def test_statement_ir_roundtrip(stmt):
+    assert decode_statement(encode_statement(stmt)) == stmt
+
+
+@given(st.lists(statements, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_script_ir_roundtrip(stmts):
+    script = Script(stmts)
+    assert decode_script(encode_script(script)) == script
+
+
+@given(statements, statements)
+@settings(max_examples=100, deadline=None)
+def test_ir_injective_on_distinct_statements(a, b):
+    if a != b:
+        assert encode_statement(a) != encode_statement(b)

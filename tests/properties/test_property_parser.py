@@ -1,0 +1,33 @@
+"""Property-based round-trip: pretty-print -> reparse == identity."""
+
+from hypothesis import given, settings
+
+from repro.graql.ast import Script
+from repro.graql.parser import parse_expression, parse_script, parse_statement
+from repro.graql.pretty import pretty_expr, pretty_script, pretty_statement
+
+from tests.properties.strategies import expressions, statements
+
+import hypothesis.strategies as st
+
+
+@given(expressions)
+@settings(max_examples=200, deadline=None)
+def test_expression_roundtrip(expr):
+    rendered = pretty_expr(expr)
+    assert parse_expression(rendered) == expr, rendered
+
+
+@given(statements)
+@settings(max_examples=200, deadline=None)
+def test_statement_roundtrip(stmt):
+    rendered = pretty_statement(stmt)
+    assert parse_statement(rendered) == stmt, rendered
+
+
+@given(st.lists(statements, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_script_roundtrip(stmts):
+    script = Script(stmts)
+    rendered = pretty_script(script)
+    assert parse_script(rendered) == script, rendered

@@ -1,0 +1,165 @@
+"""Property-based tests: relational-operator algebraic laws."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.dtypes import INTEGER, VarChar
+from repro.graql.parser import parse_expression
+from repro.storage import Schema, Table, relops
+from repro.storage.expr import BinOp, ColRef, Const
+from repro.storage.relops import AggSpec
+
+SCHEMA = Schema.of(("g", VarChar(2)), ("n", INTEGER), ("m", INTEGER))
+
+rows_st = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", None]),
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+    ),
+    max_size=40,
+)
+
+
+def table_of(rows) -> Table:
+    return Table.from_rows("T", SCHEMA, rows)
+
+
+ints = st.integers(min_value=-5, max_value=5)
+
+
+@given(rows_st, ints, ints)
+@settings(max_examples=80, deadline=None)
+def test_filter_conjunction_equals_sequential(rows, a, b):
+    t = table_of(rows)
+    c1 = BinOp(">", ColRef(None, "n"), Const(a))
+    c2 = BinOp("<", ColRef(None, "m"), Const(b))
+    both = relops.filter_table(t, BinOp("and", c1, c2))
+    seq = relops.filter_table(relops.filter_table(t, c1), c2)
+    assert both.to_rows() == seq.to_rows()
+
+
+@given(rows_st, ints)
+@settings(max_examples=80, deadline=None)
+def test_filter_commutes(rows, a):
+    t = table_of(rows)
+    c1 = BinOp(">", ColRef(None, "n"), Const(a))
+    c2 = BinOp("=", ColRef(None, "g"), Const("a"))
+    ab = relops.filter_table(relops.filter_table(t, c1), c2)
+    ba = relops.filter_table(relops.filter_table(t, c2), c1)
+    assert ab.to_rows() == ba.to_rows()
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_distinct_idempotent(rows):
+    t = table_of(rows)
+    once = relops.distinct(t)
+    twice = relops.distinct(once)
+    assert once.to_rows() == twice.to_rows()
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_distinct_is_set_of_rows(rows):
+    t = table_of(rows)
+    assert sorted(
+        relops.distinct(t).to_rows(), key=repr
+    ) == sorted(set(t.to_rows()), key=repr)
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_order_by_is_permutation(rows):
+    t = table_of(rows)
+    out = relops.order_by(t, [("n", True), ("m", False)])
+    assert sorted(out.to_rows(), key=repr) == sorted(t.to_rows(), key=repr)
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_order_by_sorted(rows):
+    t = table_of(rows)
+    out = relops.order_by(t, [("n", True)])
+    ns = [r[1] for r in out.to_rows()]
+    assert ns == sorted(ns)
+
+
+@given(rows_st, st.integers(min_value=0, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_top_n_is_prefix(rows, n):
+    t = table_of(rows)
+    out = relops.top_n(t, n)
+    assert out.to_rows() == t.to_rows()[:n]
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_group_counts_sum_to_rows(rows):
+    t = table_of(rows)
+    g = relops.group_by_aggregate(t, ["g"], [AggSpec("count", None, "c")])
+    if t.num_rows:
+        assert sum(r[1] for r in g.to_rows()) == t.num_rows
+    else:
+        assert g.num_rows == 0  # SQL: GROUP BY on empty input yields no rows
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_group_sums_match_python(rows):
+    t = table_of(rows)
+    g = relops.group_by_aggregate(t, ["g"], [AggSpec("sum", "n", "s")])
+    expected: dict = {}
+    for grp, n, _ in rows:
+        expected[grp] = expected.get(grp, 0) + n
+    got = dict(g.to_rows())
+    assert got == expected
+
+
+@given(rows_st)
+@settings(max_examples=80, deadline=None)
+def test_min_max_bound_each_group(rows):
+    t = table_of(rows)
+    g = relops.group_by_aggregate(
+        t, ["g"], [AggSpec("min", "n", "lo"), AggSpec("max", "n", "hi")]
+    )
+    for grp, lo, hi in g.to_rows():
+        vals = [r[1] for r in rows if r[0] == grp]
+        assert lo == min(vals) and hi == max(vals)
+
+
+@given(rows_st, rows_st)
+@settings(max_examples=60, deadline=None)
+def test_join_matches_bruteforce(lrows, rrows):
+    lt = table_of(lrows)
+    rt = table_of(rrows)
+    li, ri = relops.join_indices(lt, rt, ["g", "n"], ["g", "n"])
+    got = sorted(zip(li.tolist(), ri.tolist()))
+    expected = sorted(
+        (i, j)
+        for i, (lg, ln, _) in enumerate(lrows)
+        for j, (rg, rn, _) in enumerate(rrows)
+        if lg is not None and lg == rg and ln == rn
+    )
+    assert got == expected
+
+
+@given(rows_st)
+@settings(max_examples=60, deadline=None)
+def test_join_symmetry(rows):
+    t = table_of(rows)
+    li, ri = relops.join_indices(t, t, ["g"], ["g"])
+    pairs = set(zip(li.tolist(), ri.tolist()))
+    assert {(b, a) for a, b in pairs} == pairs
+
+
+@given(rows_st)
+@settings(max_examples=60, deadline=None)
+def test_semi_join_matches_membership(rows):
+    t = table_of(rows)
+    half = t.head(t.num_rows // 2)
+    mask = relops.semi_join_mask(t, half, ["n"], ["n"])
+    half_ns = {r[1] for r in half.to_rows()}
+    for i, row in enumerate(t.to_rows()):
+        assert mask[i] == (row[1] in half_ns)

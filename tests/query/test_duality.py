@@ -1,0 +1,70 @@
+"""Tests for the subgraph -> tables duality bridge."""
+
+import pytest
+
+from repro.query.duality import edge_table, subgraph_tables, vertex_table
+
+
+@pytest.fixture
+def captured(social_db):
+    social_db.execute(
+        "select * from graph Person (country = 'US') --follows--> "
+        "Person ( ) into subgraph Dual"
+    )
+    return social_db
+
+
+class TestVertexTables:
+    def test_attributes_of_selected_vertices(self, captured):
+        sg = captured.subgraph("Dual")
+        t = vertex_table(captured.db, sg, "Person")
+        assert t.schema.names() == [
+            "id", "name", "country", "age", "score", "joined",
+        ]
+        assert t.num_rows == len(sg.vertex_ids("Person"))
+        # every US source appears
+        ids = {r[0] for r in t.to_rows()}
+        assert {"p1", "p5"} <= ids
+
+
+class TestEdgeTables:
+    def test_endpoint_keys_and_attributes(self, captured):
+        sg = captured.subgraph("Dual")
+        t = edge_table(captured.db, sg, "follows")
+        assert t.schema.names() == ["source_id", "target_id", "src", "dst", "weight"]
+        assert t.num_rows == len(sg.edge_ids("follows"))
+        for src, tgt, _s, _d, w in t.to_rows():
+            assert isinstance(w, int)
+
+    def test_edge_without_assoc_table(self, captured):
+        captured.execute(
+            "select * from graph Person ( ) --livesIn--> City ( ) "
+            "into subgraph DualLI"
+        )
+        sg = captured.subgraph("DualLI")
+        t = edge_table(captured.db, sg, "livesIn")
+        assert t.schema.names() == ["source_id", "target_id"]
+
+
+class TestSessionAPI:
+    def test_subgraph_tables_dict(self, captured):
+        tables = captured.subgraph_tables("Dual")
+        assert set(tables) == {"Person", "follows"}
+
+    def test_registration_enables_relational_followup(self, captured):
+        captured.subgraph_tables("Dual", register=True)
+        t = captured.query(
+            "select country, count(*) as n from table Dual_Person "
+            "group by country order by n desc"
+        )
+        assert t.num_rows >= 1
+        t2 = captured.query(
+            "select sum(weight) as total from table Dual_follows"
+        )
+        assert t2.row(0)[0] > 0
+
+    def test_roundtrip_counts_consistent(self, captured):
+        sg = captured.subgraph("Dual")
+        tables = captured.subgraph_tables("Dual")
+        assert tables["Person"].num_rows == len(sg.vertex_ids("Person"))
+        assert tables["follows"].num_rows == len(sg.edge_ids("follows"))

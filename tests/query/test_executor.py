@@ -1,0 +1,184 @@
+"""Integration-level tests for statement execution and composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestDDLExecution:
+    def test_create_and_count_messages(self, social_db):
+        results = social_db.execute("create table Extra(id varchar(4))")
+        assert results[0].kind == "ddl"
+        assert "Extra" in social_db.catalog.tables
+
+    def test_vertex_result_counts_instances(self, social_db):
+        r = social_db.execute(
+            "create vertex Country(country) from table People"
+        )[0]
+        assert r.count == 3  # US, DE, FR
+
+
+class TestGraphToTable:
+    def test_into_table_registers(self, social_db):
+        social_db.execute(
+            "select y.id from graph Person (country = 'US') --follows--> "
+            "def y: Person ( ) into table USFollows"
+        )
+        t = social_db.table("USFollows")
+        assert t.num_rows == 5  # p1->p2 x2, p3->p1, p5->p3, p5->p6
+        assert social_db.catalog.is_table("USFollows")
+
+    def test_result_table_queryable(self, social_db):
+        social_db.execute(
+            "select y.id from graph Person ( ) --follows--> def y: Person ( ) "
+            "into table All1"
+        )
+        out = social_db.query(
+            "select id, count(*) as n from table All1 group by id "
+            "order by n desc, id asc"
+        )
+        assert out.num_rows > 0
+
+    def test_anonymous_table_result(self, social_db):
+        t = social_db.query(
+            "select y.id from graph Person (name = 'Dan') --follows--> "
+            "def y: Person ( )"
+        )
+        assert t.to_rows() == [("p1",)]
+
+
+class TestGraphToSubgraph:
+    def test_star_subgraph(self, social_db):
+        sg = social_db.query_subgraph(
+            "select * from graph Person (country = 'US') --follows--> "
+            "Person ( ) into subgraph G1"
+        )
+        assert sg.num_vertices > 0 and sg.num_edges > 0
+        assert social_db.db.subgraph("G1") == sg
+
+    def test_endpoint_projection(self, social_db):
+        sg = social_db.query_subgraph(
+            "select src, dst from graph def src: Person (country = 'US') "
+            "--follows--> def dst: Person ( ) into subgraph Ends"
+        )
+        assert sg.num_edges == 0  # vertices only
+        assert "Person" in sg.vertices
+
+    def test_chaining_fig12(self, social_db):
+        social_db.execute(
+            "select dst from graph Person (name = 'Eve') --follows--> "
+            "def dst: Person ( ) into subgraph EveTargets"
+        )
+        t = social_db.query(
+            "select y.id from graph EveTargets.Person ( ) --follows--> "
+            "def y: Person ( ) into table Onward"
+        )
+        # Eve follows p3 and p6; p3 follows p1, p6 follows p2
+        assert sorted(r[0] for r in t.to_rows()) == ["p1", "p2"]
+
+
+class TestAndComposition:
+    def test_set_refinement_propagates(self, social_db):
+        # US people who follow someone AND live in a big city; the and-arm
+        # constrains the labeled step retroactively
+        sg = social_db.query_subgraph(
+            "select * from graph def x: Person (country = 'DE') --follows--> "
+            "Person ( ) and (x --livesIn--> City (population > 3000000)) "
+            "into subgraph G"
+        )
+        vt = social_db.db.vertex_type("Person")
+        firsts = {vt.key_of(int(v))[0] for v in sg.vertex_ids("Person")}
+        # both p2 and p6 are DE and berlin qualifies
+        assert {"p2", "p6"} <= firsts
+
+    def test_and_join_multiplicities(self, social_db):
+        t = social_db.query(
+            "select y.id as who, City.id as city from graph "
+            "Person (country = 'US') --follows--> foreach y: Person ( ) "
+            "and (y --livesIn--> City ( )) into table T"
+        )
+        for who, city in t.to_rows():
+            p = social_db.db.vertex_type("Person")
+            c = social_db.db.vertex_type("City")
+            # the joined city really is the person's city
+            vid = p.vid_of((who,))
+            assert p.attributes_of(vid)["country"] == c.attributes_of(
+                c.vid_of((city,))
+            )["country"]
+
+
+class TestOrComposition:
+    def test_union_of_subgraphs(self, social_db):
+        a = social_db.query_subgraph(
+            "select * from graph Person (name = 'Alice') --follows--> "
+            "Person ( ) into subgraph A1"
+        )
+        b = social_db.query_subgraph(
+            "select * from graph Person (name = 'Alice') --livesIn--> "
+            "City ( ) into subgraph B1"
+        )
+        u = social_db.query_subgraph(
+            "select * from graph Person (name = 'Alice') --follows--> "
+            "Person ( ) or (Person (name = 'Alice') --livesIn--> City ( )) "
+            "into subgraph U1"
+        )
+        assert u == a.union(b, "U1")
+
+
+class TestParams:
+    def test_parameterized_execution(self, social_db):
+        t = social_db.query(
+            "select y.id from graph Person (name = %Who%) --follows--> "
+            "def y: Person ( )",
+            params={"Who": "Eve"},
+        )
+        assert sorted(r[0] for r in t.to_rows()) == ["p3", "p6"]
+
+    def test_unbound_param_fails_cleanly(self, social_db):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises((ExecutionError, TypeCheckError)):
+            social_db.query(
+                "select y.id from graph Person (name = %Who%) --follows--> "
+                "def y: Person ( )"
+            )
+
+
+class TestStrategyOverrides:
+    def test_forced_direction_same_answer(self, social_db):
+        q = ("select * from graph Person (country = 'US') --follows--> "
+             "Person (country = 'DE') into subgraph F1")
+        a = social_db.execute(q, force_direction="forward")[0].subgraph
+        q2 = q.replace("F1", "F2")
+        b = social_db.execute(q2, force_direction="backward")[0].subgraph
+        assert {k: v.tolist() for k, v in a.vertices.items()} == {
+            k: v.tolist() for k, v in b.vertices.items()
+        }
+
+    def test_forced_bindings_subgraph_same_as_set(self, social_db):
+        q = ("select * from graph Person ( ) --follows--> Person ( ) "
+             "into subgraph S1")
+        a = social_db.execute(q)[0].subgraph
+        b = social_db.execute(
+            q.replace("S1", "S2"), force_strategy="bindings"
+        )[0].subgraph
+        assert {k: v.tolist() for k, v in a.vertices.items()} == {
+            k: v.tolist() for k, v in b.vertices.items()
+        }
+        assert {k: v.tolist() for k, v in a.edges.items()} == {
+            k: v.tolist() for k, v in b.edges.items()
+        }
+
+
+class TestFullPathsTable:
+    def test_fig13_wide_table(self, social_db):
+        t = social_db.query(
+            "select * from graph def a: Person (country = 'US') --follows--> "
+            "def b: Person ( ) into table Wide"
+        )
+        # all attributes of both steps plus the edge's from-table attrs
+        assert "a_name" in t.schema.names()
+        assert "b_name" in t.schema.names()
+        assert "follows_weight" in t.schema.names()
+        assert t.num_rows == 5

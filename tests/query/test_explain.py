@@ -1,0 +1,103 @@
+"""Tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro.workloads.berlin import Q1_FIG7, Q2_FIG6
+
+
+class TestGraphExplain:
+    def test_strategy_and_direction_shown(self, social_db):
+        text = social_db.explain(
+            "select * from graph Person (country = 'US') --follows--> "
+            "Person ( ) into subgraph G"
+        )
+        assert "strategy: set" in text
+        assert "sweep" in text and "cost fwd=" in text
+
+    def test_bindings_reasons(self, social_db):
+        text = social_db.explain(
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table T"
+        )
+        assert "strategy: bindings" in text
+        assert "table output" in text
+
+    def test_foreach_reason(self, social_db):
+        text = social_db.explain(
+            "select * from graph foreach x: Person ( ) --follows--> "
+            "Person ( ) --follows--> x into subgraph G"
+        )
+        assert "foreach label" in text
+
+    def test_step_details(self, social_db):
+        text = social_db.explain(
+            "select * from graph Person (age > 30) --follows--> Person ( ) "
+            "into subgraph G"
+        )
+        assert "vertex Person (6 instances)" in text
+        assert "age > 30" in text
+        assert "est. sel" in text
+
+    def test_variant_and_regex_steps(self, social_db):
+        text = social_db.explain(
+            "select * from graph Person ( ) ( --follows--> [ ] )+ "
+            "Person ( ) into subgraph G"
+        )
+        assert "regex group" in text and "fixpoint" in text
+
+    def test_seed_and_label_shown(self, social_db):
+        social_db.execute(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph SeedG"
+        )
+        text = social_db.explain(
+            "select * from graph SeedG.Person ( ) --follows--> Person ( ) "
+            "into subgraph G2"
+        )
+        assert "seeded by subgraph SeedG" in text
+
+
+class TestTableExplain:
+    def test_pipeline_stages(self, social_db):
+        text = social_db.explain(
+            "select top 3 country, count(*) as n from table People "
+            "where age > 20 group by country order by n desc"
+        )
+        assert "scan People (6 rows)" in text
+        assert "filter age > 20" in text
+        assert "aggregate [count(*)] group by country" in text
+        assert "sort by n desc" in text
+        assert "top 3" in text
+
+    def test_projection_listed(self, social_db):
+        text = social_db.explain("select name, age from table People")
+        assert "project [name, age]" in text
+
+
+class TestScriptExplain:
+    def test_waves_annotated(self, social_db):
+        text = social_db.explain(
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table A\n"
+            "select id, count(*) as n from table A group by id"
+        )
+        assert "(wave 0)" in text and "(wave 1)" in text
+        assert "2 wave(s)" in text
+
+    def test_berlin_queries_explain(self, berlin_db):
+        t1 = berlin_db.explain(Q2_FIG6, params={"Product1": "p"})
+        t2 = berlin_db.explain(
+            Q1_FIG7, params={"Country1": "US", "Country2": "DE"}
+        )
+        assert "GRAPH SELECT" in t1 and "GRAPH SELECT" in t2
+        assert "foreach y" in t2
+
+    def test_ddl_explain(self, social_db):
+        text = social_db.explain(
+            "create table Z(id integer)\n"
+            "create vertex ZV(id) from table Z\n"
+            "ingest table Z z.csv"
+        )
+        assert "CREATE TABLE Z" in text
+        assert "CREATE VERTEX ZV <- view over Z" in text
+        assert "INGEST z.csv -> Z" in text

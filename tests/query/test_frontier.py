@@ -1,0 +1,203 @@
+"""Unit tests for set-frontier execution (Eq. 5 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import check_statement
+from repro.query.frontier import FrontierExecutor
+
+
+def checked_atom(db, text):
+    out = check_statement(parse_statement(text), db.catalog)
+    return out.pattern.atoms()[0]
+
+
+def run(db, text, direction="forward"):
+    atom = checked_atom(db, text)
+    fx = FrontierExecutor(db.db)
+    return atom, fx.run_atom(atom, direction)
+
+
+def names_at(db, sets, type_name, key_attr="id"):
+    vt = db.db.vertex_type(type_name)
+    return sorted(vt.key_of(int(v))[0] for v in sets.get(type_name, []))
+
+
+class TestSingleHop:
+    Q = ("select * from graph Person (country = 'US') --follows--> "
+         "Person (country = 'DE') into subgraph G")
+
+    def test_forward(self, social_db):
+        atom, res = run(social_db, self.Q)
+        # US followers of DE people: p1->p2 (x2), p5->p6
+        assert names_at(social_db, res.vertex_sets[0], "Person") == ["p1", "p5"]
+        assert names_at(social_db, res.vertex_sets[2], "Person") == ["p2", "p6"]
+
+    def test_backward_gives_same_sets(self, social_db):
+        _, fwd = run(social_db, self.Q, "forward")
+        _, bwd = run(social_db, self.Q, "backward")
+        for i in (0, 2):
+            assert names_at(social_db, fwd.vertex_sets[i], "Person") == names_at(
+                social_db, bwd.vertex_sets[i], "Person"
+            )
+        assert sorted(fwd.edge_sets[1].get("follows", []).tolist()) == sorted(
+            bwd.edge_sets[1].get("follows", []).tolist()
+        )
+
+    def test_edge_sets_only_on_full_paths(self, social_db):
+        _, res = run(social_db, self.Q)
+        et = social_db.db.edge_type("follows")
+        for eid in res.edge_sets[1]["follows"]:
+            s, t = et.endpoints_of(int(eid))
+            svid = social_db.db.vertex_type("Person")
+            assert svid.attributes_of(s)["country"] == "US"
+            assert svid.attributes_of(t)["country"] == "DE"
+
+    def test_parallel_edges_both_matched(self, social_db):
+        _, res = run(social_db, self.Q)
+        # p1 follows p2 twice — both eids must appear
+        assert len(res.edge_sets[1]["follows"]) == 3
+
+
+class TestBackwardCull:
+    def test_cull_removes_dead_ends(self, social_db):
+        # three hops: X --follows--> Y --follows--> Z(country FR): no FR
+        # targets exist, so everything culls to empty
+        q = ("select * from graph Person ( ) --follows--> Person ( ) "
+             "--follows--> Person (country = 'FR') into subgraph G")
+        _, res = run(social_db, q)
+        assert res.is_empty()
+
+    def test_partial_cull(self, social_db):
+        # paths ending at Eve (p5) — nobody follows p5, empty;
+        # paths ending at p3: p2->p3, p5->p3 survive, their sources cull
+        q = ("select * from graph Person ( ) --follows--> "
+             "Person (name = 'Carol') into subgraph G")
+        _, res = run(social_db, q)
+        assert names_at(social_db, res.vertex_sets[0], "Person") == ["p2", "p5"]
+
+    def test_eq5_invariant_every_vertex_on_full_path(self, social_db):
+        q = ("select * from graph Person (age > 20) --follows--> Person ( ) "
+             "--follows--> Person (score > 1) into subgraph G")
+        atom, res = run(social_db, q)
+        # brute-force check against the oracle
+        from repro.baselines import NxOracle
+
+        oracle = NxOracle(social_db.db)
+        vsets, esets = oracle.step_sets(atom)
+        for i in (0, 2, 4):
+            got = {
+                (t, int(v))
+                for t, vs in res.vertex_sets[i].items()
+                for v in vs
+            }
+            want = {
+                (t, v) for t, vs in vsets.get(i, {}).items() for v in vs
+            }
+            assert got == want, f"step {i}"
+
+
+class TestInEdges:
+    def test_in_edge_direction(self, social_db):
+        q = ("select * from graph Person (name = 'Carol') <--follows-- "
+             "Person ( ) into subgraph G")
+        _, res = run(social_db, q)
+        assert names_at(social_db, res.vertex_sets[2], "Person") == ["p2", "p5"]
+
+
+class TestVariantSteps:
+    def test_variant_edge(self, social_db):
+        q = "select * from graph Person (name = 'Alice') --[]--> [ ] into subgraph G"
+        _, res = run(social_db, q)
+        # Alice follows Bob (x2) and lives in NYC
+        assert names_at(social_db, res.vertex_sets[2], "Person") == ["p2"]
+        assert names_at(social_db, res.vertex_sets[2], "City") == ["nyc"]
+        assert set(res.edge_sets[1].keys()) == {"follows", "livesIn"}
+
+    def test_fig9_shape(self, berlin_db):
+        # all things pointing at a product: offers and reviews
+        q = ("select * from graph ProductVtx (id = 'product1') <--[]-- [ ] "
+             "into subgraph G")
+        atom = checked_atom(berlin_db, q)
+        fx = FrontierExecutor(berlin_db.db)
+        res = fx.run_atom(atom)
+        edge_types = set(res.edge_sets[1].keys())
+        assert edge_types <= {"product", "reviewFor", "type", "feature", "producer"}
+        # only edges *into* ProductVtx qualify
+        assert "type" not in edge_types and "feature" not in edge_types
+
+
+class TestLabels:
+    def test_set_label_cycle(self, social_db):
+        # def x: ... --follows--> ... --follows--> x (cycles and co-cycles)
+        q = ("select * from graph def x: Person ( ) --follows--> Person ( ) "
+             "--follows--> x into subgraph G")
+        _, res = run(social_db, q)
+        # set label: last step must be in the set matched at step 0 (which
+        # is everyone), culled — p1->p2->p3 ends at p3 which defined too
+        assert not res.is_empty()
+
+    def test_label_env_records_final_sets(self, social_db):
+        atom = checked_atom(
+            social_db,
+            "select * from graph def us: Person (country = 'US') "
+            "--follows--> Person ( ) into subgraph G",
+        )
+        fx = FrontierExecutor(social_db.db)
+        fx.run_atom(atom)
+        assert "us" in fx.label_env
+        labelled = names_at(social_db, fx.label_env["us"], "Person")
+        assert labelled == ["p1", "p3", "p5"]
+
+    def test_pin_labels_restrict(self, social_db):
+        atom = checked_atom(
+            social_db,
+            "select * from graph def us: Person (country = 'US') "
+            "--follows--> Person ( ) into subgraph G",
+        )
+        fx = FrontierExecutor(social_db.db)
+        vt = social_db.db.vertex_type("Person")
+        p1 = vt.vid_of(("p1",))
+        fx.pin_labels["us"] = {"Person": np.asarray([p1], dtype=np.int64)}
+        res = fx.run_atom(atom)
+        assert names_at(social_db, res.vertex_sets[0], "Person") == ["p1"]
+
+
+class TestSeeds:
+    def test_seeded_first_step(self, social_db):
+        from repro.graph import Subgraph
+
+        vt = social_db.db.vertex_type("Person")
+        seed = Subgraph(
+            "seedG",
+            {"Person": np.asarray([vt.vid_of(("p5",))], dtype=np.int64)},
+            {},
+        )
+        social_db.db.register_subgraph(seed)
+        social_db.catalog.subgraphs["seedG"] = {"Person": 1}
+        q = ("select * from graph seedG.Person ( ) --follows--> Person ( ) "
+             "into subgraph G")
+        _, res = run(social_db, q)
+        assert names_at(social_db, res.vertex_sets[0], "Person") == ["p5"]
+        assert names_at(social_db, res.vertex_sets[2], "Person") == ["p3", "p6"]
+
+
+class TestEmptyAndEdgeCases:
+    def test_no_match_condition(self, social_db):
+        q = ("select * from graph Person (country = 'XX') --follows--> "
+             "Person ( ) into subgraph G")
+        _, res = run(social_db, q)
+        assert res.is_empty()
+
+    def test_edge_condition_filters(self, social_db):
+        q = ("select * from graph Person ( ) --follows(weight > 6)--> "
+             "Person ( ) into subgraph G")
+        _, res = run(social_db, q)
+        # weights > 6: p5->p3(9), p6->p2(7), p1->p2(8)
+        assert len(res.edge_sets[1]["follows"]) == 3
+
+    def test_single_vertex_atom(self, social_db):
+        q = "select * from graph Person (age > 40) into subgraph G"
+        _, res = run(social_db, q)
+        assert names_at(social_db, res.vertex_sets[0], "Person") == ["p3", "p5"]

@@ -1,0 +1,157 @@
+"""Unit tests for path regular expressions (Fig. 10)."""
+
+import pytest
+
+from repro import Database
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import check_statement
+from repro.query.frontier import FrontierExecutor
+
+
+def chain_db(edges, n=8) -> Database:
+    """A small typed digraph with one 'next' edge type."""
+    db = Database()
+    db.execute(
+        """
+        create table N(id integer, tag varchar(8))
+        create table E(src integer, dst integer)
+        create vertex V(id) from table N
+        create edge next with vertices (V as A, V as B) from table E
+        where E.src = A.id and E.dst = B.id
+        """
+    )
+    db.db.ingest_rows("N", [(i, "end" if i == n - 1 else "mid") for i in range(n)])
+    db.db.ingest_rows("E", edges)
+    db.catalog.refresh(db.db)
+    return db
+
+
+def run(db, text):
+    checked = check_statement(parse_statement(text), db.catalog)
+    atom = checked.pattern.atoms()[0]
+    return FrontierExecutor(db.db).run_atom(atom)
+
+
+def vids(db, sets, step):
+    vt = db.db.vertex_type("V")
+    return sorted(int(vt.key_of(int(v))[0]) for v in sets.vertex_sets[step].get("V", []))
+
+
+LINE = [(i, i + 1) for i in range(7)]  # 0->1->...->7
+
+
+class TestPlus:
+    def test_reachability_on_a_line(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 0) ( --next--> [ ] )+ "
+                      "V ( ) into subgraph G")
+        assert vids(db, res, 2) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_target_condition_culls(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 0) ( --next--> [ ] )+ "
+                      "V (id = 3) into subgraph G")
+        assert vids(db, res, 2) == [3]
+        # only the edges 0->1->2->3 lie on paths
+        assert len(res.edge_sets[1]["next"]) == 3
+
+    def test_plus_requires_at_least_one_hop(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 0) ( --next--> [ ] )+ "
+                      "V (id = 0) into subgraph G")
+        assert res.is_empty()  # no cycle back to 0
+
+    def test_cycle(self):
+        db = chain_db(LINE + [(7, 0)])
+        res = run(db, "select * from graph V (id = 0) ( --next--> [ ] )+ "
+                      "V (id = 0) into subgraph G")
+        assert vids(db, res, 0) == [0]
+        assert len(res.edge_sets[1]["next"]) == 8  # whole cycle on the path
+
+
+class TestStar:
+    def test_zero_hops_allowed(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 3) ( --next--> [ ] )* "
+                      "V ( ) into subgraph G")
+        assert vids(db, res, 2) == [3, 4, 5, 6, 7]
+
+    def test_star_with_unreachable_target(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 5) ( --next--> [ ] )* "
+                      "V (id = 2) into subgraph G")
+        assert res.is_empty()
+
+    def test_star_identity_match(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 2) ( --next--> [ ] )* "
+                      "V (id = 2) into subgraph G")
+        assert vids(db, res, 0) == [2]
+
+
+class TestCounted:
+    def test_exact_count(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 0) ( --next--> [ ] ){3} "
+                      "V ( ) into subgraph G")
+        assert vids(db, res, 2) == [3]
+
+    def test_count_with_branching(self):
+        db = chain_db([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        res = run(db, "select * from graph V (id = 0) ( --next--> [ ] ){2} "
+                      "V ( ) into subgraph G")
+        assert vids(db, res, 2) == [3]
+        assert len(res.edge_sets[1]["next"]) == 4  # both 2-hop routes kept
+
+    def test_count_one_equals_plain_edge(self):
+        db = chain_db(LINE)
+        a = run(db, "select * from graph V (id = 0) ( --next--> [ ] ){1} "
+                    "V ( ) into subgraph G")
+        b = run(db, "select * from graph V (id = 0) --next--> V ( ) "
+                    "into subgraph G")
+        assert vids(db, a, 2) == vids(db, b, 2)
+
+    def test_zero_count_rejected(self):
+        from repro.errors import ExecutionError
+
+        db = chain_db(LINE)
+        with pytest.raises(ExecutionError):
+            run(db, "select * from graph V (id = 0) ( --next--> [ ] ){0} "
+                    "V ( ) into subgraph G")
+
+
+class TestReverseDirection:
+    def test_incoming_regex(self):
+        db = chain_db(LINE)
+        res = run(db, "select * from graph V (id = 7) ( <--next-- [ ] )+ "
+                      "V (id = 4) into subgraph G")
+        assert vids(db, res, 2) == [4]
+
+    def test_backward_sweep_matches_forward(self):
+        db = chain_db(LINE + [(2, 5), (5, 2)])
+        q = ("select * from graph V (id = 0) ( --next--> [ ] )+ "
+             "V (tag = 'end') into subgraph G")
+        checked = check_statement(parse_statement(q), db.catalog)
+        atom = checked.pattern.atoms()[0]
+        f = FrontierExecutor(db.db).run_atom(atom, "forward")
+        b = FrontierExecutor(db.db).run_atom(atom, "backward")
+        assert vids(db, f, 0) == vids(db, b, 0)
+        assert vids(db, f, 2) == vids(db, b, 2)
+        assert sorted(f.edge_sets[1]["next"].tolist()) == sorted(
+            b.edge_sets[1]["next"].tolist()
+        )
+
+
+class TestMultiPairGroups:
+    def test_two_pair_group(self, social_db):
+        # (--follows--> [ ] --livesIn--> [ ]) exercised via berlin-like
+        # two-step repetition on the social graph
+        q = ("select * from graph Person (name = 'Dan') "
+             "( --follows--> [ ] ){2} Person ( ) into subgraph G")
+        checked = check_statement(parse_statement(q), social_db.catalog)
+        atom = checked.pattern.atoms()[0]
+        res = FrontierExecutor(social_db.db).run_atom(atom)
+        vt = social_db.db.vertex_type("Person")
+        ids = sorted(vt.key_of(int(v))[0] for v in res.vertex_sets[2].get("Person", []))
+        # Dan->p1->p2
+        assert ids == ["p2"]

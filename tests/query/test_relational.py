@@ -1,0 +1,123 @@
+"""Unit tests for the relational statement executor (Table I)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graql.parser import parse_statement
+from repro.query.relational import execute_table_select
+
+
+def q(db, text):
+    stmt = parse_statement(text)
+    return execute_table_select(db.db, stmt)
+
+
+class TestSelect:
+    def test_star(self, social_db):
+        out = q(social_db, "select * from table People")
+        assert out.num_rows == 6
+        assert out.schema.names()[0] == "id"
+
+    def test_projection_order(self, social_db):
+        out = q(social_db, "select age, name from table People")
+        assert out.schema.names() == ["age", "name"]
+
+    def test_alias(self, social_db):
+        out = q(social_db, "select name as who from table People")
+        assert out.schema.names() == ["who"]
+
+    def test_where(self, social_db):
+        out = q(social_db, "select id from table People where country = 'US'")
+        assert {r[0] for r in out.to_rows()} == {"p1", "p3", "p5"}
+
+    def test_where_on_date(self, social_db):
+        out = q(social_db,
+                "select id from table People where joined >= '2013-06-01'")
+        assert out.num_rows > 0
+
+
+class TestAggregates:
+    def test_count_star(self, social_db):
+        out = q(social_db, "select count(*) as n from table People")
+        assert out.row(0) == (6,)
+
+    def test_group_count(self, social_db):
+        out = q(social_db,
+                "select country, count(*) as n from table People group by country")
+        assert dict(out.to_rows()) == {"US": 3, "DE": 2, "FR": 1}
+
+    def test_all_aggregates(self, social_db):
+        out = q(social_db,
+                "select count(*) as c, sum(age) as s, avg(age) as a, "
+                "min(age) as lo, max(age) as hi from table People")
+        c, s, a, lo, hi = out.row(0)
+        assert (c, s, lo, hi) == (6, 200, 19, 55)
+        assert a == pytest.approx(200 / 6)
+
+    def test_default_agg_aliases(self, social_db):
+        out = q(social_db, "select count(*), sum(age) from table People")
+        assert out.schema.names() == ["count", "sum_age"]
+
+    def test_group_col_in_output(self, social_db):
+        out = q(social_db,
+                "select country, max(age) as oldest from table People "
+                "group by country order by country asc")
+        assert out.to_rows() == [("DE", 28), ("FR", 23), ("US", 55)]
+
+
+class TestOrderTopDistinct:
+    def test_order_and_top(self, social_db):
+        out = q(social_db,
+                "select top 2 name from table People order by age desc")
+        assert [r[0] for r in out.to_rows()] == ["Eve", "Carol"]
+
+    def test_order_by_alias(self, social_db):
+        out = q(social_db,
+                "select country, count(*) as n from table People "
+                "group by country order by n desc, country asc")
+        assert [r[0] for r in out.to_rows()] == ["US", "DE", "FR"]
+
+    def test_distinct(self, social_db):
+        out = q(social_db, "select distinct country from table People")
+        assert out.num_rows == 3
+
+    def test_order_by_source_column_not_projected(self, social_db):
+        # SQL convention: order keys may be source columns even when not
+        # in the projection
+        out = q(social_db, "select name from table People order by age asc")
+        assert [r[0] for r in out.to_rows()][:2] == ["Frank", "Dan"]
+
+    def test_order_by_truly_unknown_column(self, social_db):
+        with pytest.raises(ExecutionError, match="order by"):
+            q(social_db, "select name from table People order by nonexistent")
+
+    def test_top_after_order(self, social_db):
+        out = q(social_db,
+                "select top 1 id from table People order by score desc")
+        assert out.row(0) == ("p5",)
+
+
+class TestIntoNaming:
+    def test_result_named_by_into(self, social_db):
+        out = q(social_db, "select * from table People into table Snapshot")
+        assert out.name == "Snapshot"
+
+    def test_anonymous_result(self, social_db):
+        out = q(social_db, "select * from table People")
+        assert out.name == "result"
+
+
+class TestPaperFig6Tail:
+    """The exact relational tail of Fig. 6/7."""
+
+    def test_top_k_group_count(self, social_db):
+        social_db.execute(
+            "select B.id from graph Person ( ) --follows--> def B: Person ( ) "
+            "into table T1"
+        )
+        out = q(social_db,
+                "select top 10 id, count(*) as groupCount from table T1 "
+                "group by id order by groupCount desc, id asc")
+        # follow targets: p2 x3 (two from p1, one from p6), p3 x2, p1 x2, p6 x1
+        assert out.to_rows()[0] == ("p2", 3)
+        assert dict(out.to_rows())["p3"] == 2

@@ -1,0 +1,135 @@
+"""Unit tests for result-materialization internals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graql.parser import parse_statement
+from repro.graql.typecheck import check_statement
+from repro.query.bindings import BindingExecutor
+from repro.query.results import JoinedBindings, NameMap
+
+
+def bindings_for(db, text):
+    checked = check_statement(parse_statement(text), db.catalog)
+    atom = checked.pattern.atoms()[0]
+    bex = BindingExecutor(db.db, db.catalog)
+    return JoinedBindings.from_result(0, bex.run_atom(atom), atom), atom
+
+
+class TestNameMap:
+    def test_labels_and_types(self, social_db):
+        _, atom = bindings_for(
+            social_db,
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table T",
+        )
+        nm = NameMap()
+        nm.add_atom(0, atom)
+        aord, pos, step = nm.lookup("y")
+        assert (aord, pos) == (0, 2)
+        # the first occurrence of the type name wins
+        aord, pos, _ = nm.lookup("Person")
+        assert pos == 0
+
+    def test_unknown_name(self):
+        nm = NameMap()
+        with pytest.raises(ExecutionError, match="unknown step"):
+            nm.lookup("nope")
+        with pytest.raises(ExecutionError, match="unknown edge-step"):
+            nm.lookup_edge("nope")
+
+    def test_edge_labels_tracked(self, social_db):
+        _, atom = bindings_for(
+            social_db,
+            "select y.id from graph Person ( ) --def f: follows--> def y: "
+            "Person ( ) into table T",
+        )
+        nm = NameMap()
+        nm.add_atom(0, atom)
+        assert nm.is_edge_label("f")
+        assert nm.lookup_edge("f") == (0, 1)
+
+
+class TestJoinedBindings:
+    def test_join_requires_pairs(self, social_db):
+        jb, _ = bindings_for(
+            social_db,
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table T",
+        )
+        with pytest.raises(ExecutionError, match="shared label"):
+            jb.join(jb, [])
+
+    def test_join_multiplies_matching_rows(self, social_db):
+        jb, _ = bindings_for(
+            social_db,
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table T",
+        )
+        joined = jb.join(jb, [((0, "v", 2), (0, "v", 2))])
+        # self-join on the target column: sum over targets of count^2
+        import collections
+
+        counts = collections.Counter(jb.columns[(0, "v", 2)].tolist())
+        assert joined.nrows == sum(c * c for c in counts.values())
+
+    def test_take(self, social_db):
+        jb, _ = bindings_for(
+            social_db,
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table T",
+        )
+        import numpy as np
+
+        # JoinedBindings carries plain arrays; slicing works through columns
+        sliced = {k: v[:2] for k, v in jb.columns.items()}
+        assert all(len(v) == 2 for v in sliced.values())
+
+    def test_edge_types_for_single(self, social_db):
+        jb, atom = bindings_for(
+            social_db,
+            "select y.id from graph Person ( ) --follows--> def y: "
+            "Person ( ) into table T",
+        )
+        out = jb.edge_types_for(0, 1, social_db.db)
+        assert len(out) == 1 and out[0][0] == "follows"
+
+    def test_edge_types_for_variant(self, social_db):
+        checked = check_statement(
+            parse_statement(
+                "select * from graph Person (name = 'Alice') --[]--> [ ] "
+                "into subgraph G"
+            ),
+            social_db.catalog,
+        )
+        atom = checked.pattern.atoms()[0]
+        bex = BindingExecutor(social_db.db, social_db.catalog)
+        jb = JoinedBindings.from_result(0, bex.run_atom(atom), atom)
+        split = dict(jb.edge_types_for(0, 1, social_db.db))
+        assert set(split) == {"follows", "livesIn"}
+        assert len(split["follows"]) == 2 and len(split["livesIn"]) == 1
+
+
+class TestWideTableEdgeCases:
+    def test_variant_step_star_table_rejected(self, social_db):
+        with pytest.raises(ExecutionError, match="variant"):
+            social_db.query(
+                "select * from graph Person (name = 'Alice') --[]--> [ ] "
+                "into table W"
+            )
+
+    def test_column_name_dedup(self, social_db):
+        t = social_db.query(
+            "select a.id, b.id from graph def a: Person ( ) --follows--> "
+            "def b: Person ( ) into table Dedup"
+        )
+        assert t.schema.names() == ["id", "id_2"]
+
+    def test_step_item_key_columns(self, social_db):
+        t = social_db.query(
+            "select b from graph Person (name = 'Alice') --follows--> "
+            "def b: Person ( ) into table Keys"
+        )
+        assert t.schema.names() == ["b_id"]
+        assert {r[0] for r in t.to_rows()} == {"p2"}

@@ -1,0 +1,84 @@
+"""Tests for Eq. 12 structural queries and edge-attribute selection."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+
+
+class TestEq12StructuralQueries:
+    """def X: [ ] --[]--> X — purely structural, type-independent."""
+
+    def test_type_bound_label_on_variant_step(self, social_db):
+        # any vertex with an edge back to a vertex of the SAME type:
+        # follows (Person->Person) qualifies; livesIn (Person->City) not
+        sg = social_db.query_subgraph(
+            "select * from graph def X: [ ] --[]--> X into subgraph G"
+        )
+        # the matched edges must be endo-edges only
+        assert set(sg.edges) == {"follows"}
+        assert "City" not in sg.vertices or len(sg.vertex_ids("City")) == 0
+
+    def test_same_type_constraint_binds_per_type(self, social_db):
+        # compare with the unconstrained variant query
+        free = social_db.query_subgraph(
+            "select * from graph [ ] --[]--> [ ] into subgraph F"
+        )
+        assert "livesIn" in free.edges  # cross-type edges match when free
+
+    def test_structural_two_hop_cycle(self, social_db):
+        sg = social_db.query_subgraph(
+            "select * from graph def X: [ ] --[]--> [ ] --[]--> X "
+            "into subgraph H"
+        )
+        # the triangle p1->p2->p3->p1 gives 2-hop paths ending at the
+        # *set* of start vertices (set-label semantics, same type)
+        assert sg.num_vertices > 0
+        assert set(sg.edges) <= {"follows"}
+
+
+class TestEdgeAttributeSelection:
+    def test_select_edge_attribute(self, social_db):
+        t = social_db.query(
+            "select a.id as src, f.weight, b.id as dst from graph "
+            "def a: Person ( ) --def f: follows--> def b: Person ( ) "
+            "into table EW"
+        )
+        assert t.schema.names() == ["src", "weight", "dst"]
+        assert t.num_rows == 8
+        # weights match the Follows table rows
+        et = social_db.db.edge_type("follows")
+        w, _ = et.attribute_array("weight")
+        assert sorted(r[1] for r in t.to_rows()) == sorted(w.tolist())
+
+    def test_edge_attr_alias(self, social_db):
+        t = social_db.query(
+            "select f.weight as strength from graph Person ( ) "
+            "--def f: follows--> Person ( ) into table EA"
+        )
+        assert t.schema.names() == ["strength"]
+
+    def test_unknown_edge_attr_rejected(self, social_db):
+        with pytest.raises(TypeCheckError, match="no attribute"):
+            social_db.query(
+                "select f.nonexistent from graph Person ( ) "
+                "--def f: follows--> Person ( ) into table X"
+            )
+
+    def test_edge_without_assoc_table_rejected(self, social_db):
+        # livesIn has no from-table: no attributes available
+        with pytest.raises(TypeCheckError, match="no attribute"):
+            social_db.query(
+                "select f.weight from graph Person ( ) "
+                "--def f: livesIn--> City ( ) into table X"
+            )
+
+    def test_edge_attr_in_aggregation_pipeline(self, social_db):
+        t = social_db.query(
+            "select b.id as who, f.weight as w from graph Person ( ) "
+            "--def f: follows--> def b: Person ( ) into table EWagg\n"
+            "select who, sum(w) as total from table EWagg group by who "
+            "order by total desc"
+        )
+        top = t.row(0)
+        # p3 receives 3 + 9 = 12, p2 receives 5 + 8 + 7 = 20
+        assert top == ("p2", 20)

@@ -1,0 +1,98 @@
+"""Unit tests for atomic CSV ingest and export (Section II-A2)."""
+
+import pytest
+
+from repro.dtypes import DATE, FLOAT, INTEGER, VarChar
+from repro.errors import IngestError
+from repro.storage import Schema, Table, read_csv_into, write_csv
+from repro.storage.csvio import read_csv_text_into
+
+S = Schema.of(
+    ("id", VarChar(10)),
+    ("n", INTEGER),
+    ("price", FLOAT),
+    ("day", DATE),
+)
+
+
+def make() -> Table:
+    return Table("T", S)
+
+
+class TestTextIngest:
+    def test_basic(self):
+        t = make()
+        n = read_csv_text_into(t, "a,1,2.5,2016-01-01\nb,2,3.5,2016-01-02\n")
+        assert n == 2
+        assert t.row(0) == ("a", 1, 2.5, DATE.parse("2016-01-01"))
+
+    def test_header_row_skipped(self):
+        t = make()
+        n = read_csv_text_into(t, "id,n,price,day\na,1,2.5,2016-01-01\n")
+        assert n == 1
+
+    def test_blank_lines_skipped(self):
+        t = make()
+        n = read_csv_text_into(t, "a,1,2.5,2016-01-01\n\n\nb,2,3.5,2016-01-02\n")
+        assert n == 2
+
+    def test_empty_fields_are_null(self):
+        t = make()
+        read_csv_text_into(t, "a,,,\n")
+        _, n, price, day = t.row(0)
+        from repro.dtypes.values import DATE_NULL, INT_NULL
+
+        assert n == INT_NULL and price != price and day == DATE_NULL
+
+    def test_wrong_arity_reports_line(self):
+        t = make()
+        with pytest.raises(IngestError, match=":2"):
+            read_csv_text_into(t, "a,1,2.5,2016-01-01\nb,2\n")
+
+    def test_bad_type_reports_column(self):
+        t = make()
+        with pytest.raises(IngestError, match="'n'"):
+            read_csv_text_into(t, "a,notanint,2.5,2016-01-01\n")
+
+    def test_atomicity_on_late_error(self):
+        t = make()
+        with pytest.raises(IngestError):
+            read_csv_text_into(
+                t, "a,1,2.5,2016-01-01\nb,2,3.5,2016-01-02\nc,x,1.0,2016-01-03\n"
+            )
+        assert t.num_rows == 0  # nothing landed
+
+    def test_whitespace_stripped(self):
+        t = make()
+        read_csv_text_into(t, "a , 1 , 2.5 , 2016-01-01\n")
+        assert t.row(0)[0] == "a"
+
+    def test_varchar_overflow_rejected(self):
+        t = make()
+        with pytest.raises(IngestError, match="varchar"):
+            read_csv_text_into(t, "averylongidentifier,1,2.5,2016-01-01\n")
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        t = make()
+        read_csv_text_into(t, "a,1,2.5,2016-01-01\nb,,3.5,\n")
+        path = str(tmp_path / "out.csv")
+        write_csv(t, path)
+        t2 = make()
+        n = read_csv_into(t2, path)
+        assert n == 2
+        assert t2.to_rows() == t.to_rows()
+
+    def test_write_without_header(self, tmp_path):
+        t = make()
+        read_csv_text_into(t, "a,1,2.5,2016-01-01\n")
+        path = str(tmp_path / "nh.csv")
+        write_csv(t, path, header=False)
+        with open(path) as fh:
+            first = fh.readline()
+        assert first.startswith("a,")
+
+    def test_missing_file(self):
+        with pytest.raises(IngestError, match="not found"):
+            read_csv_into(make(), "/nonexistent/file.csv")

@@ -1,0 +1,241 @@
+"""Unit tests for expression trees, inference, and vectorized evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import BOOLEAN, DATE, FLOAT, INTEGER, VarChar
+from repro.errors import ExecutionError, TypeCheckError
+from repro.storage import Schema, Table
+from repro.storage.expr import (
+    BinOp,
+    ColRef,
+    Const,
+    Env,
+    IsNull,
+    Not,
+    Param,
+    col_refs,
+    conjoin,
+    conjuncts,
+    evaluate,
+    evaluate_predicate,
+    evaluate_scalar,
+    infer_type,
+    params,
+    substitute_params,
+)
+from repro.graql.parser import parse_expression
+
+S = Schema.of(
+    ("name", VarChar(10)),
+    ("n", INTEGER),
+    ("x", FLOAT),
+    ("d", DATE),
+)
+T = Table.from_texts(
+    "T",
+    S,
+    [
+        ("alice", "10", "1.5", "2016-01-01"),
+        ("bob", "20", "2.5", "2016-06-01"),
+        ("carol", "", "", ""),
+        ("dave", "40", "0.5", "2015-01-01"),
+    ],
+)
+
+
+def ev(text: str) -> np.ndarray:
+    return evaluate_predicate(parse_expression(text), Env.from_table(T))
+
+
+class TestEvaluation:
+    def test_int_comparison(self):
+        assert ev("n > 15").tolist() == [False, True, False, True]
+
+    def test_equality_string(self):
+        assert ev("name = 'bob'").tolist() == [False, True, False, False]
+
+    def test_ne_both_spellings(self):
+        assert ev("n <> 10").tolist() == ev("n != 10").tolist()
+
+    def test_and_or(self):
+        assert ev("n > 15 and x < 1").tolist() == [False, False, False, True]
+        assert ev("n = 10 or name = 'bob'").tolist() == [True, True, False, False]
+
+    def test_not(self):
+        # NULL row (index 2): n > 15 is False, so 'not' makes it True
+        # (documented two-valued NULL semantics)
+        assert ev("not n > 15").tolist() == [True, False, True, False]
+
+    def test_null_comparisons_false(self):
+        assert not ev("n = 10")[2]
+        assert not ev("n <> 10")[2]
+        assert not ev("x < 100")[2]
+
+    def test_is_null(self):
+        assert ev("n is null").tolist() == [False, False, True, False]
+        assert ev("n is not null").tolist() == [True, True, False, True]
+
+    def test_date_string_coercion(self):
+        assert ev("d >= '2016-01-01'").tolist() == [True, True, False, False]
+        assert ev("'2016-01-01' = d").tolist() == [True, False, False, False]
+
+    def test_arithmetic(self):
+        out = evaluate(parse_expression("n + 5"), Env.from_table(T))
+        assert out[0] == 15
+
+    def test_arithmetic_null_propagates(self):
+        out = evaluate(parse_expression("n * 2"), Env.from_table(T))
+        from repro.dtypes.values import INT_NULL
+
+        assert out[2] == INT_NULL
+
+    def test_division_is_float(self):
+        out = evaluate(parse_expression("n / 4"), Env.from_table(T))
+        assert out[0] == pytest.approx(2.5)
+
+    def test_mixed_arithmetic_comparison(self):
+        assert ev("n + x > 21").tolist() == [False, True, False, True]
+
+    def test_unary_minus(self):
+        assert evaluate_scalar(parse_expression("-5")) == -5
+        assert evaluate_scalar(parse_expression("-(2 + 3)")) == -5
+
+    def test_precedence(self):
+        assert evaluate_scalar(parse_expression("2 + 3 * 4")) == 14
+        assert evaluate_scalar(parse_expression("(2 + 3) * 4")) == 20
+
+    def test_string_ordering(self):
+        assert ev("name < 'c'").tolist() == [True, True, False, False]
+
+    def test_unbound_param_raises(self):
+        with pytest.raises(ExecutionError):
+            ev("n = %P%")
+
+    def test_non_boolean_condition_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate_predicate(parse_expression("n + 1"), Env.from_table(T))
+
+    def test_qualified_ref_against_table_name(self):
+        assert ev("T.n > 15").tolist() == [False, True, False, True]
+
+    def test_unknown_qualifier_raises(self):
+        with pytest.raises(ExecutionError):
+            ev("Other.n > 15")
+
+
+class TestInference:
+    def resolve(self, qualifier, name):
+        if S.has(name):
+            return S.type_of(name)
+        raise TypeCheckError(f"no column {name}")
+
+    def infer(self, text):
+        return infer_type(parse_expression(text), self.resolve)
+
+    def test_comparison_is_boolean(self):
+        assert self.infer("n > 1") == BOOLEAN
+
+    def test_date_float_rejected(self):
+        # the paper's example: comparing a date to a floating-point number
+        with pytest.raises(TypeCheckError):
+            self.infer("d = 3.14")
+
+    def test_date_string_literal_ok(self):
+        assert self.infer("d = '2016-01-01'") == BOOLEAN
+
+    def test_date_bad_string_literal(self):
+        with pytest.raises(TypeCheckError):
+            self.infer("d = 'hello'")
+
+    def test_string_int_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self.infer("name = 42")
+
+    def test_arithmetic_types(self):
+        assert self.infer("n + 1") is INTEGER
+        assert self.infer("n + x") is FLOAT
+        assert self.infer("n / 2") is FLOAT
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self.infer("name + 1")
+
+    def test_logical_needs_boolean(self):
+        with pytest.raises(TypeCheckError):
+            self.infer("n and x")
+
+    def test_not_needs_boolean(self):
+        with pytest.raises(TypeCheckError):
+            self.infer("not n")
+
+    def test_unsubstituted_param_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self.infer("n = %P%")
+
+
+class TestTreeUtilities:
+    def test_col_refs(self):
+        e = parse_expression("a.x = 1 and y > b.z")
+        refs = col_refs(e)
+        assert {(r.qualifier, r.name) for r in refs} == {
+            ("a", "x"),
+            (None, "y"),
+            ("b", "z"),
+        }
+
+    def test_params_listing(self):
+        e = parse_expression("n = %A% or x = %B%")
+        assert sorted(params(e)) == ["A", "B"]
+
+    def test_substitute_params(self):
+        e = parse_expression("n = %A%")
+        out = substitute_params(e, {"A": 7})
+        assert params(out) == []
+        assert isinstance(out.right, Const) and out.right.value == 7
+
+    def test_substitute_missing_raises(self):
+        with pytest.raises(ExecutionError):
+            substitute_params(parse_expression("n = %A%"), {})
+
+    def test_conjuncts_roundtrip(self):
+        e = parse_expression("a = 1 and b = 2 and c = 3")
+        cj = conjuncts(e)
+        assert len(cj) == 3
+        again = conjoin(cj)
+        assert conjuncts(again) == cj
+
+    def test_conjuncts_respects_or(self):
+        e = parse_expression("a = 1 and (b = 2 or c = 3)")
+        assert len(conjuncts(e)) == 2
+
+    def test_expr_equality_and_hash(self):
+        a = parse_expression("x = 1 and y > 2")
+        b = parse_expression("x = 1 and y > 2")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != parse_expression("x = 1 and y > 3")
+
+    def test_walk_visits_all(self):
+        e = parse_expression("not (a = 1)")
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds[0] == "Not"
+        assert "BinOp" in kinds and "ColRef" in kinds
+
+
+class TestConstTyping:
+    def test_int_literal(self):
+        assert Const(5).dtype is INTEGER
+
+    def test_float_literal(self):
+        assert Const(2.5).dtype is FLOAT
+
+    def test_bool_literal(self):
+        assert Const(True).dtype is BOOLEAN
+
+    def test_str_literal(self):
+        assert Const("ab").dtype.kind == "string"
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            BinOp("%%", Const(1), Const(2))

@@ -1,0 +1,63 @@
+"""Small coverage tests for utility paths."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INTEGER, VarChar
+from repro.storage import Schema, Table, relops
+from repro.storage.csvio import rows_to_csv_text
+from repro.storage.expr import Const, Env, evaluate_scalar
+from repro.errors import ExecutionError
+
+
+class TestCsvHelpers:
+    def test_rows_to_csv_text(self):
+        types = [VarChar(4), INTEGER]
+        text = rows_to_csv_text(types, [("a", 1), (None, 2)])
+        assert text.splitlines() == ["a,1", ",2"]
+
+
+class TestTableEdgeCases:
+    def test_pretty_empty_table(self):
+        t = Table("E", Schema.of(("id", INTEGER)))
+        text = t.pretty()
+        assert "id" in text
+
+    def test_order_by_no_keys(self):
+        t = Table.from_rows("T", Schema.of(("n", INTEGER)), [(2,), (1,)])
+        assert relops.order_by(t, []).to_rows() == [(2,), (1,)]
+
+    def test_take_empty_indices(self):
+        t = Table.from_rows("T", Schema.of(("n", INTEGER)), [(2,), (1,)])
+        assert t.take(np.empty(0, dtype=np.int64)).num_rows == 0
+
+
+class TestExprScalars:
+    def test_evaluate_scalar_constant_folding(self):
+        from repro.graql.parser import parse_expression
+
+        assert evaluate_scalar(parse_expression("2 * (3 + 4)")) == 14
+        assert evaluate_scalar(parse_expression("10 / 4")) == 2.5
+
+    def test_env_from_columns_unknown(self):
+        env = Env.from_columns({}, 3)
+        with pytest.raises(ExecutionError, match="resolve"):
+            env.resolve(None, "missing")
+
+    def test_env_from_columns_hit(self):
+        arr = np.asarray([1, 2, 3], dtype=np.int64)
+        env = Env.from_columns({(None, "x"): (arr, INTEGER)}, 3)
+        got, dtype = env.resolve(None, "x")
+        assert got is arr and dtype is INTEGER
+
+
+class TestSubgraphEdgeOnly:
+    def test_union_edge_only_subgraphs(self):
+        from repro.graph import Subgraph
+
+        a = Subgraph("A", {}, {"e": np.asarray([1, 2])})
+        b = Subgraph("B", {}, {"e": np.asarray([2, 3]), "f": np.asarray([0])})
+        u = a.union(b)
+        assert u.edge_ids("e").tolist() == [1, 2, 3]
+        assert u.edge_ids("f").tolist() == [0]
+        assert u.num_vertices == 0

@@ -1,0 +1,168 @@
+"""Unit tests for columnar tables and columns."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FLOAT, INTEGER, VarChar
+from repro.errors import CatalogError
+from repro.storage import Column, Schema, Table
+from repro.storage.schema import ColumnDef
+
+S = Schema.of(("id", VarChar(10)), ("n", INTEGER), ("x", FLOAT))
+ROWS = [("a", 1, 1.5), ("b", 2, 2.5), ("c", 3, float("nan")), ("d", 4, 4.5)]
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_rows("T", S, ROWS)
+
+
+class TestConstruction:
+    def test_from_rows(self, table):
+        assert table.num_rows == 4
+        assert table.num_columns == 3
+
+    def test_empty_table(self):
+        t = Table("E", S)
+        assert t.num_rows == 0
+
+    def test_from_texts_parses(self):
+        t = Table.from_texts("T", S, [("a", "7", "1.25")])
+        assert t.row(0) == ("a", 7, 1.25)
+
+    def test_ragged_columns_rejected(self):
+        cols = [
+            Column.from_values(VarChar(10), ["a"]),
+            Column.from_values(INTEGER, [1, 2]),
+            Column.from_values(FLOAT, [1.0]),
+        ]
+        with pytest.raises(CatalogError):
+            Table("bad", S, cols)
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("bad", S, [Column.empty(INTEGER)])
+
+
+class TestAccess:
+    def test_row(self, table):
+        assert table.row(1) == ("b", 2, 2.5)
+
+    def test_nan_survives(self, table):
+        x = table.row(2)[2]
+        assert x != x
+
+    def test_iter_rows(self, table):
+        assert len(list(table.iter_rows())) == 4
+
+    def test_column_by_name(self, table):
+        assert table.column("n").values() == [1, 2, 3, 4]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(CatalogError):
+            table.column("zzz")
+
+    def test_column_dict_zero_copy(self, table):
+        d = table.column_dict()
+        assert d["n"] is table.column("n").data
+
+
+class TestTransforms:
+    def test_take(self, table):
+        t = table.take(np.asarray([2, 0]))
+        assert [r[0] for r in t.to_rows()] == ["c", "a"]
+
+    def test_filter(self, table):
+        mask = np.asarray([True, False, True, False])
+        assert table.filter(mask).num_rows == 2
+
+    def test_project(self, table):
+        t = table.project(["n", "id"])
+        assert t.schema.names() == ["n", "id"]
+        assert t.row(0) == (1, "a")
+
+    def test_rename(self, table):
+        t = table.rename_columns({"id": "key"})
+        assert t.schema.names() == ["key", "n", "x"]
+
+    def test_with_column(self, table):
+        col = Column.from_values(INTEGER, [10, 20, 30, 40])
+        t = table.with_column(ColumnDef("extra", INTEGER), col)
+        assert t.schema.has("extra")
+        assert t.row(0)[-1] == 10
+
+    def test_with_column_wrong_length(self, table):
+        col = Column.from_values(INTEGER, [1])
+        with pytest.raises(CatalogError):
+            table.with_column(ColumnDef("bad", INTEGER), col)
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(100).num_rows == 4
+
+    def test_concat(self, table):
+        t = table.concat(table)
+        assert t.num_rows == 8
+
+    def test_concat_schema_mismatch(self, table):
+        other = Table.from_rows("O", Schema.of(("id", VarChar(10))), [("z",)])
+        with pytest.raises(CatalogError):
+            table.concat(other)
+
+
+class TestAppendRows:
+    def test_append_in_place(self, table):
+        table.append_rows([("e", 5, 5.5)])
+        assert table.num_rows == 5
+        assert table.row(4) == ("e", 5, 5.5)
+
+    def test_append_atomic_on_bad_row(self, table):
+        # a row of wrong arity fails before mutation
+        with pytest.raises(Exception):
+            table.append_rows([("ok", 9, 9.0), ("bad",)])
+        assert table.num_rows == 4
+
+
+class TestColumn:
+    def test_null_mask_strings(self):
+        c = Column.from_values(VarChar(4), ["a", None, "b"])
+        assert c.null_mask().tolist() == [False, True, False]
+
+    def test_null_mask_floats(self):
+        c = Column.from_values(FLOAT, [1.0, float("nan")])
+        assert c.null_mask().tolist() == [False, True]
+
+    def test_null_mask_int_sentinel(self):
+        from repro.dtypes.values import INT_NULL
+
+        c = Column.from_values(INTEGER, [1, INT_NULL])
+        assert c.null_mask().tolist() == [False, True]
+
+    def test_nulls_constructor(self):
+        c = Column.nulls(INTEGER, 3)
+        assert c.null_mask().all()
+
+    def test_concat_type_mismatch(self):
+        a = Column.from_values(INTEGER, [1])
+        b = Column.from_values(FLOAT, [1.0])
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_sort_key_nan_goes_first(self):
+        c = Column.from_values(FLOAT, [2.0, float("nan"), 1.0])
+        order = np.argsort(c.sort_key(), kind="stable")
+        assert order[0] == 1
+
+    def test_value_unboxes_numpy(self):
+        c = Column.from_values(INTEGER, [5])
+        assert type(c.value(0)) is int
+
+
+class TestPretty:
+    def test_pretty_contains_values(self, table):
+        text = table.pretty()
+        assert "id" in text and "a" in text
+
+    def test_pretty_limit(self, table):
+        text = table.pretty(limit=2)
+        assert "4 rows total" in text

@@ -1,0 +1,104 @@
+"""Tests for the command-line client."""
+
+import pytest
+
+from repro.cli import _parse_params, main
+
+
+class TestParamParsing:
+    def test_types_inferred(self):
+        params = _parse_params(["A=text", "B=3", "C=2.5"])
+        assert params == {"A": "text", "B": 3, "C": 2.5}
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestRunCommand:
+    def test_run_script(self, tmp_path, capsys):
+        script = tmp_path / "s.graql"
+        script.write_text(
+            """
+            create table T(id varchar(4), n integer)
+            select count(*) as n from table T
+            """
+        )
+        rc = main(["run", str(script)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "created table T" in out
+        assert "(1 rows)" in out
+
+    def test_run_with_params(self, tmp_path, capsys):
+        data = tmp_path / "t.csv"
+        data.write_text("a,1\nb,2\n")
+        script = tmp_path / "s.graql"
+        script.write_text(
+            f"""
+            create table T(id varchar(4), n integer)
+            ingest table T '{data}'
+            select id from table T where n = %N%
+            """
+        )
+        rc = main(["run", str(script), "--param", "N=2"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "b" in out
+
+    def test_run_reports_errors(self, tmp_path, capsys):
+        script = tmp_path / "bad.graql"
+        script.write_text("select * from table Missing")
+        rc = main(["run", str(script)])
+        err = capsys.readouterr().err
+        assert rc == 1 and "unknown table" in err
+
+    def test_subgraph_output_rendering(self, tmp_path, capsys):
+        script = tmp_path / "g.graql"
+        script.write_text(
+            """
+            create table N(id integer)
+            create table E(s integer, t integer)
+            create vertex V(id) from table N
+            create edge e with vertices (V as A, V as B) from table E
+            where E.s = A.id and E.t = B.id
+            select * from graph V ( ) --e--> V ( ) into subgraph G
+            """
+        )
+        rc = main(["run", str(script)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "subgraph 'G'" in out
+
+    def test_limit_flag(self, tmp_path, capsys):
+        data = tmp_path / "t.csv"
+        data.write_text("".join(f"r{i},1\n" for i in range(30)))
+        script = tmp_path / "s.graql"
+        script.write_text(
+            f"""
+            create table T(id varchar(4), n integer)
+            ingest table T '{data}'
+            select * from table T
+            """
+        )
+        main(["--limit", "3", "run", str(script)])
+        out = capsys.readouterr().out
+        assert "30 rows total" in out
+
+
+class TestExplainFlag:
+    def test_run_explain(self, tmp_path, capsys):
+        script = tmp_path / "s.graql"
+        script.write_text(
+            "create table T(id varchar(4), n integer)\n"
+            "select n, count(*) as c from table T group by n"
+        )
+        rc = main(["run", str(script), "--explain"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CREATE TABLE T" in out
+        assert "aggregate [count(*)] group by n" in out
+
+    def test_run_explain_reports_errors(self, tmp_path, capsys):
+        script = tmp_path / "bad.graql"
+        script.write_text("select * from table Missing")
+        rc = main(["run", str(script), "--explain"])
+        assert rc == 1

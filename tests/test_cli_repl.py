@@ -1,0 +1,128 @@
+"""Tests for the interactive REPL (scripted stdin)."""
+
+import builtins
+
+import pytest
+
+from repro.cli import main
+
+
+def run_repl(monkeypatch, capsys, lines, argv=("repl",)):
+    it = iter(lines)
+
+    def fake_input(prompt=""):
+        try:
+            return next(it)
+        except StopIteration:
+            raise EOFError
+
+    monkeypatch.setattr(builtins, "input", fake_input)
+    rc = main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+class TestREPL:
+    def test_quit(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(monkeypatch, capsys, ["\\quit"])
+        assert rc == 0
+
+    def test_eof_exits(self, monkeypatch, capsys):
+        rc, _, _ = run_repl(monkeypatch, capsys, [])
+        assert rc == 0
+
+    def test_statement_terminated_by_blank_line(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            ["create table T(id integer)", "", "\\q"],
+        )
+        assert "created table T" in out
+
+    def test_statement_terminated_by_semicolon(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            ["create table T(id integer);", "\\q"],
+        )
+        assert "created table T" in out
+
+    def test_multiline_statement(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(",
+                "  id integer,",
+                "  name varchar(8)",
+                ")",
+                "",
+                "\\tables",
+                "\\q",
+            ],
+        )
+        assert "T (0 rows)" in out
+
+    def test_catalog_commands(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(id integer);",
+                "create vertex V(id) from table T;",
+                "\\tables",
+                "\\vertices",
+                "\\edges",
+                "\\subgraphs",
+                "\\q",
+            ],
+        )
+        assert "T (0 rows)" in out
+        assert "V (0 instances)" in out
+
+    def test_error_reported_and_repl_continues(self, monkeypatch, capsys):
+        rc, out, err = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "select * from table Missing;",
+                "create table T(id integer);",
+                "\\q",
+            ],
+        )
+        assert "unknown table" in err
+        assert "created table T" in out
+
+    def test_explain_command(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(id integer);",
+                "\\explain select * from table T",
+                "\\q",
+            ],
+        )
+        assert "TABLE SELECT from T" in out
+
+    def test_explain_error_handled(self, monkeypatch, capsys):
+        rc, out, err = run_repl(
+            monkeypatch,
+            capsys,
+            ["\\explain select * from table Nope", "\\q"],
+        )
+        assert "error:" in err
+
+    def test_unknown_backslash_command(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(monkeypatch, capsys, ["\\wat", "\\q"])
+        assert "unknown command" in out
+
+    def test_demo_command_loads(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            ["\\vertices", "\\q"],
+            argv=("demo", "berlin", "--scale", "30"),
+        )
+        assert "loaded demo 'berlin'" in out
+        assert "ProductVtx" in out

@@ -1,0 +1,136 @@
+"""Tests for the Berlin (BSBM) generator and its query catalog."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.berlin import (
+    BERLIN_DDL,
+    QUERIES,
+    BerlinData,
+    berlin_database,
+    generate_berlin,
+    write_berlin_csvs,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_berlin(50, seed=3)
+        b = generate_berlin(50, seed=3)
+        assert a.tables == b.tables
+
+    def test_seed_changes_data(self):
+        a = generate_berlin(50, seed=3)
+        b = generate_berlin(50, seed=4)
+        assert a.tables != b.tables
+
+    def test_scale_proportions(self):
+        data = generate_berlin(100, seed=1)
+        counts = data.counts()
+        assert counts["Products"] == 100
+        assert counts["Offers"] == 400
+        assert counts["Reviews"] == 200
+        assert counts["Producers"] == 4
+
+    def test_foreign_keys_valid(self):
+        data = generate_berlin(60, seed=2)
+        products = {r[0] for r in data.tables["Products"]}
+        producers = {r[0] for r in data.tables["Producers"]}
+        for row in data.tables["Products"]:
+            assert row[4] in producers
+        for row in data.tables["Offers"]:
+            assert row[2] in products
+        for row in data.tables["Reviews"]:
+            assert row[2] in products
+
+    def test_type_hierarchy_rooted(self):
+        data = generate_berlin(80, seed=2)
+        by_id = {r[0]: r for r in data.tables["Types"]}
+        roots = [r for r in data.tables["Types"] if r[3] is None]
+        assert len(roots) == 1
+        # every chain reaches the root
+        for r in data.tables["Types"]:
+            seen = set()
+            cur = r
+            while cur[3] is not None:
+                assert cur[0] not in seen  # no cycles
+                seen.add(cur[0])
+                cur = by_id[cur[3]]
+
+    def test_product_types_include_ancestors(self):
+        data = generate_berlin(60, seed=2)
+        by_product = {}
+        for pid, tid in data.tables["ProductTypes"]:
+            by_product.setdefault(pid, set()).add(tid)
+        by_id = {r[0]: r for r in data.tables["Types"]}
+        for pid, tids in list(by_product.items())[:10]:
+            for tid in tids:
+                parent = by_id[tid][3]
+                if parent is not None:
+                    assert parent in tids  # closure property
+
+
+class TestDatabase:
+    def test_loads_full_schema(self, berlin_db):
+        db = berlin_db.db
+        assert set(db.vertex_types) >= {
+            "TypeVtx", "FeatureVtx", "ProducerVtx", "ProductVtx",
+            "VendorVtx", "OfferVtx", "PersonVtx", "ReviewVtx",
+        }
+        assert set(db.edge_types) >= {
+            "subclass", "producer", "type", "feature", "product",
+            "vendor", "reviewFor", "reviewer",
+        }
+
+    def test_export_edge_built(self, berlin_db):
+        # Fig. 4/5 construct: cross-country producer->vendor edges
+        et = berlin_db.db.edge_type("export")
+        pc = berlin_db.db.vertex_type("ProducerCountry")
+        vc = berlin_db.db.vertex_type("VendorCountry")
+        for eid in range(et.num_edges):
+            s, t = et.endpoints_of(eid)
+            assert pc.key_of(s)[0] != vc.key_of(t)[0]
+
+    def test_partition_invariants(self, berlin_db):
+        assert berlin_db.db.check_partition_invariants()
+
+    def test_every_catalog_query_runs(self, berlin_db_medium):
+        rng = np.random.default_rng(5)
+        data = generate_berlin(200, seed=13)
+        for name, spec in QUERIES.items():
+            params = spec.params(rng, data)
+            results = berlin_db_medium.execute(spec.graql, params)
+            assert results, name
+
+    def test_q2_counts_shared_features(self, berlin_db):
+        # validate the Fig. 6 semantics directly against the tables
+        t = berlin_db.query(QUERIES["berlin_q2"].graql,
+                            {"Product1": "product3"})
+        data = generate_berlin(60, seed=7)
+        feats = {}
+        for pid, f in data.tables["ProductFeatures"]:
+            feats.setdefault(pid, set()).add(f)
+        expected = {
+            pid: len(fs & feats["product3"])
+            for pid, fs in feats.items()
+            if pid != "product3" and fs & feats["product3"]
+        }
+        for pid, count in t.to_rows():
+            assert expected[pid] == count
+        # and the top row really is the maximum
+        if t.num_rows:
+            assert t.row(0)[1] == max(expected.values())
+
+
+class TestCSVExport:
+    def test_write_and_ingest_roundtrip(self, tmp_path):
+        from repro import Database
+
+        paths = write_berlin_csvs(str(tmp_path), scale=20, seed=3)
+        assert set(paths) == set(generate_berlin(20, 3).tables.keys())
+        db = Database()
+        db.execute(BERLIN_DDL)
+        for name, path in paths.items():
+            db.execute(f"ingest table {name} '{path}'")
+        assert db.vertex_count("ProductVtx") == 20
+        assert db.db.check_partition_invariants()

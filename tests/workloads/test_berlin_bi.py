@@ -1,0 +1,85 @@
+"""Business-intelligence query catalog validated against hand computations."""
+
+import datetime
+
+import pytest
+
+from repro.workloads.berlin import (
+    Q_FEATURES,
+    Q_RATINGS,
+    Q_VALID_OFFERS,
+    generate_berlin,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_berlin(120, seed=17)
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.workloads.berlin import berlin_database
+
+    return berlin_database(scale=120, seed=17)
+
+
+class TestValidOffers:
+    def test_date_window_and_rollup(self, db, data):
+        day = datetime.date(2010, 6, 1)
+        t = db.query(Q_VALID_OFFERS, params={"Day": day, "MinProp": 500})
+        # hand computation over the raw tables
+        products = {r[0]: r[5] for r in data.tables["Products"]}
+        vendors = {r[0]: r[5] for r in data.tables["Vendors"]}
+        ordinal = day.toordinal()
+        expected: dict[str, list[float]] = {}
+        for o in data.tables["Offers"]:
+            if not (o[5] <= ordinal <= o[6]):
+                continue
+            if products[o[2]] <= 500:
+                continue
+            expected.setdefault(vendors[o[3]], []).append(o[4])
+        got = {r[0]: (r[1], r[2]) for r in t.to_rows()}
+        assert set(got) == set(expected)
+        for country, (count, cheapest) in got.items():
+            assert count == len(expected[country])
+            assert cheapest == pytest.approx(min(expected[country]))
+
+    def test_ordering(self, db):
+        t = db.query(
+            Q_VALID_OFFERS,
+            params={"Day": datetime.date(2010, 6, 1), "MinProp": 0},
+        )
+        counts = [r[1] for r in t.to_rows()]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestRatings:
+    def test_per_product_rating_stats(self, db, data):
+        producer = data.tables["Producers"][0][0]
+        t = db.query(Q_RATINGS, params={"Producer1": producer, "MinRating": 0})
+        products_of = {
+            r[0] for r in data.tables["Products"] if r[4] == producer
+        }
+        expected: dict[str, list[int]] = {}
+        for rv in data.tables["Reviews"]:
+            if rv[2] in products_of:
+                expected.setdefault(rv[2], []).append(rv[7])
+        got = {r[0]: r for r in t.to_rows()}
+        assert set(got) == set(expected)
+        for pid, (_, reviews, mean, best) in got.items():
+            assert reviews == len(expected[pid])
+            assert mean == pytest.approx(
+                sum(expected[pid]) / len(expected[pid])
+            )
+            assert best == max(expected[pid])
+
+
+class TestFeaturePopularity:
+    def test_counts_match_relation_table(self, db, data):
+        t = db.query(Q_FEATURES)
+        by_feature: dict[str, int] = {}
+        for _pid, f in data.tables["ProductFeatures"]:
+            by_feature[f] = by_feature.get(f, 0) + 1
+        top10 = sorted(by_feature.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        assert t.to_rows() == top10

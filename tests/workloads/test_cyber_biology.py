@@ -1,0 +1,82 @@
+"""Tests for the cybersecurity and biology workloads."""
+
+import pytest
+
+from repro.workloads.biology import (
+    DOWNSTREAM,
+    PATHWAY_GENES,
+    biology_database,
+    generate_biology,
+)
+from repro.workloads.cyber import (
+    LATERAL_2HOP,
+    LATERAL_REGEX,
+    cyber_database,
+    generate_cyber,
+)
+
+
+class TestCyberGenerator:
+    def test_deterministic(self):
+        assert generate_cyber(seed=1) == generate_cyber(seed=1)
+
+    def test_flow_endpoints_valid(self):
+        data = generate_cyber(num_subnets=2, hosts_per_subnet=10)
+        ips = {h[0] for h in data["Hosts"]}
+        for f in data["Flows"]:
+            assert f[0] in ips and f[1] in ips
+
+    def test_single_dc(self):
+        data = generate_cyber()
+        dcs = [h for h in data["Hosts"] if h[3] == "dc"]
+        assert len(dcs) == 1
+
+    def test_planted_chain_present(self):
+        db = cyber_database()
+        sg = db.query_subgraph(LATERAL_2HOP)
+        assert sg.num_edges >= 2  # at least the planted chain's tail
+
+    def test_regex_reaches_dc(self):
+        db = cyber_database(num_subnets=2, hosts_per_subnet=8, flows_per_host=6)
+        sg = db.query_subgraph(LATERAL_REGEX)
+        host = db.db.vertex_type("HostVtx")
+        roles = {host.attributes_of(int(v))["role"] for v in sg.vertex_ids("HostVtx")}
+        assert "dc" in roles
+
+    def test_alert_join(self):
+        db = cyber_database()
+        t = db.query(
+            "select h.ip from graph foreach h: HostVtx ( ) --raised--> "
+            "AlertVtx (severity >= 5) into table T"
+        )
+        assert t.num_rows >= 1
+
+
+class TestBiologyGenerator:
+    def test_deterministic(self):
+        assert generate_biology(seed=2) == generate_biology(seed=2)
+
+    def test_encodes_bijection_per_gene(self):
+        data = generate_biology()
+        genes = {g[0] for g in data["Genes"]}
+        encoded = [e[0] for e in data["Encodes"]]
+        assert sorted(encoded) == sorted(genes)
+
+    def test_signal_flow_within_pathway_layers(self):
+        data = generate_biology(num_pathways=2)
+        kinds = {r[0]: r[1] for r in data["Reactions"]}
+        for up, down, _w in data["SignalFlow"]:
+            assert kinds[up] == kinds[down]  # same pathway
+
+    def test_downstream_closure(self):
+        db = biology_database(num_pathways=2, reactions_per_pathway=10)
+        sg = db.query_subgraph(DOWNSTREAM, params={"Gene": "SYM0_0"})
+        assert sg.vertex_ids("ReactionVtx").size > 0
+        assert sg.vertex_ids("GeneVtx").size == 1
+
+    def test_pathway_genes_table(self):
+        db = biology_database(num_pathways=3)
+        t = db.query(PATHWAY_GENES, params={"Pathway": "pathway2"})
+        symbols = [r[0] for r in t.to_rows()]
+        assert symbols == sorted(set(symbols))
+        assert all(s.startswith("SYM2_") for s in symbols)
