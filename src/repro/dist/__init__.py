@@ -19,15 +19,32 @@ every distributed code path the paper's design implies:
   results are asserted identical to the single-node engine in the test
   suite;
 * **distributed relational ops** (:mod:`repro.dist.dist_relops`) —
-  partial aggregation + hash shuffle + merge for the Table I subset.
+  partial aggregation + hash shuffle + merge for the Table I subset;
+* **fault tolerance** (:mod:`repro.dist.faults`,
+  :mod:`repro.dist.recovery`, docs/RELIABILITY.md) — seeded failure
+  injection (fail-stop kills, message drop/corrupt/delay), k-replica
+  shard placement with failover, checkpointed superstep retry, and a
+  circuit breaker that degrades to single-node execution.
 
 The simulation is sequential and deterministic; what it *measures* —
-messages, bytes moved, per-worker work, load balance — is what the
-paper's performance argument is about.
+messages, bytes moved, per-worker work, load balance, injected faults
+and recovery cost — is what the paper's performance argument is about.
 """
 
 from repro.dist.cluster import Cluster
 from repro.dist.comm import CommStats, Communicator
-from repro.dist.partition import Partitioner
+from repro.dist.faults import FaultInjector, FaultStats
+from repro.dist.partition import Partitioner, Placement
+from repro.dist.recovery import CircuitBreaker, RecoveryStats
 
-__all__ = ["Cluster", "Communicator", "CommStats", "Partitioner"]
+__all__ = [
+    "CircuitBreaker",
+    "Cluster",
+    "Communicator",
+    "CommStats",
+    "FaultInjector",
+    "FaultStats",
+    "Partitioner",
+    "Placement",
+    "RecoveryStats",
+]

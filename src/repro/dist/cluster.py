@@ -12,10 +12,21 @@ bidirectional edge-index shards, and a byte-accounting communicator.
 distributed BSP executor; everything else transparently falls back to the
 single-node engine (and says so), because the paper's design also keeps
 the front-end free to choose where a query runs.
+
+The cluster is fault-tolerant (docs/RELIABILITY.md): edge shards are
+placed with *k*-replica chained declustering
+(:class:`~repro.dist.partition.Placement`), a seeded
+:class:`~repro.dist.faults.FaultInjector` can kill workers and
+drop/corrupt/delay messages, failed supersteps are retried with
+exponential backoff and replica failover, and a
+:class:`~repro.dist.recovery.CircuitBreaker` degrades statements to
+verified single-node execution when the cluster keeps failing — with
+what-degraded-and-why surfaced on every ``StatementResult``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping, Optional
 
 import numpy as np
@@ -23,8 +34,10 @@ import numpy as np
 from repro.catalog import Catalog
 from repro.dist.comm import Communicator
 from repro.dist.dist_query import DistFrontierExecutor
-from repro.dist.partition import Partitioner, build_edge_shards
-from repro.errors import ExecutionError
+from repro.dist.faults import FaultInjector
+from repro.dist.partition import Partitioner, Placement, build_edge_shards
+from repro.dist.recovery import CircuitBreaker, RecoveryStats
+from repro.errors import BackendError, DegradedMode, ExecutionError
 from repro.graph.graphdb import GraphDB
 from repro.graql.ast import GraphSelect, INTO_SUBGRAPH, Statement
 from repro.graql.parser import parse_script
@@ -45,16 +58,46 @@ MAX_REFINE_ROUNDS = 4
 class Cluster:
     """A GraphDB partitioned over *num_workers* simulated nodes."""
 
-    def __init__(self, db: GraphDB, num_workers: int, catalog: Optional[Catalog] = None) -> None:
+    def __init__(
+        self,
+        db: GraphDB,
+        num_workers: int,
+        catalog: Optional[Catalog] = None,
+        *,
+        replication: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        allow_degraded: bool = True,
+        statement_timeout_s: Optional[float] = None,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.001,
+    ) -> None:
         self.db = db
         self.catalog = catalog or Catalog.from_db(db)
         self.partitioner = Partitioner(num_workers)
-        self.comm = Communicator(num_workers)
+        self.placement = Placement(num_workers, replication)
+        self.injector = fault_injector
+        self.comm = Communicator(
+            num_workers, placement=self.placement, injector=fault_injector
+        )
         self.shards = build_edge_shards(db, self.partitioner)
+        self.breaker = breaker or CircuitBreaker()
+        self.allow_degraded = allow_degraded
+        self.statement_timeout_s = statement_timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        #: statements that fell back to single-node because of faults
+        self.degraded_statements = 0
+        #: recovery cost accumulated across all statements
+        self.recovery_totals = RecoveryStats()
 
     @property
     def num_workers(self) -> int:
         return self.partitioner.num_workers
+
+    @property
+    def replication(self) -> int:
+        return self.placement.replication
 
     def rebuild(self) -> None:
         """Re-shard after ingest/DDL changed the graph."""
@@ -68,18 +111,20 @@ class Cluster:
         self,
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> list[StatementResult]:
         """Execute a script, running set-semantics graph selects
         distributed and everything else on the single-node engine."""
         results = []
         for stmt in parse_script(graql).statements:
-            results.append(self.execute_statement(stmt, params))
+            results.append(self.execute_statement(stmt, params, timeout_s=timeout_s))
         return results
 
     def execute_statement(
         self,
         stmt: Statement,
         params: Optional[Mapping[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> StatementResult:
         if params:
             stmt = substitute_statement(stmt, params)
@@ -92,13 +137,49 @@ class Cluster:
                 and not checked.pattern.has_edge_labels
             ):
                 if stmt.into is None or stmt.into.kind == INTO_SUBGRAPH:
-                    return self.run_graph_select(checked)
+                    return self._run_distributed_or_degrade(checked, stmt, timeout_s)
         result = execute_statement(self.db, self.catalog, stmt)
         if stmt.__class__.__name__ in ("CreateTable", "CreateVertex", "CreateEdge", "Ingest"):
             self.rebuild()
         return result
 
-    def run_graph_select(self, checked: CheckedGraphSelect) -> StatementResult:
+    # ------------------------------------------------------------------
+    # Degradation policy: breaker-gated distributed attempt, verified
+    # single-node fallback ("the server is free to choose where a query
+    # runs" — under faults, it chooses the node that still works)
+    # ------------------------------------------------------------------
+    def _run_distributed_or_degrade(
+        self,
+        checked: CheckedGraphSelect,
+        stmt: GraphSelect,
+        timeout_s: Optional[float],
+    ) -> StatementResult:
+        if self.breaker.allow():
+            try:
+                result = self.run_graph_select(checked, timeout_s=timeout_s)
+                self.breaker.record_success()
+                return result
+            except BackendError as exc:
+                self.breaker.record_failure()
+                reason = f"{type(exc).__name__}: {exc}"
+        else:
+            reason = "circuit breaker open"
+        if not self.allow_degraded:
+            raise DegradedMode(
+                f"distributed execution unavailable ({reason}) and degraded "
+                "single-node fallback is disabled"
+            )
+        self.degraded_statements += 1
+        result = execute_statement(self.db, self.catalog, stmt)
+        result.degraded = True
+        result.degraded_reason = reason
+        return result
+
+    def run_graph_select(
+        self,
+        checked: CheckedGraphSelect,
+        timeout_s: Optional[float] = None,
+    ) -> StatementResult:
         """Distributed set-semantics execution of a graph select."""
         stmt = checked.stmt
         plan = plan_graph_select(checked, self.catalog, force_strategy="set")
@@ -107,7 +188,20 @@ class Cluster:
         name_map = NameMap()
         for i, a in enumerate(atoms):
             name_map.add_atom(i, a)
-        fx = DistFrontierExecutor(self.db, self.shards, self.partitioner, self.comm)
+        budget = timeout_s if timeout_s is not None else self.statement_timeout_s
+        deadline = time.monotonic() + budget if budget is not None else None
+        recovery = RecoveryStats()
+        fx = DistFrontierExecutor(
+            self.db,
+            self.shards,
+            self.partitioner,
+            self.comm,
+            placement=self.placement,
+            recovery=recovery,
+            max_retries=self.max_retries,
+            backoff_base_s=self.backoff_base_s,
+            deadline=deadline,
+        )
         results: dict[int, object] = {}
 
         def run_all():
@@ -149,8 +243,13 @@ class Cluster:
             self.catalog.subgraphs[subgraph.name] = {
                 k: len(v) for k, v in subgraph.vertices.items()
             }
+        self.recovery_totals.merge(recovery)
         return StatementResult(
-            "subgraph", subgraph=subgraph, count=subgraph.num_vertices, plan=plan
+            "subgraph",
+            subgraph=subgraph,
+            count=subgraph.num_vertices,
+            plan=plan,
+            recovery=recovery.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -159,8 +258,34 @@ class Cluster:
     def comm_stats(self) -> dict:
         return self.comm.stats.snapshot()
 
+    def fault_stats(self) -> dict:
+        """Injected-fault counters (empty when no injector is attached)."""
+        return self.injector.stats.snapshot() if self.injector is not None else {}
+
+    def reliability_stats(self) -> dict:
+        """One roll-up of the whole fault story: placement, breaker,
+        degradation counts, cumulative recovery cost, injected faults."""
+        return {
+            "replication": self.replication,
+            "live_workers": len(self.placement.live),
+            "failed_workers": self.placement.num_failed,
+            "degraded_statements": self.degraded_statements,
+            "breaker": self.breaker.snapshot(),
+            "recovery": self.recovery_totals.snapshot(),
+            "faults": self.fault_stats(),
+        }
+
+    def heal(self) -> None:
+        """Start a fresh placement epoch: revive every worker, close the
+        breaker.  (The injector keeps its stats; re-arm via its own
+        ``reset``.)"""
+        self.placement.restore_all()
+        self.breaker.reset()
+
     def reset_stats(self) -> None:
         self.comm.reset()
+        self.recovery_totals = RecoveryStats()
+        self.degraded_statements = 0
 
     def edge_balance(self) -> dict:
         """Per-worker forward-edge counts and the max/mean imbalance."""
@@ -181,15 +306,21 @@ class Cluster:
         the global vid range and are a fixed per-worker overhead of this
         shard layout; ``payload_only=True`` excludes them to expose the
         partitionable fraction (the aggregated-memory scaling argument).
+
+        With ``replication=k`` each worker stores its primary shard plus
+        copies of the k-1 partitions it replicates, so per-worker memory
+        is ~k times the unreplicated cost — the price of surviving
+        fail-stop without data loss.
         """
         out = []
         for w in range(self.num_workers):
             total = 0
-            for s in self.shards[w].values():
-                total += s.forward.neighbors.nbytes + s.forward.eids.nbytes
-                total += s.reverse.neighbors.nbytes + s.reverse.eids.nbytes
-                if not payload_only:
-                    total += s.forward.indptr.nbytes + s.reverse.indptr.nbytes
+            for p in self.placement.partitions_stored_by(w):
+                for s in self.shards[p].values():
+                    total += s.forward.neighbors.nbytes + s.forward.eids.nbytes
+                    total += s.reverse.neighbors.nbytes + s.reverse.eids.nbytes
+                    if not payload_only:
+                        total += s.forward.indptr.nbytes + s.reverse.indptr.nbytes
             out.append(int(total))
         return out
 

@@ -1,4 +1,4 @@
-"""Explicit message-passing layer with byte accounting.
+"""Explicit message-passing layer with byte and fault accounting.
 
 Models the mpi4py-style alltoall exchange the GEMS backend performs each
 superstep: every worker contributes one payload per destination, the
@@ -8,7 +8,25 @@ cost alongside wall-clock time.
 
 Payloads are NumPy arrays (or tuples of arrays); their ``nbytes`` plus a
 fixed per-message envelope is the accounted size — the same first-order
-cost model MPI messages have (size + latency envelope).
+cost model MPI messages have (size + latency envelope).  Every remote
+non-``None`` delivery pays the envelope, including zero-byte payloads:
+an empty array on the wire is still a message with a header and a
+latency hit.
+
+Two optional collaborators make the layer fault-aware
+(docs/RELIABILITY.md):
+
+* a :class:`~repro.dist.partition.Placement` maps logical partitions to
+  the physical workers currently serving them, so traffic between
+  partitions that failed over onto the same worker is local (free) and a
+  lost partition raises a fatal :class:`~repro.errors.WorkerFailed`;
+* a :class:`~repro.dist.faults.FaultInjector` can fail-stop workers at
+  barrier entry (retryable :class:`~repro.errors.WorkerFailed`) and
+  drop, corrupt, or delay individual remote messages.  Drops and
+  corruption are detected at the barrier (missing ack / checksum
+  mismatch) and raised as retryable :class:`~repro.errors.CommFailure`
+  *after* the whole exchange is accounted — the failed attempt's traffic
+  is real and shows up as recovery overhead.
 """
 
 from __future__ import annotations
@@ -16,6 +34,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 import numpy as np
+
+from repro.errors import CommFailure, WorkerFailed
+from repro.dist.faults import CORRUPT, DELIVER, DROP, FaultInjector
+from repro.dist.partition import Placement
 
 #: accounted fixed cost per message (header/latency envelope), in bytes
 ENVELOPE_BYTES = 64
@@ -28,6 +50,7 @@ class CommStats:
         self.messages = 0
         self.bytes = 0
         self.supersteps = 0
+        self.delay_ms = 0.0
 
     def record(self, payload_bytes: int) -> None:
         self.messages += 1
@@ -38,6 +61,7 @@ class CommStats:
             "messages": self.messages,
             "bytes": self.bytes,
             "supersteps": self.supersteps,
+            "delay_ms": round(self.delay_ms, 3),
         }
 
     def __repr__(self) -> str:
@@ -64,26 +88,84 @@ def _payload_nbytes(payload) -> int:
 class Communicator:
     """All-to-all exchange between *n* workers with cost accounting."""
 
-    def __init__(self, num_workers: int) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        placement: Optional[Placement] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         self.num_workers = num_workers
+        self.placement = placement
+        self.injector = injector
         self.stats = CommStats()
+
+    # ------------------------------------------------------------------
+    def _serving(self, partition: int) -> int:
+        """Physical worker serving a logical partition (identity w/o placement)."""
+        if self.placement is None:
+            return partition
+        return self.placement.serving(partition)
 
     def alltoall(self, outboxes: Sequence[Sequence[object]]) -> list[list[object]]:
         """Route ``outboxes[src][dst]`` to ``inboxes[dst][src]``.
 
-        Local deliveries (src == dst) are free — data already lives in the
-        worker's memory; remote deliveries are accounted.
+        Indices are *logical partitions*; with a placement attached they
+        are mapped to the physical workers currently serving them.
+        Deliveries between partitions on the same physical worker are
+        free — the data already lives in that worker's memory; remote
+        deliveries are accounted (payload + envelope, even when empty).
+
+        Fail-stop kills due at this barrier raise a retryable
+        :class:`WorkerFailed` before any routing; dropped/corrupted
+        messages raise :class:`CommFailure` after the exchange has been
+        fully accounted.
         """
         n = self.num_workers
         assert len(outboxes) == n and all(len(o) == n for o in outboxes)
+        if self.injector is not None:
+            live = (
+                self.placement.live if self.placement is not None else range(n)
+            )
+            victim = self.injector.poll_kill(self.stats.supersteps, live)
+            if victim is not None:
+                self.stats.supersteps += 1
+                raise WorkerFailed(
+                    f"worker {victim} fail-stopped at superstep "
+                    f"{self.stats.supersteps - 1}",
+                    worker=victim,
+                )
+        # physical route of every partition; raises fatal WorkerFailed if
+        # any partition has no live replica left (its DRAM slice is gone)
+        phys = [self._serving(p) for p in range(n)]
         inboxes: list[list[object]] = [[None] * n for _ in range(n)]
+        lost = 0
         for src in range(n):
             for dst in range(n):
                 payload = outboxes[src][dst]
-                inboxes[dst][src] = payload
-                if src != dst and payload is not None and _payload_nbytes(payload) > 0:
-                    self.stats.record(_payload_nbytes(payload))
+                if payload is None:
+                    continue
+                if phys[src] == phys[dst]:
+                    inboxes[dst][src] = payload
+                    continue
+                delivered = True
+                if self.injector is not None:
+                    fate, delay = self.injector.message_fate(phys[src], phys[dst])
+                    if fate in (DROP, CORRUPT):
+                        delivered = False
+                        lost += 1
+                    elif delay:
+                        self.stats.delay_ms += delay
+                    assert fate in (DELIVER, DROP, CORRUPT)
+                # the attempt's traffic is real even when it fails
+                self.stats.record(_payload_nbytes(payload))
+                if delivered:
+                    inboxes[dst][src] = payload
         self.stats.supersteps += 1
+        if lost:
+            raise CommFailure(
+                f"{lost} message(s) lost or corrupted at superstep "
+                f"{self.stats.supersteps - 1}; superstep must be retried"
+            )
         return inboxes
 
     def broadcast(self, root: int, payload: object) -> None:
@@ -97,7 +179,7 @@ class Communicator:
     def gather(self, payloads: Sequence[object], root: int = 0) -> list[object]:
         """Account a gather of per-worker payloads to *root*."""
         for src, p in enumerate(payloads):
-            if src != root and _payload_nbytes(p) > 0:
+            if src != root and p is not None:
                 self.stats.record(_payload_nbytes(p))
         self.stats.supersteps += 1
         return list(payloads)

@@ -15,15 +15,31 @@ The backward cull mirrors the forward pass with the opposite shards.
 Results are bit-identical to the single-node executor
 (:class:`repro.query.frontier.FrontierExecutor`) — a property the test
 suite asserts on randomized workloads.
+
+**Fault tolerance** (docs/RELIABILITY.md): each communication superstep
+is a natural checkpoint — its inputs (the ``forward[i]``/``culled[i]``
+frontier state) are retained by ``run_atom``, so when a barrier fails
+(a worker fail-stops, a message is dropped or corrupted) only the
+affected superstep is re-run, with exponential backoff.  A fail-stopped
+worker's partitions fail over to their replicas via the
+:class:`~repro.dist.partition.Placement` before the retry; the retry
+budget, backoff, and the failed attempts' extra traffic are tallied in
+:class:`~repro.dist.recovery.RecoveryStats`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import (
+    BackendError,
+    ExecutionError,
+    QueryTimeout,
+    WorkerFailed,
+)
 from repro.graph.graphdb import GraphDB
 from repro.graql.ast import DIR_OUT
 from repro.graql.typecheck import RAtom, REdgeStep, RRegex, RVertexStep
@@ -37,7 +53,8 @@ from repro.query.frontier import (
     unroll_counted_regexes,
 )
 from repro.dist.comm import Communicator
-from repro.dist.partition import EdgeShard, Partitioner
+from repro.dist.partition import EdgeShard, Partitioner, Placement
+from repro.dist.recovery import RecoveryStats
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -77,6 +94,11 @@ class DistFrontierExecutor:
         partitioner: Partitioner,
         comm: Communicator,
         label_env: Optional[dict[str, SetDict]] = None,
+        placement: Optional[Placement] = None,
+        recovery: Optional[RecoveryStats] = None,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.001,
+        deadline: Optional[float] = None,
     ) -> None:
         self.db = db
         self.shards = shards
@@ -84,8 +106,71 @@ class DistFrontierExecutor:
         self.comm = comm
         self.label_env: dict[str, SetDict] = label_env if label_env is not None else {}
         self.pin_labels: dict[str, SetDict] = {}
+        self.placement = placement
+        self.recovery = recovery if recovery is not None else RecoveryStats()
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        #: absolute time.monotonic() deadline for the whole statement
+        self.deadline = deadline
         #: per-worker count of edges expanded (load-balance metric)
         self.work_per_worker = np.zeros(partitioner.num_workers, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Fault handling: checkpointed superstep retry with failover
+    # ------------------------------------------------------------------
+    def _phys(self, partition: int) -> int:
+        """Physical worker currently serving a logical partition."""
+        if self.placement is None:
+            return partition
+        return self.placement.serving(partition)
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeout("statement exceeded its timeout budget")
+
+    def _superstep(self, fn: Callable[[], object]) -> object:
+        """Run one superstep, retrying retryable backend faults.
+
+        The callable must be a pure function of already-checkpointed
+        frontier state (everything in ``forward[]``/``culled[]``), which
+        makes re-running it after a failure safe.  A fail-stopped worker
+        is failed over to its replicas before the retry; the failed
+        attempt's traffic is added to the recovery cost.  Retries back
+        off exponentially; exhausting the budget escalates to a fatal
+        :class:`WorkerFailed`, which the cluster's degradation policy
+        turns into single-node fallback.
+        """
+        attempt = 0
+        while True:
+            self._check_deadline()
+            msgs0 = self.comm.stats.messages
+            bytes0 = self.comm.stats.bytes
+            try:
+                return fn()
+            except BackendError as exc:
+                self.recovery.extra_messages += self.comm.stats.messages - msgs0
+                self.recovery.extra_bytes += self.comm.stats.bytes - bytes0
+                if (
+                    isinstance(exc, WorkerFailed)
+                    and exc.retryable
+                    and exc.worker is not None
+                    and self.placement is not None
+                ):
+                    self.placement.fail(exc.worker)
+                    self.recovery.failovers += 1
+                if not exc.retryable:
+                    raise
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise WorkerFailed(
+                        f"superstep failed after {attempt} attempts: {exc}",
+                        retryable=False,
+                    ) from exc
+                self.recovery.retries += 1
+                backoff = self.backoff_base_s * (2 ** (attempt - 1))
+                self.recovery.backoff_ms += backoff * 1000.0
+                if backoff > 0:
+                    time.sleep(backoff)
 
     # ------------------------------------------------------------------
     def _vertex_select(self, step: RVertexStep, incoming: Optional[DistSets]) -> DistSets:
@@ -157,7 +242,7 @@ class DistFrontierExecutor:
                 shard = self.shards[w][ename]
                 index = shard.forward if along else shard.reverse
                 _, tgts, eids = index.expand_restricted(fr, allowed)
-                self.work_per_worker[w] += len(eids)
+                self.work_per_worker[self._phys(w)] += len(eids)
                 local_eids.append(np.unique(eids))
                 if len(tgts):
                     buckets = self.partitioner.split_by_owner(np.unique(tgts))
@@ -205,7 +290,13 @@ class DistFrontierExecutor:
         while i < n_steps:
             estep, vstep = steps[i], steps[i + 1]
             assert isinstance(estep, REdgeStep) and isinstance(vstep, RVertexStep)
-            frontier, eids = self._edge_expand(estep, forward[i - 1], vstep.types)
+            # the superstep reads only checkpointed frontier state
+            # (forward[i-1]), so a barrier fault re-runs just this step
+            frontier, eids = self._superstep(
+                lambda e=estep, f=forward[i - 1], t=vstep.types: self._edge_expand(
+                    e, f, t
+                )
+            )
             forward[i] = eids  # SetDict (global eids)
             forward[i + 1] = self._vertex_select(vstep, frontier)
             self._record_label(vstep, forward[i + 1])
@@ -217,8 +308,10 @@ class DistFrontierExecutor:
         while i > 0:
             estep = steps[i]
             assert isinstance(estep, REdgeStep)
-            prev, kept = self._cull_edge(
-                estep, culled[i + 1], forward[i - 1], forward[i]
+            prev, kept = self._superstep(
+                lambda e=estep, cn=culled[i + 1], fp=forward[i - 1], fe=forward[
+                    i
+                ]: self._cull_edge(e, cn, fp, fe)
             )
             culled[i] = kept
             culled[i - 1] = prev
@@ -277,7 +370,7 @@ class DistFrontierExecutor:
                 shard = self.shards[w][ename]
                 index = shard.forward if along else shard.reverse
                 _, tgts, eids = index.expand_restricted(fr, allowed)
-                self.work_per_worker[w] += len(eids)
+                self.work_per_worker[self._phys(w)] += len(eids)
                 mask = _in_sorted(tgts, prev_global.get(to_type, _EMPTY))
                 if mask.any():
                     local_keep.append(np.unique(eids[mask]))

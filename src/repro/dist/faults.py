@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The GEMS design keeps the whole database "resident on the aggregated
+memory of the compute nodes" (Section III), which makes node loss a
+first-class event any real deployment must survive.  The simulation
+models the classic fault classes of an MPI-style substrate:
+
+* **fail-stop worker kills** — a worker dies at a superstep barrier and
+  stays dead for the rest of the placement epoch (until
+  :meth:`repro.dist.Cluster.heal`);
+* **message drops** — a remote payload never arrives; detected at the
+  barrier (missing ack) and surfaced as a retryable
+  :class:`~repro.errors.CommFailure`;
+* **message corruption** — the envelope checksum mismatches on arrival;
+  also detected at the barrier, also retryable;
+* **message delays** — the payload arrives late; semantics are unchanged
+  (the BSP barrier absorbs the wait) but the latency is accounted in
+  :class:`~repro.dist.comm.CommStats` as ``delay_ms``.
+
+Everything is driven by one seeded ``random.Random`` stream, so a given
+seed yields the same fault schedule, the same retries, and therefore the
+same results — the determinism the property tests assert.  Kills can
+also be pinned explicitly with ``kill_schedule`` (superstep -> workers),
+which is what the recovery tests and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+#: message fates returned by :meth:`FaultInjector.message_fate`
+DELIVER = "deliver"
+DROP = "drop"
+CORRUPT = "corrupt"
+
+
+class FaultStats:
+    """Running counters of injected faults (alongside byte accounting)."""
+
+    def __init__(self) -> None:
+        self.kills = 0
+        self.drops = 0
+        self.corruptions = 0
+        self.delays = 0
+        self.delay_ms = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kills": self.kills,
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+            "delays": self.delays,
+            "delay_ms": round(self.delay_ms, 3),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultStats(kills={self.kills}, drops={self.drops}, "
+            f"corruptions={self.corruptions}, delays={self.delays})"
+        )
+
+
+class FaultInjector:
+    """Seeded source of worker kills and message-level faults.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the single RNG stream; identical seeds reproduce the exact
+        fault schedule (and, through deterministic recovery, results).
+    kill_schedule:
+        Explicit ``{superstep: [worker, ...]}`` fail-stop schedule, keyed
+        by the communicator's superstep counter at barrier entry.  Each
+        scheduled kill fires at most once.
+    kill_prob:
+        Additional per-superstep probability of killing one random live
+        worker (capped by ``max_kills``).
+    drop_prob / corrupt_prob / delay_prob:
+        Per-remote-message probabilities of the respective fault.
+    delay_ms:
+        ``(lo, hi)`` range a delayed message is late by.
+    max_kills:
+        Upper bound on probabilistic kills (scheduled kills always fire).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kill_schedule: Optional[dict[int, Sequence[int]]] = None,
+        kill_prob: float = 0.0,
+        drop_prob: float = 0.0,
+        corrupt_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        delay_ms: tuple[float, float] = (1.0, 10.0),
+        max_kills: Optional[int] = None,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.kill_schedule = {
+            int(s): list(ws) for s, ws in (kill_schedule or {}).items()
+        }
+        self.kill_prob = kill_prob
+        self.drop_prob = drop_prob
+        self.corrupt_prob = corrupt_prob
+        self.delay_prob = delay_prob
+        self.delay_range = delay_ms
+        self.max_kills = max_kills
+        self.stats = FaultStats()
+        self._prob_kills = 0
+
+    # ------------------------------------------------------------------
+    def poll_kill(self, superstep: int, live: Iterable[int]) -> Optional[int]:
+        """One fail-stop kill due at this barrier, or ``None``.
+
+        Scheduled kills for *superstep* fire first (one per call — a
+        simultaneous multi-kill surfaces as consecutive barrier failures,
+        each triggering its own failover).  Then the probabilistic draw.
+        Dead workers cannot die twice.
+        """
+        live = set(live)
+        pending = self.kill_schedule.get(superstep)
+        while pending:
+            w = pending.pop(0)
+            if w in live:
+                self.stats.kills += 1
+                return w
+        if self.kill_prob > 0 and live:
+            if self.max_kills is None or self._prob_kills < self.max_kills:
+                if self.rng.random() < self.kill_prob:
+                    w = self.rng.choice(sorted(live))
+                    self._prob_kills += 1
+                    self.stats.kills += 1
+                    return w
+        return None
+
+    def message_fate(self, src: int, dst: int) -> tuple[str, float]:
+        """Fate of one remote message: ``(DELIVER|DROP|CORRUPT, delay_ms)``."""
+        if self.drop_prob > 0 and self.rng.random() < self.drop_prob:
+            self.stats.drops += 1
+            return DROP, 0.0
+        if self.corrupt_prob > 0 and self.rng.random() < self.corrupt_prob:
+            self.stats.corruptions += 1
+            return CORRUPT, 0.0
+        delay = 0.0
+        if self.delay_prob > 0 and self.rng.random() < self.delay_prob:
+            delay = self.rng.uniform(*self.delay_range)
+            self.stats.delays += 1
+            self.stats.delay_ms += delay
+        return DELIVER, delay
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault class can still fire."""
+        return bool(
+            self.kill_schedule
+            or self.kill_prob
+            or self.drop_prob
+            or self.corrupt_prob
+            or self.delay_prob
+        )
+
+    def reset(self, kill_schedule: Optional[dict[int, Sequence[int]]] = None) -> None:
+        """Re-arm: fresh RNG stream from the original seed, fresh stats."""
+        self.rng = random.Random(self.seed)
+        self.stats = FaultStats()
+        self._prob_kills = 0
+        if kill_schedule is not None:
+            self.kill_schedule = {
+                int(s): list(ws) for s, ws in kill_schedule.items()
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.seed}, kills={self.stats.kills}, "
+            f"drops={self.stats.drops})"
+        )

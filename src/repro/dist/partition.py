@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkerFailed
 from repro.graph.edge_index import EdgeIndex
 from repro.graph.graphdb import GraphDB
 
@@ -40,6 +41,76 @@ class Partitioner:
         return [
             np.unique(vids[owners == w]) for w in range(self.num_workers)
         ]
+
+
+class Placement:
+    """k-replica placement of logical partitions onto physical workers.
+
+    Partition *p* (the ``vid % n`` bucket) is primarily served by worker
+    *p*; its shard is additionally replicated on the next ``k - 1``
+    workers ring-wise (chained declustering).  When a worker fail-stops,
+    :meth:`serving` routes its partitions to the first live replica — no
+    reshard, no rebuild — and messages between partitions that now share
+    a physical worker become local (free) in the communicator.
+
+    With ``replication=1`` (the default) this is the identity mapping and
+    any worker loss makes its partitions unrecoverable (fatal
+    :class:`~repro.errors.WorkerFailed` — the data lived only in that
+    worker's DRAM).
+    """
+
+    def __init__(self, num_partitions: int, replication: int = 1) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        if not 1 <= replication <= num_partitions:
+            raise ValueError(
+                f"replication must be in [1, {num_partitions}], got {replication}"
+            )
+        self.num_partitions = num_partitions
+        self.replication = replication
+        self.replica_map = [
+            [(p + i) % num_partitions for i in range(replication)]
+            for p in range(num_partitions)
+        ]
+        self.live: set[int] = set(range(num_partitions))
+
+    def serving(self, partition: int) -> int:
+        """Physical worker currently serving *partition* (first live replica)."""
+        for w in self.replica_map[partition]:
+            if w in self.live:
+                return w
+        raise WorkerFailed(
+            f"partition {partition} lost: all {self.replication} replica(s) dead",
+            partition=partition,
+            retryable=False,
+        )
+
+    def fail(self, worker: int) -> None:
+        """Mark *worker* fail-stopped; its partitions fail over on next use."""
+        self.live.discard(worker)
+
+    def is_live(self, worker: int) -> bool:
+        return worker in self.live
+
+    @property
+    def num_failed(self) -> int:
+        return self.num_partitions - len(self.live)
+
+    def partitions_stored_by(self, worker: int) -> list[int]:
+        """Partitions whose shard *worker* holds a copy of (primary or replica)."""
+        return [
+            p for p in range(self.num_partitions) if worker in self.replica_map[p]
+        ]
+
+    def restore_all(self) -> None:
+        """Bring every worker back (a fresh placement epoch)."""
+        self.live = set(range(self.num_partitions))
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement(partitions={self.num_partitions}, "
+            f"k={self.replication}, live={len(self.live)})"
+        )
 
 
 class EdgeShard:

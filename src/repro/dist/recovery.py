@@ -1,0 +1,123 @@
+"""Recovery bookkeeping and the cluster circuit breaker.
+
+Two small pieces glue the fault model (:mod:`repro.dist.faults`) to the
+degradation policy in :class:`repro.dist.Cluster`:
+
+* :class:`RecoveryStats` — per-statement cost of surviving faults:
+  superstep retries, worker failovers, simulated backoff, and the extra
+  messages/bytes burned by failed superstep attempts.  Surfaced through
+  ``StatementResult.recovery`` so callers (and the robustness benchmark)
+  can see exactly what recovery cost relative to a failure-free run.
+
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine over *fatal* distributed failures.  After ``failure_threshold``
+  consecutive failures the breaker opens and the cluster routes
+  statements straight to verified single-node execution (the paper's
+  front-end "is free to choose where a query runs" — degradation is just
+  that choice made under duress).  After ``reset_timeout_s`` the breaker
+  half-opens and one probe statement is allowed through; success closes
+  it, failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class RecoveryStats:
+    """Cost counters for one statement's fault recovery."""
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.failovers = 0
+        self.backoff_ms = 0.0
+        self.extra_messages = 0
+        self.extra_bytes = 0
+
+    def merge(self, other: "RecoveryStats") -> None:
+        self.retries += other.retries
+        self.failovers += other.failovers
+        self.backoff_ms += other.backoff_ms
+        self.extra_messages += other.extra_messages
+        self.extra_bytes += other.extra_bytes
+
+    def snapshot(self) -> dict:
+        return {
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "backoff_ms": round(self.backoff_ms, 3),
+            "extra_messages": self.extra_messages,
+            "extra_bytes": self.extra_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryStats(retries={self.retries}, "
+            f"failovers={self.failovers}, extra_bytes={self.extra_bytes})"
+        )
+
+
+class CircuitBreaker:
+    """Trip to single-node fallback after repeated cluster failures.
+
+    ``clock`` is injectable so tests can drive the open -> half-open
+    transition without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allow(self) -> bool:
+        """Whether a distributed attempt may proceed right now."""
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.reset_timeout_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # closed or half-open probe
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = self.clock()
+            self.trips += 1
+
+    def reset(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+        }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state}, trips={self.trips})"

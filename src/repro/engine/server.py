@@ -70,7 +70,10 @@ class Server:
     """
 
     def __init__(
-        self, backend: Optional[GraphDB] = None, workers: Optional[int] = None
+        self,
+        backend: Optional[GraphDB] = None,
+        workers: Optional[int] = None,
+        cluster_opts: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.backend = backend or GraphDB()
         self.catalog = Catalog.from_db(self.backend)
@@ -78,10 +81,14 @@ class Server:
         if workers is not None:
             from repro.dist import Cluster
 
-            self.cluster = Cluster(self.backend, workers, self.catalog)
+            self.cluster = Cluster(
+                self.backend, workers, self.catalog, **dict(cluster_opts or {})
+            )
         self.users: dict[str, User] = {"admin": User("admin", ROLE_ADMIN)}
         #: total IR bytes shipped to the backend (measured, Section III)
         self.ir_bytes_shipped = 0
+        #: statements the cluster answered via single-node fallback
+        self.degraded_statements = 0
 
     # ------------------------------------------------------------------
     # Account management
@@ -98,7 +105,9 @@ class Server:
         self._require(admin, ROLE_ADMIN)
         if name == "admin":
             raise AccessError("the admin account cannot be dropped")
-        self.users.pop(name, None)
+        if name not in self.users:
+            raise AccessError(f"unknown user {name!r}")
+        del self.users[name]
 
     def _require(self, username: str, role: str) -> User:
         user = self.users.get(username)
@@ -140,12 +149,20 @@ class Server:
         username: str,
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> list[StatementResult]:
         """Compile on the front-end, ship IR, execute on the backend.
 
         The backend decodes each statement from its IR bytes — the
         round-trip is real, not decorative, so the IR is exercised on
         every submission.
+
+        ``timeout_s`` is a per-statement wall-clock budget for the
+        distributed backend; a statement that blows it degrades to
+        single-node execution (or raises
+        :class:`~repro.errors.DegradedMode` when fallback is disabled).
+        Results answered degraded are counted in
+        ``degraded_statements`` and flagged on the result itself.
         """
         program = self.compile(username, graql, params)
         results = []
@@ -153,11 +170,12 @@ class Server:
             self.ir_bytes_shipped += cs.ir_size
             stmt = decode_statement(cs.ir)  # backend-side decode
             if self.cluster is not None:
-                results.append(self.cluster.execute_statement(stmt))
+                result = self.cluster.execute_statement(stmt, timeout_s=timeout_s)
+                if result.degraded:
+                    self.degraded_statements += 1
             else:
-                results.append(
-                    execute_statement(self.backend, self.catalog, stmt)
-                )
+                result = execute_statement(self.backend, self.catalog, stmt)
+            results.append(result)
         return results
 
     def __repr__(self) -> str:

@@ -66,3 +66,75 @@ class IRError(GraQLError):
 
 class AccessError(GraQLError):
     """Raised by the front-end server when a user lacks permission."""
+
+
+# ----------------------------------------------------------------------
+# Backend fault taxonomy (simulated cluster, docs/RELIABILITY.md)
+# ----------------------------------------------------------------------
+
+class BackendError(GraQLError):
+    """Runtime failure of the (simulated) backend cluster.
+
+    Carries ``retryable``: retryable failures (a lost message, a worker
+    that fail-stopped but has live replicas) are handled by superstep
+    retry; fatal ones (partition lost, timeout, retry budget exhausted)
+    escalate to the degradation policy in :class:`repro.dist.Cluster`.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, retryable: bool | None = None) -> None:
+        super().__init__(message)
+        if retryable is not None:
+            self.retryable = retryable
+
+
+class WorkerFailed(BackendError):
+    """A worker fail-stopped (injected or simulated).
+
+    ``worker`` is the failed rank when known; ``partition`` the logical
+    partition that became unreachable (set when *all* replicas are dead,
+    in which case the error is fatal: the data is gone).
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        worker: int | None = None,
+        partition: int | None = None,
+        retryable: bool | None = None,
+    ) -> None:
+        super().__init__(message, retryable)
+        self.worker = worker
+        self.partition = partition
+
+
+class CommFailure(BackendError):
+    """A message was dropped or arrived corrupted (checksum mismatch).
+
+    Detected at the superstep barrier; always retryable — re-running the
+    superstep resends the lost traffic.
+    """
+
+    retryable = True
+
+
+class QueryTimeout(BackendError):
+    """A statement exceeded its wall-clock timeout budget. Fatal for the
+    distributed attempt; the degradation policy may still fall back."""
+
+    retryable = False
+
+
+class DegradedMode(BackendError):
+    """Distributed execution is unavailable (circuit breaker open or a
+    fatal backend error) and degraded single-node fallback is disabled."""
+
+    retryable = False
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when *exc* is a transient backend fault worth retrying."""
+    return isinstance(exc, BackendError) and exc.retryable

@@ -70,6 +70,9 @@ class StatementResult:
         message: str = "",
         count: int = 0,
         plan: Optional[QueryPlan] = None,
+        degraded: bool = False,
+        degraded_reason: str = "",
+        recovery: Optional[dict] = None,
     ) -> None:
         self.kind = kind  # 'ddl' | 'ingest' | 'table' | 'subgraph'
         self.table = table
@@ -77,6 +80,14 @@ class StatementResult:
         self.message = message
         self.count = count
         self.plan = plan
+        #: True when the cluster fell back to single-node execution
+        #: (circuit breaker open or fatal backend failure); the reason
+        #: names what degraded (docs/RELIABILITY.md)
+        self.degraded = degraded
+        self.degraded_reason = degraded_reason
+        #: per-statement fault-recovery cost (retries, failovers,
+        #: backoff, extra messages/bytes) when run on the cluster
+        self.recovery = recovery
 
     def __repr__(self) -> str:
         if self.kind == "table" and self.table is not None:

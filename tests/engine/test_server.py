@@ -45,6 +45,17 @@ class TestAccounts:
         with pytest.raises(AccessError):
             server.drop_user("admin", "admin")
 
+    def test_drop_unknown_user_rejected(self, server):
+        # symmetric with create_user: dropping a non-existent account is
+        # an error, not a silent no-op
+        with pytest.raises(AccessError, match="unknown user"):
+            server.drop_user("admin", "ghost")
+
+    def test_drop_is_not_idempotent(self, server):
+        server.drop_user("admin", "reader1")
+        with pytest.raises(AccessError):
+            server.drop_user("admin", "reader1")
+
     def test_unknown_user_rejected(self, server):
         with pytest.raises(AccessError):
             server.submit("ghost", "select * from table T")

@@ -62,3 +62,30 @@ class TestServerOnCluster:
         before = cluster_server.ir_bytes_shipped
         cluster_server.submit("etl", "select * from table People")
         assert cluster_server.ir_bytes_shipped > before
+
+    def test_timeout_budget_degrades_to_single_node(self, cluster_server):
+        s = cluster_server
+        results = s.submit(
+            "etl",
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph TB",
+            timeout_s=0.0,
+        )
+        assert results[0].degraded
+        assert "QueryTimeout" in results[0].degraded_reason
+        assert results[0].subgraph is not None
+        assert s.degraded_statements == 1
+
+    def test_recovery_counters_exposed(self, cluster_server):
+        results = cluster_server.submit(
+            "etl",
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph RC",
+        )
+        assert results[0].recovery == {
+            "retries": 0,
+            "failovers": 0,
+            "backoff_ms": 0.0,
+            "extra_messages": 0,
+            "extra_bytes": 0,
+        }
