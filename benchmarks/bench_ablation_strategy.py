@@ -9,6 +9,7 @@ results.
 
 import pytest
 
+from repro.obs import QueryOptions
 from repro.workloads.berlin import berlin_database
 
 # high-multiplicity pattern: person -> reviews -> products -> offers
@@ -28,7 +29,7 @@ def test_ablation_strategy(benchmark, berlin_bench_db, strategy):
         counter[0] += 1
         return db.execute(
             QUERY.format(f"ab_{strategy}_{counter[0]}"),
-            force_strategy=strategy,
+            options=QueryOptions(strategy=strategy),
         )
 
     results = benchmark(run)
@@ -43,8 +44,8 @@ def test_ablation_strategies_agree(benchmark, berlin_bench_db):
     out = {}
 
     def run():
-        out["a"] = db.execute(QUERY.format("agA"), force_strategy="set")[0].subgraph
-        out["b"] = db.execute(QUERY.format("agB"), force_strategy="bindings")[0].subgraph
+        out["a"] = db.execute(QUERY.format("agA"), options=QueryOptions(strategy="set"))[0].subgraph
+        out["b"] = db.execute(QUERY.format("agB"), options=QueryOptions(strategy="bindings"))[0].subgraph
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     a, b = out["a"], out["b"]
@@ -68,11 +69,11 @@ def test_ablation_set_wins_at_scale(benchmark):
     def run():
         t0 = time.perf_counter()
         for i in range(reps):
-            db.execute(QUERY.format(f"s{i}"), force_strategy="set")
+            db.execute(QUERY.format(f"s{i}"), options=QueryOptions(strategy="set"))
         out["set"] = time.perf_counter() - t0
         t0 = time.perf_counter()
         for i in range(reps):
-            db.execute(QUERY.format(f"b{i}"), force_strategy="bindings")
+            db.execute(QUERY.format(f"b{i}"), options=QueryOptions(strategy="bindings"))
         out["bindings"] = time.perf_counter() - t0
 
     benchmark.pedantic(run, rounds=1, iterations=1)

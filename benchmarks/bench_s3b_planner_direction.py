@@ -14,6 +14,8 @@ import time
 
 import pytest
 
+from repro.obs import QueryOptions
+
 # selective condition last: lexical order is the bad direction
 QUERY = (
     "select * from graph PersonVtx ( ) <--reviewer-- ReviewVtx ( ) "
@@ -38,7 +40,7 @@ def test_s3b_forced_lexical_direction(benchmark, berlin_bench_db):
     db = berlin_bench_db
 
     def run():
-        return db.execute(QUERY.format("pd2"), force_direction="forward")
+        return db.execute(QUERY.format("pd2"), options=QueryOptions(direction="forward"))
 
     benchmark(run)
 
@@ -52,7 +54,7 @@ def test_s3b_direction_speedup_shape(benchmark, berlin_large_db):
     def run():
         t0 = time.perf_counter()
         for i in range(reps):
-            db.execute(QUERY.format(f"pf{i}"), force_direction="forward")
+            db.execute(QUERY.format(f"pf{i}"), options=QueryOptions(direction="forward"))
         out["forced"] = time.perf_counter() - t0
         t0 = time.perf_counter()
         for i in range(reps):

@@ -29,10 +29,29 @@ Quickstart::
         "Person (country = 'US') --follows--> def B: Person ( ) "
         "into table T1"
     )
+
+Observability (docs/OBSERVABILITY.md)::
+
+    from repro import Database, QueryOptions
+
+    db = Database()                       # ... schema + data as above ...
+    # execution tuned through the typed options API
+    results = db.execute(q, options=QueryOptions(direction="backward",
+                                                 trace=True))
+    prof = results[0].profile             # QueryProfile: stage timings,
+    print(prof.render())                  # est-vs-actual cardinalities, ...
+    print(db.explain(q, mode="analyze"))  # EXPLAIN ANALYZE text
+    print(db.render_metrics())            # Prometheus exposition of
+                                          # db.metrics (MetricsRegistry)
+
+Return shapes: ``Database.execute`` returns ``list[StatementResult]``
+(one per statement, every kind); ``Database.query`` unwraps to the last
+``Table`` result and raises if there is none.
 """
 
 from repro.engine.session import Database
 from repro.engine.server import Server, User
+from repro.obs import MetricsRegistry, QueryOptions, QueryProfile, Tracer
 from repro.errors import (
     AccessError,
     CatalogError,
@@ -52,6 +71,10 @@ __all__ = [
     "Database",
     "Server",
     "User",
+    "QueryOptions",
+    "QueryProfile",
+    "MetricsRegistry",
+    "Tracer",
     "GraQLError",
     "LexError",
     "ParseError",

@@ -4,6 +4,8 @@ simple command-line interface to web-based front-ends").
 Usage::
 
     graql run script.graql --param Product1=product42
+    graql profile script.graql --demo berlin
+    graql stats script.graql --demo berlin
     graql repl
     graql demo berlin --scale 200
     graql demo cyber
@@ -74,6 +76,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """EXPLAIN ANALYZE a script: plans, then measured profiles."""
+    db = (
+        _demo_database(args.demo, args.scale) if args.demo else Database()
+    )
+    params = _parse_params(args.param or [])
+    try:
+        with open(args.script, encoding="utf-8") as fh:
+            print(db.explain(fh.read(), params, mode="analyze"))
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Execute a script and print the Prometheus metrics exposition."""
+    db = (
+        _demo_database(args.demo, args.scale) if args.demo else Database()
+    )
+    params = _parse_params(args.param or [])
+    try:
+        db.execute_file(args.script, params)
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(db.render_metrics(), end="")
+    return 0
+
+
 def _demo_database(name: str, scale: int) -> Database:
     if name == "berlin":
         from repro.workloads.berlin import berlin_database
@@ -93,7 +125,8 @@ def _demo_database(name: str, scale: int) -> Database:
 def _repl(db: Database, limit: int) -> int:
     print(
         "GraQL REPL — terminate a statement with an empty line; "
-        "\\explain <stmt> shows plans; \\quit to exit"
+        "\\explain <stmt> shows plans; \\profile <stmt> runs explain "
+        "analyze; \\stats prints metrics; \\quit to exit"
     )
     buffer: list[str] = []
     while True:
@@ -109,6 +142,15 @@ def _repl(db: Database, limit: int) -> int:
                 print(db.explain(stripped[len("\\explain "):]))
             except GraQLError as e:
                 print(f"error: {e}", file=sys.stderr)
+            continue
+        if not buffer and stripped.startswith("\\profile "):
+            try:
+                print(db.explain(stripped[len("\\profile "):], mode="analyze"))
+            except GraQLError as e:
+                print(f"error: {e}", file=sys.stderr)
+            continue
+        if not buffer and stripped == "\\stats":
+            print(db.render_metrics(), end="")
             continue
         if not buffer and stripped.startswith("\\"):
             if stripped in ("\\quit", "\\q"):
@@ -171,6 +213,36 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print the plans instead of executing",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="explain analyze a script (plans + measured profiles)"
+    )
+    p_prof.add_argument("script")
+    p_prof.add_argument(
+        "--param", action="append", metavar="NAME=VALUE", help="query parameter"
+    )
+    p_prof.add_argument(
+        "--demo",
+        choices=["berlin", "cyber", "biology"],
+        help="run against a demo dataset instead of an empty database",
+    )
+    p_prof.add_argument("--scale", type=int, default=200)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_stats = sub.add_parser(
+        "stats", help="execute a script and print Prometheus metrics"
+    )
+    p_stats.add_argument("script")
+    p_stats.add_argument(
+        "--param", action="append", metavar="NAME=VALUE", help="query parameter"
+    )
+    p_stats.add_argument(
+        "--demo",
+        choices=["berlin", "cyber", "biology"],
+        help="run against a demo dataset instead of an empty database",
+    )
+    p_stats.add_argument("--scale", type=int, default=200)
+    p_stats.set_defaults(func=cmd_stats)
 
     p_repl = sub.add_parser("repl", help="interactive session (empty database)")
     p_repl.set_defaults(func=cmd_repl)

@@ -43,8 +43,12 @@ from repro.graql.ast import GraphSelect, INTO_SUBGRAPH, Statement
 from repro.graql.parser import parse_script
 from repro.graql.params import substitute_statement
 from repro.graql.typecheck import CheckedGraphSelect, check_statement
+from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.profile import QueryProfile
 from repro.query.executor import (
     StatementResult,
+    _atom_profile,
+    _fill_set_actuals,
     _label_def_ref_pairs,
     _sizes,
     execute_statement,
@@ -112,12 +116,17 @@ class Cluster:
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
         timeout_s: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
     ) -> list[StatementResult]:
         """Execute a script, running set-semantics graph selects
         distributed and everything else on the single-node engine."""
         results = []
         for stmt in parse_script(graql).statements:
-            results.append(self.execute_statement(stmt, params, timeout_s=timeout_s))
+            results.append(
+                self.execute_statement(
+                    stmt, params, timeout_s=timeout_s, options=options
+                )
+            )
         return results
 
     def execute_statement(
@@ -125,7 +134,11 @@ class Cluster:
         stmt: Statement,
         params: Optional[Mapping[str, Any]] = None,
         timeout_s: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
     ) -> StatementResult:
+        opts = resolve_options(options)
+        if timeout_s is None:
+            timeout_s = opts.timeout
         if params:
             stmt = substitute_statement(stmt, params)
         if isinstance(stmt, GraphSelect):
@@ -135,10 +148,13 @@ class Cluster:
                 not checked.pattern.needs_bindings
                 and not checked.pattern.has_regex
                 and not checked.pattern.has_edge_labels
+                and opts.strategy != "bindings"
             ):
                 if stmt.into is None or stmt.into.kind == INTO_SUBGRAPH:
-                    return self._run_distributed_or_degrade(checked, stmt, timeout_s)
-        result = execute_statement(self.db, self.catalog, stmt)
+                    return self._run_distributed_or_degrade(
+                        checked, stmt, timeout_s, opts
+                    )
+        result = execute_statement(self.db, self.catalog, stmt, options=opts)
         if stmt.__class__.__name__ in ("CreateTable", "CreateVertex", "CreateEdge", "Ingest"):
             self.rebuild()
         return result
@@ -153,10 +169,14 @@ class Cluster:
         checked: CheckedGraphSelect,
         stmt: GraphSelect,
         timeout_s: Optional[float],
+        options: Optional[QueryOptions] = None,
     ) -> StatementResult:
+        opts = resolve_options(options)
         if self.breaker.allow():
             try:
-                result = self.run_graph_select(checked, timeout_s=timeout_s)
+                result = self.run_graph_select(
+                    checked, timeout_s=timeout_s, options=opts
+                )
                 self.breaker.record_success()
                 return result
             except BackendError as exc:
@@ -170,7 +190,7 @@ class Cluster:
                 "single-node fallback is disabled"
             )
         self.degraded_statements += 1
-        result = execute_statement(self.db, self.catalog, stmt)
+        result = execute_statement(self.db, self.catalog, stmt, options=opts)
         result.degraded = True
         result.degraded_reason = reason
         return result
@@ -179,18 +199,31 @@ class Cluster:
         self,
         checked: CheckedGraphSelect,
         timeout_s: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
     ) -> StatementResult:
         """Distributed set-semantics execution of a graph select."""
+        opts = resolve_options(options)
         stmt = checked.stmt
-        plan = plan_graph_select(checked, self.catalog, force_strategy="set")
+        profile = QueryProfile(kind="subgraph") if opts.profile else None
+        t_plan = time.perf_counter()
+        plan = plan_graph_select(
+            checked, self.catalog, opts.direction, force_strategy="set"
+        )
         atoms = checked.pattern.atoms()
         ordinals = {id(a): i for i, a in enumerate(atoms)}
+        if profile is not None:
+            profile.add_stage("plan", (time.perf_counter() - t_plan) * 1000.0)
+            profile.strategy = plan.strategy
+            profile.atoms = [
+                _atom_profile(i, a, plan.plan_for(a)) for i, a in enumerate(atoms)
+            ]
         name_map = NameMap()
         for i, a in enumerate(atoms):
             name_map.add_atom(i, a)
         budget = timeout_s if timeout_s is not None else self.statement_timeout_s
         deadline = time.monotonic() + budget if budget is not None else None
         recovery = RecoveryStats()
+        faults0 = self.fault_stats()
         fx = DistFrontierExecutor(
             self.db,
             self.shards,
@@ -201,8 +234,10 @@ class Cluster:
             max_retries=self.max_retries,
             backoff_base_s=self.backoff_base_s,
             deadline=deadline,
+            profile=profile,
         )
         results: dict[int, object] = {}
+        t_exec = time.perf_counter()
 
         def run_all():
             for a in atoms:
@@ -231,7 +266,11 @@ class Cluster:
                 break
             fx.label_env.clear()
             run_all()
+        if profile is not None:
+            profile.add_stage("execute", (time.perf_counter() - t_exec) * 1000.0)
+            _fill_set_actuals(profile, atoms, results)
         result_name = stmt.into.name if stmt.into is not None else "result"
+        t_mat = time.perf_counter()
         subgraph = subgraph_from_sets(
             stmt,
             [(a, results[i]) for i, a in enumerate(atoms)],
@@ -244,12 +283,28 @@ class Cluster:
                 k: len(v) for k, v in subgraph.vertices.items()
             }
         self.recovery_totals.merge(recovery)
+        if profile is not None:
+            profile.add_stage("materialize", (time.perf_counter() - t_mat) * 1000.0)
+            profile.rows_out = subgraph.num_vertices
+            d = profile.ensure_dist()
+            rec = recovery.snapshot()
+            d["failovers"] += rec.get("failovers", 0)
+            d["backoff_ms"] += rec.get("backoff_ms", 0.0)
+            d["extra_messages"] += rec.get("extra_messages", 0)
+            d["extra_bytes"] += rec.get("extra_bytes", 0)
+            faults1 = self.fault_stats()
+            d["faults"] = {
+                k: v - faults0.get(k, 0)
+                for k, v in faults1.items()
+                if isinstance(v, (int, float)) and v - faults0.get(k, 0)
+            }
         return StatementResult(
             "subgraph",
             subgraph=subgraph,
             count=subgraph.num_vertices,
             plan=plan,
             recovery=recovery.snapshot(),
+            profile=profile,
         )
 
     # ------------------------------------------------------------------

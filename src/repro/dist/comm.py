@@ -38,6 +38,7 @@ import numpy as np
 from repro.errors import CommFailure, WorkerFailed
 from repro.dist.faults import CORRUPT, DELIVER, DROP, FaultInjector
 from repro.dist.partition import Placement
+from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry
 
 #: accounted fixed cost per message (header/latency envelope), in bytes
 ENVELOPE_BYTES = 64
@@ -93,11 +94,34 @@ class Communicator:
         num_workers: int,
         placement: Optional[Placement] = None,
         injector: Optional[FaultInjector] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.num_workers = num_workers
         self.placement = placement
         self.injector = injector
         self.stats = CommStats()
+        #: optional live registry; every exchange folds its deltas in
+        self.metrics = metrics
+
+    def _record_metrics(self, messages: int, nbytes: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "graql_comm_supersteps_total", "communicator barriers"
+        ).inc()
+        if messages:
+            self.metrics.counter(
+                "graql_comm_messages_total", "remote message envelopes"
+            ).inc(messages)
+        if nbytes:
+            self.metrics.counter(
+                "graql_comm_bytes_total", "payload+envelope bytes shipped"
+            ).inc(nbytes)
+            self.metrics.histogram(
+                "graql_comm_exchange_bytes",
+                "bytes shipped per exchange",
+                buckets=SIZE_BUCKETS,
+            ).observe(float(nbytes))
 
     # ------------------------------------------------------------------
     def _serving(self, partition: int) -> int:
@@ -122,6 +146,7 @@ class Communicator:
         """
         n = self.num_workers
         assert len(outboxes) == n and all(len(o) == n for o in outboxes)
+        msgs0, bytes0 = self.stats.messages, self.stats.bytes
         if self.injector is not None:
             live = (
                 self.placement.live if self.placement is not None else range(n)
@@ -161,6 +186,9 @@ class Communicator:
                 if delivered:
                     inboxes[dst][src] = payload
         self.stats.supersteps += 1
+        self._record_metrics(
+            self.stats.messages - msgs0, self.stats.bytes - bytes0
+        )
         if lost:
             raise CommFailure(
                 f"{lost} message(s) lost or corrupted at superstep "
@@ -170,18 +198,26 @@ class Communicator:
 
     def broadcast(self, root: int, payload: object) -> None:
         """Account a broadcast from *root* to every other worker."""
+        msgs0, bytes0 = self.stats.messages, self.stats.bytes
         size = _payload_nbytes(payload)
         for dst in range(self.num_workers):
             if dst != root:
                 self.stats.record(size)
         self.stats.supersteps += 1
+        self._record_metrics(
+            self.stats.messages - msgs0, self.stats.bytes - bytes0
+        )
 
     def gather(self, payloads: Sequence[object], root: int = 0) -> list[object]:
         """Account a gather of per-worker payloads to *root*."""
+        msgs0, bytes0 = self.stats.messages, self.stats.bytes
         for src, p in enumerate(payloads):
             if src != root and p is not None:
                 self.stats.record(_payload_nbytes(p))
         self.stats.supersteps += 1
+        self._record_metrics(
+            self.stats.messages - msgs0, self.stats.bytes - bytes0
+        )
         return list(payloads)
 
     def reset(self) -> None:

@@ -30,7 +30,8 @@ budget, backoff, and the failed attempts' extra traffic are tallied in
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
@@ -84,6 +85,11 @@ def _scatter(sets: SetDict, partitioner: Partitioner) -> DistSets:
     return out
 
 
+def _dist_size(sets: DistSets) -> int:
+    """Total frontier cardinality across workers and types."""
+    return int(sum(len(p) for parts in sets.values() for p in parts))
+
+
 class DistFrontierExecutor:
     """Distributed analogue of :class:`FrontierExecutor`."""
 
@@ -99,6 +105,7 @@ class DistFrontierExecutor:
         max_retries: int = 5,
         backoff_base_s: float = 0.001,
         deadline: Optional[float] = None,
+        profile=None,
     ) -> None:
         self.db = db
         self.shards = shards
@@ -114,6 +121,9 @@ class DistFrontierExecutor:
         self.deadline = deadline
         #: per-worker count of edges expanded (load-balance metric)
         self.work_per_worker = np.zeros(partitioner.num_workers, dtype=np.int64)
+        #: optional QueryProfile; per-superstep frontier sizes, message
+        #: and byte deltas, and retries are recorded into its dist block
+        self.profile = profile
 
     # ------------------------------------------------------------------
     # Fault handling: checkpointed superstep retry with failover
@@ -171,6 +181,35 @@ class DistFrontierExecutor:
                 self.recovery.backoff_ms += backoff * 1000.0
                 if backoff > 0:
                     time.sleep(backoff)
+
+    @contextmanager
+    def _profiled(self, phase: str) -> Iterator[Callable[[int], None]]:
+        """Record one superstep's frontier/message/byte/retry deltas.
+
+        Yields a ``done(frontier_size)`` callback the caller invokes once
+        the post-barrier frontier is known; a no-op without a profile.
+        """
+        if self.profile is None:
+            yield lambda size: None
+            return
+        msgs0 = self.comm.stats.messages
+        bytes0 = self.comm.stats.bytes
+        retr0 = self.recovery.retries
+        size_box = [0]
+
+        def done(size: int) -> None:
+            size_box[0] = int(size)
+
+        try:
+            yield done
+        finally:
+            self.profile.record_superstep(
+                phase,
+                size_box[0],
+                self.comm.stats.messages - msgs0,
+                self.comm.stats.bytes - bytes0,
+                self.recovery.retries - retr0,
+            )
 
     # ------------------------------------------------------------------
     def _vertex_select(self, step: RVertexStep, incoming: Optional[DistSets]) -> DistSets:
@@ -243,6 +282,9 @@ class DistFrontierExecutor:
                 index = shard.forward if along else shard.reverse
                 _, tgts, eids = index.expand_restricted(fr, allowed)
                 self.work_per_worker[self._phys(w)] += len(eids)
+                if self.profile is not None:
+                    self.profile.index_hits += 1
+                    self.profile.edges_scanned += len(eids)
                 local_eids.append(np.unique(eids))
                 if len(tgts):
                     buckets = self.partitioner.split_by_owner(np.unique(tgts))
@@ -292,13 +334,15 @@ class DistFrontierExecutor:
             assert isinstance(estep, REdgeStep) and isinstance(vstep, RVertexStep)
             # the superstep reads only checkpointed frontier state
             # (forward[i-1]), so a barrier fault re-runs just this step
-            frontier, eids = self._superstep(
-                lambda e=estep, f=forward[i - 1], t=vstep.types: self._edge_expand(
-                    e, f, t
+            with self._profiled("expand") as done:
+                frontier, eids = self._superstep(
+                    lambda e=estep, f=forward[i - 1], t=vstep.types: self._edge_expand(
+                        e, f, t
+                    )
                 )
-            )
-            forward[i] = eids  # SetDict (global eids)
-            forward[i + 1] = self._vertex_select(vstep, frontier)
+                forward[i] = eids  # SetDict (global eids)
+                forward[i + 1] = self._vertex_select(vstep, frontier)
+                done(_dist_size(forward[i + 1]))
             self._record_label(vstep, forward[i + 1])
             i += 2
         # ---- backward cull (distributed, same exchange pattern)
@@ -308,13 +352,15 @@ class DistFrontierExecutor:
         while i > 0:
             estep = steps[i]
             assert isinstance(estep, REdgeStep)
-            prev, kept = self._superstep(
-                lambda e=estep, cn=culled[i + 1], fp=forward[i - 1], fe=forward[
-                    i
-                ]: self._cull_edge(e, cn, fp, fe)
-            )
-            culled[i] = kept
-            culled[i - 1] = prev
+            with self._profiled("cull") as done:
+                prev, kept = self._superstep(
+                    lambda e=estep, cn=culled[i + 1], fp=forward[i - 1], fe=forward[
+                        i
+                    ]: self._cull_edge(e, cn, fp, fe)
+                )
+                culled[i] = kept
+                culled[i - 1] = prev
+                done(_dist_size(prev))
             i -= 2
         result = AtomSets(len(atom.steps))
         for pos, (step, idx) in enumerate(tagged):
@@ -371,6 +417,9 @@ class DistFrontierExecutor:
                 index = shard.forward if along else shard.reverse
                 _, tgts, eids = index.expand_restricted(fr, allowed)
                 self.work_per_worker[self._phys(w)] += len(eids)
+                if self.profile is not None:
+                    self.profile.index_hits += 1
+                    self.profile.edges_scanned += len(eids)
                 mask = _in_sorted(tgts, prev_global.get(to_type, _EMPTY))
                 if mask.any():
                     local_keep.append(np.unique(eids[mask]))

@@ -47,6 +47,8 @@ from repro.graql.typecheck import (
     RVertexStep,
     check_statement,
 )
+from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.profile import QueryProfile
 from repro.query.bindings import BindingExecutor
 from repro.query.executor import StatementResult, execute_statement
 from repro.query.planner import plan_graph_select
@@ -364,13 +366,17 @@ def run_pipelined(
     script: Script,
     params: Optional[Mapping[str, Any]] = None,
     num_chunks: int = 8,
+    options: Optional[QueryOptions] = None,
 ) -> tuple[list[StatementResult], list[PipelineStats]]:
     """Execute a script, fusing every eligible pair (III-B1 pipelining).
 
     Returns results in statement order plus the per-pair space stats.
     Ineligible statements (and pairs whose fusion preconditions fail at
-    runtime) execute sequentially with identical semantics.
+    runtime) execute sequentially with identical semantics.  Fused
+    statements carry a :class:`~repro.obs.QueryProfile` whose
+    ``pipeline`` block holds the pair's chunk/space accounting.
     """
+    opts = resolve_options(options)
     if params:
         script = Script(
             [substitute_statement(s, params) for s in script.statements]
@@ -387,11 +393,23 @@ def run_pipelined(
             checked = check_statement(graph_stmt, catalog)
             if isinstance(checked, CheckedGraphSelect) and pair.supported(checked):
                 first, second = pair.run()
+                if opts.profile:
+                    for r in (first, second):
+                        if r.profile is None:
+                            r.profile = QueryProfile(kind=r.kind)
+                            r.profile.rows_out = r.count
+                        r.profile.pipeline = {
+                            "chunks": pair.stats.chunks,
+                            "total_paths": pair.stats.total_paths,
+                            "peak_partial_rows": pair.stats.peak_partial_rows,
+                        }
                 results[i] = first
                 results[pairs[i]] = second
                 all_stats.append(pair.stats)
                 i = pairs[i] + 1
                 continue
-        results[i] = execute_statement(db, catalog, script.statements[i])
+        results[i] = execute_statement(
+            db, catalog, script.statements[i], options=opts
+        )
         i += 1
     return [r for r in results if r is not None], all_stats

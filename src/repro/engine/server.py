@@ -20,6 +20,7 @@ simulated cluster of :mod:`repro.dist` plugs in the same way.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping, Optional
 
 from repro.catalog import Catalog
@@ -35,6 +36,9 @@ from repro.graql.ast import (
 )
 from repro.graql.compiler import CompiledProgram, compile_script
 from repro.graql.ir import decode_statement
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.profile import record_profile_metrics
 from repro.query.executor import StatementResult, execute_statement
 
 ROLE_READER = "reader"
@@ -89,6 +93,8 @@ class Server:
         self.ir_bytes_shipped = 0
         #: statements the cluster answered via single-node fallback
         self.degraded_statements = 0
+        #: server-wide counters/histograms, fed from statement profiles
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Account management
@@ -150,6 +156,10 @@ class Server:
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
         timeout_s: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
+        *,
+        force_direction: Optional[str] = None,
+        force_strategy: Optional[str] = None,
     ) -> list[StatementResult]:
         """Compile on the front-end, ship IR, execute on the backend.
 
@@ -157,24 +167,59 @@ class Server:
         round-trip is real, not decorative, so the IR is exercised on
         every submission.
 
-        ``timeout_s`` is a per-statement wall-clock budget for the
-        distributed backend; a statement that blows it degrades to
-        single-node execution (or raises
+        ``timeout_s`` (or ``options.timeout``) is a per-statement
+        wall-clock budget for the distributed backend; a statement that
+        blows it degrades to single-node execution (or raises
         :class:`~repro.errors.DegradedMode` when fallback is disabled).
         Results answered degraded are counted in
         ``degraded_statements`` and flagged on the result itself.
+
+        ``options`` is the typed execution API; the ``force_*`` kwargs
+        are deprecated shims that warn and map onto it.
         """
+        opts = resolve_options(
+            options,
+            force_direction=force_direction,
+            force_strategy=force_strategy,
+            _stacklevel=3,
+        )
+        if timeout_s is None:
+            timeout_s = opts.timeout
+        t0 = time.perf_counter()
         program = self.compile(username, graql, params)
+        compile_ms = (time.perf_counter() - t0) * 1000.0
         results = []
-        for cs in program:
+        for i, cs in enumerate(program):
             self.ir_bytes_shipped += cs.ir_size
+            t1 = time.perf_counter()
             stmt = decode_statement(cs.ir)  # backend-side decode
+            decode_ms = (time.perf_counter() - t1) * 1000.0
             if self.cluster is not None:
-                result = self.cluster.execute_statement(stmt, timeout_s=timeout_s)
+                result = self.cluster.execute_statement(
+                    stmt, timeout_s=timeout_s, options=opts
+                )
                 if result.degraded:
                     self.degraded_statements += 1
             else:
-                result = execute_statement(self.backend, self.catalog, stmt)
+                result = execute_statement(
+                    self.backend, self.catalog, stmt, options=opts
+                )
+            if result.profile is not None:
+                if i == 0:
+                    # front-end compile covers the whole program
+                    result.profile.stages.insert(0, ("compile_ir", compile_ms))
+                    result.profile.stages.insert(1, ("decode_ir", decode_ms))
+                else:
+                    result.profile.stages.insert(0, ("decode_ir", decode_ms))
+                record_profile_metrics(self.metrics, result.profile)
+                self.metrics.counter(
+                    "graql_ir_bytes_total", "IR bytes shipped to the backend"
+                ).inc(cs.ir_size)
+                if result.degraded:
+                    self.metrics.counter(
+                        "graql_degraded_statements_total",
+                        "statements answered via single-node fallback",
+                    ).inc()
             results.append(result)
         return results
 

@@ -21,6 +21,7 @@ and keeps the catalog statistics fresh across DDL and ingest.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.catalog import Catalog
@@ -28,16 +29,41 @@ from repro.errors import ExecutionError
 from repro.graph.graphdb import GraphDB
 from repro.graph.subgraph import Subgraph
 from repro.graql.parser import parse_script
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.profile import record_profile_metrics
 from repro.query.executor import StatementResult, execute_statement
 from repro.storage.table import Table
 
 
 class Database:
-    """An in-memory attributed-graph database speaking GraQL."""
+    """An in-memory attributed-graph database speaking GraQL.
+
+    Return-shape contract (the two entry points differ on purpose):
+
+    * :meth:`execute` returns ``list[StatementResult]`` — one result per
+      statement in the script, in order, covering every statement kind
+      (DDL, ingest, table and subgraph selects).  Each result carries a
+      :class:`~repro.obs.QueryProfile` under ``.profile``.
+    * :meth:`query` returns a bare :class:`~repro.storage.table.Table` —
+      the *last* table result in the script — and raises
+      :class:`~repro.errors.ExecutionError` when the script produced
+      none.  :meth:`query_subgraph` is the subgraph analogue.
+
+    Execution is tuned through :class:`~repro.obs.QueryOptions`::
+
+        db.execute(q, options=QueryOptions(direction="backward", trace=True))
+
+    and every statement folds its profile into ``db.metrics`` (a
+    :class:`~repro.obs.MetricsRegistry`); ``db.render_metrics()`` emits
+    the Prometheus text exposition.
+    """
 
     def __init__(self) -> None:
         self.db = GraphDB()
         self.catalog = Catalog()
+        #: process-wide counters/gauges/histograms for this database
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # GraQL execution
@@ -46,49 +72,102 @@ class Database:
         self,
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        *,
         force_direction: Optional[str] = None,
         force_strategy: Optional[str] = None,
     ) -> list[StatementResult]:
-        """Execute a GraQL script (one or more statements), in order."""
+        """Execute a GraQL script (one or more statements), in order.
+
+        ``options`` is the typed execution API; ``force_direction`` /
+        ``force_strategy`` are deprecated shims that warn and map onto
+        it (docs/OBSERVABILITY.md).
+        """
+        opts = resolve_options(
+            options,
+            force_direction=force_direction,
+            force_strategy=force_strategy,
+            _stacklevel=3,
+        )
+        t0 = time.perf_counter()
         script = parse_script(graql)
-        return [
-            execute_statement(
-                self.db,
-                self.catalog,
-                stmt,
-                params,
-                force_direction=force_direction,
-                force_strategy=force_strategy,
-            )
-            for stmt in script.statements
-        ]
+        parse_ms = (time.perf_counter() - t0) * 1000.0
+        results = []
+        for i, stmt in enumerate(script.statements):
+            r = execute_statement(self.db, self.catalog, stmt, params, opts)
+            if r.profile is not None:
+                if i == 0:
+                    # script-level parse time belongs to the first statement
+                    r.profile.stages.insert(0, ("parse", parse_ms))
+                record_profile_metrics(self.metrics, r.profile)
+            results.append(r)
+        return results
 
     def query(
-        self, graql: str, params: Optional[Mapping[str, Any]] = None
+        self,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        *,
+        force_direction: Optional[str] = None,
+        force_strategy: Optional[str] = None,
     ) -> Table:
-        """Execute a script and return the last statement's table result."""
-        results = self.execute(graql, params)
+        """Execute a script and return the last statement's table result.
+
+        Unlike :meth:`execute` (which returns every statement's
+        :class:`StatementResult`), this unwraps straight to a
+        :class:`Table` and raises ``ExecutionError`` if the script
+        produced no table.
+        """
+        results = self.execute(
+            graql,
+            params,
+            resolve_options(
+                options,
+                force_direction=force_direction,
+                force_strategy=force_strategy,
+                _stacklevel=3,
+            ),
+        )
         for r in reversed(results):
             if r.kind == "table" and r.table is not None:
                 return r.table
         raise ExecutionError("script produced no table result")
 
     def query_subgraph(
-        self, graql: str, params: Optional[Mapping[str, Any]] = None
+        self,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        *,
+        force_direction: Optional[str] = None,
+        force_strategy: Optional[str] = None,
     ) -> Subgraph:
         """Execute a script and return the last subgraph result."""
-        results = self.execute(graql, params)
+        results = self.execute(
+            graql,
+            params,
+            resolve_options(
+                options,
+                force_direction=force_direction,
+                force_strategy=force_strategy,
+                _stacklevel=3,
+            ),
+        )
         for r in reversed(results):
             if r.kind == "subgraph" and r.subgraph is not None:
                 return r.subgraph
         raise ExecutionError("script produced no subgraph result")
 
     def execute_file(
-        self, path: str, params: Optional[Mapping[str, Any]] = None
+        self,
+        path: str,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
     ) -> list[StatementResult]:
         """Execute a GraQL script file."""
         with open(path, encoding="utf-8") as fh:
-            return self.execute(fh.read(), params)
+            return self.execute(fh.read(), params, options)
 
     # ------------------------------------------------------------------
     # Direct data access (bypassing CSV files)
@@ -126,23 +205,40 @@ class Database:
     # Introspection
     # ------------------------------------------------------------------
     def explain(
-        self, graql: str, params: Optional[Mapping[str, Any]] = None
+        self,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        mode: str = "plan",
+        options: Optional[QueryOptions] = None,
     ) -> str:
         """The plan the engine would execute, as indented text.
 
-        Shows strategy choice, per-atom sweep directions with cost
-        estimates, per-step cardinalities/selectivities, relational
-        operator pipelines, and the script's dependence schedule.
+        ``mode="plan"`` (default) is static: strategy choice, per-atom
+        sweep directions with both directions' cost estimates, per-step
+        cardinalities/selectivities, relational operator pipelines, and
+        the script's dependence schedule.  ``mode="analyze"`` *executes*
+        the script and appends each statement's measured
+        :class:`~repro.obs.QueryProfile` (stage timings, estimated vs.
+        actual cardinalities, index hits, dist counters) to the plan
+        text.  ``options.explain`` set to ``"analyze"`` selects the
+        same thing.
         """
-        from repro.query.explain import explain_script
+        from repro.query.explain import explain_analyze, explain_script
 
+        if mode == "analyze" or (options is not None and options.wants_analyze):
+            return explain_analyze(self, graql, params, options)
         return explain_script(graql, self.catalog, params)
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of everything this database counted."""
+        return self.metrics.render_prometheus()
 
     def execute_pipelined(
         self,
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
         num_chunks: int = 8,
+        options: Optional[QueryOptions] = None,
     ):
         """Execute with Section III-B1 pipelining: dependent
         (graph-select -> aggregation) pairs run fused in chunks, bounding
@@ -150,9 +246,13 @@ class Database:
         """
         from repro.engine.pipeline import run_pipelined
 
-        return run_pipelined(
-            self.db, self.catalog, parse_script(graql), params, num_chunks
+        results, stats = run_pipelined(
+            self.db, self.catalog, parse_script(graql), params, num_chunks, options
         )
+        for r in results:
+            if r.profile is not None:
+                record_profile_metrics(self.metrics, r.profile)
+        return results, stats
 
     def vertex_count(self, type_name: str) -> int:
         return self.db.vertex_type(type_name).num_vertices

@@ -1,0 +1,321 @@
+"""Metrics registry: counters, gauges, histograms + Prometheus text export.
+
+A :class:`MetricsRegistry` is a process-local, dependency-free metrics
+store in the Prometheus data model: instruments are identified by a
+metric *name* plus an optional immutable *label set*, and the registry
+renders the classic text exposition format so the numbers can be pasted
+into any Prometheus-compatible tooling (or just diffed in tests).
+
+Design constraints (docs/OBSERVABILITY.md):
+
+* **Cheap when idle** — instruments are plain attribute bumps; nothing
+  allocates on the hot path once an instrument exists.
+* **Resettable** — ``reset()`` zeroes every instrument without dropping
+  registrations, so per-query deltas are easy to take in tests and the
+  ``graql profile`` CLI.
+* **Deterministic rendering** — output is sorted by (name, labels) so
+  golden tests and diffs are stable.
+
+Metric names used by the engine are documented in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping, Optional, Sequence
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram buckets, in seconds (latency-shaped, Prometheus-style)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: size-shaped buckets (bytes, frontier sizes, row counts)
+SIZE_BUCKETS: tuple[float, ...] = (
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integral floats without the trailing .0."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are the upper bounds of the finite buckets; an implicit
+    ``+Inf`` bucket always exists.  ``bucket_counts[i]`` counts samples
+    ``<= buckets[i]`` *non*-cumulatively here; rendering accumulates.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "inf_count", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bs = tuple(float(b) for b in buckets)
+        if not bs:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bs) != sorted(bs):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = bs
+        self.bucket_counts = [0] * len(bs)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts for ``le=bound`` lines, cumulative, +Inf last."""
+        out = []
+        running = 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        out.append(running + self.inf_count)
+        return out
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * len(self.buckets)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Named instruments with label sets and a text exposition."""
+
+    def __init__(self) -> None:
+        # name -> (kind, help, {label_key: instrument})
+        self._metrics: dict[str, tuple[str, str, dict[LabelKey, object]]] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument factories (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]],
+        factory,
+    ):
+        if name not in self._metrics:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            self._metrics[name] = (kind, help_text, {})
+        existing_kind, _, series = self._metrics[name]
+        if existing_kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {existing_kind}, "
+                f"not {kind}"
+            )
+        key = _label_key(labels)
+        inst = series.get(key)
+        if inst is None:
+            inst = factory()
+            series[key] = inst
+        return inst
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get("counter", name, help_text, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations and label sets."""
+        for _, _, series in self._metrics.values():
+            for inst in series.values():
+                inst.reset()  # type: ignore[attr-defined]
+
+    def clear(self) -> None:
+        """Drop every registration entirely."""
+        self._metrics.clear()
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> float:
+        """Current value of a counter/gauge (KeyError if absent)."""
+        kind, _, series = self._metrics[name]
+        inst = series[_label_key(labels)]
+        if kind == "histogram":
+            raise ValueError("use get_histogram() for histograms")
+        return inst.value  # type: ignore[attr-defined]
+
+    def get_histogram(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Histogram:
+        kind, _, series = self._metrics[name]
+        if kind != "histogram":
+            raise ValueError(f"metric {name!r} is a {kind}")
+        return series[_label_key(labels)]  # type: ignore[return-value]
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (counters/gauges: value; histograms: sum/count)."""
+        out: dict = {}
+        for name in sorted(self._metrics):
+            kind, _, series = self._metrics[name]
+            for key, inst in sorted(series.items()):
+                label_txt = _render_labels(key)
+                if kind == "histogram":
+                    out[name + label_txt] = {
+                        "sum": inst.sum,  # type: ignore[attr-defined]
+                        "count": inst.count,  # type: ignore[attr-defined]
+                    }
+                else:
+                    out[name + label_txt] = inst.value  # type: ignore[attr-defined]
+        return out
+
+    def render_prometheus(self) -> str:
+        """The classic text exposition format, deterministically ordered."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            kind, help_text, series = self._metrics[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key, inst in sorted(series.items()):
+                if kind == "histogram":
+                    cum = inst.cumulative_counts()  # type: ignore[attr-defined]
+                    bounds = [
+                        _fmt(b) for b in inst.buckets  # type: ignore[attr-defined]
+                    ] + ["+Inf"]
+                    for bound, c in zip(bounds, cum):
+                        bkey = key + (("le", bound),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bkey)} {c}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_fmt(inst.sum)}"  # type: ignore[attr-defined]
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} "
+                        f"{inst.count}"  # type: ignore[attr-defined]
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(key)} "
+                        f"{_fmt(inst.value)}"  # type: ignore[attr-defined]
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")

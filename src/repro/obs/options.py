@@ -1,0 +1,129 @@
+"""The typed execution-options API.
+
+:class:`QueryOptions` replaces the ad-hoc ``force_direction`` /
+``force_strategy`` string kwargs that used to be threaded through
+:class:`~repro.engine.session.Database`, ``Server.submit`` and
+:func:`~repro.query.executor.execute_statement`.  One frozen dataclass
+now rides the whole pipeline — session -> server -> executor -> cluster —
+so planner pins, timeout budgets and observability switches compose
+instead of growing one kwarg per layer.
+
+The legacy kwargs still work for one release via
+:func:`resolve_options`, which merges them into a ``QueryOptions`` and
+emits a :class:`DeprecationWarning` (policy: docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+_DIRECTIONS = (None, "forward", "backward")
+_STRATEGIES = (None, "set", "bindings")
+_EXPLAIN_MODES = (False, True, "plan", "analyze")
+
+#: message prefix used by the deprecation shim — the CI deprecation job
+#: filters on it to keep intentional shim exercises out of -W error runs
+DEPRECATION_MSG = (
+    "force_direction/force_strategy keyword arguments are deprecated; "
+    "pass options=QueryOptions(direction=..., strategy=...) instead"
+)
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Execution options for one statement (or a whole script).
+
+    Attributes
+    ----------
+    direction:
+        Pin every atom's sweep direction (``"forward"`` / ``"backward"``)
+        instead of letting the planner pick the cheaper one.  Used by the
+        S3B ablation benchmarks.
+    strategy:
+        Pin the execution strategy (``"set"`` / ``"bindings"``) instead
+        of the planner's choice.
+    timeout:
+        Per-statement wall-clock budget in seconds for the distributed
+        backend; a statement that blows it degrades to single-node
+        execution (see docs/RELIABILITY.md).
+    trace:
+        Capture a span tree of the execution
+        (``StatementResult.profile.trace``).
+    explain:
+        ``"analyze"`` asks result renderers (``Database.explain_analyze``,
+        the ``graql profile`` CLI) for profile-annotated plan output;
+        ``"plan"``/``True`` for plan-only.  Execution itself always runs.
+    profile:
+        Attach a :class:`~repro.obs.profile.QueryProfile` to every
+        ``StatementResult`` (stage timings, estimated vs. actual
+        cardinalities, index hits, dist counters).  On by default; turn
+        off to shave the last few microseconds from a hot loop.
+    """
+
+    direction: Optional[str] = None
+    strategy: Optional[str] = None
+    timeout: Optional[float] = None
+    trace: bool = False
+    explain: Union[bool, str] = False
+    profile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS[1:]}, got "
+                f"{self.direction!r}"
+            )
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES[1:]}, got "
+                f"{self.strategy!r}"
+            )
+        if self.explain not in _EXPLAIN_MODES:
+            raise ValueError(
+                f"explain must be one of {_EXPLAIN_MODES}, got {self.explain!r}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (seconds)")
+
+    # ------------------------------------------------------------------
+    def with_timeout(self, timeout: Optional[float]) -> "QueryOptions":
+        """This options set with a (possibly inherited) timeout filled in."""
+        if timeout is None or self.timeout is not None:
+            return self
+        return replace(self, timeout=timeout)
+
+    @property
+    def wants_analyze(self) -> bool:
+        return self.explain == "analyze"
+
+
+#: the all-defaults instance reused on unconfigured calls (avoids one
+#: allocation per statement on the hot path)
+DEFAULT_OPTIONS = QueryOptions()
+
+
+def resolve_options(
+    options: Optional[QueryOptions] = None,
+    *,
+    force_direction: Optional[str] = None,
+    force_strategy: Optional[str] = None,
+    _stacklevel: int = 3,
+) -> QueryOptions:
+    """Merge the deprecated ``force_*`` kwargs into a ``QueryOptions``.
+
+    The legacy kwargs warn (``DeprecationWarning``) and only fill fields
+    the explicit ``options`` left unset — an explicit ``options`` always
+    wins.  Plain calls (no options, no legacy kwargs) return the shared
+    default instance.
+    """
+    if force_direction is None and force_strategy is None:
+        return options if options is not None else DEFAULT_OPTIONS
+    warnings.warn(DEPRECATION_MSG, DeprecationWarning, stacklevel=_stacklevel)
+    base = options if options is not None else DEFAULT_OPTIONS
+    return replace(
+        base,
+        direction=base.direction if base.direction is not None else force_direction,
+        strategy=base.strategy if base.strategy is not None else force_strategy,
+    )

@@ -1,0 +1,102 @@
+"""Span-based tracing for query execution.
+
+A :class:`Tracer` records a tree of timed :class:`Span`\\ s — one per
+pipeline stage, atom, superstep, or whatever the instrumented code opens
+via ``tracer.span(...)``.  It is deliberately tiny: spans nest through a
+stack, times come from ``time.perf_counter``, and the finished tree
+renders as an indented text profile or a list of dicts.
+
+Tracing is **opt-in** (``QueryOptions(trace=True)``).  Instrumented code
+holds ``tracer = None`` when tracing is off and guards every call site
+with ``if tracer is not None`` — the off path costs one attribute test,
+which is how the <5% overhead budget in benchmarks/bench_obs_overhead.py
+is met.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+
+class Span:
+    """One timed operation, possibly with children."""
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children")
+
+    def __init__(self, name: str, attrs: Optional[dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = attrs or {}
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.children: list["Span"] = []
+
+    def finish(self) -> None:
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return (end - self.start_s) * 1000.0
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3),
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+            if self.attrs
+            else ""
+        )
+        lines = [f"{pad}{self.name}: {self.duration_ms:.3f}ms{attrs}"]
+        for c in self.children:
+            lines.append(c.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms, children={len(self.children)})"
+
+
+class Tracer:
+    """Builds a span tree; one tracer per traced statement."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        s = Span(name, attrs or None)
+        if self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self.roots.append(s)
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            s.finish()
+            self._stack.pop()
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def render(self) -> str:
+        return "\n".join(r.render() for r in self.roots)
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.roots]
+
+    def __repr__(self) -> str:
+        return f"Tracer(roots={len(self.roots)})"

@@ -103,10 +103,13 @@ class BindingExecutor:
         catalog: Catalog,
         frontier: Optional[FrontierExecutor] = None,
         max_rows: Optional[int] = None,
+        profile=None,
     ) -> None:
         self.db = db
         self.catalog = catalog
-        self.frontier = frontier or FrontierExecutor(db)
+        self.frontier = frontier or FrontierExecutor(db, profile=profile)
+        #: optional QueryProfile for index-hit/edge-scan accounting
+        self.profile = profile if profile is not None else self.frontier.profile
         # read the module default at call time so deployments (and tests)
         # can tune the cap globally
         self.max_rows = max_rows if max_rows is not None else DEFAULT_MAX_ROWS
@@ -266,6 +269,9 @@ class BindingExecutor:
             index = self.db.index(ename).direction(along)
             frontier = prev_v[rows]
             origins, tgts, eids = index.expand(frontier)
+            if self.profile is not None:
+                self.profile.index_hits += 1
+                self.profile.edges_scanned += len(eids)
             # 'origins' here are frontier positions? expand returns source
             # vids; we need origin rows — recompute via counts
             starts = index.indptr[frontier]

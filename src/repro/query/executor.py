@@ -16,7 +16,9 @@ pair, and implements multi-path composition (Section II-B3):
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Optional
 
 import numpy as np
 
@@ -39,12 +41,17 @@ from repro.graql.params import substitute_statement
 from repro.graql.typecheck import (
     CheckedGraphSelect,
     RAtom,
+    REdgeStep,
+    RRegex,
     RVertexStep,
     check_statement,
 )
+from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.profile import AtomProfile, QueryProfile, StepProfile
+from repro.obs.trace import Tracer
 from repro.query.bindings import BindingExecutor
 from repro.query.frontier import AtomSets, FrontierExecutor
-from repro.query.planner import QueryPlan, plan_graph_select
+from repro.query.planner import AtomPlan, QueryPlan, plan_graph_select
 from repro.query.relational import execute_table_select
 from repro.query.results import (
     JoinedBindings,
@@ -57,6 +64,31 @@ from repro.storage.table import Table
 
 #: max and-composition refinement rounds under set semantics
 MAX_REFINE_ROUNDS = 4
+
+
+@contextmanager
+def _stage(
+    name: str, profile: Optional[QueryProfile], tracer: Optional[Tracer]
+) -> Iterator[None]:
+    """Time one pipeline stage into the profile (and span it if traced)."""
+    if tracer is None:
+        # hot path: two perf_counter calls and a list append
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            if profile is not None:
+                profile.add_stage(name, (time.perf_counter() - t0) * 1000.0)
+    else:
+        with tracer.span(name):
+            t0 = time.perf_counter()
+            try:
+                yield
+            finally:
+                if profile is not None:
+                    profile.add_stage(
+                        name, (time.perf_counter() - t0) * 1000.0
+                    )
 
 
 class StatementResult:
@@ -73,6 +105,7 @@ class StatementResult:
         degraded: bool = False,
         degraded_reason: str = "",
         recovery: Optional[dict] = None,
+        profile: Optional[QueryProfile] = None,
     ) -> None:
         self.kind = kind  # 'ddl' | 'ingest' | 'table' | 'subgraph'
         self.table = table
@@ -88,6 +121,10 @@ class StatementResult:
         #: per-statement fault-recovery cost (retries, failovers,
         #: backoff, extra messages/bytes) when run on the cluster
         self.recovery = recovery
+        #: what execution measured (stage timings, estimated vs. actual
+        #: cardinalities, index hits, dist counters) — attached to every
+        #: result unless QueryOptions(profile=False); docs/OBSERVABILITY.md
+        self.profile = profile
 
     def __repr__(self) -> str:
         if self.kind == "table" and self.table is not None:
@@ -106,53 +143,104 @@ def execute_statement(
     catalog: Catalog,
     stmt: Statement,
     params: Optional[Mapping[str, Any]] = None,
+    options: Optional[QueryOptions] = None,
+    *,
     force_direction: Optional[str] = None,
     force_strategy: Optional[str] = None,
 ) -> StatementResult:
-    """Type-check and execute one statement (parameters substituted first)."""
+    """Type-check and execute one statement (parameters substituted first).
+
+    ``options`` is the typed execution API
+    (:class:`~repro.obs.QueryOptions`); the ``force_direction`` /
+    ``force_strategy`` kwargs are a deprecated shim that warns and maps
+    onto it.  Unless ``options.profile`` is off, the returned result
+    carries a :class:`~repro.obs.QueryProfile`.
+    """
+    opts = resolve_options(
+        options,
+        force_direction=force_direction,
+        force_strategy=force_strategy,
+        _stacklevel=3,
+    )
+    profile = QueryProfile() if opts.profile else None
+    tracer = Tracer() if (opts.trace and profile is not None) else None
+    result = _dispatch_statement(db, catalog, stmt, params, opts, profile, tracer)
+    if profile is not None:
+        profile.kind = result.kind
+        profile.rows_out = result.count
+        if tracer is not None and tracer.roots:
+            profile.trace = tracer.roots[0] if len(tracer.roots) == 1 else None
+            if profile.trace is None:
+                # several top-level spans: wrap them under a synthetic root
+                # spanning from the first child's start to the last's end
+                from repro.obs.trace import Span
+
+                root = Span("statement")
+                root.children = tracer.roots
+                root.start_s = tracer.roots[0].start_s
+                root.end_s = tracer.roots[-1].end_s
+                profile.trace = root
+        result.profile = profile
+    return result
+
+
+def _dispatch_statement(
+    db: GraphDB,
+    catalog: Catalog,
+    stmt: Statement,
+    params: Optional[Mapping[str, Any]],
+    opts: QueryOptions,
+    profile: Optional[QueryProfile],
+    tracer: Optional[Tracer],
+) -> StatementResult:
     if params:
-        stmt = substitute_statement(stmt, params)
-    checked = check_statement(stmt, catalog)
+        with _stage("substitute", profile, tracer):
+            stmt = substitute_statement(stmt, params)
+    with _stage("typecheck", profile, tracer):
+        checked = check_statement(stmt, catalog)
     if isinstance(stmt, CreateTable):
-        db.create_table(stmt.name, stmt.schema)
-        catalog.refresh(db)
+        with _stage("execute", profile, tracer):
+            db.create_table(stmt.name, stmt.schema)
+            catalog.refresh(db)
         return StatementResult("ddl", message=f"created table {stmt.name}")
     if isinstance(stmt, CreateVertex):
-        vt = db.create_vertex(stmt.name, stmt.key_cols, stmt.table, stmt.where)
-        catalog.refresh(db)
+        with _stage("execute", profile, tracer):
+            vt = db.create_vertex(stmt.name, stmt.key_cols, stmt.table, stmt.where)
+            catalog.refresh(db)
         return StatementResult(
             "ddl", message=f"created vertex {stmt.name}", count=vt.num_vertices
         )
     if isinstance(stmt, CreateEdge):
-        et = db.create_edge(
-            stmt.name,
-            stmt.source.type_name,
-            stmt.target.type_name,
-            stmt.source.ref_name,
-            stmt.target.ref_name,
-            stmt.from_tables,
-            stmt.where,
-        )
-        catalog.refresh(db)
+        with _stage("execute", profile, tracer):
+            et = db.create_edge(
+                stmt.name,
+                stmt.source.type_name,
+                stmt.target.type_name,
+                stmt.source.ref_name,
+                stmt.target.ref_name,
+                stmt.from_tables,
+                stmt.where,
+            )
+            catalog.refresh(db)
         return StatementResult(
             "ddl", message=f"created edge {stmt.name}", count=et.num_edges
         )
     if isinstance(stmt, Ingest):
-        n = db.ingest(stmt.table, stmt.path)
-        catalog.refresh(db)
+        with _stage("execute", profile, tracer):
+            n = db.ingest(stmt.table, stmt.path)
+            catalog.refresh(db)
         return StatementResult(
             "ingest", message=f"ingested {n} rows into {stmt.table}", count=n
         )
     if isinstance(stmt, TableSelect):
-        table = execute_table_select(db, stmt)
+        with _stage("execute", profile, tracer):
+            table = execute_table_select(db, stmt)
         if stmt.into is not None:
             db.register_result_table(stmt.into.name, table)
             catalog.register_result_table(stmt.into.name, table)
         return StatementResult("table", table=table, count=table.num_rows)
     assert isinstance(checked, CheckedGraphSelect)
-    return _execute_graph_select(
-        db, catalog, checked, force_direction, force_strategy
-    )
+    return _execute_graph_select(db, catalog, checked, opts, profile, tracer)
 
 
 def execute_script(
@@ -160,10 +248,12 @@ def execute_script(
     catalog: Catalog,
     script: Script,
     params: Optional[Mapping[str, Any]] = None,
+    options: Optional[QueryOptions] = None,
 ) -> list[StatementResult]:
     """Execute a whole GraQL script in order (Section III's Omega)."""
     return [
-        execute_statement(db, catalog, stmt, params) for stmt in script.statements
+        execute_statement(db, catalog, stmt, params, options)
+        for stmt in script.statements
     ]
 
 
@@ -175,23 +265,36 @@ def _execute_graph_select(
     db: GraphDB,
     catalog: Catalog,
     checked: CheckedGraphSelect,
-    force_direction: Optional[str],
-    force_strategy: Optional[str],
+    opts: QueryOptions,
+    profile: Optional[QueryProfile] = None,
+    tracer: Optional[Tracer] = None,
 ) -> StatementResult:
     stmt = checked.stmt
-    plan = plan_graph_select(checked, catalog, force_direction, force_strategy)
+    with _stage("plan", profile, tracer):
+        plan = plan_graph_select(checked, catalog, opts.direction, opts.strategy)
     atoms = checked.pattern.atoms()
     ordinals = {id(a): i for i, a in enumerate(atoms)}
     name_map = NameMap()
     for i, a in enumerate(atoms):
         name_map.add_atom(i, a)
     result_name = stmt.into.name if stmt.into is not None else "result"
+    if profile is not None:
+        profile.strategy = plan.strategy
+        profile.atoms = [
+            _atom_profile(i, a, plan.plan_for(a)) for i, a in enumerate(atoms)
+        ]
 
     if plan.strategy == "set":
-        atom_results = _run_set(db, checked, plan, atoms, ordinals)
-        subgraph = subgraph_from_sets(
-            stmt, [(a, atom_results[i]) for i, a in enumerate(atoms)], name_map, result_name
-        )
+        with _stage("execute", profile, tracer):
+            atom_results = _run_set(
+                db, checked, plan, atoms, ordinals, profile, tracer
+            )
+        if profile is not None:
+            _fill_set_actuals(profile, atoms, atom_results)
+        with _stage("materialize", profile, tracer):
+            subgraph = subgraph_from_sets(
+                stmt, [(a, atom_results[i]) for i, a in enumerate(atoms)], name_map, result_name
+            )
         if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
             db.register_subgraph(subgraph)
             catalog.subgraphs[subgraph.name] = {
@@ -202,14 +305,20 @@ def _execute_graph_select(
         )
 
     # binding strategy
-    branches = _run_bindings(db, catalog, checked, plan, ordinals)
+    with _stage("execute", profile, tracer):
+        branches = _run_bindings(
+            db, catalog, checked, plan, ordinals, profile, tracer
+        )
+    if profile is not None:
+        _fill_bindings_actuals(profile, branches)
     if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
-        subgraph = Subgraph(result_name)
-        for jb in branches:
-            subgraph = subgraph.union(
-                subgraph_from_bindings(stmt, jb, name_map, result_name, db),
-                result_name,
-            )
+        with _stage("materialize", profile, tracer):
+            subgraph = Subgraph(result_name)
+            for jb in branches:
+                subgraph = subgraph.union(
+                    subgraph_from_bindings(stmt, jb, name_map, result_name, db),
+                    result_name,
+                )
         db.register_subgraph(subgraph)
         catalog.subgraphs[subgraph.name] = {
             k: len(v) for k, v in subgraph.vertices.items()
@@ -219,22 +328,110 @@ def _execute_graph_select(
         )
     if len(branches) != 1:
         raise ExecutionError("'or' composition cannot produce a table result")
-    table = table_from_bindings(stmt, branches[0], name_map, result_name, db)
+    with _stage("materialize", profile, tracer):
+        table = table_from_bindings(stmt, branches[0], name_map, result_name, db)
     if stmt.into is not None:
         db.register_result_table(stmt.into.name, table)
         catalog.register_result_table(stmt.into.name, table)
     return StatementResult("table", table=table, count=table.num_rows, plan=plan)
 
 
-def _run_set(db, checked, plan, atoms, ordinals) -> dict[int, AtomSets]:
+# ----------------------------------------------------------------------
+# Profile construction
+# ----------------------------------------------------------------------
+
+def _step_detail(step) -> str:
+    """A compact, deterministic one-token description of a step."""
+    if isinstance(step, RVertexStep):
+        if step.is_variant:
+            return "any[" + "|".join(step.types) + "]"
+        return step.types[0] if step.types else "?"
+    if isinstance(step, REdgeStep):
+        arrow = "-->" if step.direction == "out" else "<--"
+        return arrow + (",".join(step.names) if step.names else "[]")
+    assert isinstance(step, RRegex)
+    op = {"star": "*", "plus": "+"}.get(step.op, f"{{{step.count}}}")
+    return f"regex({len(step.pairs)}){op}"
+
+
+def _atom_profile(index: int, atom: RAtom, ap: AtomPlan) -> AtomProfile:
+    out = AtomProfile(
+        index, ap.direction, ap.cost_forward, ap.cost_backward, ap.forced
+    )
+    for i, step in enumerate(atom.steps):
+        if isinstance(step, RVertexStep):
+            kind = "vertex"
+        elif isinstance(step, REdgeStep):
+            kind = "edge"
+        else:
+            kind = "regex"
+        out.steps.append(
+            StepProfile(
+                i,
+                kind,
+                _step_detail(step),
+                est_forward=ap.step_est_forward.get(i),
+                est_backward=ap.step_est_backward.get(i),
+            )
+        )
+    return out
+
+
+def _fill_set_actuals(
+    profile: QueryProfile, atoms: list, atom_results: dict[int, AtomSets]
+) -> None:
+    """Actual per-step cardinalities from backward-culled set results."""
+    for i, atom in enumerate(atoms):
+        sets = atom_results.get(i)
+        if sets is None or i >= len(profile.atoms):
+            continue
+        for sp in profile.atoms[i].steps:
+            source = (
+                sets.vertex_sets if sp.kind == "vertex" else sets.edge_sets
+            )
+            sp.actual = int(
+                sum(len(v) for v in source.get(sp.index, {}).values())
+            )
+
+
+def _fill_bindings_actuals(
+    profile: QueryProfile, branches: list["JoinedBindings"]
+) -> None:
+    """Actual per-step distinct cardinalities from enumerated paths."""
+    acc: dict[tuple[int, int, str], list[np.ndarray]] = {}
+    for jb in branches:
+        for (aord, kind, pos), arr in jb.columns.items():
+            if kind in ("v", "e"):
+                acc.setdefault((aord, pos, kind), []).append(arr)
+    for (aord, pos, _kind), arrs in acc.items():
+        if aord < len(profile.atoms) and pos < len(profile.atoms[aord].steps):
+            sp = profile.atoms[aord].steps[pos]
+            joined = arrs[0] if len(arrs) == 1 else np.concatenate(arrs)
+            # plain set() beats np.unique by ~10x on the small columns
+            # that dominate here; keep unique for genuinely wide results
+            if joined.size <= 4096:
+                sp.actual = len(set(joined.tolist()))
+            else:
+                sp.actual = int(np.unique(joined).size)
+
+
+def _run_set(
+    db, checked, plan, atoms, ordinals, profile=None, tracer=None
+) -> dict[int, AtomSets]:
     """Run all atoms under set semantics with and-composition refinement."""
-    fx = FrontierExecutor(db)
+    fx = FrontierExecutor(db, profile=profile)
     results: dict[int, AtomSets] = {}
 
     def run_all():
         for a in atoms:
             direction = plan.plan_for(a).direction
-            results[ordinals[id(a)]] = fx.run_atom(a, direction)
+            if tracer is not None:
+                with tracer.span(
+                    f"atom {ordinals[id(a)]}", direction=direction, strategy="set"
+                ):
+                    results[ordinals[id(a)]] = fx.run_atom(a, direction)
+            else:
+                results[ordinals[id(a)]] = fx.run_atom(a, direction)
 
     run_all()
     # refinement: intersect each label's defining set with every
@@ -283,19 +480,28 @@ def _label_def_ref_pairs(atoms, ordinals):
     ]
 
 
-def _run_bindings(db, catalog, checked, plan, ordinals) -> list[JoinedBindings]:
+def _run_bindings(
+    db, catalog, checked, plan, ordinals, profile=None, tracer=None
+) -> list[JoinedBindings]:
     """Run the composition tree under path enumeration.
 
     Returns one JoinedBindings per or-branch (a single element when the
     pattern has no 'or').
     """
-    fx = FrontierExecutor(db)
-    bex = BindingExecutor(db, catalog, frontier=fx)
+    fx = FrontierExecutor(db, profile=profile)
+    bex = BindingExecutor(db, catalog, frontier=fx, profile=profile)
 
     def run(node) -> list[JoinedBindings]:
         if isinstance(node, RAtom):
             o = ordinals[id(node)]
-            res = bex.run_atom(node, plan.plan_for(node).direction)
+            direction = plan.plan_for(node).direction
+            if tracer is not None:
+                with tracer.span(
+                    f"atom {o}", direction=direction, strategy="bindings"
+                ):
+                    res = bex.run_atom(node, direction)
+            else:
+                res = bex.run_atom(node, direction)
             return [JoinedBindings.from_result(o, res, node)]
         op, left, right = node
         lbs = run(left)

@@ -133,24 +133,48 @@ def _explain_graph_select(checked: CheckedGraphSelect, catalog: Catalog) -> str:
         lines.append(f"  bindings needed: {', '.join(reasons)}")
     for n, atom in enumerate(checked.pattern.atoms()):
         ap = plan.plan_for(atom)
+        forced = f", forced by {ap.forced}" if ap.forced else ""
         lines.append(
             f"  atom {n}: sweep {ap.direction} "
-            f"(cost fwd={ap.cost_forward:.1f}, bwd={ap.cost_backward:.1f})"
+            f"(cost fwd={ap.cost_forward:.1f}, bwd={ap.cost_backward:.1f}"
+            f"{forced})"
         )
-        for step in atom.steps:
-            lines.append("    " + _explain_step(step, catalog))
+        for pos, step in enumerate(atom.steps):
+            lines.append("    " + _explain_step(step, catalog, ap, pos))
     if stmt.into is not None:
         lines.append(f"  -> into {stmt.into.kind} {stmt.into.name}")
     return "\n".join(lines)
 
 
-def _explain_step(step, catalog: Catalog) -> str:
+def _both_direction_est(ap, pos) -> str:
+    """Both directions' frontier estimates for one step position.
+
+    Variant and regex steps have no single catalog cardinality to show,
+    so the plan's own per-direction estimates are the only way to see
+    what each sweep order would cost through them — show both, not just
+    the winner's.
+    """
+    if ap is None or pos is None:
+        return ""
+    ef = ap.step_est_forward.get(pos)
+    eb = ap.step_est_backward.get(pos)
+    if ef is None and eb is None:
+        return ""
+    ef_txt = f"{ef:.1f}" if ef is not None else "?"
+    eb_txt = f"{eb:.1f}" if eb is not None else "?"
+    return f" (est fwd={ef_txt}, bwd={eb_txt})"
+
+
+def _explain_step(step, catalog: Catalog, ap=None, pos=None) -> str:
     if isinstance(step, RVertexStep):
         parts = []
         if step.label is not None:
             parts.append(f"{step.label.kind} {step.label.name}:")
         if step.is_variant:
-            parts.append(f"[any of {len(step.types)} vertex types]")
+            parts.append(
+                f"[any of {len(step.types)} vertex types]"
+                + _both_direction_est(ap, pos)
+            )
         else:
             t = step.types[0] if step.types else "?"
             meta = catalog.vertices.get(t)
@@ -180,7 +204,10 @@ def _explain_step(step, catalog: Catalog) -> str:
         return f"edge {arrow} {names}{extras}"
     assert isinstance(step, RRegex)
     op = {"star": "*", "plus": "+"}.get(step.op, f"{{{step.count}}}")
-    return f"regex group ({len(step.pairs)} pair(s)){op} [fixpoint closure]"
+    return (
+        f"regex group ({len(step.pairs)} pair(s)){op} [fixpoint closure]"
+        + _both_direction_est(ap, pos)
+    )
 
 
 def explain_script(
@@ -210,4 +237,36 @@ def explain_script(
         f"-- schedule: {schedule.num_waves} wave(s), "
         f"max parallelism {schedule.max_parallelism}"
     )
+    return "\n".join(blocks)
+
+
+def explain_analyze(
+    database,
+    source: str,
+    params: Optional[Mapping[str, Any]] = None,
+    options=None,
+) -> str:
+    """EXPLAIN ANALYZE: the static plan, then the measured reality.
+
+    Executes the script on the given :class:`~repro.engine.Database`
+    (side effects included — DDL and ``into`` registrations happen) and
+    appends each statement's :class:`~repro.obs.QueryProfile` rendering
+    to the plan text, so estimated frontier sizes sit next to the
+    cardinalities the executors actually produced.
+    """
+    from dataclasses import replace
+
+    from repro.obs.options import DEFAULT_OPTIONS
+
+    plan_text = explain_script(source, database.catalog, params)
+    opts = options if options is not None else DEFAULT_OPTIONS
+    if not opts.profile:
+        opts = replace(opts, profile=True)
+    results = database.execute(source, params, opts)
+    blocks = [plan_text]
+    for i, r in enumerate(results):
+        blocks.append(f"-- analyze statement {i} " + "-" * 18)
+        blocks.append(
+            r.profile.render() if r.profile is not None else "(no profile)"
+        )
     return "\n".join(blocks)

@@ -190,7 +190,12 @@ class AtomSets:
 class FrontierExecutor:
     """Runs atoms under set semantics against a GraphDB."""
 
-    def __init__(self, db: GraphDB, label_env: Optional[dict[str, SetDict]] = None) -> None:
+    def __init__(
+        self,
+        db: GraphDB,
+        label_env: Optional[dict[str, SetDict]] = None,
+        profile=None,
+    ) -> None:
         self.db = db
         #: label name -> per-type vid sets (shared across atoms of a query)
         self.label_env: dict[str, SetDict] = label_env if label_env is not None else {}
@@ -199,6 +204,9 @@ class FrontierExecutor:
         self.pin_labels: dict[str, SetDict] = {}
         #: edge label name -> per-edge-type eid sets (Eq. 6 for edges)
         self.edge_label_env: dict[str, SetDict] = {}
+        #: optional QueryProfile receiving index-hit/edge-scan counters;
+        #: None keeps the hot path at a single attribute test
+        self.profile = profile
 
     # ------------------------------------------------------------------
     # Step primitives
@@ -261,6 +269,9 @@ class FrontierExecutor:
                 extra = allowed_edges.get(ename, _EMPTY)
                 allowed = extra if allowed is None else _intersect_sorted(allowed, extra)
             _, tgts, eids = index.expand_restricted(fr, allowed)
+            if self.profile is not None:
+                self.profile.index_hits += 1
+                self.profile.edges_scanned += len(eids)
             if len(eids) == 0:
                 continue
             frontier = _union(frontier, {to_type: np.unique(tgts)})

@@ -44,7 +44,13 @@ _REGEX_HOP_PENALTY = 2.0
 
 
 class AtomPlan:
-    """Planned execution of one linear path."""
+    """Planned execution of one linear path.
+
+    Besides the winning direction, the plan keeps *both* directions'
+    total costs and per-step frontier estimates (keyed by the step's
+    position in the atom), so EXPLAIN and ``QueryProfile`` can show the
+    road not taken — without that, direction ablations are undebuggable.
+    """
 
     def __init__(
         self,
@@ -52,11 +58,25 @@ class AtomPlan:
         direction: Direction,
         cost_forward: float,
         cost_backward: float,
+        step_est_forward: Optional[dict[int, float]] = None,
+        step_est_backward: Optional[dict[int, float]] = None,
+        forced: Optional[str] = None,
     ) -> None:
         self.atom = atom
         self.direction = direction
         self.cost_forward = cost_forward
         self.cost_backward = cost_backward
+        #: step index -> estimated frontier when sweeping forward
+        self.step_est_forward = step_est_forward or {}
+        #: step index -> estimated frontier when sweeping backward
+        self.step_est_backward = step_est_backward or {}
+        #: why the direction ignored the cost model
+        #: (None | 'label-ref' | 'options')
+        self.forced = forced
+
+    def step_estimates(self, direction: Optional[Direction] = None) -> dict[int, float]:
+        d = direction or self.direction
+        return self.step_est_forward if d == "forward" else self.step_est_backward
 
     def __repr__(self) -> str:
         return (
@@ -117,13 +137,22 @@ def _edge_expansion(step: REdgeStep, catalog: Catalog, along_lexical: bool) -> f
     return max(factors) * sel
 
 
-def _sweep_cost(steps: list, catalog: Catalog, forward: bool) -> float:
-    """Frontier-recurrence cost of sweeping an atom in one direction."""
+def _sweep_cost(
+    steps: list, catalog: Catalog, forward: bool
+) -> tuple[float, list[float]]:
+    """Frontier-recurrence cost of sweeping an atom in one direction.
+
+    Returns ``(total cost, per-step frontier estimates)`` with the
+    estimates aligned to the *sweep* order of ``steps``: a vertex step's
+    estimate is its post-filter frontier, an edge/regex step's estimate
+    is the expanded frontier before the next vertex filter.
+    """
     ordered = steps if forward else list(reversed(steps))
     first = ordered[0]
     if not isinstance(first, RVertexStep):  # pragma: no cover - grammar
         raise PlanError("path must start and end with vertex steps")
     frontier = _vertex_cardinality(first, catalog)
+    estimates = [frontier]
     cost = frontier
     i = 1
     while i < len(ordered):
@@ -135,6 +164,7 @@ def _sweep_cost(steps: list, catalog: Catalog, forward: bool) -> float:
         else:
             assert isinstance(estep, REdgeStep)
             frontier *= max(_edge_expansion(estep, catalog, along_lexical=forward), 1e-3)
+        estimates.append(frontier)
         assert isinstance(vstep, RVertexStep)
         selectivities = [
             estimate_selectivity(vstep.cond, catalog.vertex(t).distinct_counts)
@@ -143,9 +173,10 @@ def _sweep_cost(steps: list, catalog: Catalog, forward: bool) -> float:
         frontier *= max(selectivities)
         # frontier cannot exceed the step's own cardinality
         frontier = min(frontier, max(_vertex_cardinality(vstep, catalog), 1e-3))
+        estimates.append(frontier)
         cost += frontier
         i += 2
-    return cost
+    return cost, estimates
 
 
 def _has_internal_label_ref(atom: RAtom) -> bool:
@@ -170,15 +201,24 @@ def plan_atom(
     force_direction: Optional[Direction] = None,
 ) -> AtomPlan:
     """Choose the sweep direction for one atom."""
-    cf = _sweep_cost(atom.steps, catalog, forward=True)
-    cb = _sweep_cost(atom.steps, catalog, forward=False)
+    cf, est_f = _sweep_cost(atom.steps, catalog, forward=True)
+    cb, est_b = _sweep_cost(atom.steps, catalog, forward=False)
+    forced: Optional[str] = None
     if _has_internal_label_ref(atom):
         direction: Direction = "forward"
+        forced = "label-ref"
     elif force_direction is not None:
         direction = force_direction
+        forced = "options"
     else:
         direction = "forward" if cf <= cb else "backward"
-    return AtomPlan(atom, direction, cf, cb)
+    n = len(atom.steps)
+    # sweep-order estimates back onto original step positions
+    step_est_forward = {i: e for i, e in enumerate(est_f)}
+    step_est_backward = {n - 1 - i: e for i, e in enumerate(est_b)}
+    return AtomPlan(
+        atom, direction, cf, cb, step_est_forward, step_est_backward, forced
+    )
 
 
 def plan_graph_select(

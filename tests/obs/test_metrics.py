@@ -1,0 +1,201 @@
+"""MetricsRegistry unit tests: bucketing, reset semantics, rendering."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_monotonic(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.inc(7)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+            h.observe(v)
+        # non-cumulative internal counts: <=1, <=10, <=100, +Inf
+        assert h.bucket_counts == [2, 2, 1]
+        assert h.inf_count == 1
+        assert h.count == 6
+        assert h.sum == pytest.approx(1115.5)
+
+    def test_cumulative_counts(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 1000.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 2, 2, 3]
+
+    def test_boundary_is_inclusive(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_reset(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.reset()
+        assert h.bucket_counts == [0]
+        assert h.inf_count == 0
+        assert h.count == 0
+        assert h.sum == 0.0
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "things")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_label_sets_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("q_total", labels={"kind": "a"}).inc()
+        reg.counter("q_total", labels={"kind": "b"}).inc(2)
+        assert reg.value("q_total", labels={"kind": "a"}) == 1
+        assert reg.value("q_total", labels={"kind": "b"}) == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"a": "1", "b": "2"}).inc()
+        assert reg.value("m", labels={"b": "2", "a": "1"}) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("dual")
+        with pytest.raises(ValueError):
+            reg.gauge("dual")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok_name", labels={"bad-label": "x"})
+
+    def test_reset_keeps_registrations(self):
+        """reset() zeroes values but keeps every series registered —
+        the contract per-query deltas rely on."""
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help a").inc(5)
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        reg.reset()
+        assert reg.value("a_total") == 0
+        h = reg.get_histogram("h_seconds")
+        assert h.count == 0 and h.sum == 0.0
+        assert reg.names() == ["a_total", "h_seconds"]
+        # rendering still shows the zeroed series
+        assert "a_total 0" in reg.render_prometheus()
+
+    def test_clear_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.clear()
+        assert reg.names() == []
+        assert reg.render_prometheus() == ""
+
+    def test_reset_between_queries(self):
+        """Database.metrics.reset() between statements yields per-query
+        deltas."""
+        from tests.conftest import build_social_db
+
+        db = build_social_db()
+        db.metrics.reset()
+        db.execute(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph MR1"
+        )
+        first = db.metrics.value("graql_statements_total", {"kind": "subgraph"})
+        assert first == 1
+        db.metrics.reset()
+        assert (
+            db.metrics.value("graql_statements_total", {"kind": "subgraph"}) == 0
+        )
+        db.execute(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph MR2"
+        )
+        assert (
+            db.metrics.value("graql_statements_total", {"kind": "subgraph"}) == 1
+        )
+
+    def test_value_on_histogram_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        with pytest.raises(ValueError):
+            reg.value("h")
+
+
+class TestPrometheusRendering:
+    def test_deterministic_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total", "last").inc()
+        reg.counter("a_total", "first").inc(3)
+        text = reg.render_prometheus()
+        assert text.index("a_total") < text.index("z_total")
+        assert text == reg.render_prometheus()
+
+    def test_exposition_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", labels={"kind": "q"}).inc(2)
+        text = reg.render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{kind="q"} 2' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 105.5" in text
+        assert "lat_count 3" in text

@@ -1,0 +1,162 @@
+"""QueryOptions validation + the legacy force_* deprecation shim."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.options import (
+    DEFAULT_OPTIONS,
+    DEPRECATION_MSG,
+    QueryOptions,
+    resolve_options,
+)
+
+
+class TestQueryOptions:
+    def test_defaults(self):
+        o = QueryOptions()
+        assert o.direction is None
+        assert o.strategy is None
+        assert o.timeout is None
+        assert o.trace is False
+        assert o.explain is False
+        assert o.profile is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"direction": "sideways"},
+            {"strategy": "frontier"},
+            {"explain": "verbose"},
+            {"timeout": 0},
+            {"timeout": -1.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QueryOptions(**kwargs)
+
+    def test_frozen(self):
+        o = QueryOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            o.direction = "forward"
+
+    def test_with_timeout_fills_only_unset(self):
+        assert QueryOptions().with_timeout(2.0).timeout == 2.0
+        assert QueryOptions(timeout=1.0).with_timeout(2.0).timeout == 1.0
+        o = QueryOptions()
+        assert o.with_timeout(None) is o
+
+    def test_wants_analyze(self):
+        assert QueryOptions(explain="analyze").wants_analyze
+        assert not QueryOptions(explain="plan").wants_analyze
+        assert not QueryOptions(explain=True).wants_analyze
+
+
+class TestResolveOptions:
+    def test_bare_call_returns_shared_default(self):
+        assert resolve_options() is DEFAULT_OPTIONS
+
+    def test_explicit_options_pass_through(self):
+        o = QueryOptions(direction="forward")
+        assert resolve_options(o) is o
+
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="force_direction"):
+            o = resolve_options(force_direction="backward")
+        assert o.direction == "backward"
+        with pytest.warns(DeprecationWarning, match=DEPRECATION_MSG[:30]):
+            o = resolve_options(force_strategy="bindings")
+        assert o.strategy == "bindings"
+
+    def test_explicit_options_win_over_legacy(self):
+        with pytest.warns(DeprecationWarning):
+            o = resolve_options(
+                QueryOptions(direction="forward"), force_direction="backward"
+            )
+        assert o.direction == "forward"
+
+    def test_legacy_fills_unset_fields(self):
+        with pytest.warns(DeprecationWarning):
+            o = resolve_options(
+                QueryOptions(trace=True), force_strategy="set"
+            )
+        assert o.strategy == "set"
+        assert o.trace is True
+
+
+class TestDatabaseShim:
+    """The public entry points accept the legacy kwargs for one release."""
+
+    def test_execute_force_direction_warns_same_answer(self, social_db):
+        q = (
+            "select * from graph Person (country = 'US') --follows--> "
+            "Person ( ) into subgraph SH1"
+        )
+        with pytest.warns(DeprecationWarning, match="force_direction"):
+            legacy = social_db.execute(q, force_direction="backward")[0]
+        modern = social_db.execute(
+            q.replace("SH1", "SH2"), options=QueryOptions(direction="backward")
+        )[0]
+        assert legacy.profile.atoms[0].direction == "backward"
+        assert legacy.profile.atoms[0].forced == "options"
+        assert {k: v.tolist() for k, v in legacy.subgraph.vertices.items()} == {
+            k: v.tolist() for k, v in modern.subgraph.vertices.items()
+        }
+
+    def test_query_force_strategy_warns(self, social_db):
+        with pytest.warns(DeprecationWarning, match="force_strategy"):
+            t = social_db.query(
+                "select y.id from graph Person ( ) --follows--> "
+                "def y: Person ( ) into table SHT1",
+                force_strategy="bindings",
+            )
+        assert t.num_rows == 8
+
+    def test_executor_level_shim(self, social_db):
+        from repro.graql.parser import parse_script
+        from repro.query.executor import execute_statement
+
+        stmt = parse_script(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph SHX"
+        ).statements[0]
+        with pytest.warns(DeprecationWarning):
+            r = execute_statement(
+                social_db.db, social_db.catalog, stmt,
+                force_direction="forward",
+            )
+        assert r.profile.atoms[0].direction == "forward"
+
+    def test_server_submit_shim(self):
+        from repro.engine.server import Server
+
+        srv = Server()
+        srv.submit("admin", "create table T(i integer)")
+        srv.submit("admin", "create vertex VV(i) from table T")
+        srv.submit(
+            "admin",
+            "create table E(src integer, dst integer) "
+            "create edge ee with vertices (VV as A, VV as B) from table E "
+            "where E.src = A.i and E.dst = B.i",
+        )
+        srv.backend.ingest_rows("T", [(1,), (2,)])
+        srv.backend.ingest_rows("E", [(1, 2)])
+        srv.catalog.refresh(srv.backend)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            results = srv.submit(
+                "admin",
+                "select * from graph VV ( ) --ee--> VV ( ) into subgraph SS1",
+                force_strategy="set",
+            )
+        assert results[0].kind == "subgraph"
+
+    def test_modern_path_is_warning_free(self, social_db, recwarn):
+        social_db.execute(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph NW1",
+            options=QueryOptions(direction="forward", strategy="set"),
+        )
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]

@@ -1,0 +1,129 @@
+"""QueryProfile unit tests: superstep cap, rendering, metric recording."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    MAX_SUPERSTEP_ENTRIES,
+    AtomProfile,
+    QueryProfile,
+    StepProfile,
+    record_profile_metrics,
+)
+
+
+def _sample_profile() -> QueryProfile:
+    p = QueryProfile(kind="subgraph")
+    p.strategy = "set"
+    p.add_stage("plan", 1.5)
+    p.add_stage("execute", 4.5)
+    ap = AtomProfile(0, "forward", cost_forward=10.0, cost_backward=40.0)
+    ap.steps.append(
+        StepProfile(0, "vertex", "Person", est_forward=6.0, est_backward=3.0,
+                    actual=5)
+    )
+    p.atoms.append(ap)
+    p.index_hits = 2
+    p.edges_scanned = 17
+    p.rows_out = 5
+    return p
+
+
+class TestStages:
+    def test_time_stage_appends(self):
+        p = QueryProfile()
+        with p.time_stage("x"):
+            pass
+        assert p.stage_ms("x") is not None
+        assert p.stage_ms("missing") is None
+        assert p.total_ms == p.stage_ms("x")
+
+
+class TestSuperstepCap:
+    def test_totals_keep_counting_past_cap(self):
+        p = QueryProfile()
+        for i in range(MAX_SUPERSTEP_ENTRIES + 10):
+            p.record_superstep("expand", frontier=i, messages=2, nbytes=100,
+                               retries=1)
+        d = p.dist
+        assert len(d["steps"]) == MAX_SUPERSTEP_ENTRIES
+        assert d["supersteps"] == MAX_SUPERSTEP_ENTRIES + 10
+        assert d["messages"] == 2 * (MAX_SUPERSTEP_ENTRIES + 10)
+        assert d["bytes"] == 100 * (MAX_SUPERSTEP_ENTRIES + 10)
+        assert d["retries"] == MAX_SUPERSTEP_ENTRIES + 10
+
+    def test_ensure_dist_idempotent(self):
+        p = QueryProfile()
+        d = p.ensure_dist()
+        d["failovers"] = 3
+        assert p.ensure_dist() is d
+
+
+class TestRender:
+    def test_render_sections(self):
+        p = _sample_profile()
+        p.record_superstep("expand", frontier=9, messages=4, nbytes=256,
+                           retries=1)
+        p.dist["faults"] = {"drops": 2}
+        text = p.render()
+        assert "PROFILE (kind=subgraph, strategy=set, rows=5)" in text
+        assert "stages: plan=1.500ms execute=4.500ms total=6.000ms" in text
+        assert "atom 0: direction=forward (cost fwd=10.0, bwd=40.0)" in text
+        assert "est=       6.0 actual=       5" in text
+        assert "index: 2 lookups, 17 edges scanned" in text
+        assert "superstep 0 [expand]: frontier=9 messages=4 bytes=256" in text
+        assert "retries=1" in text
+        assert "faults: drops=2" in text
+
+    def test_render_forced_marker(self):
+        p = QueryProfile(kind="subgraph")
+        p.atoms.append(
+            AtomProfile(0, "backward", 10.0, 40.0, forced="options")
+        )
+        assert "forced by options" in p.render()
+
+    def test_to_dict_roundtrip_shape(self):
+        d = _sample_profile().to_dict()
+        assert d["kind"] == "subgraph"
+        assert d["stages"][0] == {"name": "plan", "ms": 1.5}
+        assert d["atoms"][0]["steps"][0]["actual"] == 5
+        assert d["dist"] is None
+        assert d["trace"] is None
+
+
+class TestRecordMetrics:
+    def test_basic_counters(self):
+        reg = MetricsRegistry()
+        record_profile_metrics(reg, _sample_profile())
+        assert reg.value("graql_statements_total", {"kind": "subgraph"}) == 1
+        assert reg.value("graql_index_hits_total") == 2
+        assert reg.value("graql_edges_scanned_total") == 17
+        assert reg.value("graql_plans_total", {"strategy": "set"}) == 1
+        assert reg.get_histogram("graql_rows_out").count == 1
+        assert (
+            reg.get_histogram("graql_stage_seconds", {"stage": "plan"}).count
+            == 1
+        )
+
+    def test_dist_counters(self):
+        reg = MetricsRegistry()
+        p = _sample_profile()
+        p.record_superstep("expand", frontier=9, messages=4, nbytes=256,
+                           retries=1)
+        p.record_superstep("cull", frontier=3, messages=2, nbytes=128)
+        p.dist["failovers"] = 1
+        p.dist["faults"] = {"drops": 2, "corrupt": 0}
+        record_profile_metrics(reg, p)
+        assert reg.value("graql_dist_supersteps_total") == 2
+        assert reg.value("graql_dist_messages_total") == 6
+        assert reg.value("graql_dist_bytes_total") == 384
+        assert reg.value("graql_dist_retries_total") == 1
+        assert reg.value("graql_dist_failovers_total") == 1
+        assert reg.value("graql_dist_faults_total", {"fault": "drops"}) == 2
+        # zero-count faults are not registered as series
+        assert reg.get_histogram("graql_dist_frontier_size").count == 2
+
+    def test_accumulates_across_statements(self):
+        reg = MetricsRegistry()
+        record_profile_metrics(reg, _sample_profile())
+        record_profile_metrics(reg, _sample_profile())
+        assert reg.value("graql_statements_total", {"kind": "subgraph"}) == 2
+        assert reg.value("graql_edges_scanned_total") == 34

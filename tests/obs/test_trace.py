@@ -1,0 +1,84 @@
+"""Span/Tracer unit tests."""
+
+from repro.obs.trace import Span, Tracer
+
+
+class TestSpan:
+    def test_finish_idempotent(self):
+        s = Span("x")
+        s.finish()
+        end = s.end_s
+        s.finish()
+        assert s.end_s == end
+
+    def test_duration_positive(self):
+        s = Span("x")
+        s.finish()
+        assert s.duration_ms >= 0.0
+
+    def test_set_attrs(self):
+        s = Span("x", {"a": 1})
+        s.set(b=2)
+        assert s.attrs == {"a": 1, "b": 2}
+
+    def test_to_dict(self):
+        s = Span("x", {"a": 1})
+        s.finish()
+        d = s.to_dict()
+        assert d["name"] == "x"
+        assert d["attrs"] == {"a": 1}
+        assert d["children"] == []
+        assert d["duration_ms"] >= 0
+
+
+class TestTracer:
+    def test_nesting(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner", atom=0):
+                assert tr.current().name == "inner"
+            with tr.span("inner2"):
+                pass
+        assert tr.current() is None
+        assert len(tr.roots) == 1
+        outer = tr.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+        assert outer.children[0].attrs == {"atom": 0}
+
+    def test_sibling_roots(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert [r.name for r in tr.roots] == ["a", "b"]
+
+    def test_span_finished_on_exception(self):
+        tr = Tracer()
+        try:
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tr.roots[0].end_s is not None
+        assert tr.current() is None
+
+    def test_render_indents_children(self):
+        tr = Tracer()
+        with tr.span("plan"):
+            with tr.span("atom 0", direction="forward"):
+                pass
+        text = tr.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("plan: ")
+        assert lines[1].startswith("  atom 0: ")
+        assert "direction=forward" in lines[1]
+
+    def test_to_dicts_tree(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        (d,) = tr.to_dicts()
+        assert d["name"] == "a"
+        assert d["children"][0]["name"] == "b"

@@ -147,21 +147,29 @@ class TestParams:
 
 class TestStrategyOverrides:
     def test_forced_direction_same_answer(self, social_db):
+        from repro.obs import QueryOptions
+
         q = ("select * from graph Person (country = 'US') --follows--> "
              "Person (country = 'DE') into subgraph F1")
-        a = social_db.execute(q, force_direction="forward")[0].subgraph
+        a = social_db.execute(
+            q, options=QueryOptions(direction="forward")
+        )[0].subgraph
         q2 = q.replace("F1", "F2")
-        b = social_db.execute(q2, force_direction="backward")[0].subgraph
+        b = social_db.execute(
+            q2, options=QueryOptions(direction="backward")
+        )[0].subgraph
         assert {k: v.tolist() for k, v in a.vertices.items()} == {
             k: v.tolist() for k, v in b.vertices.items()
         }
 
     def test_forced_bindings_subgraph_same_as_set(self, social_db):
+        from repro.obs import QueryOptions
+
         q = ("select * from graph Person ( ) --follows--> Person ( ) "
              "into subgraph S1")
         a = social_db.execute(q)[0].subgraph
         b = social_db.execute(
-            q.replace("S1", "S2"), force_strategy="bindings"
+            q.replace("S1", "S2"), options=QueryOptions(strategy="bindings")
         )[0].subgraph
         assert {k: v.tolist() for k, v in a.vertices.items()} == {
             k: v.tolist() for k, v in b.vertices.items()

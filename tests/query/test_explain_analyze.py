@@ -1,0 +1,205 @@
+"""EXPLAIN ANALYZE: golden-file stability, both-direction estimates on
+regex/variant steps, and actual-cardinality properties.
+
+The golden file normalizes wall-clock timings (``N.NNNms`` -> ``<T>ms``)
+but keeps every cost, estimate and actual count — the social fixture is
+hand-built and fully deterministic.  To regenerate after an intentional
+output change::
+
+    PYTHONPATH=src:. python -c "
+    import re; from tests.conftest import build_social_db
+    db = build_social_db()
+    t = db.explain(\"select * from graph Person (country = 'US') \"
+                   \"--follows--> def y: Person ( ) into subgraph GA1\",
+                   mode='analyze')
+    open('tests/golden/explain_analyze_social.txt', 'w').write(
+        re.sub(r'\\d+\\.\\d+ms', '<T>ms', t) + '\\n')"
+"""
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+from repro.obs import QueryOptions
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden"
+
+_GOLDEN_QUERY = (
+    "select * from graph Person (country = 'US') --follows--> "
+    "def y: Person ( ) into subgraph GA1"
+)
+
+
+def _normalize(text: str) -> str:
+    return re.sub(r"\d+\.\d+ms", "<T>ms", text)
+
+
+class TestGoldenFile:
+    def test_explain_analyze_social(self, social_db):
+        got = _normalize(social_db.explain(_GOLDEN_QUERY, mode="analyze"))
+        want = (GOLDEN / "explain_analyze_social.txt").read_text()
+        assert got.rstrip("\n") == want.rstrip("\n")
+
+    def test_mode_analyze_equals_options_analyze(self, social_db):
+        a = _normalize(social_db.explain(_GOLDEN_QUERY, mode="analyze"))
+        b = _normalize(
+            social_db.explain(
+                _GOLDEN_QUERY, options=QueryOptions(explain="analyze")
+            )
+        )
+        assert a == b
+
+
+class TestBothDirectionEstimates:
+    """Regex and variant steps show estimates for *both* sweep
+    directions, not just the chosen one."""
+
+    def test_regex_step(self, social_db):
+        text = social_db.explain(
+            "select * from graph Person ( ) ( --follows--> [ ] )+ "
+            "Person ( ) into subgraph G"
+        )
+        (line,) = [l for l in text.splitlines() if "regex group" in l]
+        assert re.search(r"\(est fwd=[\d.]+, bwd=[\d.]+\)", line)
+
+    def test_variant_step(self, social_db):
+        text = social_db.explain(
+            "select * from graph Person ( ) <--[]-- [ ] into subgraph G"
+        )
+        (line,) = [l for l in text.splitlines() if "any of" in l]
+        assert re.search(r"\(est fwd=[\d.]+, bwd=[\d.]+\)", line)
+
+
+class TestProfileContents:
+    def test_stages_and_steps(self, social_db):
+        r = social_db.execute(_GOLDEN_QUERY)[0]
+        p = r.profile
+        stage_names = [n for n, _ in p.stages]
+        assert stage_names[0] == "parse"
+        for required in ("typecheck", "plan", "execute", "materialize"):
+            assert required in stage_names
+        assert all(ms >= 0 for _, ms in p.stages)
+        ap = p.atoms[0]
+        assert ap.direction in ("forward", "backward")
+        assert ap.cost_forward > 0 and ap.cost_backward > 0
+        assert [s.kind for s in ap.steps] == ["vertex", "edge", "vertex"]
+        assert all(s.actual is not None for s in ap.steps)
+        assert p.index_hits >= 1
+
+    def test_trace_attached_on_request(self, social_db):
+        r = social_db.execute(
+            _GOLDEN_QUERY.replace("GA1", "GT1"),
+            options=QueryOptions(trace=True),
+        )[0]
+        assert r.profile.trace is not None
+        rendered = r.profile.trace.render()
+        assert "plan" in rendered and "execute" in rendered
+
+    def test_profile_off(self, social_db):
+        r = social_db.execute(
+            _GOLDEN_QUERY.replace("GA1", "GP0"),
+            options=QueryOptions(profile=False),
+        )[0]
+        assert r.profile is None
+
+
+class TestActualCardinalityProperties:
+    """The profile's per-step actuals equal independently-counted result
+    cardinalities, on both execution strategies."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_set_actuals_match_enumerated_paths(self, seed):
+        from tests.conftest import random_graph_db
+
+        db = random_graph_db(seed)
+        r = db.execute(
+            "select * from graph V0 (weight < 5) --e0--> V0 ( ) "
+            "into subgraph PS",
+            options=QueryOptions(strategy="set"),
+        )[0]
+        steps = {s.index: s for s in r.profile.atoms[0].steps}
+        # ground truth: enumerate every matching path through the
+        # bindings path (a completely separate executor)
+        t = db.query(
+            "select a.id as s, b.id as d from graph "
+            "def a: V0 (weight < 5) --e0--> def b: V0 ( ) into table PT"
+        )
+        rows = t.to_rows()
+        srcs = {row[0] for row in rows}
+        dsts = {row[1] for row in rows}
+        assert steps[0].actual == len(srcs)
+        assert steps[1].actual == len(rows)  # one row per distinct edge
+        assert steps[2].actual == len(dsts)
+        assert r.profile.rows_out == r.subgraph.num_vertices
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_bindings_actuals_match_set_actuals(self, seed):
+        from tests.conftest import random_graph_db
+
+        db = random_graph_db(seed)
+        q = (
+            "select * from graph V0 (weight < 5) --e0--> V0 ( ) "
+            "into subgraph {}"
+        )
+        a = db.execute(q.format("BA"), options=QueryOptions(strategy="set"))[0]
+        b = db.execute(
+            q.format("BB"), options=QueryOptions(strategy="bindings")
+        )[0]
+        assert b.profile.strategy == "bindings"
+        for sa, sb in zip(a.profile.atoms[0].steps, b.profile.atoms[0].steps):
+            assert sa.actual == sb.actual, f"step {sa.index} differs"
+        assert a.profile.rows_out == b.profile.rows_out
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_table_rows_out_matches_table(self, seed):
+        from tests.conftest import random_graph_db
+
+        db = random_graph_db(seed)
+        r = db.execute(
+            "select a.id as s, b.id as d from graph "
+            "def a: V0 ( ) --e0--> def b: V0 (color = 'red') into table TT"
+        )[0]
+        assert r.profile.rows_out == r.table.num_rows
+        assert r.profile.strategy == "bindings"
+
+    def test_est_and_actual_both_present(self, social_db):
+        r = social_db.execute(_GOLDEN_QUERY.replace("GA1", "EP1"))[0]
+        for s in r.profile.atoms[0].steps:
+            d = r.profile.atoms[0].direction
+            assert s.estimated(d) is not None
+            assert s.actual is not None and s.actual >= 0
+
+
+class TestDistProfile:
+    """Cluster runs attach per-superstep dist counters to the profile."""
+
+    def test_superstep_counters(self):
+        from repro.engine.server import Server
+        from tests.conftest import (
+            CITY_ROWS,
+            FOLLOW_ROWS,
+            PEOPLE_ROWS,
+            SOCIAL_DDL,
+        )
+
+        srv = Server(workers=3)
+        srv.submit("admin", SOCIAL_DDL)
+        srv.backend.ingest_rows("People", PEOPLE_ROWS)
+        srv.backend.ingest_rows("Cities", CITY_ROWS)
+        srv.backend.ingest_rows("Follows", FOLLOW_ROWS)
+        srv.cluster.rebuild()
+        r = srv.submit(
+            "admin",
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph DG",
+        )[0]
+        d = r.profile.dist
+        assert d is not None
+        assert d["supersteps"] >= 2  # at least one expand + one cull
+        assert d["messages"] > 0 and d["bytes"] > 0
+        phases = {s["phase"] for s in d["steps"]}
+        assert phases <= {"expand", "cull"}
+        assert any(s["frontier"] > 0 for s in d["steps"])
+        assert "graql_dist_supersteps_total" in srv.metrics.render_prometheus()
