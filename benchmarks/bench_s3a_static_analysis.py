@@ -5,10 +5,16 @@
 
 Measures type-checking of valid queries against the catalog, and verifies
 that every error class the paper lists is caught without touching data.
+Also enforces the semantic analyzer's overhead budget: ``graql check``
+(collect-all typecheck + lint passes, without the IR round-trip) may cost
+at most 10% more than plain parse + typecheck.
 """
+
+import time
 
 import pytest
 
+from repro.analysis import Analyzer
 from repro.errors import CatalogError, TypeCheckError
 from repro.graql.parser import parse_script, parse_statement
 from repro.graql.typecheck import check_script, check_statement
@@ -88,3 +94,69 @@ def test_s3a_all_error_classes_caught(benchmark, berlin_bench_db):
     caught = benchmark(check_invalid)
     assert caught == len(INVALID)
     benchmark.extra_info["error_classes"] = len(INVALID)
+
+
+# ----------------------------------------------------------------------
+# Analyzer overhead budget (docs/ANALYSIS.md)
+# ----------------------------------------------------------------------
+
+ANALYZER_BATCH = 5  # script analyses per timing sample
+ANALYZER_ROUNDS = 8  # samples per mode, interleaved
+ANALYZER_BUDGET = 1.10  # lint passes + diagnostics may cost at most +10%
+
+
+def test_s3a_analyzer_overhead_under_budget(benchmark, berlin_bench_db):
+    """The lint passes and diagnostic machinery ride on top of the same
+    parse + typecheck the front-end always does; their overhead per
+    statement must stay under 10% of that baseline.  The IR round-trip
+    (``verify_ir=True``) is a separate, optional cost and is reported
+    but not budgeted here.
+
+    Methodology matches bench_obs_overhead: interleaved best-of-N batch
+    means, so scheduler noise and frequency drift hit both modes alike.
+    """
+    catalog = berlin_bench_db.catalog
+    source = "\n".join(VALID)
+    n_stmts = len(VALID)
+    analyzer = Analyzer(catalog, verify_ir=False)
+    analyzer_ir = Analyzer(catalog, verify_ir=True)
+
+    def sample(fn):
+        t0 = time.perf_counter()
+        for _ in range(ANALYZER_BATCH):
+            fn()
+        return (time.perf_counter() - t0) / ANALYZER_BATCH
+
+    def baseline():
+        check_script(parse_script(source), catalog)
+
+    def analyze():
+        result = analyzer.analyze(source)
+        assert result.ok
+
+    def analyze_ir():
+        result = analyzer_ir.analyze(source)
+        assert result.ok
+
+    # warm every path once before timing
+    baseline(), analyze(), analyze_ir()
+
+    def run():
+        base = lint = full = float("inf")
+        for _ in range(ANALYZER_ROUNDS):
+            base = min(base, sample(baseline))
+            lint = min(lint, sample(analyze))
+            full = min(full, sample(analyze_ir))
+        return base, lint, full
+
+    base, lint, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = lint / base
+    benchmark.extra_info["parse_typecheck_us_per_stmt"] = round(base * 1e6 / n_stmts, 2)
+    benchmark.extra_info["analyze_us_per_stmt"] = round(lint * 1e6 / n_stmts, 2)
+    benchmark.extra_info["analyze_with_ir_us_per_stmt"] = round(full * 1e6 / n_stmts, 2)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+    assert ratio < ANALYZER_BUDGET, (
+        f"analyzer overhead {ratio:.3f}x exceeds {ANALYZER_BUDGET}x budget "
+        f"(parse+typecheck={base * 1e6 / n_stmts:.1f}us/stmt, "
+        f"analyze={lint * 1e6 / n_stmts:.1f}us/stmt)"
+    )

@@ -49,6 +49,7 @@ Return shapes: ``Database.execute`` returns ``list[StatementResult]``
 ``Table`` result and raises if there is none.
 """
 
+from repro.analysis import AnalysisResult, Analyzer, Diagnostic, IRVerifier
 from repro.engine.session import Database
 from repro.engine.server import Server, User
 from repro.obs import MetricsRegistry, QueryOptions, QueryProfile, Tracer
@@ -71,6 +72,10 @@ __all__ = [
     "Database",
     "Server",
     "User",
+    "Analyzer",
+    "AnalysisResult",
+    "Diagnostic",
+    "IRVerifier",
     "QueryOptions",
     "QueryProfile",
     "MetricsRegistry",

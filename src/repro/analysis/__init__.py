@@ -1,0 +1,27 @@
+"""Static analysis subsystem: diagnostics, lint passes, IR verification.
+
+See docs/ANALYSIS.md for the code registry and the ``graql check``
+usage contract.
+"""
+
+from repro.analysis.analyzer import AnalysisResult, Analyzer
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    classify_error,
+    diagnostic_from_error,
+)
+from repro.analysis.verifier import IRVerifier, verify_statement_ir
+from repro.graql.tokens import SourceSpan
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "CODES",
+    "Diagnostic",
+    "IRVerifier",
+    "SourceSpan",
+    "classify_error",
+    "diagnostic_from_error",
+    "verify_statement_ir",
+]

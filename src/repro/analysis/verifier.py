@@ -1,0 +1,411 @@
+"""IR verification: validate compiled statement bytes before shipping.
+
+The front-end compiles each statement to binary IR and ships exactly
+those bytes to the backend cluster (paper Section III).  A corrupted or
+hand-crafted stream must be rejected *before* submission — the backend
+decodes blindly.  :class:`IRVerifier` walks the byte stream with the same
+grammar as :func:`repro.graql.ir.decode_statement` but validates every
+field as it goes:
+
+* header: magic and version;
+* structure: known tags, in-bounds string lengths, no trailing bytes;
+* operand arity: binary operators have two non-null operands, ``not`` /
+  ``is null`` have one, regex groups have a sane op and count and at
+  least one (edge, vertex) pair, path atoms alternate vertex/edge steps
+  within their declared step count;
+* vocabulary: directions, label kinds, aggregate functions, into kinds
+  and column type names come from their closed sets;
+* resolution (when a catalog is given): vertex/edge/table names resolve
+  against the catalog or a label defined earlier in the same pattern.
+
+Failures raise :class:`~repro.errors.IRError` carrying the byte offset
+and the IR construct being verified.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog import Catalog
+from repro.dtypes import parse_type_name
+from repro.errors import IRError
+from repro.graql import ir as _ir
+from repro.storage.relops import AGGREGATE_FUNCS
+
+_BOOL_OPS = frozenset({"and", "or"})
+_CMP_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+_ARITH_OPS = frozenset({"+", "-", "*", "/"})
+_BINOPS = _BOOL_OPS | _CMP_OPS | _ARITH_OPS
+
+_DIRECTIONS = frozenset({"out", "in"})
+_LABEL_KINDS = frozenset({"def", "foreach"})
+_REGEX_OPS = frozenset({"star", "plus", "count"})
+_INTO_KINDS = frozenset({"table", "subgraph"})
+
+_STMT_TAGS = {
+    _ir._T_CREATE_TABLE: "create table",
+    _ir._T_CREATE_VERTEX: "create vertex",
+    _ir._T_CREATE_EDGE: "create edge",
+    _ir._T_INGEST: "ingest",
+    _ir._T_GRAPH_SELECT: "graph select",
+    _ir._T_TABLE_SELECT: "table select",
+}
+
+#: upper bound on any single collection count in a statement's IR; real
+#: statements are tiny, so a huge count means a corrupted length field
+MAX_COUNT = 1_000_000
+
+
+class IRVerifier:
+    """Validates one statement's IR bytes (see module docstring)."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # primitives (tracked offsets; every read is bounds-checked)
+    # ------------------------------------------------------------------
+    def _fail(self, message: str, where: str) -> None:
+        raise IRError(message, offset=self.pos, instruction=where)
+
+    def _take(self, n: int, where: str) -> bytes:
+        if self.pos + n > len(self.data):
+            self._fail(f"truncated stream (need {n} bytes)", where)
+        raw = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return raw
+
+    def _u8(self, where: str) -> int:
+        return self._take(1, where)[0]
+
+    def _u32(self, where: str) -> int:
+        raw = self._take(4, where)
+        return int.from_bytes(raw, "little")
+
+    def _i64(self, where: str) -> int:
+        raw = self._take(8, where)
+        return int.from_bytes(raw, "little", signed=True)
+
+    def _f64(self, where: str) -> None:
+        self._take(8, where)
+
+    def _count(self, where: str) -> int:
+        start = self.pos
+        n = self._u32(where)
+        if n > MAX_COUNT:
+            self.pos = start
+            self._fail(f"implausible element count {n}", where)
+        return n
+
+    def _string(self, where: str) -> str:
+        start = self.pos
+        n = self._u32(where)
+        if self.pos + n > len(self.data):
+            self.pos = start
+            self._fail(f"string length {n} exceeds stream", where)
+        raw = self._take(n, where)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError:
+            self.pos = start
+            self._fail("string is not valid UTF-8", where)
+            raise AssertionError("unreachable")
+
+    def _opt_string(self, where: str) -> Optional[str]:
+        flag = self._u8(where)
+        if flag not in (0, 1):
+            self.pos -= 1
+            self._fail(f"optional-flag byte must be 0/1, got {flag}", where)
+        return self._string(where) if flag else None
+
+    def _flag(self, where: str) -> bool:
+        v = self._u8(where)
+        if v not in (0, 1):
+            self.pos -= 1
+            self._fail(f"flag byte must be 0/1, got {v}", where)
+        return bool(v)
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def verify(self, data: bytes) -> None:
+        """Verify one encoded statement; raises :class:`IRError`."""
+        self.data = data
+        self.pos = 0
+        #: labels defined so far in the current pattern (vertex + edge)
+        self._labels: set[str] = set()
+        if self._take(4, "header") != _ir.MAGIC:
+            self.pos = 0
+            self._fail("bad IR magic", "header")
+        version = self._u8("header")
+        if version != _ir.VERSION:
+            self.pos -= 1
+            self._fail(f"unsupported IR version {version}", "header")
+        self._statement()
+        if self.pos != len(self.data):
+            self._fail(
+                f"{len(self.data) - self.pos} trailing bytes after statement",
+                "statement",
+            )
+
+    def _statement(self) -> None:
+        tag = self._u8("statement")
+        where = _STMT_TAGS.get(tag)
+        if where is None:
+            self.pos -= 1
+            self._fail(f"unknown statement tag 0x{tag:02x}", "statement")
+        if tag == _ir._T_CREATE_TABLE:
+            self._string(where)
+            ncols = self._count(where)
+            if ncols == 0:
+                self._fail("table has no columns", where)
+            for _ in range(ncols):
+                self._string(where)
+                tname = self._string(where)
+                try:
+                    parse_type_name(tname)
+                except Exception:
+                    self._fail(f"unknown column type {tname!r}", where)
+        elif tag == _ir._T_CREATE_VERTEX:
+            self._string(where)
+            nkeys = self._count(where)
+            if nkeys == 0:
+                self._fail("vertex has no key columns", where)
+            for _ in range(nkeys):
+                self._string(where)
+            table = self._string(where)
+            self._resolve("table", table, where)
+            self._expr(where, allow_none=True)
+        elif tag == _ir._T_CREATE_EDGE:
+            self._string(where)
+            src = self._string(where)
+            self._opt_string(where)
+            tgt = self._string(where)
+            self._opt_string(where)
+            self._resolve("vertex", src, where)
+            self._resolve("vertex", tgt, where)
+            for _ in range(self._count(where)):
+                self._resolve("table", self._string(where), where)
+            self._expr(where, allow_none=True)
+        elif tag == _ir._T_INGEST:
+            self._resolve("table", self._string(where), where)
+            self._string(where)
+        elif tag == _ir._T_GRAPH_SELECT:
+            self._items(where)
+            self._pattern(where)
+            self._into(where)
+        else:  # table select
+            self._items(where)
+            self._string(where)  # source may be a derived result table
+            self._i64(where)  # top (-1 = none)
+            self._flag(where)  # distinct
+            self._expr(where, allow_none=True)
+            for _ in range(self._count(where)):
+                self._string(where)  # group by
+            for _ in range(self._count(where)):
+                self._string(where)  # order-by column
+                self._flag(where)  # ascending
+            self._into(where)
+
+    def _resolve(self, kind: str, name: str, where: str) -> None:
+        """Check a name against the catalog (no-op without one)."""
+        if self.catalog is None:
+            return
+        if kind == "table" and not self.catalog.is_table(name):
+            self._fail(f"unknown table {name!r}", where)
+        if kind == "vertex" and not self.catalog.is_vertex(name):
+            if name not in self._labels:
+                self._fail(f"unknown vertex type {name!r}", where)
+        if kind == "edge" and not self.catalog.is_edge(name):
+            if name not in self._labels:
+                self._fail(f"unknown edge type {name!r}", where)
+
+    # -- expressions ---------------------------------------------------
+    def _expr(self, where: str, allow_none: bool = False) -> None:
+        tag = self._u8(where)
+        if tag == _ir._T_NONE:
+            if not allow_none:
+                self.pos -= 1
+                self._fail("missing operand (null expression)", where)
+            return
+        if tag == _ir._T_CONST_INT:
+            self._i64(where)
+        elif tag == _ir._T_CONST_FLOAT:
+            self._f64(where)
+        elif tag == _ir._T_CONST_STR:
+            self._string(where)
+        elif tag == _ir._T_CONST_BOOL:
+            self._flag(where)
+        elif tag == _ir._T_PARAM:
+            self._string(where)
+        elif tag == _ir._T_COLREF:
+            self._opt_string(where)
+            self._string(where)
+        elif tag == _ir._T_BINOP:
+            op = self._string(where)
+            if op not in _BINOPS:
+                self._fail(f"unknown binary operator {op!r}", "binop")
+            # both operands are mandatory: arity check
+            self._expr("binop operand", allow_none=False)
+            self._expr("binop operand", allow_none=False)
+        elif tag == _ir._T_NOT:
+            self._expr("not operand", allow_none=False)
+        elif tag == _ir._T_ISNULL:
+            self._flag(where)
+            self._expr("is-null operand", allow_none=False)
+        else:
+            self.pos -= 1
+            self._fail(f"unknown expression tag 0x{tag:02x}", where)
+
+    # -- patterns ------------------------------------------------------
+    def _label(self, where: str) -> None:
+        if not self._flag(where):
+            return
+        kind = self._string(where)
+        if kind not in _LABEL_KINDS:
+            self._fail(f"unknown label kind {kind!r}", where)
+        self._labels.add(self._string(where))
+
+    def _vstep(self) -> None:
+        tag = self._u8("vertex step")
+        if tag != _ir._T_VSTEP:
+            self.pos -= 1
+            self._fail(f"expected vertex step, got tag 0x{tag:02x}", "vertex step")
+        name = self._opt_string("vertex step")
+        is_variant = self._flag("vertex step")
+        if name is None and not is_variant:
+            self._fail("non-variant vertex step without a name", "vertex step")
+        if name is not None and not is_variant:
+            self._resolve("vertex", name, "vertex step")
+        self._expr("vertex step condition", allow_none=True)
+        self._label("vertex step")
+        seed = self._opt_string("vertex step")
+        if seed is not None and self.catalog is not None:
+            if seed not in self.catalog.subgraphs:
+                self._fail(f"unknown seed subgraph {seed!r}", "vertex step")
+
+    def _estep(self) -> None:
+        tag = self._u8("edge step")
+        if tag != _ir._T_ESTEP:
+            self.pos -= 1
+            self._fail(f"expected edge step, got tag 0x{tag:02x}", "edge step")
+        name = self._opt_string("edge step")
+        direction = self._string("edge step")
+        if direction not in _DIRECTIONS:
+            self._fail(f"invalid edge direction {direction!r}", "edge step")
+        is_variant = self._flag("edge step")
+        if name is None and not is_variant:
+            self._fail("non-variant edge step without a name", "edge step")
+        if name is not None and not is_variant:
+            self._resolve("edge", name, "edge step")
+        self._expr("edge step condition", allow_none=True)
+        self._label("edge step")
+
+    def _pattern(self, where: str) -> None:
+        tag = self._u8(where)
+        if tag == _ir._T_PATH_ATOM:
+            nsteps = self._count("path atom")
+            if nsteps == 0:
+                self._fail("empty path atom", "path atom")
+            expect_vertex = True
+            for i in range(nsteps):
+                if self.pos >= len(self.data):
+                    self._fail(
+                        f"path atom declares {nsteps} steps but stream "
+                        f"ends after {i}",
+                        "path atom",
+                    )
+                peek = self.data[self.pos]
+                if peek == _ir._T_VSTEP:
+                    if not expect_vertex:
+                        self._fail(
+                            "two consecutive vertex steps", "path atom"
+                        )
+                    self._vstep()
+                    expect_vertex = False
+                elif peek == _ir._T_ESTEP:
+                    if expect_vertex:
+                        self._fail(
+                            "edge step where a vertex step is required",
+                            "path atom",
+                        )
+                    self._estep()
+                    expect_vertex = True
+                elif peek == _ir._T_REGEX:
+                    if expect_vertex:
+                        self._fail(
+                            "regex group where a vertex step is required",
+                            "path atom",
+                        )
+                    self._regex()
+                    expect_vertex = True
+                else:
+                    self._fail(
+                        f"unexpected step tag 0x{peek:02x}", "path atom"
+                    )
+            if expect_vertex:
+                self._fail("path atom must end with a vertex step", "path atom")
+        elif tag == _ir._T_PATH_AND or tag == _ir._T_PATH_OR:
+            self._pattern(where)
+            self._pattern(where)
+        else:
+            self.pos -= 1
+            self._fail(f"unknown pattern tag 0x{tag:02x}", where)
+
+    def _regex(self) -> None:
+        self._u8("regex group")  # the _T_REGEX tag itself
+        op = self._string("regex group")
+        if op not in _REGEX_OPS:
+            self._fail(f"unknown regex op {op!r}", "regex group")
+        count = self._i64("regex group")
+        if op == "count" and count < 0:
+            self._fail(f"regex '{{n}}' with negative count {count}", "regex group")
+        if op != "count" and count != -1:
+            self._fail(
+                f"regex {op!r} must not carry a count (got {count})",
+                "regex group",
+            )
+        npairs = self._count("regex group")
+        if npairs == 0:
+            self._fail("regex group has no (edge, vertex) pairs", "regex group")
+        for _ in range(npairs):
+            self._estep()
+            self._vstep()
+
+    # -- items / into --------------------------------------------------
+    def _items(self, where: str) -> None:
+        n = self._count("select items")
+        if n == 0:
+            self._fail("empty select list", "select items")
+        for _ in range(n):
+            tag = self._u8("select items")
+            if tag == _ir._T_STAR_ITEM:
+                continue
+            if tag == _ir._T_ATTR_ITEM:
+                self._opt_string("select items")
+                self._string("select items")
+                self._opt_string("select items")
+            elif tag == _ir._T_STEP_ITEM:
+                self._string("select items")
+            elif tag == _ir._T_AGG_ITEM:
+                func = self._string("select items")
+                if func not in AGGREGATE_FUNCS:
+                    self._fail(f"unknown aggregate {func!r}", "select items")
+                self._opt_string("select items")
+                self._opt_string("select items")
+            else:
+                self.pos -= 1
+                self._fail(f"unknown item tag 0x{tag:02x}", "select items")
+
+    def _into(self, where: str) -> None:
+        if not self._flag("into clause"):
+            return
+        kind = self._string("into clause")
+        if kind not in _INTO_KINDS:
+            self._fail(f"unknown into kind {kind!r}", "into clause")
+        self._string("into clause")
+
+
+def verify_statement_ir(data: bytes, catalog: Optional[Catalog] = None) -> None:
+    """Convenience wrapper: verify one statement's IR bytes."""
+    IRVerifier(catalog).verify(data)

@@ -161,6 +161,22 @@ class Catalog:
         self.edges = edges
         self.subgraphs = subgraphs
 
+    def scratch_copy(self) -> "Catalog":
+        """A cheap copy for static analysis of a script.
+
+        Script checking only *inserts* scratch entries for the script's
+        own DDL — existing meta objects are never mutated — so fresh
+        top-level dicts sharing the meta objects are enough.  This
+        avoids deep-copying per-edge degree statistics on every check,
+        which dominates type-checking time on catalogs of any size.
+        """
+        cat = Catalog()
+        cat.tables = dict(self.tables)
+        cat.vertices = dict(self.vertices)
+        cat.edges = dict(self.edges)
+        cat.subgraphs = {name: dict(v) for name, v in self.subgraphs.items()}
+        return cat
+
     def register_result_table(self, name: str, table) -> None:
         """Targeted metadata update for an 'into table' result (cheap and
         safe to call from parallel statements)."""

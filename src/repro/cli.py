@@ -4,6 +4,7 @@ simple command-line interface to web-based front-ends").
 Usage::
 
     graql run script.graql --param Product1=product42
+    graql check script.graql [--strict] [--format json|text]
     graql profile script.graql --demo berlin
     graql stats script.graql --demo berlin
     graql repl
@@ -11,9 +12,14 @@ Usage::
     graql demo cyber
     graql demo biology
 
+``graql check`` statically analyzes without executing and exits 0 when
+clean, 1 when only warnings were found under ``--strict``, and 2 when
+errors were found (docs/ANALYSIS.md).
+
 The REPL accepts a statement per paragraph: terminate input with an empty
 line (or end with ``;``).  ``\\tables``, ``\\vertices``, ``\\edges`` and
-``\\subgraphs`` list catalog objects; ``\\quit`` exits.
+``\\subgraphs`` list catalog objects; ``\\check <stmt>`` analyzes a
+statement without running it; ``\\quit`` exits.
 """
 
 from __future__ import annotations
@@ -76,6 +82,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Statically analyze a script; exit 0 clean / 1 warnings / 2 errors."""
+    db = (
+        _demo_database(args.demo, args.scale) if args.demo else Database()
+    )
+    params = _parse_params(args.param or [])
+    try:
+        with open(args.script, encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    result = db.analyze(source, params or None)
+    if args.format == "json":
+        print(result.to_json(args.script))
+    else:
+        print(result.render_text(args.script))
+    return result.exit_code(strict=args.strict)
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """EXPLAIN ANALYZE a script: plans, then measured profiles."""
     db = (
@@ -126,7 +152,8 @@ def _repl(db: Database, limit: int) -> int:
     print(
         "GraQL REPL — terminate a statement with an empty line; "
         "\\explain <stmt> shows plans; \\profile <stmt> runs explain "
-        "analyze; \\stats prints metrics; \\quit to exit"
+        "analyze; \\check <stmt> analyzes without running; "
+        "\\stats prints metrics; \\quit to exit"
     )
     buffer: list[str] = []
     while True:
@@ -151,6 +178,9 @@ def _repl(db: Database, limit: int) -> int:
             continue
         if not buffer and stripped == "\\stats":
             print(db.render_metrics(), end="")
+            continue
+        if not buffer and stripped.startswith("\\check "):
+            print(db.analyze(stripped[len("\\check "):]).render_text("<repl>"))
             continue
         if not buffer and stripped.startswith("\\"):
             if stripped in ("\\quit", "\\q"):
@@ -213,6 +243,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print the plans instead of executing",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_check = sub.add_parser(
+        "check", help="statically analyze a script without executing it"
+    )
+    p_check.add_argument("script")
+    p_check.add_argument(
+        "--param", action="append", metavar="NAME=VALUE", help="query parameter"
+    )
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when warnings are present (errors always exit 2)",
+    )
+    p_check.add_argument(
+        "--format", choices=["text", "json"], default="text", help="output format"
+    )
+    p_check.add_argument(
+        "--demo",
+        choices=["berlin", "cyber", "biology"],
+        help="analyze against a demo dataset's catalog instead of an "
+        "empty database",
+    )
+    p_check.add_argument("--scale", type=int, default=200)
+    p_check.set_defaults(func=cmd_check)
 
     p_prof = sub.add_parser(
         "profile", help="explain analyze a script (plans + measured profiles)"

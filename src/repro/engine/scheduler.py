@@ -162,6 +162,19 @@ def _analyze(
     return out
 
 
+def statement_effects(
+    script: Script, catalog: Optional[Catalog] = None
+) -> list[tuple[set[tuple[str, str]], set[tuple[str, str]]]]:
+    """Per-statement ``(reads, writes)`` object sets (Section III-B1).
+
+    Public wrapper over the dependence analysis so other passes (e.g. the
+    static analyzer's dead-statement detection) can reason about which
+    named objects each statement consumes and produces without rebuilding
+    the whole schedule.
+    """
+    return [(e.reads, e.writes) for e in _analyze(script, catalog)]
+
+
 class ScriptSchedule:
     """The dependence DAG and its wave decomposition."""
 

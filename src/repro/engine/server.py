@@ -34,6 +34,7 @@ from repro.graql.ast import (
     Ingest,
     TableSelect,
 )
+from repro.analysis.verifier import verify_statement_ir
 from repro.graql.compiler import CompiledProgram, compile_script
 from repro.graql.ir import decode_statement
 from repro.obs.metrics import MetricsRegistry
@@ -190,6 +191,9 @@ class Server:
         compile_ms = (time.perf_counter() - t0) * 1000.0
         results = []
         for i, cs in enumerate(program):
+            # last line of defense before the backend decodes blindly:
+            # reject corrupted/hand-crafted IR with a positioned IRError
+            verify_statement_ir(cs.ir, self.catalog)
             self.ir_bytes_shipped += cs.ir_size
             t1 = time.perf_counter()
             stmt = decode_statement(cs.ir)  # backend-side decode

@@ -204,6 +204,36 @@ class Database:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def analyze(
+        self,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        force_direction: Optional[str] = None,
+        force_strategy: Optional[str] = None,
+    ):
+        """Statically analyze a script without executing anything.
+
+        Runs the multi-pass analyzer (collect-all typechecking, lint
+        passes, IR verification) against the current catalog and returns
+        an :class:`~repro.analysis.AnalysisResult` — every defect in one
+        run, each with a stable ``GQL``/``GQW`` code and ``line:col``.
+
+        The deprecated ``force_*`` shim kwargs are accepted (and their
+        use reported as ``GQW140``) so callers can lint call sites that
+        still pass them.
+        """
+        from repro.analysis import Analyzer
+
+        return Analyzer(self.catalog).analyze(
+            graql,
+            params,
+            deprecated_kwargs={
+                "force_direction": force_direction,
+                "force_strategy": force_strategy,
+            },
+        )
+
     def explain(
         self,
         graql: str,

@@ -11,7 +11,33 @@ from __future__ import annotations
 
 
 class GraQLError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Every error may carry a stable diagnostic ``code`` (``GQL0xx``, see
+    docs/ANALYSIS.md) and a 1-based source position (``line``/``column``,
+    0 when unknown).  :meth:`with_pos` attaches a position after the fact
+    without changing the exception type — the static analyzer uses it to
+    point errors raised deep inside the typechecker at the offending
+    token.
+    """
+
+    #: stable diagnostic code (docs/ANALYSIS.md); None when unassigned
+    code: "str | None" = None
+
+    def with_pos(self, line: int, column: int) -> "GraQLError":
+        """Attach a source position, appending ``(line L, column C)`` to
+        the message once.  A position already present wins."""
+        if line and not getattr(self, "line", 0):
+            self.line = line
+            self.column = column
+            self.args = (f"{self.args[0]} (line {line}, column {column})",) + self.args[1:]
+        return self
+
+    def with_code(self, code: str) -> "GraQLError":
+        """Attach a diagnostic code (existing code wins)."""
+        if self.code is None:
+            self.code = code
+        return self
 
 
 class LexError(GraQLError):
@@ -41,7 +67,17 @@ class TypeCheckError(GraQLError):
     Examples: comparing a date to a float, using a table name where a
     vertex type is required, ill-formed path queries (vertex step followed
     by a vertex step), or referencing undeclared attributes.
+
+    Carries an optional 1-based ``line``/``column`` (0 = unknown), same
+    convention as :class:`ParseError`.
     """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class CatalogError(GraQLError):
@@ -61,7 +97,27 @@ class PlanError(GraQLError):
 
 
 class IRError(GraQLError):
-    """Raised when binary IR encoding or decoding fails."""
+    """Raised when binary IR encoding, decoding or verification fails.
+
+    ``offset`` positions the error at the offending byte of the IR
+    stream (None when not applicable); ``instruction`` names the IR
+    construct being decoded/verified when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: "int | None" = None,
+        instruction: "str | None" = None,
+    ) -> None:
+        where = ""
+        if instruction is not None:
+            where += f" in {instruction}"
+        if offset is not None:
+            where += f" at byte offset {offset}"
+        super().__init__(f"{message}{where}" if where else message)
+        self.offset = offset
+        self.instruction = instruction
 
 
 class AccessError(GraQLError):

@@ -40,9 +40,18 @@ INTO_SUBGRAPH = "subgraph"
 
 
 class Node:
-    """Base AST node with structural equality."""
+    """Base AST node with structural equality.
 
-    __slots__ = ()
+    Every node can carry an optional ``span``
+    (:class:`~repro.graql.tokens.SourceSpan`) recording where in the
+    source it was parsed.  Spans are *metadata*: they do not participate
+    in structural equality or hashing (the pretty-print round-trip
+    property compares re-parsed trees, whose spans differ), and nodes
+    built programmatically simply have none.  Use :func:`span_of` for
+    safe access.
+    """
+
+    __slots__ = ("span",)
 
     def _fields(self) -> tuple:
         return tuple(getattr(self, s) for s in self.__slots__)
@@ -283,6 +292,30 @@ class PathOr(Node):
     def __init__(self, left: Node, right: Node) -> None:
         self.left = left
         self.right = right
+
+
+def span_of(node: object):
+    """The node's :class:`~repro.graql.tokens.SourceSpan`, or None.
+
+    Works on AST nodes and on :mod:`repro.storage.expr` expression nodes
+    (both store spans in an optional slot that may be unset).
+    """
+    return getattr(node, "span", None)
+
+
+def set_span(node, span):
+    """Attach *span* to *node* (no-op for ``span=None``); returns node."""
+    if span is not None:
+        node.span = span
+    return node
+
+
+def copy_span(src, dst):
+    """Propagate ``src``'s span to ``dst`` when dst has none; returns dst."""
+    span = getattr(src, "span", None)
+    if span is not None and getattr(dst, "span", None) is None:
+        dst.span = span
+    return dst
 
 
 def atoms(pattern: Node) -> list[PathAtom]:

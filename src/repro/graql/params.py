@@ -25,6 +25,7 @@ from repro.graql.ast import (
     Statement,
     TableSelect,
     VertexStep,
+    copy_span,
 )
 from repro.storage.expr import Const, Expr, Param, substitute_params
 
@@ -56,43 +57,46 @@ def _sub_pattern(node, values):
         steps = []
         for s in node.steps:
             if isinstance(s, VertexStep):
-                steps.append(
-                    VertexStep(
-                        s.name, s.is_variant, _sub_expr(s.cond, values), s.label, s.seed
-                    )
+                new = VertexStep(
+                    s.name, s.is_variant, _sub_expr(s.cond, values), s.label, s.seed
                 )
             elif isinstance(s, EdgeStep):
-                steps.append(
-                    EdgeStep(
-                        s.name,
-                        s.direction,
-                        s.is_variant,
-                        _sub_expr(s.cond, values),
-                        s.label,
-                    )
+                new = EdgeStep(
+                    s.name,
+                    s.direction,
+                    s.is_variant,
+                    _sub_expr(s.cond, values),
+                    s.label,
                 )
             else:
                 assert isinstance(s, RegexGroup)
                 pairs = [
                     (
-                        EdgeStep(
-                            e.name,
-                            e.direction,
-                            e.is_variant,
-                            _sub_expr(e.cond, values),
-                            e.label,
+                        copy_span(
+                            e,
+                            EdgeStep(
+                                e.name,
+                                e.direction,
+                                e.is_variant,
+                                _sub_expr(e.cond, values),
+                                e.label,
+                            ),
                         ),
-                        VertexStep(
-                            v.name,
-                            v.is_variant,
-                            _sub_expr(v.cond, values),
-                            v.label,
-                            v.seed,
+                        copy_span(
+                            v,
+                            VertexStep(
+                                v.name,
+                                v.is_variant,
+                                _sub_expr(v.cond, values),
+                                v.label,
+                                v.seed,
+                            ),
                         ),
                     )
                     for e, v in s.pairs
                 ]
-                steps.append(RegexGroup(pairs, s.op, s.count))
+                new = RegexGroup(pairs, s.op, s.count)
+            steps.append(copy_span(s, new))
         return PathAtom(steps)
     if isinstance(node, PathAnd):
         return PathAnd(_sub_pattern(node.left, values), _sub_pattern(node.right, values))
@@ -104,9 +108,11 @@ def substitute_statement(stmt: Statement, values: Mapping[str, Any]) -> Statemen
     """Return *stmt* with every ``%Param%`` replaced by a literal."""
     consts = _normalize(values)
     if isinstance(stmt, GraphSelect):
-        return GraphSelect(stmt.items, _sub_pattern(stmt.pattern, consts), stmt.into)
-    if isinstance(stmt, TableSelect):
-        return TableSelect(
+        new: Statement = GraphSelect(
+            stmt.items, _sub_pattern(stmt.pattern, consts), stmt.into
+        )
+    elif isinstance(stmt, TableSelect):
+        new = TableSelect(
             stmt.items,
             stmt.source,
             stmt.top,
@@ -116,19 +122,21 @@ def substitute_statement(stmt: Statement, values: Mapping[str, Any]) -> Statemen
             stmt.order_by,
             stmt.into,
         )
-    if isinstance(stmt, CreateVertex):
-        return CreateVertex(
+    elif isinstance(stmt, CreateVertex):
+        new = CreateVertex(
             stmt.name, stmt.key_cols, stmt.table, _sub_expr(stmt.where, consts)
         )
-    if isinstance(stmt, CreateEdge):
-        return CreateEdge(
+    elif isinstance(stmt, CreateEdge):
+        new = CreateEdge(
             stmt.name,
             stmt.source,
             stmt.target,
             stmt.from_tables,
             _sub_expr(stmt.where, consts),
         )
-    return stmt
+    else:
+        return stmt
+    return copy_span(stmt, new)
 
 
 def substitute_script(script: Script, values: Mapping[str, Any]) -> Script:

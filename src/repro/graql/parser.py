@@ -76,7 +76,7 @@ from repro.graql.ast import (
     VertexStep,
 )
 from repro.graql.lexer import tokenize
-from repro.graql.tokens import Token
+from repro.graql.tokens import SourceSpan, Token
 from repro.storage.expr import (
     BinOp,
     ColRef,
@@ -164,6 +164,11 @@ class Parser:
         tok = self.peek()
         return ParseError(message, tok.line, tok.column)
 
+    def _spanned(self, node, tok: Token):
+        """Attach *tok*'s position to an AST/expression node."""
+        node.span = SourceSpan(tok.line, tok.column)
+        return node
+
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
@@ -180,11 +185,11 @@ class Parser:
     def parse_statement(self) -> Statement:
         tok = self.peek()
         if tok.is_keyword("create"):
-            return self._parse_create()
+            return self._spanned(self._parse_create(), tok)
         if tok.is_keyword("ingest"):
-            return self._parse_ingest()
+            return self._spanned(self._parse_ingest(), tok)
         if tok.is_keyword("select"):
-            return self._parse_select()
+            return self._spanned(self._parse_select(), tok)
         raise self.error(
             f"expected statement (create/ingest/select), got {tok.value!r}"
         )
@@ -396,14 +401,14 @@ class Parser:
                 arg = self.expect_ident("aggregate argument")
             self.expect(T.RPAREN)
             alias = self.expect_ident("alias") if self.match_kw("as") else None
-            return AggItem(tok.value, arg, alias)
+            return self._spanned(AggItem(tok.value, arg, alias), tok)
         name = self.expect_ident("select item")
         qualifier = None
         if self.match(T.DOT):
             qualifier = name
             name = self.expect_ident("attribute name")
         alias = self.expect_ident("alias") if self.match_kw("as") else None
-        return AttrItem(ColRef(qualifier, name), alias)
+        return self._spanned(AttrItem(ColRef(qualifier, name), alias), tok)
 
     def _bind_graph_items(self, items: list[SelectItem]) -> list[SelectItem]:
         """In graph selects, a bare unqualified name selects a whole step
@@ -415,7 +420,10 @@ class Parser:
                 and item.ref.qualifier is None
                 and item.alias is None
             ):
-                out.append(StepItem(item.ref.name))
+                step = StepItem(item.ref.name)
+                if getattr(item, "span", None) is not None:
+                    step.span = item.span
+                out.append(step)
             else:
                 out.append(item)
         return out
@@ -470,11 +478,14 @@ class Parser:
         return False
 
     def _parse_vertex_step(self) -> VertexStep:
+        start = self.peek()
         label = self._parse_label()
         # variant step "[ ]"
         if self.match(T.LBRACKET):
             self.expect(T.RBRACKET)
-            return VertexStep(None, is_variant=True, label=label)
+            return self._spanned(
+                VertexStep(None, is_variant=True, label=label), start
+            )
         name = self.expect_ident("vertex type or label name")
         seed = None
         if self.check(T.DOT) and self.peek(1).kind == T.IDENT:
@@ -483,19 +494,23 @@ class Parser:
             seed = name
             name = self.expect_ident("vertex type name")
         cond = self._parse_step_condition()
-        return VertexStep(name, is_variant=False, cond=cond, label=label, seed=seed)
+        return self._spanned(
+            VertexStep(name, is_variant=False, cond=cond, label=label, seed=seed),
+            start,
+        )
 
     def _parse_label(self) -> Optional[Label]:
+        start = self.peek()
         if self.check_kw("def"):
             self.advance()
             name = self.expect_ident("label name")
             self.expect(T.COLON)
-            return Label(LABEL_SET, name)
+            return self._spanned(Label(LABEL_SET, name), start)
         if self.check_kw("foreach"):
             self.advance()
             name = self.expect_ident("label name")
             self.expect(T.COLON)
-            return Label(LABEL_FOREACH, name)
+            return self._spanned(Label(LABEL_FOREACH, name), start)
         return None
 
     def _parse_step_condition(self) -> Optional[Expr]:
@@ -530,13 +545,13 @@ class Parser:
             self.advance()
             name, is_variant, cond, label = self._parse_edge_core()
             self.expect(T.RARROW, "'-->'")
-            return EdgeStep(name, DIR_OUT, is_variant, cond, label)
+            return self._spanned(EdgeStep(name, DIR_OUT, is_variant, cond, label), tok)
         if tok.kind == T.LARROW:
             # <--name(cond)-- incoming
             self.advance()
             name, is_variant, cond, label = self._parse_edge_core()
             self.expect(T.DASHES, "'--'")
-            return EdgeStep(name, DIR_IN, is_variant, cond, label)
+            return self._spanned(EdgeStep(name, DIR_IN, is_variant, cond, label), tok)
         raise self.error("expected an edge step ('--', '<--' or regex group)")
 
     def _parse_edge_core(self):
@@ -554,6 +569,7 @@ class Parser:
         return name, False, cond, label
 
     def _parse_regex_group(self) -> RegexGroup:
+        start = self.peek()
         self.expect(T.LPAREN)
         pairs: list[tuple[EdgeStep, VertexStep]] = []
         while not self.check(T.RPAREN):
@@ -566,13 +582,13 @@ class Parser:
         if not pairs:
             raise self.error("empty path regular expression group")
         if self.match(T.STAR):
-            return RegexGroup(pairs, REGEX_STAR)
+            return self._spanned(RegexGroup(pairs, REGEX_STAR), start)
         if self.match(T.PLUS):
-            return RegexGroup(pairs, REGEX_PLUS)
+            return self._spanned(RegexGroup(pairs, REGEX_PLUS), start)
         if self.match(T.LBRACE):
             num = self.expect(T.NUMBER, "repetition count")
             self.expect(T.RBRACE)
-            return RegexGroup(pairs, REGEX_COUNT, int(num.value))
+            return self._spanned(RegexGroup(pairs, REGEX_COUNT, int(num.value)), start)
         raise self.error("expected '*', '+' or '{n}' after regex group")
 
     # ------------------------------------------------------------------
@@ -584,21 +600,21 @@ class Parser:
     def _parse_or(self) -> Expr:
         left = self._parse_and()
         while self.check_kw("or"):
-            self.advance()
-            left = BinOp("or", left, self._parse_and())
+            tok = self.advance()
+            left = self._spanned(BinOp("or", left, self._parse_and()), tok)
         return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_not()
         while self.check_kw("and"):
-            self.advance()
-            left = BinOp("and", left, self._parse_not())
+            tok = self.advance()
+            left = self._spanned(BinOp("and", left, self._parse_not()), tok)
         return left
 
     def _parse_not(self) -> Expr:
         if self.check_kw("not"):
-            self.advance()
-            return Not(self._parse_not())
+            tok = self.advance()
+            return self._spanned(Not(self._parse_not()), tok)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> Expr:
@@ -607,54 +623,56 @@ class Parser:
         if tok.kind in (T.EQ, T.NE, T.BANG_NE, T.LT, T.LE, T.GT, T.GE):
             self.advance()
             op = "<>" if tok.kind == T.BANG_NE else tok.kind
-            return BinOp(op, left, self._parse_additive())
+            return self._spanned(BinOp(op, left, self._parse_additive()), tok)
         if tok.is_keyword("is"):
             self.advance()
             negated = self.match_kw("not")
             self.expect_kw("null")
-            return IsNull(left, negated)
+            return self._spanned(IsNull(left, negated), tok)
         return left
 
     def _parse_additive(self) -> Expr:
         left = self._parse_multiplicative()
         while self.peek().kind in (T.PLUS, T.MINUS):
-            op = self.advance().kind
-            left = BinOp(op, left, self._parse_multiplicative())
+            tok = self.advance()
+            left = self._spanned(
+                BinOp(tok.kind, left, self._parse_multiplicative()), tok
+            )
         return left
 
     def _parse_multiplicative(self) -> Expr:
         left = self._parse_unary()
         while self.peek().kind in (T.STAR, T.SLASH):
-            op = self.advance().kind
-            left = BinOp(op, left, self._parse_unary())
+            tok = self.advance()
+            left = self._spanned(BinOp(tok.kind, left, self._parse_unary()), tok)
         return left
 
     def _parse_unary(self) -> Expr:
         if self.check(T.MINUS):
-            self.advance()
+            tok = self.advance()
             operand = self._parse_unary()
             if isinstance(operand, Const) and isinstance(operand.value, (int, float)):
-                return Const(-operand.value)
-            return BinOp("-", Const(0), operand)
+                return self._spanned(Const(-operand.value), tok)
+            return self._spanned(BinOp("-", Const(0), operand), tok)
         return self._parse_primary()
 
     def _parse_primary(self) -> Expr:
         tok = self.peek()
         if tok.kind == T.NUMBER:
             self.advance()
-            return Const(tok.value)
+            return self._spanned(Const(tok.value), tok)
         if tok.kind == T.STRING:
             self.advance()
-            return Const(tok.value)
+            return self._spanned(Const(tok.value), tok)
         if tok.kind == T.PARAM:
             self.advance()
-            return Param(tok.value)
+            return self._spanned(Param(tok.value), tok)
         if tok.is_keyword("true"):
             self.advance()
-            return Const(True)
+            return self._spanned(Const(True), tok)
         if tok.is_keyword("false"):
             self.advance()
-            return Const(False)
+            return self._spanned(Const(False), tok)
         if tok.kind == T.LPAREN:
             self.advance()
             expr = self._parse_expr()
@@ -665,8 +683,8 @@ class Parser:
             if self.check(T.DOT) and self.peek(1).kind == T.IDENT:
                 self.advance()
                 attr = self.expect_ident("attribute name")
-                return ColRef(tok.value, attr)
-            return ColRef(None, tok.value)
+                return self._spanned(ColRef(tok.value, attr), tok)
+            return self._spanned(ColRef(None, tok.value), tok)
         raise self.error(f"expected an expression, got {tok.kind} {tok.value!r}")
 
 

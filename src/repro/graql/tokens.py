@@ -79,6 +79,52 @@ KEYWORDS = frozenset(
 )
 
 
+class SourceSpan:
+    """A source position (1-based line/column), optionally extended.
+
+    Spans originate from :class:`Token` positions and ride on AST nodes
+    (``node.span``) so that static analysis can point every diagnostic at
+    ``line:col``.  ``end_line``/``end_column`` are optional — a span with
+    only a start is still useful for error reporting.
+    """
+
+    __slots__ = ("line", "column", "end_line", "end_column")
+
+    def __init__(
+        self,
+        line: int,
+        column: int,
+        end_line: int | None = None,
+        end_column: int | None = None,
+    ) -> None:
+        self.line = line
+        self.column = column
+        self.end_line = end_line
+        self.end_column = end_column
+
+    @classmethod
+    def from_token(cls, tok: "Token") -> "SourceSpan":
+        return cls(tok.line, tok.column)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceSpan)
+            and self.line == other.line
+            and self.column == other.column
+            and self.end_line == other.end_line
+            and self.end_column == other.end_column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column, self.end_line, self.end_column))
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourceSpan({self.line}, {self.column})"
+
+
 class Token:
     """A lexical token with source position (1-based line/column)."""
 

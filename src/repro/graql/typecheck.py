@@ -22,12 +22,13 @@ edge whose endpoints cannot line up, is reported statically — the paper's
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.catalog import Catalog
 from repro.dtypes import DataType
 from repro.dtypes.datatypes import KIND_BOOL
-from repro.errors import TypeCheckError
+from repro.errors import CatalogError, GraQLError, TypeCheckError
 from repro.graql.ast import (
     AggItem,
     AttrItem,
@@ -52,6 +53,7 @@ from repro.graql.ast import (
     StepItem,
     TableSelect,
     VertexStep,
+    span_of,
 )
 from repro.storage.expr import ColRef, Expr, col_refs, infer_type, params
 from repro.storage.relops import AGGREGATE_FUNCS
@@ -199,44 +201,105 @@ class CheckedGraphSelect:
 # Statement dispatch
 # ----------------------------------------------------------------------
 
-def check_statement(stmt: Statement, catalog: Catalog):
+def _attach(e: GraQLError, span) -> GraQLError:
+    """Attach *span*'s position to an error (no-op when span is None or
+    the error already carries a position)."""
+    if span is not None:
+        e.with_pos(span.line, span.column)
+    return e
+
+
+@contextmanager
+def _guard(collector: "Optional[list]", span=None):
+    """Run a check; in *collect* mode record failures instead of raising.
+
+    This is the core of collect-all diagnostics: fail-fast callers pass
+    ``collector=None`` and see the exact historical behaviour (first
+    error raises, now with a source position attached); the analyzer
+    passes a list and keeps going, accumulating every error.
+    """
+    try:
+        yield
+    except (TypeCheckError, CatalogError) as e:
+        _attach(e, span)
+        if collector is None:
+            raise
+        collector.append(e)
+
+
+def check_statement(stmt: Statement, catalog: Catalog, collector: Optional[list] = None):
     """Type-check one statement; returns the statement (or a
     :class:`CheckedGraphSelect` for graph queries).  Raises
-    :class:`TypeCheckError` / :class:`CatalogError` on violation."""
-    if isinstance(stmt, CreateTable):
-        _check_create_table(stmt, catalog)
-        return stmt
-    if isinstance(stmt, CreateVertex):
-        _check_create_vertex(stmt, catalog)
-        return stmt
-    if isinstance(stmt, CreateEdge):
-        _check_create_edge(stmt, catalog)
-        return stmt
-    if isinstance(stmt, Ingest):
-        catalog.table(stmt.table)
-        return stmt
+    :class:`TypeCheckError` / :class:`CatalogError` on violation.
+
+    With a *collector* list, errors are appended to it instead of raised
+    (collect-all mode); the return value may then be ``None`` when the
+    statement is too broken to resolve, or a partially-resolved result.
+    """
+    if isinstance(stmt, GraphSelect):
+        return _check_graph_select(stmt, catalog, collector)
     if isinstance(stmt, TableSelect):
-        _check_table_select(stmt, catalog)
+        _check_table_select(stmt, catalog, collector)
         return stmt
-    assert isinstance(stmt, GraphSelect)
-    return _check_graph_select(stmt, catalog)
+    with _guard(collector, span_of(stmt)):
+        if isinstance(stmt, CreateTable):
+            _check_create_table(stmt, catalog)
+        elif isinstance(stmt, CreateVertex):
+            _check_create_vertex(stmt, catalog)
+        elif isinstance(stmt, CreateEdge):
+            _check_create_edge(stmt, catalog)
+        else:
+            assert isinstance(stmt, Ingest)
+            catalog.table(stmt.table)
+        return stmt
+    return None
 
 
 def check_script(script: Script, catalog: Catalog) -> list:
-    """Check a whole script statement-by-statement.
+    """Check a whole script statement-by-statement (fail-fast).
 
     DDL statements update a *scratch copy* of the catalog metadata so later
     statements can reference objects created earlier in the same script
     (the real objects are built at execution time).
     """
-    import copy
-
-    scratch = copy.deepcopy(catalog)
+    scratch = catalog.scratch_copy()
     out = []
     for stmt in script.statements:
         out.append(check_statement(stmt, scratch))
         _apply_ddl_to_catalog(stmt, scratch)
     return out
+
+
+def check_script_collect(
+    script: Script, catalog: Catalog
+) -> tuple[list, list, Catalog]:
+    """Check a whole script, accumulating *all* type errors.
+
+    Returns ``(results, errors, scratch)`` where ``results[i]`` is the
+    checked statement (possibly partially resolved, ``None`` when
+    resolution failed structurally), ``errors`` is every
+    :class:`TypeCheckError` / :class:`CatalogError` found, in source
+    order with positions attached, and ``scratch`` is the catalog copy
+    with the script's own DDL applied (needed to resolve names that
+    later statements reference, e.g. during IR verification).  By
+    construction this finds a superset of what fail-fast
+    :func:`check_script` reports: the same checks run in the same order,
+    they just record instead of raising.
+    """
+    scratch = catalog.scratch_copy()
+    results: list = []
+    errors: list = []
+    for i, stmt in enumerate(script.statements):
+        n_before = len(errors)
+        results.append(check_statement(stmt, scratch, collector=errors))
+        for e in errors[n_before:]:
+            e.statement_index = i
+            _attach(e, span_of(stmt))  # statement span as position fallback
+        try:
+            _apply_ddl_to_catalog(stmt, scratch)
+        except GraQLError:
+            pass  # the failed check above already reported the cause
+    return results, errors, scratch
 
 
 def _apply_ddl_to_catalog(stmt: Statement, catalog: Catalog) -> None:
@@ -388,99 +451,118 @@ def _check_create_edge(stmt: CreateEdge, catalog: Catalog) -> None:
 # Relational select checks
 # ----------------------------------------------------------------------
 
-def _check_table_select(stmt: TableSelect, catalog: Catalog) -> None:
-    table = catalog.table(stmt.source)
+def _check_table_select(
+    stmt: TableSelect, catalog: Catalog, collector: Optional[list] = None
+) -> None:
+    stmt_span = span_of(stmt)
+    try:
+        table = catalog.table(stmt.source)
+    except CatalogError as e:
+        _attach(e, stmt_span)
+        if collector is None:
+            raise
+        collector.append(e)
+        return
     schema = table.schema
-    if stmt.top is not None and stmt.top < 0:
-        raise TypeCheckError("top n requires n >= 0")
+    with _guard(collector, stmt_span):
+        if stmt.top is not None and stmt.top < 0:
+            raise TypeCheckError("top n requires n >= 0")
     if table.derived and len(schema) == 0:
         # a result table declared earlier in the same script: its schema is
         # only known at execution time, so column checks are deferred
-        if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
-            raise TypeCheckError("a table select cannot produce a subgraph")
+        with _guard(collector, stmt_span):
+            if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+                raise TypeCheckError("a table select cannot produce a subgraph")
         return
     if stmt.where is not None:
-        _no_params(stmt.where, f"select from {stmt.source!r}")
+        with _guard(collector, span_of(stmt.where) or stmt_span):
+            _no_params(stmt.where, f"select from {stmt.source!r}")
 
-        def resolve(qualifier: Optional[str], name: str) -> DataType:
-            if qualifier not in (None, stmt.source):
-                raise TypeCheckError(
-                    f"unknown qualifier {qualifier!r} in select from "
-                    f"{stmt.source!r}"
-                )
-            if not schema.has(name):
-                raise TypeCheckError(
-                    f"table {stmt.source!r} has no column {name!r}"
-                )
-            return schema.type_of(name)
+            def resolve(qualifier: Optional[str], name: str) -> DataType:
+                if qualifier not in (None, stmt.source):
+                    raise TypeCheckError(
+                        f"unknown qualifier {qualifier!r} in select from "
+                        f"{stmt.source!r}"
+                    )
+                if not schema.has(name):
+                    raise TypeCheckError(
+                        f"table {stmt.source!r} has no column {name!r}"
+                    )
+                return schema.type_of(name)
 
-        _check_bool(infer_type(stmt.where, resolve), f"select from {stmt.source!r}")
+            _check_bool(infer_type(stmt.where, resolve), f"select from {stmt.source!r}")
     for g in stmt.group_by:
-        if not schema.has(g):
-            raise TypeCheckError(
-                f"group by: table {stmt.source!r} has no column {g!r}"
-            )
+        with _guard(collector, stmt_span):
+            if not schema.has(g):
+                raise TypeCheckError(
+                    f"group by: table {stmt.source!r} has no column {g!r}"
+                )
     has_agg = any(isinstance(i, AggItem) for i in stmt.items)
     output_names: list[str] = []
     for item in stmt.items:
-        if isinstance(item, StarItem):
-            if stmt.group_by:
-                raise TypeCheckError("select * cannot be combined with group by")
-            output_names.extend(schema.names())
-            continue
-        if isinstance(item, AggItem):
-            if item.func not in AGGREGATE_FUNCS:
-                raise TypeCheckError(f"unknown aggregate {item.func!r}")
-            if item.arg is not None and not schema.has(item.arg):
-                raise TypeCheckError(
-                    f"aggregate {item.func}({item.arg}): no such column"
-                )
-            if item.func in ("sum", "avg") and item.arg is not None:
-                if schema.type_of(item.arg).kind != "numeric":
+        with _guard(collector, span_of(item) or stmt_span):
+            if isinstance(item, StarItem):
+                if stmt.group_by:
+                    raise TypeCheckError("select * cannot be combined with group by")
+                output_names.extend(schema.names())
+                continue
+            if isinstance(item, AggItem):
+                if item.func not in AGGREGATE_FUNCS:
+                    raise TypeCheckError(f"unknown aggregate {item.func!r}")
+                if item.arg is not None and not schema.has(item.arg):
                     raise TypeCheckError(
-                        f"{item.func}() requires a numeric column, "
-                        f"{item.arg!r} is {schema.type_of(item.arg).ddl()}"
+                        f"aggregate {item.func}({item.arg}): no such column"
                     )
-            if item.func != "count" and item.arg is None:
-                raise TypeCheckError(f"{item.func}(*) is not defined")
-            output_names.append(item.alias or f"{item.func}")
-            continue
-        if isinstance(item, StepItem):
-            # bare names in table selects parse as AttrItems; StepItems
-            # cannot appear here
-            raise TypeCheckError(
-                f"step selection {item.name!r} is only valid in graph selects"
-            )
-        assert isinstance(item, AttrItem)
-        ref = item.ref
-        if ref.qualifier not in (None, stmt.source):
-            raise TypeCheckError(
-                f"unknown qualifier {ref.qualifier!r} in select list"
-            )
-        if not schema.has(ref.name):
-            raise TypeCheckError(
-                f"table {stmt.source!r} has no column {ref.name!r}"
-            )
-        if (stmt.group_by or has_agg) and ref.name not in stmt.group_by:
-            raise TypeCheckError(
-                f"column {ref.name!r} must appear in group by to be selected "
-                f"alongside aggregates"
-            )
-        output_names.append(item.alias or ref.name)
+                if item.func in ("sum", "avg") and item.arg is not None:
+                    if schema.type_of(item.arg).kind != "numeric":
+                        raise TypeCheckError(
+                            f"{item.func}() requires a numeric column, "
+                            f"{item.arg!r} is {schema.type_of(item.arg).ddl()}"
+                        )
+                if item.func != "count" and item.arg is None:
+                    raise TypeCheckError(f"{item.func}(*) is not defined")
+                output_names.append(item.alias or f"{item.func}")
+                continue
+            if isinstance(item, StepItem):
+                # bare names in table selects parse as AttrItems; StepItems
+                # cannot appear here
+                raise TypeCheckError(
+                    f"step selection {item.name!r} is only valid in graph selects"
+                )
+            assert isinstance(item, AttrItem)
+            ref = item.ref
+            if ref.qualifier not in (None, stmt.source):
+                raise TypeCheckError(
+                    f"unknown qualifier {ref.qualifier!r} in select list"
+                )
+            if not schema.has(ref.name):
+                raise TypeCheckError(
+                    f"table {stmt.source!r} has no column {ref.name!r}"
+                )
+            if (stmt.group_by or has_agg) and ref.name not in stmt.group_by:
+                raise TypeCheckError(
+                    f"column {ref.name!r} must appear in group by to be selected "
+                    f"alongside aggregates"
+                )
+            output_names.append(item.alias or ref.name)
     for key in stmt.order_by:
-        if key.column not in output_names and not schema.has(key.column):
-            raise TypeCheckError(
-                f"order by: unknown column {key.column!r}"
-            )
-    if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
-        raise TypeCheckError("a table select cannot produce a subgraph")
+        with _guard(collector, stmt_span):
+            if key.column not in output_names and not schema.has(key.column):
+                raise TypeCheckError(
+                    f"order by: unknown column {key.column!r}"
+                )
+    with _guard(collector, stmt_span):
+        if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
+            raise TypeCheckError("a table select cannot produce a subgraph")
 
 
 # ----------------------------------------------------------------------
 # Graph select checks + resolution
 # ----------------------------------------------------------------------
 
-def _check_graph_select(stmt: GraphSelect, catalog: Catalog) -> CheckedGraphSelect:
+def _check_graph_select(
+    stmt: GraphSelect, catalog: Catalog, collector: Optional[list] = None
+) -> Optional[CheckedGraphSelect]:
     labels: dict[str, tuple[str, RVertexStep]] = {}
     edge_labels: dict[str, tuple[str, REdgeStep]] = {}
     needs_bindings = False
@@ -652,30 +734,42 @@ def _check_graph_select(stmt: GraphSelect, catalog: Catalog) -> CheckedGraphSele
                     pairs.append((re_, rv))
                 rsteps.append(RRegex(pairs, s.op, s.count))
         _narrow_types(rsteps, catalog)
-        _check_step_conditions(rsteps, catalog, labels, step_names)
+        _check_step_conditions(rsteps, catalog, labels, step_names, collector)
         for s in rsteps:
             if isinstance(s, RVertexStep) and s.cross_refs:
                 needs_bindings = True
         return RAtom(rsteps)
 
-    root = resolve_pattern(stmt.pattern)
+    stmt_span = span_of(stmt)
+    try:
+        root = resolve_pattern(stmt.pattern)
+    except (TypeCheckError, CatalogError) as e:
+        # structural failure: the pattern cannot be resolved, so the
+        # remaining checks have nothing to work with
+        _attach(e, stmt_span)
+        if collector is None:
+            raise
+        collector.append(e)
+        return None
     pattern = RPattern(root, labels, needs_bindings, has_regex, edge_labels)
-    _check_items(stmt, pattern, catalog, step_names)
-    if stmt.into is None or stmt.into.kind == INTO_TABLE:
-        # table outputs enumerate paths (Fig. 6: one row per matched path)
-        pattern.needs_bindings = True
-        if isinstance(root, tuple) and _contains_or(root):
+    _check_items(stmt, pattern, catalog, step_names, collector)
+    with _guard(collector, stmt_span):
+        if stmt.into is None or stmt.into.kind == INTO_TABLE:
+            # table outputs enumerate paths (Fig. 6: one row per matched path)
+            pattern.needs_bindings = True
+            if isinstance(root, tuple) and _contains_or(root):
+                raise TypeCheckError(
+                    "'or' composition unions subgraphs (Section II-B3) — use "
+                    "'into subgraph' for the result"
+                )
+    with _guard(collector, stmt_span):
+        if pattern.needs_bindings and _has_unbounded_regex(pattern):
             raise TypeCheckError(
-                "'or' composition unions subgraphs (Section II-B3) — use "
-                "'into subgraph' for the result"
+                "unbounded path regular expressions ('*'/'+') are only "
+                "supported under set semantics — use 'into subgraph' without "
+                "foreach labels or cross-step comparisons, or bound the "
+                "repetition with '{n}'"
             )
-    if pattern.needs_bindings and _has_unbounded_regex(pattern):
-        raise TypeCheckError(
-            "unbounded path regular expressions ('*'/'+') are only "
-            "supported under set semantics — use 'into subgraph' without "
-            "foreach labels or cross-step comparisons, or bound the "
-            "repetition with '{n}'"
-        )
     return CheckedGraphSelect(stmt, pattern)
 
 
@@ -779,17 +873,29 @@ def _check_step_conditions(
     catalog: Catalog,
     labels: dict[str, tuple[str, RVertexStep]],
     step_names: dict[str, list[RVertexStep]],
+    collector: Optional[list] = None,
 ) -> None:
-    """Type-check every step condition; record cross-step references."""
+    """Type-check every step condition; record cross-step references.
+
+    Each step's condition is guarded independently so collect-all mode
+    reports every bad condition in the pattern, not just the first."""
+
+    def cond_span(step):
+        return span_of(step.cond) if step.cond is not None else None
+
     for s in rsteps:
         if isinstance(s, RVertexStep):
-            _check_vertex_cond(s, catalog, step_names)
+            with _guard(collector, cond_span(s)):
+                _check_vertex_cond(s, catalog, step_names)
         elif isinstance(s, REdgeStep):
-            _check_edge_cond(s, catalog)
+            with _guard(collector, cond_span(s)):
+                _check_edge_cond(s, catalog)
         elif isinstance(s, RRegex):
             for e, v in s.pairs:
-                _check_vertex_cond(v, catalog, step_names)
-                _check_edge_cond(e, catalog)
+                with _guard(collector, cond_span(v)):
+                    _check_vertex_cond(v, catalog, step_names)
+                with _guard(collector, cond_span(e)):
+                    _check_edge_cond(e, catalog)
 
 
 def _attr_type_for_types(types: list[str], name: str, catalog: Catalog, ctx: str) -> DataType:
@@ -872,70 +978,83 @@ def _check_items(
     pattern: RPattern,
     catalog: Catalog,
     step_names: dict[str, list[RVertexStep]],
+    collector: Optional[list] = None,
 ) -> None:
     into_subgraph = stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH
     for item in stmt.items:
-        if isinstance(item, StarItem):
-            continue
-        if isinstance(item, AggItem):
-            raise TypeCheckError(
-                "aggregates are not allowed in graph selects — capture into "
-                "a table and aggregate there (Fig. 7 pattern)"
-            )
-        if isinstance(item, StepItem):
-            steps = step_names.get(item.name, [])
-            if not steps and item.name in pattern.edge_labels:
-                if not into_subgraph:
-                    raise TypeCheckError(
-                        f"edge label {item.name!r} can only be selected "
-                        f"into a subgraph"
-                    )
-                continue  # labeled edge step -> its edge set
-            if not steps:
+        with _guard(collector, span_of(item) or span_of(stmt)):
+            _check_one_item(item, stmt, pattern, catalog, step_names, into_subgraph)
+
+
+def _check_one_item(
+    item,
+    stmt: GraphSelect,
+    pattern: RPattern,
+    catalog: Catalog,
+    step_names: dict[str, list[RVertexStep]],
+    into_subgraph: bool,
+) -> None:
+    if isinstance(item, StarItem):
+        return
+    if isinstance(item, AggItem):
+        raise TypeCheckError(
+            "aggregates are not allowed in graph selects — capture into "
+            "a table and aggregate there (Fig. 7 pattern)"
+        )
+    if isinstance(item, StepItem):
+        steps = step_names.get(item.name, [])
+        if not steps and item.name in pattern.edge_labels:
+            if not into_subgraph:
                 raise TypeCheckError(
-                    f"select item {item.name!r}: no step with that type or "
-                    f"label name"
+                    f"edge label {item.name!r} can only be selected "
+                    f"into a subgraph"
                 )
-            if len(steps) > 1:
-                raise TypeCheckError(
-                    f"select item {item.name!r} is ambiguous — label the "
-                    f"intended step (Section II-C)"
-                )
-            continue
-        assert isinstance(item, AttrItem)
-        if into_subgraph:
-            raise TypeCheckError(
-                "attribute selections cannot produce a subgraph — use "
-                "'into table' for attribute output"
-            )
-        q = item.ref.qualifier
-        if q is None:
-            raise TypeCheckError(
-                f"graph select attribute {item.ref.name!r} must be "
-                f"qualified with a step type or label"
-            )
-        steps = step_names.get(q, [])
+            return  # labeled edge step -> its edge set
         if not steps:
-            if q in pattern.edge_labels:
-                # edge-attribute selection via an edge label
-                _kind, estep = pattern.edge_labels[q]
-                if len(estep.names) != 1:
-                    raise TypeCheckError(
-                        f"select item: edge label {q!r} matches several "
-                        f"edge types with different attributes"
-                    )
-                em = catalog.edge(estep.names[0])
-                if not em.attr_schema.has(item.ref.name):
-                    raise TypeCheckError(
-                        f"edge type {estep.names[0]!r} has no attribute "
-                        f"{item.ref.name!r} (edge attributes come from its "
-                        f"'from table')"
-                    )
-                continue
-            raise TypeCheckError(f"select item: unknown step {q!r}")
+            raise TypeCheckError(
+                f"select item {item.name!r}: no step with that type or "
+                f"label name"
+            )
         if len(steps) > 1:
             raise TypeCheckError(
-                f"select item: step {q!r} is ambiguous — label the intended "
-                f"step"
+                f"select item {item.name!r} is ambiguous — label the "
+                f"intended step (Section II-C)"
             )
-        _attr_type_for_types(steps[0].types, item.ref.name, catalog, "select item")
+        return
+    assert isinstance(item, AttrItem)
+    if into_subgraph:
+        raise TypeCheckError(
+            "attribute selections cannot produce a subgraph — use "
+            "'into table' for attribute output"
+        )
+    q = item.ref.qualifier
+    if q is None:
+        raise TypeCheckError(
+            f"graph select attribute {item.ref.name!r} must be "
+            f"qualified with a step type or label"
+        )
+    steps = step_names.get(q, [])
+    if not steps:
+        if q in pattern.edge_labels:
+            # edge-attribute selection via an edge label
+            _kind, estep = pattern.edge_labels[q]
+            if len(estep.names) != 1:
+                raise TypeCheckError(
+                    f"select item: edge label {q!r} matches several "
+                    f"edge types with different attributes"
+                )
+            em = catalog.edge(estep.names[0])
+            if not em.attr_schema.has(item.ref.name):
+                raise TypeCheckError(
+                    f"edge type {estep.names[0]!r} has no attribute "
+                    f"{item.ref.name!r} (edge attributes come from its "
+                    f"'from table')"
+                )
+            return
+        raise TypeCheckError(f"select item: unknown step {q!r}")
+    if len(steps) > 1:
+        raise TypeCheckError(
+            f"select item: step {q!r} is ambiguous — label the intended "
+            f"step"
+        )
+    _attr_type_for_types(steps[0].types, item.ref.name, catalog, "select item")

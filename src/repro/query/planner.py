@@ -35,6 +35,7 @@ from repro.graql.typecheck import (
     RRegex,
     RVertexStep,
 )
+from repro.storage.expr import predicate_feasibility
 
 Direction = Literal["forward", "backward"]
 Strategy = Literal["set", "bindings"]
@@ -106,7 +107,16 @@ class QueryPlan:
 
 
 def _vertex_cardinality(step: RVertexStep, catalog: Catalog) -> float:
-    """Estimated matches of a vertex step in isolation."""
+    """Estimated matches of a vertex step in isolation.
+
+    Statically unsatisfiable conditions (the analyzer's GQW101 interval
+    analysis) pin the estimate to zero instead of the selectivity guess,
+    so a contradictory anchor makes its sweep direction maximally cheap —
+    the executor then starts from the step that provably matches nothing
+    and terminates immediately.
+    """
+    if step.cond is not None and predicate_feasibility(step.cond) is False:
+        return 0.0
     total = 0.0
     for t in step.types:
         meta = catalog.vertex(t)

@@ -47,9 +47,15 @@ LOGICAL_OPS = ("and", "or")
 
 
 class Expr:
-    """Base class for expression nodes (immutable)."""
+    """Base class for expression nodes (immutable).
 
-    __slots__ = ()
+    The optional ``span`` slot records the source position the parser saw
+    the node at (:class:`~repro.graql.tokens.SourceSpan`); it is metadata
+    only and excluded from equality/hashing (subclass ``__slots__`` drive
+    both, and none of them lists ``span``).
+    """
+
+    __slots__ = ("span",)
 
     def children(self) -> tuple["Expr", ...]:
         return ()
@@ -195,23 +201,36 @@ def params(expr: Expr) -> list[str]:
     return [n.name for n in expr.walk() if isinstance(n, Param)]
 
 
+def _keep_span(src: Expr, dst: Expr) -> Expr:
+    span = getattr(src, "span", None)
+    if span is not None:
+        dst.span = span
+    return dst
+
+
 def substitute_params(expr: Expr, values: dict[str, Any]) -> Expr:
-    """Replace every ``Param`` with a ``Const`` from *values* (copying)."""
+    """Replace every ``Param`` with a ``Const`` from *values* (copying).
+
+    Source spans survive the rewrite so diagnostics on substituted
+    conditions still point at the original token positions.
+    """
     if isinstance(expr, Param):
         if expr.name not in values:
             raise ExecutionError(f"unbound query parameter %{expr.name}%")
         v = values[expr.name]
-        return v if isinstance(v, Const) else Const(v)
+        return _keep_span(expr, v if isinstance(v, Const) else Const(v))
     if isinstance(expr, BinOp):
-        return BinOp(
+        return _keep_span(expr, BinOp(
             expr.op,
             substitute_params(expr.left, values),
             substitute_params(expr.right, values),
-        )
+        ))
     if isinstance(expr, Not):
-        return Not(substitute_params(expr.operand, values))
+        return _keep_span(expr, Not(substitute_params(expr.operand, values)))
     if isinstance(expr, IsNull):
-        return IsNull(substitute_params(expr.operand, values), expr.negated)
+        return _keep_span(
+            expr, IsNull(substitute_params(expr.operand, values), expr.negated)
+        )
     return expr
 
 
@@ -232,6 +251,232 @@ def conjoin(exprs: list[Expr]) -> Expr | None:
     for e in exprs[1:]:
         out = BinOp("and", out, e)
     return out
+
+
+# ----------------------------------------------------------------------
+# Constant folding + interval analysis (static lint support)
+# ----------------------------------------------------------------------
+#
+# These helpers power the GQW101/GQW102 unsatisfiable/tautological
+# predicate lints (docs/ANALYSIS.md) and let the planner short-circuit
+# statically-empty steps.  They are deliberately conservative: anything
+# involving NULL semantics, non-literal operands or unknown columns
+# degrades to "unknown" rather than guessing.
+
+def const_fold(expr: Expr) -> Expr:
+    """Fold literal subtrees of *expr* to constants (pure, span-keeping).
+
+    ``1 + 2`` becomes ``Const(3)``; ``2 < 1`` becomes ``Const(False)``;
+    ``false and x`` becomes ``Const(False)``; column references and
+    parameters are left untouched.  Division by a literal zero is *not*
+    folded (it surfaces at runtime instead of at fold time).
+    """
+    if isinstance(expr, Not):
+        inner = const_fold(expr.operand)
+        if isinstance(inner, Const) and inner.dtype.kind == KIND_BOOL:
+            return _keep_span(expr, Const(not bool(inner.value)))
+        return _keep_span(expr, Not(inner)) if inner is not expr.operand else expr
+    if isinstance(expr, IsNull):
+        inner = const_fold(expr.operand)
+        if isinstance(inner, Const):
+            # a literal is never NULL
+            return _keep_span(expr, Const(bool(expr.negated)))
+        return expr
+    if not isinstance(expr, BinOp):
+        return expr
+    left = const_fold(expr.left)
+    right = const_fold(expr.right)
+    if expr.op in LOGICAL_OPS:
+        lval = left.value if isinstance(left, Const) and left.dtype.kind == KIND_BOOL else None
+        rval = right.value if isinstance(right, Const) and right.dtype.kind == KIND_BOOL else None
+        if expr.op == "and":
+            if lval == 0 or rval == 0:
+                return _keep_span(expr, Const(False))
+            if lval is not None and rval is not None:
+                return _keep_span(expr, Const(True))
+            if lval is not None:
+                return right
+            if rval is not None:
+                return left
+        else:  # or
+            if (lval is not None and lval != 0) or (rval is not None and rval != 0):
+                return _keep_span(expr, Const(True))
+            if lval is not None and rval is not None:
+                return _keep_span(expr, Const(False))
+            if lval is not None:
+                return right
+            if rval is not None:
+                return left
+    if isinstance(left, Const) and isinstance(right, Const):
+        folded = _fold_literal_binop(expr.op, left, right)
+        if folded is not None:
+            return _keep_span(expr, folded)
+    if left is not expr.left or right is not expr.right:
+        return _keep_span(expr, BinOp(expr.op, left, right))
+    return expr
+
+
+def _fold_literal_binop(op: str, left: Const, right: Const) -> Const | None:
+    lv, rv = left.value, right.value
+    lk, rk = left.dtype.kind, right.dtype.kind
+    if op in COMPARISON_OPS:
+        if lk != rk:
+            return None  # let the typechecker report the mismatch
+        if op == "=":
+            return Const(lv == rv)
+        if op in ("<>", "!="):
+            return Const(lv != rv)
+        try:
+            if op == "<":
+                return Const(lv < rv)
+            if op == "<=":
+                return Const(lv <= rv)
+            if op == ">":
+                return Const(lv > rv)
+            return Const(lv >= rv)
+        except TypeError:  # pragma: no cover - mixed uncomparable literals
+            return None
+    if op in ARITHMETIC_OPS:
+        if lk != KIND_NUMERIC or rk != KIND_NUMERIC:
+            return None
+        if op == "+":
+            return Const(lv + rv)
+        if op == "-":
+            return Const(lv - rv)
+        if op == "*":
+            return Const(lv * rv)
+        if rv == 0:
+            return None  # division by literal zero: leave for runtime
+        return Const(lv / rv)
+    return None
+
+
+class Interval:
+    """A closed/open numeric interval for one column (interval analysis)."""
+
+    __slots__ = ("lo", "lo_open", "hi", "hi_open")
+
+    def __init__(
+        self,
+        lo: float = float("-inf"),
+        hi: float = float("inf"),
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.lo_open = lo_open
+        self.hi_open = hi_open
+
+    def intersect(self, other: "Interval") -> "Interval":
+        out = Interval(self.lo, self.hi, self.lo_open, self.hi_open)
+        if other.lo > out.lo or (other.lo == out.lo and other.lo_open):
+            out.lo, out.lo_open = other.lo, other.lo_open
+        if other.hi < out.hi or (other.hi == out.hi and other.hi_open):
+            out.hi, out.hi_open = other.hi, other.hi_open
+        return out
+
+    @property
+    def empty(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_open or self.hi_open)
+
+    def __repr__(self) -> str:
+        lb = "(" if self.lo_open else "["
+        rb = ")" if self.hi_open else "]"
+        return f"Interval{lb}{self.lo}, {self.hi}{rb}"
+
+
+def _comparison_interval(op: str, value: float) -> Interval:
+    if op == "=":
+        return Interval(value, value)
+    if op == "<":
+        return Interval(hi=value, hi_open=True)
+    if op == "<=":
+        return Interval(hi=value)
+    if op == ">":
+        return Interval(lo=value, lo_open=True)
+    return Interval(lo=value)  # >=
+
+
+def _column_comparisons(conj: Expr) -> tuple[str, str, float] | None:
+    """``(column_key, op, literal)`` when *conj* compares a column with a
+    numeric literal (normalized so the column is on the left)."""
+    if not (isinstance(conj, BinOp) and conj.op in COMPARISON_OPS):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>", "!=": "!="}
+    left, right, op = conj.left, conj.right, conj.op
+    if isinstance(left, Const) and isinstance(right, ColRef):
+        left, right, op = right, left, flip[op]
+    if not (isinstance(left, ColRef) and isinstance(right, Const)):
+        return None
+    if right.dtype.kind != KIND_NUMERIC:
+        return None
+    key = f"{left.qualifier}.{left.name}" if left.qualifier else left.name
+    return key, op, float(right.value)
+
+
+def predicate_feasibility(expr: Expr | None) -> bool | None:
+    """Statically decide a predicate when possible.
+
+    Returns ``False`` when the predicate can never hold (contradictory
+    literal comparisons like ``x > 5 and x < 3``, equality conflicts like
+    ``x = 1 and x = 2``, or a condition folding to literal false),
+    ``True`` when it always holds (folds to literal true), and ``None``
+    when undecidable from the expression alone.  Sound, not complete:
+    ``None`` is always a safe answer and disjunctions are only decided
+    by folding.
+    """
+    if expr is None:
+        return True
+    folded = const_fold(expr)
+    if isinstance(folded, Const) and folded.dtype.kind == KIND_BOOL:
+        return bool(folded.value)
+    # interval analysis over the top-level conjunction
+    intervals: dict[str, Interval] = {}
+    equalities: dict[str, set] = {}
+    disequalities: dict[str, set] = {}
+    for conj in conjuncts(folded):
+        cmp = _column_comparisons(conj)
+        if cmp is not None:
+            key, op, value = cmp
+            if op in ("<>", "!="):
+                disequalities.setdefault(key, set()).add(value)
+                continue
+            iv = intervals.get(key, Interval()).intersect(
+                _comparison_interval(op, value)
+            )
+            intervals[key] = iv
+            if iv.empty:
+                return False
+            continue
+        # string/bool equality conflicts: x = 'a' and x = 'b'
+        if (
+            isinstance(conj, BinOp)
+            and conj.op == "="
+            and isinstance(conj.left, ColRef)
+            and isinstance(conj.right, Const)
+        ):
+            key = (
+                f"{conj.left.qualifier}.{conj.left.name}"
+                if conj.left.qualifier
+                else conj.left.name
+            )
+            seen = equalities.setdefault(key, set())
+            seen.add(conj.right.value)
+            if len(seen) > 1:
+                return False
+    # point interval excluded by a disequality: x = 5 and x <> 5
+    for key, iv in intervals.items():
+        if (
+            not iv.lo_open
+            and not iv.hi_open
+            and iv.lo == iv.hi
+            and iv.lo in disequalities.get(key, ())
+        ):
+            return False
+    return None
 
 
 # ----------------------------------------------------------------------

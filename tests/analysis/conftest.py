@@ -1,0 +1,68 @@
+"""Fixtures for the analyzer tests.
+
+``corpus_db`` extends the shared social database with just enough extra
+structure to make every statistics-driven warning reachable:
+
+* extra ``Follows`` rows push the ``follows`` expansion factor above the
+  GQW130 threshold, so an unbounded ``( --follows--> [ ] )+`` warns;
+* a hub-and-spokes schema (one ``Hub`` vertex type with four distinct
+  leaf types) leaves a variant ``[ ]`` step matching four vertex types
+  after narrowing, which is what GQW131 reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from tests.conftest import build_social_db
+
+HUB_DDL = """
+create table HubT(id integer)
+
+create table LeafT1(id integer)
+
+create table LeafT2(id integer)
+
+create table LeafT3(id integer)
+
+create table LeafT4(id integer)
+
+create vertex Hub(id) from table HubT
+
+create vertex Leaf1(id) from table LeafT1
+
+create vertex Leaf2(id) from table LeafT2
+
+create vertex Leaf3(id) from table LeafT3
+
+create vertex Leaf4(id) from table LeafT4
+
+create edge spoke1 with vertices (Hub, Leaf1) where Hub.id = Leaf1.id
+
+create edge spoke2 with vertices (Hub, Leaf2) where Hub.id = Leaf2.id
+
+create edge spoke3 with vertices (Hub, Leaf3) where Hub.id = Leaf3.id
+
+create edge spoke4 with vertices (Hub, Leaf4) where Hub.id = Leaf4.id
+"""
+
+#: densify the follow graph: avg out-degree goes from ~1.3 to ~2.8,
+#: comfortably above the GQW130 expansion threshold of 1.5
+EXTRA_FOLLOWS = [("p1", f"p{i}", 1) for i in range(2, 7)] + [
+    ("p2", f"p{i}", 1) for i in range(3, 7)
+]
+
+
+def build_corpus_db() -> Database:
+    db = build_social_db()
+    db.execute(HUB_DDL)
+    db.db.ingest_rows("Follows", EXTRA_FOLLOWS)
+    db.catalog.refresh(db.db)
+    return db
+
+
+@pytest.fixture(scope="module")
+def corpus_db() -> Database:
+    """Analysis never mutates the database, so module scope is safe."""
+    return build_corpus_db()

@@ -1,0 +1,74 @@
+"""Property: collect-all typechecking finds a superset of fail-fast.
+
+``check_script_collect`` runs the same checks in the same order as the
+fail-fast ``check_script`` — it just keeps going after an error.  So for
+any script, the first error fail-fast raises must appear (message and
+position included) among the collected errors, and a script fail-fast
+accepts must collect nothing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError, TypeCheckError
+from repro.graql.parser import parse_script
+from repro.graql.typecheck import check_script, check_script_collect
+from tests.conftest import build_social_db
+
+#: built once — analysis works on a scratch copy of the catalog
+DB = build_social_db()
+
+VALID = [
+    "select id, name from table People",
+    "select country, count(*) as n from table People group by country",
+    "create table Fresh(id integer)",
+    "select * from graph Person ( ) --follows--> Person ( ) into subgraph G1",
+    "select y.id from graph Person ( ) --follows--> def y: Person ( ) "
+    "into table TA",
+]
+
+INVALID = [
+    "select * from table Missing",
+    "create table People(id integer)",
+    "select bogus from table People",
+    "select Person.id from graph Person ( ) --follows--> Person ( ) "
+    "into table TB",
+    "select id from table People where age > %N%",
+    "select * from graph City ( ) --[]--> City ( ) into subgraph G2",
+    "select count(*) from graph Person ( ) --follows--> Person ( ) "
+    "into table TC",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(VALID + INVALID), min_size=1, max_size=5))
+def test_collect_all_is_superset_of_fail_fast(stmts):
+    source = "\n".join(stmts)
+    failfast = None
+    try:
+        check_script(parse_script(source), DB.catalog)
+    except (TypeCheckError, CatalogError) as e:
+        failfast = str(e)
+    _, errors, _ = check_script_collect(parse_script(source), DB.catalog)
+    if failfast is None:
+        assert errors == []
+    else:
+        assert failfast in {str(e) for e in errors}
+
+
+def test_collect_reports_every_defective_statement():
+    """Fail-fast stops at statement 1; collect-all reaches them all."""
+    source = "\n".join(INVALID)
+    _, errors, _ = check_script_collect(parse_script(source), DB.catalog)
+    assert len(errors) >= len(INVALID)
+    assert {e.statement_index for e in errors} == set(range(len(INVALID)))
+
+
+def test_collect_accepts_clean_script():
+    checked, errors, _ = check_script_collect(
+        parse_script("\n".join(VALID)), DB.catalog
+    )
+    assert errors == []
+    assert all(r is not None for r in checked)

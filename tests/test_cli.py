@@ -102,3 +102,102 @@ class TestExplainFlag:
         script.write_text("select * from table Missing")
         rc = main(["run", str(script), "--explain"])
         assert rc == 1
+
+
+class TestCheckCommand:
+    """The `graql check` exit-code contract: 0 clean, 1 warnings under
+    --strict, 2 errors."""
+
+    CLEAN = (
+        "create table T(id varchar(4), n integer)\n"
+        "select n, count(*) as c from table T group by n\n"
+    )
+    # a tautology is a warning (GQW102) but not an error
+    WARN = (
+        "create table T(id varchar(4), n integer)\n"
+        "select id from table T where 1 = 1\n"
+    )
+    # three distinct semantic defects; syntax errors are tested
+    # separately since a parse failure is fatal to the whole script
+    BAD = (
+        "select * from table Missing\n"
+        "create table T(id integer)\n"
+        "create table T(id integer)\n"
+        "select nope from table T\n"
+    )
+
+    def _write(self, tmp_path, text):
+        script = tmp_path / "s.graql"
+        script.write_text(text)
+        return str(script)
+
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.CLEAN)
+        assert main(["check", path]) == 0
+        assert "clean" in capsys.readouterr().out
+        assert main(["check", path, "--strict"]) == 0
+
+    def test_warnings_exit_zero_unless_strict(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.WARN)
+        assert main(["check", path]) == 0
+        out = capsys.readouterr().out
+        assert "warning[GQW102]" in out and "0 error(s), 1 warning(s)" in out
+        assert main(["check", path, "--strict"]) == 1
+
+    def test_errors_exit_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.BAD)
+        assert main(["check", path]) == 2
+        out = capsys.readouterr().out
+        # all defects reported in one run, each with line:col
+        assert "error[GQL010]" in out  # unknown table
+        assert "error[GQL011]" in out  # name already in use
+        assert "error[GQL013]" in out  # unknown column
+        assert "1:1:" in out and "3:1:" in out and "4:8:" in out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, "select 1 = from table\n")
+        assert main(["check", path]) == 2
+        assert "error[GQL001]" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        path = self._write(tmp_path, self.BAD)
+        assert main(["check", path, "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 3
+        assert all("code" in d for d in payload["diagnostics"])
+
+    def test_check_does_not_execute(self, tmp_path, capsys):
+        data = tmp_path / "t.csv"
+        script = tmp_path / "s.graql"
+        script.write_text(
+            "create table T(id varchar(4))\n"
+            f"ingest table T '{data}'\n"
+        )
+        # the CSV does not exist: run fails, check does not touch data
+        assert main(["check", str(script)]) == 0
+        assert not data.exists()
+
+    def test_check_with_params(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "create table T(id varchar(4), n integer)\n"
+            "select id from table T where n = %N%\n",
+        )
+        assert main(["check", path]) == 2  # unsubstituted -> GQL020
+        assert "GQL020" in capsys.readouterr().out
+        assert main(["check", path, "--param", "N=2"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nope.graql")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_check_against_demo_catalog(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "select vendor, price from table Offers\n"
+        )
+        # unknown against an empty database, clean against berlin's
+        assert main(["check", path]) == 2
+        capsys.readouterr()
+        assert main(["check", path, "--demo", "berlin", "--scale", "30"]) == 0

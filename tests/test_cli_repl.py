@@ -126,3 +126,35 @@ class TestREPL:
         )
         assert "loaded demo 'berlin'" in out
         assert "ProductVtx" in out
+
+
+class TestREPLCheck:
+    def test_check_reports_diagnostics_without_running(
+        self, monkeypatch, capsys
+    ):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(id integer);",
+                "\\check select nope from table T",
+                "\\tables",
+                "\\q",
+            ],
+        )
+        assert "error[GQL013]" in out
+        assert "help:" in out
+        # analysis must not have created anything
+        assert "1 error(s), 0 warning(s)" in out
+
+    def test_check_clean_statement(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(id integer);",
+                "\\check select id from table T",
+                "\\q",
+            ],
+        )
+        assert "<repl>: clean" in out
