@@ -47,12 +47,29 @@ Observability (docs/OBSERVABILITY.md)::
 Return shapes: ``Database.execute`` returns ``list[StatementResult]``
 (one per statement, every kind); ``Database.query`` unwraps to the last
 ``Table`` result and raises if there is none.
+
+Client/server usage (docs/API.md) — connections, streaming cursors,
+prepared statements, all safe to share a server across threads::
+
+    from repro import Server, connect
+
+    server = Server()
+    conn = connect(server, user="admin")
+    with conn.cursor() as cur:
+        cur.execute("select name from People where age > %A%",
+                    params={"A": 30})
+        rows = cur.fetchmany(100)       # batched row production
+    ps = conn.prepare("select name from People where age > %A%")
+    ps.execute({"A": 30})               # parse/typecheck/IR paid once
 """
 
 from repro.analysis import AnalysisResult, Analyzer, Diagnostic, IRVerifier
 from repro.engine.session import Database
 from repro.engine.server import Server, User
 from repro.obs import MetricsRegistry, QueryOptions, QueryProfile, Tracer
+from repro.query.executor import StatementKind, StatementResult
+from repro.serve import Connection, Cursor, PreparedStatement, connect
+from repro.storage.table import Row, Table
 from repro.errors import (
     AccessError,
     CatalogError,
@@ -63,6 +80,7 @@ from repro.errors import (
     LexError,
     ParseError,
     PlanError,
+    ServerBusy,
     TypeCheckError,
 )
 
@@ -72,6 +90,15 @@ __all__ = [
     "Database",
     "Server",
     "User",
+    "connect",
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "StatementKind",
+    "StatementResult",
+    "Row",
+    "Table",
+    "ServerBusy",
     "Analyzer",
     "AnalysisResult",
     "Diagnostic",

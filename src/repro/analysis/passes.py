@@ -341,10 +341,13 @@ def blowup_pass(
 
 
 def deprecated_kwargs_pass(deprecated_kwargs: dict, **_kw) -> list[Diagnostic]:
-    """GQW140: deprecated ``force_direction``/``force_strategy`` usage.
+    """GQW140: removed ``force_direction``/``force_strategy`` usage.
 
-    These kwargs still work through the :mod:`repro.obs.options` shim but
-    are scheduled for removal; the analyzer reports each one passed."""
+    These kwargs were deprecated in the PR 2 options migration and are
+    now removed from every execution entry point (passing them raises
+    ``TypeError``); the analyzer still reports each one handed to
+    :meth:`~repro.engine.session.Database.analyze` so call sites can be
+    linted before they break at runtime."""
     out = []
     for name, value in sorted((deprecated_kwargs or {}).items()):
         if value is None:

@@ -94,6 +94,11 @@ class Catalog:
         self.vertices: dict[str, VertexMeta] = {}
         self.edges: dict[str, EdgeMeta] = {}
         self.subgraphs: dict[str, dict[str, int]] = {}
+        #: monotonically increasing version, bumped on every metadata
+        #: change (refresh or targeted registration).  The serving
+        #: layer's plan cache keys on it: any entry compiled against an
+        #: older epoch is stale and recompiles (docs/API.md).
+        self.epoch: int = 0
 
     # ------------------------------------------------------------------
     # Refresh from a GraphDB
@@ -160,6 +165,7 @@ class Catalog:
         self.vertices = vertices
         self.edges = edges
         self.subgraphs = subgraphs
+        self.epoch += 1
 
     def scratch_copy(self) -> "Catalog":
         """A cheap copy for static analysis of a script.
@@ -169,18 +175,39 @@ class Catalog:
         top-level dicts sharing the meta objects are enough.  This
         avoids deep-copying per-edge degree statistics on every check,
         which dominates type-checking time on catalogs of any size.
+
+        Safe to call while the serving layer executes statements
+        concurrently: every catalog mutation swaps in a freshly-built
+        dict (never mutates one in place), so each ``dict(...)`` below
+        copies a stable snapshot — iteration can never race an insert.
         """
         cat = Catalog()
         cat.tables = dict(self.tables)
         cat.vertices = dict(self.vertices)
         cat.edges = dict(self.edges)
         cat.subgraphs = {name: dict(v) for name, v in self.subgraphs.items()}
+        cat.epoch = self.epoch
         return cat
 
     def register_result_table(self, name: str, table) -> None:
-        """Targeted metadata update for an 'into table' result (cheap and
-        safe to call from parallel statements)."""
-        self.tables[name] = TableMeta(name, table.schema, table.num_rows, True)
+        """Targeted metadata update for an 'into table' result.
+
+        Copy-on-write: builds a new dict and swaps it in, so concurrent
+        readers (parallel statements, ``scratch_copy`` under the serving
+        layer's read lock) never observe a dict mid-insert."""
+        tables = dict(self.tables)
+        tables[name] = TableMeta(name, table.schema, table.num_rows, True)
+        self.tables = tables
+        self.epoch += 1
+
+    def register_subgraph(self, name: str, counts: dict[str, int]) -> None:
+        """Targeted metadata update for an 'into subgraph' result
+        (copy-on-write, same publication contract as
+        :meth:`register_result_table`)."""
+        subgraphs = dict(self.subgraphs)
+        subgraphs[name] = counts
+        self.subgraphs = subgraphs
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Lookups (raise CatalogError with III-A-style messages)

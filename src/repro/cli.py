@@ -4,7 +4,7 @@ simple command-line interface to web-based front-ends").
 Usage::
 
     graql run script.graql --param Product1=product42
-    graql check script.graql [--strict] [--format json|text]
+    graql check script.graql [more.graql ...] [--jobs N] [--strict]
     graql profile script.graql --demo berlin
     graql stats script.graql --demo berlin
     graql repl
@@ -14,7 +14,14 @@ Usage::
 
 ``graql check`` statically analyzes without executing and exits 0 when
 clean, 1 when only warnings were found under ``--strict``, and 2 when
-errors were found (docs/ANALYSIS.md).
+errors were found (docs/ANALYSIS.md).  With several scripts and
+``--jobs N`` the checks run in parallel, each against its own catalog
+snapshot taken under the serving layer's read lock.
+
+Execution commands talk to the database through the serving-layer
+client API (docs/API.md): one :class:`~repro.serve.Connection`, with
+table results streamed through a :class:`~repro.serve.Cursor` in
+batches rather than materialized as one row list.
 
 The REPL accepts a statement per paragraph: terminate input with an empty
 line (or end with ``;``).  ``\\tables``, ``\\vertices``, ``\\edges`` and
@@ -65,41 +72,105 @@ def _print_result(result: StatementResult, limit: int) -> None:
         print(result.message or result.kind)
 
 
+def _print_cursor_table(cur, limit: int) -> None:
+    """Print the cursor's result set, pulling rows through the streaming
+    fetch API (batched production) instead of materializing the table."""
+    table = cur.table
+    names = table.schema.names()
+    shown = [
+        [c.dtype.format(v) or "NULL" for c, v in zip(table.schema, row)]
+        for row in cur.fetchmany(limit)
+    ]
+    widths = [
+        max(len(n), *(len(r[j]) for r in shown)) if shown else len(n)
+        for j, n in enumerate(names)
+    ]
+    print(" | ".join(n.ljust(w) for n, w in zip(names, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for r in shown:
+        print(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    if cur.rowcount > limit:
+        print(f"... ({cur.rowcount} rows total)")
+    print(f"({cur.rowcount} rows)")
+
+
+def _execute_and_print(conn, source: str, params, limit: int) -> None:
+    """Run one script through a streaming cursor and print every result;
+    the last table is consumed through the cursor's batched fetch."""
+    with conn.cursor(batch_size=max(limit, 1)) as cur:
+        cur.execute(source, params or None)
+        streamed = cur.table
+        for r in cur.results:
+            if (
+                r.kind == "table"
+                and r.table is not None
+                and r.table is streamed
+            ):
+                _print_cursor_table(cur, limit)
+            else:
+                _print_result(r, limit)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     db = Database()
     params = _parse_params(args.param or [])
     try:
+        with open(args.script, encoding="utf-8") as fh:
+            source = fh.read()
         if args.explain:
-            with open(args.script, encoding="utf-8") as fh:
-                print(db.explain(fh.read(), params))
+            print(db.explain(source, params))
             return 0
-        results = db.execute_file(args.script, params)
+        _execute_and_print(db.connect(), source, params, args.limit)
     except GraQLError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
-    for r in results:
-        _print_result(r, args.limit)
     return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Statically analyze a script; exit 0 clean / 1 warnings / 2 errors."""
+    """Statically analyze scripts; exit 0 clean / 1 warnings / 2 errors.
+
+    With ``--jobs N`` and several scripts, checks run on a thread pool;
+    each job analyzes against a :meth:`~repro.catalog.Catalog.scratch_copy`
+    taken under the serving engine's read lock, so a live server can keep
+    executing (even DDL) while scripts are being checked.
+    """
+    from repro.analysis import Analyzer
+
     db = (
         _demo_database(args.demo, args.scale) if args.demo else Database()
     )
     params = _parse_params(args.param or [])
-    try:
-        with open(args.script, encoding="utf-8") as fh:
-            source = fh.read()
-    except OSError as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-    result = db.analyze(source, params or None)
-    if args.format == "json":
-        print(result.to_json(args.script))
+    sources: list[tuple[str, str]] = []
+    for path in args.script:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                sources.append((path, fh.read()))
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    serving = db.server.serving
+
+    def check_one(source: str):
+        with serving.lock.read_locked():
+            catalog = db.catalog.scratch_copy()
+        return Analyzer(catalog).analyze(source, params or None)
+
+    if args.jobs > 1 and len(sources) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+            results = list(pool.map(check_one, (s for _, s in sources)))
     else:
-        print(result.render_text(args.script))
-    return result.exit_code(strict=args.strict)
+        results = [check_one(s) for _, s in sources]
+    exit_code = 0
+    for (path, _), result in zip(sources, results):
+        if args.format == "json":
+            print(result.to_json(path))
+        else:
+            print(result.render_text(path))
+        exit_code = max(exit_code, result.exit_code(strict=args.strict))
+    return exit_code
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -155,6 +226,7 @@ def _repl(db: Database, limit: int) -> int:
         "analyze; \\check <stmt> analyzes without running; "
         "\\stats prints metrics; \\quit to exit"
     )
+    conn = db.connect()  # one serving-layer connection for the session
     buffer: list[str] = []
     while True:
         try:
@@ -207,8 +279,7 @@ def _repl(db: Database, limit: int) -> int:
             text = "\n".join(buffer)
             buffer = []
             try:
-                for r in db.execute(text):
-                    _print_result(r, limit)
+                _execute_and_print(conn, text, None, limit)
             except GraQLError as e:
                 print(f"error: {e}", file=sys.stderr)
 
@@ -247,7 +318,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_check = sub.add_parser(
         "check", help="statically analyze a script without executing it"
     )
-    p_check.add_argument("script")
+    p_check.add_argument("script", nargs="+")
     p_check.add_argument(
         "--param", action="append", metavar="NAME=VALUE", help="query parameter"
     )
@@ -255,6 +326,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--strict",
         action="store_true",
         help="exit 1 when warnings are present (errors always exit 2)",
+    )
+    p_check.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="check scripts in parallel on N threads (catalog snapshots "
+        "are taken under the serving layer's read lock)",
     )
     p_check.add_argument(
         "--format", choices=["text", "json"], default="text", help="output format"

@@ -279,9 +279,9 @@ class Cluster:
         )
         if stmt.into is not None:
             self.db.register_subgraph(subgraph)
-            self.catalog.subgraphs[subgraph.name] = {
-                k: len(v) for k, v in subgraph.vertices.items()
-            }
+            self.catalog.register_subgraph(
+                subgraph.name, {k: len(v) for k, v in subgraph.vertices.items()}
+            )
         self.recovery_totals.merge(recovery)
         if profile is not None:
             profile.add_stage("materialize", (time.perf_counter() - t_mat) * 1000.0)

@@ -31,6 +31,7 @@ Two optional collaborators make the layer fault-aware
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 import numpy as np
@@ -45,17 +46,31 @@ ENVELOPE_BYTES = 64
 
 
 class CommStats:
-    """Running communication counters."""
+    """Running communication counters.
+
+    Mutators self-lock: one communicator may be driven by concurrent
+    cluster-backed selects under the serving layer's read lock.
+    """
 
     def __init__(self) -> None:
         self.messages = 0
         self.bytes = 0
         self.supersteps = 0
         self.delay_ms = 0.0
+        self._lock = threading.Lock()
 
     def record(self, payload_bytes: int) -> None:
-        self.messages += 1
-        self.bytes += payload_bytes + ENVELOPE_BYTES
+        with self._lock:
+            self.messages += 1
+            self.bytes += payload_bytes + ENVELOPE_BYTES
+
+    def bump_superstep(self) -> None:
+        with self._lock:
+            self.supersteps += 1
+
+    def add_delay(self, delay_ms: float) -> None:
+        with self._lock:
+            self.delay_ms += delay_ms
 
     def snapshot(self) -> dict:
         return {
@@ -153,7 +168,7 @@ class Communicator:
             )
             victim = self.injector.poll_kill(self.stats.supersteps, live)
             if victim is not None:
-                self.stats.supersteps += 1
+                self.stats.bump_superstep()
                 raise WorkerFailed(
                     f"worker {victim} fail-stopped at superstep "
                     f"{self.stats.supersteps - 1}",
@@ -179,13 +194,13 @@ class Communicator:
                         delivered = False
                         lost += 1
                     elif delay:
-                        self.stats.delay_ms += delay
+                        self.stats.add_delay(delay)
                     assert fate in (DELIVER, DROP, CORRUPT)
                 # the attempt's traffic is real even when it fails
                 self.stats.record(_payload_nbytes(payload))
                 if delivered:
                     inboxes[dst][src] = payload
-        self.stats.supersteps += 1
+        self.stats.bump_superstep()
         self._record_metrics(
             self.stats.messages - msgs0, self.stats.bytes - bytes0
         )
@@ -203,7 +218,7 @@ class Communicator:
         for dst in range(self.num_workers):
             if dst != root:
                 self.stats.record(size)
-        self.stats.supersteps += 1
+        self.stats.bump_superstep()
         self._record_metrics(
             self.stats.messages - msgs0, self.stats.bytes - bytes0
         )
@@ -214,7 +229,7 @@ class Communicator:
         for src, p in enumerate(payloads):
             if src != root and p is not None:
                 self.stats.record(_payload_nbytes(p))
-        self.stats.supersteps += 1
+        self.stats.bump_superstep()
         self._record_metrics(
             self.stats.messages - msgs0, self.stats.bytes - bytes0
         )

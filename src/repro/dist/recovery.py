@@ -21,6 +21,7 @@ degradation policy in :class:`repro.dist.Cluster`:
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -30,7 +31,13 @@ HALF_OPEN = "half_open"
 
 
 class RecoveryStats:
-    """Cost counters for one statement's fault recovery."""
+    """Cost counters for one statement's fault recovery.
+
+    Per-statement instances are single-threaded; the cluster-wide
+    accumulator (``Cluster.recovery_totals``) is merged into from
+    concurrent reader threads under the serving layer, so ``merge``
+    takes a lock.
+    """
 
     def __init__(self) -> None:
         self.retries = 0
@@ -38,13 +45,15 @@ class RecoveryStats:
         self.backoff_ms = 0.0
         self.extra_messages = 0
         self.extra_bytes = 0
+        self._lock = threading.Lock()
 
     def merge(self, other: "RecoveryStats") -> None:
-        self.retries += other.retries
-        self.failovers += other.failovers
-        self.backoff_ms += other.backoff_ms
-        self.extra_messages += other.extra_messages
-        self.extra_bytes += other.extra_bytes
+        with self._lock:
+            self.retries += other.retries
+            self.failovers += other.failovers
+            self.backoff_ms += other.backoff_ms
+            self.extra_messages += other.extra_messages
+            self.extra_bytes += other.extra_bytes
 
     def snapshot(self) -> dict:
         return {
@@ -66,7 +75,9 @@ class CircuitBreaker:
     """Trip to single-node fallback after repeated cluster failures.
 
     ``clock`` is injectable so tests can drive the open -> half-open
-    transition without sleeping.
+    transition without sleeping.  The state machine is locked: the
+    serving layer runs cluster-backed selects concurrently, so
+    ``allow``/``record_*`` race without it.
     """
 
     def __init__(
@@ -84,33 +95,38 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at = 0.0
         self.trips = 0
+        self._lock = threading.Lock()
 
     def allow(self) -> bool:
         """Whether a distributed attempt may proceed right now."""
-        if self.state == OPEN:
-            if self.clock() - self.opened_at >= self.reset_timeout_s:
-                self.state = HALF_OPEN
-                return True
-            return False
-        return True  # closed or half-open probe
+        with self._lock:
+            if self.state == OPEN:
+                if self.clock() - self.opened_at >= self.reset_timeout_s:
+                    self.state = HALF_OPEN
+                    return True
+                return False
+            return True  # closed or half-open probe
 
     def record_success(self) -> None:
-        self.consecutive_failures = 0
-        self.state = CLOSED
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = CLOSED
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if (
-            self.state == HALF_OPEN
-            or self.consecutive_failures >= self.failure_threshold
-        ):
-            self.state = OPEN
-            self.opened_at = self.clock()
-            self.trips += 1
+        with self._lock:
+            self.consecutive_failures += 1
+            if (
+                self.state == HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold
+            ):
+                self.state = OPEN
+                self.opened_at = self.clock()
+                self.trips += 1
 
     def reset(self) -> None:
-        self.state = CLOSED
-        self.consecutive_failures = 0
+        with self._lock:
+            self.state = CLOSED
+            self.consecutive_failures = 0
 
     def snapshot(self) -> dict:
         return {

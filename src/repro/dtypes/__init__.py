@@ -17,11 +17,13 @@ from repro.dtypes.datatypes import (
     DATE,
     FLOAT,
     INTEGER,
+    PARAM,
     Boolean,
     DataType,
     Date,
     Float,
     Integer,
+    ParamPlaceholder,
     VarChar,
     comparable,
     common_type,
@@ -48,6 +50,8 @@ __all__ = [
     "FLOAT",
     "DATE",
     "BOOLEAN",
+    "PARAM",
+    "ParamPlaceholder",
     "parse_type_name",
     "comparable",
     "common_type",

@@ -35,6 +35,10 @@ KIND_STRING = "string"
 KIND_NUMERIC = "numeric"
 KIND_DATE = "date"
 KIND_BOOL = "bool"
+#: the wildcard class of an unbound query parameter (prepared-statement
+#: typechecking): comparable with every other class, bound to a concrete
+#: type when the parameter value arrives at execution
+KIND_PARAM = "param"
 
 
 class DataType:
@@ -217,11 +221,38 @@ class Boolean(DataType):
         return value in (0, 1, BOOL_NULL, True, False)
 
 
+class ParamPlaceholder(DataType):
+    """The static type of an unbound ``%Param%`` placeholder.
+
+    Only exists during prepared-statement typechecking
+    (:func:`repro.storage.expr.deferred_params`): it unifies with every
+    comparability class, deferring the concrete check to execution time
+    when the parameter is bound.  Never stored in a column.
+    """
+
+    kind = KIND_PARAM
+    numpy_dtype = np.dtype(object)
+    null_value = None
+
+    def ddl(self) -> str:
+        return "param"
+
+    def parse(self, text: str) -> Any:
+        raise TypeError("parameter placeholders cannot be stored")
+
+    def format(self, value: Any) -> str:
+        raise TypeError("parameter placeholders cannot be stored")
+
+    def validate(self, value: Any) -> bool:
+        return False
+
+
 # Singletons for the parameterless types.
 INTEGER = Integer()
 FLOAT = Float()
 DATE = Date()
 BOOLEAN = Boolean()
+PARAM = ParamPlaceholder()
 
 _VARCHAR_RE = re.compile(r"^varchar\s*\(\s*(\d+)\s*\)$", re.IGNORECASE)
 
@@ -250,7 +281,14 @@ def parse_type_name(text: str) -> DataType:
 
 
 def comparable(a: DataType, b: DataType) -> bool:
-    """True if values of types *a* and *b* may be compared (III-A check)."""
+    """True if values of types *a* and *b* may be compared (III-A check).
+
+    A :class:`ParamPlaceholder` (deferred prepared-statement parameter)
+    compares with anything; the concrete check happens when the
+    parameter is bound.
+    """
+    if a.kind == KIND_PARAM or b.kind == KIND_PARAM:
+        return True
     return a.kind == b.kind
 
 
@@ -262,6 +300,10 @@ def common_type(a: DataType, b: DataType) -> DataType:
     """
     if not comparable(a, b):
         raise ValueError(f"incomparable types: {a.ddl()} vs {b.ddl()}")
+    if a.kind == KIND_PARAM:
+        return b
+    if b.kind == KIND_PARAM:
+        return a
     if a.kind == KIND_NUMERIC:
         if isinstance(a, Float) or isinstance(b, Float):
             return FLOAT

@@ -257,9 +257,9 @@ class PipelinedPair:
             if sg.num_vertices == 0:
                 continue
             self.db.register_subgraph(sg)
-            self.catalog.subgraphs[seed_name] = {
-                k: len(v) for k, v in sg.vertices.items()
-            }
+            self.catalog.register_subgraph(
+                seed_name, {k: len(v) for k, v in sg.vertices.items()}
+            )
             new_entry = RVertexStep(
                 list(entry.types),
                 entry.cond,

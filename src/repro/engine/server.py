@@ -16,10 +16,19 @@ so an ill-typed script is rejected before touching any data — exactly the
 paper's static-analysis placement.  The backend is pluggable: the default
 executes against a local :class:`~repro.graph.graphdb.GraphDB`; the
 simulated cluster of :mod:`repro.dist` plugs in the same way.
+
+The server is *shared*: every submission passes through the
+:class:`~repro.serve.ServingEngine` — admission control with a bounded
+queue (:class:`~repro.errors.ServerBusy` on overload), a
+writer-preferring reader-writer catalog lock (selects run concurrently,
+DDL/ingest serialize), and a plan cache keyed on (canonical script,
+parameters, catalog epoch).  Clients normally talk to it through
+:func:`repro.connect` (docs/API.md).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Mapping, Optional
 
@@ -32,13 +41,14 @@ from repro.graql.ast import (
     CreateVertex,
     GraphSelect,
     Ingest,
+    Script,
     TableSelect,
 )
 from repro.analysis.verifier import verify_statement_ir
 from repro.graql.compiler import CompiledProgram, compile_script
 from repro.graql.ir import decode_statement
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.options import QueryOptions, reject_legacy_kwargs, resolve_options
 from repro.obs.profile import record_profile_metrics
 from repro.query.executor import StatementResult, execute_statement
 
@@ -72,6 +82,10 @@ class Server:
     (:class:`repro.dist.Cluster`): IR-decoded statements execute
     distributed where the set-frontier strategy applies, completing the
     paper's client -> server -> backend-cluster picture.
+
+    ``serving_opts`` tunes the concurrent serving layer (worker-pool
+    size, admission queue bound, per-user in-flight limit, plan-cache
+    capacity) — see :class:`repro.serve.ServingEngine`.
     """
 
     def __init__(
@@ -79,6 +93,8 @@ class Server:
         backend: Optional[GraphDB] = None,
         workers: Optional[int] = None,
         cluster_opts: Optional[Mapping[str, Any]] = None,
+        *,
+        serving_opts: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.backend = backend or GraphDB()
         self.catalog = Catalog.from_db(self.backend)
@@ -96,6 +112,19 @@ class Server:
         self.degraded_statements = 0
         #: server-wide counters/histograms, fed from statement profiles
         self.metrics = MetricsRegistry()
+        #: guards the plain counters above under concurrent submits
+        self._counter_lock = threading.Lock()
+
+        from repro.serve.engine import ServingEngine
+
+        #: the shared-server concurrency core (admission, RW catalog
+        #: lock, worker pool, plan cache)
+        self.serving = ServingEngine(
+            self.catalog,
+            self.backend,
+            self.metrics,
+            **dict(serving_opts or {}),
+        )
 
     # ------------------------------------------------------------------
     # Account management
@@ -129,10 +158,16 @@ class Server:
     # ------------------------------------------------------------------
     # Script submission
     # ------------------------------------------------------------------
+    def connect(self, user: str = "admin", *, transport: str = "ir"):
+        """A :class:`~repro.serve.Connection` onto this server."""
+        from repro.serve.connection import connect
+
+        return connect(self, user, transport=transport)
+
     def compile(
         self,
         username: str,
-        graql: str,
+        graql: "str | Script",
         params: Optional[Mapping[str, Any]] = None,
     ) -> CompiledProgram:
         """Front-end work only: parse, substitute, check, encode."""
@@ -158,9 +193,7 @@ class Server:
         params: Optional[Mapping[str, Any]] = None,
         timeout_s: Optional[float] = None,
         options: Optional[QueryOptions] = None,
-        *,
-        force_direction: Optional[str] = None,
-        force_strategy: Optional[str] = None,
+        **legacy: Any,
     ) -> list[StatementResult]:
         """Compile on the front-end, ship IR, execute on the backend.
 
@@ -175,26 +208,76 @@ class Server:
         Results answered degraded are counted in
         ``degraded_statements`` and flagged on the result itself.
 
-        ``options`` is the typed execution API; the ``force_*`` kwargs
-        are deprecated shims that warn and map onto it.
+        Runs through the serving engine: admission control may raise
+        :class:`~repro.errors.ServerBusy`; read-only scripts execute
+        under the shared catalog lock (and may be answered from the
+        plan cache, flagged ``cache: hit`` in the profile); anything
+        with effects serializes.  The removed ``force_*`` kwargs raise
+        ``TypeError`` pointing at :class:`~repro.obs.QueryOptions`.
         """
-        opts = resolve_options(
-            options,
-            force_direction=force_direction,
-            force_strategy=force_strategy,
-            _stacklevel=3,
+        opts, timeout_s = self._resolve_submit(username, timeout_s, options, legacy)
+        return self.serving.run(
+            username, graql, params, opts,
+            self._ir_runner(username, params, timeout_s),
         )
+
+    def submit_async(
+        self,
+        username: str,
+        graql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
+    ):
+        """:meth:`submit` on the serving engine's worker pool; returns a
+        ``concurrent.futures.Future`` resolving to the result list.
+        Admission (including :class:`~repro.errors.ServerBusy`) happens
+        synchronously, before the future is created."""
+        opts, timeout_s = self._resolve_submit(username, timeout_s, options, {})
+        return self.serving.submit(
+            username, graql, params, opts,
+            self._ir_runner(username, params, timeout_s),
+        )
+
+    def _resolve_submit(self, username, timeout_s, options, legacy):
+        reject_legacy_kwargs(legacy, "Server.submit")
+        # cheap pre-check so a cache hit cannot bypass access control;
+        # per-statement write rights are checked at compile time, and
+        # cached programs are always pure reads
+        self._require(username, ROLE_READER)
+        opts = resolve_options(options)
         if timeout_s is None:
             timeout_s = opts.timeout
-        t0 = time.perf_counter()
-        program = self.compile(username, graql, params)
-        compile_ms = (time.perf_counter() - t0) * 1000.0
+        return opts, timeout_s
+
+    def _ir_runner(self, username, params, timeout_s):
+        def run(script: Script, opts: QueryOptions, parse_ms: float) -> tuple:
+            t0 = time.perf_counter()
+            program = self.compile(username, script, params)
+            compile_ms = parse_ms + (time.perf_counter() - t0) * 1000.0
+            results = self._execute_compiled(program, opts, timeout_s, compile_ms)
+            if self.cluster is not None:
+                # a cache hit would replay locally, bypassing the cluster
+                return results, None
+            return results, [cs.checked for cs in program]
+
+        return run
+
+    def _execute_compiled(
+        self,
+        program: CompiledProgram,
+        opts: QueryOptions,
+        timeout_s: Optional[float],
+        compile_ms: float,
+    ) -> list[StatementResult]:
+        """Backend half of a submission: verify, decode, execute, meter."""
         results = []
         for i, cs in enumerate(program):
             # last line of defense before the backend decodes blindly:
             # reject corrupted/hand-crafted IR with a positioned IRError
             verify_statement_ir(cs.ir, self.catalog)
-            self.ir_bytes_shipped += cs.ir_size
+            with self._counter_lock:
+                self.ir_bytes_shipped += cs.ir_size
             t1 = time.perf_counter()
             stmt = decode_statement(cs.ir)  # backend-side decode
             decode_ms = (time.perf_counter() - t1) * 1000.0
@@ -203,7 +286,8 @@ class Server:
                     stmt, timeout_s=timeout_s, options=opts
                 )
                 if result.degraded:
-                    self.degraded_statements += 1
+                    with self._counter_lock:
+                        self.degraded_statements += 1
             else:
                 result = execute_statement(
                     self.backend, self.catalog, stmt, options=opts

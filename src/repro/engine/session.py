@@ -15,24 +15,29 @@
     )
 
 It wires together the full GEMS pipeline: parse -> parameter substitution
--> static analysis against the catalog -> (binary IR) -> plan -> execute,
-and keeps the catalog statistics fresh across DDL and ingest.
+-> static analysis against the catalog -> plan -> execute, and keeps the
+catalog statistics fresh across DDL and ingest.
+
+Since the serving-layer redesign (docs/API.md), a ``Database`` is a thin
+wrapper over one in-process :class:`~repro.serve.Connection` onto its own
+:class:`~repro.engine.server.Server`: every ``execute``/``query`` passes
+through the shared serving engine (admission control, reader-writer
+catalog lock, plan cache), so a ``Database`` is safe to share across
+threads — concurrent selects run in parallel, DDL/ingest serialize.
+``db.connect()`` hands out further connections (and cursors, and
+prepared statements) onto the same engine.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Any, Mapping, Optional, Sequence
 
-from repro.catalog import Catalog
 from repro.errors import ExecutionError
-from repro.graph.graphdb import GraphDB
-from repro.graph.subgraph import Subgraph
 from repro.graql.parser import parse_script
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.options import QueryOptions, reject_legacy_kwargs
 from repro.obs.profile import record_profile_metrics
-from repro.query.executor import StatementResult, execute_statement
+from repro.graph.subgraph import Subgraph
+from repro.query.executor import StatementKind, StatementResult
 from repro.storage.table import Table
 
 
@@ -57,13 +62,52 @@ class Database:
     and every statement folds its profile into ``db.metrics`` (a
     :class:`~repro.obs.MetricsRegistry`); ``db.render_metrics()`` emits
     the Prometheus text exposition.
+
+    The removed ``force_direction``/``force_strategy`` kwargs raise
+    ``TypeError`` with a pointer to ``QueryOptions`` (docs/API.md).
     """
 
-    def __init__(self) -> None:
-        self.db = GraphDB()
-        self.catalog = Catalog()
+    def __init__(
+        self, *, serving_opts: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        from repro.engine.server import Server
+        from repro.serve.connection import connect
+
+        self._server = Server(serving_opts=serving_opts)
+        self.db = self._server.backend
+        self.catalog = self._server.catalog
         #: process-wide counters/gauges/histograms for this database
-        self.metrics = MetricsRegistry()
+        self.metrics = self._server.metrics
+        #: the one in-process connection execute/query run through
+        self._conn = connect(self._server, "admin", transport="local")
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    @property
+    def server(self):
+        """The in-process :class:`~repro.engine.server.Server` backing
+        this database (shared catalog, metrics and serving engine)."""
+        return self._server
+
+    def connect(self, user: str = "admin", *, transport: str = "local"):
+        """A new :class:`~repro.serve.Connection` onto this database's
+        server.  ``transport="ir"`` runs the full front-end IR pipeline
+        per submission; the default ``"local"`` path skips the IR
+        round-trip."""
+        from repro.serve.connection import connect
+
+        return connect(self._server, user, transport=transport)
+
+    def prepare(self, graql: str):
+        """Parse/typecheck/IR-encode once; bind parameters per execution
+        (:class:`~repro.serve.PreparedStatement`)."""
+        return self._conn.prepare(graql)
+
+    def cursor(self, batch_size: int = 1024):
+        """A streaming :class:`~repro.serve.Cursor` on the in-process
+        connection."""
+        return self._conn.cursor(batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # GraQL execution
@@ -73,44 +117,21 @@ class Database:
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
         options: Optional[QueryOptions] = None,
-        *,
-        force_direction: Optional[str] = None,
-        force_strategy: Optional[str] = None,
+        **legacy: Any,
     ) -> list[StatementResult]:
         """Execute a GraQL script (one or more statements), in order.
 
-        ``options`` is the typed execution API; ``force_direction`` /
-        ``force_strategy`` are deprecated shims that warn and map onto
-        it (docs/OBSERVABILITY.md).
+        ``options`` is the typed execution API (docs/OBSERVABILITY.md).
         """
-        opts = resolve_options(
-            options,
-            force_direction=force_direction,
-            force_strategy=force_strategy,
-            _stacklevel=3,
-        )
-        t0 = time.perf_counter()
-        script = parse_script(graql)
-        parse_ms = (time.perf_counter() - t0) * 1000.0
-        results = []
-        for i, stmt in enumerate(script.statements):
-            r = execute_statement(self.db, self.catalog, stmt, params, opts)
-            if r.profile is not None:
-                if i == 0:
-                    # script-level parse time belongs to the first statement
-                    r.profile.stages.insert(0, ("parse", parse_ms))
-                record_profile_metrics(self.metrics, r.profile)
-            results.append(r)
-        return results
+        reject_legacy_kwargs(legacy, "Database.execute")
+        return self._conn.execute(graql, params, options)
 
     def query(
         self,
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
         options: Optional[QueryOptions] = None,
-        *,
-        force_direction: Optional[str] = None,
-        force_strategy: Optional[str] = None,
+        **legacy: Any,
     ) -> Table:
         """Execute a script and return the last statement's table result.
 
@@ -119,18 +140,10 @@ class Database:
         :class:`Table` and raises ``ExecutionError`` if the script
         produced no table.
         """
-        results = self.execute(
-            graql,
-            params,
-            resolve_options(
-                options,
-                force_direction=force_direction,
-                force_strategy=force_strategy,
-                _stacklevel=3,
-            ),
-        )
+        reject_legacy_kwargs(legacy, "Database.query")
+        results = self.execute(graql, params, options)
         for r in reversed(results):
-            if r.kind == "table" and r.table is not None:
+            if r.kind == StatementKind.TABLE and r.table is not None:
                 return r.table
         raise ExecutionError("script produced no table result")
 
@@ -139,23 +152,13 @@ class Database:
         graql: str,
         params: Optional[Mapping[str, Any]] = None,
         options: Optional[QueryOptions] = None,
-        *,
-        force_direction: Optional[str] = None,
-        force_strategy: Optional[str] = None,
+        **legacy: Any,
     ) -> Subgraph:
         """Execute a script and return the last subgraph result."""
-        results = self.execute(
-            graql,
-            params,
-            resolve_options(
-                options,
-                force_direction=force_direction,
-                force_strategy=force_strategy,
-                _stacklevel=3,
-            ),
-        )
+        reject_legacy_kwargs(legacy, "Database.query_subgraph")
+        results = self.execute(graql, params, options)
         for r in reversed(results):
-            if r.kind == "subgraph" and r.subgraph is not None:
+            if r.kind == StatementKind.SUBGRAPH and r.subgraph is not None:
                 return r.subgraph
         raise ExecutionError("script produced no subgraph result")
 
@@ -173,16 +176,25 @@ class Database:
     # Direct data access (bypassing CSV files)
     # ------------------------------------------------------------------
     def ingest_rows(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
-        """Append stored-form rows and rebuild dependent views (atomic)."""
-        n = self.db.ingest_rows(table, rows)
-        self.catalog.refresh(self.db)
-        return n
+        """Append stored-form rows and rebuild dependent views (atomic;
+        serializes with concurrent statements via the write lock)."""
+
+        def work() -> int:
+            n = self.db.ingest_rows(table, rows)
+            self.catalog.refresh(self.db)
+            return n
+
+        return self._server.serving.run_work("admin", True, work)
 
     def ingest_text(self, table: str, csv_text: str) -> int:
         """Ingest CSV text (same semantics as ``ingest table``)."""
-        n = self.db.ingest_text(table, csv_text)
-        self.catalog.refresh(self.db)
-        return n
+
+        def work() -> int:
+            n = self.db.ingest_text(table, csv_text)
+            self.catalog.refresh(self.db)
+            return n
+
+        return self._server.serving.run_work("admin", True, work)
 
     def table(self, name: str) -> Table:
         return self.db.table(name)
@@ -219,9 +231,10 @@ class Database:
         an :class:`~repro.analysis.AnalysisResult` — every defect in one
         run, each with a stable ``GQL``/``GQW`` code and ``line:col``.
 
-        The deprecated ``force_*`` shim kwargs are accepted (and their
-        use reported as ``GQW140``) so callers can lint call sites that
-        still pass them.
+        Unlike the execution entry points (where they were removed), the
+        ``force_*`` kwargs are still *accepted* here and their use
+        reported as ``GQW140`` — this is the lint surface for finding
+        call sites that would now raise ``TypeError`` at runtime.
         """
         from repro.analysis import Analyzer
 
@@ -251,7 +264,8 @@ class Database:
         :class:`~repro.obs.QueryProfile` (stage timings, estimated vs.
         actual cardinalities, index hits, dist counters) to the plan
         text.  ``options.explain`` set to ``"analyze"`` selects the
-        same thing.
+        same thing.  A statement answered from the plan cache shows a
+        ``cache: hit`` line in its profile block.
         """
         from repro.query.explain import explain_analyze, explain_script
 
@@ -276,9 +290,13 @@ class Database:
         """
         from repro.engine.pipeline import run_pipelined
 
-        results, stats = run_pipelined(
-            self.db, self.catalog, parse_script(graql), params, num_chunks, options
-        )
+        def work():
+            return run_pipelined(
+                self.db, self.catalog, parse_script(graql), params, num_chunks, options
+            )
+
+        # pipelined scripts register result tables: treat as a writer
+        results, stats = self._server.serving.run_work("admin", True, work)
         for r in results:
             if r.profile is not None:
                 record_profile_metrics(self.metrics, r.profile)

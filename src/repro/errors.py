@@ -124,6 +124,24 @@ class AccessError(GraQLError):
     """Raised by the front-end server when a user lacks permission."""
 
 
+class ServerBusy(GraQLError):
+    """Raised by the serving layer's admission controller.
+
+    The statement was *not* executed: either the server-wide bounded
+    queue is full or the submitting user already has their maximum
+    number of statements in flight.  Clients should back off and retry;
+    rejections are counted in the server's
+    :class:`~repro.obs.MetricsRegistry`
+    (``graql_admission_rejected_total``).
+
+    ``reason`` is ``"queue_full"`` or ``"user_limit"``.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 # ----------------------------------------------------------------------
 # Backend fault taxonomy (simulated cluster, docs/RELIABILITY.md)
 # ----------------------------------------------------------------------

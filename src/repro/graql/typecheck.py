@@ -27,7 +27,7 @@ from typing import Optional
 
 from repro.catalog import Catalog
 from repro.dtypes import DataType
-from repro.dtypes.datatypes import KIND_BOOL
+from repro.dtypes.datatypes import KIND_BOOL, KIND_PARAM
 from repro.errors import CatalogError, GraQLError, TypeCheckError
 from repro.graql.ast import (
     AggItem,
@@ -55,7 +55,14 @@ from repro.graql.ast import (
     VertexStep,
     span_of,
 )
-from repro.storage.expr import ColRef, Expr, col_refs, infer_type, params
+from repro.storage.expr import (
+    _DEFER_PARAMS,
+    ColRef,
+    Expr,
+    col_refs,
+    infer_type,
+    params,
+)
 from repro.storage.relops import AGGREGATE_FUNCS
 
 
@@ -354,13 +361,15 @@ def _apply_ddl_to_catalog(stmt: Statement, catalog: Catalog) -> None:
 
 def _no_params(expr: Optional[Expr], where: str) -> None:
     if expr is not None and params(expr):
+        if _DEFER_PARAMS.get():
+            return  # prepared-statement typecheck: bound at execution time
         raise TypeCheckError(
             f"{where}: unsubstituted parameters {sorted(set(params(expr)))}"
         )
 
 
 def _check_bool(t: DataType, where: str) -> None:
-    if t.kind != KIND_BOOL:
+    if t.kind not in (KIND_BOOL, KIND_PARAM):
         raise TypeCheckError(f"{where}: condition is not boolean (got {t.ddl()})")
 
 

@@ -24,8 +24,9 @@ from repro.obs.metrics import (
 )
 from repro.obs.options import (
     DEFAULT_OPTIONS,
-    DEPRECATION_MSG,
+    REMOVED_MSG,
     QueryOptions,
+    reject_legacy_kwargs,
     resolve_options,
 )
 from repro.obs.profile import (
@@ -39,8 +40,9 @@ from repro.obs.trace import Span, Tracer
 __all__ = [
     "QueryOptions",
     "resolve_options",
+    "reject_legacy_kwargs",
     "DEFAULT_OPTIONS",
-    "DEPRECATION_MSG",
+    "REMOVED_MSG",
     "Tracer",
     "Span",
     "MetricsRegistry",

@@ -15,6 +15,10 @@ Design constraints (docs/OBSERVABILITY.md):
   ``graql profile`` CLI.
 * **Deterministic rendering** — output is sorted by (name, labels) so
   golden tests and diffs are stable.
+* **Thread-safe** — the serving layer feeds one registry from many
+  worker threads, so registration and every instrument mutation take a
+  lock (per-instrument for the hot bump path, registry-wide for
+  get-or-create / reset / render).
 
 Metric names used by the engine are documented in docs/OBSERVABILITY.md.
 """
@@ -22,7 +26,8 @@ Metric names used by the engine are documented in docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Mapping, Optional, Sequence
+import threading
+from typing import Mapping, Optional, Sequence
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -88,39 +93,47 @@ def _fmt(value: float) -> str:
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters can only increase")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Gauge:
     """A value that can go up and down."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Histogram:
@@ -131,7 +144,9 @@ class Histogram:
     ``<= buckets[i]`` *non*-cumulatively here; rendering accumulates.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "inf_count", "sum", "count")
+    __slots__ = (
+        "buckets", "bucket_counts", "inf_count", "sum", "count", "_lock"
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bs = tuple(float(b) for b in buckets)
@@ -144,15 +159,17 @@ class Histogram:
         self.inf_count = 0
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.inf_count += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.inf_count += 1
 
     def cumulative_counts(self) -> list[int]:
         """Counts for ``le=bound`` lines, cumulative, +Inf last."""
@@ -165,10 +182,11 @@ class Histogram:
         return out
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * len(self.buckets)
-        self.inf_count = 0
-        self.sum = 0.0
-        self.count = 0
+        with self._lock:
+            self.bucket_counts = [0] * len(self.buckets)
+            self.inf_count = 0
+            self.sum = 0.0
+            self.count = 0
 
 
 class MetricsRegistry:
@@ -177,6 +195,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         # name -> (kind, help, {label_key: instrument})
         self._metrics: dict[str, tuple[str, str, dict[LabelKey, object]]] = {}
+        # guards registration and iteration; instruments self-lock bumps
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Instrument factories (get-or-create)
@@ -189,22 +209,23 @@ class MetricsRegistry:
         labels: Optional[Mapping[str, str]],
         factory,
     ):
-        if name not in self._metrics:
-            if not _NAME_RE.match(name):
-                raise ValueError(f"invalid metric name {name!r}")
-            self._metrics[name] = (kind, help_text, {})
-        existing_kind, _, series = self._metrics[name]
-        if existing_kind != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {existing_kind}, "
-                f"not {kind}"
-            )
         key = _label_key(labels)
-        inst = series.get(key)
-        if inst is None:
-            inst = factory()
-            series[key] = inst
-        return inst
+        with self._lock:
+            if name not in self._metrics:
+                if not _NAME_RE.match(name):
+                    raise ValueError(f"invalid metric name {name!r}")
+                self._metrics[name] = (kind, help_text, {})
+            existing_kind, _, series = self._metrics[name]
+            if existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing_kind}, "
+                    f"not {kind}"
+                )
+            inst = series.get(key)
+            if inst is None:
+                inst = factory()
+                series[key] = inst
+            return inst
 
     def counter(
         self,
@@ -238,16 +259,19 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Zero every instrument, keeping registrations and label sets."""
-        for _, _, series in self._metrics.values():
-            for inst in series.values():
-                inst.reset()  # type: ignore[attr-defined]
+        with self._lock:
+            for _, _, series in self._metrics.values():
+                for inst in series.values():
+                    inst.reset()  # type: ignore[attr-defined]
 
     def clear(self) -> None:
         """Drop every registration entirely."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     # ------------------------------------------------------------------
     # Introspection / export
@@ -270,12 +294,21 @@ class MetricsRegistry:
             raise ValueError(f"metric {name!r} is a {kind}")
         return series[_label_key(labels)]  # type: ignore[return-value]
 
+    def _items(self):
+        """Stable (name, kind, help, [(key, inst)]) view for rendering."""
+        with self._lock:
+            return [
+                (name, kind, help_text, sorted(series.items()))
+                for name, (kind, help_text, series) in sorted(
+                    self._metrics.items()
+                )
+            ]
+
     def snapshot(self) -> dict:
         """Plain-dict view (counters/gauges: value; histograms: sum/count)."""
         out: dict = {}
-        for name in sorted(self._metrics):
-            kind, _, series = self._metrics[name]
-            for key, inst in sorted(series.items()):
+        for name, kind, _, items in self._items():
+            for key, inst in items:
                 label_txt = _render_labels(key)
                 if kind == "histogram":
                     out[name + label_txt] = {
@@ -289,12 +322,11 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         """The classic text exposition format, deterministically ordered."""
         lines: list[str] = []
-        for name in sorted(self._metrics):
-            kind, help_text, series = self._metrics[name]
+        for name, kind, help_text, items in self._items():
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
-            for key, inst in sorted(series.items()):
+            for key, inst in items:
                 if kind == "histogram":
                     cum = inst.cumulative_counts()  # type: ignore[attr-defined]
                     bounds = [

@@ -4,30 +4,35 @@
 ``force_strategy`` string kwargs that used to be threaded through
 :class:`~repro.engine.session.Database`, ``Server.submit`` and
 :func:`~repro.query.executor.execute_statement`.  One frozen dataclass
-now rides the whole pipeline — session -> server -> executor -> cluster —
+rides the whole pipeline — session -> server -> executor -> cluster —
 so planner pins, timeout budgets and observability switches compose
 instead of growing one kwarg per layer.
 
-The legacy kwargs still work for one release via
-:func:`resolve_options`, which merges them into a ``QueryOptions`` and
-emits a :class:`DeprecationWarning` (policy: docs/OBSERVABILITY.md).
+The legacy kwargs were deprecated for one release (with a
+``DeprecationWarning`` shim) and are now **removed**: passing them to
+any execution entry point raises :class:`TypeError` pointing at
+``QueryOptions`` (policy: docs/OBSERVABILITY.md, migration table:
+docs/API.md).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
-from typing import Optional, Union
+from typing import Any, Mapping, Optional, Union
 
 _DIRECTIONS = (None, "forward", "backward")
 _STRATEGIES = (None, "set", "bindings")
 _EXPLAIN_MODES = (False, True, "plan", "analyze")
 
-#: message prefix used by the deprecation shim — the CI deprecation job
-#: filters on it to keep intentional shim exercises out of -W error runs
-DEPRECATION_MSG = (
-    "force_direction/force_strategy keyword arguments are deprecated; "
-    "pass options=QueryOptions(direction=..., strategy=...) instead"
+#: the kwargs removed after their PR 2 deprecation cycle
+REMOVED_KWARGS = ("force_direction", "force_strategy")
+
+#: message used when a removed legacy kwarg is passed (the analyzer's
+#: GQW140 lint points at the same migration)
+REMOVED_MSG = (
+    "the force_direction/force_strategy keyword arguments were removed; "
+    "pass options=QueryOptions(direction=..., strategy=...) instead "
+    "(docs/API.md)"
 )
 
 
@@ -104,26 +109,28 @@ class QueryOptions:
 DEFAULT_OPTIONS = QueryOptions()
 
 
-def resolve_options(
-    options: Optional[QueryOptions] = None,
-    *,
-    force_direction: Optional[str] = None,
-    force_strategy: Optional[str] = None,
-    _stacklevel: int = 3,
-) -> QueryOptions:
-    """Merge the deprecated ``force_*`` kwargs into a ``QueryOptions``.
+def resolve_options(options: Optional[QueryOptions] = None) -> QueryOptions:
+    """Normalize an optional ``options`` argument.
 
-    The legacy kwargs warn (``DeprecationWarning``) and only fill fields
-    the explicit ``options`` left unset — an explicit ``options`` always
-    wins.  Plain calls (no options, no legacy kwargs) return the shared
-    default instance.
+    Plain calls (``options=None``) return the shared default instance so
+    the hot path allocates nothing.  The legacy ``force_*`` merging
+    branch is gone — see :func:`reject_legacy_kwargs`.
     """
-    if force_direction is None and force_strategy is None:
-        return options if options is not None else DEFAULT_OPTIONS
-    warnings.warn(DEPRECATION_MSG, DeprecationWarning, stacklevel=_stacklevel)
-    base = options if options is not None else DEFAULT_OPTIONS
-    return replace(
-        base,
-        direction=base.direction if base.direction is not None else force_direction,
-        strategy=base.strategy if base.strategy is not None else force_strategy,
-    )
+    return options if options is not None else DEFAULT_OPTIONS
+
+
+def reject_legacy_kwargs(kwargs: Mapping[str, Any], where: str) -> None:
+    """Raise ``TypeError`` for any unexpected ``**kwargs``.
+
+    The removed ``force_direction``/``force_strategy`` kwargs get a
+    migration pointer at :class:`QueryOptions`; anything else gets the
+    ordinary unexpected-keyword message.  No-op on empty kwargs, so
+    entry points can accept ``**legacy`` at zero cost.
+    """
+    if not kwargs:
+        return
+    for name in kwargs:
+        if name in REMOVED_KWARGS:
+            raise TypeError(f"{where}: {REMOVED_MSG}")
+    name = next(iter(kwargs))
+    raise TypeError(f"{where}() got an unexpected keyword argument {name!r}")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional
+from typing import Iterator, Optional
 
 from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry
 from repro.obs.trace import Span
@@ -122,6 +122,9 @@ class QueryProfile:
         self.pipeline: Optional[dict] = None
         #: root span of the trace (QueryOptions(trace=True) only)
         self.trace: Optional[Span] = None
+        #: True when the serving layer answered from the plan cache —
+        #: parse/typecheck were skipped (rendered as ``cache: hit``)
+        self.cache_hit = False
 
     # ------------------------------------------------------------------
     # Stage timing
@@ -200,6 +203,8 @@ class QueryProfile:
             head += f", strategy={self.strategy}"
         head += f", rows={self.rows_out})"
         lines = [head]
+        if self.cache_hit:
+            lines.append("  cache: hit")
         if self.stages:
             stage_txt = " ".join(f"{n}={ms:.3f}ms" for n, ms in self.stages)
             lines.append(f"  stages: {stage_txt} total={self.total_ms:.3f}ms")
@@ -255,8 +260,9 @@ class QueryProfile:
 
     def to_dict(self) -> dict:
         return {
-            "kind": self.kind,
+            "kind": str(self.kind),
             "strategy": self.strategy,
+            "cache_hit": self.cache_hit,
             "stages": [{"name": n, "ms": round(ms, 3)} for n, ms in self.stages],
             "atoms": [a.to_dict() for a in self.atoms],
             "index_hits": self.index_hits,

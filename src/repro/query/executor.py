@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from enum import Enum
 from typing import Any, Iterator, Mapping, Optional
 
 import numpy as np
@@ -46,7 +47,7 @@ from repro.graql.typecheck import (
     RVertexStep,
     check_statement,
 )
-from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.options import QueryOptions, reject_legacy_kwargs, resolve_options
 from repro.obs.profile import AtomProfile, QueryProfile, StepProfile
 from repro.obs.trace import Tracer
 from repro.query.bindings import BindingExecutor
@@ -91,12 +92,34 @@ def _stage(
                     )
 
 
+class StatementKind(str, Enum):
+    """Stable classification of a :class:`StatementResult`.
+
+    A ``str`` subclass, so existing ``result.kind == "table"`` call sites
+    keep working; new code can match on the enum members.  ``__str__``
+    is pinned to the plain string form so f-strings render ``"table"``
+    identically on every supported Python version.
+    """
+
+    DDL = "ddl"
+    INGEST = "ingest"
+    TABLE = "table"
+    SUBGRAPH = "subgraph"
+
+    __str__ = str.__str__
+
+    @property
+    def is_write(self) -> bool:
+        """True for statements that mutate the database or catalog."""
+        return self in (StatementKind.DDL, StatementKind.INGEST)
+
+
 class StatementResult:
     """Outcome of executing one statement."""
 
     def __init__(
         self,
-        kind: str,
+        kind: "str | StatementKind",
         table: Optional[Table] = None,
         subgraph: Optional[Subgraph] = None,
         message: str = "",
@@ -107,7 +130,7 @@ class StatementResult:
         recovery: Optional[dict] = None,
         profile: Optional[QueryProfile] = None,
     ) -> None:
-        self.kind = kind  # 'ddl' | 'ingest' | 'table' | 'subgraph'
+        self.kind = StatementKind(kind)
         self.table = table
         self.subgraph = subgraph
         self.message = message
@@ -144,27 +167,52 @@ def execute_statement(
     stmt: Statement,
     params: Optional[Mapping[str, Any]] = None,
     options: Optional[QueryOptions] = None,
-    *,
-    force_direction: Optional[str] = None,
-    force_strategy: Optional[str] = None,
+    **legacy: Any,
 ) -> StatementResult:
     """Type-check and execute one statement (parameters substituted first).
 
     ``options`` is the typed execution API
-    (:class:`~repro.obs.QueryOptions`); the ``force_direction`` /
-    ``force_strategy`` kwargs are a deprecated shim that warns and maps
-    onto it.  Unless ``options.profile`` is off, the returned result
-    carries a :class:`~repro.obs.QueryProfile`.
+    (:class:`~repro.obs.QueryOptions`); the removed ``force_direction`` /
+    ``force_strategy`` kwargs raise ``TypeError`` pointing at it.  Unless
+    ``options.profile`` is off, the returned result carries a
+    :class:`~repro.obs.QueryProfile`.
     """
-    opts = resolve_options(
-        options,
-        force_direction=force_direction,
-        force_strategy=force_strategy,
-        _stacklevel=3,
-    )
+    reject_legacy_kwargs(legacy, "execute_statement")
+    opts = resolve_options(options)
     profile = QueryProfile() if opts.profile else None
     tracer = Tracer() if (opts.trace and profile is not None) else None
     result = _dispatch_statement(db, catalog, stmt, params, opts, profile, tracer)
+    return _finish_result(result, profile, tracer)
+
+
+def execute_checked(
+    db: GraphDB,
+    catalog: Catalog,
+    checked: "Statement | CheckedGraphSelect",
+    options: Optional[QueryOptions] = None,
+) -> StatementResult:
+    """Execute an already substituted and type-checked statement.
+
+    The plan-cache fast path (:mod:`repro.serve`): on a cache hit the
+    parse/substitute/typecheck stages are skipped entirely and the cached
+    resolution (a :class:`~repro.graql.typecheck.CheckedGraphSelect` for
+    graph queries, the statement itself otherwise) executes directly.
+    Only valid while the catalog epoch the statement was checked against
+    is current — the cache enforces that.
+    """
+    opts = resolve_options(options)
+    profile = QueryProfile() if opts.profile else None
+    tracer = Tracer() if (opts.trace and profile is not None) else None
+    stmt = checked.stmt if isinstance(checked, CheckedGraphSelect) else checked
+    result = _execute_resolved(db, catalog, stmt, checked, opts, profile, tracer)
+    return _finish_result(result, profile, tracer)
+
+
+def _finish_result(
+    result: StatementResult,
+    profile: Optional[QueryProfile],
+    tracer: Optional[Tracer],
+) -> StatementResult:
     if profile is not None:
         profile.kind = result.kind
         profile.rows_out = result.count
@@ -198,6 +246,18 @@ def _dispatch_statement(
             stmt = substitute_statement(stmt, params)
     with _stage("typecheck", profile, tracer):
         checked = check_statement(stmt, catalog)
+    return _execute_resolved(db, catalog, stmt, checked, opts, profile, tracer)
+
+
+def _execute_resolved(
+    db: GraphDB,
+    catalog: Catalog,
+    stmt: Statement,
+    checked: "Statement | CheckedGraphSelect",
+    opts: QueryOptions,
+    profile: Optional[QueryProfile],
+    tracer: Optional[Tracer],
+) -> StatementResult:
     if isinstance(stmt, CreateTable):
         with _stage("execute", profile, tracer):
             db.create_table(stmt.name, stmt.schema)
@@ -297,9 +357,9 @@ def _execute_graph_select(
             )
         if stmt.into is not None and stmt.into.kind == INTO_SUBGRAPH:
             db.register_subgraph(subgraph)
-            catalog.subgraphs[subgraph.name] = {
-                k: len(v) for k, v in subgraph.vertices.items()
-            }
+            catalog.register_subgraph(
+                subgraph.name, {k: len(v) for k, v in subgraph.vertices.items()}
+            )
         return StatementResult(
             "subgraph", subgraph=subgraph, count=subgraph.num_vertices, plan=plan
         )
@@ -320,9 +380,9 @@ def _execute_graph_select(
                     result_name,
                 )
         db.register_subgraph(subgraph)
-        catalog.subgraphs[subgraph.name] = {
-            k: len(v) for k, v in subgraph.vertices.items()
-        }
+        catalog.register_subgraph(
+            subgraph.name, {k: len(v) for k, v in subgraph.vertices.items()}
+        )
         return StatementResult(
             "subgraph", subgraph=subgraph, count=subgraph.num_vertices, plan=plan
         )

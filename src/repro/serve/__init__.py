@@ -1,0 +1,39 @@
+"""The concurrent serving layer (docs/API.md).
+
+The paper's GEMS server is *shared*: many analysts submit scripts against
+one catalog + backend.  This package provides the pieces that make that
+safe and fast in-process:
+
+* :func:`connect` / :class:`Connection` / :class:`Cursor` — the client
+  API.  ``prepare()`` returns a :class:`PreparedStatement` that parses,
+  type-checks and IR-encodes a script once and binds parameters per
+  execution; cursors stream result rows in batches instead of
+  materializing them eagerly.
+* :class:`ServingEngine` — the shared-server concurrency core: a
+  writer-preferring reader-writer catalog lock (selects run in
+  parallel, DDL/ingest serialize), a ``ThreadPoolExecutor`` worker
+  pool, and an admission controller with a bounded queue and per-user
+  in-flight limits (:class:`~repro.errors.ServerBusy` on overload).
+* :class:`PlanCache` — statement cache keyed on (canonical script,
+  parameter signature, catalog epoch); DDL/ingest bump the epoch, so
+  stale plans can never execute.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import PlanCache, canonical_script
+from repro.serve.connection import Connection, Cursor, PreparedStatement, connect
+from repro.serve.engine import ServingEngine, statement_is_write
+from repro.serve.locks import RWLock
+
+__all__ = [
+    "connect",
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "ServingEngine",
+    "AdmissionController",
+    "PlanCache",
+    "RWLock",
+    "canonical_script",
+    "statement_is_write",
+]

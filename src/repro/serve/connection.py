@@ -1,0 +1,406 @@
+"""The client API: connections, cursors, prepared statements.
+
+The driver-style surface over a :class:`~repro.engine.server.Server`::
+
+    from repro import connect, Server
+
+    server = Server()
+    conn = connect(server, user="admin")
+    with conn.cursor() as cur:
+        cur.execute("select name from People where age > %MinAge%",
+                    params={"MinAge": 30})
+        for row in cur:                 # streamed in batches
+            print(row.name)
+
+    ps = conn.prepare("select name from People where age > %MinAge%")
+    ps.execute({"MinAge": 30})          # parse/typecheck/IR paid once
+
+Two transports exist:
+
+* ``"ir"`` (the default for :func:`connect`) — the paper's front-end
+  pipeline: access control, static analysis, binary IR shipped to the
+  backend, ``compile_ir``/``decode_ir`` stages in every profile.
+* ``"local"`` — the in-process fast path used by
+  :class:`~repro.engine.session.Database`: parse + per-statement
+  typecheck/execute, no IR round-trip, a ``parse`` stage on the first
+  statement.
+
+Both run through the shared :class:`~repro.serve.engine.ServingEngine`
+(admission control, reader-writer catalog lock, plan cache).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.errors import ExecutionError, TypeCheckError
+from repro.graql.ast import Script
+from repro.graql.ir import decode_statement, encode_statement
+from repro.graql.params import substitute_statement, unbound_params
+from repro.graql.parser import parse_script
+from repro.graql.typecheck import check_statement
+from repro.obs.options import QueryOptions
+from repro.obs.profile import record_profile_metrics
+from repro.query.executor import (
+    StatementKind,
+    StatementResult,
+    execute_checked,
+    execute_statement,
+)
+from repro.serve.engine import script_is_write
+from repro.storage.expr import deferred_params
+from repro.storage.table import Row, Table
+
+TRANSPORT_IR = "ir"
+TRANSPORT_LOCAL = "local"
+
+
+def connect(server, user: str = "admin", *, transport: str = TRANSPORT_IR) -> "Connection":
+    """Open a :class:`Connection` to *server* as *user*.
+
+    The server is shared — any number of connections (and threads) may
+    be open against it; the serving engine serializes what must be
+    serialized and runs the rest concurrently.
+    """
+    return Connection(server, user, transport=transport)
+
+
+class Connection:
+    """A client's handle on a shared server."""
+
+    def __init__(self, server, user: str, transport: str = TRANSPORT_IR) -> None:
+        if transport not in (TRANSPORT_IR, TRANSPORT_LOCAL):
+            raise ValueError(f"unknown transport {transport!r}")
+        # surface unknown users at connect time, not first query
+        server._require(user, "reader")
+        self.server = server
+        self.user = user
+        self.transport = transport
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self.server.serving
+
+    @property
+    def catalog(self):
+        return self.server.catalog
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        source: str,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        timeout_s: Optional[float] = None,
+    ) -> list[StatementResult]:
+        """Execute a GraQL script; one :class:`StatementResult` per
+        statement, in order."""
+        self._check_open()
+        if self.transport == TRANSPORT_IR:
+            return self.server.submit(
+                self.user, source, params, timeout_s=timeout_s, options=options
+            )
+        return self.engine.run(
+            self.user, source, params, options, self._local_runner(params)
+        )
+
+    def cursor(self, batch_size: int = 1024) -> "Cursor":
+        self._check_open()
+        return Cursor(self, batch_size=batch_size)
+
+    def prepare(self, source: str) -> "PreparedStatement":
+        """Parse, access-check, typecheck and IR-encode *source* once.
+
+        Unbound ``%Param%`` placeholders are allowed (they typecheck as
+        the deferred wildcard type); each :meth:`PreparedStatement.execute`
+        binds a fresh set of values.
+        """
+        self._check_open()
+        return PreparedStatement(self, source)
+
+    # ------------------------------------------------------------------
+    # Local transport
+    # ------------------------------------------------------------------
+    def _local_runner(self, params: Optional[Mapping[str, Any]]):
+        server = self.server
+
+        def run(script: Script, opts: QueryOptions, parse_ms: float) -> tuple:
+            results: list[StatementResult] = []
+            resolutions: list = []
+            for i, stmt in enumerate(script.statements):
+                sub = stmt
+                sub_ms = chk_ms = None
+                if params:
+                    t0 = time.perf_counter()
+                    sub = substitute_statement(stmt, params)
+                    sub_ms = (time.perf_counter() - t0) * 1000.0
+                t0 = time.perf_counter()
+                checked = check_statement(sub, server.catalog)
+                chk_ms = (time.perf_counter() - t0) * 1000.0
+                r = execute_checked(server.backend, server.catalog, checked, opts)
+                if r.profile is not None:
+                    # reproduce execute_statement's stage order:
+                    # [parse] [substitute] typecheck plan execute ...
+                    r.profile.stages.insert(0, ("typecheck", chk_ms))
+                    if sub_ms is not None:
+                        r.profile.stages.insert(0, ("substitute", sub_ms))
+                    if i == 0:
+                        # script-level parse belongs to the first statement
+                        r.profile.stages.insert(0, ("parse", parse_ms))
+                    record_profile_metrics(server.metrics, r.profile)
+                resolutions.append(checked)
+                results.append(r)
+            return results, resolutions
+
+        return run
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection(user={self.user!r}, transport={self.transport}, {state})"
+
+
+class PreparedStatement:
+    """A script parsed, access-checked, typechecked and IR-encoded once.
+
+    Execution binds a parameter mapping, substitutes it into the decoded
+    statements and runs them — the per-execution cost is substitution +
+    the concrete typecheck the executor performs with values in hand
+    (which is what validates the binding's types).
+    """
+
+    def __init__(self, connection: Connection, source: str) -> None:
+        self.connection = connection
+        self.source = source
+        self.script = parse_script(source)
+        self.is_write = script_is_write(self.script)
+        server = connection.server
+        for stmt in self.script.statements:
+            server._check_rights(connection.user, stmt)
+        #: parameter names the script needs bound at execution
+        self.param_names: tuple = tuple(
+            sorted({p for s in self.script.statements for p in unbound_params(s)})
+        )
+
+        def check() -> int:
+            with deferred_params():
+                for stmt in self.script.statements:
+                    check_statement(stmt, server.catalog)
+            return server.catalog.epoch
+
+        #: catalog epoch the static checks ran against
+        self.epoch = connection.engine.run_work(connection.user, False, check)
+        #: binary IR per statement (Param nodes encode as-is)
+        self.ir: tuple = tuple(
+            encode_statement(s) for s in self.script.statements
+        )
+
+    @property
+    def ir_size(self) -> int:
+        return sum(len(b) for b in self.ir)
+
+    def execute(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+    ) -> list[StatementResult]:
+        """Bind *params* and execute; returns one result per statement."""
+        self.connection._check_open()
+        missing = [p for p in self.param_names if p not in (params or {})]
+        if missing:
+            raise TypeCheckError(
+                f"prepared statement is missing parameters: {', '.join(missing)}"
+            )
+        conn = self.connection
+        server = conn.server
+
+        def work() -> list[StatementResult]:
+            results = []
+            for ir in self.ir:
+                stmt = decode_statement(ir)
+                r = execute_statement(
+                    server.backend, server.catalog, stmt, params, options
+                )
+                if r.profile is not None:
+                    record_profile_metrics(server.metrics, r.profile)
+                results.append(r)
+            return results
+
+        return conn.engine.run_work(conn.user, self.is_write, work)
+
+    def cursor(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        batch_size: int = 1024,
+    ) -> "Cursor":
+        """Execute with *params* and return a cursor over the results."""
+        cur = Cursor(self.connection, batch_size=batch_size)
+        cur._install(self.execute(params, options))
+        return cur
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedStatement({len(self.script.statements)} stmts, "
+            f"params={list(self.param_names)}, ir={self.ir_size}B)"
+        )
+
+
+class Cursor:
+    """Streaming consumption of a script's last table result.
+
+    Rows are produced in batches (:meth:`~repro.storage.table.Table.iter_batches`)
+    as the consumer advances — ``fetchone`` / ``fetchmany`` / iteration
+    never materialize the full row list up front.  ``results`` exposes
+    every statement's :class:`~repro.query.executor.StatementResult` for
+    non-tabular needs (DDL messages, subgraphs, profiles).
+    """
+
+    def __init__(self, connection: Connection, batch_size: int = 1024) -> None:
+        self.connection = connection
+        #: default fetchmany size and row-production batch size
+        self.arraysize = batch_size
+        self.results: Optional[list[StatementResult]] = None
+        self._table: Optional[Table] = None
+        self._batches: Optional[Iterator[list[Row]]] = None
+        self._buffer: list[Row] = []
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        source: "str | PreparedStatement",
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+    ) -> "Cursor":
+        """Run a script (or a prepared statement) and point the cursor at
+        its last table result.  Returns ``self`` for chaining."""
+        if isinstance(source, PreparedStatement):
+            self._install(source.execute(params, options))
+        else:
+            self._install(self.connection.execute(source, params, options))
+        return self
+
+    def _install(self, results: list[StatementResult]) -> None:
+        self.results = results
+        self._table = None
+        self._batches = None
+        self._buffer = []
+        self._pos = 0
+        for r in reversed(results):
+            if r.kind == StatementKind.TABLE and r.table is not None:
+                self._table = r.table
+                self._batches = r.table.iter_batches(self.arraysize)
+                break
+
+    # ------------------------------------------------------------------
+    # Result-set metadata
+    # ------------------------------------------------------------------
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        """Per-column ``(name, type_ddl)`` of the current result set."""
+        if self._table is None:
+            return None
+        return [(c.name, c.dtype.ddl()) for c in self._table.schema]
+
+    @property
+    def table(self) -> Optional[Table]:
+        """The table the cursor is streaming (None without a table
+        result); gives access to the schema for value formatting."""
+        return self._table
+
+    @property
+    def rowcount(self) -> int:
+        return -1 if self._table is None else self._table.num_rows
+
+    # ------------------------------------------------------------------
+    # Streaming fetch API
+    # ------------------------------------------------------------------
+    def fetchone(self) -> Optional[Row]:
+        """The next row, or ``None`` when the result set is exhausted."""
+        if not self._fill():
+            return None
+        row = self._buffer[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[Row]:
+        """Up to *size* rows (default ``arraysize``); ``[]`` at the end."""
+        n = self.arraysize if size is None else size
+        out: list[Row] = []
+        while len(out) < n:
+            if not self._fill():
+                break
+            take = min(n - len(out), len(self._buffer) - self._pos)
+            out.extend(self._buffer[self._pos : self._pos + take])
+            self._pos += take
+        return out
+
+    def fetchall(self) -> list[Row]:
+        out: list[Row] = []
+        while True:
+            batch = self.fetchmany(self.arraysize)
+            if not batch:
+                return out
+            out.extend(batch)
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def _fill(self) -> bool:
+        """Ensure the buffer has an unread row; False when exhausted."""
+        if self._pos < len(self._buffer):
+            return True
+        if self._batches is None:
+            if self.results is None:
+                raise ExecutionError("no query has been executed on this cursor")
+            return False  # script produced no table result
+        try:
+            self._buffer = next(self._batches)
+            self._pos = 0
+            return bool(self._buffer)
+        except StopIteration:
+            self._batches = None
+            self._buffer = []
+            self._pos = 0
+            return False
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.results = None
+        self._table = None
+        self._batches = None
+        self._buffer = []
+        self._pos = 0
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        n = self.rowcount
+        return f"Cursor(rows={'?' if n < 0 else n}, arraysize={self.arraysize})"

@@ -1,0 +1,262 @@
+"""The shared-server execution core.
+
+One :class:`ServingEngine` sits between every client connection and the
+server's catalog + backend, and enforces the concurrency contract:
+
+* **Admission** — a bounded number of submissions may be in flight
+  (running + queued); the rest are rejected with
+  :class:`~repro.errors.ServerBusy` before consuming any resources.
+* **Scheduling** — synchronous submissions execute on the caller's
+  thread (clients bring their own concurrency); asynchronous ones
+  (:meth:`submit`, :meth:`submit_work`) run on a lazily-created
+  ``ThreadPoolExecutor`` worker pool and return futures.  Both paths
+  pass the same admission gate, so total in-flight work is bounded
+  either way.
+* **Isolation** — a writer-preferring :class:`~repro.serve.locks.RWLock`
+  over the catalog+backend: scripts containing only reads (selects
+  without ``into``) execute concurrently under the read lock; anything
+  with effects (DDL, ingest, ``into`` results) holds the write lock
+  exclusively.  Catalog epochs make the boundary observable: a reader
+  sees either the catalog from before a concurrent DDL or after it,
+  never a torn mix.
+* **Caching** — pure-read submissions consult the
+  :class:`~repro.serve.cache.PlanCache`; a hit skips the whole front-end
+  pipeline and executes the cached resolution directly
+  (:func:`repro.query.executor.execute_checked`), marked ``cache: hit``
+  in the profile.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Mapping, Optional
+
+from repro.graql.ast import (
+    CreateEdge,
+    CreateTable,
+    CreateVertex,
+    GraphSelect,
+    Ingest,
+    Script,
+    Statement,
+    TableSelect,
+)
+from repro.graql.parser import parse_script
+from repro.obs.options import QueryOptions, resolve_options
+from repro.obs.profile import record_profile_metrics
+from repro.query.executor import StatementResult, execute_checked
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import PlanCache
+from repro.serve.locks import RWLock
+
+#: defaults for the serving layer; overridable per Server via
+#: ``serving_opts``
+DEFAULT_MAX_WORKERS = 8
+DEFAULT_MAX_QUEUE = 32
+DEFAULT_CACHE_CAPACITY = 128
+
+#: a runner performs the transport-specific compile+execute work for a
+#: parsed script and returns ``(results, cacheable_resolutions)``;
+#: resolutions are ``None`` when the program must not be cached
+Runner = Callable[[Script, QueryOptions, float], tuple]
+
+
+def statement_is_write(stmt: Statement) -> bool:
+    """True if *stmt* mutates the database or catalog.
+
+    DDL and ingest obviously; selects ``into`` a table/subgraph also
+    register durable result objects, so they serialize with writers.
+    """
+    if isinstance(stmt, (CreateTable, CreateVertex, CreateEdge, Ingest)):
+        return True
+    return (
+        isinstance(stmt, (GraphSelect, TableSelect)) and stmt.into is not None
+    )
+
+
+def script_is_write(script: Script) -> bool:
+    return any(statement_is_write(s) for s in script.statements)
+
+
+class ServingEngine:
+    """Admission + worker pool + RW catalog lock + plan cache.
+
+    The engine is transport-agnostic: a *runner* callback does the
+    actual compile-and-execute work (the Server's IR pipeline, or the
+    in-process Database's parse-and-execute path) while the engine
+    wraps it in admission, locking and caching.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        backend,
+        metrics,
+        *,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        per_user_limit: Optional[int] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        self.catalog = catalog
+        self.backend = backend
+        self.metrics = metrics
+        self.max_workers = max_workers
+        self.lock = RWLock()
+        self.admission = AdmissionController(
+            max_in_flight=max_workers + max_queue,
+            per_user_limit=per_user_limit,
+            metrics=metrics,
+        )
+        self.cache = PlanCache(capacity=cache_capacity, metrics=metrics)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The worker pool, created on first asynchronous submission
+        (keeps short-lived in-process databases from spawning threads)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="graql-serve",
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------
+    # Script submissions
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        user: str,
+        source: str,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        runner: Runner,
+    ) -> list[StatementResult]:
+        """Admit and execute one script submission on this thread."""
+        ticket = self.admission.admit(user)
+        try:
+            return self._process(source, params, options, runner)
+        finally:
+            self.admission.release(ticket)
+
+    def submit(
+        self,
+        user: str,
+        source: str,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        runner: Runner,
+    ) -> "Future[list[StatementResult]]":
+        """Asynchronous :meth:`run`: admit now, execute on the pool."""
+        ticket = self.admission.admit(user)
+
+        def job() -> list[StatementResult]:
+            try:
+                return self._process(source, params, options, runner)
+            finally:
+                self.admission.release(ticket)
+
+        try:
+            return self.pool.submit(job)
+        except BaseException:
+            self.admission.release(ticket)
+            raise
+
+    def _process(
+        self,
+        source: str,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        runner: Runner,
+    ) -> list[StatementResult]:
+        opts = resolve_options(options)
+        t0 = time.perf_counter()
+        script = parse_script(source)  # pure; classification needs the AST
+        parse_ms = (time.perf_counter() - t0) * 1000.0
+        if script_is_write(script):
+            with self.lock.write_locked():
+                results, _ = runner(script, opts, parse_ms)
+            # effects bumped the catalog epoch; old entries are
+            # unreachable by key — free their memory too
+            self.cache.invalidate()
+            return results
+        with self.lock.read_locked():
+            key = self.cache.key(source, params, self.catalog.epoch)
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                return self._execute_cached(entry, opts, parse_ms)
+            results, resolutions = runner(script, opts, parse_ms)
+            if resolutions is not None:
+                self.cache.store(key, resolutions)
+            return results
+
+    def _execute_cached(
+        self, entry, opts: QueryOptions, parse_ms: float
+    ) -> list[StatementResult]:
+        results = []
+        for checked in entry.checked:
+            result = execute_checked(self.backend, self.catalog, checked, opts)
+            if result.profile is not None:
+                # the cache lookup replaced the whole front-end pipeline;
+                # the parse needed for classification is all that remains
+                result.profile.cache_hit = True
+                result.profile.stages.insert(0, ("cache", parse_ms))
+                record_profile_metrics(self.metrics, result.profile)
+                self.metrics.counter(
+                    "graql_statements_cached_total",
+                    "statements answered from the plan cache",
+                ).inc()
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Pre-classified work (prepared statements, direct ingest)
+    # ------------------------------------------------------------------
+    def run_work(self, user: str, write: bool, fn: Callable[[], Any]) -> Any:
+        """Admit and run *fn* under the read or write lock, this thread."""
+        ticket = self.admission.admit(user)
+        try:
+            return self._locked(write, fn)
+        finally:
+            self.admission.release(ticket)
+
+    def submit_work(
+        self, user: str, write: bool, fn: Callable[[], Any]
+    ) -> "Future[Any]":
+        ticket = self.admission.admit(user)
+
+        def job() -> Any:
+            try:
+                return self._locked(write, fn)
+            finally:
+                self.admission.release(ticket)
+
+        try:
+            return self.pool.submit(job)
+        except BaseException:
+            self.admission.release(ticket)
+            raise
+
+    def _locked(self, write: bool, fn: Callable[[], Any]) -> Any:
+        if write:
+            with self.lock.write_locked():
+                out = fn()
+            self.cache.invalidate()
+            return out
+        with self.lock.read_locked():
+            return fn()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ServingEngine({self.admission!r}, {self.cache!r})"

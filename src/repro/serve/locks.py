@@ -1,0 +1,98 @@
+"""A writer-preferring reader-writer lock.
+
+The serving layer's concurrency contract (docs/API.md): any number of
+selects share the catalog+backend concurrently (read side), while DDL
+and ingest — which rebuild views, indexes and catalog statistics — hold
+the database exclusively (write side).  Writer preference keeps a steady
+stream of cheap selects from starving a schema change: once a writer is
+waiting, new readers queue behind it.
+
+Reentrancy is deliberately *not* supported — a thread that tries to
+upgrade a read hold into a write hold would deadlock against itself, so
+the serving engine is structured to never nest acquisitions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class RWLock:
+    """Condition-based shared/exclusive lock, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            # writer preference: park behind any waiting writer
+            if not self._cond.wait_for(
+                lambda: not self._writer_active and self._writers_waiting == 0,
+                timeout,
+            ):
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            assert self._readers > 0, "release_read without a read hold"
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                if not self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0,
+                    timeout,
+                ):
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            assert self._writer_active, "release_write without the write hold"
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer_active}, "
+            f"waiting_writers={self._writers_waiting})"
+        )

@@ -115,6 +115,15 @@ class Column:
     def values(self) -> list[Any]:
         return [self.value(i) for i in range(len(self.data))]
 
+    def slice_values(self, start: int, stop: int) -> list[Any]:
+        """Python values for rows ``[start, stop)`` in one vectorized pass
+        (``ndarray.tolist`` converts the whole slice at C speed; object
+        arrays hold Python values already)."""
+        chunk = self.data[start:stop]
+        if chunk.dtype == object:
+            return list(chunk)
+        return chunk.tolist()
+
     def __len__(self) -> int:
         return len(self.data)
 

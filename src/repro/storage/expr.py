@@ -18,6 +18,8 @@ checks: comparing incomparable kinds (e.g. a date against a float) raises
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Callable, Iterator
 
 import numpy as np
@@ -27,6 +29,7 @@ from repro.dtypes import (
     DATE,
     FLOAT,
     INTEGER,
+    PARAM,
     DataType,
     VarChar,
     parse_date,
@@ -35,6 +38,7 @@ from repro.dtypes.datatypes import (
     KIND_BOOL,
     KIND_DATE,
     KIND_NUMERIC,
+    KIND_PARAM,
     KIND_STRING,
     common_type,
 )
@@ -485,6 +489,29 @@ def predicate_feasibility(expr: Expr | None) -> bool | None:
 
 TypeResolver = Callable[[str | None, str], DataType]
 
+#: when set, :func:`infer_type` gives unbound ``%Param%`` placeholders the
+#: wildcard :data:`~repro.dtypes.PARAM` type instead of raising — used by
+#: prepared statements, which typecheck once before any values are bound
+_DEFER_PARAMS: ContextVar[bool] = ContextVar("graql_defer_params", default=False)
+
+
+@contextmanager
+def deferred_params() -> Iterator[None]:
+    """Typecheck with unbound ``%Param%`` placeholders allowed.
+
+    Inside the context, an unsubstituted parameter infers to the wildcard
+    ``PARAM`` type, which unifies with every comparability class; the
+    concrete Section III-A check is re-run at execution time once the
+    parameter values are bound.  This is what lets
+    :meth:`~repro.serve.Connection.prepare` parse and typecheck a script
+    exactly once and re-execute it with fresh parameters.
+    """
+    token = _DEFER_PARAMS.set(True)
+    try:
+        yield
+    finally:
+        _DEFER_PARAMS.reset(token)
+
 
 def infer_type(expr: Expr, resolve: TypeResolver) -> DataType:
     """Infer the type of *expr*, raising ``TypeCheckError`` on misuse.
@@ -497,6 +524,8 @@ def infer_type(expr: Expr, resolve: TypeResolver) -> DataType:
     if isinstance(expr, Const):
         return expr.dtype
     if isinstance(expr, Param):
+        if _DEFER_PARAMS.get():
+            return PARAM
         raise TypeCheckError(
             f"parameter %{expr.name}% not substituted before type checking"
         )
@@ -504,7 +533,7 @@ def infer_type(expr: Expr, resolve: TypeResolver) -> DataType:
         return resolve(expr.qualifier, expr.name)
     if isinstance(expr, Not):
         t = infer_type(expr.operand, resolve)
-        if t.kind != KIND_BOOL:
+        if t.kind not in (KIND_BOOL, KIND_PARAM):
             raise TypeCheckError(f"'not' requires a boolean, got {t.ddl()}")
         return BOOLEAN
     if isinstance(expr, IsNull):
@@ -514,7 +543,10 @@ def infer_type(expr: Expr, resolve: TypeResolver) -> DataType:
     lt = infer_type(expr.left, resolve)
     rt = infer_type(expr.right, resolve)
     if expr.op in LOGICAL_OPS:
-        if lt.kind != KIND_BOOL or rt.kind != KIND_BOOL:
+        if lt.kind not in (KIND_BOOL, KIND_PARAM) or rt.kind not in (
+            KIND_BOOL,
+            KIND_PARAM,
+        ):
             raise TypeCheckError(
                 f"'{expr.op}' requires boolean operands, got "
                 f"{lt.ddl()} and {rt.ddl()}"
@@ -524,13 +556,21 @@ def infer_type(expr: Expr, resolve: TypeResolver) -> DataType:
     # side is a string *literal*
     lt, rt = _coerce_date_literal_types(expr, lt, rt)
     if expr.op in COMPARISON_OPS:
-        if lt.kind != rt.kind:
+        if lt.kind != rt.kind and KIND_PARAM not in (lt.kind, rt.kind):
             raise TypeCheckError(
                 f"cannot compare {lt.ddl()} with {rt.ddl()} "
                 f"(operator '{expr.op}')"
             )
         return BOOLEAN
-    # arithmetic
+    # arithmetic; a deferred parameter operand is re-checked once bound
+    if KIND_PARAM in (lt.kind, rt.kind):
+        other = rt if lt.kind == KIND_PARAM else lt
+        if other.kind not in (KIND_NUMERIC, KIND_PARAM):
+            raise TypeCheckError(
+                f"arithmetic '{expr.op}' requires numeric operands, got "
+                f"{lt.ddl()} and {rt.ddl()}"
+            )
+        return FLOAT if expr.op == "/" else (other if other.kind == KIND_NUMERIC else PARAM)
     if lt.kind != KIND_NUMERIC or rt.kind != KIND_NUMERIC:
         raise TypeCheckError(
             f"arithmetic '{expr.op}' requires numeric operands, got "

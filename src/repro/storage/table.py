@@ -17,6 +17,57 @@ from repro.storage.column import Column
 from repro.storage.schema import ColumnDef, Schema
 
 
+class Row(tuple):
+    """One result row: a tuple whose fields are also name-addressable.
+
+    Supports positional access (``row[0]``, unpacking), mapping-style
+    access (``row["id"]``) and attribute access (``row.id``) — the
+    cursor/driver convention.  Rows are produced lazily by
+    :meth:`Table.iter_batches`; the schema's column names are shared
+    across every row of a batch, so the per-row overhead is one extra
+    slot.
+    """
+
+    __slots__ = ()
+
+    #: column names, positionally aligned with the tuple; an instance
+    #: attribute is impossible on a tuple subclass with empty
+    #: ``__slots__``, so each result schema gets its own Row subclass
+    #: (one class per table, shared by every row)
+    _names: tuple[str, ...] = ()
+
+    @classmethod
+    def make_class(cls, names: Sequence[str]) -> type:
+        """A Row subclass bound to *names* (one per result schema)."""
+        return type("Row", (cls,), {"__slots__": (), "_names": tuple(names)})
+
+    def keys(self) -> tuple[str, ...]:
+        return self._names
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self._names, self))
+
+    def __getitem__(self, key):  # type: ignore[override]
+        if isinstance(key, str):
+            try:
+                return tuple.__getitem__(self, self._names.index(key))
+            except ValueError:
+                raise KeyError(key) from None
+        return tuple.__getitem__(self, key)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return tuple.__getitem__(self, self._names.index(name))
+        except ValueError:
+            raise AttributeError(
+                f"row has no column {name!r} (columns: {', '.join(self._names)})"
+            ) from None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self._names, self))
+        return f"Row({inner})"
+
+
 class Table:
     """A named, strongly-typed, columnar table."""
 
@@ -75,14 +126,42 @@ class Table:
     def column_at(self, i: int) -> Column:
         return self.columns[i]
 
-    def row(self, i: int) -> tuple:
-        return tuple(c.value(i) for c in self.columns)
+    def _row_class(self) -> type:
+        cls = getattr(self, "_row_cls", None)
+        names = tuple(self.schema.names())
+        if cls is None or cls._names != names:
+            cls = Row.make_class(names)
+            self._row_cls = cls
+        return cls
 
-    def iter_rows(self) -> Iterator[tuple]:
-        for i in range(self.num_rows):
-            yield self.row(i)
+    def row(self, i: int) -> "Row":
+        cls = self._row_class()
+        return cls(c.value(i) for c in self.columns)
 
-    def to_rows(self) -> list[tuple]:
+    def iter_rows(self) -> Iterator["Row"]:
+        for batch in self.iter_batches():
+            yield from batch
+
+    def iter_batches(self, batch_size: int = 1024) -> Iterator[list["Row"]]:
+        """Yield rows in batches of up to *batch_size*.
+
+        Row production is vectorized per batch: each column is sliced
+        and converted to Python values once per batch (one
+        ``Column.values`` call) instead of one ``c.value(i)`` round-trip
+        per cell.  This is what cursor streaming (``fetchmany``) sits
+        on: rows materialize as the consumer advances, never all at
+        once.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        cls = self._row_class()
+        n = self.num_rows
+        for start in range(0, n, batch_size):
+            stop = min(start + batch_size, n)
+            cols = [c.slice_values(start, stop) for c in self.columns]
+            yield [cls(vals) for vals in zip(*cols)]
+
+    def to_rows(self) -> list["Row"]:
         return list(self.iter_rows())
 
     def column_dict(self) -> dict[str, np.ndarray]:

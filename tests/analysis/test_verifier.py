@@ -186,8 +186,14 @@ class TestServerIntegration:
         cs.ir = bytes(raw)
         s.compile = lambda *a, **k: program  # type: ignore[method-assign]
         shipped_before = s.ir_bytes_shipped
+        # the serving engine parses the source to classify read vs write,
+        # so the (ignored) stand-in script must still be valid GraQL
         with pytest.raises(IRError, match="statement tag"):
-            s.submit("admin", "ignored — compile is stubbed")
+            s.submit(
+                "admin",
+                "select * from graph Person ( ) --follows--> Person ( ) "
+                "into subgraph G",
+            )
         # rejected before the backend saw a single byte
         assert s.ir_bytes_shipped == shipped_before
         assert "G" not in s.catalog.subgraphs

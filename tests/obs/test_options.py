@@ -1,4 +1,4 @@
-"""QueryOptions validation + the legacy force_* deprecation shim."""
+"""QueryOptions validation + removal of the legacy force_* kwargs."""
 
 import dataclasses
 
@@ -6,8 +6,9 @@ import pytest
 
 from repro.obs.options import (
     DEFAULT_OPTIONS,
-    DEPRECATION_MSG,
+    REMOVED_MSG,
     QueryOptions,
+    reject_legacy_kwargs,
     resolve_options,
 )
 
@@ -61,59 +62,55 @@ class TestResolveOptions:
         o = QueryOptions(direction="forward")
         assert resolve_options(o) is o
 
-    def test_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning, match="force_direction"):
-            o = resolve_options(force_direction="backward")
-        assert o.direction == "backward"
-        with pytest.warns(DeprecationWarning, match=DEPRECATION_MSG[:30]):
-            o = resolve_options(force_strategy="bindings")
-        assert o.strategy == "bindings"
+    def test_legacy_kwargs_are_gone(self):
+        with pytest.raises(TypeError):
+            resolve_options(force_direction="backward")
 
-    def test_explicit_options_win_over_legacy(self):
-        with pytest.warns(DeprecationWarning):
-            o = resolve_options(
-                QueryOptions(direction="forward"), force_direction="backward"
-            )
-        assert o.direction == "forward"
+    def test_reject_legacy_kwargs_message(self):
+        with pytest.raises(TypeError, match="force_direction/force_strategy"):
+            reject_legacy_kwargs({"force_direction": "backward"}, "query")
+        with pytest.raises(TypeError, match="QueryOptions"):
+            reject_legacy_kwargs({"force_strategy": "set"}, "query")
 
-    def test_legacy_fills_unset_fields(self):
-        with pytest.warns(DeprecationWarning):
-            o = resolve_options(
-                QueryOptions(trace=True), force_strategy="set"
-            )
-        assert o.strategy == "set"
-        assert o.trace is True
+    def test_reject_unknown_kwarg_plain_typeerror(self):
+        with pytest.raises(TypeError, match="unexpected keyword argument 'bogus'"):
+            reject_legacy_kwargs({"bogus": 1}, "query")
+
+    def test_reject_empty_is_noop(self):
+        reject_legacy_kwargs({}, "query")
 
 
-class TestDatabaseShim:
-    """The public entry points accept the legacy kwargs for one release."""
+class TestRemovedKwargs:
+    """PR 2's deprecation shim is gone: every execution entry point now
+    raises ``TypeError`` pointing at ``QueryOptions`` (docs/API.md)."""
 
-    def test_execute_force_direction_warns_same_answer(self, social_db):
+    def test_execute_force_direction_raises(self, social_db):
         q = (
             "select * from graph Person (country = 'US') --follows--> "
             "Person ( ) into subgraph SH1"
         )
-        with pytest.warns(DeprecationWarning, match="force_direction"):
-            legacy = social_db.execute(q, force_direction="backward")[0]
-        modern = social_db.execute(
-            q.replace("SH1", "SH2"), options=QueryOptions(direction="backward")
-        )[0]
-        assert legacy.profile.atoms[0].direction == "backward"
-        assert legacy.profile.atoms[0].forced == "options"
-        assert {k: v.tolist() for k, v in legacy.subgraph.vertices.items()} == {
-            k: v.tolist() for k, v in modern.subgraph.vertices.items()
-        }
+        with pytest.raises(TypeError, match=REMOVED_MSG[:30]):
+            social_db.execute(q, force_direction="backward")
+        # and nothing executed: the subgraph does not exist
+        assert "SH1" not in social_db.catalog.subgraphs
 
-    def test_query_force_strategy_warns(self, social_db):
-        with pytest.warns(DeprecationWarning, match="force_strategy"):
-            t = social_db.query(
+    def test_query_force_strategy_raises(self, social_db):
+        with pytest.raises(TypeError, match="force_direction/force_strategy"):
+            social_db.query(
                 "select y.id from graph Person ( ) --follows--> "
                 "def y: Person ( ) into table SHT1",
                 force_strategy="bindings",
             )
-        assert t.num_rows == 8
 
-    def test_executor_level_shim(self, social_db):
+    def test_query_subgraph_raises(self, social_db):
+        with pytest.raises(TypeError, match="QueryOptions"):
+            social_db.query_subgraph(
+                "select * from graph Person ( ) --follows--> Person ( ) "
+                "into subgraph SHS1",
+                force_direction="forward",
+            )
+
+    def test_executor_level_raises(self, social_db):
         from repro.graql.parser import parse_script
         from repro.query.executor import execute_statement
 
@@ -121,35 +118,30 @@ class TestDatabaseShim:
             "select * from graph Person ( ) --follows--> Person ( ) "
             "into subgraph SHX"
         ).statements[0]
-        with pytest.warns(DeprecationWarning):
-            r = execute_statement(
+        with pytest.raises(TypeError, match="docs/API.md"):
+            execute_statement(
                 social_db.db, social_db.catalog, stmt,
                 force_direction="forward",
             )
-        assert r.profile.atoms[0].direction == "forward"
 
-    def test_server_submit_shim(self):
+    def test_server_submit_raises(self):
         from repro.engine.server import Server
 
         srv = Server()
         srv.submit("admin", "create table T(i integer)")
-        srv.submit("admin", "create vertex VV(i) from table T")
-        srv.submit(
-            "admin",
-            "create table E(src integer, dst integer) "
-            "create edge ee with vertices (VV as A, VV as B) from table E "
-            "where E.src = A.i and E.dst = B.i",
-        )
-        srv.backend.ingest_rows("T", [(1,), (2,)])
-        srv.backend.ingest_rows("E", [(1, 2)])
-        srv.catalog.refresh(srv.backend)
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            results = srv.submit(
-                "admin",
-                "select * from graph VV ( ) --ee--> VV ( ) into subgraph SS1",
-                force_strategy="set",
+        with pytest.raises(TypeError, match="force_direction/force_strategy"):
+            srv.submit(
+                "admin", "select * from table T", force_strategy="set"
             )
-        assert results[0].kind == "subgraph"
+
+    def test_options_equivalent_still_works(self, social_db):
+        r = social_db.execute(
+            "select * from graph Person (country = 'US') --follows--> "
+            "Person ( ) into subgraph SH2",
+            options=QueryOptions(direction="backward"),
+        )[0]
+        assert r.profile.atoms[0].direction == "backward"
+        assert r.profile.atoms[0].forced == "options"
 
     def test_modern_path_is_warning_free(self, social_db, recwarn):
         social_db.execute(
@@ -160,3 +152,9 @@ class TestDatabaseShim:
         assert not [
             w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
         ]
+
+    def test_analyze_still_accepts_kwargs_as_lint_surface(self, social_db):
+        res = social_db.analyze(
+            "select name from table People", force_direction="backward"
+        )
+        assert any(d.code == "GQW140" for d in res.diagnostics)

@@ -1,0 +1,74 @@
+"""Admission control: bounded in-flight work, per-user limits, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServerBusy
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+
+
+class TestAdmission:
+    def test_admit_release_roundtrip(self):
+        ac = AdmissionController(max_in_flight=2)
+        t1 = ac.admit("u")
+        t2 = ac.admit("u")
+        assert ac.in_flight == 2
+        ac.release(t1)
+        ac.release(t2)
+        assert ac.in_flight == 0
+
+    def test_queue_full_rejection(self):
+        ac = AdmissionController(max_in_flight=1)
+        ticket = ac.admit("u")
+        with pytest.raises(ServerBusy) as exc:
+            ac.admit("v")
+        assert exc.value.reason == "queue_full"
+        ac.release(ticket)
+        ac.release(ac.admit("v"))  # capacity freed
+
+    def test_per_user_limit(self):
+        ac = AdmissionController(max_in_flight=10, per_user_limit=2)
+        t1, t2 = ac.admit("u"), ac.admit("u")
+        with pytest.raises(ServerBusy) as exc:
+            ac.admit("u")
+        assert exc.value.reason == "user_limit"
+        # a different user is unaffected
+        t3 = ac.admit("v")
+        ac.release(t1)
+        ac.release(ac.admit("u"))  # back under the limit
+        for t in (t2, t3):
+            ac.release(t)
+
+    def test_release_is_idempotent(self):
+        ac = AdmissionController(max_in_flight=2)
+        t = ac.admit("u")
+        ac.release(t)
+        ac.release(t)
+        assert ac.in_flight == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)
+
+    def test_metrics_gauge_and_rejection_counters(self):
+        m = MetricsRegistry()
+        ac = AdmissionController(max_in_flight=1, per_user_limit=1, metrics=m)
+        t = ac.admit("u")
+        assert m.value("graql_inflight_submissions") == 1
+        with pytest.raises(ServerBusy):
+            ac.admit("u")  # in_flight at cap -> queue_full fires first
+        assert m.value("graql_admission_rejections_queue_full_total") == 1
+        ac.release(t)
+        assert m.value("graql_inflight_submissions") == 0
+        t = ac.admit("u")
+        ac2_blocked = AdmissionController(
+            max_in_flight=5, per_user_limit=1, metrics=m
+        )
+        t2 = ac2_blocked.admit("u")
+        with pytest.raises(ServerBusy):
+            ac2_blocked.admit("u")
+        assert m.value("graql_admission_rejections_user_limit_total") == 1
+        ac.release(t)
+        ac2_blocked.release(t2)

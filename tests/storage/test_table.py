@@ -67,6 +67,54 @@ class TestAccess:
         assert d["n"] is table.column("n").data
 
 
+class TestRows:
+    def test_rows_are_tuples(self, table):
+        row = table.row(0)
+        assert isinstance(row, tuple)
+        assert row == ("a", 1, 1.5)
+
+    def test_name_addressing(self, table):
+        row = table.row(1)
+        assert row["id"] == row.id == row[0] == "b"
+        assert row["n"] == row.n == row[1] == 2
+
+    def test_unknown_name_raises(self, table):
+        row = table.row(0)
+        with pytest.raises(KeyError, match="zzz"):
+            row["zzz"]
+        with pytest.raises(AttributeError, match="zzz"):
+            row.zzz
+
+    def test_keys_and_as_dict(self, table):
+        row = table.row(0)
+        assert list(row.keys()) == ["id", "n", "x"]
+        assert row.as_dict() == {"id": "a", "n": 1, "x": 1.5}
+
+    def test_positional_unpacking_still_works(self, table):
+        rid, n, x = table.row(3)
+        assert (rid, n, x) == ("d", 4, 4.5)
+
+    def test_iter_batches_partitions_all_rows(self, table):
+        batches = list(table.iter_batches(batch_size=3))
+        assert [len(b) for b in batches] == [3, 1]
+        flat = [tuple(r) for b in batches for r in b]
+        assert flat[0] == ("a", 1, 1.5)
+        assert len(flat) == 4
+
+    def test_iter_batches_rejects_bad_size(self, table):
+        with pytest.raises(ValueError):
+            list(table.iter_batches(batch_size=0))
+
+    def test_iter_rows_yields_named_rows(self, table):
+        names = [r.id for r in table.iter_rows()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_row_values_are_python_scalars(self, table):
+        row = table.row(1)
+        assert type(row[1]) is int
+        assert type(row[2]) is float
+
+
 class TestTransforms:
     def test_take(self, table):
         t = table.take(np.asarray([2, 0]))
