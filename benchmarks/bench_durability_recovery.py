@@ -1,0 +1,105 @@
+"""DURA-1 — durable storage engine: WAL append overhead and recovery budget.
+
+Measures (a) the per-statement cost of write-ahead logging under each
+fsync policy, (b) crash-recovery time when the whole WAL must be
+replayed, and (c) recovery time from a fresh checkpoint — the knob the
+`checkpoint_every` auto-checkpoint exists to turn.
+
+Shape facts this records (docs/DURABILITY.md): `always` pays one fsync
+per statement while `off` pays none; full-WAL recovery replays every
+record and still lands under the budget; a checkpoint drops the replay
+count to zero and recovery time with it.  The correctness asserts run
+even in CI quick mode (`--benchmark-disable`).
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro import Database
+from repro.durability import list_checkpoints
+
+N_RECORDS = 400
+#: budgets are deliberately generous (shared CI runners); the shape
+#: facts — replay counts, fsync counts, checkpointed << full — carry
+#: the real claim
+FULL_REPLAY_BUDGET_MS = 4000.0
+CHECKPOINT_RECOVERY_BUDGET_MS = 1000.0
+
+
+def _build(path, n, *, checkpoint=False, **kwargs):
+    db = Database.open(path, checkpoint_every=0, **kwargs)
+    db.execute("create table events (id integer, kind varchar(12))")
+    for i in range(n):
+        db.ingest_rows("events", [(i, f"k{i % 5}")])
+    if checkpoint:
+        db.checkpoint()
+    db.close()
+
+
+@pytest.mark.parametrize("fsync", ["always", "batch", "off"])
+def test_wal_append_overhead(benchmark, fsync):
+    """Per-policy cost of logging 100 single-row ingests."""
+
+    def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            db = Database.open(tmp, checkpoint_every=0, fsync=fsync)
+            db.execute("create table events (id integer, kind varchar(12))")
+            for i in range(100):
+                db.ingest_rows("events", [(i, "k")])
+            fsyncs, records = db.store._writer.fsyncs, db.store.seq
+            db.close()
+            return fsyncs, records
+
+    fsyncs, records = benchmark(run)
+    assert records == 101
+    if fsync == "always":
+        assert fsyncs >= 101  # one per acknowledged statement
+    elif fsync == "off":
+        assert fsyncs == 0
+    else:
+        assert 0 < fsyncs < 101  # batched: strictly between the extremes
+    benchmark.extra_info["fsyncs"] = fsyncs
+    benchmark.extra_info["wal_records"] = records
+
+
+def test_recovery_full_wal_replay(benchmark):
+    """No checkpoint on disk: recovery replays every record, in budget."""
+    with tempfile.TemporaryDirectory() as tmp:
+        _build(tmp, N_RECORDS)
+        assert not list_checkpoints(tmp)
+
+        def run():
+            db = Database.open(tmp, checkpoint_every=0)
+            report = db.recovery
+            db.close()
+            return report
+
+        report = benchmark(run)
+        assert report.clean
+        assert report.records_replayed == N_RECORDS + 1
+        assert report.duration_ms < FULL_REPLAY_BUDGET_MS
+        benchmark.extra_info["records_replayed"] = report.records_replayed
+        benchmark.extra_info["recovery_ms"] = round(report.duration_ms, 2)
+
+
+def test_recovery_from_checkpoint(benchmark):
+    """Fresh checkpoint: zero replay, recovery well under the budget."""
+    with tempfile.TemporaryDirectory() as tmp:
+        _build(tmp, N_RECORDS, checkpoint=True)
+        assert list_checkpoints(tmp)
+
+        def run():
+            db = Database.open(tmp, checkpoint_every=0)
+            report = db.recovery
+            db.close()
+            return report
+
+        report = benchmark(run)
+        assert report.clean
+        assert report.records_replayed == 0  # the snapshot covers the WAL
+        assert report.snapshot_seq == N_RECORDS + 1
+        assert report.duration_ms < CHECKPOINT_RECOVERY_BUDGET_MS
+        benchmark.extra_info["recovery_ms"] = round(report.duration_ms, 2)

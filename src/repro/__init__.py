@@ -61,9 +61,29 @@ prepared statements, all safe to share a server across threads::
         rows = cur.fetchmany(100)       # batched row production
     ps = conn.prepare("select name from People where age > %A%")
     ps.execute({"A": 30})               # parse/typecheck/IR paid once
+
+Durability (docs/DURABILITY.md) — write-ahead logging, checkpoints and
+crash recovery::
+
+    from repro import Database
+
+    with Database.open("./shop.db") as db:   # opening IS recovery
+        db.execute("create table People(id varchar(10))")
+        db.ingest_rows("People", [("p1",), ("p2",)])
+    # every mutation above is in ./shop.db's WAL; a crash at any point
+    # recovers to an exact prefix of the committed statements:
+    with Database.open("./shop.db") as db:
+        assert db.recovery.clean
 """
 
 from repro.analysis import AnalysisResult, Analyzer, Diagnostic, IRVerifier
+from repro.durability import (
+    DurableStore,
+    RecoveryReport,
+    StorageFaultInjector,
+    VerifyReport,
+    verify_store,
+)
 from repro.engine.session import Database
 from repro.engine.server import Server, User
 from repro.obs import MetricsRegistry, QueryOptions, QueryProfile, Tracer
@@ -73,6 +93,7 @@ from repro.storage.table import Row, Table
 from repro.errors import (
     AccessError,
     CatalogError,
+    ClosedError,
     ExecutionError,
     GraQLError,
     IngestError,
@@ -82,6 +103,7 @@ from repro.errors import (
     PlanError,
     ServerBusy,
     TypeCheckError,
+    WalError,
 )
 
 __version__ = "1.0.0"
@@ -117,5 +139,12 @@ __all__ = [
     "PlanError",
     "IRError",
     "AccessError",
+    "WalError",
+    "ClosedError",
+    "DurableStore",
+    "RecoveryReport",
+    "StorageFaultInjector",
+    "VerifyReport",
+    "verify_store",
     "__version__",
 ]

@@ -4,6 +4,9 @@ simple command-line interface to web-based front-ends").
 Usage::
 
     graql run script.graql --param Product1=product42
+    graql run script.graql --db ./shop.db [--fsync always|batch|off]
+    graql recover ./shop.db [--verify]
+    graql checkpoint ./shop.db
     graql check script.graql [more.graql ...] [--jobs N] [--strict]
     graql profile script.graql --demo berlin
     graql stats script.graql --demo berlin
@@ -11,6 +14,15 @@ Usage::
     graql demo berlin --scale 200
     graql demo cyber
     graql demo biology
+
+``graql run --db PATH`` executes against the durable database directory
+at PATH (created on first use): every mutation is written ahead to its
+WAL, so a later ``graql run --db PATH`` (or crash + restart) continues
+from the committed state.  ``graql recover PATH`` performs recovery and
+prints the report; with ``--verify`` it additionally proves the
+recovery invariants (docs/DURABILITY.md) and exits 0 only when the
+store verified clean.  ``graql checkpoint PATH`` snapshots the state
+and truncates the WAL.
 
 ``graql check`` statically analyzes without executing and exits 0 when
 clean, 1 when only warnings were found under ``--strict``, and 2 when
@@ -112,7 +124,15 @@ def _execute_and_print(conn, source: str, params, limit: int) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    db = Database()
+    try:
+        db = (
+            Database.open(args.db, fsync=args.fsync)
+            if args.db
+            else Database()
+        )
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
     params = _parse_params(args.param or [])
     try:
         with open(args.script, encoding="utf-8") as fh:
@@ -124,6 +144,67 @@ def cmd_run(args: argparse.Namespace) -> int:
     except GraQLError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
+    finally:
+        db.close()  # flush the WAL before the interpreter exits
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Recover (and optionally verify) a durable database directory."""
+    if args.verify:
+        from repro.durability import verify_store
+
+        report = verify_store(args.path)
+        rec = report.recovery
+        if rec is not None:
+            print(
+                f"recovered {args.path}: snapshot seq {rec.snapshot_seq}, "
+                f"{rec.records_replayed} WAL record(s) replayed, "
+                f"last seq {rec.last_seq} ({rec.wal_end_reason})"
+            )
+        for note in report.notes:
+            print(f"note: {note}")
+        for problem in report.problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        if report.ok:
+            print(f"verified ok (state {report.fingerprint[:16]})")
+            return 0
+        return 1
+    try:
+        db = Database.recover(args.path)
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    try:
+        rec = db.recovery
+        print(
+            f"recovered {args.path}: snapshot seq {rec.snapshot_seq}, "
+            f"{rec.records_replayed} WAL record(s) replayed, "
+            f"last seq {rec.last_seq} ({rec.wal_end_reason})"
+        )
+        if rec.bytes_truncated:
+            print(f"truncated {rec.bytes_truncated} torn tail byte(s)")
+        print(db.db)
+    finally:
+        db.close()
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Snapshot a durable database and truncate its WAL."""
+    try:
+        db = Database.open(args.path)
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    try:
+        path = db.checkpoint()
+        print(f"checkpoint written: {path} (seq {db.store.seq})")
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    finally:
+        db.close()
     return 0
 
 
@@ -313,7 +394,36 @@ def main(argv: Optional[list[str]] = None) -> int:
         action="store_true",
         help="print the plans instead of executing",
     )
+    p_run.add_argument(
+        "--db",
+        metavar="PATH",
+        help="durable database directory (WAL + checkpoints); created on "
+        "first use, recovered on every later one",
+    )
+    p_run.add_argument(
+        "--fsync",
+        choices=["always", "batch", "off"],
+        default="always",
+        help="WAL fsync policy for --db (default: always)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_rec = sub.add_parser(
+        "recover", help="recover a durable database directory and report"
+    )
+    p_rec.add_argument("path")
+    p_rec.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally prove the recovery invariants; exit 0 iff clean",
+    )
+    p_rec.set_defaults(func=cmd_recover)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint", help="snapshot a durable database and truncate its WAL"
+    )
+    p_ckpt.add_argument("path")
+    p_ckpt.set_defaults(func=cmd_checkpoint)
 
     p_check = sub.add_parser(
         "check", help="statically analyze a script without executing it"

@@ -1,0 +1,80 @@
+"""Durable storage engine: WAL, checkpoints, crash recovery.
+
+The in-memory engine (everything under :mod:`repro.graph` /
+:mod:`repro.storage`) stays exactly as fast as before; durability is a
+journal bolted on at the mutation choke points.  See docs/DURABILITY.md
+for the record format, fsync policies, checkpoint/recovery lifecycle
+and the injected-fault matrix.
+
+Entry points:
+
+* :class:`DurableStore` — one database directory (``wal.log`` +
+  ``checkpoint-*.snap``); opening it *is* recovery.
+* :func:`verify_store` — recover and prove every recovery invariant
+  (``graql recover PATH --verify``).
+* :class:`StorageFaultInjector` — deterministic torn-write / bit-flip /
+  fsync-failure / checkpoint-crash injection for tests.
+* ``Database.open(path)`` in :mod:`repro.engine.session` — the
+  user-facing way to run a durable database.
+"""
+
+from repro.durability.checkpoint import (
+    list_checkpoints,
+    load_latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.faults import (
+    CKPT_AFTER_RENAME,
+    CKPT_BEFORE_RENAME,
+    CKPT_DURING_WRITE,
+    SimulatedCrash,
+    StorageFaultInjector,
+    StorageFaultStats,
+)
+from repro.durability.state import (
+    apply_record,
+    restore_snapshot,
+    snapshot_payload,
+    state_fingerprint,
+)
+from repro.durability.store import DurableStore, RecoveryReport
+from repro.durability.verify import VerifyReport, fingerprint_digest, verify_store
+from repro.durability.wal import (
+    FSYNC_ALWAYS,
+    FSYNC_BATCH,
+    FSYNC_OFF,
+    WalScan,
+    WalWriter,
+    encode_record,
+    read_wal,
+)
+
+__all__ = [
+    "CKPT_AFTER_RENAME",
+    "CKPT_BEFORE_RENAME",
+    "CKPT_DURING_WRITE",
+    "DurableStore",
+    "FSYNC_ALWAYS",
+    "FSYNC_BATCH",
+    "FSYNC_OFF",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "StorageFaultInjector",
+    "StorageFaultStats",
+    "VerifyReport",
+    "WalScan",
+    "WalWriter",
+    "apply_record",
+    "encode_record",
+    "fingerprint_digest",
+    "list_checkpoints",
+    "load_latest_checkpoint",
+    "read_checkpoint",
+    "read_wal",
+    "restore_snapshot",
+    "snapshot_payload",
+    "state_fingerprint",
+    "verify_store",
+    "write_checkpoint",
+]

@@ -1,0 +1,179 @@
+"""Snapshot checkpoints: bounded-replay points for the WAL.
+
+A checkpoint file (``checkpoint-{seq:012d}.snap``) is one checksummed
+record — the ``GRQLSNP1`` magic, a ``[u32 length][u32 crc32]`` header
+and the canonical-JSON snapshot payload built by
+:func:`repro.durability.state.snapshot_payload`.  The name carries the
+last WAL sequence number the snapshot includes; recovery loads the
+newest *valid* snapshot and replays only WAL records after its seq.
+
+Writing is crash-safe by construction: the payload is staged in a temp
+file in the same directory, fsynced, then installed with ``os.replace``
+(the commit point) followed by a directory fsync.  A crash at any point
+leaves either the previous checkpoint set or the previous set plus one
+complete new file — never a half-written ``.snap``.  The
+:class:`~repro.durability.faults.StorageFaultInjector` exercises the
+three interesting windows (mid-write, staged-but-not-renamed,
+renamed-but-WAL-not-truncated) via :func:`write_checkpoint`'s
+interleaved fault points.
+
+The last two checkpoints are kept (:func:`prune_checkpoints`): if the
+newest one is later found bit-rotted, recovery falls back to the older
+snapshot plus a longer WAL replay, still yielding a committed prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from typing import Any, Optional
+
+from repro.durability.faults import (
+    CKPT_AFTER_RENAME,
+    CKPT_BEFORE_RENAME,
+    CKPT_DURING_WRITE,
+    StorageFaultInjector,
+)
+from repro.storage.atomic import fsync_file, install_file, temp_path_for
+
+SNAP_MAGIC = b"GRQLSNP1"
+_HEADER = struct.Struct("<II")
+
+_NAME_RE = re.compile(r"^checkpoint-(\d{12})\.snap$")
+
+
+def checkpoint_name(seq: int) -> str:
+    return f"checkpoint-{seq:012d}.snap"
+
+
+def encode_snapshot(payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return SNAP_MAGIC + _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def read_checkpoint(path: str) -> Optional[dict[str, Any]]:
+    """Decode the snapshot at *path*; ``None`` if missing or corrupt.
+
+    Corruption here is a *normal recovery outcome* (that's why we keep
+    two checkpoints), so it reports as ``None`` rather than raising —
+    the caller falls back to the next-older snapshot.
+    """
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return None
+    prefix = len(SNAP_MAGIC) + _HEADER.size
+    if len(blob) < prefix or blob[: len(SNAP_MAGIC)] != SNAP_MAGIC:
+        return None
+    length, crc = _HEADER.unpack_from(blob, len(SNAP_MAGIC))
+    body = blob[prefix:]
+    if len(body) != length or zlib.crc32(body) != crc:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def list_checkpoints(dirpath: str) -> list[tuple[int, str]]:
+    """``(seq, path)`` for every checkpoint file, newest first."""
+    found = []
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return []
+    for name in names:
+        m = _NAME_RE.match(name)
+        if m:
+            found.append((int(m.group(1)), os.path.join(dirpath, name)))
+    found.sort(reverse=True)
+    return found
+
+
+def load_latest_checkpoint(
+    dirpath: str,
+) -> tuple[Optional[dict[str, Any]], Optional[str], list[str]]:
+    """The newest *valid* snapshot: ``(payload, path, skipped_paths)``.
+
+    Corrupt snapshots are skipped (recorded in ``skipped_paths``) and the
+    scan falls back to the next older one; ``(None, None, skipped)``
+    when no valid checkpoint exists (recovery then replays the whole
+    WAL from an empty database).
+    """
+    skipped: list[str] = []
+    for seq, path in list_checkpoints(dirpath):
+        payload = read_checkpoint(path)
+        if payload is not None and payload.get("seq") == seq:
+            return payload, path, skipped
+        skipped.append(path)
+    return None, None, skipped
+
+
+def write_checkpoint(
+    dirpath: str,
+    payload: dict[str, Any],
+    faults: Optional[StorageFaultInjector] = None,
+    durable: bool = True,
+) -> str:
+    """Atomically install ``checkpoint-{seq}.snap`` from *payload*.
+
+    Fault points fire in lifecycle order — mid-write (temp file torn),
+    before rename (temp file complete and durable but not visible),
+    after rename (checkpoint live, WAL not yet truncated) — each leaving
+    exactly the debris a real crash would, so tests can assert recovery
+    from every window.  Returns the installed path.
+    """
+    final = os.path.join(dirpath, checkpoint_name(int(payload["seq"])))
+    tmp = temp_path_for(final)
+    data = encode_snapshot(payload)
+    fh = open(tmp, "wb")
+    try:
+        if faults is not None and faults.checkpoint_crash == CKPT_DURING_WRITE:
+            fh.write(data[: max(len(data) // 2, len(SNAP_MAGIC))])
+            fh.close()
+            faults.checkpoint_point(CKPT_DURING_WRITE)  # raises SimulatedCrash
+        fh.write(data)
+        if durable:
+            fsync_file(fh)
+    finally:
+        if not fh.closed:
+            fh.close()
+    if faults is not None:
+        faults.checkpoint_point(CKPT_BEFORE_RENAME)
+    install_file(final, tmp, durable=durable)
+    if faults is not None:
+        faults.checkpoint_point(CKPT_AFTER_RENAME)
+    return final
+
+
+def prune_checkpoints(dirpath: str, keep: int = 2) -> list[str]:
+    """Drop all but the newest *keep* checkpoints (and stale temp files).
+
+    Returns the removed paths.  Never removes the snapshot a concurrent
+    recovery could need: the newest ``keep`` survive, so a bit-rotted
+    newest still has a valid predecessor.
+    """
+    removed = []
+    for _seq, path in list_checkpoints(dirpath)[keep:]:
+        try:
+            os.unlink(path)
+            removed.append(path)
+        except OSError:
+            pass
+    try:
+        for name in os.listdir(dirpath):
+            if name.startswith("checkpoint-") and name.endswith(".tmp"):
+                stale = os.path.join(dirpath, name)
+                try:
+                    os.unlink(stale)
+                    removed.append(stale)
+                except OSError:
+                    pass
+    except OSError:
+        pass
+    return removed

@@ -1,0 +1,218 @@
+"""Deterministic fault injection for the durable storage engine.
+
+PR 1 made the simulated *cluster* survive injected faults
+(:mod:`repro.dist.faults`); this module extends the same philosophy to
+the storage layer.  Real disks and real kernels fail in characteristic
+ways, and each one has a named injection point here:
+
+* **torn writes** — the process dies mid-``write``; an arbitrary prefix
+  of the record (possibly cutting the length/checksum header itself)
+  reaches the file;
+* **partial trailing records** — the header lands but only part of the
+  payload does: the length field promises more bytes than exist;
+* **bit-flip corruption** — the record is written completely but a bit
+  rots afterwards (silent media corruption the CRC must catch);
+* **fsync failures** — ``fsync`` raises (full disk, dying device); the
+  store must surface the error and stop accepting writes rather than
+  silently acknowledging non-durable commits;
+* **checkpoint crashes** — the process dies while the snapshot temp
+  file is being written, after it is durable but *before* the atomic
+  rename, or after the rename but before the WAL is truncated.
+
+Faults are driven by explicit schedules (sequence numbers / call
+counts) plus one seeded ``random.Random`` stream for the cut/flip
+positions, so a given configuration reproduces the exact same broken
+bytes — the property tests rely on that determinism.
+
+A fault that models process death raises :class:`SimulatedCrash`.  It
+deliberately derives from ``BaseException``: no ``except Exception``
+handler on the commit path may swallow a "the process is gone" signal
+and acknowledge the write anyway.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+#: checkpoint crash points, in lifecycle order
+CKPT_DURING_WRITE = "during_write"
+CKPT_BEFORE_RENAME = "before_rename"
+CKPT_AFTER_RENAME = "after_rename"
+
+_CKPT_POINTS = (CKPT_DURING_WRITE, CKPT_BEFORE_RENAME, CKPT_AFTER_RENAME)
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Tests catch it, abandon the in-memory database (its state is
+    "lost"), and re-open the on-disk path — exactly what a supervisor
+    restarting a crashed server does.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point}")
+        self.point = point
+
+
+class StorageFaultStats:
+    """Running counters of injected storage faults."""
+
+    def __init__(self) -> None:
+        self.torn_writes = 0
+        self.partial_records = 0
+        self.bitflips = 0
+        self.fsync_failures = 0
+        self.checkpoint_crashes = 0
+        self.post_commit_crashes = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "torn_writes": self.torn_writes,
+            "partial_records": self.partial_records,
+            "bitflips": self.bitflips,
+            "fsync_failures": self.fsync_failures,
+            "checkpoint_crashes": self.checkpoint_crashes,
+            "post_commit_crashes": self.post_commit_crashes,
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"StorageFaultStats({inner})"
+
+
+class AppendPlan:
+    """What the WAL writer should actually do for one append."""
+
+    __slots__ = ("data", "crash", "flip_offset", "crash_after")
+
+    def __init__(
+        self,
+        data: bytes,
+        crash: bool = False,
+        flip_offset: Optional[int] = None,
+        crash_after: bool = False,
+    ) -> None:
+        #: the (possibly truncated) bytes to write
+        self.data = data
+        #: die immediately after writing ``data`` (torn/partial record)
+        self.crash = crash
+        #: flip this bit offset (within the record's on-disk bytes)
+        #: after a complete write — silent corruption
+        self.flip_offset = flip_offset
+        #: record fully written and synced, then die (commit survives)
+        self.crash_after = crash_after
+
+
+class StorageFaultInjector:
+    """Seeded source of storage faults at controlled points.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the RNG that picks cut points and bit offsets.
+    torn_write_at:
+        Record sequence numbers whose append is cut at a random point
+        *anywhere* in the record (header included), then crashes.
+    partial_record_at:
+        Sequence numbers whose append writes the full header but only a
+        strict prefix of the payload, then crashes — the classic
+        "length promises more than exists" trailing record.
+    bitflip_at:
+        Sequence numbers whose record is fully written, then has one
+        random bit flipped on disk.  No crash: the corruption is
+        silent until recovery's CRC check.
+    crash_after_append_at:
+        Sequence numbers after whose append+fsync the process dies.
+        The record is committed; recovery must replay it.
+    fail_fsync_at:
+        1-based fsync call numbers that raise ``OSError``.
+    checkpoint_crash:
+        One of ``"during_write"`` / ``"before_rename"`` /
+        ``"after_rename"``; the next checkpoint dies at that point
+        (fires once).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        torn_write_at: Iterable[int] = (),
+        partial_record_at: Iterable[int] = (),
+        bitflip_at: Iterable[int] = (),
+        crash_after_append_at: Iterable[int] = (),
+        fail_fsync_at: Iterable[int] = (),
+        checkpoint_crash: Optional[str] = None,
+    ) -> None:
+        if checkpoint_crash is not None and checkpoint_crash not in _CKPT_POINTS:
+            raise ValueError(
+                f"unknown checkpoint crash point {checkpoint_crash!r} "
+                f"(expected one of {', '.join(_CKPT_POINTS)})"
+            )
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.torn_write_at = set(torn_write_at)
+        self.partial_record_at = set(partial_record_at)
+        self.bitflip_at = set(bitflip_at)
+        self.crash_after_append_at = set(crash_after_append_at)
+        self.fail_fsync_at = set(fail_fsync_at)
+        self.checkpoint_crash = checkpoint_crash
+        self.stats = StorageFaultStats()
+        self._fsync_calls = 0
+
+    # ------------------------------------------------------------------
+    def plan_append(self, seq: int, data: bytes, header_len: int) -> AppendPlan:
+        """Decide the fate of appending record *seq* (*data* = header+payload)."""
+        if seq in self.torn_write_at:
+            self.torn_write_at.discard(seq)
+            cut = self.rng.randrange(0, len(data))
+            self.stats.torn_writes += 1
+            return AppendPlan(data[:cut], crash=True)
+        if seq in self.partial_record_at:
+            self.partial_record_at.discard(seq)
+            # full header, strict prefix of the payload
+            cut = header_len + self.rng.randrange(0, max(len(data) - header_len, 1))
+            self.stats.partial_records += 1
+            return AppendPlan(data[:cut], crash=True)
+        if seq in self.bitflip_at:
+            self.bitflip_at.discard(seq)
+            # corrupt the payload region so the CRC (not the length
+            # sanity check) is what detects it
+            offset = self.rng.randrange(header_len * 8, len(data) * 8)
+            self.stats.bitflips += 1
+            return AppendPlan(data, flip_offset=offset)
+        if seq in self.crash_after_append_at:
+            self.crash_after_append_at.discard(seq)
+            self.stats.post_commit_crashes += 1
+            return AppendPlan(data, crash_after=True)
+        return AppendPlan(data)
+
+    def on_fsync(self) -> None:
+        """Raise ``OSError`` when this fsync call is scheduled to fail."""
+        self._fsync_calls += 1
+        if self._fsync_calls in self.fail_fsync_at:
+            self.fail_fsync_at.discard(self._fsync_calls)
+            self.stats.fsync_failures += 1
+            raise OSError(f"injected fsync failure (call #{self._fsync_calls})")
+
+    def checkpoint_point(self, point: str) -> None:
+        """Die when the next checkpoint reaches the scheduled *point*."""
+        if self.checkpoint_crash == point:
+            self.checkpoint_crash = None
+            self.stats.checkpoint_crashes += 1
+            raise SimulatedCrash(f"checkpoint:{point}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can still fire."""
+        return bool(
+            self.torn_write_at
+            or self.partial_record_at
+            or self.bitflip_at
+            or self.crash_after_append_at
+            or self.fail_fsync_at
+            or self.checkpoint_crash
+        )
+
+    def __repr__(self) -> str:
+        return f"StorageFaultInjector(seed={self.seed}, {self.stats!r})"

@@ -1,0 +1,434 @@
+"""The durable store: WAL + checkpoints + crash recovery, as one object.
+
+A durable database is a directory::
+
+    <path>/
+        wal.log                     append-only write-ahead log
+        checkpoint-000000000042.snap  snapshot through WAL seq 42
+        checkpoint-000000000017.snap  previous snapshot (fallback)
+
+:meth:`DurableStore.open` performs recovery — load the newest valid
+snapshot, replay the WAL tail after its seq, stop cleanly at the first
+torn or checksum-failing record, truncate the torn tail, re-arm the
+writer — and returns a store whose ``db``/``users`` are exactly the
+state produced by a prefix of the committed statements.
+
+Once open, the store is the *journal* the engine writes through: the
+``log_*`` methods are called by :class:`~repro.graph.graphdb.GraphDB`'s
+mutation hooks (under the serving layer's write lock) and by the
+server's user management.  Commit semantics are log-after-apply: the
+in-memory mutation happens first, the record is appended (and fsynced
+per policy) before the statement is acknowledged; a crash between the
+two loses only the unacknowledged statement, which is precisely the
+committed-prefix contract.
+
+If an append or fsync raises, the store **poisons** itself: the failed
+record may be half on disk, so acknowledging anything later would break
+the prefix guarantee.  Every subsequent mutation raises
+:class:`~repro.errors.WalError` until the path is re-opened (re-opening
+truncates the torn tail).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.durability import state as st
+from repro.durability.checkpoint import (
+    load_latest_checkpoint,
+    prune_checkpoints,
+    write_checkpoint,
+)
+from repro.durability.faults import StorageFaultInjector
+from repro.durability.wal import (
+    FSYNC_ALWAYS,
+    MAGIC,
+    WalWriter,
+    read_wal,
+)
+from repro.errors import WalError
+from repro.graph.graphdb import GraphDB
+from repro.storage.atomic import fsync_dir, fsync_file, temp_path_for
+
+WAL_NAME = "wal.log"
+
+#: default: checkpoint every this many WAL records
+DEFAULT_CHECKPOINT_EVERY = 256
+
+
+class RecoveryReport:
+    """What :meth:`DurableStore.open` found and did."""
+
+    def __init__(self) -> None:
+        #: path of the snapshot restored, or None (started empty)
+        self.snapshot_path: Optional[str] = None
+        #: WAL seq the snapshot covered (0 when none)
+        self.snapshot_seq = 0
+        #: corrupt snapshots skipped while falling back
+        self.snapshots_skipped: list[str] = []
+        #: WAL records replayed after the snapshot
+        self.records_replayed = 0
+        #: why the WAL scan ended (END_* constant from repro.durability.wal)
+        self.wal_end_reason = "clean-end"
+        #: torn/corrupt bytes truncated from the WAL tail
+        self.bytes_truncated = 0
+        #: last applied WAL seq after recovery
+        self.last_seq = 0
+        #: wall-clock recovery time
+        self.duration_ms = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return self.wal_end_reason == "clean-end" and not self.snapshots_skipped
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "snapshot_path": self.snapshot_path,
+            "snapshot_seq": self.snapshot_seq,
+            "snapshots_skipped": list(self.snapshots_skipped),
+            "records_replayed": self.records_replayed,
+            "wal_end_reason": self.wal_end_reason,
+            "bytes_truncated": self.bytes_truncated,
+            "last_seq": self.last_seq,
+            "duration_ms": round(self.duration_ms, 3),
+            "clean": self.clean,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryReport(seq={self.last_seq}, "
+            f"replayed={self.records_replayed}, {self.wal_end_reason})"
+        )
+
+
+class DurableStore:
+    """One durable database directory: recovery, journal, checkpoints."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: str = FSYNC_ALWAYS,
+        batch_records: int = 64,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        faults: Optional[StorageFaultInjector] = None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self.path = path
+        self.wal_path = os.path.join(path, WAL_NAME)
+        self.fsync_policy = fsync
+        self.batch_records = batch_records
+        self.checkpoint_every = checkpoint_every
+        self.faults = faults
+        self.metrics = metrics
+        self.tracer = tracer
+        #: callable giving the catalog epoch stamped into each record;
+        #: wired by the Database layer after construction
+        self.epoch_provider: Optional[Callable[[], int]] = None
+        self._lock = threading.Lock()
+        self._poisoned: Optional[str] = None
+        self._seq = 0
+        #: highest catalog epoch seen in recovered records; the engine
+        #: layer restarts its catalog epoch above this so plan-cache
+        #: keys stay monotonic across restarts
+        self.last_epoch = 0
+        self._records_since_checkpoint = 0
+        self.report = RecoveryReport()
+        self.db: GraphDB = GraphDB()
+        self.users: list[tuple[str, str]] = []
+        self._writer: Optional[WalWriter] = None
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str, **kwargs: Any) -> "DurableStore":
+        """Open (creating if needed) the durable database at *path*."""
+        return cls(path, **kwargs)
+
+    def _recover(self) -> None:
+        t0 = time.perf_counter()
+        try:
+            os.makedirs(self.path, exist_ok=True)
+        except OSError as e:
+            raise WalError(f"cannot create database directory {self.path!r}: {e}") from e
+        if not os.path.isdir(self.path):
+            raise WalError(f"database path is not a directory: {self.path!r}")
+
+        span_cm = (
+            self.tracer.span("recovery", path=self.path)
+            if self.tracer is not None
+            else None
+        )
+        span = span_cm.__enter__() if span_cm is not None else None
+        try:
+            payload, snap_path, skipped = load_latest_checkpoint(self.path)
+            self.report.snapshots_skipped = skipped
+            if payload is not None:
+                self.db, self.users = st.restore_snapshot(payload)
+                self.report.snapshot_path = snap_path
+                self.report.snapshot_seq = int(payload["seq"])
+                self.last_epoch = int(payload.get("epoch", 0))
+            else:
+                self.db, self.users = GraphDB(), []
+
+            scan = read_wal(self.wal_path, start_seq=self.report.snapshot_seq)
+            dirty: set[str] = set()
+            for record in scan.records:
+                st.apply_record(self.db, self.users, record, dirty)
+                self.last_epoch = max(self.last_epoch, int(record.get("epoch", 0)))
+            st.flush_rebuilds(self.db, dirty)
+            self.report.records_replayed = len(scan.records)
+            self.report.wal_end_reason = scan.reason
+            self._seq = self.report.snapshot_seq + len(scan.records)
+            self.report.last_seq = self._seq
+
+            # drop the torn/corrupt tail before re-arming the writer: a
+            # corrupt record is never replayed *and* never left where a
+            # later append could bury it
+            if os.path.exists(self.wal_path):
+                size = os.path.getsize(self.wal_path)
+                if not scan.clean and scan.valid_bytes < size:
+                    self.report.bytes_truncated = size - scan.valid_bytes
+                    self._truncate_wal(scan.valid_bytes)
+            self._writer = WalWriter(
+                self.wal_path,
+                fsync=self.fsync_policy,
+                batch_records=self.batch_records,
+                faults=self.faults,
+                metrics=self.metrics,
+            )
+        finally:
+            self.report.duration_ms = (time.perf_counter() - t0) * 1000.0
+            if span_cm is not None:
+                if span is not None:
+                    span.set(
+                        snapshot_seq=self.report.snapshot_seq,
+                        records_replayed=self.report.records_replayed,
+                        wal_end_reason=self.report.wal_end_reason,
+                        bytes_truncated=self.report.bytes_truncated,
+                    )
+                span_cm.__exit__(None, None, None)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "graql_recoveries_total", "database recoveries performed"
+            ).inc()
+            self.metrics.gauge(
+                "graql_recovery_ms", "duration of the last recovery"
+            ).set(self.report.duration_ms)
+            self.metrics.gauge(
+                "graql_recovery_replayed_records",
+                "WAL records replayed by the last recovery",
+            ).set(self.report.records_replayed)
+            if self.report.bytes_truncated:
+                self.metrics.counter(
+                    "graql_wal_truncated_bytes_total",
+                    "torn/corrupt WAL tail bytes dropped at recovery",
+                ).inc(self.report.bytes_truncated)
+
+    def _truncate_wal(self, valid_bytes: int) -> None:
+        if valid_bytes == 0:
+            # unreadable magic: the file is not ours / is garbage —
+            # rebuild an empty log (recovered state stays whatever the
+            # snapshot gave us; nothing in this file was replayable)
+            with open(self.wal_path, "wb") as fh:
+                fh.write(MAGIC)
+                fsync_file(fh)
+        else:
+            with open(self.wal_path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+                fsync_file(fh)
+        fsync_dir(self.path)
+
+    # ------------------------------------------------------------------
+    # journal API (GraphDB hooks + server user management)
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """Last committed WAL sequence number."""
+        return self._seq
+
+    @property
+    def poisoned(self) -> Optional[str]:
+        return self._poisoned
+
+    @property
+    def closed(self) -> bool:
+        return self._writer is None or self._writer.closed
+
+    def _epoch(self) -> int:
+        return int(self.epoch_provider()) if self.epoch_provider is not None else 0
+
+    def _append(self, kind: str, data: dict[str, Any]) -> int:
+        with self._lock:
+            if self._poisoned is not None:
+                raise WalError(
+                    f"store is poisoned after an earlier failure "
+                    f"({self._poisoned}); re-open the database to resume"
+                )
+            if self._writer is None or self._writer.closed:
+                raise WalError("WAL is closed")
+            payload = {
+                "seq": self._seq + 1,
+                "epoch": self._epoch(),
+                "kind": kind,
+                "data": data,
+            }
+            try:
+                self._writer.append(payload)
+            except WalError as e:
+                self._poisoned = str(e)
+                raise
+            self._seq += 1
+            self._records_since_checkpoint += 1
+            return self._seq
+
+    # The four statement-path log methods run under the serving layer's
+    # write lock, so it is safe for them to auto-checkpoint (the
+    # snapshot sees no concurrent mutation).  User management runs
+    # outside that lock and therefore never triggers one.
+
+    def log_ddl(self, source: str) -> None:
+        self._append(st.KIND_DDL, {"source": source})
+        self.maybe_checkpoint()
+
+    def log_ingest(self, table_name: str, csv_text: str) -> None:
+        self._append(st.KIND_INGEST, {"table": table_name, "csv": csv_text})
+        self.maybe_checkpoint()
+
+    def log_result_table(self, name: str, schema_pairs: list, csv_text: str) -> None:
+        self._append(
+            st.KIND_RESULT_TABLE,
+            {"name": name, "schema": schema_pairs, "csv": csv_text},
+        )
+        self.maybe_checkpoint()
+
+    def log_subgraph(self, data: dict[str, Any]) -> None:
+        self._append(st.KIND_SUBGRAPH, data)
+        self.maybe_checkpoint()
+
+    # GraphDB journal hooks (duck-typed; see GraphDB.journal).  Each
+    # serializes the *effect* from the live object the mutation just
+    # produced, so replay re-executes exactly what happened.
+
+    def on_create_table(self, table) -> None:
+        self.log_ddl(st.table_ddl(table))
+
+    def on_create_vertex(self, vt) -> None:
+        self.log_ddl(st.vertex_ddl(vt))
+
+    def on_create_edge(self, et) -> None:
+        self.log_ddl(st.edge_ddl(et))
+
+    def on_ingest(self, table, start_row: int) -> None:
+        self.log_ingest(table.name, st.table_csv(table, start=start_row))
+
+    def on_result_table(self, table) -> None:
+        self.log_result_table(
+            table.name, st.schema_pairs(table.schema), st.table_csv(table)
+        )
+
+    def on_subgraph(self, sg) -> None:
+        self.log_subgraph(st.subgraph_payload(sg))
+
+    def log_create_user(self, name: str, role: str) -> None:
+        self._append(st.KIND_CREATE_USER, {"name": name, "role": role})
+        self.users.append((name, role))
+
+    def log_drop_user(self, name: str) -> None:
+        self._append(st.KIND_DROP_USER, {"name": name})
+        self.users = [(n, r) for n, r in self.users if n != name]
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self) -> Optional[str]:
+        """Checkpoint when ``checkpoint_every`` records have accumulated."""
+        if (
+            self.checkpoint_every > 0
+            and self._records_since_checkpoint >= self.checkpoint_every
+        ):
+            return self.checkpoint()
+        return None
+
+    def checkpoint(self) -> str:
+        """Snapshot the current state and truncate the WAL.
+
+        Order matters: flush the WAL (every record the snapshot covers
+        must be durable first), install the snapshot atomically, *then*
+        truncate the log.  A crash after install but before truncation
+        is benign — recovery skips WAL records at or below the
+        snapshot's seq.  Returns the snapshot path.
+        """
+        with self._lock:
+            if self._poisoned is not None:
+                raise WalError(
+                    f"store is poisoned ({self._poisoned}); cannot checkpoint"
+                )
+            if self._writer is None or self._writer.closed:
+                raise WalError("WAL is closed")
+            t0 = time.perf_counter()
+            try:
+                self._writer.sync()
+            except WalError as e:
+                self._poisoned = str(e)
+                raise
+            payload = st.snapshot_payload(self.db, self.users, self._seq, self._epoch())
+            path = write_checkpoint(self.path, payload, faults=self.faults)
+            prune_checkpoints(self.path, keep=2)
+            # truncate: swap in a fresh, magic-only log
+            self._writer.close()
+            tmp = temp_path_for(self.wal_path)
+            with open(tmp, "wb") as fh:
+                fh.write(MAGIC)
+                fsync_file(fh)
+            os.replace(tmp, self.wal_path)
+            fsync_dir(self.path)
+            self._writer = WalWriter(
+                self.wal_path,
+                fsync=self.fsync_policy,
+                batch_records=self.batch_records,
+                faults=self.faults,
+                metrics=self.metrics,
+            )
+            self._records_since_checkpoint = 0
+            duration_ms = (time.perf_counter() - t0) * 1000.0
+        if self.metrics is not None:
+            self.metrics.counter(
+                "graql_checkpoints_total", "snapshot checkpoints written"
+            ).inc()
+            self.metrics.gauge(
+                "graql_checkpoint_ms", "duration of the last checkpoint"
+            ).set(duration_ms)
+        if self.tracer is not None:
+            with self.tracer.span("checkpoint", path=path) as span:
+                span.set(seq=self._seq, duration_ms=round(duration_ms, 3))
+        return path
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Force-flush the WAL regardless of policy."""
+        with self._lock:
+            if self._writer is not None and not self._writer.closed:
+                try:
+                    self._writer.sync()
+                except WalError as e:
+                    self._poisoned = str(e)
+                    raise
+
+    def close(self) -> None:
+        """Flush and close the WAL; further mutations raise."""
+        with self._lock:
+            if self._writer is not None and not self._writer.closed:
+                self._writer.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableStore({self.path!r}, seq={self._seq}, "
+            f"fsync={self.fsync_policy}, poisoned={self._poisoned is not None})"
+        )

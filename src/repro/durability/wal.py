@@ -1,0 +1,310 @@
+"""The write-ahead log: checksummed, length-prefixed, append-only.
+
+File layout::
+
+    GRQLWAL1                      8-byte magic
+    [u32 length][u32 crc32][payload]      record 0
+    [u32 length][u32 crc32][payload]      record 1
+    ...
+
+Each payload is one canonical-JSON *logical record*: a mutating
+statement's effect (``{"seq": n, "epoch": e, "kind": ..., "data": ...}``),
+keyed to the catalog epoch it was applied against.  ``length`` counts
+payload bytes; ``crc32`` is over the payload.  Records are strictly
+sequential (``seq`` increments by one), which is what makes "recovered
+state = a prefix of committed statements" checkable: any torn tail,
+checksum mismatch or sequence gap stops replay *cleanly at the previous
+record* — a corrupt record is never applied, and nothing after it is
+either.
+
+Durability is tuned by the fsync policy:
+
+* ``always`` — fsync after every append; a record is committed when the
+  append returns.
+* ``batch``  — fsync every ``batch_records`` appends (and on flush /
+  checkpoint / close); bounded tail loss on power failure, much higher
+  ingest throughput.
+* ``off``    — never fsync; the OS page cache decides.  Survives
+  process crashes (the data reached the kernel) but not power loss.
+
+The writer is unbuffered (``buffering=0``): every append is a single
+``os.write`` of header+payload, which is the unit the
+:class:`~repro.durability.faults.StorageFaultInjector` cuts, flips and
+fails to produce torn writes, partial trailing records, bit rot and
+fsync errors at exact, reproducible points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Optional
+
+from repro.durability.faults import SimulatedCrash, StorageFaultInjector
+from repro.errors import WalError
+
+MAGIC = b"GRQLWAL1"
+_HEADER = struct.Struct("<II")
+HEADER_LEN = _HEADER.size
+#: sanity cap on a single record; a "length" beyond this is corruption,
+#: not a record we should try to allocate
+MAX_RECORD_BYTES = 1 << 30
+
+FSYNC_ALWAYS = "always"
+FSYNC_BATCH = "batch"
+FSYNC_OFF = "off"
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_OFF)
+
+#: why a WAL scan stopped (WalScan.reason)
+END_CLEAN = "clean-end"
+END_TORN_HEADER = "torn-header"
+END_TORN_PAYLOAD = "torn-payload"
+END_CRC_MISMATCH = "crc-mismatch"
+END_BAD_LENGTH = "bad-length"
+END_BAD_PAYLOAD = "bad-payload"
+END_SEQ_GAP = "sequence-gap"
+END_BAD_MAGIC = "bad-magic"
+
+
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """Render one logical record as header+payload bytes."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+class WalScan:
+    """Outcome of reading a WAL file: the valid record prefix + why it ended."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: decoded payload dicts, in file order
+        self.records: list[dict[str, Any]] = []
+        #: byte length of the valid prefix (magic + intact records);
+        #: re-arming the writer truncates the file here
+        self.valid_bytes = len(MAGIC)
+        #: one of the END_* constants
+        self.reason = END_CLEAN
+        #: file offset where the scan stopped (== valid_bytes unless clean)
+        self.stopped_at: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.reason == END_CLEAN
+
+    def __repr__(self) -> str:
+        return (
+            f"WalScan({len(self.records)} records, {self.reason}, "
+            f"valid_bytes={self.valid_bytes})"
+        )
+
+
+def read_wal(path: str, start_seq: int = 0) -> WalScan:
+    """Read the valid record prefix of the WAL at *path*.
+
+    ``start_seq`` is the sequence number the log should continue from
+    (the snapshot's last applied seq): records with ``seq <= start_seq``
+    are part of the valid prefix but skipped (they are superseded by the
+    snapshot — present only when a crash landed between checkpoint and
+    WAL truncation); the first record *after* that must carry exactly
+    ``start_seq + 1`` and each subsequent record must increment by one.
+    Any violation — torn header, short payload, CRC mismatch,
+    undecodable JSON, sequence gap — ends the scan at the previous
+    record.  Nothing past the first bad byte is ever returned.
+    """
+    scan = WalScan(path)
+    try:
+        fh = open(path, "rb")
+    except FileNotFoundError:
+        return scan
+    with fh:
+        blob = fh.read()
+    if len(blob) < len(MAGIC) or blob[: len(MAGIC)] != MAGIC:
+        scan.reason = END_BAD_MAGIC
+        scan.valid_bytes = 0
+        scan.stopped_at = 0
+        return scan
+    pos = len(MAGIC)
+    next_seq = start_seq + 1
+    while pos < len(blob):
+        if pos + HEADER_LEN > len(blob):
+            scan.reason = END_TORN_HEADER
+            scan.stopped_at = pos
+            return scan
+        length, crc = _HEADER.unpack_from(blob, pos)
+        if length > MAX_RECORD_BYTES:
+            scan.reason = END_BAD_LENGTH
+            scan.stopped_at = pos
+            return scan
+        body_start = pos + HEADER_LEN
+        if body_start + length > len(blob):
+            scan.reason = END_TORN_PAYLOAD
+            scan.stopped_at = pos
+            return scan
+        body = blob[body_start : body_start + length]
+        if zlib.crc32(body) != crc:
+            scan.reason = END_CRC_MISMATCH
+            scan.stopped_at = pos
+            return scan
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            seq = int(payload["seq"])
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            scan.reason = END_BAD_PAYLOAD
+            scan.stopped_at = pos
+            return scan
+        if seq > start_seq:
+            if seq != next_seq:
+                scan.reason = END_SEQ_GAP
+                scan.stopped_at = pos
+                return scan
+            next_seq += 1
+            scan.records.append(payload)
+        # else: pre-checkpoint record awaiting truncation — skip
+        pos = body_start + length
+        scan.valid_bytes = pos
+    return scan
+
+
+class WalWriter:
+    """Appends logical records under a configurable fsync policy.
+
+    Not thread-safe on its own — the store serializes appends (they
+    happen under the serving layer's write lock, plus the store's own
+    append mutex for the rare unlocked paths like user management).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = FSYNC_ALWAYS,
+        batch_records: int = 64,
+        faults: Optional[StorageFaultInjector] = None,
+        metrics=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r} "
+                f"(expected one of {', '.join(FSYNC_POLICIES)})"
+            )
+        if batch_records <= 0:
+            raise WalError(f"batch_records must be positive, got {batch_records}")
+        self.path = path
+        self.fsync_policy = fsync
+        self.batch_records = batch_records
+        self.faults = faults
+        #: MetricsRegistry fed per append/fsync; attachable after the fact
+        self.metrics = metrics
+        self._unsynced = 0
+        self.fsyncs = 0
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._fh = open(path, "ab", buffering=0)
+        if fresh:
+            self._fh.write(MAGIC)
+            self._sync(force=self.fsync_policy != FSYNC_OFF)
+        self._size = self._fh.tell()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current file size in bytes (magic + appended records)."""
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Write one logical record; returns its on-disk byte size.
+
+        With policy ``always`` the record is durable when this returns.
+        An ``OSError`` from write or fsync propagates as
+        :class:`~repro.errors.WalError` — the caller poisons the store.
+        A scheduled injector fault may instead raise
+        :class:`~repro.durability.faults.SimulatedCrash` after leaving
+        a torn/partial/flipped record behind, exactly as a real death
+        mid-write would.
+        """
+        data = encode_record(payload)
+        record_offset = self._size
+        plan = None
+        if self.faults is not None:
+            plan = self.faults.plan_append(int(payload["seq"]), data, HEADER_LEN)
+            data = plan.data
+        try:
+            self._fh.write(data)
+        except OSError as e:
+            raise WalError(f"WAL append failed: {e}") from e
+        self._size += len(data)
+        if plan is not None and plan.crash:
+            # process death mid-write: nothing below (fsync accounting,
+            # metrics) happens, just like the real thing
+            self._fh.close()
+            raise SimulatedCrash("wal-append")
+        if plan is not None and plan.flip_offset is not None:
+            self._flip_bit(record_offset, plan.flip_offset)
+        self._unsynced += 1
+        if self.fsync_policy == FSYNC_ALWAYS:
+            self.sync()
+        elif self.fsync_policy == FSYNC_BATCH and self._unsynced >= self.batch_records:
+            self.sync()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "graql_wal_records_total", "logical records appended to the WAL"
+            ).inc()
+            self.metrics.counter(
+                "graql_wal_bytes_total", "bytes appended to the WAL"
+            ).inc(len(data))
+        if plan is not None and plan.crash_after:
+            # the record is committed (written + synced above when the
+            # policy says so); the process dies anyway
+            self._fh.close()
+            raise SimulatedCrash("post-commit")
+        return len(data)
+
+    def sync(self) -> None:
+        """Flush appended records to stable storage (policy-independent)."""
+        self._sync(force=True)
+
+    def _sync(self, force: bool) -> None:
+        if not force or self._fh.closed:
+            return
+        if self.faults is not None:
+            try:
+                self.faults.on_fsync()
+            except OSError as e:
+                raise WalError(f"WAL fsync failed: {e}") from e
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError as e:
+            raise WalError(f"WAL fsync failed: {e}") from e
+        self.fsyncs += 1
+        self._unsynced = 0
+        if self.metrics is not None:
+            self.metrics.counter(
+                "graql_wal_fsyncs_total", "fsync calls issued by the WAL"
+            ).inc()
+
+    def _flip_bit(self, record_offset: int, bit: int) -> None:
+        """Silent post-write corruption: flip one bit of the last record."""
+        byte_at = record_offset + bit // 8
+        with open(self.path, "r+b") as fh:
+            fh.seek(byte_at)
+            b = fh.read(1)
+            fh.seek(byte_at)
+            fh.write(bytes([b[0] ^ (1 << (bit % 8))]))
+
+    def close(self) -> None:
+        """Flush (per policy ``off``: OS-flush only) and close the file."""
+        if self._fh.closed:
+            return
+        if self.fsync_policy != FSYNC_OFF and self._unsynced:
+            self.sync()
+        self._fh.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WalWriter({self.path!r}, fsync={self.fsync_policy}, "
+            f"size={self._size}, fsyncs={self.fsyncs})"
+        )

@@ -106,6 +106,10 @@ class Server:
                 self.backend, workers, self.catalog, **dict(cluster_opts or {})
             )
         self.users: dict[str, User] = {"admin": User("admin", ROLE_ADMIN)}
+        #: durability journal (a :class:`repro.durability.DurableStore`)
+        #: wired by ``Database.open``; when set, account changes are
+        #: logged to the WAL like any other mutation
+        self.durability = None
         #: total IR bytes shipped to the backend (measured, Section III)
         self.ir_bytes_shipped = 0
         #: statements the cluster answered via single-node fallback
@@ -135,6 +139,13 @@ class Server:
             raise AccessError(f"user {name!r} already exists")
         user = User(name, role)
         self.users[name] = user
+        if self.durability is not None:
+            try:
+                self.durability.log_create_user(name, role)
+            except Exception:
+                # not durable -> not created: keep memory and disk agreed
+                del self.users[name]
+                raise
         return user
 
     def drop_user(self, admin: str, name: str) -> None:
@@ -143,7 +154,13 @@ class Server:
             raise AccessError("the admin account cannot be dropped")
         if name not in self.users:
             raise AccessError(f"unknown user {name!r}")
-        del self.users[name]
+        dropped = self.users.pop(name)
+        if self.durability is not None:
+            try:
+                self.durability.log_drop_user(name)
+            except Exception:
+                self.users[name] = dropped
+                raise
 
     def _require(self, username: str, role: str) -> User:
         user = self.users.get(username)

@@ -68,18 +68,114 @@ class Database:
     """
 
     def __init__(
-        self, *, serving_opts: Optional[Mapping[str, Any]] = None
+        self,
+        *,
+        serving_opts: Optional[Mapping[str, Any]] = None,
+        path: Optional[str] = None,
+        durability: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        from repro.engine.server import Server
+        from repro.engine.server import Server, User
         from repro.serve.connection import connect
 
-        self._server = Server(serving_opts=serving_opts)
+        self._closed = False
+        self._store = None
+        backend = None
+        if path is not None:
+            from repro.durability import DurableStore
+
+            dura = dict(durability or {})
+            self._store = DurableStore.open(path, **dura)
+            backend = self._store.db
+
+        self._server = Server(backend=backend, serving_opts=serving_opts)
         self.db = self._server.backend
         self.catalog = self._server.catalog
         #: process-wide counters/gauges/histograms for this database
         self.metrics = self._server.metrics
         #: the one in-process connection execute/query run through
         self._conn = connect(self._server, "admin", transport="local")
+
+        if self._store is not None:
+            # arm the journal only now: recovery replays are not re-logged
+            for name, role in self._store.users:
+                if name not in self._server.users:
+                    self._server.users[name] = User(name, role)
+            # plan-cache keys embed the epoch; keep it monotonic across
+            # restarts so a stale external cache could never alias
+            self.catalog.epoch = max(self.catalog.epoch, self._store.last_epoch + 1)
+            self._store.metrics = self.metrics
+            if self._store._writer is not None:
+                self._store._writer.metrics = self.metrics
+            self._store.epoch_provider = lambda: self.catalog.epoch
+            self._server.durability = self._store
+            self.db.journal = self._store
+
+    # ------------------------------------------------------------------
+    # Durability (docs/DURABILITY.md)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str, **kwargs: Any) -> "Database":
+        """Open (creating if needed) a durable database at *path*.
+
+        Opening *is* recovery: the newest valid checkpoint is restored,
+        the WAL tail replayed (stopping cleanly before the first torn
+        or checksum-failing record), and every subsequent mutation —
+        DDL, ingest, ``into`` results, account changes — is appended to
+        the WAL before the statement is acknowledged.  Keyword
+        arguments besides ``serving_opts`` go to
+        :class:`~repro.durability.DurableStore` (``fsync``,
+        ``batch_records``, ``checkpoint_every``, ``faults``,
+        ``tracer``).  What happened is in :attr:`recovery`.
+        """
+        serving_opts = kwargs.pop("serving_opts", None)
+        return cls(serving_opts=serving_opts, path=path, durability=kwargs)
+
+    @classmethod
+    def recover(cls, path: str, **kwargs: Any) -> "Database":
+        """Alias of :meth:`open` for supervisor restart flows — reads as
+        intent ("recover whatever is at this path") at call sites."""
+        return cls.open(path, **kwargs)
+
+    @property
+    def store(self):
+        """The :class:`~repro.durability.DurableStore` backing this
+        database, or None for a purely in-memory one."""
+        return self._store
+
+    @property
+    def recovery(self):
+        """The :class:`~repro.durability.RecoveryReport` from open time
+        (None for in-memory databases)."""
+        return self._store.report if self._store is not None else None
+
+    def checkpoint(self) -> Optional[str]:
+        """Snapshot the current state and truncate the WAL (under the
+        write lock, so the snapshot is a statement boundary).  Returns
+        the snapshot path, or None for an in-memory database."""
+        if self._store is None:
+            return None
+        return self._server.serving.run_work("admin", True, self._store.checkpoint)
+
+    def close(self) -> None:
+        """Shut down: drain the serving worker pool, flush and close the
+        WAL.  Idempotent.  Afterwards every submission raises
+        :class:`~repro.errors.ClosedError`."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.serving.close()
+        if self._store is not None:
+            self._store.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Connections

@@ -124,6 +124,30 @@ class AccessError(GraQLError):
     """Raised by the front-end server when a user lacks permission."""
 
 
+class WalError(GraQLError):
+    """Raised by the durable storage engine (docs/DURABILITY.md).
+
+    Covers write-ahead-log append/fsync failures, unusable database
+    directories, and corrupt files where corruption is *not* a normal
+    recovery outcome (e.g. no valid checkpoint can be loaded at all).
+    After an append or fsync failure the store poisons itself: the
+    failed record may be torn on disk, so acknowledging later writes
+    would break the committed-prefix guarantee — every subsequent
+    mutation raises ``WalError`` until the database is re-opened
+    (which truncates the torn tail).
+    """
+
+
+class ClosedError(ExecutionError):
+    """Raised when a statement is submitted to a closed database.
+
+    ``Database.close()`` (or leaving a ``with`` block) drains the
+    serving layer's worker pool and flushes the WAL; afterwards every
+    submission fails fast with this error instead of deadlocking on a
+    shut-down pool at interpreter exit.
+    """
+
+
 class ServerBusy(GraQLError):
     """Raised by the serving layer's admission controller.
 

@@ -44,6 +44,14 @@ class GraphDB:
         self.subgraphs: dict[str, Subgraph] = {}
         #: names of tables created by 'into table' (overwritable results)
         self.derived_tables: set[str] = set()
+        #: durability journal (duck-typed, e.g.
+        #: :class:`repro.durability.DurableStore`): when set, every
+        #: mutation is logged *after* it applies, through its ``on_*``
+        #: hooks.  None keeps the database purely in-memory with zero
+        #: overhead.  This is the single choke point all transports
+        #: (IR submission, local connections, prepared statements,
+        #: pipelined scripts, direct ingest APIs) funnel through.
+        self.journal = None
 
     # ------------------------------------------------------------------
     # DDL
@@ -55,6 +63,8 @@ class GraphDB:
             raise CatalogError(f"name {name!r} already used by a graph type")
         table = Table(name, schema)
         self.tables[name] = table
+        if self.journal is not None:
+            self.journal.on_create_table(table)
         return table
 
     def create_vertex(
@@ -71,6 +81,8 @@ class GraphDB:
         table = self.table(table_name)
         vt = VertexType(name, key_cols, table, where)
         self.vertex_types[name] = vt
+        if self.journal is not None:
+            self.journal.on_create_vertex(vt)
         return vt
 
     def create_edge(
@@ -102,6 +114,8 @@ class GraphDB:
         )
         self.edge_types[name] = et
         self.indexes[name] = BidirectionalIndex(et)
+        if self.journal is not None:
+            self.journal.on_create_edge(et)
         return et
 
     # ------------------------------------------------------------------
@@ -154,22 +168,33 @@ class GraphDB:
     # ------------------------------------------------------------------
     def ingest(self, table_name: str, path: str) -> int:
         table = self.table(table_name)
+        start = table.num_rows
         count = read_csv_into(table, path)
         self._rebuild_dependents(table_name)
+        if self.journal is not None and count:
+            # the *rows* are journaled, not the file path: replay must
+            # not depend on the CSV still existing (or being unchanged)
+            self.journal.on_ingest(table, start)
         return count
 
     def ingest_text(self, table_name: str, text: str) -> int:
         """Ingest from CSV text (workload generators and tests)."""
         table = self.table(table_name)
+        start = table.num_rows
         count = read_csv_text_into(table, text)
         self._rebuild_dependents(table_name)
+        if self.journal is not None and count:
+            self.journal.on_ingest(table, start)
         return count
 
     def ingest_rows(self, table_name: str, rows) -> int:
         """Ingest stored-form rows directly (fast path for generators)."""
         table = self.table(table_name)
+        start = table.num_rows
         table.append_rows(rows)
         self._rebuild_dependents(table_name)
+        if self.journal is not None and rows:
+            self.journal.on_ingest(table, start)
         return len(rows)
 
     def _edge_dependencies(self, et: EdgeType) -> set[str]:
@@ -209,9 +234,13 @@ class GraphDB:
             )
         self.tables[name] = Table(name, table.schema, table.columns)
         self.derived_tables.add(name)
+        if self.journal is not None:
+            self.journal.on_result_table(self.tables[name])
 
     def register_subgraph(self, subgraph: Subgraph) -> None:
         self.subgraphs[subgraph.name] = subgraph
+        if self.journal is not None:
+            self.journal.on_subgraph(subgraph)
 
     # ------------------------------------------------------------------
     # Whole-graph statistics

@@ -43,6 +43,7 @@ from repro.graql.ast import (
     Statement,
     TableSelect,
 )
+from repro.errors import ClosedError
 from repro.graql.parser import parse_script
 from repro.obs.options import QueryOptions, resolve_options
 from repro.obs.profile import record_profile_metrics
@@ -113,6 +114,17 @@ class ServingEngine:
         self.cache = PlanCache(capacity=cache_capacity, metrics=metrics)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError(
+                "serving engine is closed; no further statements accepted"
+            )
 
     @property
     def pool(self) -> ThreadPoolExecutor:
@@ -138,6 +150,7 @@ class ServingEngine:
         runner: Runner,
     ) -> list[StatementResult]:
         """Admit and execute one script submission on this thread."""
+        self._check_open()
         ticket = self.admission.admit(user)
         try:
             return self._process(source, params, options, runner)
@@ -153,6 +166,7 @@ class ServingEngine:
         runner: Runner,
     ) -> "Future[list[StatementResult]]":
         """Asynchronous :meth:`run`: admit now, execute on the pool."""
+        self._check_open()
         ticket = self.admission.admit(user)
 
         def job() -> list[StatementResult]:
@@ -219,6 +233,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def run_work(self, user: str, write: bool, fn: Callable[[], Any]) -> Any:
         """Admit and run *fn* under the read or write lock, this thread."""
+        self._check_open()
         ticket = self.admission.admit(user)
         try:
             return self._locked(write, fn)
@@ -228,6 +243,7 @@ class ServingEngine:
     def submit_work(
         self, user: str, write: bool, fn: Callable[[], Any]
     ) -> "Future[Any]":
+        self._check_open()
         ticket = self.admission.admit(user)
 
         def job() -> Any:
@@ -253,6 +269,14 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Stop accepting submissions and drain the worker pool.
+
+        In-flight work completes; afterwards every ``run``/``submit``/
+        ``run_work``/``submit_work`` raises
+        :class:`~repro.errors.ClosedError` instead of deadlocking on a
+        shut-down pool.  Idempotent.
+        """
+        self._closed = True
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)

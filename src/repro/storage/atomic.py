@@ -1,0 +1,100 @@
+"""Crash-safe file writes: temp file in the same directory + atomic rename.
+
+A plain ``open(path, "w")`` truncates the destination immediately, so a
+process death mid-write leaves a torn file where good data used to be.
+Every writer in this codebase that produces a file another process (or a
+recovery pass) may read — CSV export, snapshot checkpoints — goes
+through :func:`replace_file` instead:
+
+1. the content is written to ``<path>.<pid>.tmp`` in the *same*
+   directory (rename across filesystems is not atomic);
+2. the temp file is flushed and (optionally) fsynced;
+3. ``os.replace`` atomically installs it over the destination;
+4. the parent directory is (optionally) fsynced so the rename itself is
+   durable.
+
+A crash at any point leaves either the old file or the new file, never a
+mix, plus at worst a stale ``*.tmp`` that readers ignore.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import IO, Any, Iterator
+
+
+def fsync_file(fh: IO[Any]) -> None:
+    """Flush python buffers and force the file's bytes to stable storage."""
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory, making renames/creates inside it durable.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    (e.g. Windows); there the rename durability is the OS's problem.
+    """
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def temp_path_for(path: str) -> str:
+    """The sibling temp-file name writes stage into (pid-unique)."""
+    return f"{path}.{os.getpid()}.tmp"
+
+
+@contextmanager
+def replace_file(
+    path: str,
+    mode: str = "w",
+    *,
+    encoding: "str | None" = None,
+    newline: "str | None" = None,
+    durable: bool = False,
+) -> Iterator[IO[Any]]:
+    """Write-then-rename: yields a temp-file handle; on clean exit the
+    temp file atomically replaces *path*.  On error the temp file is
+    removed and *path* is untouched.
+
+    ``durable=True`` additionally fsyncs the file before the rename and
+    the directory after it — the checkpoint writer's requirement; plain
+    exports skip the fsyncs and settle for atomicity alone.
+    """
+    tmp = temp_path_for(path)
+    fh = open(tmp, mode, encoding=encoding, newline=newline)
+    try:
+        yield fh
+        if durable:
+            fsync_file(fh)
+        fh.close()
+    except BaseException:
+        fh.close()
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
+    if durable:
+        fsync_dir(os.path.dirname(os.path.abspath(path)))
+
+
+def install_file(path: str, tmp: str, *, durable: bool = True) -> None:
+    """Atomically install the fully-written temp file *tmp* at *path*.
+
+    The rename-is-commit step shared by :func:`replace_file` users that
+    need fault points *between* write, fsync and rename (the checkpoint
+    writer): they stage bytes into :func:`temp_path_for` themselves and
+    call this to publish.
+    """
+    os.replace(tmp, path)
+    if durable:
+        fsync_dir(os.path.dirname(os.path.abspath(path)))

@@ -18,6 +18,7 @@ import os
 from typing import Any, Sequence
 
 from repro.errors import IngestError
+from repro.storage.atomic import replace_file
 from repro.storage.table import Table
 
 
@@ -67,8 +68,14 @@ def read_csv_text_into(table: Table, text: str, source: str = "<string>") -> int
 
 
 def write_csv(table: Table, path: str, header: bool = True) -> None:
-    """Export *table* to CSV, formatting values with their declared types."""
-    with open(path, "w", newline="", encoding="utf-8") as fh:
+    """Export *table* to CSV, formatting values with their declared types.
+
+    The write is atomic (temp file + rename via
+    :func:`repro.storage.atomic.replace_file`, shared with the
+    checkpoint writer): a process death mid-export leaves either the
+    previous file or the complete new one, never a truncated mix.
+    """
+    with replace_file(path, "w", newline="", encoding="utf-8") as fh:
         w = csv.writer(fh)
         if header:
             w.writerow(table.schema.names())

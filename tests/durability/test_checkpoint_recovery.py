@@ -1,0 +1,176 @@
+"""Checkpoints: atomic install, fallback, crash windows, WAL truncation."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Database
+from repro.durability import (
+    DurableStore,
+    SimulatedCrash,
+    StorageFaultInjector,
+    list_checkpoints,
+    load_latest_checkpoint,
+    read_checkpoint,
+    verify_store,
+)
+from repro.durability.faults import (
+    CKPT_AFTER_RENAME,
+    CKPT_BEFORE_RENAME,
+    CKPT_DURING_WRITE,
+)
+from repro.durability.state import state_fingerprint
+from repro.obs import MetricsRegistry, Tracer
+
+SCHEMA = """
+create table people (id integer, name varchar(20))
+create vertex Person(id) from table people
+"""
+
+
+def build(path, **kwargs):
+    db = Database.open(str(path), **kwargs)
+    db.execute(SCHEMA)
+    db.ingest_rows("people", [(1, "alice"), (2, "bob")])
+    return db
+
+
+def fp(db):
+    return state_fingerprint(db.db, db.store.users)
+
+
+class TestCheckpointFiles:
+    def test_checkpoint_restores_identically(self, tmp_path):
+        db = build(tmp_path)
+        want = fp(db)
+        snap = db.checkpoint()
+        assert os.path.exists(snap)
+        db.close()
+        with Database.open(str(tmp_path)) as db2:
+            assert db2.recovery.snapshot_path == snap
+            assert db2.recovery.records_replayed == 0
+            assert fp(db2) == want
+
+    def test_wal_truncated_after_checkpoint(self, tmp_path):
+        db = build(tmp_path)
+        before = os.path.getsize(tmp_path / "wal.log")
+        db.checkpoint()
+        after = os.path.getsize(tmp_path / "wal.log")
+        assert after < before  # back to just the magic
+        db.close()
+
+    def test_keeps_last_two_checkpoints(self, tmp_path):
+        db = build(tmp_path)
+        for i in range(3):
+            db.ingest_rows("people", [(10 + i, f"u{i}")])
+            db.checkpoint()
+        db.close()
+        assert len(list_checkpoints(str(tmp_path))) == 2
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        db = build(tmp_path)
+        db.checkpoint()
+        older = fp(db)
+        db.ingest_rows("people", [(3, "carol")])
+        db.checkpoint()
+        db.close()
+        snaps = list_checkpoints(str(tmp_path))
+        assert len(snaps) == 2
+        newest = snaps[0][1]
+        with open(newest, "r+b") as fh:  # bit-rot the newest snapshot
+            fh.seek(30)
+            b = fh.read(1)
+            fh.seek(30)
+            fh.write(bytes([b[0] ^ 0x40]))
+        assert read_checkpoint(newest) is None
+        payload, path, skipped = load_latest_checkpoint(str(tmp_path))
+        assert path == snaps[1][1] and skipped == [newest]
+        # recovery lands on the older committed prefix, and says so
+        with Database.open(str(tmp_path)) as db2:
+            assert fp(db2) == older
+            assert db2.recovery.snapshots_skipped == [newest]
+            assert not db2.recovery.clean
+
+    def test_no_valid_checkpoint_replays_whole_wal(self, tmp_path):
+        db = build(tmp_path)
+        want = fp(db)
+        db.close()
+        with Database.open(str(tmp_path)) as db2:
+            assert db2.recovery.snapshot_path is None
+            assert db2.recovery.records_replayed == 3
+            assert fp(db2) == want
+
+
+class TestCheckpointCrashWindows:
+    """A crash at any point of the checkpoint lifecycle loses nothing:
+    the WAL still holds every committed record."""
+
+    @pytest.mark.parametrize(
+        "point", [CKPT_DURING_WRITE, CKPT_BEFORE_RENAME, CKPT_AFTER_RENAME]
+    )
+    def test_crash_point_preserves_committed_state(self, tmp_path, point):
+        inj = StorageFaultInjector(checkpoint_crash=point)
+        db = build(tmp_path, faults=inj)
+        want = fp(db)
+        with pytest.raises(SimulatedCrash) as exc:
+            db.checkpoint()
+        assert exc.value.point == f"checkpoint:{point}"
+        # abandon the crashed process; a supervisor re-opens the path
+        with Database.open(str(tmp_path)) as db2:
+            assert fp(db2) == want
+        report = verify_store(str(tmp_path))
+        assert report.ok, report.problems
+
+    def test_after_rename_crash_skips_covered_wal_records(self, tmp_path):
+        """The snapshot installed but the WAL was not truncated: recovery
+        must not replay records the snapshot already covers."""
+        inj = StorageFaultInjector(checkpoint_crash=CKPT_AFTER_RENAME)
+        db = build(tmp_path, faults=inj)
+        want = fp(db)
+        with pytest.raises(SimulatedCrash):
+            db.checkpoint()
+        assert os.path.getsize(tmp_path / "wal.log") > len(b"GRQLWAL1")
+        with Database.open(str(tmp_path)) as db2:
+            assert db2.recovery.snapshot_seq == 3
+            assert db2.recovery.records_replayed == 0  # all covered
+            assert fp(db2) == want
+
+
+class TestAutoCheckpoint:
+    def test_checkpoint_every_triggers_and_bounds_replay(self, tmp_path):
+        db = build(tmp_path, checkpoint_every=4)
+        for i in range(10):
+            db.ingest_rows("people", [(100 + i, f"u{i}")])
+        want = fp(db)
+        db.close()
+        assert list_checkpoints(str(tmp_path))  # fired without being asked
+        with Database.open(str(tmp_path)) as db2:
+            assert db2.recovery.snapshot_seq > 0
+            assert db2.recovery.records_replayed < 10
+            assert fp(db2) == want
+
+
+class TestObservability:
+    def test_recovery_metrics_and_span(self, tmp_path):
+        db = build(tmp_path)
+        db.close()
+        metrics, tracer = MetricsRegistry(), Tracer()
+        store = DurableStore.open(str(tmp_path), metrics=metrics, tracer=tracer)
+        store.checkpoint()
+        store.close()
+        text = metrics.render_prometheus()
+        assert "graql_recoveries_total 1" in text
+        assert "graql_recovery_ms" in text
+        assert "graql_checkpoints_total 1" in text
+        assert "graql_wal_fsyncs_total" in text
+        names = [s.name for s in tracer.roots]
+        assert "recovery" in names and "checkpoint" in names
+
+    def test_wal_metrics_count_appends(self, tmp_path):
+        db = build(tmp_path)
+        text = db.render_metrics()
+        assert "graql_wal_records_total 3" in text
+        assert "graql_wal_bytes_total" in text
+        db.close()

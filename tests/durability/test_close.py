@@ -1,0 +1,69 @@
+"""Database.close() / context manager: clean shutdown semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClosedError, Database
+from repro.durability import read_wal
+
+
+class TestClose:
+    def test_execute_after_close_raises(self, tmp_path):
+        db = Database.open(str(tmp_path))
+        db.execute("create table t (a integer)")
+        db.close()
+        with pytest.raises(ClosedError, match="closed"):
+            db.execute("create table u (a integer)")
+
+    def test_ingest_after_close_raises(self, tmp_path):
+        db = Database.open(str(tmp_path))
+        db.execute("create table t (a integer)")
+        db.close()
+        with pytest.raises(ClosedError):
+            db.ingest_rows("t", [(1,)])
+
+    def test_prepare_after_close_raises(self, tmp_path):
+        db = Database.open(str(tmp_path))
+        db.execute("create table t (a integer)")
+        db.ingest_rows("t", [(1,)])
+        db.close()
+        with pytest.raises(ClosedError):
+            db.query("select a from t into table r")
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        db = Database.open(str(tmp_path))
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_close_applies_to_in_memory_databases_too(self):
+        db = Database()
+        db.execute("create table t (a integer)")
+        db.close()
+        with pytest.raises(ClosedError):
+            db.execute("create table u (a integer)")
+
+    def test_context_manager_closes(self, tmp_path):
+        with Database.open(str(tmp_path)) as db:
+            db.execute("create table t (a integer)")
+        assert db.closed
+        with pytest.raises(ClosedError):
+            db.ingest_rows("t", [(1,)])
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with Database.open(str(tmp_path)) as db:
+                raise RuntimeError("boom")
+        assert db.closed
+
+    def test_close_flushes_batched_wal(self, tmp_path):
+        # fewer appends than the batch size: only close() makes them durable
+        db = Database.open(str(tmp_path), fsync="batch", batch_records=64)
+        db.execute("create table t (a integer)")
+        db.ingest_rows("t", [(1,), (2,)])
+        db.close()
+        scan = read_wal(str(tmp_path / "wal.log"))
+        assert scan.clean and len(scan.records) == 2
+        with Database.open(str(tmp_path)) as db2:
+            assert db2.table("t").num_rows == 2

@@ -1,0 +1,217 @@
+"""WAL record format, scanner stop conditions, fsync policies."""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.durability import encode_record, read_wal
+from repro.durability.faults import SimulatedCrash, StorageFaultInjector
+from repro.durability.wal import (
+    END_BAD_LENGTH,
+    END_BAD_MAGIC,
+    END_BAD_PAYLOAD,
+    END_CLEAN,
+    END_CRC_MISMATCH,
+    END_SEQ_GAP,
+    END_TORN_HEADER,
+    END_TORN_PAYLOAD,
+    HEADER_LEN,
+    MAGIC,
+    WalWriter,
+)
+from repro.errors import WalError
+
+
+def payload(seq, **data):
+    return {"seq": seq, "epoch": 0, "kind": "ddl", "data": data}
+
+
+def write_records(path, n, **writer_kwargs):
+    w = WalWriter(str(path), **writer_kwargs)
+    for i in range(1, n + 1):
+        w.append(payload(i, source=f"stmt {i}"))
+    w.close()
+    return w
+
+
+class TestCodec:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 3)
+        scan = read_wal(str(path))
+        assert scan.clean
+        assert [r["seq"] for r in scan.records] == [1, 2, 3]
+        assert scan.records[0]["data"] == {"source": "stmt 1"}
+        assert scan.valid_bytes == os.path.getsize(path)
+
+    def test_record_layout(self):
+        rec = encode_record({"seq": 1})
+        length, crc = struct.unpack_from("<II", rec)
+        body = rec[HEADER_LEN:]
+        assert length == len(body)
+        assert crc == zlib.crc32(body)
+
+    def test_missing_file_is_empty_clean_scan(self, tmp_path):
+        scan = read_wal(str(tmp_path / "nope.log"))
+        assert scan.clean and scan.records == []
+
+
+class TestScannerStops:
+    """Every corruption class ends the scan at the previous record."""
+
+    def _truncate(self, path, drop):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - drop)
+
+    def test_torn_header(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 3)
+        last = len(encode_record(payload(3, source="stmt 3")))
+        self._truncate(path, last - 2)  # 2 header bytes of record 3 remain
+        scan = read_wal(str(path))
+        assert scan.reason == END_TORN_HEADER
+        assert [r["seq"] for r in scan.records] == [1, 2]
+
+    def test_torn_payload(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 3)
+        self._truncate(path, 5)  # payload of record 3 is short
+        scan = read_wal(str(path))
+        assert scan.reason == END_TORN_PAYLOAD
+        assert [r["seq"] for r in scan.records] == [1, 2]
+
+    def test_crc_mismatch(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 2)
+        with open(path, "r+b") as fh:  # flip a bit in the last payload
+            fh.seek(os.path.getsize(path) - 1)
+            b = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([b[0] ^ 0x01]))
+        scan = read_wal(str(path))
+        assert scan.reason == END_CRC_MISMATCH
+        assert [r["seq"] for r in scan.records] == [1]
+
+    def test_bad_payload_valid_crc(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 1)
+        body = b"this is not json"
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<II", len(body), zlib.crc32(body)) + body)
+        scan = read_wal(str(path))
+        assert scan.reason == END_BAD_PAYLOAD
+        assert [r["seq"] for r in scan.records] == [1]
+
+    def test_sequence_gap(self, tmp_path):
+        path = tmp_path / "wal.log"
+        w = WalWriter(str(path))
+        w.append(payload(1))
+        w.append(payload(3))  # 2 went missing
+        w.close()
+        scan = read_wal(str(path))
+        assert scan.reason == END_SEQ_GAP
+        assert [r["seq"] for r in scan.records] == [1]
+
+    def test_bad_length(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 1)
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<II", 1 << 31, 0))
+        scan = read_wal(str(path))
+        assert scan.reason == END_BAD_LENGTH
+        assert [r["seq"] for r in scan.records] == [1]
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL!" + encode_record(payload(1)))
+        scan = read_wal(str(path))
+        assert scan.reason == END_BAD_MAGIC
+        assert scan.records == [] and scan.valid_bytes == 0
+
+    def test_start_seq_skips_pre_checkpoint_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 5)
+        scan = read_wal(str(path), start_seq=3)
+        assert scan.clean
+        assert [r["seq"] for r in scan.records] == [4, 5]
+
+    def test_start_seq_requires_continuity(self, tmp_path):
+        path = tmp_path / "wal.log"
+        w = WalWriter(str(path))
+        w.append(payload(7))
+        w.close()
+        scan = read_wal(str(path), start_seq=3)  # expects 4 next
+        assert scan.reason == END_SEQ_GAP and scan.records == []
+
+
+class TestFsyncPolicies:
+    def test_always_syncs_per_append(self, tmp_path):
+        w = write_records(tmp_path / "w.log", 5, fsync="always")
+        assert w.fsyncs >= 5
+
+    def test_batch_syncs_every_n(self, tmp_path):
+        w = write_records(tmp_path / "w.log", 10, fsync="batch", batch_records=4)
+        # 1 initial magic sync + 2 batch boundaries + 1 close flush
+        assert 3 <= w.fsyncs <= 4
+
+    def test_off_never_syncs(self, tmp_path):
+        w = write_records(tmp_path / "w.log", 10, fsync="off")
+        assert w.fsyncs == 0
+        # the records still reached the file (page-cache durability)
+        scan = read_wal(str(tmp_path / "w.log"))
+        assert scan.clean and len(scan.records) == 10
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync policy"):
+            WalWriter(str(tmp_path / "w.log"), fsync="sometimes")
+
+
+class TestFaultedWriter:
+    def test_torn_write_crashes_and_leaves_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        inj = StorageFaultInjector(seed=3, torn_write_at=[2])
+        w = WalWriter(str(path), faults=inj)
+        w.append(payload(1))
+        with pytest.raises(SimulatedCrash):
+            w.append(payload(2))
+        assert w.closed
+        # whatever prefix landed, the scan never yields the torn record
+        scan = read_wal(str(path))
+        assert [r["seq"] for r in scan.records] == [1]
+
+    def test_bitflip_is_silent_until_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        inj = StorageFaultInjector(seed=5, bitflip_at=[2])
+        w = WalWriter(str(path), faults=inj)
+        w.append(payload(1))
+        w.append(payload(2))  # no crash: corruption is silent
+        w.close()
+        scan = read_wal(str(path))
+        assert scan.reason in (END_CRC_MISMATCH, END_BAD_PAYLOAD)
+        assert [r["seq"] for r in scan.records] == [1]
+
+    def test_fault_determinism(self, tmp_path):
+        blobs = []
+        for name in ("a.log", "b.log"):
+            path = tmp_path / name
+            inj = StorageFaultInjector(seed=11, torn_write_at=[1])
+            w = WalWriter(str(path), faults=inj)
+            with pytest.raises(SimulatedCrash):
+                w.append(payload(1, source="same bytes"))
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_fsync_failure_raises_wal_error(self, tmp_path):
+        inj = StorageFaultInjector(fail_fsync_at=[2])
+        w = WalWriter(str(tmp_path / "w.log"), faults=inj, fsync="always")
+        with pytest.raises(WalError, match="fsync"):
+            w.append(payload(1))  # magic sync was call 1, this is call 2
+
+
+def test_clean_end_constant_matches_report_default():
+    assert END_CLEAN == "clean-end"
