@@ -74,6 +74,18 @@ crash recovery::
     # recovers to an exact prefix of the committed statements:
     with Database.open("./shop.db") as db:
         assert db.recovery.clean
+
+Network serving (docs/NETWORK.md) — the same connection API over TCP;
+``connect`` is transport-agnostic and dispatches on its target::
+
+    from repro import Database, GraqlServer, connect
+
+    server = GraqlServer(Database(), port=7687)
+    server.start()                            # or: graql serve :7687 --db x.db
+    conn = connect("graql://127.0.0.1:7687")  # TCP, binary wire protocol
+    conn = connect("./shop.db")               # durable store, in-process
+    conn = connect(Database())                # in-process engine
+    # identical Connection/Cursor/PreparedStatement surface on all three
 """
 
 from repro.analysis import AnalysisResult, Analyzer, Diagnostic, IRVerifier
@@ -88,7 +100,14 @@ from repro.engine.session import Database
 from repro.engine.server import Server, User
 from repro.obs import MetricsRegistry, QueryOptions, QueryProfile, Tracer
 from repro.query.executor import StatementKind, StatementResult
-from repro.serve import Connection, Cursor, PreparedStatement, connect
+from repro.serve import (
+    Connection,
+    Cursor,
+    DEFAULT_BATCH_ROWS,
+    LocalConnection,
+    PreparedStatement,
+    connect,
+)
 from repro.storage.table import Row, Table
 from repro.errors import (
     AccessError,
@@ -101,10 +120,13 @@ from repro.errors import (
     LexError,
     ParseError,
     PlanError,
+    ProtocolError,
+    QueryTimeout,
     ServerBusy,
     TypeCheckError,
     WalError,
 )
+from repro.net import GraqlServer, RemoteConnection
 
 __version__ = "1.0.0"
 
@@ -114,8 +136,12 @@ __all__ = [
     "User",
     "connect",
     "Connection",
+    "LocalConnection",
+    "RemoteConnection",
+    "GraqlServer",
     "Cursor",
     "PreparedStatement",
+    "DEFAULT_BATCH_ROWS",
     "StatementKind",
     "StatementResult",
     "Row",
@@ -141,6 +167,8 @@ __all__ = [
     "AccessError",
     "WalError",
     "ClosedError",
+    "ProtocolError",
+    "QueryTimeout",
     "DurableStore",
     "RecoveryReport",
     "StorageFaultInjector",

@@ -5,6 +5,7 @@ Usage::
 
     graql run script.graql --param Product1=product42
     graql run script.graql --db ./shop.db [--fsync always|batch|off]
+    graql serve 127.0.0.1:7687 --db ./shop.db
     graql recover ./shop.db [--verify]
     graql checkpoint ./shop.db
     graql check script.graql [more.graql ...] [--jobs N] [--strict]
@@ -146,6 +147,68 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 1
     finally:
         db.close()  # flush the WAL before the interpreter exits
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a database over TCP (docs/NETWORK.md).
+
+    ``HOST:PORT`` binds an address (``:PORT`` binds loopback; port 0
+    picks a free port).  SIGTERM and SIGINT drain gracefully: the
+    listener closes, in-flight statements finish and write their
+    responses, then the process exits — with ``--db`` every
+    acknowledged mutation is already in the WAL, so a SIGKILL instead
+    loses nothing that was acknowledged (``graql recover --verify``).
+    """
+    import signal
+
+    from repro.net import GraqlServer
+
+    host, _, port_s = args.address.rpartition(":")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise SystemExit(
+            f"serve expects HOST:PORT or :PORT, got {args.address!r}"
+        )
+    try:
+        if args.db:
+            db = Database.open(args.db, fsync=args.fsync)
+        elif args.demo:
+            db = _demo_database(args.demo, args.scale)
+        else:
+            db = Database()
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    server = GraqlServer(
+        db,
+        host=host or "127.0.0.1",
+        port=port,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+    )
+    try:
+        server.start()
+    except OSError as e:
+        print(f"error: cannot bind {args.address}: {e}", file=sys.stderr)
+        db.close()
+        return 1
+    backing = args.db or (f"demo {args.demo}" if args.demo else "in-memory")
+    print(f"graql server listening on {server.url} ({backing})", flush=True)
+
+    def _drain(signum: int, frame: object) -> None:
+        print("draining...", flush=True)
+        server.shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+        db.close()  # flush the WAL before the interpreter exits
+    print("stopped", flush=True)
     return 0
 
 
@@ -407,6 +470,46 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="WAL fsync policy for --db (default: always)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_srv = sub.add_parser(
+        "serve", help="serve a database over TCP (binary wire protocol)"
+    )
+    p_srv.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="bind address; ':PORT' binds loopback, port 0 picks a free port",
+    )
+    p_srv.add_argument(
+        "--db",
+        metavar="PATH",
+        help="serve the durable database directory at PATH (created on "
+        "first use, recovered on start)",
+    )
+    p_srv.add_argument(
+        "--fsync",
+        choices=["always", "batch", "off"],
+        default="always",
+        help="WAL fsync policy for --db (default: always)",
+    )
+    p_srv.add_argument(
+        "--demo",
+        choices=["berlin", "cyber", "biology"],
+        help="serve a demo dataset instead of an empty database",
+    )
+    p_srv.add_argument("--scale", type=int, default=200)
+    p_srv.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="refuse connections beyond this many concurrent sessions",
+    )
+    p_srv.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="close connections idle for this many seconds",
+    )
+    p_srv.set_defaults(func=cmd_serve)
 
     p_rec = sub.add_parser(
         "recover", help="recover a durable database directory and report"

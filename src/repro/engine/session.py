@@ -200,10 +200,13 @@ class Database:
         (:class:`~repro.serve.PreparedStatement`)."""
         return self._conn.prepare(graql)
 
-    def cursor(self, batch_size: int = 1024):
+    def cursor(self, batch_size: Optional[int] = None):
         """A streaming :class:`~repro.serve.Cursor` on the in-process
-        connection."""
-        return self._conn.cursor(batch_size=batch_size)
+        connection (default batch size:
+        :data:`~repro.serve.DEFAULT_BATCH_ROWS`)."""
+        from repro.serve.connection import DEFAULT_BATCH_ROWS
+
+        return self._conn.cursor(batch_size=batch_size or DEFAULT_BATCH_ROWS)
 
     # ------------------------------------------------------------------
     # GraQL execution

@@ -148,6 +148,18 @@ class ClosedError(ExecutionError):
     """
 
 
+class ProtocolError(GraQLError):
+    """Raised by the network layer (docs/NETWORK.md).
+
+    Covers malformed wire frames (bad magic, oversized length prefix,
+    checksum mismatch, undecodable payload), protocol-version mismatch,
+    and a peer that vanished mid-conversation (EOF inside a frame, a
+    reset connection).  A frame that fails its checksum is *rejected*,
+    never partially applied — the framing discipline mirrors the WAL's:
+    nothing past the first bad byte is ever interpreted.
+    """
+
+
 class ServerBusy(GraQLError):
     """Raised by the serving layer's admission controller.
 

@@ -1,0 +1,419 @@
+"""The network client: :class:`RemoteConnection`.
+
+``connect("graql://host:port")`` returns one of these — the same
+:class:`~repro.serve.connection.Connection` ABC as the in-process
+transports, so cursors, prepared statements and
+:class:`~repro.storage.table.Row` behave identically; the difference is
+that statements execute inside the :class:`~repro.net.GraqlServer` at
+the other end of the socket.
+
+Result tables are **streamed**: ``execute`` drains the stream and hands
+back fully-materialized results, while a :class:`Cursor` consumes BATCH
+frames off the socket as the consumer advances — ``fetchmany(n)`` on a
+million-row result pulls only the frames it needs.  One request runs at
+a time per connection (the protocol is strictly request/response); a
+new request on a connection with an unfinished cursor first buffers the
+remaining frames so the cursor still completes from memory.
+
+Server-side errors arrive as one ERROR frame and re-raise here as the
+originating :mod:`repro.errors` class with its attributes intact
+(``ServerBusy.reason``, ``ParseError.line``/``column``, ...), plus the
+server's request span under ``remote_span``.  A connection-fatal
+transport failure (peer vanished, corrupt frame) raises
+:class:`~repro.errors.ProtocolError` and poisons the connection: every
+later call fails fast with :class:`~repro.errors.ClosedError`.
+
+A ``RemoteConnection`` is not thread-safe — it is one socket carrying
+one conversation.  Open one connection per thread; the server end
+multiplexes them through its admission-controlled engine.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any, Iterator, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ClosedError, ProtocolError
+from repro.net.frame import (
+    FT_BATCH,
+    FT_BYE,
+    FT_DONE,
+    FT_ERROR,
+    FT_EXEC_PREPARED,
+    FT_EXECUTE,
+    FT_HELLO,
+    FT_HELLO_OK,
+    FT_PREPARE,
+    FT_PREPARED,
+    FT_RESULT,
+    FrameSocket,
+    PROTOCOL_VERSION,
+)
+from repro.net.protocol import (
+    decode_error,
+    decode_result,
+    encode_options,
+    table_from_meta,
+)
+from repro.obs.options import QueryOptions
+from repro.query.executor import StatementResult
+from repro.serve.connection import (
+    BasePreparedStatement,
+    Connection,
+    CursorExec,
+    DEFAULT_BATCH_ROWS,
+)
+from repro.storage.table import Row
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """``graql://host:port`` -> ``(host, port)``."""
+    parts = urlsplit(url)
+    if parts.scheme != "graql":
+        raise ProtocolError(f"not a graql:// URL: {url!r}")
+    if not parts.hostname or parts.port is None:
+        raise ProtocolError(
+            f"a graql:// URL needs host and port, got {url!r}"
+        )
+    return parts.hostname, parts.port
+
+
+class RemoteConnection(Connection):
+    """A TCP client session against a :class:`~repro.net.GraqlServer`."""
+
+    def __init__(
+        self,
+        url: str,
+        user: str = "admin",
+        *,
+        connect_timeout: float = 10.0,
+        request_timeout: Optional[float] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> None:
+        host, port = parse_url(url)
+        self.url = f"graql://{host}:{port}"
+        self.batch_rows = max(1, int(batch_rows))
+        super().__init__(user)
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as e:
+            raise ProtocolError(f"cannot connect to {self.url}: {e}") from e
+        sock.settimeout(request_timeout)
+        # frames are small and the protocol is request/response: without
+        # TCP_NODELAY, Nagle + delayed-ACK stalls every exchange ~40ms
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._fs = FrameSocket(sock)
+        self._active: Optional[_ResultStream] = None
+        try:
+            self._fs.send_magic()
+            self._fs.send_frame(
+                FT_HELLO, {"proto": PROTOCOL_VERSION, "user": user}
+            )
+            ftype, payload = self._fs.recv_frame()
+        except (ProtocolError, socket.timeout):
+            self._poison()
+            raise
+        if ftype == FT_ERROR:
+            self._poison()
+            raise decode_error(payload)
+        if ftype != FT_HELLO_OK:
+            self._poison()
+            raise ProtocolError(
+                f"expected HELLO_OK to open the session, got frame type {ftype}"
+            )
+        #: server-assigned connection id (appears in request spans)
+        self.session_id = payload.get("session")
+        #: the server's stream batch size (== DEFAULT_BATCH_ROWS unless
+        #: the server was tuned)
+        self.server_batch_rows = payload.get("batch_rows")
+
+    # ------------------------------------------------------------------
+    # Execution surface (Connection ABC)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        source: str,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        timeout_s: Optional[float] = None,
+    ) -> list[StatementResult]:
+        stream = self._request_stream(
+            FT_EXECUTE,
+            self._execute_payload(source, params, options, timeout_s,
+                                  self.batch_rows),
+        )
+        stream.drain()
+        return stream.results
+
+    def prepare(self, source: str) -> "RemotePreparedStatement":
+        self._check_open()
+        self._settle()
+        self._fs.send_frame(FT_PREPARE, {"source": source})
+        ftype, payload = self._recv()
+        if ftype == FT_ERROR:
+            raise decode_error(payload)
+        if ftype != FT_PREPARED:
+            self._poison()
+            raise ProtocolError(
+                f"expected PREPARED, got frame type {ftype}"
+            )
+        return RemotePreparedStatement(self, source, payload)
+
+    def _cursor_run(
+        self,
+        source: str,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        batch_size: int,
+    ) -> CursorExec:
+        stream = self._request_stream(
+            FT_EXECUTE,
+            self._execute_payload(source, params, options, None, batch_size),
+        )
+        return stream.cursor_exec()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _execute_payload(source, params, options, timeout_s, batch_rows):
+        payload: dict[str, Any] = {
+            "source": source,
+            "batch_rows": batch_rows,
+        }
+        if params:
+            payload["params"] = dict(params)
+        opts = encode_options(options)
+        if opts is not None:
+            payload["options"] = opts
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return payload
+
+    def _request_stream(self, ftype: int, payload: dict) -> "_ResultStream":
+        self._check_open()
+        self._settle()
+        self._fs.send_frame(ftype, payload)
+        rt, rp = self._recv()
+        if rt == FT_ERROR:
+            raise decode_error(rp)
+        if rt != FT_RESULT:
+            self._poison()
+            raise ProtocolError(f"expected RESULT, got frame type {rt}")
+        stream = _ResultStream(self, rp)
+        if not stream.done:
+            self._active = stream
+        return stream
+
+    def _recv(self) -> Tuple[int, dict]:
+        """One frame; transport failure poisons the connection."""
+        try:
+            return self._fs.recv_frame()
+        except (ProtocolError, socket.timeout):
+            self._poison()
+            raise
+
+    def _settle(self) -> None:
+        """Buffer any unfinished stream so the socket is request-clean."""
+        if self._active is not None:
+            self._active.buffer_remaining()
+
+    def _poison(self) -> None:
+        """Transport failure: the conversation is unrecoverable."""
+        self._closed = True
+        self._active = None
+        self._fs.close()
+
+    # ------------------------------------------------------------------
+    def _do_close(self) -> None:
+        try:
+            self._settle()
+            self._fs.send_frame(FT_BYE, {})
+        except (ProtocolError, OSError, socket.timeout):
+            pass
+        self._active = None
+        self._fs.close()
+
+    def _abort(self) -> None:
+        """Tear the socket down with no goodbye (tests use this to
+        simulate a client dying mid-stream)."""
+        self._closed = True
+        self._active = None
+        self._fs.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RemoteConnection({self.url}, user={self.user!r}, {state})"
+
+
+class RemotePreparedStatement(BasePreparedStatement):
+    """A statement compiled once inside the server's session.
+
+    The client holds only the server-assigned id plus the metadata
+    needed for parity with the in-process
+    :class:`~repro.serve.connection.PreparedStatement`: ``param_names``
+    (missing bindings raise :class:`~repro.errors.TypeCheckError`
+    before any bytes move) and ``ir_size``.
+    """
+
+    def __init__(self, connection: RemoteConnection, source: str, payload) -> None:
+        self.connection = connection
+        self.source = source
+        self.pid = int(payload["pid"])
+        self.param_names = tuple(payload.get("params") or ())
+        #: binary IR bytes the server compiled for this statement
+        self.ir_size = int(payload.get("ir_bytes", 0))
+        self.num_statements = int(payload.get("statements", 0))
+
+    def _payload(self, params, options, batch_rows) -> dict[str, Any]:
+        payload: dict[str, Any] = {"pid": self.pid, "batch_rows": batch_rows}
+        if params:
+            payload["params"] = dict(params)
+        opts = encode_options(options)
+        if opts is not None:
+            payload["options"] = opts
+        return payload
+
+    def execute(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+    ) -> list[StatementResult]:
+        self.connection._check_open()
+        self._require_params(params)
+        stream = self.connection._request_stream(
+            FT_EXEC_PREPARED,
+            self._payload(params, options, self.connection.batch_rows),
+        )
+        stream.drain()
+        return stream.results
+
+    def _cursor_exec(
+        self,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        batch_size: int,
+    ) -> CursorExec:
+        self.connection._check_open()
+        self._require_params(params)
+        stream = self.connection._request_stream(
+            FT_EXEC_PREPARED, self._payload(params, options, batch_size)
+        )
+        return stream.cursor_exec()
+
+    def __repr__(self) -> str:
+        return (
+            f"RemotePreparedStatement(pid={self.pid}, "
+            f"{self.num_statements} stmts, params={list(self.param_names)}, "
+            f"ir={self.ir_size}B)"
+        )
+
+
+class _ResultStream:
+    """One request's response: the RESULT header plus its row stream.
+
+    Rows accumulate as they arrive so that, once DONE is seen, the
+    streamed table materializes and is patched into its
+    :class:`StatementResult` — after full consumption a remote result
+    list is indistinguishable from a local one.
+    """
+
+    def __init__(self, conn: RemoteConnection, header: dict) -> None:
+        self.conn = conn
+        self.results = [decode_result(p) for p in header["results"]]
+        self.stream = header.get("stream")
+        self.done = False
+        self._buffered: deque[list[Row]] = deque()
+        self._rows: list[tuple] = []
+        self._exec: Optional[CursorExec] = None
+        if self.stream is not None:
+            idx = int(self.stream["index"])
+            self.meta = header["results"][idx]["table"]
+            self._row_cls = Row.make_class(
+                [str(name) for name, _ in self.meta["columns"]]
+            )
+        else:
+            self.meta = None
+            # no table to stream: consume the DONE right away so the
+            # conversation is immediately request-clean
+            self._pull()
+
+    # ------------------------------------------------------------------
+    def _pull(self) -> Optional[list[Row]]:
+        """Read one stream frame; a batch of rows, or None at DONE."""
+        ftype, payload = self.conn._recv()
+        if ftype == FT_BATCH:
+            raw = [tuple(r) for r in payload["rows"]]
+            self._rows.extend(raw)
+            return [self._row_cls(r) for r in raw]
+        if ftype == FT_DONE:
+            self._finish()
+            return None
+        if ftype == FT_ERROR:
+            self.done = True
+            self.conn._active = None
+            raise decode_error(payload)
+        self.conn._poison()
+        raise ProtocolError(
+            f"expected BATCH/DONE/ERROR in a result stream, got type {ftype}"
+        )
+
+    def _finish(self) -> None:
+        self.done = True
+        if self.conn._active is self:
+            self.conn._active = None
+        if self.stream is not None:
+            idx = int(self.stream["index"])
+            table = table_from_meta(self.meta, self._rows)
+            self.results[idx].table = table
+            if self._exec is not None:
+                self._exec.table = table
+
+    def next_batch(self) -> Optional[list[Row]]:
+        if self._buffered:
+            return self._buffered.popleft()
+        if self.done:
+            return None
+        return self._pull()
+
+    def drain(self) -> None:
+        """Consume the stream to completion (materializes the table)."""
+        self._buffered.clear()
+        while not self.done:
+            self._pull()
+
+    def buffer_remaining(self) -> None:
+        """Pull the rest of the stream into memory (another request
+        needs the socket); an attached cursor keeps reading from the
+        buffer."""
+        while not self.done:
+            batch = self._pull()
+            if batch:
+                self._buffered.append(batch)
+
+    # ------------------------------------------------------------------
+    def _batches(self) -> Iterator[list[Row]]:
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return
+            yield batch
+
+    def cursor_exec(self) -> CursorExec:
+        if self.stream is None:
+            return CursorExec(self.results, None, -1, None, None)
+        description = [
+            (str(name), str(ddl)) for name, ddl in self.meta["columns"]
+        ]
+        ex = CursorExec(
+            self.results,
+            None,  # patched in at DONE
+            int(self.stream["num_rows"]),
+            description,
+            self._batches(),
+            finish=self.buffer_remaining,
+        )
+        self._exec = ex
+        return ex

@@ -1,0 +1,198 @@
+"""The binary wire framing: length-prefixed, checksummed, typed.
+
+Stream layout (after the client's 8-byte magic preamble)::
+
+    GRQLNET1                                  preamble, client -> server
+    [u8 type][u32 length][u32 crc32][payload]     frame 0
+    [u8 type][u32 length][u32 crc32][payload]     frame 1
+    ...
+
+Each payload is one canonical-JSON message; ``length`` counts payload
+bytes and ``crc32`` covers the type byte *and* the payload, so a bit
+flip anywhere in type, length, checksum or body is detected: a wrong
+length misaligns the checksum window, a wrong checksum fails outright,
+and a corrupt body fails the check.  The discipline deliberately
+mirrors :mod:`repro.durability.wal` — nothing past the first bad byte
+is ever interpreted; a bad frame raises
+:class:`~repro.errors.ProtocolError` and the connection dies rather
+than misparse.
+
+:class:`FrameSocket` wraps a connected TCP socket with framed
+send/receive plus byte accounting (fed into the server's
+``graql_net_bytes_*`` counters).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Any, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+#: stream preamble the client sends immediately after connecting
+MAGIC = b"GRQLNET1"
+#: protocol revision negotiated in HELLO; bumped on incompatible change
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("<BII")
+HEADER_LEN = _HEADER.size
+#: sanity cap on one frame's payload; a length beyond this is corruption
+#: (or abuse), not a message we should try to allocate
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# ----------------------------------------------------------------------
+# Frame types
+# ----------------------------------------------------------------------
+FT_HELLO = 1          # client -> server: {proto, user}
+FT_HELLO_OK = 2       # server -> client: {proto, session, server}
+FT_EXECUTE = 3        # client -> server: {source, params?, options?, timeout_s?, batch_rows?}
+FT_PREPARE = 4        # client -> server: {source}
+FT_PREPARED = 5       # server -> client: {pid, params, ir_bytes, statements}
+FT_EXEC_PREPARED = 6  # client -> server: {pid, params?, options?, batch_rows?}
+FT_RESULT = 7         # server -> client: results header (stream follows if stream != null)
+FT_BATCH = 8          # server -> client: {rows: [[...], ...]}
+FT_DONE = 9           # server -> client: {rows: n} — stream complete
+FT_ERROR = 10         # server -> client: {code, message, attrs, span}
+FT_BYE = 11           # client -> server: {} — orderly goodbye
+
+FRAME_TYPES = frozenset(
+    (FT_HELLO, FT_HELLO_OK, FT_EXECUTE, FT_PREPARE, FT_PREPARED,
+     FT_EXEC_PREPARED, FT_RESULT, FT_BATCH, FT_DONE, FT_ERROR, FT_BYE)
+)
+
+
+def encode_frame(ftype: int, payload: dict[str, Any]) -> bytes:
+    """Render one frame as header + canonical-JSON payload bytes."""
+    if ftype not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {ftype}")
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    crc = zlib.crc32(bytes((ftype,)) + body)
+    return _HEADER.pack(ftype, len(body), crc) + body
+
+
+def decode_frame(blob: bytes, offset: int = 0) -> Tuple[int, dict[str, Any], int]:
+    """Decode the frame starting at *offset*; returns
+    ``(type, payload, next_offset)``.
+
+    Raises :class:`~repro.errors.ProtocolError` on any violation —
+    truncated header or body, unknown type, oversized length, checksum
+    mismatch, undecodable payload.  Never returns a partially-decoded
+    frame.
+    """
+    if offset + HEADER_LEN > len(blob):
+        raise ProtocolError(
+            f"truncated frame header at offset {offset} "
+            f"({len(blob) - offset} of {HEADER_LEN} bytes)"
+        )
+    ftype, length, crc = _HEADER.unpack_from(blob, offset)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    start = offset + HEADER_LEN
+    if start + length > len(blob):
+        raise ProtocolError(
+            f"truncated frame payload at offset {start} "
+            f"({len(blob) - start} of {length} bytes)"
+        )
+    body = blob[start : start + length]
+    if zlib.crc32(bytes((ftype,)) + body) != crc:
+        raise ProtocolError(f"frame checksum mismatch at offset {offset}")
+    if ftype not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {ftype} at offset {offset}")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as e:
+        raise ProtocolError(f"undecodable frame payload: {e}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be an object, got {type(payload).__name__}"
+        )
+    return ftype, payload, start + length
+
+
+class FrameSocket:
+    """Framed, checksummed messaging over one connected socket.
+
+    Owns nothing but the conversation: callers create/close the
+    underlying socket.  ``bytes_sent`` / ``bytes_received`` account
+    every wire byte that passed through, for the server's metrics.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    def send_magic(self) -> None:
+        self._send_all(MAGIC)
+
+    def expect_magic(self) -> None:
+        got = self._recv_exact(len(MAGIC), context="magic preamble")
+        if got != MAGIC:
+            raise ProtocolError(
+                f"bad magic preamble {got!r} (expected {MAGIC!r})"
+            )
+
+    def send_frame(self, ftype: int, payload: dict[str, Any]) -> None:
+        self._send_all(encode_frame(ftype, payload))
+
+    def recv_frame(self) -> Tuple[int, dict[str, Any]]:
+        """Read exactly one frame; :class:`~repro.errors.ProtocolError`
+        on EOF, truncation or corruption."""
+        header = self._recv_exact(HEADER_LEN, context="frame header")
+        ftype, length, _crc = _HEADER.unpack_from(header, 0)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        body = self._recv_exact(length, context="frame payload")
+        ftype, payload, _ = decode_frame(header + body)
+        return ftype, payload
+
+    # ------------------------------------------------------------------
+    def _send_all(self, data: bytes) -> None:
+        try:
+            self.sock.sendall(data)
+        except OSError as e:
+            raise ProtocolError(f"connection lost while sending: {e}") from e
+        self.bytes_sent += len(data)
+
+    def _recv_exact(self, n: int, context: str) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            try:
+                chunk = self.sock.recv(min(remaining, 1 << 20))
+            except socket.timeout:
+                raise
+            except OSError as e:
+                raise ProtocolError(
+                    f"connection lost while reading {context}: {e}"
+                ) from e
+            if not chunk:
+                if chunks or remaining != n:
+                    raise ProtocolError(
+                        f"connection closed by peer mid-{context}"
+                    )
+                raise ProtocolError("connection closed by peer")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        data = b"".join(chunks)
+        self.bytes_received += len(data)
+        return data
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass

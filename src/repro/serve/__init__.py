@@ -8,7 +8,11 @@ safe and fast in-process:
   API.  ``prepare()`` returns a :class:`PreparedStatement` that parses,
   type-checks and IR-encodes a script once and binds parameters per
   execution; cursors stream result rows in batches instead of
-  materializing them eagerly.
+  materializing them eagerly.  :func:`connect` is transport-agnostic:
+  a ``graql://host:port`` URL dials a :class:`~repro.net.GraqlServer`
+  over TCP, a filesystem path opens a durable store, and a
+  :class:`~repro.engine.session.Database` / engine ``Server`` wraps
+  in-process — all returning the same :class:`Connection` ABC.
 * :class:`ServingEngine` — the shared-server concurrency core: a
   writer-preferring reader-writer catalog lock (selects run in
   parallel, DDL/ingest serialize), a ``ThreadPoolExecutor`` worker
@@ -21,15 +25,28 @@ safe and fast in-process:
 
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import PlanCache, canonical_script
-from repro.serve.connection import Connection, Cursor, PreparedStatement, connect
+from repro.serve.connection import (
+    BasePreparedStatement,
+    Connection,
+    Cursor,
+    CursorExec,
+    DEFAULT_BATCH_ROWS,
+    LocalConnection,
+    PreparedStatement,
+    connect,
+)
 from repro.serve.engine import ServingEngine, statement_is_write
 from repro.serve.locks import RWLock
 
 __all__ = [
     "connect",
     "Connection",
+    "LocalConnection",
     "Cursor",
+    "CursorExec",
     "PreparedStatement",
+    "BasePreparedStatement",
+    "DEFAULT_BATCH_ROWS",
     "ServingEngine",
     "AdmissionController",
     "PlanCache",

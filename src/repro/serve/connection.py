@@ -1,11 +1,13 @@
 """The client API: connections, cursors, prepared statements.
 
-The driver-style surface over a :class:`~repro.engine.server.Server`::
+One driver-style surface, three transports (docs/API.md, docs/NETWORK.md)::
 
-    from repro import connect, Server
+    from repro import connect
 
-    server = Server()
-    conn = connect(server, user="admin")
+    conn = connect(server)                    # in-process, shared engine
+    conn = connect("/path/to/shop.db")        # open a durable store
+    conn = connect("graql://127.0.0.1:7687")  # dial a GraqlServer over TCP
+
     with conn.cursor() as cur:
         cur.execute("select name from People where age > %MinAge%",
                     params={"MinAge": 30})
@@ -15,26 +17,34 @@ The driver-style surface over a :class:`~repro.engine.server.Server`::
     ps = conn.prepare("select name from People where age > %MinAge%")
     ps.execute({"MinAge": 30})          # parse/typecheck/IR paid once
 
-Two transports exist:
+Every form returns the same :class:`Connection` ABC; cursors, prepared
+statements and :class:`~repro.storage.table.Row` behave identically —
+the only observable difference is where the statements execute.
 
-* ``"ir"`` (the default for :func:`connect`) — the paper's front-end
-  pipeline: access control, static analysis, binary IR shipped to the
-  backend, ``compile_ir``/``decode_ir`` stages in every profile.
+In-process, two transports exist:
+
+* ``"ir"`` (the default for servers) — the paper's front-end pipeline:
+  access control, static analysis, binary IR shipped to the backend,
+  ``compile_ir``/``decode_ir`` stages in every profile.
 * ``"local"`` — the in-process fast path used by
   :class:`~repro.engine.session.Database`: parse + per-statement
-  typecheck/execute, no IR round-trip, a ``parse`` stage on the first
-  statement.
+  typecheck/execute, no IR round-trip.
 
 Both run through the shared :class:`~repro.serve.engine.ServingEngine`
-(admission control, reader-writer catalog lock, plan cache).
+(admission control, reader-writer catalog lock, plan cache).  The
+network transport (:class:`repro.net.RemoteConnection`) ships the same
+requests over a checksummed binary wire protocol to a
+:class:`repro.net.GraqlServer`, which runs them through the identical
+engine on the other side of the socket.
 """
 
 from __future__ import annotations
 
+import abc
 import time
-from typing import Any, Iterator, Mapping, Optional
+from typing import Any, Callable, Iterator, Mapping, Optional
 
-from repro.errors import ExecutionError, TypeCheckError
+from repro.errors import ClosedError, TypeCheckError
 from repro.graql.ast import Script
 from repro.graql.ir import decode_statement, encode_statement
 from repro.graql.params import substitute_statement, unbound_params
@@ -55,29 +65,220 @@ from repro.storage.table import Row, Table
 TRANSPORT_IR = "ir"
 TRANSPORT_LOCAL = "local"
 
+#: the one batch-size constant the whole driver shares: the default
+#: ``Cursor.arraysize`` (``fetchmany`` size and local row-production
+#: granularity) *and* the network server's result-stream batch size —
+#: a remote cursor's batches line up with a local cursor's by
+#: construction (docs/NETWORK.md).
+DEFAULT_BATCH_ROWS = 1024
 
-def connect(server, user: str = "admin", *, transport: str = TRANSPORT_IR) -> "Connection":
-    """Open a :class:`Connection` to *server* as *user*.
+#: scheme prefix that makes :func:`connect` dial TCP
+URL_SCHEME = "graql://"
 
-    The server is shared — any number of connections (and threads) may
-    be open against it; the serving engine serializes what must be
-    serialized and runs the rest concurrently.
+
+def connect(target: Any = None, user: str = "admin", *,
+            transport: Optional[str] = None, **kwargs: Any) -> "Connection":
+    """Open a :class:`Connection` onto *target*, whatever it is.
+
+    * ``connect("graql://host:port")`` — dial a running
+      :class:`~repro.net.GraqlServer` over TCP and return a
+      :class:`~repro.net.RemoteConnection`.  Extra kwargs
+      (``connect_timeout``, ``request_timeout``, ``batch_rows``) go to
+      the remote connection.
+    * ``connect("/path/to.db")`` — open (creating/recovering if needed)
+      the durable store at that path and return an in-process
+      connection that **owns** the database: closing the connection
+      closes the store and flushes its WAL.  Extra kwargs go to
+      :meth:`~repro.engine.session.Database.open` (``fsync``, ...).
+    * ``connect(db)`` — a new connection onto a
+      :class:`~repro.engine.session.Database`'s shared engine.
+    * ``connect(server)`` — a new connection onto a shared
+      :class:`~repro.engine.server.Server` (the historical form).
+
+    ``transport`` selects the in-process pipeline (``"ir"`` runs the
+    paper's front-end IR round-trip, ``"local"`` skips it); the default
+    is ``"ir"`` for servers and ``"local"`` for databases.  It is
+    ignored for TCP targets — the wire *is* the transport.
     """
-    return Connection(server, user, transport=transport)
+    if isinstance(target, str):
+        if target.startswith(URL_SCHEME):
+            from repro.net.client import RemoteConnection
+
+            return RemoteConnection(target, user=user, **kwargs)
+        from repro.engine.session import Database
+
+        db = Database.open(target, **kwargs)
+        return LocalConnection(
+            db.server, user, transport=transport or TRANSPORT_LOCAL, owned_db=db
+        )
+    if kwargs:
+        raise TypeError(
+            f"unexpected keyword arguments for an in-process connection: "
+            f"{', '.join(sorted(kwargs))}"
+        )
+    from repro.engine.session import Database
+
+    if isinstance(target, Database):
+        return LocalConnection(
+            target.server, user, transport=transport or TRANSPORT_LOCAL
+        )
+    if target is None:
+        raise TypeError(
+            "connect() needs a target: a graql:// URL, a database path, "
+            "a Database, or a Server"
+        )
+    return LocalConnection(target, user, transport=transport or TRANSPORT_IR)
 
 
-class Connection:
-    """A client's handle on a shared server."""
+class CursorExec:
+    """What one execution hands a :class:`Cursor` to stream from.
 
-    def __init__(self, server, user: str, transport: str = TRANSPORT_IR) -> None:
+    ``batches`` yields lists of :class:`~repro.storage.table.Row`;
+    ``table`` is the streamed result's :class:`Table` — present
+    immediately for in-process execution, patched in by the network
+    client once the stream has fully drained.  ``finish`` (optional)
+    is called by :meth:`Cursor.close` to release transport resources
+    (a remote cursor drains its pending frames so the connection stays
+    usable).
+    """
+
+    __slots__ = ("results", "table", "rowcount", "description", "batches", "finish")
+
+    def __init__(
+        self,
+        results: list[StatementResult],
+        table: Optional[Table],
+        rowcount: int,
+        description: Optional[list[tuple]],
+        batches: Optional[Iterator[list[Row]]],
+        finish: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.results = results
+        self.table = table
+        self.rowcount = rowcount
+        self.description = description
+        self.batches = batches
+        self.finish = finish
+
+    @classmethod
+    def from_results(
+        cls, results: list[StatementResult], batch_size: int
+    ) -> "CursorExec":
+        """Stream the last table result of an in-process execution."""
+        for r in reversed(results):
+            if r.kind == StatementKind.TABLE and r.table is not None:
+                return cls(
+                    results,
+                    r.table,
+                    r.table.num_rows,
+                    [(c.name, c.dtype.ddl()) for c in r.table.schema],
+                    r.table.iter_batches(batch_size),
+                )
+        return cls(results, None, -1, None, None)
+
+
+class Connection(abc.ABC):
+    """A client's handle on a GraQL engine — local or remote.
+
+    The ABC pins the driver surface every transport implements:
+    :meth:`execute`, :meth:`prepare`, :meth:`cursor`, idempotent
+    :meth:`close`, and context-manager use.  Concrete transports:
+    :class:`LocalConnection` (in-process) and
+    :class:`~repro.net.RemoteConnection` (TCP).
+    """
+
+    user: str
+
+    def __init__(self, user: str) -> None:
+        self.user = user
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Execution surface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def execute(
+        self,
+        source: str,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        timeout_s: Optional[float] = None,
+    ) -> list[StatementResult]:
+        """Execute a GraQL script; one :class:`StatementResult` per
+        statement, in order."""
+
+    @abc.abstractmethod
+    def prepare(self, source: str) -> "BasePreparedStatement":
+        """Parse/typecheck/compile *source* once; bind values per
+        execution."""
+
+    def cursor(self, batch_size: int = DEFAULT_BATCH_ROWS) -> "Cursor":
+        self._check_open()
+        return Cursor(self, batch_size=batch_size)
+
+    def _cursor_run(
+        self,
+        source: str,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        batch_size: int,
+    ) -> CursorExec:
+        """Execute for a cursor.  The default materializes via
+        :meth:`execute`; the network transport overrides this to stream
+        result batches straight off the socket."""
+        return CursorExec.from_results(
+            self.execute(source, params, options), batch_size
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the connection.  Idempotent on every transport."""
+        if self._closed:
+            return
+        self._closed = True
+        self._do_close()
+
+    def _do_close(self) -> None:
+        """Transport-specific teardown; runs at most once."""
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalConnection(Connection):
+    """An in-process handle on a shared server."""
+
+    def __init__(
+        self,
+        server,
+        user: str,
+        transport: str = TRANSPORT_IR,
+        *,
+        owned_db=None,
+    ) -> None:
         if transport not in (TRANSPORT_IR, TRANSPORT_LOCAL):
             raise ValueError(f"unknown transport {transport!r}")
         # surface unknown users at connect time, not first query
         server._require(user, "reader")
+        super().__init__(user)
         self.server = server
-        self.user = user
         self.transport = transport
-        self._closed = False
+        #: a Database this connection opened (connect(path)) and must
+        #: close — None when the engine is shared with other owners
+        self._owned_db = owned_db
 
     # ------------------------------------------------------------------
     @property
@@ -98,8 +299,6 @@ class Connection:
         options: Optional[QueryOptions] = None,
         timeout_s: Optional[float] = None,
     ) -> list[StatementResult]:
-        """Execute a GraQL script; one :class:`StatementResult` per
-        statement, in order."""
         self._check_open()
         if self.transport == TRANSPORT_IR:
             return self.server.submit(
@@ -108,10 +307,6 @@ class Connection:
         return self.engine.run(
             self.user, source, params, options, self._local_runner(params)
         )
-
-    def cursor(self, batch_size: int = 1024) -> "Cursor":
-        self._check_open()
-        return Cursor(self, batch_size=batch_size)
 
     def prepare(self, source: str) -> "PreparedStatement":
         """Parse, access-check, typecheck and IR-encode *source* once.
@@ -160,25 +355,68 @@ class Connection:
         return run
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        self._closed = True
-
-    def _check_open(self) -> None:
-        if self._closed:
-            raise ExecutionError("connection is closed")
-
-    def __enter__(self) -> "Connection":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def _do_close(self) -> None:
+        if self._owned_db is not None:
+            self._owned_db.close()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
-        return f"Connection(user={self.user!r}, transport={self.transport}, {state})"
+        return f"LocalConnection(user={self.user!r}, transport={self.transport}, {state})"
 
 
-class PreparedStatement:
+class BasePreparedStatement(abc.ABC):
+    """A statement compiled once, executed many times with fresh bindings.
+
+    The ABC is the cross-transport contract: ``param_names`` lists the
+    ``%Param%`` placeholders that must be bound, :meth:`execute` runs
+    with one binding, :meth:`cursor` streams the result.  Locally the
+    compiled form lives in this process; remotely it lives in the
+    server's session and is addressed by id — either way a missing
+    parameter raises :class:`~repro.errors.TypeCheckError` before
+    anything executes.
+    """
+
+    connection: Connection
+    source: str
+    #: parameter names the script needs bound at execution
+    param_names: tuple
+
+    def _require_params(self, params: Optional[Mapping[str, Any]]) -> None:
+        missing = [p for p in self.param_names if p not in (params or {})]
+        if missing:
+            raise TypeCheckError(
+                f"prepared statement is missing parameters: {', '.join(missing)}"
+            )
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+    ) -> list[StatementResult]:
+        """Bind *params* and execute; returns one result per statement."""
+
+    def _cursor_exec(
+        self,
+        params: Optional[Mapping[str, Any]],
+        options: Optional[QueryOptions],
+        batch_size: int,
+    ) -> CursorExec:
+        return CursorExec.from_results(self.execute(params, options), batch_size)
+
+    def cursor(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        options: Optional[QueryOptions] = None,
+        batch_size: int = DEFAULT_BATCH_ROWS,
+    ) -> "Cursor":
+        """Execute with *params* and return a cursor over the results."""
+        cur = Cursor(self.connection, batch_size=batch_size)
+        cur._adopt(self._cursor_exec(params, options, batch_size))
+        return cur
+
+
+class PreparedStatement(BasePreparedStatement):
     """A script parsed, access-checked, typechecked and IR-encoded once.
 
     Execution binds a parameter mapping, substitutes it into the decoded
@@ -187,7 +425,7 @@ class PreparedStatement:
     (which is what validates the binding's types).
     """
 
-    def __init__(self, connection: Connection, source: str) -> None:
+    def __init__(self, connection: LocalConnection, source: str) -> None:
         self.connection = connection
         self.source = source
         self.script = parse_script(source)
@@ -195,8 +433,7 @@ class PreparedStatement:
         server = connection.server
         for stmt in self.script.statements:
             server._check_rights(connection.user, stmt)
-        #: parameter names the script needs bound at execution
-        self.param_names: tuple = tuple(
+        self.param_names = tuple(
             sorted({p for s in self.script.statements for p in unbound_params(s)})
         )
 
@@ -222,13 +459,8 @@ class PreparedStatement:
         params: Optional[Mapping[str, Any]] = None,
         options: Optional[QueryOptions] = None,
     ) -> list[StatementResult]:
-        """Bind *params* and execute; returns one result per statement."""
         self.connection._check_open()
-        missing = [p for p in self.param_names if p not in (params or {})]
-        if missing:
-            raise TypeCheckError(
-                f"prepared statement is missing parameters: {', '.join(missing)}"
-            )
+        self._require_params(params)
         conn = self.connection
         server = conn.server
 
@@ -246,17 +478,6 @@ class PreparedStatement:
 
         return conn.engine.run_work(conn.user, self.is_write, work)
 
-    def cursor(
-        self,
-        params: Optional[Mapping[str, Any]] = None,
-        options: Optional[QueryOptions] = None,
-        batch_size: int = 1024,
-    ) -> "Cursor":
-        """Execute with *params* and return a cursor over the results."""
-        cur = Cursor(self.connection, batch_size=batch_size)
-        cur._install(self.execute(params, options))
-        return cur
-
     def __repr__(self) -> str:
         return (
             f"PreparedStatement({len(self.script.statements)} stmts, "
@@ -267,19 +488,22 @@ class PreparedStatement:
 class Cursor:
     """Streaming consumption of a script's last table result.
 
-    Rows are produced in batches (:meth:`~repro.storage.table.Table.iter_batches`)
-    as the consumer advances — ``fetchone`` / ``fetchmany`` / iteration
-    never materialize the full row list up front.  ``results`` exposes
-    every statement's :class:`~repro.query.executor.StatementResult` for
-    non-tabular needs (DDL messages, subgraphs, profiles).
+    Rows are produced in batches as the consumer advances — ``fetchone``
+    / ``fetchmany`` / iteration never materialize the full row list up
+    front.  In-process, batches come from
+    :meth:`~repro.storage.table.Table.iter_batches`; over TCP they are
+    the server's streamed result frames, consumed off the socket on
+    demand.  ``results`` exposes every statement's
+    :class:`~repro.query.executor.StatementResult` for non-tabular needs
+    (DDL messages, subgraphs, profiles).
     """
 
-    def __init__(self, connection: Connection, batch_size: int = 1024) -> None:
+    def __init__(self, connection: Connection, batch_size: int = DEFAULT_BATCH_ROWS) -> None:
         self.connection = connection
         #: default fetchmany size and row-production batch size
         self.arraysize = batch_size
         self.results: Optional[list[StatementResult]] = None
-        self._table: Optional[Table] = None
+        self._exec: Optional[CursorExec] = None
         self._batches: Optional[Iterator[list[Row]]] = None
         self._buffer: list[Row] = []
         self._pos = 0
@@ -287,29 +511,33 @@ class Cursor:
     # ------------------------------------------------------------------
     def execute(
         self,
-        source: "str | PreparedStatement",
+        source: "str | BasePreparedStatement",
         params: Optional[Mapping[str, Any]] = None,
         options: Optional[QueryOptions] = None,
     ) -> "Cursor":
         """Run a script (or a prepared statement) and point the cursor at
         its last table result.  Returns ``self`` for chaining."""
-        if isinstance(source, PreparedStatement):
-            self._install(source.execute(params, options))
+        if isinstance(source, BasePreparedStatement):
+            self._adopt(source._cursor_exec(params, options, self.arraysize))
         else:
-            self._install(self.connection.execute(source, params, options))
+            self._adopt(
+                self.connection._cursor_run(
+                    source, params, options, self.arraysize
+                )
+            )
         return self
 
-    def _install(self, results: list[StatementResult]) -> None:
-        self.results = results
-        self._table = None
-        self._batches = None
+    def _adopt(self, ex: CursorExec) -> None:
+        self._exec = ex
+        self.results = ex.results
+        self._batches = ex.batches
         self._buffer = []
         self._pos = 0
-        for r in reversed(results):
-            if r.kind == StatementKind.TABLE and r.table is not None:
-                self._table = r.table
-                self._batches = r.table.iter_batches(self.arraysize)
-                break
+
+    def _install(self, results: list[StatementResult]) -> None:
+        """Point the cursor at already-materialized results (the
+        in-process prepared-statement path and tests use this)."""
+        self._adopt(CursorExec.from_results(results, self.arraysize))
 
     # ------------------------------------------------------------------
     # Result-set metadata
@@ -317,19 +545,19 @@ class Cursor:
     @property
     def description(self) -> Optional[list[tuple]]:
         """Per-column ``(name, type_ddl)`` of the current result set."""
-        if self._table is None:
-            return None
-        return [(c.name, c.dtype.ddl()) for c in self._table.schema]
+        return self._exec.description if self._exec is not None else None
 
     @property
     def table(self) -> Optional[Table]:
         """The table the cursor is streaming (None without a table
-        result); gives access to the schema for value formatting."""
-        return self._table
+        result).  A remote cursor's table materializes once its stream
+        has fully drained; metadata (:attr:`description`,
+        :attr:`rowcount`) is available immediately."""
+        return self._exec.table if self._exec is not None else None
 
     @property
     def rowcount(self) -> int:
-        return -1 if self._table is None else self._table.num_rows
+        return -1 if self._exec is None else self._exec.rowcount
 
     # ------------------------------------------------------------------
     # Streaming fetch API
@@ -375,7 +603,7 @@ class Cursor:
             return True
         if self._batches is None:
             if self.results is None:
-                raise ExecutionError("no query has been executed on this cursor")
+                raise ClosedError("no query has been executed on this cursor")
             return False  # script produced no table result
         try:
             self._buffer = next(self._batches)
@@ -389,8 +617,10 @@ class Cursor:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self._exec is not None and self._exec.finish is not None:
+            self._exec.finish()
         self.results = None
-        self._table = None
+        self._exec = None
         self._batches = None
         self._buffer = []
         self._pos = 0

@@ -1,0 +1,106 @@
+"""The transport-agnostic ``connect()`` entrypoint (docs/API.md).
+
+One function, three targets, one ``Connection`` ABC back:
+
+* ``connect("graql://host:port")`` dials a TCP server,
+* ``connect("/path/to.db")`` opens (recovering) a durable store,
+* ``connect(db_or_server)`` wraps the in-process engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Connection, Database, LocalConnection, connect
+from repro.errors import ProtocolError
+from repro.net import GraqlServer, RemoteConnection
+from repro.net.client import parse_url
+from tests.conftest import build_social_db
+
+PEOPLE_Q = "select name from table People where age > 30"
+
+
+def test_connect_database_returns_local_connection():
+    conn = connect(build_social_db())
+    assert isinstance(conn, LocalConnection)
+    assert isinstance(conn, Connection)
+    assert conn.execute(PEOPLE_Q)[-1].table.num_rows == 3
+
+
+def test_connect_server_returns_local_connection():
+    db = build_social_db()
+    conn = connect(db.server, transport="ir")
+    assert isinstance(conn, LocalConnection)
+    assert conn.execute(PEOPLE_Q)[-1].table.num_rows == 3
+
+
+def test_connect_path_opens_durable_store(tmp_path):
+    path = str(tmp_path / "shop.db")
+    with connect(path) as conn:
+        assert isinstance(conn, LocalConnection)
+        conn.execute("create table T(id varchar(4))")
+    # closing the connection closed the owned store; reopening recovers
+    with connect(path) as conn:
+        t = conn.execute("select count(*) as n from table T")[-1].table
+        assert [tuple(r) for r in t.iter_rows()] == [(0,)]
+
+
+def test_connect_url_returns_remote_connection():
+    srv = GraqlServer(build_social_db())
+    srv.start()
+    try:
+        with connect(srv.url) as conn:
+            assert isinstance(conn, RemoteConnection)
+            assert isinstance(conn, Connection)
+            assert conn.execute(PEOPLE_Q)[-1].table.num_rows == 3
+    finally:
+        srv.shutdown()
+
+
+def test_all_three_forms_share_the_connection_abc():
+    db = build_social_db()
+    srv = GraqlServer(db)
+    srv.start()
+    try:
+        conns = [connect(db), connect(db.server), connect(srv.url)]
+        for conn in conns:
+            assert isinstance(conn, Connection)
+            cur = conn.cursor(batch_size=2)
+            cur.execute(PEOPLE_Q)
+            assert sorted(r.name for r in cur) == ["Alice", "Carol", "Eve"]
+            conn.close()
+            conn.close()  # idempotent everywhere
+    finally:
+        srv.shutdown()
+
+
+def test_connect_none_is_a_type_error():
+    with pytest.raises(TypeError):
+        connect(None)
+
+
+def test_connect_rejects_malformed_urls():
+    with pytest.raises(ProtocolError, match="host and port"):
+        connect("graql://nohost")
+
+
+def test_connect_refused_port_raises_protocol_error():
+    with pytest.raises(ProtocolError, match="cannot connect"):
+        # port 1 on loopback: nothing listens there
+        connect("graql://127.0.0.1:1", connect_timeout=2.0)
+
+
+def test_connect_unknown_transport_still_rejected():
+    with pytest.raises(ValueError, match="unknown transport"):
+        connect(Database(), transport="carrier-pigeon")
+
+
+def test_connect_kwargs_rejected_for_in_process_targets():
+    with pytest.raises(TypeError):
+        connect(Database(), connect_timeout=1.0)
+
+
+def test_parse_url():
+    assert parse_url("graql://db.example:7687") == ("db.example", 7687)
+    with pytest.raises(ProtocolError, match="not a graql"):
+        parse_url("http://db.example:7687")

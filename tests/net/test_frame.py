@@ -1,0 +1,150 @@
+"""Wire framing: round-trip fidelity and corruption rejection.
+
+The protocol's promise mirrors the WAL's: a frame either decodes to
+exactly what was sent, or raises :class:`~repro.errors.ProtocolError` —
+truncated or bit-flipped bytes are *rejected*, never misparsed into a
+different message.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ProtocolError
+from repro.net.frame import (
+    FRAME_TYPES,
+    FT_BATCH,
+    FT_EXECUTE,
+    FT_HELLO,
+    HEADER_LEN,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+)
+
+# JSON-native payloads as they appear on the wire (no NaN: canonical
+# JSON via json.dumps round-trips it, but equality comparison doesn't)
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+payloads = st.dictionaries(st.text(max_size=16), json_values, max_size=6)
+frame_types = st.sampled_from(sorted(FRAME_TYPES))
+
+
+@given(ftype=frame_types, payload=payloads)
+@settings(max_examples=80, deadline=None)
+def test_round_trip(ftype, payload):
+    blob = encode_frame(ftype, payload)
+    got_type, got_payload, consumed = decode_frame(blob)
+    assert got_type == ftype
+    assert got_payload == json.loads(json.dumps(payload))
+    assert consumed == len(blob)
+
+
+@given(
+    ftype=frame_types,
+    payload=payloads,
+    cut=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=80, deadline=None)
+def test_any_truncation_is_rejected(ftype, payload, cut):
+    blob = encode_frame(ftype, payload)
+    cut = min(cut, len(blob) - 1)
+    with pytest.raises(ProtocolError):
+        decode_frame(blob[:cut])
+
+
+@given(
+    ftype=frame_types,
+    payload=payloads,
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_any_single_bit_flip_is_rejected(ftype, payload, data):
+    """CRC32 over type byte + payload catches a flip *anywhere*: in the
+    type, the length (misaligned checksum window), the checksum itself,
+    or the body."""
+    blob = bytearray(encode_frame(ftype, payload))
+    bit = data.draw(st.integers(min_value=0, max_value=len(blob) * 8 - 1))
+    blob[bit // 8] ^= 1 << (bit % 8)
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(blob))
+
+
+def test_every_bit_flip_of_a_small_frame_exhaustively():
+    blob = encode_frame(FT_HELLO, {"proto": 1, "user": "admin"})
+    for bit in range(len(blob) * 8):
+        mutated = bytearray(blob)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(mutated))
+
+
+@given(frames=st.lists(st.tuples(frame_types, payloads), min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_concatenated_frames_decode_in_sequence(frames):
+    blob = b"".join(encode_frame(t, p) for t, p in frames)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        t, p, offset = decode_frame(blob, offset)
+        decoded.append((t, p))
+    assert decoded == [
+        (t, json.loads(json.dumps(p))) for t, p in frames
+    ]
+
+
+def test_unknown_frame_type_rejected_on_both_sides():
+    with pytest.raises(ProtocolError, match="unknown frame type"):
+        encode_frame(99, {})
+    body = b"{}"
+    crc = zlib.crc32(bytes((99,)) + body)
+    blob = struct.pack("<BII", 99, len(body), crc) + body
+    with pytest.raises(ProtocolError, match="unknown frame type"):
+        decode_frame(blob)
+
+
+def test_oversized_length_rejected_without_allocation():
+    blob = struct.pack("<BII", FT_BATCH, MAX_FRAME_BYTES + 1, 0)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decode_frame(blob)
+
+
+def test_non_object_payload_rejected():
+    body = b"[1,2,3]"
+    crc = zlib.crc32(bytes((FT_EXECUTE,)) + body)
+    blob = struct.pack("<BII", FT_EXECUTE, len(body), crc) + body
+    with pytest.raises(ProtocolError, match="must be an object"):
+        decode_frame(blob)
+
+
+def test_undecodable_payload_rejected():
+    body = b"\xff\xfe not json"
+    crc = zlib.crc32(bytes((FT_EXECUTE,)) + body)
+    blob = struct.pack("<BII", FT_EXECUTE, len(body), crc) + body
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_frame(blob)
+
+
+def test_trailing_garbage_after_valid_frame_is_rejected_not_misparsed():
+    blob = encode_frame(FT_HELLO, {"proto": 1}) + b"\x00\x01\x02"
+    _, _, offset = decode_frame(blob)  # first frame is fine
+    with pytest.raises(ProtocolError):
+        decode_frame(blob, offset)
+
+
+def test_header_len_is_type_length_crc():
+    assert HEADER_LEN == 1 + 4 + 4

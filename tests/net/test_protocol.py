@@ -1,0 +1,134 @@
+"""Message codecs: the wire-error taxonomy, options, and results.
+
+The acceptance bar for errors: every server-side exception crosses the
+wire as a stable code and re-raises client-side as the *same*
+:mod:`repro.errors` class with its attributes intact — never a bare
+``RuntimeError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    GraQLError,
+    IRError,
+    ParseError,
+    ProtocolError,
+    QueryTimeout,
+    ServerBusy,
+    TypeCheckError,
+)
+from repro.net.protocol import (
+    ERROR_CLASSES,
+    decode_error,
+    decode_options,
+    encode_error,
+    encode_options,
+    error_code,
+)
+from repro.obs.options import QueryOptions
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize("code,cls", sorted(ERROR_CLASSES.items()))
+    def test_every_registered_class_round_trips(self, code, cls):
+        exc = cls.__new__(cls)
+        Exception.__init__(exc, f"boom from {code}")
+        payload = encode_error(exc)
+        assert payload["code"] == code
+        back = decode_error(payload)
+        assert type(back) is cls
+        assert str(back) == f"boom from {code}"
+
+    def test_codes_are_stable(self):
+        # the wire contract (docs/NETWORK.md): renaming one of these is
+        # a protocol break, so pin the full mapping
+        assert {code: cls.__name__ for code, cls in ERROR_CLASSES.items()} == {
+            "graql": "GraQLError",
+            "lex": "LexError",
+            "parse": "ParseError",
+            "typecheck": "TypeCheckError",
+            "catalog": "CatalogError",
+            "ingest": "IngestError",
+            "execution": "ExecutionError",
+            "closed": "ClosedError",
+            "plan": "PlanError",
+            "ir": "IRError",
+            "access": "AccessError",
+            "wal": "WalError",
+            "busy": "ServerBusy",
+            "backend": "BackendError",
+            "worker_failed": "WorkerFailed",
+            "comm": "CommFailure",
+            "timeout": "QueryTimeout",
+            "degraded": "DegradedMode",
+            "protocol": "ProtocolError",
+        }
+
+    def test_parse_error_keeps_position_without_doubling_suffix(self):
+        exc = ParseError("expected (, got IDENT", line=3, column=17)
+        original = str(exc)  # already carries "(line 3, column 17)"
+        back = decode_error(encode_error(exc))
+        assert type(back) is ParseError
+        assert str(back) == original
+        assert str(back).count("line 3, column 17") == 1
+        assert back.line == 3 and back.column == 17
+
+    def test_server_busy_keeps_reason(self):
+        back = decode_error(encode_error(ServerBusy("server is at capacity",
+                                                    reason="queue")))
+        assert type(back) is ServerBusy
+        assert back.reason == "queue"
+
+    def test_ir_error_keeps_offset_and_instruction(self):
+        exc = IRError("bad opcode", offset=42, instruction="SCAN")
+        back = decode_error(encode_error(exc))
+        assert back.offset == 42
+        assert back.instruction == "SCAN"
+
+    def test_timeout_crosses_as_query_timeout(self):
+        back = decode_error(encode_error(QueryTimeout("query exceeded 2.0s")))
+        assert type(back) is QueryTimeout
+
+    def test_non_graql_exception_becomes_typed_execution_error(self):
+        back = decode_error(encode_error(ZeroDivisionError("division by zero")))
+        assert type(back) is ExecutionError
+        assert "internal server error" in str(back)
+        assert "ZeroDivisionError" in str(back)
+
+    def test_unknown_code_degrades_to_base_class_not_a_crash(self):
+        back = decode_error({"code": "from_the_future", "message": "hi"})
+        assert type(back) is GraQLError
+        assert str(back) == "hi"
+
+    def test_span_context_is_attached(self):
+        payload = encode_error(ExecutionError("x"), span={"conn": 3, "req": 9})
+        back = decode_error(payload)
+        assert back.remote_span == {"conn": 3, "req": 9}
+
+    def test_error_code_uses_most_specific_class(self):
+        class Custom(ServerBusy):
+            pass
+
+        assert error_code(Custom("x")) == "busy"
+
+
+class TestOptionsCodec:
+    def test_all_defaults_encode_to_none(self):
+        assert encode_options(None) is None
+        assert encode_options(QueryOptions()) is None
+
+    def test_round_trip_non_defaults(self):
+        opts = QueryOptions(direction="backward", trace=True, profile=False)
+        back = decode_options(encode_options(opts))
+        assert back == opts
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown query option"):
+            decode_options({"hyperdrive": True})
+
+    def test_invalid_value_rejected_as_protocol_error(self):
+        with pytest.raises(ProtocolError, match="invalid query options"):
+            decode_options({"direction": "sideways"})
