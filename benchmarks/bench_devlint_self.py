@@ -1,0 +1,39 @@
+"""Devcheck self-scan wall time.
+
+``graql devcheck src/repro`` runs in CI on every push, so its cost is a
+budget, not a curiosity: the whole scan — model build, fixpoint
+summaries, every pass, baseline filtering — must finish in under 10
+seconds (the acceptance bound from the devlint design; in practice it is
+~2s for the ~100-module tree).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.devlint import Baseline, run_devcheck
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = str(REPO_ROOT / "src" / "repro")
+BASELINE = str(REPO_ROOT / "devlint-baseline.json")
+
+BUDGET_SECONDS = 10.0
+
+
+def test_devcheck_self_scan_under_budget(benchmark):
+    def scan():
+        return run_devcheck([SRC], baseline=Baseline.load(BASELINE))
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(scan, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    assert result.diagnostics == [], result.render_text()
+    assert elapsed < BUDGET_SECONDS, (
+        f"devcheck self-scan took {elapsed:.2f}s, budget is "
+        f"{BUDGET_SECONDS:.0f}s"
+    )
+    benchmark.extra_info["files_scanned"] = result.files_scanned
+    benchmark.extra_info["suppressed"] = result.suppressed
+    benchmark.extra_info["budget_seconds"] = BUDGET_SECONDS

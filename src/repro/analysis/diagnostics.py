@@ -93,9 +93,18 @@ def default_hint(code: str) -> Optional[str]:
 
 
 class Diagnostic:
-    """One analyzer finding: code, severity, message, position, hint."""
+    """One analyzer finding: code, severity, message, position, hint.
+
+    The class is registry-parameterized so other analyzers can reuse the
+    rendering/serialization machinery with their own code space: the
+    engine self-analyzer (:mod:`repro.devlint`) subclasses this with its
+    ``GDL0xx`` registry while keeping the exact render and JSON shape.
+    """
 
     __slots__ = ("code", "severity", "message", "span", "hint", "statement_index")
+
+    #: code -> (severity, title, default hint); subclasses override
+    REGISTRY: dict[str, tuple[str, str, Optional[str]]] = CODES
 
     def __init__(
         self,
@@ -105,13 +114,14 @@ class Diagnostic:
         hint: Optional[str] = None,
         statement_index: Optional[int] = None,
     ) -> None:
-        if code not in CODES:
+        registry = type(self).REGISTRY
+        if code not in registry:
             raise ValueError(f"unregistered diagnostic code {code!r}")
         self.code = code
-        self.severity = severity_of(code)
+        self.severity = registry[code][0]
         self.message = message
         self.span = span
-        self.hint = hint if hint is not None else default_hint(code)
+        self.hint = hint if hint is not None else registry[code][2]
         self.statement_index = statement_index
 
     @property
@@ -129,15 +139,17 @@ class Diagnostic:
         return out
 
     def to_dict(self) -> dict[str, Any]:
+        # the key set is pinned (tests/analysis/test_json_schema.py):
+        # "hint" is always present — null when the code carries none —
+        # so JSON consumers can rely on a stable schema
         d: dict[str, Any] = {
             "code": self.code,
             "severity": self.severity,
             "message": self.message,
             "line": self.span.line if self.span else None,
             "column": self.span.column if self.span else None,
+            "hint": self.hint,
         }
-        if self.hint:
-            d["hint"] = self.hint
         if self.statement_index is not None:
             d["statement"] = self.statement_index
         return d

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.catalog import Catalog
+from repro.errors import GraQLError
 from repro.graql.ast import (
     AttrItem,
     CreateEdge,
@@ -237,7 +238,7 @@ def dead_statement_pass(
 
     try:
         effects = statement_effects(script, catalog)
-    except Exception:
+    except GraQLError:
         return []  # a broken statement already produced errors
     out: list[Diagnostic] = []
     n = len(effects)

@@ -164,7 +164,7 @@ class IRVerifier:
                 tname = self._string(where)
                 try:
                     parse_type_name(tname)
-                except Exception:
+                except ValueError:
                     self._fail(f"unknown column type {tname!r}", where)
         elif tag == _ir._T_CREATE_VERTEX:
             self._string(where)

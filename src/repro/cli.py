@@ -45,6 +45,7 @@ statement without running it; ``\\quit`` exits.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Optional
 
@@ -317,6 +318,36 @@ def cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_devcheck(args: argparse.Namespace) -> int:
+    """Self-analyze the engine source; same exit contract as ``check``.
+
+    Parses every ``.py`` file under the given paths and runs the
+    engine-invariant passes (lock order, blocking-under-lock,
+    ack-before-durability, crash-safety hygiene) from
+    :mod:`repro.devlint`.  ``--baseline`` names a reviewed suppression
+    file; stale entries in it are themselves reported (GDL090).
+    """
+    from repro.devlint import Baseline, run_devcheck
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    for path in args.path:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    result = run_devcheck(args.path, baseline=baseline)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    return result.exit_code(strict=args.strict)
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """EXPLAIN ANALYZE a script: plans, then measured profiles."""
     db = (
@@ -558,6 +589,28 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     p_check.add_argument("--scale", type=int, default=200)
     p_check.set_defaults(func=cmd_check)
+
+    p_dev = sub.add_parser(
+        "devcheck",
+        help="self-analyze the engine source for concurrency and "
+        "durability invariant violations (GDL codes)",
+    )
+    p_dev.add_argument(
+        "path", nargs="+", help="files or directories of engine source"
+    )
+    p_dev.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="diagnostic output format",
+    )
+    p_dev.add_argument(
+        "--baseline", metavar="FILE",
+        help="reviewed suppression baseline (JSON; see docs/DEVLINT.md)",
+    )
+    p_dev.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when only warnings are found",
+    )
+    p_dev.set_defaults(func=cmd_devcheck)
 
     p_prof = sub.add_parser(
         "profile", help="explain analyze a script (plans + measured profiles)"

@@ -1,0 +1,28 @@
+"""Engine self-analysis (``graql devcheck``).
+
+PR 3's analyzer checks *scripts*; this package checks the *engine*.
+It parses ``src/repro`` with :mod:`ast` and verifies the invariants the
+concurrent serving, durability and network layers rely on — canonical
+lock order, no blocking calls under exclusive locks, WAL-before-ack,
+crash-exception hygiene, closed-engine guards — reporting stable
+``GDL0xx`` codes with ``file:line:col`` spans and fix-it hints.
+
+See docs/DEVLINT.md for the code table, the canonical lock order and
+the suppression-baseline workflow.
+"""
+
+from repro.devlint.baseline import Baseline, Suppression
+from repro.devlint.diagnostics import GDL_CODES, DevDiagnostic, FileSpan
+from repro.devlint.model import CodeModel
+from repro.devlint.runner import DevlintResult, run_devcheck
+
+__all__ = [
+    "Baseline",
+    "Suppression",
+    "GDL_CODES",
+    "DevDiagnostic",
+    "FileSpan",
+    "CodeModel",
+    "DevlintResult",
+    "run_devcheck",
+]

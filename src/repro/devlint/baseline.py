@@ -1,0 +1,112 @@
+"""The reviewed suppression baseline for ``graql devcheck``.
+
+Some findings are *intentional*: ``DurableStore`` fsyncs under its own
+mutex because that mutex IS the WAL serialization point.  Rather than
+weaken the pass (and miss the same pattern where it is a bug), such
+findings are suppressed by an explicit, commented baseline file that is
+reviewed like code::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"code": "GDL010",
+         "file": "durability/store.py",
+         "symbol": "DurableStore._append",
+         "reason": "fsync-before-ack is the durability contract; ..."}
+      ]
+    }
+
+A suppression matches a finding when the code is equal, the finding's
+path *ends with* ``file`` (so baselines survive checkout-relative vs.
+absolute invocation), and the symbol is equal.  Entries that match
+nothing are themselves reported (GDL090) so the list can only shrink
+with the findings it hides.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.devlint.diagnostics import DevDiagnostic
+
+BASELINE_VERSION = 1
+
+
+class Suppression:
+    __slots__ = ("code", "file", "symbol", "reason", "used")
+
+    def __init__(self, code: str, file: str, symbol: str, reason: str) -> None:
+        self.code = code
+        self.file = file
+        self.symbol = symbol
+        self.reason = reason
+        self.used = False
+
+    def matches(self, diag: DevDiagnostic) -> bool:
+        if diag.code != self.code or diag.symbol != self.symbol:
+            return False
+        path = diag.file or ""
+        norm = path.replace("\\", "/")
+        return norm == self.file or norm.endswith("/" + self.file)
+
+    def __repr__(self) -> str:
+        return f"Suppression({self.code}, {self.file}, {self.symbol})"
+
+
+class Baseline:
+    def __init__(self, suppressions: list[Suppression]) -> None:
+        self.suppressions = suppressions
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline format in {path}; expected "
+                f'{{"version": {BASELINE_VERSION}, "suppressions": [...]}}'
+            )
+        sups = []
+        for i, entry in enumerate(data.get("suppressions", [])):
+            missing = [
+                k for k in ("code", "file", "symbol", "reason")
+                if not entry.get(k)
+            ]
+            if missing:
+                raise ValueError(
+                    f"baseline entry {i} in {path} is missing {missing}; "
+                    f"every suppression must name its code, location and "
+                    f"a review reason"
+                )
+            sups.append(Suppression(
+                entry["code"], entry["file"], entry["symbol"], entry["reason"]
+            ))
+        return cls(sups)
+
+    def filter(
+        self, diagnostics: list[DevDiagnostic]
+    ) -> tuple[list[DevDiagnostic], int]:
+        """(kept findings + GDL090s for stale entries, suppressed count)."""
+        kept: list[DevDiagnostic] = []
+        suppressed = 0
+        for d in diagnostics:
+            match: Optional[Suppression] = None
+            for s in self.suppressions:
+                if s.matches(d):
+                    match = s
+                    break
+            if match is not None:
+                match.used = True
+                suppressed += 1
+            else:
+                kept.append(d)
+        for s in self.suppressions:
+            if not s.used:
+                kept.append(DevDiagnostic(
+                    "GDL090",
+                    f"baseline entry {s.code} at {s.file}:{s.symbol} "
+                    f"suppresses nothing",
+                    symbol=s.symbol,
+                ))
+        return kept, suppressed

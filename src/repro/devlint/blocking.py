@@ -1,0 +1,156 @@
+"""Classification of potentially-blocking and durability operations.
+
+A call is *blocking* when it can stall the calling thread on I/O,
+another thread, or the clock — exactly the operations that must never
+happen while an exclusive lock serializes the whole engine.  The rules
+are receiver-sensitive where names alone are too common (``send``,
+``recv``, ``join``, ``shutdown``): they fire only when the model types
+the receiver as a socket/thread/executor or its name says so.
+
+Condition-variable waits (``wait``/``wait_for``) are deliberately *not*
+blocking here: a Condition releases its mutex while waiting, and lock
+acquisition ordering is the lock-order pass's domain, not this one's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Optional
+
+from repro.devlint.model import EXECUTOR, SOCKET, THREAD, dotted_name
+
+if TYPE_CHECKING:
+    from repro.devlint.model import CodeModel, FunctionInfo
+
+#: resolved dotted callee -> description; always blocking
+_ALWAYS_BLOCKING = {
+    "time.sleep": "time.sleep",
+    "os.fsync": "os.fsync",
+    "os.fdatasync": "os.fdatasync",
+    "select.select": "select.select",
+}
+
+#: method names that block regardless of receiver (no benign homonyms
+#: exist in this tree)
+_METHODS_ALWAYS = {
+    "sendall": "socket sendall",
+    "recv_into": "socket recv_into",
+    "accept": "socket accept",
+    "result": "Future.result",
+}
+
+#: method name -> (description, receiver kinds, receiver-name hints)
+_METHODS_RECEIVER = {
+    "send": ("socket send", (SOCKET,), ("sock", "listener")),
+    "recv": ("socket recv", (SOCKET,), ("sock", "listener")),
+    "connect": ("socket connect", (SOCKET,), ("sock", "listener")),
+    "makefile": ("socket makefile", (SOCKET,), ("sock", "listener")),
+    "join": ("thread join", (THREAD,), ("thread",)),
+    "shutdown": ("executor shutdown", (EXECUTOR,), ("pool", "executor")),
+}
+
+#: attribute-method names that touch the durability layer when the
+#: receiver looks like the WAL/journal/store
+_DURABILITY_METHODS = ("append", "sync", "checkpoint")
+_DURABILITY_RECEIVER_HINTS = ("wal", "writer", "journal", "durab")
+
+
+def _resolved_callee_name(fn: "FunctionInfo", func: ast.expr) -> Optional[str]:
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head = name.split(".")[0]
+    imported = fn.module.imports.get(head)
+    if imported is not None:
+        return imported + name[len(head):]
+    return name
+
+
+def _receiver_matches(
+    model: "CodeModel",
+    fn: "FunctionInfo",
+    recv: ast.expr,
+    kinds: tuple[str, ...],
+    hints: tuple[str, ...],
+) -> bool:
+    t = model.type_of(fn, recv)
+    if t in kinds:
+        return True
+    # fall back to the receiver's own (attribute or variable) name
+    leaf = None
+    if isinstance(recv, ast.Attribute):
+        leaf = recv.attr
+    elif isinstance(recv, ast.Name):
+        leaf = recv.id
+    if leaf is not None:
+        leaf = leaf.lower()
+        return any(h in leaf for h in hints)
+    return False
+
+
+def classify_blocking(
+    model: "CodeModel", fn: "FunctionInfo", call: ast.Call
+) -> Optional[str]:
+    """Description of why *call* blocks, or None."""
+    func = call.func
+    resolved = _resolved_callee_name(fn, func)
+    if resolved is not None:
+        if resolved in _ALWAYS_BLOCKING:
+            return _ALWAYS_BLOCKING[resolved]
+        if resolved.startswith("subprocess."):
+            return f"subprocess ({resolved})"
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        if attr in _METHODS_ALWAYS:
+            return _METHODS_ALWAYS[attr]
+        rule = _METHODS_RECEIVER.get(attr)
+        if rule is not None:
+            desc, kinds, hints = rule
+            if _receiver_matches(model, fn, func.value, kinds, hints):
+                return desc
+    return None
+
+
+def direct_blocking_ops(
+    model: "CodeModel", fn: "FunctionInfo"
+) -> list[tuple[str, ast.AST]]:
+    """Blocking calls appearing directly in *fn*'s body."""
+    out: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            desc = classify_blocking(model, fn, node)
+            if desc is not None:
+                out.append((desc, node))
+    return out
+
+
+def is_durability_call(
+    model: "CodeModel", fn: "FunctionInfo", call: ast.Call
+) -> bool:
+    """True if *call* appends/syncs the WAL or journal directly.
+
+    Receiver-based: ``self._writer.append(...)``, ``wal.sync()``,
+    ``journal.log_*(...)``.  Calls into functions that do this land in
+    the transitive ``durable`` summary instead.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    attr = func.attr
+    if attr not in _DURABILITY_METHODS and not attr.startswith("log_"):
+        return False
+    recv = func.value
+    t = model.type_of(fn, recv)
+    if t is not None and (
+        t.rsplit(".", 1)[-1] in ("WalWriter", "DurableStore")
+    ):
+        return True
+    leaf = None
+    if isinstance(recv, ast.Attribute):
+        leaf = recv.attr
+    elif isinstance(recv, ast.Name):
+        leaf = recv.id
+    if leaf is not None:
+        leaf = leaf.lower().lstrip("_")
+        return any(h in leaf for h in _DURABILITY_RECEIVER_HINTS)
+    return False

@@ -1,0 +1,117 @@
+"""Diagnostic model for the engine self-analyzer (``graql devcheck``).
+
+PR 3 gave *scripts* stable ``GQL0xx`` codes; this registry does the same
+for the *engine's own source*: every invariant the concurrent serving,
+durability, network and dist layers rely on gets a stable ``GDL0xx``
+code, a ``file:line:col`` span, and a fix-it hint.  Codes are part of
+the tool contract (CI and the suppression baseline match on them) and
+are never renumbered, only retired (docs/DEVLINT.md).
+
+The class machinery is reused from :mod:`repro.analysis.diagnostics`:
+:class:`DevDiagnostic` subclasses :class:`~repro.analysis.diagnostics.Diagnostic`
+with this registry and a file-carrying span, keeping render and JSON
+shapes identical between ``graql check`` and ``graql devcheck``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.graql.tokens import SourceSpan
+
+# ----------------------------------------------------------------------
+# Code registry: code -> (severity, title, default fix-it hint or None)
+# ----------------------------------------------------------------------
+
+GDL_CODES: dict[str, tuple[str, str, Optional[str]]] = {
+    # lock discipline (GDL00x)
+    "GDL001": (ERROR, "lock acquired out of canonical order",
+               "acquire locks in the documented hierarchy: catalog RWLock "
+               "-> admission -> plan cache -> durable store -> metrics "
+               "(docs/DEVLINT.md)"),
+    "GDL002": (ERROR, "cyclic lock acquisition order",
+               "two code paths acquire these locks in opposite orders; "
+               "pick one order and restructure the other path"),
+    # blocking under an exclusive lock (GDL01x)
+    "GDL010": (ERROR, "blocking call while holding an exclusive lock",
+               "move the blocking operation outside the guarded region, "
+               "or suppress with a reviewed baseline entry if the block "
+               "is the serialization point by design"),
+    # durability ordering (GDL02x)
+    "GDL020": (ERROR, "acknowledgement precedes durability",
+               "append to the WAL (and fsync per policy) before sending "
+               "or returning the acknowledgement"),
+    # crash-safety hygiene (GDL03x)
+    "GDL030": (ERROR, "handler can swallow process-crash exceptions",
+               "SimulatedCrash and KeyboardInterrupt derive from "
+               "BaseException; re-raise after cleanup or narrow the "
+               "except clause"),
+    "GDL031": (WARNING, "broad handler silently swallows failures",
+               "narrow 'except Exception' to the types the guarded code "
+               "raises, or use the bound exception so the failure is "
+               "observable"),
+    "GDL032": (WARNING, "thread is neither daemon nor joined",
+               "pass daemon=True or join the thread on shutdown so the "
+               "process cannot hang on exit"),
+    "GDL033": (WARNING, "fire-and-forget future discards failures",
+               "keep the future and consume its result (or exception); "
+               "a dropped future swallows worker tracebacks"),
+    "GDL034": (ERROR, "public entry point missing the closed-engine guard",
+               "call self._check_open() first so a closed engine raises "
+               "ClosedError instead of corrupting shut-down state"),
+    # baseline hygiene (GDL09x)
+    "GDL090": (WARNING, "unused baseline suppression",
+               "the suppressed finding no longer occurs; delete the "
+               "baseline entry to keep the suppression list reviewed"),
+}
+
+
+class FileSpan(SourceSpan):
+    """A :class:`SourceSpan` that also carries the source file path."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str, line: int, column: int) -> None:
+        super().__init__(line, column)
+        self.path = path
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+
+class DevDiagnostic(Diagnostic):
+    """One devcheck finding: code, ``file:line:col`` span, symbol, hint.
+
+    ``symbol`` is the qualified name of the enclosing function
+    (``Class.method`` or a module-level function name) — the unit the
+    suppression baseline matches on.
+    """
+
+    __slots__ = ("symbol",)
+
+    REGISTRY = GDL_CODES
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        span: Optional[FileSpan] = None,
+        hint: Optional[str] = None,
+        symbol: Optional[str] = None,
+    ) -> None:
+        super().__init__(code, message, span, hint)
+        self.symbol = symbol
+
+    @property
+    def file(self) -> Optional[str]:
+        return self.span.path if isinstance(self.span, FileSpan) else None
+
+    def to_dict(self) -> dict[str, Any]:
+        d = super().to_dict()
+        d["file"] = self.file
+        d["symbol"] = self.symbol
+        return d
+
+    def __repr__(self) -> str:
+        return f"DevDiagnostic({self.code}, {self.location}, {self.message!r})"

@@ -1,0 +1,155 @@
+"""Lock identification and the engine's canonical acquisition order.
+
+Every lock in the engine is identified by *(owner class, attribute)* —
+``AdmissionController._lock``, ``RWLock._cond`` — plus one synthetic id
+for the catalog :class:`~repro.serve.locks.RWLock` itself (its two
+sides share one id; shared vs. exclusive is tracked per acquisition).
+
+The canonical order (outermost first; docs/DEVLINT.md,
+docs/RELIABILITY.md) is::
+
+    1. catalog RWLock          (serve.locks.RWLock, read or write side)
+    2. AdmissionController._lock
+    3. PlanCache._lock
+    4. DurableStore._lock
+    5. metrics locks           (every class in repro.obs.metrics)
+
+Ranks match on the owner's *class name* (and, for metrics, the module
+suffix), not the full qualname, so the seeded corpus can exercise the
+rule with self-contained snippets.  Locks outside the table are
+*leaves*: they carry no rank (GDL001 never fires for them) but still
+participate in the acquisition graph, where opposite-order pairs are
+reported as cycles (GDL002).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Optional
+
+from repro.devlint.model import CONDITION, LOCK, dotted_name
+
+if TYPE_CHECKING:
+    from repro.devlint.model import CodeModel, FunctionInfo
+
+#: synthetic id for the catalog RWLock (both sides)
+RWLOCK_ID = "RWLock"
+
+#: lock id -> rank (lower = outermost); see module docstring
+_RANKS: dict[str, int] = {
+    RWLOCK_ID: 1,
+    "AdmissionController._lock": 2,
+    "PlanCache._lock": 3,
+    "DurableStore._lock": 4,
+}
+_METRICS_MODULE_SUFFIX = "obs.metrics"
+_METRICS_RANK = 5
+
+#: RWLock API: method -> exclusive?
+_RWLOCK_METHODS = {
+    "read_locked": False,
+    "acquire_read": False,
+    "write_locked": True,
+    "acquire_write": True,
+}
+
+
+class LockAcquisition:
+    """One acquisition event: which lock, exclusive or shared, where."""
+
+    __slots__ = ("lock_id", "exclusive", "node", "rank")
+
+    def __init__(self, lock_id: str, exclusive: bool, node: ast.AST) -> None:
+        self.lock_id = lock_id
+        self.exclusive = exclusive
+        self.node = node
+        self.rank = rank_of(lock_id)
+
+    def __repr__(self) -> str:
+        mode = "excl" if self.exclusive else "shared"
+        return f"LockAcquisition({self.lock_id}, {mode})"
+
+
+def rank_of(lock_id: str) -> Optional[int]:
+    if lock_id in _RANKS:
+        return _RANKS[lock_id]
+    # metrics locks are identified by their owning module
+    owner, _, _attr = lock_id.rpartition(".")
+    if owner.endswith(_METRICS_MODULE_SUFFIX) or lock_id.startswith(
+        _METRICS_MODULE_SUFFIX + "."
+    ):
+        return _METRICS_RANK
+    return None
+
+
+def _lock_id_for_attr(
+    model: "CodeModel", fn: "FunctionInfo", expr: ast.Attribute
+) -> Optional[str]:
+    """Lock id of a plain-mutex attribute expression, or None."""
+    t = model.type_of(fn, expr)
+    if t not in (LOCK, CONDITION):
+        return None
+    owner_t = model.type_of(fn, expr.value)
+    if owner_t is not None:
+        ci = model.classes.get(owner_t)
+        if ci is not None:
+            # metrics classes share one rank; keep the module visible
+            if ci.module.name.endswith(_METRICS_MODULE_SUFFIX):
+                return f"{ci.module.name}.{ci.name}.{expr.attr}"
+            return f"{ci.name}.{expr.attr}"
+        return f"{owner_t}.{expr.attr}"
+    base = dotted_name(expr.value)
+    return f"{base}.{expr.attr}" if base else expr.attr
+
+
+def _is_rwlock_receiver(
+    model: "CodeModel", fn: "FunctionInfo", recv: ast.expr
+) -> bool:
+    t = model.type_of(fn, recv)
+    if t is not None and t.rsplit(".", 1)[-1] == "RWLock":
+        return True
+    leaf = recv.attr if isinstance(recv, ast.Attribute) else (
+        recv.id if isinstance(recv, ast.Name) else None
+    )
+    return leaf is not None and "rwlock" in leaf.lower()
+
+
+def acquisition_of(
+    model: "CodeModel", fn: "FunctionInfo", node: ast.AST
+) -> Optional[LockAcquisition]:
+    """Classify a ``with``-item expression or a call as an acquisition.
+
+    Recognized forms::
+
+        with self._lock:                    # mutex/condition, exclusive
+        with engine.lock.read_locked():     # RWLock shared
+        with engine.lock.write_locked():    # RWLock exclusive
+        self._lock.acquire()                # mutex, exclusive
+        lock.acquire_read() / acquire_write()
+    """
+    if isinstance(node, ast.Attribute):
+        lock_id = _lock_id_for_attr(model, fn, node)
+        if lock_id is not None:
+            return LockAcquisition(lock_id, True, node)
+        return None
+    if isinstance(node, ast.Name):
+        t = model.type_of(fn, node)
+        if t in (LOCK, CONDITION):
+            return LockAcquisition(node.id, True, node)
+        return None
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        attr = node.func.attr
+        if attr in _RWLOCK_METHODS and _is_rwlock_receiver(
+            model, fn, node.func.value
+        ):
+            return LockAcquisition(RWLOCK_ID, _RWLOCK_METHODS[attr], node)
+        if attr == "acquire":
+            if isinstance(node.func.value, ast.Attribute):
+                lock_id = _lock_id_for_attr(model, fn, node.func.value)
+                if lock_id is not None:
+                    return LockAcquisition(lock_id, True, node)
+            elif isinstance(node.func.value, ast.Name):
+                t = model.type_of(fn, node.func.value)
+                if t in (LOCK, CONDITION):
+                    return LockAcquisition(node.func.value.id, True, node)
+    return None

@@ -1,0 +1,483 @@
+"""Semantic model of the ``src/repro`` tree for the devcheck passes.
+
+The passes need more than raw syntax: *what object is this attribute*
+(is ``self._pool`` an executor? is ``self.sock`` a socket?), *which
+function does this call resolve to* (so lock/blocking facts propagate
+through helpers), and *what does each function do transitively*.  This
+module builds that model from plain :mod:`ast`:
+
+* every ``.py`` file is parsed into a :class:`ModuleInfo` with its
+  imports, functions and classes;
+* attribute and local types are inferred from constructor calls
+  (``self._lock = threading.Lock()``), annotations (including
+  ``Optional[T]``) and parameter-annotation propagation
+  (``self.sock = sock`` where ``sock: socket.socket``);
+* call sites are resolved through ``self``, module globals and imports;
+* per-function summaries (blocking operations performed, durability
+  calls made, ``_check_open`` guards hit) are closed transitively with
+  a fixpoint over the call graph.
+
+The inference is deliberately conservative: an unresolvable call or
+untyped receiver contributes nothing, so passes err toward silence and
+the seeded-violation corpus (tests/devlint/corpus) proves each rule
+still fires where it must.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Optional
+
+# builtin "kinds" — coarse types the passes care about, distinct from
+# user-class qualnames (which are dotted and start with "repro.")
+LOCK = "<lock>"
+CONDITION = "<condition>"
+EXECUTOR = "<executor>"
+SOCKET = "<socket>"
+THREAD = "<thread>"
+
+#: constructor call -> builtin kind, keyed by the dotted callee name
+#: as written (resolved through imports before lookup)
+_CONSTRUCTOR_KINDS = {
+    "threading.Lock": LOCK,
+    "threading.RLock": LOCK,
+    "threading.Condition": CONDITION,
+    "threading.Thread": THREAD,
+    "threading.Semaphore": LOCK,
+    "threading.BoundedSemaphore": LOCK,
+    "concurrent.futures.ThreadPoolExecutor": EXECUTOR,
+    "ThreadPoolExecutor": EXECUTOR,
+    "socket.socket": SOCKET,
+    "socket.create_connection": SOCKET,
+}
+
+#: annotation name (last dotted segment chain) -> builtin kind
+_ANNOTATION_KINDS = {
+    "threading.Lock": LOCK,
+    "threading.RLock": LOCK,
+    "threading.Condition": CONDITION,
+    "threading.Thread": THREAD,
+    "Thread": THREAD,
+    "ThreadPoolExecutor": EXECUTOR,
+    "concurrent.futures.ThreadPoolExecutor": EXECUTOR,
+    "socket.socket": SOCKET,
+    "Lock": LOCK,
+    "Condition": CONDITION,
+}
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string, or None for anything fancier."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _unwrap_annotation(node: ast.expr) -> Optional[str]:
+    """Dotted name of an annotation, looking through Optional[...]/str."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        if base in ("Optional", "typing.Optional"):
+            return _unwrap_annotation(node.slice)
+    return dotted_name(node)
+
+
+class FunctionInfo:
+    """One function or method, with its inferred facts."""
+
+    def __init__(
+        self,
+        module: "ModuleInfo",
+        node: ast.FunctionDef,
+        cls: Optional["ClassInfo"],
+    ) -> None:
+        self.module = module
+        self.node = node
+        self.cls = cls
+        self.name = node.name
+        self.qualname = f"{cls.name}.{node.name}" if cls else node.name
+        #: parameter name -> inferred type (kind or class qualname)
+        self.param_types: dict[str, str] = {}
+        #: local variable -> inferred type
+        self.local_types: dict[str, str] = {}
+        #: resolved callees (FunctionInfo), filled by CodeModel
+        self.callees: list["FunctionInfo"] = []
+        # --- transitive summaries (fixpoint in CodeModel) ---
+        #: (description, node) blocking operations performed directly
+        self.blocking: list[tuple[str, ast.AST]] = []
+        #: why this function can block, directly or via callees (None
+        #: when it cannot) — e.g. "os.fsync (via WalWriter.append)"
+        self.blocks_via: Optional[str] = None
+        #: performs a WAL append / fsync-policy durability call
+        self.durable = False
+        #: calls *._check_open() directly
+        self.guards = False
+        self.is_property = any(
+            dotted_name(d) in ("property", "cached_property", "functools.cached_property")
+            for d in node.decorator_list
+        )
+        self.is_contextmanager = any(
+            dotted_name(d) in ("contextmanager", "contextlib.contextmanager")
+            for d in node.decorator_list
+        )
+        self.is_abstract = any(
+            dotted_name(d) in ("abstractmethod", "abc.abstractmethod")
+            for d in node.decorator_list
+        )
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.module.name}:{self.qualname})"
+
+
+class ClassInfo:
+    """One class: its methods and the inferred types of its attributes."""
+
+    def __init__(self, module: "ModuleInfo", node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.qualname = f"{module.name}.{node.name}"
+        self.bases = [dotted_name(b) for b in node.bases]
+        self.methods: dict[str, FunctionInfo] = {}
+        #: attribute name -> inferred type (kind or class qualname)
+        self.attr_types: dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({self.qualname})"
+
+
+class ModuleInfo:
+    """One parsed source file."""
+
+    def __init__(self, path: str, name: str, tree: ast.Module) -> None:
+        self.path = path
+        self.name = name
+        self.tree = tree
+        #: local name -> imported dotted target ("Lock" -> "threading.Lock")
+        self.imports: dict[str, str] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+
+    def __repr__(self) -> str:
+        return f"ModuleInfo({self.name})"
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of *path*.
+
+    Everything up to and including the last ``src/`` segment is
+    stripped, so both ``src/repro/serve/locks.py`` and
+    ``/abs/checkout/src/repro/serve/locks.py`` name ``repro.serve.locks``
+    and cross-file imports resolve identically however the tool was
+    invoked.
+    """
+    norm = path.replace(os.sep, "/")
+    idx = norm.rfind("/src/")
+    if idx >= 0:
+        norm = norm[idx + len("/src/"):]
+    elif norm.startswith("src/"):
+        norm = norm[len("src/"):]
+    norm = norm.strip("/")
+    if norm.endswith(".py"):
+        norm = norm[:-3]
+    parts = [p for p in norm.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class CodeModel:
+    """The whole scanned tree: modules, classes, resolved call graph."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: class qualname -> ClassInfo (also keyed by bare class name when
+        #: unambiguous, for resolving un-imported annotations)
+        self.classes: dict[str, ClassInfo] = {}
+        self._ambiguous_names: set[str] = set()
+        self.functions: list[FunctionInfo] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, files: list[tuple[str, str]]) -> "CodeModel":
+        """Build from ``(display_path, source_text)`` pairs.
+
+        ``display_path`` is what diagnostics render; the dotted module
+        name is derived from it (``src/`` prefixes are stripped).
+        """
+        model = cls()
+        for path, text in files:
+            name = module_name_for(path)
+            try:
+                tree = ast.parse(text, filename=path)
+            except SyntaxError:
+                continue  # not our job; ruff/py compile own syntax
+            mod = ModuleInfo(path, name, tree)
+            model.modules[name] = mod
+            model._collect(mod)
+        model._infer_types()
+        model._resolve_calls()
+        model._summarize()
+        return model
+
+    @classmethod
+    def build_from_paths(cls, paths: list[str]) -> "CodeModel":
+        files: list[tuple[str, str]] = []
+        for p in paths:
+            if os.path.isfile(p):
+                files.append((p, open(p, encoding="utf-8").read()))
+                continue
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        full = os.path.join(dirpath, fn)
+                        files.append((full, open(full, encoding="utf-8").read()))
+        return cls.build(files)
+
+    def _collect(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    mod.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, ast.FunctionDef):
+                    fn = FunctionInfo(mod, node, None)
+                    mod.functions[node.name] = fn
+                    self.functions.append(fn)
+            elif isinstance(node, ast.ClassDef):
+                ci = ClassInfo(mod, node)
+                mod.classes[node.name] = ci
+                self.classes[ci.qualname] = ci
+                if ci.name in self.classes and self.classes[ci.name] is not ci:
+                    self._ambiguous_names.add(ci.name)
+                    del self.classes[ci.name]
+                elif ci.name not in self._ambiguous_names:
+                    self.classes[ci.name] = ci
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        m = FunctionInfo(mod, item, ci)
+                        ci.methods[item.name] = m
+                        self.functions.append(m)
+
+    # ------------------------------------------------------------------
+    # Type inference
+    # ------------------------------------------------------------------
+    def _kind_of_callee(self, mod: ModuleInfo, callee: ast.expr) -> Optional[str]:
+        """Type produced by calling *callee*: builtin kind or class qualname."""
+        name = dotted_name(callee)
+        if name is None:
+            return None
+        head = name.split(".")[0]
+        resolved = name
+        if head in mod.imports:
+            resolved = mod.imports[head] + name[len(head):]
+        if resolved in _CONSTRUCTOR_KINDS:
+            return _CONSTRUCTOR_KINDS[resolved]
+        if name in _CONSTRUCTOR_KINDS:
+            return _CONSTRUCTOR_KINDS[name]
+        # a known class constructor? the defining module's own classes
+        # win over the global bare-name table (which drops ambiguous
+        # names when two modules define the same class)
+        local = mod.classes.get(name)
+        if local is not None:
+            return local.qualname
+        for candidate in (resolved, name, name.split(".")[-1]):
+            ci = self.classes.get(candidate)
+            if ci is not None:
+                return ci.qualname
+        return None
+
+    def _kind_of_annotation(
+        self, mod: ModuleInfo, ann: Optional[ast.expr]
+    ) -> Optional[str]:
+        if ann is None:
+            return None
+        name = _unwrap_annotation(ann)
+        if name is None:
+            return None
+        head = name.split(".")[0]
+        resolved = name
+        if head in mod.imports:
+            resolved = mod.imports[head] + name[len(head):]
+        for candidate in (resolved, name):
+            if candidate in _ANNOTATION_KINDS:
+                return _ANNOTATION_KINDS[candidate]
+        local = mod.classes.get(name)
+        if local is not None:
+            return local.qualname
+        for candidate in (resolved, name, name.split(".")[-1]):
+            ci = self.classes.get(candidate)
+            if ci is not None:
+                return ci.qualname
+        return None
+
+    def _infer_types(self) -> None:
+        for fn in self.functions:
+            mod = fn.module
+            args = fn.node.args
+            for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                t = self._kind_of_annotation(mod, a.annotation)
+                if t:
+                    fn.param_types[a.arg] = t
+            for node in ast.walk(fn.node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                ann: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value, ann = node.target, node.value, node.annotation
+                if target is None:
+                    continue
+                t = self._kind_of_annotation(mod, ann) if ann is not None else None
+                if t is None and isinstance(value, ast.Call):
+                    t = self._kind_of_callee(mod, value.func)
+                if t is None and isinstance(value, ast.Name):
+                    # self.sock = sock  (propagate the param annotation)
+                    t = fn.param_types.get(value.id) or fn.local_types.get(
+                        value.id
+                    )
+                if t is None and isinstance(value, ast.Attribute):
+                    # x = self.attr  (copy the attribute's type)
+                    if (
+                        isinstance(value.value, ast.Name)
+                        and value.value.id == "self"
+                        and fn.cls is not None
+                    ):
+                        t = fn.cls.attr_types.get(value.attr)
+                if t is None:
+                    continue
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and fn.cls is not None
+                ):
+                    fn.cls.attr_types.setdefault(target.attr, t)
+                elif isinstance(target, ast.Name):
+                    fn.local_types.setdefault(target.id, t)
+
+    # ------------------------------------------------------------------
+    # Receiver / call resolution
+    # ------------------------------------------------------------------
+    def type_of(self, fn: FunctionInfo, expr: ast.expr) -> Optional[str]:
+        """Inferred type of *expr* inside *fn* (kind or class qualname)."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and fn.cls is not None:
+                return fn.cls.qualname
+            return fn.local_types.get(expr.id) or fn.param_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base_t = self.type_of(fn, expr.value)
+            if base_t is not None:
+                ci = self.classes.get(base_t)
+                if ci is not None:
+                    return ci.attr_types.get(expr.attr)
+        if isinstance(expr, ast.Call):
+            return self._kind_of_callee(fn.module, expr.func)
+        return None
+
+    def resolve_call(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The FunctionInfo a call lands in, or None when unresolvable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            target = fn.module.functions.get(name)
+            if target is not None:
+                return target
+            imported = fn.module.imports.get(name)
+            if imported is not None:
+                mod_name, _, leaf = imported.rpartition(".")
+                mod = self.modules.get(mod_name)
+                if mod is not None:
+                    return mod.functions.get(leaf)
+            return None
+        if isinstance(func, ast.Attribute):
+            recv_t = self.type_of(fn, func.value)
+            if recv_t is not None:
+                ci = self.classes.get(recv_t)
+                if ci is not None:
+                    return ci.methods.get(func.attr)
+            # module.function() through an import
+            base = dotted_name(func.value)
+            if base is not None:
+                resolved = fn.module.imports.get(base, base)
+                mod = self.modules.get(resolved)
+                if mod is not None:
+                    return mod.functions.get(func.attr)
+        return None
+
+    # ------------------------------------------------------------------
+    # Summaries (fixpoint over the call graph)
+    # ------------------------------------------------------------------
+    def _summarize(self) -> None:
+        from repro.devlint.blocking import direct_blocking_ops, is_durability_call
+
+        for fn in self.functions:
+            fn.blocking = direct_blocking_ops(self, fn)
+            if fn.blocking:
+                fn.blocks_via = fn.blocking[0][0]
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    if is_durability_call(self, fn, node):
+                        fn.durable = True
+                    f = node.func
+                    if isinstance(f, ast.Attribute) and f.attr == "_check_open":
+                        fn.guards = True
+        # transitive closure: blocking/durable/guards flow up call edges
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions:
+                for callee in fn.callees:
+                    if callee.durable and not fn.durable:
+                        fn.durable = True
+                        changed = True
+                    if callee.guards and not fn.guards:
+                        fn.guards = True
+                        changed = True
+                    if callee.blocks_via is not None and fn.blocks_via is None:
+                        root = callee.blocks_via.split(" (via ")[0]
+                        fn.blocks_via = f"{root} (via {callee.qualname})"
+                        changed = True
+
+    def _resolve_calls(self) -> None:
+        for fn in self.functions:
+            seen: set[int] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    target = self.resolve_call(fn, node)
+                    if target is not None and id(target) not in seen:
+                        seen.add(id(target))
+                        fn.callees.append(target)
+
+    # ------------------------------------------------------------------
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        return iter(self.functions)

@@ -1,0 +1,109 @@
+"""``run_devcheck``: scan a tree, run every pass, apply the baseline.
+
+The result object mirrors :class:`repro.analysis.analyzer.AnalysisResult`
+exactly — same ``render_text`` shape, same JSON envelope, same exit-code
+contract (0 clean, 1 warnings under ``--strict``, 2 errors) — so CI
+treats ``graql devcheck`` and ``graql check`` identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.devlint.baseline import Baseline
+from repro.devlint.diagnostics import DevDiagnostic
+from repro.devlint.model import CodeModel
+from repro.devlint.passes import ALL_PASSES
+
+
+class DevlintResult:
+    """Everything one devcheck run found, plus rendering helpers."""
+
+    __slots__ = ("diagnostics", "files_scanned", "suppressed")
+
+    def __init__(
+        self,
+        diagnostics: list[DevDiagnostic],
+        files_scanned: int,
+        suppressed: int = 0,
+    ) -> None:
+        self.diagnostics = diagnostics
+        self.files_scanned = files_scanned
+        self.suppressed = suppressed
+
+    @property
+    def errors(self) -> list[DevDiagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> list[DevDiagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Same contract as ``graql check``: 0 clean, 1 warnings under
+        ``--strict``, 2 errors."""
+        if self.errors:
+            return 2
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        ne, nw = len(self.errors), len(self.warnings)
+        summary = (
+            f"devcheck: {ne} error(s), {nw} warning(s)"
+            if self.diagnostics
+            else "devcheck: clean"
+        )
+        summary += (
+            f" [{self.files_scanned} files, {self.suppressed} suppressed]"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload: dict[str, Any] = {
+            "source": "devcheck",
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=2)
+
+    def __repr__(self) -> str:
+        return (
+            f"DevlintResult(errors={len(self.errors)}, "
+            f"warnings={len(self.warnings)}, files={self.files_scanned})"
+        )
+
+
+def _sort_key(d: DevDiagnostic):
+    return (
+        d.file or "",
+        d.span.line if d.span is not None else 1 << 30,
+        d.span.column if d.span is not None else 0,
+        d.code,
+    )
+
+
+def run_devcheck(
+    paths: list[str], baseline: Optional[Baseline] = None
+) -> DevlintResult:
+    """Run every devcheck pass over the ``.py`` files under *paths*."""
+    model = CodeModel.build_from_paths(paths)
+    diags: list[DevDiagnostic] = []
+    for pass_fn in ALL_PASSES:
+        diags.extend(pass_fn(model))
+    suppressed = 0
+    if baseline is not None:
+        diags, suppressed = baseline.filter(diags)
+    diags.sort(key=_sort_key)
+    return DevlintResult(diags, len(model.modules), suppressed)

@@ -129,7 +129,13 @@ class ServingEngine:
     @property
     def pool(self) -> ThreadPoolExecutor:
         """The worker pool, created on first asynchronous submission
-        (keeps short-lived in-process databases from spawning threads)."""
+        (keeps short-lived in-process databases from spawning threads).
+
+        Raises :class:`~repro.errors.ClosedError` once the engine is
+        closed — recreating the pool after :meth:`close` drained it
+        would leak a zombie executor no one shuts down.
+        """
+        self._check_open()
         with self._pool_lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
@@ -277,10 +283,14 @@ class ServingEngine:
         shut-down pool.  Idempotent.
         """
         self._closed = True
+        # swap the pool out under the lock, drain it outside: shutdown
+        # blocks on in-flight work, and nothing that long may run under
+        # _pool_lock (a concurrent pool-property access would stall
+        # behind the whole drain)
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
         return f"ServingEngine({self.admission!r}, {self.cache!r})"

@@ -8,8 +8,10 @@ stream of cheap selects from starving a schema change: once a writer is
 waiting, new readers queue behind it.
 
 Reentrancy is deliberately *not* supported — a thread that tries to
-upgrade a read hold into a write hold would deadlock against itself, so
-the serving engine is structured to never nest acquisitions.
+upgrade a read hold into a write hold would deadlock against itself.
+Rather than letting that happen silently, the lock tracks which threads
+hold it and **rejects reentrant acquisition with** :class:`RuntimeError`:
+a loud, immediate failure at the nesting site instead of a hung server.
 """
 
 from __future__ import annotations
@@ -27,12 +29,32 @@ class RWLock:
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        # hold tracking for reentrancy rejection: the writer's thread id
+        # and the id of every thread with a read hold.  Only successful
+        # acquisitions register (a timed-out attempt leaves no trace).
+        self._writer_thread: Optional[int] = None
+        self._reader_threads: set[int] = set()
+
+    def _reject_reentrant(self, me: int, side: str) -> None:
+        if self._writer_thread == me:
+            raise RuntimeError(
+                f"reentrant RWLock {side} acquisition: this thread already "
+                f"holds the write side; nesting would self-deadlock"
+            )
+        if me in self._reader_threads:
+            raise RuntimeError(
+                f"reentrant RWLock {side} acquisition: this thread already "
+                f"holds a read hold; nesting would self-deadlock under "
+                f"writer preference"
+            )
 
     # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------
     def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
         with self._cond:
+            self._reject_reentrant(me, "read")
             # writer preference: park behind any waiting writer
             if not self._cond.wait_for(
                 lambda: not self._writer_active and self._writers_waiting == 0,
@@ -40,12 +62,14 @@ class RWLock:
             ):
                 return False
             self._readers += 1
+            self._reader_threads.add(me)
             return True
 
     def release_read(self) -> None:
         with self._cond:
             assert self._readers > 0, "release_read without a read hold"
             self._readers -= 1
+            self._reader_threads.discard(threading.get_ident())
             if self._readers == 0:
                 self._cond.notify_all()
 
@@ -53,7 +77,9 @@ class RWLock:
     # Write side
     # ------------------------------------------------------------------
     def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
         with self._cond:
+            self._reject_reentrant(me, "write")
             self._writers_waiting += 1
             try:
                 if not self._cond.wait_for(
@@ -62,6 +88,7 @@ class RWLock:
                 ):
                     return False
                 self._writer_active = True
+                self._writer_thread = me
                 return True
             finally:
                 self._writers_waiting -= 1
@@ -70,6 +97,7 @@ class RWLock:
         with self._cond:
             assert self._writer_active, "release_write without the write hold"
             self._writer_active = False
+            self._writer_thread = None
             self._cond.notify_all()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Golden schema test for ``graql check --format json``.
+
+The JSON envelope and per-diagnostic key set are a tool contract: CI
+pipelines and editor integrations parse them, so the shape is pinned
+here.  In particular the ``hint`` key is ALWAYS present — ``null`` for
+codes without a default fix-it — so consumers never need existence
+checks.  ``graql devcheck`` emits the same diagnostic shape plus
+``file``/``symbol`` (tests/devlint/test_cli.py).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Analyzer
+from repro.cli import main
+from repro.engine import Database
+
+#: top-level envelope keys, exactly
+ENVELOPE_KEYS = {"source", "errors", "warnings", "diagnostics"}
+#: keys every diagnostic carries; "statement" is additionally present
+#: when the finding is tied to a statement index
+DIAG_KEYS = {"code", "severity", "message", "line", "column", "hint"}
+
+
+def analyze(source: str):
+    return Analyzer(Database().catalog).analyze(source)
+
+
+class TestEnvelope:
+    def test_clean_script(self):
+        payload = json.loads(analyze(
+            "create table T(id varchar(4), n integer)"
+        ).to_json("s.graql"))
+        assert set(payload) == ENVELOPE_KEYS
+        assert payload["source"] == "s.graql"
+        assert payload["errors"] == 0
+        assert payload["warnings"] == 0
+        assert payload["diagnostics"] == []
+
+    def test_diagnostic_key_set_is_pinned(self):
+        payload = json.loads(analyze(
+            "select count(*) as n from table Nope"
+        ).to_json())
+        assert payload["errors"] >= 1
+        for d in payload["diagnostics"]:
+            assert DIAG_KEYS <= set(d) <= DIAG_KEYS | {"statement"}
+
+    def test_hint_present_and_non_null_for_hinted_code(self):
+        # GQL010 (unknown object) carries a default fix-it hint
+        payload = json.loads(analyze(
+            "select count(*) as n from table Nope"
+        ).to_json())
+        d = next(x for x in payload["diagnostics"] if x["code"] == "GQL010")
+        assert isinstance(d["hint"], str) and d["hint"]
+
+    def test_hint_present_and_null_for_unhinted_code(self):
+        # GQL001 (syntax error) has no default hint — key still there
+        payload = json.loads(analyze("select select select").to_json())
+        d = next(x for x in payload["diagnostics"] if x["code"] == "GQL001")
+        assert "hint" in d and d["hint"] is None
+
+    def test_severity_values(self):
+        payload = json.loads(analyze(
+            "select count(*) as n from table Nope"
+        ).to_json())
+        for d in payload["diagnostics"]:
+            assert d["severity"] in ("error", "warning")
+
+
+class TestCliJson:
+    def test_check_format_json_end_to_end(self, tmp_path, capsys):
+        script = tmp_path / "s.graql"
+        script.write_text("select count(*) as n from table Nope")
+        rc = main(["check", "--format", "json", str(script)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 2
+        assert set(payload) == ENVELOPE_KEYS
+        assert payload["source"] == str(script)
+        assert all("hint" in d for d in payload["diagnostics"])

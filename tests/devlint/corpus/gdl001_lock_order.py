@@ -1,0 +1,21 @@
+"""GDL001 trigger: the store lock (rank 4) is held while acquiring the
+plan-cache lock (rank 3) — inner-to-outer, against the canonical order."""
+
+import threading
+
+
+class PlanCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+
+class DurableStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.cache = PlanCache()
+
+    def evict_with_log(self, key):
+        with self._lock:
+            with self.cache._lock:  # GDL001: rank 3 acquired under rank 4
+                self.cache.entries.pop(key, None)

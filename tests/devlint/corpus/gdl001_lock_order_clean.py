@@ -1,0 +1,21 @@
+"""GDL001 clean twin: same locks, acquired outer-to-inner (cache rank 3
+before store rank 4), matching the canonical order."""
+
+import threading
+
+
+class PlanCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+
+class DurableStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.cache = PlanCache()
+
+    def evict_with_log(self, key):
+        with self.cache._lock:
+            with self._lock:  # rank 4 under rank 3: canonical
+                self.cache.entries.pop(key, None)

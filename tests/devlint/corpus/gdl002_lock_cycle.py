@@ -1,0 +1,27 @@
+"""GDL002 trigger: two unranked locks acquired in opposite orders on
+two code paths — classic ABBA deadlock."""
+
+import threading
+
+
+class MessageBus:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.queue = []
+
+
+class Dispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.bus = MessageBus()
+        self.pending = []
+
+    def forward(self, msg):
+        with self._lock:
+            with self.bus._lock:  # order: Dispatcher -> MessageBus
+                self.bus.queue.append(msg)
+
+    def drain(self):
+        with self.bus._lock:
+            with self._lock:  # GDL002: MessageBus -> Dispatcher
+                self.pending.clear()

@@ -1,0 +1,27 @@
+"""GDL002 clean twin: both paths acquire the two locks in the same
+order, so no cycle exists."""
+
+import threading
+
+
+class MessageBus:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.queue = []
+
+
+class Dispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.bus = MessageBus()
+        self.pending = []
+
+    def forward(self, msg):
+        with self._lock:
+            with self.bus._lock:
+                self.bus.queue.append(msg)
+
+    def drain(self):
+        with self._lock:
+            with self.bus._lock:
+                self.pending.clear()

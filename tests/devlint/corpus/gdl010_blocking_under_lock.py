@@ -1,0 +1,22 @@
+"""GDL010 trigger: fsync and sleep while holding an exclusive mutex —
+every other thread needing the lock stalls behind the disk/clock."""
+
+import os
+import threading
+import time
+
+
+class Flusher:
+    def __init__(self, fileno):
+        self._lock = threading.Lock()
+        self.fileno = fileno
+        self.dirty = []
+
+    def flush(self):
+        with self._lock:
+            os.fsync(self.fileno)  # GDL010: disk I/O under the mutex
+            self.dirty.clear()
+
+    def backoff(self):
+        with self._lock:
+            time.sleep(0.01)  # GDL010: clock wait under the mutex

@@ -1,0 +1,24 @@
+"""GDL010 clean twin: the lock only guards the shared-state swap; the
+fsync and the sleep happen outside the critical section."""
+
+import os
+import threading
+import time
+
+
+class Flusher:
+    def __init__(self, fileno):
+        self._lock = threading.Lock()
+        self.fileno = fileno
+        self.dirty = []
+
+    def flush(self):
+        with self._lock:
+            batch, self.dirty = self.dirty, []
+        os.fsync(self.fileno)
+        return batch
+
+    def backoff(self):
+        time.sleep(0.01)
+        with self._lock:
+            self.dirty.clear()

@@ -1,0 +1,14 @@
+"""GDL020 trigger: the result frame goes out before the WAL append —
+a crash between the two acknowledges a statement the log never saw."""
+
+FT_RESULT = 0x03
+
+
+class Session:
+    def __init__(self, frames, wal):
+        self.frames = frames
+        self.wal = wal
+
+    def handle_mutation(self, record, payload):
+        self.frames.send_frame(FT_RESULT, payload)  # GDL020: ack first
+        self.wal.append(record)

@@ -1,0 +1,14 @@
+"""GDL020 clean twin: WAL append strictly precedes the acknowledgement,
+so a crash can only lose an unacknowledged statement."""
+
+FT_RESULT = 0x03
+
+
+class Session:
+    def __init__(self, frames, wal):
+        self.frames = frames
+        self.wal = wal
+
+    def handle_mutation(self, record, payload):
+        self.wal.append(record)
+        self.frames.send_frame(FT_RESULT, payload)

@@ -1,0 +1,25 @@
+"""GDL030 clean twin: cleanup-then-reraise keeps crash exceptions
+propagating; the narrow handler cannot catch them at all."""
+
+
+class Replayer:
+    def replay(self, records):
+        applied = 0
+        for rec in records:
+            try:
+                rec.apply()
+                applied += 1
+            except BaseException:
+                self.rollback(rec)
+                raise  # cleanup only; the crash keeps propagating
+        return applied
+
+    def rollback(self, rec):
+        rec.undo()
+
+    def drain(self, queue):
+        while queue:
+            try:
+                queue.pop()
+            except IndexError:  # narrow: cannot swallow a crash
+                break

@@ -1,0 +1,14 @@
+"""GDL031 trigger: 'except Exception' that neither re-raises nor looks
+at the exception — any failure in the guarded block vanishes."""
+
+
+class StatsRefresher:
+    def __init__(self, backend):
+        self.backend = backend
+        self.stale = False
+
+    def refresh(self):
+        try:
+            self.backend.recompute_statistics()
+        except Exception:  # GDL031: silent, unbounded
+            self.stale = True

@@ -1,0 +1,16 @@
+"""GDL031 clean twin: the broad handler records the failure it caught
+(the binding is used), so nothing disappears silently."""
+
+
+class StatsRefresher:
+    def __init__(self, backend, log):
+        self.backend = backend
+        self.log = log
+        self.stale = False
+
+    def refresh(self):
+        try:
+            self.backend.recompute_statistics()
+        except Exception as e:
+            self.log.warning("stats refresh failed: %s", e)
+            self.stale = True

@@ -1,0 +1,18 @@
+"""GDL032 trigger: a non-daemon thread that no code path ever joins —
+process shutdown hangs until the loop happens to exit."""
+
+import threading
+
+
+class Poller:
+    def __init__(self, source):
+        self.source = source
+        self.worker = None
+
+    def start(self):
+        self.worker = threading.Thread(target=self._loop)  # GDL032
+        self.worker.start()
+
+    def _loop(self):
+        while True:
+            self.source.poll()

@@ -1,0 +1,29 @@
+"""GDL032 clean twin: one thread is daemonized, the other is joined on
+stop(); neither can hang process exit."""
+
+import threading
+
+
+class Poller:
+    def __init__(self, source):
+        self.source = source
+        self.worker = None
+        self.watchdog = None
+        self.stopping = threading.Event()
+
+    def start(self):
+        self.worker = threading.Thread(target=self._loop)
+        self.worker.start()
+        self.watchdog = threading.Thread(target=self._watch, daemon=True)
+        self.watchdog.start()
+
+    def stop(self):
+        self.stopping.set()
+        self.worker.join(timeout=5)
+
+    def _loop(self):
+        while not self.stopping.is_set():
+            self.source.poll()
+
+    def _watch(self):
+        self.stopping.wait()

@@ -1,0 +1,12 @@
+"""GDL033 trigger: the future from submit() is discarded on the spot —
+a traceback inside the worker is lost with it."""
+
+
+class Prefetcher:
+    def __init__(self, pool, loader):
+        self.pool = pool
+        self.loader = loader
+
+    def warm(self, keys):
+        for key in keys:
+            self.pool.submit(self.loader.load, key)  # GDL033

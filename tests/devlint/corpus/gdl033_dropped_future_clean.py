@@ -1,0 +1,12 @@
+"""GDL033 clean twin: futures are kept and their results consumed, so
+worker failures surface at the join point."""
+
+
+class Prefetcher:
+    def __init__(self, pool, loader):
+        self.pool = pool
+        self.loader = loader
+
+    def warm(self, keys):
+        futures = [self.pool.submit(self.loader.load, k) for k in keys]
+        return [f.result() for f in futures]

@@ -1,0 +1,19 @@
+"""GDL034 trigger: a class with a _check_open guard whose public
+mutator never reaches it — it would happily run on a closed store."""
+
+
+class KvStore:
+    def __init__(self):
+        self.data = {}
+        self._closed = False
+
+    def _check_open(self):
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    def put(self, key, value):  # GDL034: no guard on the way in
+        self.data[key] = value
+
+    def close(self):
+        self._closed = True
+        self.data.clear()

@@ -1,0 +1,27 @@
+"""GDL034 clean twin: every public entry point reaches _check_open
+(put directly, get through a guarded helper)."""
+
+
+class KvStore:
+    def __init__(self):
+        self.data = {}
+        self._closed = False
+
+    def _check_open(self):
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    def put(self, key, value):
+        self._check_open()
+        self.data[key] = value
+
+    def get(self, key):
+        return self._lookup(key)
+
+    def _lookup(self, key):
+        self._check_open()
+        return self.data.get(key)
+
+    def close(self):
+        self._closed = True
+        self.data.clear()

@@ -1,0 +1,117 @@
+"""Baseline suppression semantics: matching, stale-entry reporting
+(GDL090), and load-time validation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.devlint import Baseline, DevDiagnostic, Suppression, run_devcheck
+from repro.devlint.diagnostics import FileSpan
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def finding(code="GDL010", file="src/repro/durability/store.py",
+            symbol="DurableStore.sync"):
+    return DevDiagnostic(
+        code,
+        "blocking call under exclusive lock",
+        span=FileSpan(file, 10, 5),
+        symbol=symbol,
+    )
+
+
+class TestMatching:
+    def test_exact_match_suppresses(self):
+        s = Suppression("GDL010", "durability/store.py",
+                        "DurableStore.sync", "reviewed")
+        assert s.matches(finding())
+
+    def test_path_suffix_match(self):
+        s = Suppression("GDL010", "store.py", "DurableStore.sync", "r")
+        assert s.matches(finding())
+        # ...but only on a path-component boundary
+        assert not s.matches(finding(file="src/repro/notstore.py"))
+
+    def test_code_and_symbol_must_match(self):
+        s = Suppression("GDL010", "durability/store.py",
+                        "DurableStore.sync", "r")
+        assert not s.matches(finding(code="GDL020"))
+        assert not s.matches(finding(symbol="DurableStore.close"))
+
+
+class TestFilter:
+    def test_used_entry_suppresses_and_counts(self):
+        b = Baseline([Suppression("GDL010", "durability/store.py",
+                                  "DurableStore.sync", "r")])
+        kept, suppressed = b.filter([finding()])
+        assert kept == [] and suppressed == 1
+
+    def test_stale_entry_becomes_gdl090(self):
+        b = Baseline([Suppression("GDL010", "gone.py", "Gone.f", "r")])
+        kept, suppressed = b.filter([])
+        assert suppressed == 0
+        assert [d.code for d in kept] == ["GDL090"]
+        assert not kept[0].is_error  # warning: list must shrink, not fail CI
+        assert "gone.py" in kept[0].message
+
+    def test_unmatched_finding_is_kept(self):
+        b = Baseline([Suppression("GDL010", "durability/store.py",
+                                  "DurableStore.sync", "r")])
+        other = finding(symbol="DurableStore.checkpoint")
+        kept, suppressed = b.filter([finding(), other])
+        assert kept == [other] and suppressed == 1
+
+
+class TestLoad:
+    def _write(self, tmp_path, payload):
+        p = tmp_path / "baseline.json"
+        p.write_text(json.dumps(payload), encoding="utf-8")
+        return str(p)
+
+    def test_round_trip(self, tmp_path):
+        path = self._write(tmp_path, {
+            "version": 1,
+            "suppressions": [{
+                "code": "GDL010", "file": "durability/store.py",
+                "symbol": "DurableStore.sync", "reason": "reviewed",
+            }],
+        })
+        b = Baseline.load(path)
+        assert len(b.suppressions) == 1
+        assert b.suppressions[0].code == "GDL010"
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"version": 2, "suppressions": []})
+        with pytest.raises(ValueError, match="unsupported baseline format"):
+            Baseline.load(path)
+
+    def test_missing_reason_rejected(self, tmp_path):
+        path = self._write(tmp_path, {
+            "version": 1,
+            "suppressions": [{
+                "code": "GDL010", "file": "f.py", "symbol": "C.m",
+            }],
+        })
+        with pytest.raises(ValueError, match="reason"):
+            Baseline.load(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            Baseline.load(str(tmp_path / "nope.json"))
+
+
+def test_gdl090_surfaces_through_run_devcheck():
+    """End to end: a stale baseline entry shows up as a GDL090 warning in
+    the scan of a clean corpus file."""
+    b = Baseline([Suppression("GDL001", "never_matches.py", "X.y",
+                              "stale on purpose")])
+    result = run_devcheck(
+        [os.path.join(CORPUS, "gdl034_missing_guard_clean.py")], baseline=b
+    )
+    assert [d.code for d in result.diagnostics] == ["GDL090"]
+    assert result.exit_code(strict=False) == 0
+    assert result.exit_code(strict=True) == 1

@@ -1,0 +1,73 @@
+"""``graql devcheck`` CLI: exit codes, JSON envelope, baseline plumbing."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src" / "repro")
+BASELINE = str(REPO_ROOT / "devlint-baseline.json")
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+TRIGGER = os.path.join(CORPUS, "gdl010_blocking_under_lock.py")
+CLEAN = os.path.join(CORPUS, "gdl010_blocking_under_lock_clean.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["devcheck", CLEAN]) == 0
+        assert "devcheck: clean" in capsys.readouterr().out
+
+    def test_errors_exit_two(self, capsys):
+        assert main(["devcheck", TRIGGER]) == 2
+        out = capsys.readouterr().out
+        assert "GDL010" in out
+        assert "2 error(s)" in out
+
+    def test_strict_promotes_warnings(self, capsys):
+        warn = os.path.join(CORPUS, "gdl031_broad_except.py")
+        assert main(["devcheck", warn]) == 0
+        capsys.readouterr()
+        assert main(["devcheck", "--strict", warn]) == 1
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["devcheck", "no/such/dir"]) == 2
+        assert "no/such/dir" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "b.json"
+        bad.write_text('{"version": 99}', encoding="utf-8")
+        assert main(["devcheck", "--baseline", str(bad), CLEAN]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_envelope_shape(self, capsys):
+        rc = main(["devcheck", "--format", "json", TRIGGER])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 2
+        assert payload["source"] == "devcheck"
+        assert payload["files_scanned"] == 1
+        assert payload["errors"] == 2
+        assert payload["warnings"] == 0
+        for d in payload["diagnostics"]:
+            # same keys as `graql check --format json`, plus file/symbol
+            assert set(d) >= {
+                "code", "severity", "message", "hint", "file", "symbol",
+            }
+            assert d["code"] == "GDL010"
+            assert d["severity"] == "error"
+            assert d["hint"]  # fix-it hint is part of the contract
+
+    def test_self_scan_with_baseline_is_clean_json(self, capsys):
+        rc = main([
+            "devcheck", "--format", "json", "--strict",
+            "--baseline", BASELINE, SRC,
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["diagnostics"] == []
+        assert payload["suppressed"] > 0

@@ -1,0 +1,84 @@
+"""Seeded-violation corpus: every GDL code has a snippet that triggers
+it and a clean twin that does not.
+
+Each trigger file is scanned alone, so a pass regression shows up as
+exactly one missing (or one spurious) code, pointing straight at the
+rule that broke.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.devlint import GDL_CODES, run_devcheck
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: code -> (trigger file, expected finding count in it)
+TRIGGERS = {
+    "GDL001": ("gdl001_lock_order.py", 1),
+    "GDL002": ("gdl002_lock_cycle.py", 1),
+    "GDL010": ("gdl010_blocking_under_lock.py", 2),
+    "GDL020": ("gdl020_ack_before_durability.py", 1),
+    "GDL030": ("gdl030_swallow_crash.py", 2),
+    "GDL031": ("gdl031_broad_except.py", 1),
+    "GDL032": ("gdl032_unjoined_thread.py", 1),
+    "GDL033": ("gdl033_dropped_future.py", 1),
+    "GDL034": ("gdl034_missing_guard.py", 1),
+}
+
+
+@pytest.mark.parametrize("code", sorted(TRIGGERS))
+def test_trigger_fires_exactly_its_code(code):
+    fname, expected = TRIGGERS[code]
+    result = run_devcheck([os.path.join(CORPUS, fname)])
+    codes = [d.code for d in result.diagnostics]
+    assert codes.count(code) == expected, result.render_text()
+    # and nothing else: a trigger seeding one violation must not trip
+    # unrelated passes
+    assert set(codes) == {code}, result.render_text()
+
+
+@pytest.mark.parametrize("code", sorted(TRIGGERS))
+def test_clean_twin_is_clean(code):
+    fname, _ = TRIGGERS[code]
+    twin = fname.replace(".py", "_clean.py")
+    result = run_devcheck([os.path.join(CORPUS, twin)])
+    assert result.diagnostics == [], result.render_text()
+
+
+def test_every_registered_code_is_exercised():
+    """GDL090 is baseline-generated (tests/devlint/test_baseline.py);
+    every other code must have a corpus pair."""
+    corpus_codes = set(TRIGGERS) | {"GDL090"}
+    assert corpus_codes == set(GDL_CODES)
+    for code, (fname, _) in TRIGGERS.items():
+        assert os.path.exists(os.path.join(CORPUS, fname)), fname
+        twin = fname.replace(".py", "_clean.py")
+        assert os.path.exists(os.path.join(CORPUS, twin)), twin
+
+
+def test_trigger_findings_carry_spans_symbols_and_hints():
+    for code, (fname, _) in TRIGGERS.items():
+        result = run_devcheck([os.path.join(CORPUS, fname)])
+        for d in result.diagnostics:
+            assert d.file and d.file.endswith(fname)
+            assert d.span is not None and d.span.line > 0
+            assert d.span.column > 0
+            assert d.symbol, f"{code} finding lacks a symbol"
+            assert d.hint, f"{code} finding lacks a fix-it hint"
+            # location renders as file:line:col for editor jumping
+            assert d.location == f"{d.file}:{d.span.line}:{d.span.column}"
+
+
+def test_whole_corpus_scan_matches_per_file_sum():
+    """Scanning the directory at once finds the same violations as the
+    per-file scans (no cross-file contamination either way)."""
+    result = run_devcheck([CORPUS])
+    by_code: dict[str, int] = {}
+    for d in result.diagnostics:
+        by_code[d.code] = by_code.get(d.code, 0) + 1
+    expected = {code: n for code, (_, n) in TRIGGERS.items()}
+    assert by_code == expected

@@ -1,0 +1,202 @@
+"""Unit tests for the devlint semantic model: type inference, call
+resolution, and the transitive summaries."""
+
+from __future__ import annotations
+
+from repro.devlint.model import (
+    CONDITION,
+    EXECUTOR,
+    LOCK,
+    SOCKET,
+    THREAD,
+    CodeModel,
+    module_name_for,
+)
+
+
+def build(src: str, path: str = "m.py") -> CodeModel:
+    return CodeModel.build([(path, src)])
+
+
+class TestModuleNaming:
+    def test_relative_src_path(self):
+        assert module_name_for("src/repro/serve/locks.py") == (
+            "repro.serve.locks"
+        )
+
+    def test_absolute_path_with_src_marker(self):
+        assert module_name_for("/abs/checkout/src/repro/net/frame.py") == (
+            "repro.net.frame"
+        )
+
+    def test_init_collapses_to_package(self):
+        assert module_name_for("src/repro/devlint/__init__.py") == (
+            "repro.devlint"
+        )
+
+
+class TestAttrTypes:
+    def test_constructor_kinds(self):
+        m = build(
+            "import threading\n"
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "import socket\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cond = threading.Condition()\n"
+            "        self._pool = ThreadPoolExecutor(2)\n"
+            "        self._sock = socket.socket()\n"
+            "        self._t = threading.Thread(target=None)\n"
+        )
+        attrs = m.modules["m"].classes["S"].attr_types
+        assert attrs["_lock"] == LOCK
+        assert attrs["_cond"] == CONDITION
+        assert attrs["_pool"] == EXECUTOR
+        assert attrs["_sock"] == SOCKET
+        assert attrs["_t"] == THREAD
+
+    def test_annotation_through_optional(self):
+        m = build(
+            "from typing import Optional\n"
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._pool: Optional[ThreadPoolExecutor] = None\n"
+        )
+        assert m.modules["m"].classes["S"].attr_types["_pool"] == EXECUTOR
+
+    def test_param_annotation_propagates_to_attr(self):
+        m = build(
+            "import socket\n"
+            "class FrameSocket:\n"
+            "    def __init__(self, sock: socket.socket):\n"
+            "        self.sock = sock\n"
+        )
+        assert m.modules["m"].classes["FrameSocket"].attr_types["sock"] == (
+            SOCKET
+        )
+
+    def test_user_class_attr(self):
+        m = build(
+            "class Cache:\n"
+            "    pass\n"
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.cache = Cache()\n"
+        )
+        assert m.modules["m"].classes["Engine"].attr_types["cache"] == (
+            "m.Cache"
+        )
+
+
+class TestCallResolution:
+    def test_self_method(self):
+        m = build(
+            "class A:\n"
+            "    def f(self):\n"
+            "        self.g()\n"
+            "    def g(self):\n"
+            "        pass\n"
+        )
+        f = m.modules["m"].classes["A"].methods["f"]
+        assert [c.qualname for c in f.callees] == ["A.g"]
+
+    def test_typed_receiver_method(self):
+        m = build(
+            "class Cache:\n"
+            "    def lookup(self):\n"
+            "        pass\n"
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.cache = Cache()\n"
+            "    def run(self):\n"
+            "        self.cache.lookup()\n"
+        )
+        run = m.modules["m"].classes["Engine"].methods["run"]
+        assert [c.qualname for c in run.callees] == ["Cache.lookup"]
+
+    def test_module_function_by_bare_name(self):
+        m = build(
+            "def helper():\n"
+            "    pass\n"
+            "def caller():\n"
+            "    helper()\n"
+        )
+        caller = m.modules["m"].functions["caller"]
+        assert [c.qualname for c in caller.callees] == ["helper"]
+
+    def test_cross_module_import(self):
+        m = CodeModel.build([
+            (
+                "src/repro/a.py",
+                "import os\ndef fsyncer(fd):\n    os.fsync(fd)\n",
+            ),
+            (
+                "src/repro/b.py",
+                "from repro.a import fsyncer\n"
+                "def caller(fd):\n    fsyncer(fd)\n",
+            ),
+        ])
+        caller = m.modules["repro.b"].functions["caller"]
+        assert [c.qualname for c in caller.callees] == ["fsyncer"]
+        # and the blocking fact propagated through the edge
+        assert caller.blocks_via == "os.fsync (via fsyncer)"
+
+
+class TestSummaries:
+    def test_blocking_direct_and_transitive(self):
+        m = build(
+            "import time\n"
+            "def leaf():\n"
+            "    time.sleep(1)\n"
+            "def mid():\n"
+            "    leaf()\n"
+            "def top():\n"
+            "    mid()\n"
+        )
+        mod = m.modules["m"]
+        assert mod.functions["leaf"].blocks_via == "time.sleep"
+        assert mod.functions["mid"].blocks_via == "time.sleep (via leaf)"
+        assert mod.functions["top"].blocks_via == "time.sleep (via mid)"
+
+    def test_guard_transitive(self):
+        m = build(
+            "class C:\n"
+            "    def _check_open(self):\n"
+            "        pass\n"
+            "    def _helper(self):\n"
+            "        self._check_open()\n"
+            "    def api(self):\n"
+            "        self._helper()\n"
+        )
+        assert m.modules["m"].classes["C"].methods["api"].guards
+
+    def test_durability_flag_via_receiver_name(self):
+        m = build(
+            "class S:\n"
+            "    def __init__(self, wal):\n"
+            "        self.wal = wal\n"
+            "    def commit(self, rec):\n"
+            "        self.wal.append(rec)\n"
+        )
+        assert m.modules["m"].classes["S"].methods["commit"].durable
+
+    def test_condition_wait_is_not_blocking(self):
+        m = build(
+            "import threading\n"
+            "class G:\n"
+            "    def __init__(self):\n"
+            "        self._cond = threading.Condition()\n"
+            "    def park(self):\n"
+            "        with self._cond:\n"
+            "            self._cond.wait_for(lambda: True)\n"
+        )
+        assert m.modules["m"].classes["G"].methods["park"].blocks_via is None
+
+    def test_syntax_error_file_is_skipped(self):
+        m = CodeModel.build([
+            ("bad.py", "def broken(:\n"),
+            ("good.py", "def ok():\n    pass\n"),
+        ])
+        assert "good" in m.modules and "bad" not in m.modules

@@ -1,11 +1,46 @@
-"""RWLock: shared readers, exclusive writers, writer preference."""
+"""RWLock: shared readers, exclusive writers, writer preference,
+reentrancy rejection, and exception-safety of the guard blocks."""
 
 from __future__ import annotations
 
 import threading
 import time
 
+import pytest
+
 from repro.serve.locks import RWLock
+
+
+def probe_read(lock: RWLock, timeout: float = 0.05) -> bool:
+    """Try a read acquire from a *separate* thread (the lock rejects
+    same-thread reentrant probes by design)."""
+    out: dict[str, bool] = {}
+
+    def attempt() -> None:
+        got = lock.acquire_read(timeout=timeout)
+        out["got"] = got
+        if got:
+            lock.release_read()
+
+    t = threading.Thread(target=attempt)
+    t.start()
+    t.join(timeout=5)
+    return out["got"]
+
+
+def probe_write(lock: RWLock, timeout: float = 0.05) -> bool:
+    out: dict[str, bool] = {}
+
+    def attempt() -> None:
+        got = lock.acquire_write(timeout=timeout)
+        out["got"] = got
+        if got:
+            lock.release_write()
+
+    t = threading.Thread(target=attempt)
+    t.start()
+    t.join(timeout=5)
+    return out["got"]
 
 
 class TestReadSide:
@@ -29,21 +64,41 @@ class TestReadSide:
     def test_acquire_read_timeout_against_writer(self):
         lock = RWLock()
         assert lock.acquire_write()
-        assert lock.acquire_read(timeout=0.05) is False
+        assert probe_read(lock) is False
         lock.release_write()
-        assert lock.acquire_read(timeout=0.05) is True
-        lock.release_read()
+        assert probe_read(lock) is True
+
+    def test_timed_out_read_leaves_no_hold(self):
+        # a failed acquire must not register the thread as a holder:
+        # the same thread retries successfully after the writer leaves
+        lock = RWLock()
+        assert lock.acquire_write()
+        results: list[bool] = []
+
+        def reader():
+            results.append(lock.acquire_read(timeout=0.05))  # times out
+            release.wait(timeout=5)
+            results.append(lock.acquire_read(timeout=5))  # must not raise
+            lock.release_read()
+
+        release = threading.Event()
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.1)
+        lock.release_write()
+        release.set()
+        t.join(timeout=5)
+        assert results == [False, True]
 
 
 class TestWriteSide:
     def test_writer_excludes_readers_and_writers(self):
         lock = RWLock()
         assert lock.acquire_write()
-        assert lock.acquire_write(timeout=0.05) is False
-        assert lock.acquire_read(timeout=0.05) is False
+        assert probe_write(lock) is False
+        assert probe_read(lock) is False
         lock.release_write()
-        assert lock.acquire_write(timeout=0.05) is True
-        lock.release_write()
+        assert probe_write(lock) is True
 
     def test_writer_waits_for_readers_to_drain(self):
         lock = RWLock()
@@ -80,13 +135,12 @@ class TestWriteSide:
         writer_started.wait(timeout=5)
         time.sleep(0.05)  # let the writer reach wait_for and register
         # a new reader must park behind the waiting writer
-        assert lock.acquire_read(timeout=0.05) is False
+        assert probe_read(lock) is False
         lock.release_read()
         assert writer_done.wait(timeout=5)
         t.join(timeout=5)
         # after the writer finishes, readers get in again
-        assert lock.acquire_read(timeout=1) is True
-        lock.release_read()
+        assert probe_read(lock, timeout=1) is True
 
     def test_interleaved_writers_count_correctly(self):
         lock = RWLock()
@@ -104,3 +158,122 @@ class TestWriteSide:
         for t in threads:
             t.join(timeout=30)
         assert counter["n"] == 800
+
+    def test_writer_starvation_bound(self):
+        """Writer preference: a writer waiting behind a steady stream of
+        short readers gets the lock promptly — new readers queue behind
+        it instead of extending the read phase forever."""
+        lock = RWLock()
+        stop = threading.Event()
+        writer_acquired = threading.Event()
+
+        def churn_reader():
+            while not stop.is_set():
+                got = lock.acquire_read(timeout=0.2)
+                if got:
+                    time.sleep(0.001)
+                    lock.release_read()
+
+        readers = [threading.Thread(target=churn_reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        time.sleep(0.05)  # readers are churning
+
+        t0 = time.monotonic()
+        assert lock.acquire_write(timeout=5), "writer starved by readers"
+        waited = time.monotonic() - t0
+        writer_acquired.set()
+        lock.release_write()
+        stop.set()
+        for t in readers:
+            t.join(timeout=5)
+        # preference means the wait is bounded by the in-flight readers
+        # draining, not by the arrival rate; 1s is orders of magnitude
+        # above the ~1ms read holds
+        assert waited < 1.0, f"writer waited {waited:.3f}s under churn"
+
+
+class TestReentrancyRejection:
+    def test_read_then_read_same_thread_raises(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        with pytest.raises(RuntimeError, match="reentrant"):
+            lock.acquire_read(timeout=0.05)
+        lock.release_read()
+        # after releasing, the same thread may acquire again
+        assert lock.acquire_read()
+        lock.release_read()
+
+    def test_write_then_write_same_thread_raises(self):
+        lock = RWLock()
+        assert lock.acquire_write()
+        with pytest.raises(RuntimeError, match="write side"):
+            lock.acquire_write(timeout=0.05)
+        lock.release_write()
+        assert lock.acquire_write()
+        lock.release_write()
+
+    def test_read_to_write_upgrade_raises(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        with pytest.raises(RuntimeError, match="read hold"):
+            lock.acquire_write(timeout=0.05)
+        lock.release_read()
+
+    def test_write_then_read_same_thread_raises(self):
+        lock = RWLock()
+        assert lock.acquire_write()
+        with pytest.raises(RuntimeError, match="write side"):
+            lock.acquire_read(timeout=0.05)
+        lock.release_write()
+
+    def test_context_manager_nesting_raises(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError, match="reentrant"):
+                with lock.write_locked():
+                    pass  # pragma: no cover
+        # the rejected attempt must not have broken the lock
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_rejection_does_not_affect_other_threads(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        with pytest.raises(RuntimeError):
+            lock.acquire_read()
+        # another thread still shares the read side normally
+        assert probe_read(lock) is True
+        lock.release_read()
+
+
+class TestExceptionSafety:
+    def test_read_lock_released_on_exception(self):
+        lock = RWLock()
+        with pytest.raises(ValueError):
+            with lock.read_locked():
+                raise ValueError("boom")
+        # the hold is gone: a writer gets in immediately
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_write_lock_released_on_exception(self):
+        lock = RWLock()
+        with pytest.raises(ValueError):
+            with lock.write_locked():
+                raise ValueError("boom")
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_same_thread_can_reacquire_after_exception(self):
+        # the holder bookkeeping must be rolled back with the hold,
+        # otherwise the thread would be spuriously rejected forever
+        lock = RWLock()
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                with lock.write_locked():
+                    raise ValueError("boom")
+            with lock.read_locked():
+                pass

@@ -111,12 +111,35 @@ def test_mixed_select_ddl_ingest_stress():
 def test_concurrent_async_submissions_through_pool():
     """The worker-pool path: many async submits against one server."""
     db = _build_db()
+    futures = [db.server.submit_async("admin", PEOPLE_Q) for _ in range(16)]
+    results = [f.result(timeout=60) for f in futures]
+    assert [r[0].table.num_rows for r in results] == [3] * 16
+    db.server.serving.close()
+
+
+def test_submit_work_runs_callback_under_read_lock():
+    """``submit_work`` callbacks run *inside* the catalog lock, so they
+    must not re-enter the engine (the RWLock rejects the nested
+    acquisition rather than risking a self-deadlock under writer
+    preference).  A callback that reads shared state directly works."""
+    db = _build_db()
     serving = db.server.serving
     futures = [
-        serving.submit_work("admin", False, lambda: db.query(PEOPLE_Q).num_rows)
-        for _ in range(16)
+        serving.submit_work(
+            "admin", False, lambda: "People" in db.catalog.tables
+        )
+        for _ in range(8)
     ]
-    assert [f.result(timeout=60) for f in futures] == [3] * 16
+    assert [f.result(timeout=60) for f in futures] == [True] * 8
+    # a callback that re-enters the engine is rejected loudly instead
+    # of deadlocking
+    bad = serving.submit_work("admin", False, lambda: db.query(PEOPLE_Q))
+    try:
+        bad.result(timeout=60)
+    except RuntimeError as e:
+        assert "reentrant" in str(e)
+    else:  # pragma: no cover
+        raise AssertionError("nested engine re-entry was not rejected")
     serving.close()
 
 
