@@ -96,6 +96,13 @@ from repro.durability import (
     VerifyReport,
     verify_store,
 )
+from repro.engine.introspect import (
+    EdgeTypeInfo,
+    IndexInfo,
+    SchemaReport,
+    TableInfo,
+    VertexTypeInfo,
+)
 from repro.engine.session import Database
 from repro.engine.server import Server, User
 from repro.obs import MetricsRegistry, QueryOptions, QueryProfile, Tracer
@@ -144,6 +151,11 @@ __all__ = [
     "DEFAULT_BATCH_ROWS",
     "StatementKind",
     "StatementResult",
+    "SchemaReport",
+    "TableInfo",
+    "VertexTypeInfo",
+    "EdgeTypeInfo",
+    "IndexInfo",
     "Row",
     "Table",
     "ServerBusy",

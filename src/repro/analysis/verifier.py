@@ -49,6 +49,8 @@ _STMT_TAGS = {
     _ir._T_INGEST: "ingest",
     _ir._T_GRAPH_SELECT: "graph select",
     _ir._T_TABLE_SELECT: "table select",
+    _ir._T_CREATE_INDEX: "create index",
+    _ir._T_DROP_INDEX: "drop index",
 }
 
 #: upper bound on any single collection count in a statement's IR; real
@@ -190,6 +192,22 @@ class IRVerifier:
         elif tag == _ir._T_INGEST:
             self._resolve("table", self._string(where), where)
             self._string(where)
+        elif tag == _ir._T_CREATE_INDEX:
+            self._string(where)  # index name
+            target = self._string(where)
+            if self.catalog is not None and not (
+                self.catalog.is_vertex(target) or self.catalog.is_edge(target)
+            ):
+                self._fail(f"unknown vertex or edge type {target!r}", where)
+            nattrs = self._count(where)
+            if nattrs == 0:
+                self._fail("index has no attributes", where)
+            for _ in range(nattrs):
+                self._string(where)
+        elif tag == _ir._T_DROP_INDEX:
+            name = self._string(where)
+            if self.catalog is not None and not self.catalog.is_index(name):
+                self._fail(f"unknown index {name!r}", where)
         elif tag == _ir._T_GRAPH_SELECT:
             self._items(where)
             self._pattern(where)

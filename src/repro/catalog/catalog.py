@@ -15,8 +15,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.catalog.stats import DegreeStats, distinct_count
+from repro.catalog.stats import (
+    STATS_STALENESS_FRAC,
+    ColumnStats,
+    DegreeStats,
+    build_column_stats,
+    distinct_count,
+)
 from repro.errors import CatalogError
+from repro.storage.column import Column
 from repro.storage.schema import Schema
 
 
@@ -54,6 +61,49 @@ class VertexMeta:
         self.num_vertices = num_vertices
         #: per-attribute distinct-value counts for selectivity estimation
         self.distinct_counts = distinct_counts
+        #: lazily-built per-attribute :class:`ColumnStats`; populated on
+        #: first planner request and carried across refreshes while fresh
+        self._stats_cache: dict[str, ColumnStats] = {}
+        #: callable ``name -> (vid-aligned array, dtype)`` bound to the
+        #: live vertex view at refresh time; None for scratch metas
+        self._stats_provider = None
+
+    def column_stats(self, attr: str) -> Optional[ColumnStats]:
+        """Histogram statistics for one attribute, built on first use.
+
+        Cached stats are reused until the vertex count has drifted past
+        :data:`~repro.catalog.stats.STATS_STALENESS_FRAC` of the rows
+        they were built over; then they are recollected from the live
+        view.  Returns None when no live view is attached (scratch
+        catalogs during static analysis).
+        """
+        cached = self._stats_cache.get(attr)
+        if cached is not None:
+            drift = abs(self.num_vertices - cached.built_rows)
+            if drift <= STATS_STALENESS_FRAC * max(cached.built_rows, 1):
+                return cached
+        if self._stats_provider is None:
+            return cached
+        if not self.attr_schema.has(attr):
+            return None
+        arr, dtype = self._stats_provider(attr)
+        stats = build_column_stats(arr, Column(dtype, arr).null_mask())
+        self._stats_cache[attr] = stats
+        return stats
+
+    def all_column_stats(self) -> dict[str, ColumnStats]:
+        """Stats for every attribute that already has them (no building)."""
+        return dict(self._stats_cache)
+
+    def stats_freshness(self) -> Optional[float]:
+        """Largest row-count drift fraction across collected stats, or
+        None when no stats have been collected yet (0.0 == fully fresh)."""
+        if not self._stats_cache:
+            return None
+        return max(
+            abs(self.num_vertices - cs.built_rows) / max(cs.built_rows, 1)
+            for cs in self._stats_cache.values()
+        )
 
     def __repr__(self) -> str:
         return f"VertexMeta({self.name!r}, n={self.num_vertices})"
@@ -82,6 +132,30 @@ class EdgeMeta:
         return f"EdgeMeta({self.name!r}, {self.source_type}->{self.target_type}, m={self.num_edges})"
 
 
+class IndexMeta:
+    """Metadata for one secondary attribute index (``create index``)."""
+
+    def __init__(
+        self,
+        name: str,
+        target: str,
+        target_kind: str,
+        attrs: tuple[str, ...],
+        num_entries: int,
+    ) -> None:
+        self.name = name
+        #: indexed vertex or edge type name
+        self.target = target
+        #: ``"vertex"`` or ``"edge"``
+        self.target_kind = target_kind
+        self.attrs = tuple(attrs)
+        self.num_entries = num_entries
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.attrs)
+        return f"IndexMeta({self.name!r} on {self.target}({cols}))"
+
+
 class Catalog:
     """Snapshot of all database-object metadata."""
 
@@ -93,6 +167,7 @@ class Catalog:
         self.tables: dict[str, TableMeta] = {}
         self.vertices: dict[str, VertexMeta] = {}
         self.edges: dict[str, EdgeMeta] = {}
+        self.indexes: dict[str, IndexMeta] = {}
         self.subgraphs: dict[str, dict[str, int]] = {}
         #: monotonically increasing version, bumped on every metadata
         #: change (refresh or targeted registration).  The serving
@@ -135,7 +210,7 @@ class Catalog:
                     )
                 else:
                     distincts[cdef.name] = distinct_count(arr)
-            vertices[name] = VertexMeta(
+            vm = VertexMeta(
                 name,
                 vt.key_cols,
                 vt.table.name,
@@ -144,6 +219,13 @@ class Catalog:
                 vt.num_vertices,
                 distincts,
             )
+            vm._stats_provider = vt.attribute_array
+            prev = self.vertices.get(name)
+            if prev is not None:
+                # carry collected stats forward; column_stats() drops any
+                # entry whose row drift exceeds the staleness threshold
+                vm._stats_cache = dict(prev._stats_cache)
+            vertices[name] = vm
         edges: dict[str, EdgeMeta] = {}
         for name, et in db.edge_types.items():
             idx = db.indexes[name]
@@ -156,6 +238,10 @@ class Catalog:
                 et.num_edges,
                 stats,
             )
+        indexes = {
+            name: IndexMeta(name, gi.target_name, gi.kind, tuple(gi.attrs), gi.num_entries)
+            for name, gi in getattr(db, "attr_indexes", {}).items()
+        }
         subgraphs = {
             name: {k: len(v) for k, v in sg.vertices.items()}
             for name, sg in db.subgraphs.items()
@@ -164,6 +250,7 @@ class Catalog:
         self.tables = tables
         self.vertices = vertices
         self.edges = edges
+        self.indexes = indexes
         self.subgraphs = subgraphs
         self.epoch += 1
 
@@ -185,6 +272,7 @@ class Catalog:
         cat.tables = dict(self.tables)
         cat.vertices = dict(self.vertices)
         cat.edges = dict(self.edges)
+        cat.indexes = dict(self.indexes)
         cat.subgraphs = {name: dict(v) for name, v in self.subgraphs.items()}
         cat.epoch = self.epoch
         return cat
@@ -241,6 +329,21 @@ class Catalog:
                 hint = " (it is a vertex type; an edge type is required here)"
             raise CatalogError(f"unknown edge type {name!r}{hint}")
         return self.edges[name]
+
+    def index(self, name: str) -> IndexMeta:
+        if name not in self.indexes:
+            existing = ", ".join(sorted(self.indexes)) or "none"
+            raise CatalogError(
+                f"unknown index {name!r} (existing indexes: {existing})"
+            )
+        return self.indexes[name]
+
+    def indexes_on(self, target: str) -> list[IndexMeta]:
+        """All secondary indexes over one vertex/edge type."""
+        return [im for im in self.indexes.values() if im.target == target]
+
+    def is_index(self, name: str) -> bool:
+        return name in self.indexes
 
     def is_vertex(self, name: str) -> bool:
         return name in self.vertices

@@ -374,6 +374,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
     except GraQLError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
+    if args.indexes:
+        report = db.schema()
+        if not report.indexes:
+            print("(no indexes)")
+        for info in report.indexes:
+            print(info.describe())
+        return 0
     print(db.render_metrics(), end="")
     return 0
 
@@ -399,7 +406,7 @@ def _repl(db: Database, limit: int) -> int:
         "GraQL REPL — terminate a statement with an empty line; "
         "\\explain <stmt> shows plans; \\profile <stmt> runs explain "
         "analyze; \\check <stmt> analyzes without running; "
-        "\\stats prints metrics; \\quit to exit"
+        "\\stats prints metrics; \\di lists indexes; \\quit to exit"
     )
     conn = db.connect()  # one serving-layer connection for the session
     buffer: list[str] = []
@@ -444,6 +451,14 @@ def _repl(db: Database, limit: int) -> int:
             elif stripped == "\\subgraphs":
                 for name in sorted(db.catalog.subgraphs):
                     print(f"  {name}")
+            elif stripped == "\\di":
+                report = db.schema()
+                if not report.indexes:
+                    print("  (no indexes)")
+                for info in report.indexes:
+                    print(f"  {info.describe()}")
+            elif stripped == "\\schema":
+                print(db.schema())
             else:
                 print(f"unknown command {stripped!r}")
             continue
@@ -640,6 +655,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="run against a demo dataset instead of an empty database",
     )
     p_stats.add_argument("--scale", type=int, default=200)
+    p_stats.add_argument(
+        "--indexes",
+        action="store_true",
+        help="print secondary-index + statistics state instead of metrics",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_repl = sub.add_parser("repl", help="interactive session (empty database)")

@@ -35,7 +35,14 @@ from repro.errors import WalError
 from repro.graph.edge_index import BidirectionalIndex
 from repro.graph.graphdb import GraphDB
 from repro.graph.subgraph import Subgraph
-from repro.graql.ast import CreateEdge, CreateTable, CreateVertex, VertexEndpoint
+from repro.graql.ast import (
+    CreateEdge,
+    CreateIndex,
+    CreateTable,
+    CreateVertex,
+    DropIndex,
+    VertexEndpoint,
+)
 from repro.graql.parser import parse_script
 from repro.graql.pretty import pretty_statement
 from repro.storage.schema import ColumnDef, Schema
@@ -134,6 +141,10 @@ def edge_ddl(et) -> str:
     )
 
 
+def index_ddl(gi) -> str:
+    return pretty_statement(CreateIndex(gi.name, gi.target_name, list(gi.attrs)))
+
+
 def _parse_one(source: str):
     try:
         script = parse_script(source)
@@ -163,6 +174,10 @@ def apply_ddl(db: GraphDB, source: str) -> None:
             stmt.from_tables,
             stmt.where,
         )
+    elif isinstance(stmt, CreateIndex):
+        db.create_attr_index(stmt.name, stmt.target, stmt.attrs)
+    elif isinstance(stmt, DropIndex):
+        db.drop_attr_index(stmt.name)
     else:
         raise WalError(f"corrupt DDL payload: not a DDL statement: {source!r}")
 
@@ -217,6 +232,7 @@ def snapshot_payload(
         ],
         "vertices": [vertex_ddl(vt) for vt in db.vertex_types.values()],
         "edges": [edge_ddl(et) for et in db.edge_types.values()],
+        "indexes": [index_ddl(gi) for gi in db.attr_indexes.values()],
         "subgraphs": [subgraph_payload(sg) for sg in db.subgraphs.values()],
     }
 
@@ -245,6 +261,8 @@ def restore_snapshot(payload: dict[str, Any]) -> tuple[GraphDB, list[tuple[str, 
     for source in payload["vertices"]:
         apply_ddl(db, source)
     for source in payload["edges"]:
+        apply_ddl(db, source)
+    for source in payload.get("indexes", []):
         apply_ddl(db, source)
     for data in payload.get("subgraphs", []):
         db.register_subgraph(subgraph_from_payload(data))
@@ -301,6 +319,7 @@ def flush_rebuilds(db: GraphDB, dirty: set[str]) -> None:
     if not dirty:
         return
     stale_vertices = set()
+    stale_edges = set()
     for vt in db.vertex_types.values():
         if vt.table.name in dirty:
             vt.refresh()
@@ -314,6 +333,10 @@ def flush_rebuilds(db: GraphDB, dirty: set[str]) -> None:
         ):
             et.refresh()
             db.indexes[et.name] = BidirectionalIndex(et)
+            stale_edges.add(et.name)
+    for gi in db.attr_indexes.values():
+        if gi.target_name in stale_vertices or gi.target_name in stale_edges:
+            gi.rebuild()
     dirty.clear()
 
 
@@ -356,6 +379,10 @@ def state_fingerprint(
                 "tgt": [int(v) for v in et.tgt_vids],
             }
             for et in db.edge_types.values()
+        },
+        "indexes": {
+            gi.name: {"ddl": index_ddl(gi), "entries": int(gi.num_entries)}
+            for gi in db.attr_indexes.values()
         },
         "subgraphs": {
             name: subgraph_payload(sg) for name, sg in db.subgraphs.items()

@@ -325,6 +325,12 @@ class DurableStore:
     def on_create_edge(self, et) -> None:
         self.log_ddl(st.edge_ddl(et))
 
+    def on_create_index(self, gi) -> None:
+        self.log_ddl(st.index_ddl(gi))
+
+    def on_drop_index(self, name: str) -> None:
+        self.log_ddl(f"drop index {name}")
+
     def on_ingest(self, table, start_row: int) -> None:
         self.log_ingest(table.name, st.table_csv(table, start=start_row))
 

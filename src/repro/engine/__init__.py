@@ -14,8 +14,28 @@ multi-statement dependence DAG that decides which statements of a script
 can execute in parallel.
 """
 
+from repro.engine.introspect import (
+    EdgeTypeInfo,
+    IndexInfo,
+    SchemaReport,
+    TableInfo,
+    VertexTypeInfo,
+    schema_report,
+)
 from repro.engine.scheduler import ScriptSchedule, build_schedule
 from repro.engine.server import Server, User
 from repro.engine.session import Database
 
-__all__ = ["Database", "Server", "User", "ScriptSchedule", "build_schedule"]
+__all__ = [
+    "Database",
+    "Server",
+    "User",
+    "ScriptSchedule",
+    "build_schedule",
+    "SchemaReport",
+    "TableInfo",
+    "VertexTypeInfo",
+    "EdgeTypeInfo",
+    "IndexInfo",
+    "schema_report",
+]

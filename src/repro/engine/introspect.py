@@ -1,0 +1,258 @@
+"""Typed schema introspection: ``Database.schema()``.
+
+A frozen snapshot of the catalog as plain dataclasses — what tools and
+tests should consume instead of poking at :class:`~repro.catalog.Catalog`
+internals.  Mirrors the :class:`~repro.query.explain.ExplainReport`
+conventions: ``str(report)`` / ``to_text()`` is the human rendering,
+``to_json()`` the pinned machine schema, and ``in`` searches the text.
+
+The index entries carry the planner-facing statistics state
+(:meth:`~repro.catalog.catalog.VertexMeta.stats_freshness`): which
+attributes have collected histograms and how far the row count has
+drifted since — the numbers behind the cost-based access-path choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.catalog import Catalog
+
+__all__ = [
+    "ColumnInfo",
+    "TableInfo",
+    "VertexTypeInfo",
+    "EdgeTypeInfo",
+    "IndexInfo",
+    "SchemaReport",
+    "schema_report",
+]
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One attribute: name plus its DDL type spelling."""
+
+    name: str
+    dtype: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {"name": self.name, "dtype": self.dtype}
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    name: str
+    columns: tuple[ColumnInfo, ...]
+    num_rows: int
+    derived: bool
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "columns": [c.to_json() for c in self.columns],
+            "num_rows": self.num_rows,
+            "derived": self.derived,
+        }
+
+
+@dataclass(frozen=True)
+class VertexTypeInfo:
+    name: str
+    table: Optional[str]
+    key: tuple[str, ...]
+    attrs: tuple[ColumnInfo, ...]
+    num_vertices: int
+    #: attributes with collected column statistics (NDV + histogram)
+    stats_attrs: tuple[str, ...] = ()
+    #: worst row-count drift fraction across those stats (None = none yet)
+    stats_freshness: Optional[float] = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "table": self.table,
+            "key": list(self.key),
+            "attrs": [c.to_json() for c in self.attrs],
+            "num_vertices": self.num_vertices,
+            "stats_attrs": list(self.stats_attrs),
+            "stats_freshness": self.stats_freshness,
+        }
+
+
+@dataclass(frozen=True)
+class EdgeTypeInfo:
+    name: str
+    source: str
+    target: str
+    attrs: tuple[ColumnInfo, ...]
+    num_edges: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "target": self.target,
+            "attrs": [c.to_json() for c in self.attrs],
+            "num_edges": self.num_edges,
+        }
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    name: str
+    target: str
+    target_kind: str
+    attrs: tuple[str, ...]
+    num_entries: int
+    #: freshness of the target type's column stats (planner inputs)
+    stats_freshness: Optional[float] = None
+
+    def describe(self) -> str:
+        cols = ", ".join(self.attrs)
+        fresh = (
+            "no stats"
+            if self.stats_freshness is None
+            else f"stats drift {self.stats_freshness:.0%}"
+        )
+        return (
+            f"{self.name} on {self.target}({cols}) "
+            f"[{self.num_entries} entries, {fresh}]"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "target_kind": self.target_kind,
+            "attrs": list(self.attrs),
+            "num_entries": self.num_entries,
+            "stats_freshness": self.stats_freshness,
+        }
+
+
+@dataclass(frozen=True)
+class SchemaReport:
+    """Everything the catalog knows, frozen at snapshot time."""
+
+    tables: tuple[TableInfo, ...] = ()
+    vertex_types: tuple[VertexTypeInfo, ...] = ()
+    edge_types: tuple[EdgeTypeInfo, ...] = ()
+    indexes: tuple[IndexInfo, ...] = ()
+    subgraphs: tuple[str, ...] = ()
+
+    def index(self, name: str) -> Optional[IndexInfo]:
+        """Look up one index by name, or None."""
+        return next((i for i in self.indexes if i.name == name), None)
+
+    def to_text(self) -> str:
+        lines = []
+        if self.tables:
+            lines.append("tables:")
+            for t in self.tables:
+                tag = " [derived]" if t.derived else ""
+                lines.append(
+                    f"  {t.name} ({len(t.columns)} columns, "
+                    f"{t.num_rows} rows){tag}"
+                )
+        if self.vertex_types:
+            lines.append("vertex types:")
+            for v in self.vertex_types:
+                stats = (
+                    f", stats on {', '.join(v.stats_attrs)}"
+                    if v.stats_attrs
+                    else ""
+                )
+                lines.append(
+                    f"  {v.name} <- {v.table or '?'}"
+                    f"({', '.join(v.key)}) "
+                    f"({v.num_vertices} instances{stats})"
+                )
+        if self.edge_types:
+            lines.append("edge types:")
+            for e in self.edge_types:
+                lines.append(
+                    f"  {e.name}: {e.source} -> {e.target} "
+                    f"({e.num_edges} edges)"
+                )
+        if self.indexes:
+            lines.append("indexes:")
+            for i in self.indexes:
+                lines.append(f"  {i.describe()}")
+        if self.subgraphs:
+            lines.append("subgraphs:")
+            for name in self.subgraphs:
+                lines.append(f"  {name}")
+        return "\n".join(lines) if lines else "(empty catalog)"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "tables": [t.to_json() for t in self.tables],
+            "vertex_types": [v.to_json() for v in self.vertex_types],
+            "edge_types": [e.to_json() for e in self.edge_types],
+            "indexes": [i.to_json() for i in self.indexes],
+            "subgraphs": list(self.subgraphs),
+        }
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __contains__(self, fragment: str) -> bool:
+        return fragment in self.to_text()
+
+
+def schema_report(catalog: Catalog) -> SchemaReport:
+    """Snapshot a :class:`Catalog` into a :class:`SchemaReport`."""
+    tables = tuple(
+        TableInfo(
+            name,
+            tuple(ColumnInfo(c.name, c.dtype.ddl()) for c in m.schema),
+            m.num_rows,
+            m.derived,
+        )
+        for name, m in sorted(catalog.tables.items())
+    )
+    vertex_types = tuple(
+        VertexTypeInfo(
+            name,
+            m.table,
+            tuple(m.key_cols),
+            tuple(ColumnInfo(c.name, c.dtype.ddl()) for c in m.attr_schema),
+            m.num_vertices,
+            tuple(sorted(m.all_column_stats())),
+            m.stats_freshness(),
+        )
+        for name, m in sorted(catalog.vertices.items())
+    )
+    edge_types = tuple(
+        EdgeTypeInfo(
+            name,
+            m.source_type,
+            m.target_type,
+            tuple(ColumnInfo(c.name, c.dtype.ddl()) for c in m.attr_schema),
+            m.num_edges,
+        )
+        for name, m in sorted(catalog.edges.items())
+    )
+    indexes = []
+    for name, im in sorted(catalog.indexes.items()):
+        vm = catalog.vertices.get(im.target)
+        freshness = vm.stats_freshness() if vm is not None else None
+        indexes.append(
+            IndexInfo(
+                name,
+                im.target,
+                im.target_kind,
+                tuple(im.attrs),
+                im.num_entries,
+                freshness,
+            )
+        )
+    return SchemaReport(
+        tables,
+        vertex_types,
+        edge_types,
+        tuple(indexes),
+        tuple(sorted(catalog.subgraphs)),
+    )

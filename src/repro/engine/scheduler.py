@@ -32,8 +32,10 @@ from repro.catalog import Catalog
 from repro.graph.graphdb import GraphDB
 from repro.graql.ast import (
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
+    DropIndex,
     GraphSelect,
     Ingest,
     PathAtom,
@@ -143,6 +145,11 @@ def _analyze(
             # atomic ingest rebuilds every dependent view
             for v in table_views.get(stmt.table, set()):
                 eff.writes.add(("view", v))
+        elif isinstance(stmt, CreateIndex):
+            eff.reads.add(("view", stmt.target))
+            eff.writes.add(("index", stmt.name))
+        elif isinstance(stmt, DropIndex):
+            eff.writes.add(("index", stmt.name))
         elif isinstance(stmt, TableSelect):
             eff.reads.add(("table", stmt.source))
             if stmt.into is not None:

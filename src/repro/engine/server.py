@@ -37,8 +37,10 @@ from repro.errors import AccessError
 from repro.graph.graphdb import GraphDB
 from repro.graql.ast import (
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
+    DropIndex,
     GraphSelect,
     Ingest,
     Script,
@@ -195,7 +197,10 @@ class Server:
         return program
 
     def _check_rights(self, username: str, stmt) -> None:
-        if isinstance(stmt, (CreateTable, CreateVertex, CreateEdge, Ingest)):
+        if isinstance(
+            stmt,
+            (CreateTable, CreateVertex, CreateEdge, CreateIndex, DropIndex, Ingest),
+        ):
             self._require(username, ROLE_WRITER)
         elif isinstance(stmt, (GraphSelect, TableSelect)):
             if stmt.into is not None:

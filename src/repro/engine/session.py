@@ -352,25 +352,45 @@ class Database:
         params: Optional[Mapping[str, Any]] = None,
         mode: str = "plan",
         options: Optional[QueryOptions] = None,
-    ) -> str:
-        """The plan the engine would execute, as indented text.
+    ) -> "ExplainReport":
+        """The plan the engine would execute, as a structured report.
+
+        Returns an :class:`~repro.query.explain.ExplainReport` — a
+        frozen tree of plan nodes.  ``str(report)`` /
+        ``report.to_text()`` is the classic indented text;
+        ``report.to_json()`` the machine-readable schema; ``in`` checks
+        search the text.
 
         ``mode="plan"`` (default) is static: strategy choice, per-atom
-        sweep directions with both directions' cost estimates, per-step
+        sweep directions with both directions' cost estimates, the
+        anchor access path (``access: index-seek(I) est=...``), per-step
         cardinalities/selectivities, relational operator pipelines, and
         the script's dependence schedule.  ``mode="analyze"`` *executes*
-        the script and appends each statement's measured
+        the script and attaches each statement's measured
         :class:`~repro.obs.QueryProfile` (stage timings, estimated vs.
-        actual cardinalities, index hits, dist counters) to the plan
-        text.  ``options.explain`` set to ``"analyze"`` selects the
-        same thing.  A statement answered from the plan cache shows a
-        ``cache: hit`` line in its profile block.
+        actual cardinalities, index hits, dist counters) to the report.
+        ``options.explain`` set to ``"analyze"`` selects the same thing.
+        A statement answered from the plan cache shows a ``cache: hit``
+        line in its profile block.
         """
-        from repro.query.explain import explain_analyze, explain_script
+        from repro.query.explain import explain_analyze, explain_report
 
         if mode == "analyze" or (options is not None and options.wants_analyze):
             return explain_analyze(self, graql, params, options)
-        return explain_script(graql, self.catalog, params)
+        hints = options.hints if options is not None else None
+        return explain_report(graql, self.catalog, params, hints)
+
+    def schema(self) -> "SchemaReport":
+        """Typed snapshot of the catalog: tables, vertex/edge types,
+        secondary indexes (with statistics freshness), subgraphs.
+
+        Returns a frozen :class:`~repro.engine.introspect.SchemaReport`;
+        ``str(report)`` renders the ``\\di``-style listing, and
+        ``report.to_json()`` the machine form.
+        """
+        from repro.engine.introspect import schema_report
+
+        return schema_report(self.catalog)
 
     def render_metrics(self) -> str:
         """Prometheus text exposition of everything this database counted."""

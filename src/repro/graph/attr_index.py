@@ -1,0 +1,66 @@
+"""Named secondary indexes over vertex/edge attributes (``create index``).
+
+A :class:`GraphAttrIndex` binds an index name to a target vertex or edge
+type and an attribute column list, and owns the range-capable
+:class:`~repro.storage.indexes.AttributeIndex` built over the target's
+vid/eid-aligned attribute arrays.  The index is maintained exactly like
+the bidirectional edge indexes: :meth:`rebuild` runs inside
+``GraphDB._rebuild_dependents`` whenever an ingest refreshed the target
+view, so lookups are never stale.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.graph.edge import EdgeType
+from repro.graph.vertex import VertexType
+from repro.storage.column import Column
+from repro.storage.indexes import AttributeIndex
+
+KIND_VERTEX = "vertex"
+KIND_EDGE = "edge"
+
+
+class GraphAttrIndex:
+    """One built ``create index I on V(a, ...)`` object."""
+
+    def __init__(
+        self,
+        name: str,
+        target: Union[VertexType, EdgeType],
+        attrs: list[str],
+    ) -> None:
+        self.name = name
+        self.target = target
+        self.attrs = list(attrs)
+        self.kind = KIND_VERTEX if isinstance(target, VertexType) else KIND_EDGE
+        self.index: AttributeIndex = self._build()
+
+    def _build(self) -> AttributeIndex:
+        arrays = []
+        masks = []
+        for a in self.attrs:
+            arr, dtype = self.target.attribute_array(a)
+            arrays.append(arr)
+            masks.append(Column(dtype, arr).null_mask())
+        return AttributeIndex(arrays, masks)
+
+    def rebuild(self) -> None:
+        """Re-derive the index after the target view refreshed."""
+        self.index = self._build()
+
+    @property
+    def target_name(self) -> str:
+        return self.target.name
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.index)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.attrs)
+        return (
+            f"GraphAttrIndex({self.name!r} on {self.target.name}({cols}), "
+            f"entries={self.num_entries})"
+        )

@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import CatalogError
+from repro.graph.attr_index import GraphAttrIndex
 from repro.graph.edge import EdgeType
 from repro.graph.edge_index import BidirectionalIndex
 from repro.graph.subgraph import Subgraph
@@ -41,6 +42,8 @@ class GraphDB:
         self.vertex_types: dict[str, VertexType] = {}
         self.edge_types: dict[str, EdgeType] = {}
         self.indexes: dict[str, BidirectionalIndex] = {}
+        #: named secondary attribute indexes (``create index`` DDL)
+        self.attr_indexes: dict[str, GraphAttrIndex] = {}
         self.subgraphs: dict[str, Subgraph] = {}
         #: names of tables created by 'into table' (overwritable results)
         self.derived_tables: set[str] = set()
@@ -117,6 +120,41 @@ class GraphDB:
         if self.journal is not None:
             self.journal.on_create_edge(et)
         return et
+
+    def create_attr_index(self, name: str, target: str, attrs: list[str]) -> GraphAttrIndex:
+        """Build a named secondary index over a vertex/edge type's attributes."""
+        if name in self.attr_indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        if name in self.tables or name in self.vertex_types or name in self.edge_types:
+            raise CatalogError(f"name {name!r} already in use")
+        if target in self.vertex_types:
+            obj = self.vertex_types[target]
+        elif target in self.edge_types:
+            obj = self.edge_types[target]
+        else:
+            raise CatalogError(
+                f"unknown vertex or edge type {target!r} to index"
+            )
+        for a in attrs:
+            obj.attribute_type(a)  # raises with the view's own hint
+        gi = GraphAttrIndex(name, obj, attrs)
+        self.attr_indexes[name] = gi
+        if self.journal is not None:
+            self.journal.on_create_index(gi)
+        return gi
+
+    def drop_attr_index(self, name: str) -> None:
+        if name not in self.attr_indexes:
+            raise CatalogError(f"unknown index {name!r}")
+        del self.attr_indexes[name]
+        if self.journal is not None:
+            self.journal.on_drop_index(name)
+
+    def attr_index(self, name: str) -> GraphAttrIndex:
+        try:
+            return self.attr_indexes[name]
+        except KeyError:
+            raise CatalogError(f"unknown index {name!r}") from None
 
     # ------------------------------------------------------------------
     # Lookup
@@ -212,6 +250,7 @@ class GraphDB:
             if vt.table.name == table_name:
                 vt.refresh()
                 refreshed_vertices.add(vt.name)
+        refreshed_edges = set()
         for et in self.edge_types.values():
             deps = self._edge_dependencies(et)
             if (
@@ -221,6 +260,10 @@ class GraphDB:
             ):
                 et.refresh()
                 self.indexes[et.name] = BidirectionalIndex(et)
+                refreshed_edges.add(et.name)
+        for gi in self.attr_indexes.values():
+            if gi.target_name in refreshed_vertices or gi.target_name in refreshed_edges:
+                gi.rebuild()
 
     # ------------------------------------------------------------------
     # Query results

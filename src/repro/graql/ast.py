@@ -161,6 +161,30 @@ class CreateEdge(Statement):
         self.where = where
 
 
+class CreateIndex(Statement):
+    """``create index Name on Target(attr, ...)``.
+
+    ``target`` names a vertex or edge type; the attribute list is the
+    index key (leading-column order matters for range seeks).
+    """
+
+    __slots__ = ("name", "target", "attrs")
+
+    def __init__(self, name: str, target: str, attrs: Sequence[str]) -> None:
+        self.name = name
+        self.target = target
+        self.attrs = list(attrs)
+
+
+class DropIndex(Statement):
+    """``drop index Name``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
 class Ingest(Statement):
     """``ingest table Name file.csv`` (Section II-A2, atomic)."""
 

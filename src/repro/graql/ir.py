@@ -24,8 +24,10 @@ from repro.graql.ast import (
     AggItem,
     AttrItem,
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
+    DropIndex,
     EdgeStep,
     GraphSelect,
     Ingest,
@@ -58,6 +60,8 @@ _T_CREATE_EDGE = 0x03
 _T_INGEST = 0x04
 _T_GRAPH_SELECT = 0x05
 _T_TABLE_SELECT = 0x06
+_T_CREATE_INDEX = 0x07
+_T_DROP_INDEX = 0x08
 _T_PATH_ATOM = 0x10
 _T_PATH_AND = 0x11
 _T_PATH_OR = 0x12
@@ -466,6 +470,16 @@ def _enc_statement(w: _Writer, stmt: Statement) -> None:
         for t in stmt.from_tables:
             w.string(t)
         _enc_expr(w, stmt.where)
+    elif isinstance(stmt, CreateIndex):
+        w.tag(_T_CREATE_INDEX)
+        w.string(stmt.name)
+        w.string(stmt.target)
+        w.u32(len(stmt.attrs))
+        for a in stmt.attrs:
+            w.string(a)
+    elif isinstance(stmt, DropIndex):
+        w.tag(_T_DROP_INDEX)
+        w.string(stmt.name)
     elif isinstance(stmt, Ingest):
         w.tag(_T_INGEST)
         w.string(stmt.table)
@@ -538,6 +552,13 @@ def _dec_statement(r: _Reader) -> Statement:
             tables,
             where,
         )
+    if t == _T_CREATE_INDEX:
+        name = r.string()
+        target = r.string()
+        n = r.u32()
+        return CreateIndex(name, target, [r.string() for _ in range(n)])
+    if t == _T_DROP_INDEX:
+        return DropIndex(r.string())
     if t == _T_INGEST:
         table = r.string()
         return Ingest(table, r.string())

@@ -45,10 +45,12 @@ from repro.graql.ast import (
     AggItem,
     AttrItem,
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
     DIR_IN,
     DIR_OUT,
+    DropIndex,
     EdgeStep,
     GraphSelect,
     Ingest,
@@ -88,7 +90,7 @@ from repro.storage.expr import (
 )
 from repro.storage.schema import ColumnDef, Schema
 
-_STATEMENT_STARTERS = ("create", "ingest", "select")
+_STATEMENT_STARTERS = ("create", "drop", "ingest", "select")
 _AGG_FUNCS = ("count", "sum", "avg", "min", "max")
 
 
@@ -186,12 +188,14 @@ class Parser:
         tok = self.peek()
         if tok.is_keyword("create"):
             return self._spanned(self._parse_create(), tok)
+        if tok.is_keyword("drop"):
+            return self._spanned(self._parse_drop(), tok)
         if tok.is_keyword("ingest"):
             return self._spanned(self._parse_ingest(), tok)
         if tok.is_keyword("select"):
             return self._spanned(self._parse_select(), tok)
         raise self.error(
-            f"expected statement (create/ingest/select), got {tok.value!r}"
+            f"expected statement (create/drop/ingest/select), got {tok.value!r}"
         )
 
     # ------------------------------------------------------------------
@@ -205,7 +209,27 @@ class Parser:
             return self._parse_create_vertex()
         if self.match_kw("edge"):
             return self._parse_create_edge()
-        raise self.error("expected 'table', 'vertex' or 'edge' after 'create'")
+        if self.match_kw("index"):
+            return self._parse_create_index()
+        raise self.error(
+            "expected 'table', 'vertex', 'edge' or 'index' after 'create'"
+        )
+
+    def _parse_create_index(self) -> CreateIndex:
+        name = self.expect_ident("index name")
+        self.expect_kw("on")
+        target = self.expect_ident("vertex or edge type name")
+        self.expect(T.LPAREN)
+        attrs = [self.expect_ident("attribute name")]
+        while self.match(T.COMMA):
+            attrs.append(self.expect_ident("attribute name"))
+        self.expect(T.RPAREN)
+        return CreateIndex(name, target, attrs)
+
+    def _parse_drop(self) -> Statement:
+        self.expect_kw("drop")
+        self.expect_kw("index")
+        return DropIndex(self.expect_ident("index name"))
 
     def _parse_create_table(self) -> CreateTable:
         name = self.expect_ident("table name")

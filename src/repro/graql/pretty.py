@@ -12,9 +12,11 @@ from repro.graql.ast import (
     AggItem,
     AttrItem,
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
     DIR_OUT,
+    DropIndex,
     EdgeStep,
     GraphSelect,
     Ingest,
@@ -209,6 +211,11 @@ def pretty_statement(stmt: Statement) -> str:
         if stmt.where is not None:
             out += f"\nwhere {pretty_expr(stmt.where)}"
         return out
+    if isinstance(stmt, CreateIndex):
+        attrs = ", ".join(stmt.attrs)
+        return f"create index {stmt.name} on {stmt.target}({attrs})"
+    if isinstance(stmt, DropIndex):
+        return f"drop index {stmt.name}"
     if isinstance(stmt, Ingest):
         path = stmt.path
         if any(c in path for c in " '\"") or path == "":

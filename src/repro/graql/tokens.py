@@ -54,6 +54,9 @@ KEYWORDS = frozenset(
         "is",
         "null",
         "ingest",
+        "index",
+        "on",
+        "drop",
         "select",
         "into",
         "subgraph",

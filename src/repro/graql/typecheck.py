@@ -33,9 +33,11 @@ from repro.graql.ast import (
     AggItem,
     AttrItem,
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
     DIR_OUT,
+    DropIndex,
     EdgeStep,
     GraphSelect,
     Ingest,
@@ -255,6 +257,10 @@ def check_statement(stmt: Statement, catalog: Catalog, collector: Optional[list]
             _check_create_vertex(stmt, catalog)
         elif isinstance(stmt, CreateEdge):
             _check_create_edge(stmt, catalog)
+        elif isinstance(stmt, CreateIndex):
+            _check_create_index(stmt, catalog)
+        elif isinstance(stmt, DropIndex):
+            catalog.index(stmt.name)  # raises with a fix-it listing
         else:
             assert isinstance(stmt, Ingest)
             catalog.table(stmt.table)
@@ -342,6 +348,15 @@ def _apply_ddl_to_catalog(stmt: Statement, catalog: Catalog) -> None:
             0,
             empty_stats,
         )
+    elif isinstance(stmt, CreateIndex):
+        from repro.catalog.catalog import IndexMeta
+
+        kind = "vertex" if catalog.is_vertex(stmt.target) else "edge"
+        catalog.indexes[stmt.name] = IndexMeta(
+            stmt.name, stmt.target, kind, tuple(stmt.attrs), 0
+        )
+    elif isinstance(stmt, DropIndex):
+        catalog.indexes.pop(stmt.name, None)
     elif isinstance(stmt, (GraphSelect, TableSelect)) and stmt.into is not None:
         if stmt.into.kind == INTO_TABLE:
             # result schema depends on execution; register a marker so a
@@ -407,6 +422,31 @@ def _check_create_vertex(stmt: CreateVertex, catalog: Catalog) -> None:
             return table.schema.type_of(name)
 
         _check_bool(infer_type(stmt.where, resolve), f"vertex {stmt.name!r}")
+
+
+def _check_create_index(stmt: CreateIndex, catalog: Catalog) -> None:
+    if (
+        catalog.is_table(stmt.name)
+        or catalog.is_vertex(stmt.name)
+        or catalog.is_edge(stmt.name)
+        or catalog.is_index(stmt.name)
+    ):
+        raise TypeCheckError(f"name {stmt.name!r} already in use")
+    if catalog.is_vertex(stmt.target):
+        schema = catalog.vertex(stmt.target).attr_schema
+    elif catalog.is_edge(stmt.target):
+        schema = catalog.edge(stmt.target).attr_schema
+    else:
+        raise TypeCheckError(
+            f"index {stmt.name!r}: unknown vertex or edge type {stmt.target!r}"
+        )
+    for a in stmt.attrs:
+        if not schema.has(a):
+            raise TypeCheckError(
+                f"index {stmt.name!r}: {stmt.target!r} has no attribute {a!r}"
+            )
+    if len(set(stmt.attrs)) != len(stmt.attrs):
+        raise TypeCheckError(f"index {stmt.name!r}: duplicate attributes")
 
 
 def _check_create_edge(stmt: CreateEdge, catalog: Catalog) -> None:

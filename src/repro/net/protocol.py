@@ -159,6 +159,8 @@ def encode_options(options: Optional[QueryOptions]) -> Optional[dict[str, Any]]:
         for f in dataclass_fields(options)
         if getattr(options, f.name) != f.default
     }
+    if "hints" in out:
+        out["hints"] = out["hints"].to_payload()
     return out or None
 
 
@@ -172,7 +174,12 @@ def decode_options(payload: Optional[Mapping[str, Any]]) -> Optional[QueryOption
             f"unknown query option(s) on the wire: {', '.join(sorted(unknown))}"
         )
     try:
-        return QueryOptions(**dict(payload))
+        fields = dict(payload)
+        if fields.get("hints") is not None:
+            from repro.obs.options import Hints
+
+            fields["hints"] = Hints(**dict(fields["hints"]))
+        return QueryOptions(**fields)
     except (TypeError, ValueError) as e:
         raise ProtocolError(f"invalid query options on the wire: {e}") from None
 

@@ -25,6 +25,7 @@ from repro.obs.metrics import (
 from repro.obs.options import (
     DEFAULT_OPTIONS,
     REMOVED_MSG,
+    Hints,
     QueryOptions,
     reject_legacy_kwargs,
     resolve_options,
@@ -39,6 +40,7 @@ from repro.obs.trace import Span, Tracer
 
 __all__ = [
     "QueryOptions",
+    "Hints",
     "resolve_options",
     "reject_legacy_kwargs",
     "DEFAULT_OPTIONS",

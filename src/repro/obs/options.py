@@ -21,6 +21,63 @@ from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Union
 
 _DIRECTIONS = (None, "forward", "backward")
+
+
+def _name_tuple(value: Union[None, str, tuple, list], field: str) -> tuple[str, ...]:
+    """Normalize a hint field to a tuple of index names."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, (tuple, list)) and all(isinstance(v, str) for v in value):
+        return tuple(value)
+    raise ValueError(
+        f"{field} must be an index name or a sequence of index names, "
+        f"got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Hints:
+    """Planner hints: pin or forbid secondary-index access paths.
+
+    ``use_index`` forces the named indexes to be used for any anchor step
+    they are applicable to, overriding the cost model; ``no_index``
+    forbids them (an empty tuple forbids nothing — pass every index name,
+    or use :data:`NO_INDEXES`, to force full scans).  Index names are
+    validated when the query is planned: an unknown name raises
+    :class:`~repro.errors.PlanError` listing the indexes that do exist.
+    """
+
+    use_index: tuple[str, ...] = ()
+    no_index: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "use_index", _name_tuple(self.use_index, "use_index")
+        )
+        object.__setattr__(
+            self, "no_index", _name_tuple(self.no_index, "no_index")
+        )
+        overlap = set(self.use_index) & set(self.no_index)
+        if overlap:
+            raise ValueError(
+                f"index name(s) in both use_index and no_index: "
+                f"{', '.join(sorted(overlap))}"
+            )
+
+    def names(self) -> tuple[str, ...]:
+        """Every index name the hints mention (for plan-time validation)."""
+        return self.use_index + self.no_index
+
+    def to_payload(self) -> dict[str, list[str]]:
+        """Wire form (see :mod:`repro.net.protocol`)."""
+        out: dict[str, list[str]] = {}
+        if self.use_index:
+            out["use_index"] = list(self.use_index)
+        if self.no_index:
+            out["no_index"] = list(self.no_index)
+        return out
 _STRATEGIES = (None, "set", "bindings")
 _EXPLAIN_MODES = (False, True, "plan", "analyze")
 
@@ -65,6 +122,9 @@ class QueryOptions:
         ``StatementResult`` (stage timings, estimated vs. actual
         cardinalities, index hits, dist counters).  On by default; turn
         off to shave the last few microseconds from a hot loop.
+    hints:
+        Planner :class:`Hints` pinning or forbidding secondary-index
+        access paths (validated at plan time).
     """
 
     direction: Optional[str] = None
@@ -73,8 +133,13 @@ class QueryOptions:
     trace: bool = False
     explain: Union[bool, str] = False
     profile: bool = True
+    hints: Optional[Hints] = None
 
     def __post_init__(self) -> None:
+        if self.hints is not None and not isinstance(self.hints, Hints):
+            raise ValueError(
+                f"hints must be a Hints instance, got {type(self.hints).__name__}"
+            )
         if self.direction not in _DIRECTIONS:
             raise ValueError(
                 f"direction must be one of {_DIRECTIONS[1:]}, got "

@@ -72,7 +72,10 @@ class StepProfile:
 class AtomProfile:
     """One atom's plan choice and per-step numbers."""
 
-    __slots__ = ("index", "direction", "cost_forward", "cost_backward", "forced", "steps")
+    __slots__ = (
+        "index", "direction", "cost_forward", "cost_backward", "forced",
+        "steps", "access", "access_est", "access_forced",
+    )
 
     def __init__(
         self,
@@ -81,6 +84,9 @@ class AtomProfile:
         cost_forward: float,
         cost_backward: float,
         forced: Optional[str] = None,
+        access: Optional[str] = None,
+        access_est: Optional[float] = None,
+        access_forced: Optional[str] = None,
     ) -> None:
         self.index = index
         self.direction = direction
@@ -88,7 +94,24 @@ class AtomProfile:
         self.cost_backward = cost_backward
         #: why the direction was not the cost winner ('options' | 'label-ref')
         self.forced = forced
+        #: anchor access path, e.g. ``"index-seek(by_age)"`` or ``"scan"``
+        self.access = access
+        #: estimated candidate rows out of the access path
+        self.access_est = access_est
+        #: why the access path ignored the cost model (None | 'hint')
+        self.access_forced = access_forced
         self.steps: list[StepProfile] = []
+
+    def access_line(self) -> Optional[str]:
+        """The ``access: index-seek(I) est=...`` fragment, or None."""
+        if self.access is None:
+            return None
+        txt = f"access: {self.access}"
+        if self.access_est is not None:
+            txt += f" est={self.access_est:.1f}"
+        if self.access_forced:
+            txt += f" (forced by {self.access_forced})"
+        return txt
 
     def to_dict(self) -> dict:
         return {
@@ -97,6 +120,9 @@ class AtomProfile:
             "cost_forward": self.cost_forward,
             "cost_backward": self.cost_backward,
             "forced": self.forced,
+            "access": self.access,
+            "access_est": self.access_est,
+            "access_forced": self.access_forced,
             "steps": [s.to_dict() for s in self.steps],
         }
 
@@ -114,6 +140,10 @@ class QueryProfile:
         self.index_hits = 0
         #: edges touched by those lookups
         self.edges_scanned = 0
+        #: secondary attribute-index seeks (one per anchor seek)
+        self.attr_seeks = 0
+        #: candidate rows those seeks produced
+        self.attr_seek_rows = 0
         #: rows (table) or vertices (subgraph) in the result
         self.rows_out = 0
         #: distributed-execution counters; None for single-node runs
@@ -215,6 +245,9 @@ class QueryProfile:
                 f"(cost fwd={ap.cost_forward:.1f}, bwd={ap.cost_backward:.1f}"
                 f"{forced})"
             )
+            access_line = ap.access_line()
+            if access_line is not None:
+                lines.append(f"    {access_line}")
             for sp in ap.steps:
                 est = sp.estimated(ap.direction)
                 est_txt = f"{est:.1f}" if est is not None else "?"
@@ -227,6 +260,11 @@ class QueryProfile:
             lines.append(
                 f"  index: {self.index_hits} lookups, "
                 f"{self.edges_scanned} edges scanned"
+            )
+        if self.attr_seeks:
+            lines.append(
+                f"  attr-index: {self.attr_seeks} seeks, "
+                f"{self.attr_seek_rows} candidate rows"
             )
         if self.pipeline is not None:
             lines.append(
@@ -267,6 +305,8 @@ class QueryProfile:
             "atoms": [a.to_dict() for a in self.atoms],
             "index_hits": self.index_hits,
             "edges_scanned": self.edges_scanned,
+            "attr_seeks": self.attr_seeks,
+            "attr_seek_rows": self.attr_seek_rows,
             "rows_out": self.rows_out,
             "dist": self.dist,
             "pipeline": self.pipeline,
@@ -311,6 +351,14 @@ def record_profile_metrics(registry: MetricsRegistry, profile: QueryProfile) -> 
         registry.counter(
             "graql_edges_scanned_total", "edges touched by index lookups"
         ).inc(profile.edges_scanned)
+    if profile.attr_seeks:
+        registry.counter(
+            "graql_index_seeks_total", "secondary attribute-index seeks"
+        ).inc(profile.attr_seeks)
+        registry.counter(
+            "graql_index_seek_rows_total",
+            "candidate rows produced by attribute-index seeks",
+        ).inc(profile.attr_seek_rows)
     registry.histogram(
         "graql_rows_out",
         "result rows (tables) or vertices (subgraphs)",

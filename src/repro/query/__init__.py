@@ -19,7 +19,8 @@ the existence of both forward and reverse edge indexes.
 """
 
 from repro.query.executor import StatementResult, execute_script, execute_statement
-from repro.query.planner import AtomPlan, QueryPlan, plan_graph_select
+from repro.query.explain import ExplainReport, PlanNode, StatementPlan
+from repro.query.planner import AccessPath, AtomPlan, QueryPlan, plan_graph_select
 
 __all__ = [
     "execute_statement",
@@ -28,4 +29,8 @@ __all__ = [
     "plan_graph_select",
     "QueryPlan",
     "AtomPlan",
+    "AccessPath",
+    "ExplainReport",
+    "PlanNode",
+    "StatementPlan",
 ]

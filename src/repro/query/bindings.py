@@ -123,15 +123,19 @@ class BindingExecutor:
         atom: RAtom,
         direction: str = "forward",
         label_columns: Optional[dict[str, tuple["BindingResult", int]]] = None,
+        access=None,
     ) -> BindingResult:
         """Enumerate the atom's paths.
 
         *label_columns* maps labels defined in *earlier* atoms to their
         (result, step-position) — used only to know a label is external;
-        the actual cross-atom join happens in the composer.
+        the actual cross-atom join happens in the composer.  *access* is
+        the planner's anchor access path, forwarded to the set-semantics
+        pre-run (the planner never picks a seek for anchors whose
+        condition the relaxation would drop, so the pre-run stays sound).
         """
         label_columns = label_columns or {}
-        pre: AtomSets = self.frontier.run_atom(_relax_atom(atom), direction)
+        pre: AtomSets = self.frontier.run_atom(_relax_atom(atom), direction, access)
         tagged = unroll_counted_regexes(atom.steps)
         if direction == "backward":
             tagged = reverse_steps(tagged)

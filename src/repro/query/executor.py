@@ -29,8 +29,10 @@ from repro.graph.graphdb import GraphDB
 from repro.graph.subgraph import Subgraph
 from repro.graql.ast import (
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
+    DropIndex,
     GraphSelect,
     Ingest,
     INTO_SUBGRAPH,
@@ -285,6 +287,20 @@ def _execute_resolved(
         return StatementResult(
             "ddl", message=f"created edge {stmt.name}", count=et.num_edges
         )
+    if isinstance(stmt, CreateIndex):
+        with _stage("execute", profile, tracer):
+            gi = db.create_attr_index(stmt.name, stmt.target, stmt.attrs)
+            catalog.refresh(db)
+        return StatementResult(
+            "ddl",
+            message=f"created index {stmt.name} on {stmt.target}",
+            count=gi.num_entries,
+        )
+    if isinstance(stmt, DropIndex):
+        with _stage("execute", profile, tracer):
+            db.drop_attr_index(stmt.name)
+            catalog.refresh(db)
+        return StatementResult("ddl", message=f"dropped index {stmt.name}")
     if isinstance(stmt, Ingest):
         with _stage("execute", profile, tracer):
             n = db.ingest(stmt.table, stmt.path)
@@ -331,7 +347,9 @@ def _execute_graph_select(
 ) -> StatementResult:
     stmt = checked.stmt
     with _stage("plan", profile, tracer):
-        plan = plan_graph_select(checked, catalog, opts.direction, opts.strategy)
+        plan = plan_graph_select(
+            checked, catalog, opts.direction, opts.strategy, opts.hints
+        )
     atoms = checked.pattern.atoms()
     ordinals = {id(a): i for i, a in enumerate(atoms)}
     name_map = NameMap()
@@ -415,8 +433,12 @@ def _step_detail(step) -> str:
 
 
 def _atom_profile(index: int, atom: RAtom, ap: AtomPlan) -> AtomProfile:
+    access = ap.access
     out = AtomProfile(
-        index, ap.direction, ap.cost_forward, ap.cost_backward, ap.forced
+        index, ap.direction, ap.cost_forward, ap.cost_backward, ap.forced,
+        access=access.describe() if access is not None else None,
+        access_est=access.est_rows if access is not None else None,
+        access_forced=access.forced if access is not None else None,
     )
     for i, step in enumerate(atom.steps):
         if isinstance(step, RVertexStep):
@@ -484,14 +506,15 @@ def _run_set(
 
     def run_all():
         for a in atoms:
-            direction = plan.plan_for(a).direction
+            ap = plan.plan_for(a)
+            direction, access = ap.direction, ap.access
             if tracer is not None:
                 with tracer.span(
                     f"atom {ordinals[id(a)]}", direction=direction, strategy="set"
                 ):
-                    results[ordinals[id(a)]] = fx.run_atom(a, direction)
+                    results[ordinals[id(a)]] = fx.run_atom(a, direction, access)
             else:
-                results[ordinals[id(a)]] = fx.run_atom(a, direction)
+                results[ordinals[id(a)]] = fx.run_atom(a, direction, access)
 
     run_all()
     # refinement: intersect each label's defining set with every
@@ -554,14 +577,15 @@ def _run_bindings(
     def run(node) -> list[JoinedBindings]:
         if isinstance(node, RAtom):
             o = ordinals[id(node)]
-            direction = plan.plan_for(node).direction
+            ap = plan.plan_for(node)
+            direction, access = ap.direction, ap.access
             if tracer is not None:
                 with tracer.span(
                     f"atom {o}", direction=direction, strategy="bindings"
                 ):
-                    res = bex.run_atom(node, direction)
+                    res = bex.run_atom(node, direction, access=access)
             else:
-                res = bex.run_atom(node, direction)
+                res = bex.run_atom(node, direction, access=access)
             return [JoinedBindings.from_result(o, res, node)]
         op, left, right = node
         lbs = run(left)

@@ -211,12 +211,46 @@ class FrontierExecutor:
     # ------------------------------------------------------------------
     # Step primitives
     # ------------------------------------------------------------------
-    def _vertex_select(self, step: RVertexStep, incoming: Optional[SetDict]) -> SetDict:
+    def _anchor_candidates(self, t: str, vt, access) -> np.ndarray:
+        """Initial candidates of an anchor step: index seek or full range.
+
+        The seek is pruning only — the step condition is still applied —
+        so a missing or stale-named index (e.g. on a distributed worker's
+        partition db, which does not build attribute indexes) degrades to
+        the full scan without changing results.
+        """
+        if (
+            access is not None
+            and access.kind == "index-seek"
+            and access.type_name == t
+        ):
+            gi = self.db.attr_indexes.get(access.index)
+            if gi is not None and gi.target_name == t:
+                if access.range_spec is not None:
+                    low, high, low_ex, high_ex = access.range_spec
+                    cands = gi.index.seek_range(
+                        low,
+                        high,
+                        low_exclusive=low_ex,
+                        high_exclusive=high_ex,
+                        prefix=access.eq_values,
+                    )
+                else:
+                    cands = gi.index.seek_eq(access.eq_values)
+                if self.profile is not None:
+                    self.profile.attr_seeks += 1
+                    self.profile.attr_seek_rows += len(cands)
+                return cands
+        return np.arange(vt.num_vertices, dtype=np.int64)
+
+    def _vertex_select(
+        self, step: RVertexStep, incoming: Optional[SetDict], access=None
+    ) -> SetDict:
         out: SetDict = {}
         for t in step.types:
             vt = self.db.vertex_type(t)
             if incoming is None:
-                cands = np.arange(vt.num_vertices, dtype=np.int64)
+                cands = self._anchor_candidates(t, vt, access)
             else:
                 cands = incoming.get(t, _EMPTY)
             if step.seed is not None and len(cands):
@@ -377,7 +411,9 @@ class FrontierExecutor:
     # ------------------------------------------------------------------
     # Whole-atom execution
     # ------------------------------------------------------------------
-    def run_atom(self, atom: RAtom, direction: str = "forward") -> AtomSets:
+    def run_atom(
+        self, atom: RAtom, direction: str = "forward", access=None
+    ) -> AtomSets:
         tagged = unroll_counted_regexes(atom.steps)
         if direction == "backward":
             tagged = reverse_steps(tagged)
@@ -387,7 +423,7 @@ class FrontierExecutor:
         forward: list[SetDict] = [dict() for _ in range(n)]
         # ---- forward sweep
         assert isinstance(steps[0], RVertexStep)
-        forward[0] = self._vertex_select(steps[0], None)
+        forward[0] = self._vertex_select(steps[0], None, access)
         self._record_label(steps[0], forward[0])
         i = 1
         dead = _is_empty(forward[0])

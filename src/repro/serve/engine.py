@@ -35,8 +35,10 @@ from typing import Any, Callable, Mapping, Optional
 
 from repro.graql.ast import (
     CreateEdge,
+    CreateIndex,
     CreateTable,
     CreateVertex,
+    DropIndex,
     GraphSelect,
     Ingest,
     Script,
@@ -70,7 +72,10 @@ def statement_is_write(stmt: Statement) -> bool:
     DDL and ingest obviously; selects ``into`` a table/subgraph also
     register durable result objects, so they serialize with writers.
     """
-    if isinstance(stmt, (CreateTable, CreateVertex, CreateEdge, Ingest)):
+    if isinstance(
+        stmt,
+        (CreateTable, CreateVertex, CreateEdge, CreateIndex, DropIndex, Ingest),
+    ):
         return True
     return (
         isinstance(stmt, (GraphSelect, TableSelect)) and stmt.into is not None

@@ -1,6 +1,6 @@
 """Secondary indexes over table columns.
 
-Two index kinds back the graph layer:
+Three index kinds back the graph layer:
 
 * :class:`HashIndex` — exact-match lookup from a key tuple to the row ids
   holding it.  This is how a vertex view maps a vertex key to its source
@@ -9,29 +9,70 @@ Two index kinds back the graph layer:
 * :class:`SortedIndex` — a sorted-codes index supporting vectorized batch
   lookup (``lookup_many``), the building block the CSR edge index
   (:mod:`repro.graph.edge_index`) uses for bulk endpoint resolution.
+* :class:`AttributeIndex` — a range-capable lexsorted index over one or
+  more attribute arrays (vid-aligned), the access structure behind
+  ``create index`` DDL.  Equality seeks narrow column by column through
+  the lexsorted order; range seeks apply to the column following the
+  equality prefix — the classic composite B-tree contract.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.storage.table import Table
 
 
+def _grouped_rows(codes: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Split row ids by group code, vectorized.
+
+    Returns ``(representative_rows, groups)`` where ``groups[g]`` holds
+    the ascending row ids carrying the g-th distinct code (codes made
+    dense by ``np.unique`` order) and ``representative_rows[g]`` is the
+    first of them.
+    """
+    order = np.argsort(codes, kind="stable").astype(np.int64)
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+    groups = np.split(order, boundaries)
+    reps = np.asarray([g[0] for g in groups], dtype=np.int64)
+    return reps, groups
+
+
 class HashIndex:
-    """Exact-match index: key tuple -> int64 array of row ids."""
+    """Exact-match index: key tuple -> int64 array of row ids.
+
+    The build is fully vectorized: key columns are factorized into dense
+    group codes (one ``np.unique`` pass per column) and rows are grouped
+    with a single stable argsort + split, instead of a per-row Python
+    loop over ``table.num_rows`` tuples.
+    """
 
     def __init__(self, table: Table, key_names: Sequence[str]) -> None:
         self.key_names = list(key_names)
-        self._map: dict[tuple, list[int]] = {}
         cols = [table.column(k) for k in self.key_names]
-        for i in range(table.num_rows):
-            key = tuple(c.value(i) for c in cols)
-            self._map.setdefault(key, []).append(i)
-        self._frozen: dict[tuple, np.ndarray] = {
-            k: np.asarray(v, dtype=np.int64) for k, v in self._map.items()
+        if table.num_rows == 0:
+            self._frozen: dict[tuple, np.ndarray] = {}
+            return
+        codes = np.zeros(table.num_rows, dtype=np.int64)
+        for c in cols:
+            _, inv = np.unique(c.sort_key(), return_inverse=True)
+            ck = inv.astype(np.int64)
+            nm = c.null_mask()
+            if nm.any():
+                # sort_key folds NULL into a real value ("" for strings);
+                # a null bit keeps the key tuples distinct
+                ck = ck * 2 + nm
+            k = int(ck.max()) + 1
+            codes = codes * k + ck
+        reps, groups = _grouped_rows(codes)
+        # only the one representative row per distinct key is touched
+        # scalar-wise; everything row-aligned stayed in NumPy
+        self._frozen = {
+            tuple(c.value(int(r)) for c in cols): rows
+            for r, rows in zip(reps, groups)
         }
 
     def lookup(self, key: tuple) -> np.ndarray:
@@ -76,6 +117,100 @@ class SortedIndex:
         starts = np.repeat(lo, counts)
         offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
         return self.order[starts + offsets], qidx
+
+
+class AttributeIndex:
+    """Range-capable secondary index over vid-aligned attribute arrays.
+
+    ``arrays[0]`` is the leading column; rows (vids) are lexsorted by the
+    column sequence.  Seeks return **sorted** vid arrays so executor code
+    can intersect them with other sorted vid sets directly:
+
+    * :meth:`seek_eq` — all vids whose attribute prefix equals the given
+      values (any prefix length up to the column count);
+    * :meth:`seek_range` — vids in ``[lo, hi]`` (either bound optional,
+      either bound exclusive) on the column right after an equality
+      prefix.
+
+    NULLs never match: rows carrying a NULL in any indexed column are
+    dropped at build time (SQL semantics — ``a = NULL`` is not true).
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray], null_masks: Sequence[np.ndarray]) -> None:
+        n = len(arrays[0])
+        keep = np.ones(n, dtype=bool)
+        for m in null_masks:
+            keep &= ~m
+        vids = np.flatnonzero(keep).astype(np.int64)
+        kept = [self._sortable(a[vids]) for a in arrays]
+        if len(kept) == 1:
+            order = np.argsort(kept[0], kind="stable")
+        else:
+            order = np.lexsort(tuple(reversed(kept)))
+        #: vids in lexsorted attribute order
+        self.vids: np.ndarray = vids[order]
+        #: per-column attribute values aligned with ``self.vids``
+        self.sorted_cols: list[np.ndarray] = [a[order] for a in kept]
+        self.num_entries = len(self.vids)
+
+    @staticmethod
+    def _sortable(arr: np.ndarray) -> np.ndarray:
+        """A totally-ordered view of *arr* (strings stay object dtype)."""
+        if arr.dtype == np.dtype(object):
+            return np.array([str(v) for v in arr], dtype=object)
+        return arr
+
+    def _narrow(self, lo: int, hi: int, col: int, value: Any) -> tuple[int, int]:
+        sc = self.sorted_cols[col][lo:hi]
+        return (
+            lo + int(np.searchsorted(sc, value, side="left")),
+            lo + int(np.searchsorted(sc, value, side="right")),
+        )
+
+    def seek_eq(self, values: Sequence[Any]) -> np.ndarray:
+        """Sorted vids whose leading attributes equal *values*."""
+        lo, hi = 0, self.num_entries
+        for col, v in enumerate(values):
+            lo, hi = self._narrow(lo, hi, col, v)
+            if lo >= hi:
+                break
+        return np.sort(self.vids[lo:hi])
+
+    def seek_range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        *,
+        low_exclusive: bool = False,
+        high_exclusive: bool = False,
+        prefix: Sequence[Any] = (),
+    ) -> np.ndarray:
+        """Sorted vids with ``low <= col <= high`` after an equality *prefix*.
+
+        The range applies to column ``len(prefix)``; bounds are optional
+        and may be exclusive.
+        """
+        lo, hi = 0, self.num_entries
+        for col, v in enumerate(prefix):
+            lo, hi = self._narrow(lo, hi, col, v)
+            if lo >= hi:
+                return np.empty(0, dtype=np.int64)
+        col = len(prefix)
+        sc = self.sorted_cols[col][lo:hi]
+        if low is not None:
+            side = "right" if low_exclusive else "left"
+            lo2 = int(np.searchsorted(sc, low, side=side))
+        else:
+            lo2 = 0
+        if high is not None:
+            side = "left" if high_exclusive else "right"
+            hi2 = int(np.searchsorted(sc, high, side=side))
+        else:
+            hi2 = hi - lo
+        return np.sort(self.vids[lo + lo2 : lo + hi2])
+
+    def __len__(self) -> int:
+        return self.num_entries
 
 
 def unique_key_codes(table: Table, key_names: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:

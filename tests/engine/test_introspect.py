@@ -1,0 +1,120 @@
+"""``Database.schema()``: typed catalog introspection.
+
+Pins the SchemaReport JSON key sets the same way the explain report is
+pinned in tests/query/test_explain_structured.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    EdgeTypeInfo,
+    IndexInfo,
+    SchemaReport,
+    TableInfo,
+    VertexTypeInfo,
+)
+
+REPORT_KEYS = {"tables", "vertex_types", "edge_types", "indexes", "subgraphs"}
+TABLE_KEYS = {"name", "columns", "num_rows", "derived"}
+VERTEX_KEYS = {
+    "name", "table", "key", "attrs", "num_vertices",
+    "stats_attrs", "stats_freshness",
+}
+EDGE_KEYS = {"name", "source", "target", "attrs", "num_edges"}
+INDEX_KEYS = {
+    "name", "target", "target_kind", "attrs", "num_entries",
+    "stats_freshness",
+}
+COLUMN_KEYS = {"name", "dtype"}
+
+
+class TestSchemaReport:
+    def test_types_and_counts(self, social_db):
+        report = social_db.schema()
+        assert isinstance(report, SchemaReport)
+        tables = {t.name: t for t in report.tables}
+        assert isinstance(tables["People"], TableInfo)
+        assert tables["People"].num_rows == 6
+        assert [c.name for c in tables["People"].columns][:2] == ["id", "name"]
+        vts = {v.name: v for v in report.vertex_types}
+        assert isinstance(vts["Person"], VertexTypeInfo)
+        assert vts["Person"].table == "People"
+        assert vts["Person"].key == ("id",)
+        assert vts["Person"].num_vertices == 6
+        ets = {e.name: e for e in report.edge_types}
+        assert isinstance(ets["follows"], EdgeTypeInfo)
+        assert ets["follows"].source == "Person"
+        assert ets["follows"].target == "Person"
+
+    def test_report_is_frozen_and_sorted(self, social_db):
+        report = social_db.schema()
+        with pytest.raises(AttributeError):
+            report.tables = ()
+        names = [t.name for t in report.tables]
+        assert names == sorted(names)
+
+    def test_str_and_contains(self, social_db):
+        report = social_db.schema()
+        assert str(report) == report.to_text()
+        assert "vertex types:" in report
+        assert "Person" in report
+
+    def test_indexes_with_stats_freshness(self, social_db):
+        social_db.execute("create index by_country on Person(country)")
+        report = social_db.schema()
+        info = report.index("by_country")
+        assert isinstance(info, IndexInfo)
+        assert info.target == "Person"
+        assert info.attrs == ("country",)
+        assert info.num_entries == 6
+        # no query planned yet -> no column stats collected
+        assert info.stats_freshness is None
+        assert "no stats" in info.describe()
+        # planning a query against the indexed attribute collects stats
+        # (explain plans on a scratch catalog copy, so run for real)
+        social_db.execute(
+            "select * from graph Person (country = 'US') --follows--> "
+            "Person ( ) into subgraph SI"
+        )
+        info = social_db.schema().index("by_country")
+        assert info.stats_freshness == 0.0
+        assert "stats drift 0%" in info.describe()
+        assert "country" in {
+            a
+            for v in social_db.schema().vertex_types
+            if v.name == "Person"
+            for a in v.stats_attrs
+        }
+
+    def test_index_lookup_missing(self, social_db):
+        assert social_db.schema().index("nope") is None
+
+
+class TestSchemaJson:
+    def test_key_sets_are_pinned(self, social_db):
+        social_db.execute("create index by_age on Person(age)")
+        payload = social_db.schema().to_json()
+        assert set(payload) == REPORT_KEYS
+        for t in payload["tables"]:
+            assert set(t) == TABLE_KEYS
+            for c in t["columns"]:
+                assert set(c) == COLUMN_KEYS
+        for v in payload["vertex_types"]:
+            assert set(v) == VERTEX_KEYS
+        for e in payload["edge_types"]:
+            assert set(e) == EDGE_KEYS
+        for i in payload["indexes"]:
+            assert set(i) == INDEX_KEYS
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_subgraphs_listed(self, social_db):
+        social_db.execute(
+            "select * from graph Person ( ) --follows--> Person ( ) "
+            "into subgraph SX"
+        )
+        payload = social_db.schema().to_json()
+        assert "SX" in payload["subgraphs"]

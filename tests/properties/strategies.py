@@ -39,6 +39,7 @@ idents = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,9}", fullmatch=True).filter(
     not in {
         "create", "table", "vertex", "edge", "with", "vertices", "from",
         "where", "and", "or", "not", "is", "null", "ingest", "select",
+        "index", "on", "drop",
         "into", "subgraph", "graph", "def", "foreach", "top", "distinct",
         "group", "by", "order", "asc", "desc", "as", "count", "sum",
         "avg", "min", "max", "true", "false", "int", "integer", "float",

@@ -1,0 +1,276 @@
+"""Cost-based anchor access paths: index-seek vs. scan.
+
+Covers the planner's choice (cost model + hints), the executor's seek
+path producing identical results to the scan path, incremental index
+maintenance across ingests, and the estimate-accuracy acceptance bound
+(|est - actual| within the histogram's error bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, PlanError
+from repro.obs import Hints, QueryOptions
+from repro.query.planner import AccessPath
+
+SCHEMA = """
+create table People(
+  id varchar(10),
+  city varchar(16),
+  age integer,
+  joined date
+)
+
+create table Knows(src varchar(10), dst varchar(10))
+
+create vertex Person(id) from table People
+
+create edge knows with
+vertices (Person as A, Person as B)
+from table Knows
+where Knows.src = A.id and Knows.dst = B.id
+"""
+
+CITIES = ["rome", "oslo", "lima", "kiev", "bonn", "reno", "cork", "pune"]
+
+
+def build_db(n=400, seed=7):
+    """n people, skewed city distribution, ring-ish edges."""
+    rng = np.random.default_rng(seed)
+    db = Database()
+    db.execute(SCHEMA)
+    people = [
+        (
+            f"p{i}",
+            CITIES[min(int(rng.geometric(0.45)) - 1, len(CITIES) - 1)],
+            int(rng.integers(18, 80)),
+            730000 + int(rng.integers(0, 5000)),
+        )
+        for i in range(n)
+    ]
+    edges = [(f"p{i}", f"p{(i * 13 + 1) % n}") for i in range(n)]
+    db.db.ingest_rows("People", people)
+    db.db.ingest_rows("Knows", edges)
+    db.catalog.refresh(db.db)
+    return db
+
+
+def subgraph_vids(result):
+    sg = result.subgraph
+    return {t: sorted(sg.vertices[t].tolist()) for t in sg.vertices}
+
+
+QUERIES = [
+    "select * from graph Person (city = 'pune') --knows--> Person ( ) "
+    "into subgraph {}",
+    "select * from graph Person (city = 'cork' and age > 40) --knows--> "
+    "Person ( ) into subgraph {}",
+    "select * from graph Person (age >= 70) --knows--> Person ( ) "
+    "into subgraph {}",
+    "select * from graph Person (city = 'rome') --knows--> "
+    "Person (age < 30) into subgraph {}",
+]
+
+
+class TestSeekEquivalence:
+    """index-seek must be invisible in results: seek ≡ scan."""
+
+    @pytest.mark.parametrize("qt", QUERIES)
+    @pytest.mark.parametrize("strategy", ["set", "bindings"])
+    def test_same_results_with_and_without_index(self, qt, strategy):
+        db = build_db()
+        opts = QueryOptions(strategy=strategy)
+        baseline = db.execute(qt.format("A"), options=opts)[0]
+        db.execute("create index by_city_age on Person(city, age)")
+        db.execute("create index by_age on Person(age)")
+        indexed = db.execute(qt.format("B"), options=opts)[0]
+        assert subgraph_vids(baseline) == subgraph_vids(indexed)
+
+    def test_forced_seek_equals_forced_scan(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        q = (
+            "select * from graph Person (city = 'oslo') --knows--> "
+            "Person ( ) into subgraph {}"
+        )
+        seek = db.execute(
+            q.format("S"),
+            options=QueryOptions(hints=Hints(use_index=("by_city",))),
+        )[0]
+        scan = db.execute(
+            q.format("C"),
+            options=QueryOptions(hints=Hints(no_index=("by_city",))),
+        )[0]
+        assert seek.profile.attr_seeks == 1
+        assert scan.profile.attr_seeks == 0
+        assert subgraph_vids(seek) == subgraph_vids(scan)
+
+
+class TestCostModelChoice:
+    def test_selective_equality_prefers_seek(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        r = db.execute(
+            "select * from graph Person (city = 'pune') --knows--> "
+            "Person ( ) into subgraph G1"
+        )[0]
+        ap = r.profile.atoms[0]
+        assert ap.access.startswith("index-seek(by_city)")
+        assert ap.access_forced is None
+        assert r.profile.attr_seeks == 1
+        assert r.profile.attr_seek_rows >= 1
+
+    def test_unselective_predicate_prefers_scan(self):
+        db = build_db()
+        db.execute("create index by_age on Person(age)")
+        r = db.execute(
+            "select * from graph Person (age >= 18) --knows--> "
+            "Person ( ) into subgraph G2"
+        )[0]
+        assert r.profile.atoms[0].access == "scan"
+        assert r.profile.attr_seeks == 0
+
+    def test_no_condition_means_scan(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        r = db.execute(
+            "select * from graph Person ( ) --knows--> Person ( ) "
+            "into subgraph G3"
+        )[0]
+        assert r.profile.atoms[0].access == "scan"
+
+    def test_composite_prefix_and_range(self):
+        db = build_db()
+        db.execute("create index by_city_age on Person(city, age)")
+        r = db.execute(
+            "select * from graph Person (city = 'rome' and age > 50) "
+            "--knows--> Person ( ) into subgraph G4"
+        )[0]
+        assert r.profile.atoms[0].access == "index-seek(by_city_age)"
+
+    def test_metrics_counters(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        db.execute(
+            "select * from graph Person (city = 'pune') --knows--> "
+            "Person ( ) into subgraph GM"
+        )
+        text = db.render_metrics()
+        assert "graql_index_seeks_total" in text
+        assert "graql_index_seek_rows_total" in text
+
+
+class TestHints:
+    def test_unknown_index_hint_raises_with_fixit(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        with pytest.raises(PlanError, match="unknown index 'nope'"):
+            db.execute(
+                "select * from graph Person (city = 'rome') --knows--> "
+                "Person ( ) into subgraph H1",
+                options=QueryOptions(hints=Hints(use_index=("nope",))),
+            )
+        with pytest.raises(PlanError, match="existing indexes: by_city"):
+            db.execute(
+                "select * from graph Person ( ) --knows--> Person ( ) "
+                "into subgraph H2",
+                options=QueryOptions(hints=Hints(no_index=("gone",))),
+            )
+
+    def test_use_index_forces_seek_even_when_costlier(self):
+        db = build_db()
+        db.execute("create index by_age on Person(age)")
+        r = db.execute(
+            "select * from graph Person (age >= 18) --knows--> "
+            "Person ( ) into subgraph H3",
+            options=QueryOptions(hints=Hints(use_index=("by_age",))),
+        )[0]
+        ap = r.profile.atoms[0]
+        assert ap.access == "index-seek(by_age)"
+        assert ap.access_forced == "hint"
+
+    def test_no_index_forces_scan_even_when_selective(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        r = db.execute(
+            "select * from graph Person (city = 'pune') --knows--> "
+            "Person ( ) into subgraph H4",
+            options=QueryOptions(hints=Hints(no_index=("by_city",))),
+        )[0]
+        assert r.profile.atoms[0].access == "scan"
+
+
+class TestMaintenance:
+    def test_ingest_after_create_keeps_index_fresh(self):
+        db = build_db(n=50)
+        db.execute("create index by_city on Person(city)")
+        before = db.catalog.indexes["by_city"].num_entries
+        db.execute(
+            "select * from graph Person (city = 'zurich') --knows--> "
+            "Person ( ) into subgraph M0",
+            options=QueryOptions(hints=Hints(use_index=("by_city",))),
+        )
+        db.db.ingest_rows("People", [("q1", "zurich", 33, 731000)])
+        db.catalog.refresh(db.db)
+        assert db.catalog.indexes["by_city"].num_entries == before + 1
+        r = db.execute(
+            "select * from graph Person (city = 'zurich') --knows--> "
+            "Person ( ) into subgraph M1",
+            options=QueryOptions(hints=Hints(use_index=("by_city",))),
+        )[0]
+        assert r.profile.attr_seek_rows >= 1
+
+    def test_drop_index_reverts_to_scan(self):
+        db = build_db()
+        db.execute("create index by_city on Person(city)")
+        db.execute("drop index by_city")
+        assert "by_city" not in db.catalog.indexes
+        r = db.execute(
+            "select * from graph Person (city = 'pune') --knows--> "
+            "Person ( ) into subgraph D1"
+        )[0]
+        assert r.profile.atoms[0].access == "scan"
+
+
+class TestEstimateAccuracy:
+    """Issue acceptance: estimated anchor cardinality is within the
+    histogram's error bound of the actual frontier."""
+
+    @pytest.mark.parametrize("city", ["rome", "oslo", "pune"])
+    def test_equality_estimate_within_bound(self, city):
+        db = build_db(n=1000, seed=3)
+        db.execute("create index by_city on Person(city)")
+        r = db.execute(
+            f"select * from graph Person (city = '{city}') --knows--> "
+            f"Person ( ) into subgraph E{city}"
+        )[0]
+        ap = r.profile.atoms[0]
+        anchor = next(s for s in ap.steps if s.index == 0)
+        stats = db.catalog.vertices["Person"].column_stats("city")
+        assert stats is not None
+        bound = max(stats.error_bound_rows(), 1.0)
+        assert abs(ap.access_est - anchor.actual) <= bound
+
+    def test_range_estimate_within_bound(self):
+        db = build_db(n=1000, seed=5)
+        db.execute("create index by_age on Person(age)")
+        r = db.execute(
+            "select * from graph Person (age > 60) --knows--> "
+            "Person ( ) into subgraph ER"
+        )[0]
+        ap = r.profile.atoms[0]
+        anchor = next(s for s in ap.steps if s.index == 0)
+        stats = db.catalog.vertices["Person"].column_stats("age")
+        bound = max(stats.error_bound_rows(), 1.0)
+        assert abs(ap.access_est - anchor.actual) <= bound
+
+
+class TestAccessPathObject:
+    def test_describe(self):
+        scan = AccessPath("scan", None, None, (), None, 10.0, 2.5)
+        assert scan.describe() == "scan"
+        seek = AccessPath("index-seek", "by_x", "V", ("a",), None, 3.0, 4.0)
+        assert seek.describe() == "index-seek(by_x)"
+        assert "by_x" in repr(seek)

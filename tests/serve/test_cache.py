@@ -105,3 +105,55 @@ class TestPlanCache:
         cache.lookup(key)
         assert m.value("graql_plan_cache_misses_total") == 1
         assert m.value("graql_plan_cache_hits_total") == 1
+
+
+class TestIndexDdlInvalidation:
+    """Index DDL is a catalog write: cached plans chosen before an index
+    existed (or before it was dropped) must not survive it."""
+
+    # no ``into`` clause: pure reads are the cacheable statements
+    Q = (
+        "select y.id from graph Person (country = 'US') --follows--> "
+        "def y: Person ( )"
+    )
+
+    def test_create_index_invalidates_and_replans(self):
+        from repro.obs import Hints, QueryOptions
+        from tests.conftest import build_social_db
+
+        db = build_social_db()
+        db.execute(self.Q)
+        assert len(db.server.serving.cache) == 1
+        db.execute("create index by_country on Person(country)")
+        assert len(db.server.serving.cache) == 0
+        r = db.execute(self.Q)[0]
+        assert r.profile.cache_hit is False
+        # the new index is visible to the post-invalidation plan
+        r2 = db.execute(
+            self.Q,
+            options=QueryOptions(hints=Hints(use_index=("by_country",))),
+        )[0]
+        assert r2.profile.atoms[0].access == "index-seek(by_country)"
+
+    def test_drop_index_invalidates(self):
+        from tests.conftest import build_social_db
+
+        db = build_social_db()
+        db.execute("create index by_country on Person(country)")
+        db.execute(self.Q)
+        assert len(db.server.serving.cache) == 1
+        db.execute("drop index by_country")
+        assert len(db.server.serving.cache) == 0
+        r = db.execute(self.Q)[0]
+        assert r.profile.cache_hit is False
+        assert r.profile.atoms[0].access == "scan"
+
+    def test_index_ddl_bumps_epoch(self):
+        from tests.conftest import build_social_db
+
+        db = build_social_db()
+        e0 = db.catalog.epoch
+        db.execute("create index by_age on Person(age)")
+        assert db.catalog.epoch > e0
+        db.execute("drop index by_age")
+        assert db.catalog.epoch > e0 + 1

@@ -201,3 +201,28 @@ class TestCheckCommand:
         assert main(["check", path]) == 2
         capsys.readouterr()
         assert main(["check", path, "--demo", "berlin", "--scale", "30"]) == 0
+
+
+class TestStatsIndexes:
+    def test_stats_indexes_flag(self, tmp_path, capsys):
+        script = tmp_path / "s.graql"
+        script.write_text(
+            """
+            create table T(id varchar(4), c varchar(4))
+            create vertex V(id) from table T
+            create index by_c on V(c)
+            """
+        )
+        rc = main(["stats", str(script), "--indexes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "by_c on V(c)" in out
+        assert "0 entries" in out
+        assert "graql_" not in out  # metrics suppressed
+
+    def test_stats_indexes_empty(self, tmp_path, capsys):
+        script = tmp_path / "s.graql"
+        script.write_text("create table T(id integer)")
+        rc = main(["stats", str(script), "--indexes"])
+        assert rc == 0
+        assert "(no indexes)" in capsys.readouterr().out

@@ -158,3 +158,36 @@ class TestREPLCheck:
             ],
         )
         assert "<repl>: clean" in out
+
+
+class TestIndexCommands:
+    def test_di_lists_indexes(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(id integer, c varchar(4));",
+                "create vertex V(id) from table T;",
+                "\\di",
+                "create index by_c on V(c);",
+                "\\di",
+                "\\q",
+            ],
+        )
+        assert rc == 0
+        assert "(no indexes)" in out
+        assert "by_c on V(c)" in out
+
+    def test_schema_command(self, monkeypatch, capsys):
+        rc, out, _ = run_repl(
+            monkeypatch,
+            capsys,
+            [
+                "create table T(id integer);",
+                "create vertex V(id) from table T;",
+                "\\schema",
+                "\\q",
+            ],
+        )
+        assert "vertex types:" in out
+        assert "V <- T(id)" in out
