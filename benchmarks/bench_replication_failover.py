@@ -1,0 +1,142 @@
+"""ROBUST-2 — WAL-shipping apply lag and the failover budget.
+
+Two gates over the replication subsystem (docs/REPLICATION.md), both
+asserted in quick (``--benchmark-disable``) mode so CI enforces them:
+
+* **apply lag drains** — after a burst of writes on the primary, the
+  replica converges to the primary's seq and the primary's per-peer
+  accounting reports zero record lag; the drain time and effective
+  records/second land in ``extra_info``;
+* **failover-to-first-query < 2s** — from the instant the primary
+  vanishes (no drain, no goodbye): promote the replica, and the *same*
+  self-healing client completes a SELECT on the survivor — with every
+  acknowledged write present — inside the two-second budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.session import Database
+from repro.net import GraqlServer, RemoteConnection
+from repro.replication import Replica
+
+#: one WAL record per statement in the write burst
+BURST = 64
+
+#: the ROBUST-2 failover budget (seconds)
+FAILOVER_BUDGET_S = 2.0
+
+
+def _wait_until(pred, timeout=15.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pred():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class _Pair:
+    """A primary server and a streaming replica on loopback."""
+
+    def __init__(self, base):
+        self.primary_db = Database.open(str(base / "p.db"), fsync="off")
+        self.server = GraqlServer(self.primary_db, port=0)
+        self.server.start()
+        self.replica = Replica(
+            str(base / "r.db"), self.server.url, durability={"fsync": "off"}
+        ).start()
+        self.replica_server = GraqlServer(None, port=0, replica=self.replica)
+        self.replica_server.start()
+
+    def endpoints(self):
+        return (
+            f"{self.server.url},"
+            f"{self.replica_server.host}:{self.replica_server.port}"
+        )
+
+    def wait_acked(self, seq):
+        assert _wait_until(
+            lambda: any(
+                p["ack_seq"] >= seq for p in self.server.replication.peers()
+            )
+        ), f"replica never acknowledged seq {seq}"
+
+    def close(self):
+        self.replica_server.shutdown(drain=False, timeout=10.0)
+        self.replica.close()
+        self.server.shutdown(drain=False, timeout=10.0)
+        self.primary_db.close()
+
+
+def test_replication_apply_lag_drains(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        pair = _Pair(tmp_path / f"lag{counter[0]}")
+        try:
+            pair.primary_db.execute(
+                "create table Events( id integer, v integer )"
+            )
+            t0 = time.monotonic()
+            for i in range(BURST):
+                pair.primary_db.ingest_rows("Events", [(i, i * 7)])
+            seq = pair.primary_db.store.seq
+            pair.wait_acked(seq)
+            drain_s = time.monotonic() - t0
+            (peer,) = pair.server.replication.peers()
+            assert peer["lag_records"] == 0
+            assert pair.replica.database.store.seq == seq
+            rows = pair.replica.database.query(
+                "select count(*) as n from table Events"
+            )
+            assert [tuple(r) for r in rows.iter_rows()] == [(BURST,)]
+            return drain_s, seq
+        finally:
+            pair.close()
+
+    drain_s, seq = benchmark(run)
+    benchmark.extra_info["records"] = seq
+    benchmark.extra_info["drain_ms"] = round(drain_s * 1e3, 2)
+    benchmark.extra_info["records_per_s"] = round(seq / drain_s, 1)
+
+
+def test_failover_to_first_query_budget(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        pair = _Pair(tmp_path / f"fo{counter[0]}")
+        conn = RemoteConnection(pair.endpoints(), "admin")
+        try:
+            acked = []
+            for i in range(5):
+                conn.execute(f"create table Committed{i}( x integer )")
+                acked.append(f"Committed{i}")
+            pair.wait_acked(pair.primary_db.store.seq)
+
+            # the primary vanishes mid-service: no drain, no goodbye
+            pair.server.shutdown(drain=False, timeout=10.0)
+            t0 = time.monotonic()
+            pair.replica.promote()
+            t = conn.execute("select count(*) as n from table Committed0")
+            elapsed = time.monotonic() - t0
+
+            assert [tuple(r) for r in t[-1].table.iter_rows()] == [(0,)]
+            for name in acked:  # zero acknowledged-write loss
+                conn.execute(f"select count(*) as n from table {name}")
+            conn.execute("create table AfterFailover( x integer )")
+            assert pair.replica.database.store.replication_epoch == 1
+            assert elapsed < FAILOVER_BUDGET_S, (
+                f"failover-to-first-query took {elapsed:.2f}s"
+            )
+            return elapsed
+        finally:
+            conn.close()
+            pair.close()
+
+    elapsed = benchmark(run)
+    benchmark.extra_info["failover_to_first_query_ms"] = round(elapsed * 1e3, 2)
+    benchmark.extra_info["budget_s"] = FAILOVER_BUDGET_S

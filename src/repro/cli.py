@@ -172,8 +172,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"serve expects HOST:PORT or :PORT, got {args.address!r}"
         )
+    replica = None
     try:
-        if args.db:
+        if args.replica_of:
+            if not args.db:
+                raise SystemExit("--replica-of requires --db PATH (the "
+                                 "replica's own durable directory)")
+            from repro.replication import Replica
+
+            replica = Replica(
+                args.db,
+                args.replica_of,
+                durability={"fsync": args.fsync},
+            )
+            db = replica.database
+        elif args.db:
             db = Database.open(args.db, fsync=args.fsync)
         elif args.demo:
             db = _demo_database(args.demo, args.scale)
@@ -183,11 +196,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 1
     server = GraqlServer(
-        db,
+        None if replica is not None else db,
         host=host or "127.0.0.1",
         port=port,
         max_connections=args.max_connections,
         idle_timeout=args.idle_timeout,
+        replica=replica,
     )
     try:
         server.start()
@@ -195,7 +209,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot bind {args.address}: {e}", file=sys.stderr)
         db.close()
         return 1
-    backing = args.db or (f"demo {args.demo}" if args.demo else "in-memory")
+    if replica is not None:
+        replica.start()
+        backing = f"replica of {args.replica_of} at {args.db}"
+    else:
+        backing = args.db or (
+            f"demo {args.demo}" if args.demo else "in-memory"
+        )
     print(f"graql server listening on {server.url} ({backing})", flush=True)
 
     def _drain(signum: int, frame: object) -> None:
@@ -208,6 +228,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     finally:
         server.shutdown()
+        if replica is not None:
+            replica.stop()
         db.close()  # flush the WAL before the interpreter exits
     print("stopped", flush=True)
     return 0
@@ -363,8 +385,95 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ping(args: argparse.Namespace) -> int:
+    """Health-check a server without entering its admission queue."""
+    from repro.net.client import ping
+
+    try:
+        pong = ping(args.url, timeout=args.timeout)
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    endpoint = pong.pop("endpoint", args.url)
+    rtt = pong.pop("rtt_s", 0.0)
+    print(f"pong from {endpoint} in {rtt * 1000:.1f} ms")
+    for key, value in pong.items():
+        if key == "replicas":
+            print(f"  replicas: {len(value)}")
+            for peer in value:
+                print(
+                    f"    {peer['peer']} {peer['addr']}: "
+                    f"ack_seq {peer['ack_seq']}, "
+                    f"lag {peer['lag_records']} record(s)"
+                )
+        else:
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_promote(args: argparse.Namespace) -> int:
+    """Promote a replica to primary (docs/REPLICATION.md runbook)."""
+    import socket as _socket
+
+    from repro.net.client import parse_endpoints
+    from repro.net.frame import (
+        FT_ERROR,
+        FT_HELLO,
+        FT_HELLO_OK,
+        FT_PROMOTE,
+        FT_PROMOTED,
+        FrameSocket,
+        PROTOCOL_VERSION,
+    )
+    from repro.net.protocol import decode_error
+
+    host, port = parse_endpoints(args.url)[0]
+    try:
+        sock = _socket.create_connection((host, port), timeout=args.timeout)
+    except OSError as e:
+        print(f"error: cannot reach {host}:{port}: {e}", file=sys.stderr)
+        return 1
+    fs = FrameSocket(sock)
+    try:
+        fs.send_magic()
+        fs.send_frame(FT_HELLO, {"proto": PROTOCOL_VERSION, "user": args.user})
+        ftype, payload = fs.recv_frame()
+        if ftype == FT_ERROR:
+            raise decode_error(payload)
+        if ftype != FT_HELLO_OK:
+            print(f"error: unexpected frame type {ftype}", file=sys.stderr)
+            return 1
+        fs.send_frame(FT_PROMOTE, {})
+        ftype, payload = fs.recv_frame()
+        if ftype == FT_ERROR:
+            raise decode_error(payload)
+        if ftype != FT_PROMOTED:
+            print(f"error: unexpected frame type {ftype}", file=sys.stderr)
+            return 1
+        print(
+            f"promoted {host}:{port}: now primary at replication epoch "
+            f"{payload['repl_epoch']} (seq {payload['seq']})"
+        )
+    except GraQLError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    finally:
+        fs.close()
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Execute a script and print the Prometheus metrics exposition."""
+    if args.replication:
+        return cmd_ping(
+            argparse.Namespace(url=args.replication, timeout=5.0)
+        )
+    if not args.script:
+        print(
+            "error: a script is required unless --replication URL is given",
+            file=sys.stderr,
+        )
+        return 2
     db = (
         _demo_database(args.demo, args.scale) if args.demo else Database()
     )
@@ -544,6 +653,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     p_srv.add_argument("--scale", type=int, default=200)
     p_srv.add_argument(
+        "--replica-of",
+        metavar="URL",
+        help="run as a streaming read-only replica of the primary at URL "
+        "(requires --db; see docs/REPLICATION.md)",
+    )
+    p_srv.add_argument(
         "--max-connections",
         type=int,
         default=64,
@@ -645,7 +760,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_stats = sub.add_parser(
         "stats", help="execute a script and print Prometheus metrics"
     )
-    p_stats.add_argument("script")
+    p_stats.add_argument("script", nargs="?")
+    p_stats.add_argument(
+        "--replication",
+        metavar="URL",
+        help="print a remote server's replication status (PING) instead "
+        "of running a script",
+    )
     p_stats.add_argument(
         "--param", action="append", metavar="NAME=VALUE", help="query parameter"
     )
@@ -661,6 +782,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print secondary-index + statistics state instead of metrics",
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_ping = sub.add_parser(
+        "ping", help="health-check a server (no auth, no admission queue)"
+    )
+    p_ping.add_argument("url", metavar="URL", help="graql://HOST:PORT[,HOST:PORT...]")
+    p_ping.add_argument("--timeout", type=float, default=5.0)
+    p_ping.set_defaults(func=cmd_ping)
+
+    p_promote = sub.add_parser(
+        "promote",
+        help="promote a replica to primary (fence the old timeline, "
+        "open writes)",
+    )
+    p_promote.add_argument("url", metavar="URL")
+    p_promote.add_argument(
+        "--user", default="admin", help="admin account (default: admin)"
+    )
+    p_promote.add_argument("--timeout", type=float, default=10.0)
+    p_promote.set_defaults(func=cmd_promote)
 
     p_repl = sub.add_parser("repl", help="interactive session (empty database)")
     p_repl.set_defaults(func=cmd_repl)

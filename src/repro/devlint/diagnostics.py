@@ -42,6 +42,11 @@ GDL_CODES: dict[str, tuple[str, str, Optional[str]]] = {
     "GDL020": (ERROR, "acknowledgement precedes durability",
                "append to the WAL (and fsync per policy) before sending "
                "or returning the acknowledgement"),
+    "GDL021": (ERROR, "replication ack precedes WAL durability",
+               "send REPL_ACK only after apply_replicated / the snapshot "
+               "install has returned, i.e. the record is durable in the "
+               "replica's own WAL; an early ack lets the primary count a "
+               "write replicated that a crash can still lose"),
     # crash-safety hygiene (GDL03x)
     "GDL030": (ERROR, "handler can swallow process-crash exceptions",
                "SimulatedCrash and KeyboardInterrupt derive from "

@@ -9,6 +9,9 @@
 * :func:`ack_durability_pass` — GDL020: an acknowledgement (result/done
   frame send) lexically preceding a durability call in the same
   function.
+* :func:`repl_ack_pass` — GDL021: a ``REPL_ACK`` send lexically
+  preceding the ``apply_replicated``/snapshot-install (or a direct WAL
+  append) that makes the streamed record durable locally.
 * :func:`except_hygiene_pass` — GDL030 (handlers that can swallow
   ``SimulatedCrash``/``KeyboardInterrupt``), GDL031 (broad silent
   ``except Exception``).
@@ -33,6 +36,14 @@ _ACK_FRAME_NAMES = ("FT_RESULT", "FT_DONE", "FT_PREPARED")
 
 #: method names that acknowledge by themselves
 _ACK_METHODS = ("ack", "acknowledge")
+
+#: frame-type constants whose send acknowledges *replicated* durability
+#: (GDL021 — deliberately disjoint from the GDL020 names above so one
+#: defective send fires exactly one code)
+_REPL_ACK_FRAME_NAMES = ("FT_REPL_ACK",)
+
+#: store methods that make a streamed record durable on the replica
+_REPL_APPLY_METHODS = ("apply_replicated", "install_snapshot")
 
 #: public method names exempt from the GDL034 guard requirement —
 #: they must work on a closed object by contract
@@ -341,6 +352,61 @@ def ack_durability_pass(model: CodeModel) -> Iterator[DevDiagnostic]:
 
 
 # ======================================================================
+# GDL021: replication ack before WAL durability
+# ======================================================================
+
+def _is_repl_ack_call(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "send_frame":
+        return False
+    for arg in call.args:
+        name = dotted_name(arg)
+        if name is not None and name.split(".")[-1] in _REPL_ACK_FRAME_NAMES:
+            return True
+    return False
+
+
+def repl_ack_pass(model: CodeModel) -> Iterator[DevDiagnostic]:
+    """GDL021: the replica's ``REPL_ACK`` must follow the local apply.
+
+    Only *direct* durability calls count here (``apply_replicated``,
+    ``install_snapshot``, WAL append/sync on the same path) — the
+    transitive ``durable`` summary would indict an ack that merely
+    precedes an unrelated helper on another branch of the same
+    dispatch loop.
+    """
+    for fn in model.functions:
+        acks: list[ast.Call] = []
+        durability_lines: list[int] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_repl_ack_call(node):
+                acks.append(node)
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REPL_APPLY_METHODS
+            ):
+                durability_lines.append(node.lineno)
+            elif is_durability_call(model, fn, node):
+                durability_lines.append(node.lineno)
+        if not acks or not durability_lines:
+            continue
+        last_durable = max(durability_lines)
+        for ack in acks:
+            if ack.lineno < last_durable:
+                yield _diag(
+                    "GDL021",
+                    "REPL_ACK is sent before apply_replicated/WAL append "
+                    "on the same path; the primary would count a write "
+                    "replicated that a replica crash can still lose",
+                    fn, ack,
+                )
+
+
+# ======================================================================
 # GDL030 / GDL031: exception-handler hygiene
 # ======================================================================
 
@@ -559,6 +625,7 @@ def guard_pass(model: CodeModel) -> Iterator[DevDiagnostic]:
 ALL_PASSES = (
     lock_passes,
     ack_durability_pass,
+    repl_ack_pass,
     except_hygiene_pass,
     thread_hygiene_pass,
     guard_pass,

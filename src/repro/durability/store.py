@@ -31,6 +31,7 @@ truncates the torn tail).
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -49,11 +50,13 @@ from repro.durability.wal import (
     WalWriter,
     read_wal,
 )
-from repro.errors import WalError
+from repro.errors import ReplicaStale, WalError
 from repro.graph.graphdb import GraphDB
 from repro.storage.atomic import fsync_dir, fsync_file, temp_path_for
 
 WAL_NAME = "wal.log"
+#: sidecar persisting the replication epoch fence (docs/REPLICATION.md)
+REPLICATION_META_NAME = "replication.json"
 
 #: default: checkpoint every this many WAL records
 DEFAULT_CHECKPOINT_EVERY = 256
@@ -130,12 +133,25 @@ class DurableStore:
         #: wired by the Database layer after construction
         self.epoch_provider: Optional[Callable[[], int]] = None
         self._lock = threading.Lock()
+        #: append feed: notified after every committed record so WAL
+        #: tailers (replication streams) wake promptly instead of polling
+        self._feed = threading.Condition()
         self._poisoned: Optional[str] = None
         self._seq = 0
         #: highest catalog epoch seen in recovered records; the engine
         #: layer restarts its catalog epoch above this so plan-cache
         #: keys stay monotonic across restarts
         self.last_epoch = 0
+        #: the replication epoch fence (docs/REPLICATION.md): stamped
+        #: into every record; bumped (and persisted) at promotion so a
+        #: deposed primary's records are rejected by ``apply_replicated``
+        self.replication_epoch = 0
+        #: timeline history: ``[epoch, boundary_seq]`` pairs meaning
+        #: *epoch* began after *boundary_seq* — a record carrying an
+        #: older epoch is legitimate pre-fork history iff its seq is at
+        #: or below the boundary of the first newer epoch, and a
+        #: deposed primary's post-fork write otherwise
+        self.repl_history: list[list[int]] = []
         self._records_since_checkpoint = 0
         self.report = RecoveryReport()
         self.db: GraphDB = GraphDB()
@@ -169,11 +185,17 @@ class DurableStore:
         try:
             payload, snap_path, skipped = load_latest_checkpoint(self.path)
             self.report.snapshots_skipped = skipped
+            self.replication_epoch, self.repl_history = (
+                self._load_replication_meta()
+            )
             if payload is not None:
                 self.db, self.users = st.restore_snapshot(payload)
                 self.report.snapshot_path = snap_path
                 self.report.snapshot_seq = int(payload["seq"])
                 self.last_epoch = int(payload.get("epoch", 0))
+                self._observe_epoch(
+                    int(payload.get("repl", 0)), int(payload["seq"])
+                )
             else:
                 self.db, self.users = GraphDB(), []
 
@@ -182,6 +204,9 @@ class DurableStore:
             for record in scan.records:
                 st.apply_record(self.db, self.users, record, dirty)
                 self.last_epoch = max(self.last_epoch, int(record.get("epoch", 0)))
+                self._observe_epoch(
+                    int(record.get("repl", 0)), int(record.get("seq", 0))
+                )
             st.flush_rebuilds(self.db, dirty)
             self.report.records_replayed = len(scan.records)
             self.report.wal_end_reason = scan.reason
@@ -276,6 +301,7 @@ class DurableStore:
             payload = {
                 "seq": self._seq + 1,
                 "epoch": self._epoch(),
+                "repl": self.replication_epoch,
                 "kind": kind,
                 "data": data,
             }
@@ -286,7 +312,9 @@ class DurableStore:
                 raise
             self._seq += 1
             self._records_since_checkpoint += 1
-            return self._seq
+            seq = self._seq
+        self._notify_feed()
+        return seq
 
     # The four statement-path log methods run under the serving layer's
     # write lock, so it is safe for them to auto-checkpoint (the
@@ -351,6 +379,261 @@ class DurableStore:
         self.users = [(n, r) for n, r in self.users if n != name]
 
     # ------------------------------------------------------------------
+    # replication (docs/REPLICATION.md)
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> str:
+        return os.path.join(self.path, REPLICATION_META_NAME)
+
+    def _load_replication_meta(self) -> "tuple[int, list[list[int]]]":
+        try:
+            with open(self._meta_path(), encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except FileNotFoundError:
+            return 0, []
+        except (OSError, ValueError) as e:
+            raise WalError(f"corrupt replication meta: {e}") from e
+        epoch = int(meta.get("epoch", 0))
+        history = [
+            [int(e), int(b)] for e, b in meta.get("history", [])
+        ]
+        if epoch > 0 and not history:
+            # a pre-history meta file: fence strictly (boundary 0 means
+            # no older-epoch record is ever accepted)
+            history = [[epoch, 0]]
+        return epoch, history
+
+    def _persist_replication_meta(self) -> None:
+        """Durably record the epoch fence (caller holds ``self._lock``)."""
+        tmp = temp_path_for(self._meta_path())
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "epoch": self.replication_epoch,
+                        "history": self.repl_history,
+                    }
+                )
+            )
+            fh.flush()
+            fsync_file(fh)
+        os.replace(tmp, self._meta_path())
+        fsync_dir(self.path)
+
+    def _observe_epoch(self, repl: int, seq: int) -> None:
+        """Raise the in-memory fence to an epoch seen in recovered
+        state: the epoch began at or before *seq*, so everything below
+        stays readable as pre-fork history."""
+        if repl > self.replication_epoch:
+            self.repl_history.append([repl, max(0, seq - 1)])
+            self.replication_epoch = repl
+
+    def epoch_boundary(self, repl: int) -> int:
+        """The last seq that may legitimately carry an epoch <= *repl*
+        (the fork point of the first newer epoch; -1 when the timeline
+        is unknown, rejecting everything)."""
+        for epoch, boundary in self.repl_history:
+            if epoch > repl:
+                return boundary
+        return -1
+
+    def bump_replication_epoch(self) -> int:
+        """Promotion: advance the fence past every epoch ever observed
+        and persist it before any new write is stamped.  The current seq
+        becomes the fork boundary — history up to here stays valid, a
+        deposed primary's writes past it are fenced.  Returns the new
+        epoch."""
+        with self._lock:
+            self.replication_epoch += 1
+            self.repl_history.append([self.replication_epoch, self._seq])
+            self._persist_replication_meta()
+            return self.replication_epoch
+
+    def adopt_replication_epoch(
+        self, epoch: int, history: "Optional[list[list[int]]]" = None
+    ) -> None:
+        """Adopt the fence (and its timeline history) learned from the
+        primary at stream open.  No-op when nothing is newer — epochs
+        only move forward."""
+        with self._lock:
+            changed = False
+            if history is not None and len(history) > len(self.repl_history):
+                self.repl_history = [[int(e), int(b)] for e, b in history]
+                changed = True
+            if epoch > self.replication_epoch:
+                self.replication_epoch = epoch
+                if self.epoch_boundary(epoch - 1) < 0:
+                    # no fork point on record for this epoch: fence
+                    # strictly rather than admit an unknown timeline
+                    self.repl_history.append([epoch, self._seq])
+                changed = True
+            if changed:
+                self._persist_replication_meta()
+
+    def _notify_feed(self) -> None:
+        with self._feed:
+            self._feed.notify_all()
+
+    def wait_for_seq(self, seq: int, timeout: float) -> bool:
+        """Block until a record past *seq* commits (or *timeout* elapses).
+
+        The replication stream's wakeup: tailers wait here instead of
+        polling the WAL file.  Reads ``self._seq`` without the append
+        mutex — a stale read only means one extra wait round.
+        """
+        with self._feed:
+            if self._seq > seq:
+                return True
+            self._feed.wait(timeout)
+            return self._seq > seq
+
+    def replication_snapshot(self) -> dict[str, Any]:
+        """The complete logical state for replica catch-up (REPL_SNAPSHOT).
+
+        Call under the serving layer's read (or write) lock so the
+        snapshot lands on a statement boundary.
+        """
+        with self._lock:
+            payload = st.snapshot_payload(
+                self.db, self.users, self._seq, self._epoch()
+            )
+            payload["repl"] = self.replication_epoch
+            payload["repl_history"] = [list(x) for x in self.repl_history]
+            return payload
+
+    def apply_replicated(self, record: dict[str, Any]) -> int:
+        """Replica-side apply of one streamed WAL record.
+
+        The record is fenced (a replication epoch below the local fence
+        is a deposed primary's write: :class:`~repro.errors.ReplicaStale`),
+        appended verbatim to the replica's own WAL (durable per the
+        fsync policy — the REPL_ACK the caller sends afterwards is the
+        durability acknowledgment), then applied through the recovery
+        path with the journal unhooked so the apply is not re-logged.
+        Caller must hold the serving layer's write lock.
+        """
+        with self._lock:
+            if self._poisoned is not None:
+                raise WalError(
+                    f"store is poisoned after an earlier failure "
+                    f"({self._poisoned}); re-open the database to resume"
+                )
+            if self._writer is None or self._writer.closed:
+                raise WalError("WAL is closed")
+            seq = int(record.get("seq", -1))
+            repl = int(record.get("repl", 0))
+            if (
+                repl < self.replication_epoch
+                and seq > self.epoch_boundary(repl)
+            ):
+                # an older epoch is fine *before* the fork point (that
+                # is shared history); past it, this is a deposed
+                # primary's write and must never land
+                raise ReplicaStale(
+                    f"record seq {seq} carries replication epoch {repl} but "
+                    f"the local fence is {self.replication_epoch}; rejecting "
+                    f"a deposed primary's write",
+                    seq=seq,
+                    repl_epoch=repl,
+                )
+            if seq != self._seq + 1:
+                raise WalError(
+                    f"replication stream out of order: got seq {seq}, "
+                    f"expected {self._seq + 1}"
+                )
+            try:
+                self._writer.append(record)
+            except WalError as e:
+                self._poisoned = str(e)
+                raise
+            journal = getattr(self.db, "journal", None)
+            self.db.journal = None
+            dirty: set[str] = set()
+            try:
+                st.apply_record(self.db, self.users, record, dirty)
+                st.flush_rebuilds(self.db, dirty)
+            except Exception as e:
+                # the record is on disk but not in memory: recovery will
+                # converge them, this process must stop acknowledging
+                self._poisoned = f"replicated record {seq} failed to apply: {e}"
+                raise
+            finally:
+                self.db.journal = journal
+            if repl > self.replication_epoch:
+                self.repl_history.append([repl, seq - 1])
+                self.replication_epoch = repl
+                self._persist_replication_meta()
+            self._seq = seq
+            self.last_epoch = max(self.last_epoch, int(record.get("epoch", 0)))
+            self._records_since_checkpoint += 1
+        self._notify_feed()
+        return seq
+
+    def install_snapshot(self, payload: dict[str, Any]) -> None:
+        """Replace the entire state from a streamed snapshot (catch-up).
+
+        The resident :class:`GraphDB` object is rebuilt *in place* (its
+        ``__dict__`` swapped) so every holder of the backend reference —
+        serving engine, catalog, server — observes the new state without
+        rewiring.  The snapshot is persisted as a checkpoint and the WAL
+        restarts empty, exactly like :meth:`checkpoint`.  Caller must
+        hold the serving layer's write lock.
+        """
+        with self._lock:
+            if self._poisoned is not None:
+                raise WalError(
+                    f"store is poisoned ({self._poisoned}); cannot install snapshot"
+                )
+            if self._writer is None or self._writer.closed:
+                raise WalError("WAL is closed")
+            repl = int(payload.get("repl", 0))
+            if repl < self.replication_epoch:
+                raise ReplicaStale(
+                    f"snapshot carries replication epoch {repl} but the local "
+                    f"fence is {self.replication_epoch}",
+                    seq=int(payload.get("seq", 0)),
+                    repl_epoch=repl,
+                )
+            new_db, users = st.restore_snapshot(payload)
+            journal = getattr(self.db, "journal", None)
+            self.db.__dict__.clear()
+            self.db.__dict__.update(new_db.__dict__)
+            self.db.journal = journal
+            self.users = users
+            self._seq = int(payload["seq"])
+            self.last_epoch = max(self.last_epoch, int(payload.get("epoch", 0)))
+            history = payload.get("repl_history")
+            if history is not None and len(history) > len(self.repl_history):
+                self.repl_history = [[int(e), int(b)] for e, b in history]
+                self._persist_replication_meta()
+            if repl > self.replication_epoch:
+                self.replication_epoch = repl
+                self._persist_replication_meta()
+            write_checkpoint(self.path, payload, faults=self.faults)
+            prune_checkpoints(self.path, keep=2)
+            self._swap_fresh_wal()
+        self._notify_feed()
+
+    def _swap_fresh_wal(self) -> None:
+        """Close the writer and restart the WAL empty (caller holds
+        ``self._lock``; every covered record is already snapshotted)."""
+        assert self._writer is not None
+        self._writer.close()
+        tmp = temp_path_for(self.wal_path)
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC)
+            fsync_file(fh)
+        os.replace(tmp, self.wal_path)
+        fsync_dir(self.path)
+        self._writer = WalWriter(
+            self.wal_path,
+            fsync=self.fsync_policy,
+            batch_records=self.batch_records,
+            faults=self.faults,
+            metrics=self.metrics,
+        )
+        self._records_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
     # checkpoints
     # ------------------------------------------------------------------
     def maybe_checkpoint(self) -> Optional[str]:
@@ -385,25 +668,15 @@ class DurableStore:
                 self._poisoned = str(e)
                 raise
             payload = st.snapshot_payload(self.db, self.users, self._seq, self._epoch())
+            payload["repl"] = self.replication_epoch
             path = write_checkpoint(self.path, payload, faults=self.faults)
             prune_checkpoints(self.path, keep=2)
             # truncate: swap in a fresh, magic-only log
-            self._writer.close()
-            tmp = temp_path_for(self.wal_path)
-            with open(tmp, "wb") as fh:
-                fh.write(MAGIC)
-                fsync_file(fh)
-            os.replace(tmp, self.wal_path)
-            fsync_dir(self.path)
-            self._writer = WalWriter(
-                self.wal_path,
-                fsync=self.fsync_policy,
-                batch_records=self.batch_records,
-                faults=self.faults,
-                metrics=self.metrics,
-            )
-            self._records_since_checkpoint = 0
+            self._swap_fresh_wal()
             duration_ms = (time.perf_counter() - t0) * 1000.0
+        # rotation is a tailer-visible event: wake streams so they
+        # notice the swapped file promptly
+        self._notify_feed()
         if self.metrics is not None:
             self.metrics.counter(
                 "graql_checkpoints_total", "snapshot checkpoints written"

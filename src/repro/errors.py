@@ -179,6 +179,57 @@ class ServerBusy(GraQLError):
 
 
 # ----------------------------------------------------------------------
+# Replication taxonomy (docs/REPLICATION.md)
+# ----------------------------------------------------------------------
+
+class NotPrimary(GraQLError):
+    """Raised when a write is submitted to a read-only replica.
+
+    The statement was *not* executed.  ``primary`` carries the
+    ``graql://`` URL of the node this replica streams from (None when
+    the replica has lost track of its primary, e.g. mid-failover);
+    :class:`~repro.net.RemoteConnection` follows it as a redirect and
+    retries the write there — a NotPrimary rejection is always safe to
+    retry because nothing ran.
+    """
+
+    def __init__(self, message: str, primary: "str | None" = None) -> None:
+        if primary:
+            message = f"{message} (primary: {primary})"
+        super().__init__(message)
+        self.primary = primary
+
+
+class ReplicaStale(GraQLError):
+    """Raised when a streamed WAL record fails the epoch fence.
+
+    A promoted replica bumps the replication epoch; records stamped
+    with a lower epoch can only come from a deposed primary that kept
+    writing after the failover, and applying them would fork history.
+    ``seq`` / ``repl_epoch`` identify the rejected record.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        seq: "int | None" = None,
+        repl_epoch: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.seq = seq
+        self.repl_epoch = repl_epoch
+
+
+class PromotionError(GraQLError):
+    """Raised when a node cannot be promoted to primary.
+
+    Promotion requires a replica whose applier has replayed its tail;
+    promoting a node that is already primary, has no durable store, or
+    cannot persist the bumped epoch fails with this.
+    """
+
+
+# ----------------------------------------------------------------------
 # Backend fault taxonomy (simulated cluster, docs/RELIABILITY.md)
 # ----------------------------------------------------------------------
 

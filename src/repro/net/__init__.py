@@ -22,7 +22,13 @@ from repro.net.frame import (
     encode_frame,
 )
 from repro.net.protocol import ERROR_CLASSES, decode_error, encode_error, error_code
-from repro.net.client import RemoteConnection, RemotePreparedStatement, parse_url
+from repro.net.client import (
+    RemoteConnection,
+    RemotePreparedStatement,
+    parse_endpoints,
+    parse_url,
+    ping,
+)
 from repro.net.server import GraqlServer
 
 __all__ = [
@@ -39,5 +45,7 @@ __all__ = [
     "encode_error",
     "encode_frame",
     "error_code",
+    "parse_endpoints",
     "parse_url",
+    "ping",
 ]

@@ -57,10 +57,22 @@ FT_BATCH = 8          # server -> client: {rows: [[...], ...]}
 FT_DONE = 9           # server -> client: {rows: n} — stream complete
 FT_ERROR = 10         # server -> client: {code, message, attrs, span}
 FT_BYE = 11           # client -> server: {} — orderly goodbye
+# -- health checks (served without an admission-queue entry) -----------
+FT_PING = 12          # client -> server: {} — may precede HELLO
+FT_PONG = 13          # server -> client: {role, seq?, repl_epoch?, primary?, replicas?}
+# -- WAL-shipping replication (docs/REPLICATION.md) --------------------
+FT_REPL_SUBSCRIBE = 14  # replica -> primary: {from_seq, repl_epoch}
+FT_REPL_SNAPSHOT = 15   # primary -> replica: {resume} | {snapshot} catch-up
+FT_REPL_RECORD = 16     # primary -> replica: {record} — one WAL record
+FT_REPL_ACK = 17        # replica -> primary: {seq} — durable through seq
+FT_PROMOTE = 18         # admin -> replica: {} — promote to primary
+FT_PROMOTED = 19        # replica -> admin: {repl_epoch, seq}
 
 FRAME_TYPES = frozenset(
     (FT_HELLO, FT_HELLO_OK, FT_EXECUTE, FT_PREPARE, FT_PREPARED,
-     FT_EXEC_PREPARED, FT_RESULT, FT_BATCH, FT_DONE, FT_ERROR, FT_BYE)
+     FT_EXEC_PREPARED, FT_RESULT, FT_BATCH, FT_DONE, FT_ERROR, FT_BYE,
+     FT_PING, FT_PONG, FT_REPL_SUBSCRIBE, FT_REPL_SNAPSHOT,
+     FT_REPL_RECORD, FT_REPL_ACK, FT_PROMOTE, FT_PROMOTED)
 )
 
 

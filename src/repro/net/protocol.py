@@ -38,10 +38,13 @@ from repro.errors import (
     IngestError,
     IRError,
     LexError,
+    NotPrimary,
     ParseError,
     PlanError,
+    PromotionError,
     ProtocolError,
     QueryTimeout,
+    ReplicaStale,
     ServerBusy,
     TypeCheckError,
     WalError,
@@ -79,6 +82,9 @@ ERROR_CLASSES: dict[str, type] = {
     "timeout": QueryTimeout,
     "degraded": DegradedMode,
     "protocol": ProtocolError,
+    "not_primary": NotPrimary,
+    "replica_stale": ReplicaStale,
+    "promotion": PromotionError,
 }
 
 _CODE_OF = {cls: code for code, cls in ERROR_CLASSES.items()}
@@ -86,7 +92,7 @@ _CODE_OF = {cls: code for code, cls in ERROR_CLASSES.items()}
 #: exception attributes preserved across the wire, when present
 _ERROR_ATTRS = (
     "line", "column", "reason", "retryable", "worker", "partition",
-    "offset", "instruction", "code",
+    "offset", "instruction", "code", "primary", "seq", "repl_epoch",
 )
 
 

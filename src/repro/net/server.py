@@ -42,7 +42,14 @@ import time
 from collections import deque
 from typing import Any, Mapping, Optional, Tuple
 
-from repro.errors import AccessError, ProtocolError, ServerBusy
+from repro.errors import (
+    AccessError,
+    GraQLError,
+    PromotionError,
+    ProtocolError,
+    ServerBusy,
+    WalError,
+)
 from repro.net.frame import (
     FT_BATCH,
     FT_BYE,
@@ -52,8 +59,13 @@ from repro.net.frame import (
     FT_EXECUTE,
     FT_HELLO,
     FT_HELLO_OK,
+    FT_PING,
+    FT_PONG,
     FT_PREPARE,
     FT_PREPARED,
+    FT_PROMOTE,
+    FT_PROMOTED,
+    FT_REPL_SUBSCRIBE,
     FT_RESULT,
     FrameSocket,
     PROTOCOL_VERSION,
@@ -99,9 +111,15 @@ class GraqlServer:
         batch_rows: int = DEFAULT_BATCH_ROWS,
         idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        replica=None,
     ) -> None:
         from repro.engine.session import Database
 
+        #: the :class:`~repro.replication.Replica` this server fronts
+        #: (``graql serve --replica-of``); None for a plain server
+        self.replica = replica
+        if replica is not None:
+            target = replica.database
         if isinstance(target, Database):
             #: the Database whose engine is being served (None when a
             #: bare Server was passed); closed by ``graql serve`` on exit
@@ -110,6 +128,14 @@ class GraqlServer:
         else:
             self.database = None
             self.app = target
+        #: WAL-shipping manager (docs/REPLICATION.md); present whenever
+        #: the served database is durable — a replica can chain-feed
+        #: further replicas, and must stream as primary once promoted
+        self.replication = None
+        if self.database is not None and self.database.store is not None:
+            from repro.replication.primary import PrimaryReplication
+
+            self.replication = PrimaryReplication(self.database)
         self.host = host
         self.port = port
         self.batch_rows = max(1, int(batch_rows))
@@ -270,6 +296,24 @@ class GraqlServer:
             fs.close()
 
     # ------------------------------------------------------------------
+    def _pong_payload(self) -> dict[str, Any]:
+        """The PONG body: role, position, fence and subscriber lag —
+        the whole replication health surface in one frame."""
+        out: dict[str, Any] = {"role": "memory"}
+        if self.replica is not None:
+            out = self.replica.status()
+        elif self.database is not None and self.database.store is not None:
+            store = self.database.store
+            out = {
+                "role": "primary",
+                "seq": store.seq,
+                "repl_epoch": store.replication_epoch,
+            }
+        if self.replication is not None:
+            out["replicas"] = self.replication.peers()
+        return out
+
+    # ------------------------------------------------------------------
     def _unregister(self, conn_id: int) -> None:
         with self._sessions_lock:
             self._sessions.pop(conn_id, None)
@@ -345,6 +389,12 @@ class _Session:
         self.sock.settimeout(HANDSHAKE_TIMEOUT)
         fs.expect_magic()
         ftype, hello = fs.recv_frame()
+        while ftype == FT_PING:
+            # health checks are answered before (and without) auth, and
+            # never touch the admission queue — a wedged engine still
+            # reports its role and position
+            fs.send_frame(FT_PONG, srv._pong_payload())
+            ftype, hello = fs.recv_frame()
         if ftype != FT_HELLO:
             fs.send_frame(
                 FT_ERROR,
@@ -398,6 +448,11 @@ class _Session:
                 return
             if ftype == FT_BYE:
                 return
+            if ftype == FT_PING:
+                # no admission-queue entry, no request accounting: pings
+                # must answer even when the engine is saturated
+                fs.send_frame(FT_PONG, srv._pong_payload())
+                continue
             req += 1
             if ftype == FT_EXECUTE:
                 self._serve_request(fs, req, "execute", payload)
@@ -405,6 +460,11 @@ class _Session:
                 self._handle_prepare(fs, req, payload)
             elif ftype == FT_EXEC_PREPARED:
                 self._serve_request(fs, req, "exec_prepared", payload)
+            elif ftype == FT_REPL_SUBSCRIBE:
+                self._handle_subscribe(fs, req, payload)
+                return  # the socket was dedicated to the stream
+            elif ftype == FT_PROMOTE:
+                self._handle_promote(fs, req)
             else:
                 fs.send_frame(
                     FT_ERROR,
@@ -525,6 +585,73 @@ class _Session:
                 "statements": len(ps.script.statements),
             },
         )
+
+    # ------------------------------------------------------------------
+    # Replication handlers (docs/REPLICATION.md)
+    # ------------------------------------------------------------------
+    def _handle_subscribe(
+        self, fs: FrameSocket, req: int, payload: Mapping[str, Any]
+    ) -> None:
+        """Hand this session's socket to the replication manager; owns
+        the connection until the replica goes away."""
+        srv = self.server
+        span = Span(
+            "net.repl_subscribe",
+            {"conn": self.conn_id, "req": req, "user": self.user,
+             "from_seq": int(payload.get("from_seq", 0))},
+        )
+        try:
+            # the full WAL (accounts included) crosses the wire: admin only
+            srv.app._require(self.user, "admin")
+            if srv.replication is None:
+                raise WalError(
+                    "this server has no durable store; nothing to replicate"
+                )
+        except GraQLError as e:
+            span.set(error=error_code(e))
+            srv._record_span(span)
+            fs.send_frame(FT_ERROR, encode_error(e, span=self._span_ctx(req)))
+            return
+        # a streaming subscription is never idle in the reaper's sense
+        self.sock.settimeout(None)
+        addr = f"{self.addr[0]}:{self.addr[1]}" if self.addr else "?"
+        try:
+            srv.replication.serve_subscription(
+                fs, f"conn{self.conn_id}", addr, payload
+            )
+        except GraQLError as e:
+            span.set(error=error_code(e))
+            try:
+                fs.send_frame(FT_ERROR, encode_error(e, span=self._span_ctx(req)))
+            except (ProtocolError, OSError):
+                pass
+        srv._record_span(span)
+
+    def _handle_promote(self, fs: FrameSocket, req: int) -> None:
+        """PROMOTE: fence off the old primary and open for writes."""
+        srv = self.server
+        span = Span(
+            "net.promote", {"conn": self.conn_id, "req": req, "user": self.user}
+        )
+        try:
+            srv.app._require(self.user, "admin")
+            if srv.replica is None:
+                raise PromotionError(
+                    "this node is not a replica; nothing to promote"
+                )
+            result = srv.replica.promote()
+        except Exception as e:  # noqa: BLE001 - crosses typed
+            span.set(error=error_code(e))
+            srv._record_span(span)
+            fs.send_frame(FT_ERROR, encode_error(e, span=self._span_ctx(req)))
+            return
+        span.set(**result)
+        srv._record_span(span)
+        # the replica's own replication.promote span carries the timing
+        # of the fence bump; surface it on the same ring
+        if srv.replica.last_promote_span is not None:
+            srv.recent_spans.append(srv.replica.last_promote_span)
+        fs.send_frame(FT_PROMOTED, result)
 
     # ------------------------------------------------------------------
     def _flush_byte_metrics(self, fs: FrameSocket) -> None:

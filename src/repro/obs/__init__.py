@@ -36,6 +36,7 @@ from repro.obs.profile import (
     StepProfile,
     record_profile_metrics,
 )
+from repro.obs.replication import ReplicationMetrics
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "Tracer",
     "Span",
     "MetricsRegistry",
+    "ReplicationMetrics",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,122 @@
+"""Replication observability: lag gauges, apply rates, failover spans.
+
+One :class:`ReplicationMetrics` wraps a
+:class:`~repro.obs.metrics.MetricsRegistry` with the replication metric
+family (docs/REPLICATION.md, docs/OBSERVABILITY.md):
+
+* ``graql_repl_lag_records{peer=...}`` — primary-side: records the
+  primary has committed that the peer has not yet acknowledged.
+* ``graql_repl_lag_bytes{peer=...}`` — primary-side: WAL bytes written
+  past the peer's stream position.
+* ``graql_repl_lag_seconds{peer=...}`` — primary-side: seconds since
+  the peer's last acknowledgment (0 while fully caught up).
+* ``graql_repl_records_streamed_total`` / ``graql_repl_acks_total`` /
+  ``graql_repl_snapshots_sent_total`` — primary-side counters.
+* ``graql_repl_records_applied_total`` /
+  ``graql_repl_bytes_applied_total`` /
+  ``graql_repl_snapshots_installed_total`` — replica-side apply rates.
+* ``graql_repl_connected`` — replica-side: 1 while subscribed.
+* ``graql_repl_promotions_total`` — bumped on promotion; the promotion
+  itself is also recorded as a ``replication.promote`` span on the
+  serving node's span ring.
+
+Lag is reported in all three units deliberately: records answer "how
+far behind", bytes answer "how much data is in flight", and seconds
+answer "is the replica making progress at all" — a wedged applier
+shows a flat record lag but a climbing seconds lag.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+
+class ReplicationMetrics:
+    """The replication metric family over one registry."""
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+    # Primary side
+    # ------------------------------------------------------------------
+    def streamed(self, records: int = 1) -> None:
+        self.registry.counter(
+            "graql_repl_records_streamed_total",
+            "WAL records streamed to replicas",
+        ).inc(records)
+
+    def snapshot_sent(self) -> None:
+        self.registry.counter(
+            "graql_repl_snapshots_sent_total",
+            "full snapshots shipped for replica catch-up",
+        ).inc()
+
+    def acked(self, peer: str) -> None:
+        self.registry.counter(
+            "graql_repl_acks_total", "replication acknowledgments received",
+        ).inc()
+
+    def set_lag(
+        self,
+        peer: str,
+        *,
+        records: float,
+        bytes_: float,
+        seconds: float,
+    ) -> None:
+        labels = {"peer": peer}
+        self.registry.gauge(
+            "graql_repl_lag_records",
+            "committed records the peer has not acknowledged",
+            labels=labels,
+        ).set(max(0.0, records))
+        self.registry.gauge(
+            "graql_repl_lag_bytes",
+            "WAL bytes written past the peer's stream position",
+            labels=labels,
+        ).set(max(0.0, bytes_))
+        self.registry.gauge(
+            "graql_repl_lag_seconds",
+            "seconds since the peer's last acknowledgment",
+            labels=labels,
+        ).set(max(0.0, seconds))
+
+    def clear_lag(self, peer: str) -> None:
+        """Zero the peer's lag gauges when it unsubscribes (the registry
+        keeps registrations; a stale non-zero lag would read as an
+        unhealthy replica that in fact left cleanly)."""
+        self.set_lag(peer, records=0.0, bytes_=0.0, seconds=0.0)
+
+    # ------------------------------------------------------------------
+    # Replica side
+    # ------------------------------------------------------------------
+    def applied(self, records: int, bytes_: int) -> None:
+        self.registry.counter(
+            "graql_repl_records_applied_total",
+            "streamed WAL records durably applied",
+        ).inc(records)
+        self.registry.counter(
+            "graql_repl_bytes_applied_total",
+            "streamed WAL bytes durably applied",
+        ).inc(bytes_)
+
+    def snapshot_installed(self) -> None:
+        self.registry.counter(
+            "graql_repl_snapshots_installed_total",
+            "full snapshots installed during catch-up",
+        ).inc()
+
+    def set_connected(self, connected: bool) -> None:
+        self.registry.gauge(
+            "graql_repl_connected",
+            "1 while this replica is subscribed to its primary",
+        ).set(1.0 if connected else 0.0)
+
+    def promoted(self) -> None:
+        self.registry.counter(
+            "graql_repl_promotions_total", "replica-to-primary promotions",
+        ).inc()

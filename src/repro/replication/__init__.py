@@ -1,0 +1,23 @@
+"""WAL-shipping replication (docs/REPLICATION.md).
+
+The primary tails its own write-ahead log
+(:class:`~repro.replication.stream.WalTailer`) and streams every
+committed record to subscribed replicas over the ``GRQLNET1`` wire
+protocol; each replica applies the stream through the recovery path
+into its *own* durable WAL, serves read-only queries meanwhile, and can
+be promoted to primary after a failover — with a persisted,
+monotonically increasing replication epoch fencing off the deposed
+primary's stale writes.
+"""
+
+from repro.replication.primary import PrimaryReplication, ReplicaPeer
+from repro.replication.replica import Replica
+from repro.replication.stream import TailPoll, WalTailer
+
+__all__ = [
+    "PrimaryReplication",
+    "Replica",
+    "ReplicaPeer",
+    "TailPoll",
+    "WalTailer",
+]

@@ -1,0 +1,185 @@
+"""Incremental, rotation-aware tailing of a live write-ahead log.
+
+The primary streams its WAL to replicas by *tailing its own log file*
+(docs/REPLICATION.md): :class:`WalTailer` keeps a byte offset into
+``wal.log`` and each :meth:`~WalTailer.poll` parses every record
+appended since the last poll, applying exactly the same validation
+discipline as recovery's :func:`~repro.durability.wal.read_wal` —
+checksummed header, canonical-JSON payload, strictly increasing
+sequence numbers.  Three situations make live tailing harder than a
+one-shot recovery scan, and each has a defined behaviour:
+
+* **Torn tail.**  A record that is incomplete or corrupt at the end of
+  the file stops the poll *without advancing past the last valid
+  record*.  Under normal operation that is simply an append racing the
+  tailer and the next poll picks the record up whole; after a crash it
+  is a genuinely torn tail, and the tailer holds position until the
+  primary repairs the file (recovery truncates the tail in place), at
+  which point streaming resumes from the same offset.
+* **Rotation.**  ``DurableStore.checkpoint()`` atomically replaces
+  ``wal.log`` with a fresh magic-only file.  The tailer detects the
+  swap (file identity changed, or the file shrank below our offset)
+  and restarts from byte 0, skipping records already delivered
+  (``seq <= last_seq``).
+* **Gap.**  If after a rotation the first unseen record's ``seq``
+  jumps past ``last_seq + 1``, the checkpoint truncated records this
+  subscriber never received.  The tailer cannot recover by reading —
+  the bytes are gone — so the poll reports ``gap=True`` and the
+  primary falls back to shipping a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.durability.wal import (
+    END_BAD_LENGTH,
+    END_BAD_MAGIC,
+    END_BAD_PAYLOAD,
+    END_CLEAN,
+    END_CRC_MISMATCH,
+    END_TORN_HEADER,
+    END_TORN_PAYLOAD,
+    HEADER_LEN,
+    MAGIC,
+    MAX_RECORD_BYTES,
+    _HEADER,
+)
+
+
+@dataclass
+class TailPoll:
+    """The outcome of one :meth:`WalTailer.poll`.
+
+    ``records`` are the newly visible, fully validated records with
+    ``seq > last_seq`` in order.  ``gap`` means the log rotated past
+    records this tailer never delivered — the subscriber needs a
+    snapshot, not more polling.  ``reason`` is the
+    :mod:`~repro.durability.wal` ``END_*`` constant that stopped the
+    scan (``END_CLEAN`` when the poll consumed the whole file) and
+    ``halted`` is True when that reason indicates a torn or corrupt
+    tail the tailer is now parked on.
+    """
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    gap: bool = False
+    reason: str = END_CLEAN
+
+    @property
+    def halted(self) -> bool:
+        return self.reason != END_CLEAN
+
+
+class WalTailer:
+    """Tail *path*, yielding each record exactly once past *last_seq*.
+
+    Single-threaded: one tailer serves one subscriber.  The tailer
+    opens the file fresh on every poll (polls are seconds apart at
+    most and a cached handle would pin a rotated-away inode), so it is
+    safe against the store's ``os.replace`` checkpoint swap on every
+    platform the repo targets.
+    """
+
+    def __init__(self, path: str, last_seq: int) -> None:
+        self.path = path
+        #: highest seq delivered to the subscriber (or snapshotted)
+        self.last_seq = last_seq
+        #: byte offset of the first unparsed byte; 0 means the magic
+        #: preamble has not been consumed yet
+        self.offset = 0
+        self._ino: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def poll(self) -> TailPoll:
+        """Parse everything new since the last poll (see class docs)."""
+        out = TailPoll()
+        try:
+            with open(self.path, "rb") as fh:
+                st = os.fstat(fh.fileno())
+                if self._ino is not None and (
+                    st.st_ino != self._ino or st.st_size < self.offset
+                ):
+                    # rotated (checkpoint swap) or truncated in place
+                    # (recovery repair that cut below us): rescan from
+                    # the top, dropping already-delivered records
+                    self.offset = 0
+                self._ino = st.st_ino
+                fh.seek(self.offset)
+                blob = fh.read()
+        except FileNotFoundError:
+            # mid-rotation window between unlink and replace; treat as
+            # "nothing new yet" and re-stat next poll
+            return out
+
+        base = self.offset  # file offset of blob[0]
+        pos = 0
+        if base == 0:
+            if len(blob) < len(MAGIC):
+                out.reason = END_TORN_HEADER
+                return out
+            if blob[: len(MAGIC)] != MAGIC:
+                out.reason = END_BAD_MAGIC
+                return out
+            pos = len(MAGIC)
+            self.offset = base + pos
+
+        while True:
+            record, consumed, reason = self._parse_one(blob, pos)
+            if record is None:
+                out.reason = reason
+                break
+            pos += consumed
+            seq = record.get("seq")
+            if not isinstance(seq, int):
+                out.reason = END_BAD_PAYLOAD
+                break
+            if seq <= self.last_seq:
+                # pre-rotation record we already delivered
+                self.offset = base + pos
+                continue
+            if seq != self.last_seq + 1:
+                # the log rotated past records we never saw: the bytes
+                # are gone, only a snapshot can catch this subscriber up
+                out.gap = True
+                break
+            out.records.append(record)
+            self.last_seq = seq
+            self.offset = base + pos
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_one(
+        blob: bytes, pos: int
+    ) -> "tuple[Optional[dict[str, Any]], int, str]":
+        """One record at *pos* of *blob*: ``(record, bytes, reason)``.
+
+        ``record`` is None when the scan must stop; ``reason`` then
+        says why (``END_CLEAN`` at a clean end-of-buffer, otherwise a
+        torn/corrupt-tail constant).
+        """
+        remaining = len(blob) - pos
+        if remaining == 0:
+            return None, 0, END_CLEAN
+        if remaining < HEADER_LEN:
+            return None, 0, END_TORN_HEADER
+        length, crc = _HEADER.unpack_from(blob, pos)
+        if length > MAX_RECORD_BYTES:
+            return None, 0, END_BAD_LENGTH
+        start = pos + HEADER_LEN
+        if start + length > len(blob):
+            return None, 0, END_TORN_PAYLOAD
+        payload = blob[start : start + length]
+        if zlib.crc32(payload) != crc:
+            return None, 0, END_CRC_MISMATCH
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None, 0, END_BAD_PAYLOAD
+        if not isinstance(record, dict):
+            return None, 0, END_BAD_PAYLOAD
+        return record, HEADER_LEN + length, END_CLEAN

@@ -45,7 +45,7 @@ from repro.graql.ast import (
     Statement,
     TableSelect,
 )
-from repro.errors import ClosedError
+from repro.errors import ClosedError, NotPrimary
 from repro.graql.parser import parse_script
 from repro.obs.options import QueryOptions, resolve_options
 from repro.obs.profile import record_profile_metrics
@@ -120,10 +120,38 @@ class ServingEngine:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        #: replica mode (docs/REPLICATION.md): writes are rejected with
+        #: :class:`~repro.errors.NotPrimary` carrying the primary's URL
+        self.read_only = False
+        self.primary_url: Optional[str] = None
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    # ------------------------------------------------------------------
+    # Replica mode
+    # ------------------------------------------------------------------
+    def set_read_only(self, primary_url: Optional[str] = None) -> None:
+        """Reject write submissions from now on (streaming replica).
+
+        The replication applier bypasses this by taking ``self.lock``
+        directly — only *client* writes are fenced."""
+        self._check_open()
+        self.read_only = True
+        self.primary_url = primary_url
+
+    def set_writable(self) -> None:
+        """Lift replica mode (promotion)."""
+        self._check_open()
+        self.read_only = False
+        self.primary_url = None
+
+    def _reject_write(self) -> None:
+        raise NotPrimary(
+            "this node is a read-only replica; retry the write on the primary",
+            primary=self.primary_url,
+        )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -204,6 +232,8 @@ class ServingEngine:
         script = parse_script(source)  # pure; classification needs the AST
         parse_ms = (time.perf_counter() - t0) * 1000.0
         if script_is_write(script):
+            if self.read_only:
+                self._reject_write()
             with self.lock.write_locked():
                 results, _ = runner(script, opts, parse_ms)
             # effects bumped the catalog epoch; old entries are
@@ -271,6 +301,8 @@ class ServingEngine:
 
     def _locked(self, write: bool, fn: Callable[[], Any]) -> Any:
         if write:
+            if self.read_only:
+                self._reject_write()
             with self.lock.write_locked():
                 out = fn()
             self.cache.invalidate()

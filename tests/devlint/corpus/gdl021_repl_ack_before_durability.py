@@ -1,0 +1,15 @@
+"""GDL021 trigger: the replica acks the streamed record before
+``apply_replicated`` lands it in its own WAL — the primary counts the
+write replicated while a replica crash can still lose it."""
+
+FT_REPL_ACK = 0x22
+
+
+class Applier:
+    def __init__(self, frames, store):
+        self.frames = frames
+        self.store = store
+
+    def handle_record(self, record):
+        self.frames.send_frame(FT_REPL_ACK, {"seq": record["seq"]})
+        self.store.apply_replicated(record)  # GDL021: ack went out first

@@ -1,0 +1,15 @@
+"""GDL021 clean twin: ``apply_replicated`` strictly precedes the
+``REPL_ACK``, so the primary only counts records the replica holds
+durably."""
+
+FT_REPL_ACK = 0x22
+
+
+class Applier:
+    def __init__(self, frames, store):
+        self.frames = frames
+        self.store = store
+
+    def handle_record(self, record):
+        seq = self.store.apply_replicated(record)
+        self.frames.send_frame(FT_REPL_ACK, {"seq": seq})

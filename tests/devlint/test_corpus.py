@@ -22,6 +22,7 @@ TRIGGERS = {
     "GDL002": ("gdl002_lock_cycle.py", 1),
     "GDL010": ("gdl010_blocking_under_lock.py", 2),
     "GDL020": ("gdl020_ack_before_durability.py", 1),
+    "GDL021": ("gdl021_repl_ack_before_durability.py", 1),
     "GDL030": ("gdl030_swallow_crash.py", 2),
     "GDL031": ("gdl031_broad_except.py", 1),
     "GDL032": ("gdl032_unjoined_thread.py", 1),

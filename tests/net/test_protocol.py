@@ -65,6 +65,9 @@ class TestErrorCodec:
             "timeout": "QueryTimeout",
             "degraded": "DegradedMode",
             "protocol": "ProtocolError",
+            "not_primary": "NotPrimary",
+            "replica_stale": "ReplicaStale",
+            "promotion": "PromotionError",
         }
 
     def test_parse_error_keeps_position_without_doubling_suffix(self):

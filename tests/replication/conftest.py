@@ -1,0 +1,84 @@
+"""Shared fixtures for replication tests: a live primary + replica pair.
+
+Everything here runs real sockets on loopback and real WAL files under
+``tmp_path`` — the replication stack has no test doubles.  ``fsync`` is
+off for speed: durability *ordering* (ack-after-append) is what these
+tests prove, and that is independent of the fsync policy.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+import pytest
+
+from repro.engine.session import Database
+from repro.net import GraqlServer
+from repro.replication import Replica
+
+
+def wait_until(
+    pred: Callable[[], bool], timeout: float = 10.0, interval: float = 0.01
+) -> None:
+    """Poll *pred* until true; fail the test loudly on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pred():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s: {pred}")
+
+
+def wait_caught_up(replica: Replica, seq: int, timeout: float = 10.0) -> None:
+    wait_until(lambda: replica.database.store.seq >= seq, timeout)
+
+
+class Pair:
+    """A durable primary served over TCP plus one streaming replica."""
+
+    def __init__(self, tmp_path, **replica_kwargs: Any) -> None:
+        self.primary_path = str(tmp_path / "primary.db")
+        self.replica_path = str(tmp_path / "replica.db")
+        self.primary_db = Database.open(self.primary_path, fsync="off")
+        self.server = GraqlServer(self.primary_db, port=0)
+        self.server.start()
+        self.replica: Optional[Replica] = None
+        self.replica_server: Optional[GraqlServer] = None
+        self._replica_kwargs = replica_kwargs
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def start_replica(self) -> Replica:
+        self.replica = Replica(
+            self.replica_path,
+            self.server.url,
+            durability={"fsync": "off"},
+            **self._replica_kwargs,
+        )
+        self.replica.start()
+        return self.replica
+
+    def serve_replica(self) -> GraqlServer:
+        """Also serve the replica over TCP (reads + PROMOTE frames)."""
+        assert self.replica is not None
+        self.replica_server = GraqlServer(None, port=0, replica=self.replica)
+        self.replica_server.start()
+        return self.replica_server
+
+    def close(self) -> None:
+        if self.replica_server is not None:
+            self.replica_server.shutdown(drain=False, timeout=10.0)
+        if self.replica is not None:
+            self.replica.close()
+        self.server.shutdown(drain=False, timeout=10.0)
+        self.primary_db.close()
+
+
+@pytest.fixture
+def pair(tmp_path):
+    p = Pair(tmp_path)
+    yield p
+    p.close()

@@ -1,0 +1,157 @@
+"""Self-healing client: retries, redirects, poisoning, re-prepare.
+
+The retry contract (docs/REPLICATION.md): a transport fault during an
+**idempotent** request reconnects and retries with capped backoff; a
+fault during a write poisons the connection (the write is ambiguous); a
+NotPrimary rejection is followed as a redirect for any statement
+because the server refused before executing anything.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.errors import ClosedError, NotPrimary, ProtocolError
+from repro.net import GraqlServer, RemoteConnection
+
+from tests.conftest import build_social_db
+from tests.replication.conftest import wait_until
+
+PEOPLE_Q = "select name from table People where age > 30"
+DDL = "create table Audit( id integer )"
+
+
+@pytest.fixture
+def srv():
+    server = GraqlServer(build_social_db(), port=0)
+    server.start()
+    yield server
+    server.shutdown(drain=False, timeout=10.0)
+
+
+def _rows(conn, q=PEOPLE_Q):
+    return [tuple(r) for r in conn.execute(q)[-1].table.iter_rows()]
+
+
+def test_multi_endpoint_connect_skips_dead_nodes(srv):
+    # port 1 refuses instantly; the client walks on to the live node
+    conn = RemoteConnection(
+        f"graql://127.0.0.1:1,{srv.host}:{srv.port}", "admin",
+        connect_timeout=2.0,
+    )
+    assert len(_rows(conn)) == 3
+    assert conn.url == srv.url  # it reports the endpoint that answered
+    conn.close()
+
+
+def test_connect_raises_when_no_endpoint_answers():
+    with pytest.raises(ProtocolError):
+        RemoteConnection(
+            "graql://127.0.0.1:1,127.0.0.1:2", connect_timeout=2.0
+        )
+
+
+def test_idempotent_select_heals_a_broken_transport(srv):
+    conn = RemoteConnection(srv.url, "admin")
+    assert len(_rows(conn)) == 3
+    # the transport dies under us (peer reset, reaped, NAT timeout...)
+    conn._fs.sock.shutdown(socket.SHUT_RDWR)
+    conn._fs.sock.close()
+    # the SELECT is retried on a fresh session, not surfaced as a fault
+    assert len(_rows(conn)) == 3
+    assert not conn._closed
+    conn.close()
+
+
+def test_known_broken_transport_heals_even_for_writes(srv):
+    """Only *mid-flight* faults are ambiguous.  A connection already
+    known broken reconnects before sending, so a write is safe."""
+    conn = RemoteConnection(srv.url, "admin")
+    conn.execute(DDL)
+    conn._drop_transport()
+    conn.execute("create table Audit2( id integer )")  # reconnect, then send
+    assert "Audit2" in srv.database.catalog.tables
+    conn.close()
+
+
+def test_write_fault_mid_flight_poisons_the_connection(srv):
+    conn = RemoteConnection(srv.url, "admin")
+    conn.execute(DDL)
+
+    def explode(*a, **k):
+        raise ProtocolError("injected transport fault")
+
+    conn._fs.recv_frame = explode  # the response never arrives
+    with pytest.raises(ProtocolError, match="injected"):
+        conn.execute("create table Poisoned( id integer )")
+    # ambiguous write: the connection is now unusable, loudly
+    with pytest.raises(ClosedError):
+        conn.execute(PEOPLE_Q)
+    conn.close()  # close stays idempotent on a poisoned connection
+
+
+def test_exhausted_retries_poison_even_idempotent_requests(srv):
+    conn = RemoteConnection(srv.url, "admin", retry_attempts=1)
+    assert len(_rows(conn)) == 3
+    srv.shutdown(drain=False, timeout=10.0)  # the whole deployment is gone
+    with pytest.raises(ProtocolError):
+        conn.execute(PEOPLE_Q)
+    with pytest.raises(ClosedError):
+        conn.execute(PEOPLE_Q)
+
+
+def test_prepared_statement_reprepares_after_reconnect(srv):
+    conn = RemoteConnection(srv.url, "admin")
+    stmt = conn.prepare(PEOPLE_Q)
+    first_gen = stmt._generation
+    assert stmt.execute()[-1].table.num_rows == 3
+    conn._drop_transport()
+    rows = [tuple(r) for r in stmt.execute()[-1].table.iter_rows()]
+    assert len(rows) == 3  # same statement, new session, no caller effort
+    assert stmt._generation != first_gen
+    conn.close()
+
+
+def test_select_survives_failover_to_promoted_replica(pair):
+    """The acceptance scenario in client miniature: the primary dies,
+    the replica is promoted, and an in-flight client's SELECT completes
+    against the survivor without ever raising ClosedError."""
+    replica = pair.start_replica()
+    pair.primary_db.execute("create table People( id integer, age integer )")
+    pair.primary_db.ingest_rows("People", [(1, 40), (2, 20)])
+    wait_until(
+        lambda: replica.database.store.seq >= pair.primary_db.store.seq
+    )
+    rsrv = pair.serve_replica()
+
+    conn = RemoteConnection(f"graql://{pair.server.host}:{pair.server.port},"
+                            f"{rsrv.host}:{rsrv.port}", "admin")
+    q = "select count(*) as n from table People where age > 30"
+    assert _rows(conn, q) == [(1,)]
+
+    pair.server.shutdown(drain=False, timeout=10.0)  # the primary dies
+    replica.promote()
+
+    # the retried SELECT walks the endpoint list onto the survivor
+    assert _rows(conn, q) == [(1,)]
+    # and the survivor is writable now: no redirect, no error
+    conn.execute(DDL)
+    assert "Audit" in replica.database.catalog.tables
+    conn.close()
+
+
+def test_redirect_cap_bounds_a_replica_only_deployment(pair):
+    """With no writable node reachable, redirects stop at the cap and
+    the NotPrimary surfaces rather than looping forever."""
+    pair.start_replica()
+    rsrv = pair.serve_replica()
+    pair.server.shutdown(drain=False, timeout=10.0)  # primary unreachable
+    conn = RemoteConnection(
+        rsrv.url, "admin", max_redirects=2, retry_attempts=0,
+        connect_timeout=2.0,
+    )
+    with pytest.raises((NotPrimary, ProtocolError)):
+        conn.execute(DDL)
+    conn.close()

@@ -1,0 +1,172 @@
+"""Epoch fencing: a deposed primary's writes never land anywhere.
+
+Promotion bumps a persisted, monotonic *replication epoch*; every WAL
+record carries the epoch it was written under.  The fence has two
+enforcement points (docs/REPLICATION.md): ``apply_replicated`` rejects
+records below the local fence, and ``serve_subscription`` refuses
+subscribers whose epoch is *ahead* of the serving node — each side
+rejects the other's stale timeline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.durability.wal import read_wal
+from repro.engine.session import Database
+from repro.errors import ReplicaStale, WalError
+from repro.replication import Replica
+
+from tests.replication.conftest import wait_caught_up, wait_until
+
+DDL = "create table People( id integer, name varchar(16) )"
+
+
+def test_promotion_bumps_and_persists_epoch(pair, tmp_path):
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    assert replica.database.store.replication_epoch == 0
+
+    out = replica.promote()
+    assert out["repl_epoch"] == 1
+    assert replica.database.store.replication_epoch == 1
+    assert replica.status()["role"] == "primary"
+
+    # the fence survives a close/reopen cycle: it is on disk
+    replica.close()
+    reopened = Database.open(pair.replica_path, fsync="off")
+    try:
+        assert reopened.store.replication_epoch == 1
+    finally:
+        reopened.close()
+
+
+def test_stale_epoch_record_rejected_after_promotion(pair):
+    """The deposed primary's epoch-0 records bounce off the fence."""
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    replica.promote()
+
+    store = replica.database.store
+    seq = store.seq
+    with pytest.raises(ReplicaStale) as exc:
+        store.apply_replicated({"seq": seq + 1, "repl": 0, "kind": "ddl"})
+    assert exc.value.repl_epoch == 0
+    # the rejection is clean: nothing appended, store not poisoned
+    assert store.seq == seq
+    assert store.poisoned is None
+
+
+def test_record_from_newer_epoch_advances_the_fence(pair, tmp_path):
+    """A replica that follows a *newly promoted* primary adopts the
+    higher epoch from the records themselves."""
+    pair.primary_db.execute(DDL)
+    real = read_wal(os.path.join(pair.primary_path, "wal.log")).records[0]
+
+    target = Database.open(str(tmp_path / "adopter.db"), fsync="off")
+    try:
+        record = dict(real, repl=3)
+        target.store.apply_replicated(record)
+        assert target.store.replication_epoch == 3
+        # and it persisted
+    finally:
+        target.close()
+    reopened = Database.open(str(tmp_path / "adopter.db"), fsync="off")
+    try:
+        assert reopened.store.replication_epoch == 3
+    finally:
+        reopened.close()
+
+
+def test_out_of_order_stream_rejected(pair):
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    store = replica.database.store
+    with pytest.raises(WalError, match="out of order"):
+        store.apply_replicated({"seq": store.seq + 7, "repl": 0})
+
+
+def test_divergent_deposed_primary_is_reseeded_not_merged(pair, tmp_path):
+    """Split brain, then reconciliation: the deposed primary kept
+    accepting writes after the fork.  When it rejoins as a replica its
+    position is past the fork boundary, so the new primary refuses to
+    resume and ships a snapshot — the divergent tail is discarded, the
+    rejoined node converges on the surviving timeline."""
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    pair.primary_db.ingest_rows("People", [(1, "Alice")])
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    fork_seq = pair.primary_db.store.seq
+
+    replica.promote()  # epoch 1 begins after fork_seq
+    rsrv = pair.serve_replica()
+
+    # split brain: the deposed primary keeps writing under epoch 0...
+    pair.primary_db.ingest_rows("People", [(99, "Divergent")])
+    assert pair.primary_db.store.seq == fork_seq + 1
+    # ...and the new primary advances its own timeline independently
+    replica.database.execute("create table Orders( id integer )")
+    pair.server.shutdown(drain=False, timeout=10.0)
+    pair.primary_db.close()
+
+    # the deposed node rejoins, pointing at the new primary
+    rejoined = Replica(
+        pair.primary_path, rsrv.url, durability={"fsync": "off"}
+    )
+    try:
+        rejoined.start()
+        wait_until(
+            lambda: rejoined.database.store.replication_epoch == 1
+            and rejoined.database.store.seq >= replica.database.store.seq
+        )
+        # the divergent write is gone; the survivor's timeline won
+        rows = [
+            tuple(r)
+            for r in rejoined.database.query(
+                "select id from table People"
+            ).iter_rows()
+        ]
+        assert rows == [(1,)]
+        assert "Orders" in rejoined.database.catalog.tables
+        snap = rejoined.database.metrics.snapshot()
+        assert snap.get("graql_repl_snapshots_installed_total", 0) == 1
+    finally:
+        rejoined.close()
+
+
+def test_deposed_primary_refuses_subscriber_from_newer_epoch(pair, tmp_path):
+    """After a failover, a replica of the *new* primary must never
+    resubscribe to the old one — its subscription carries the higher
+    epoch and the deposed node refuses to stream its stale history."""
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    replica.promote()
+    rsrv = pair.serve_replica()  # the new primary, at epoch 1
+
+    chained_path = str(tmp_path / "chained.db")
+    chained = Replica(chained_path, rsrv.url, durability={"fsync": "off"})
+    try:
+        chained.start()
+        wait_until(lambda: chained.database.store.replication_epoch == 1)
+        wait_caught_up(chained, replica.database.store.seq)
+    finally:
+        chained.close()
+
+    # now point the epoch-1 node at the deposed epoch-0 primary
+    stale = Replica(chained_path, pair.url, durability={"fsync": "off"})
+    try:
+        stale.start()
+        wait_until(lambda: stale.last_error is not None)
+        assert "deposed" in stale.last_error or "stale" in stale.last_error
+        assert not stale.connected
+        # the refusal is fatal by design: the applier thread exited and
+        # no data from the stale timeline landed
+        assert stale.database.store.replication_epoch == 1
+    finally:
+        stale.close()

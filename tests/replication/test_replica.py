@@ -1,0 +1,167 @@
+"""Streaming replication end-to-end, in process: real sockets, real WALs.
+
+The contract under test (docs/REPLICATION.md): everything the primary
+acknowledges becomes visible on the replica; the replica serves reads
+and refuses writes with a redirect; catch-up works through both the
+resume path and the snapshot path; the subscription heals itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import connect
+from repro.errors import NotPrimary
+from repro.net import GraqlServer, RemoteConnection
+
+from tests.replication.conftest import wait_caught_up, wait_until
+
+DDL = "create table People( id integer, name varchar(16) )"
+ROWS = [(1, "Alice"), (2, "Bob"), (3, "Carol")]
+COUNT_Q = "select count(*) as n from table People"
+
+
+def _count(conn) -> int:
+    table = conn.execute(COUNT_Q)[-1].table
+    return [tuple(r) for r in table.iter_rows()][0][0]
+
+
+def test_streamed_writes_become_visible_on_replica(pair):
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    pair.primary_db.ingest_rows("People", ROWS)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+
+    # local read on the replica's database sees the streamed rows
+    assert _count(replica.database.connect()) == len(ROWS)
+
+    # and so does a remote client of the served replica
+    rsrv = pair.serve_replica()
+    conn = connect(rsrv.url)
+    assert _count(conn) == len(ROWS)
+    conn.close()
+
+    # replication is continuous, not a one-shot sync
+    pair.primary_db.ingest_rows("People", [(4, "Dan")])
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    assert _count(replica.database.connect()) == len(ROWS) + 1
+
+
+def test_replica_rejects_writes_with_primary_address(pair):
+    replica = pair.start_replica()
+    rsrv = pair.serve_replica()
+    conn = RemoteConnection(rsrv.url, "admin", max_redirects=0)
+    with pytest.raises(NotPrimary) as exc:
+        conn.execute(DDL)
+    assert exc.value.primary == pair.url  # the redirect target crosses
+    conn.close()
+    # reads still work on the same connection after the rejection
+    assert replica.database.store.seq == 0
+
+
+def test_not_primary_redirect_executes_write_on_primary(pair):
+    """A client pointed at the replica transparently lands its write on
+    the primary — and the write then streams back to the replica."""
+    replica = pair.start_replica()
+    rsrv = pair.serve_replica()
+    conn = connect(rsrv.url)
+    conn.execute(DDL)  # redirected before anything executed: safe
+    wait_until(lambda: "People" in pair.primary_db.catalog.tables)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    assert "People" in replica.database.catalog.tables
+    conn.close()
+
+
+def test_fresh_replica_catches_up_via_snapshot_after_checkpoint(pair):
+    """A checkpoint truncates history a late subscriber never saw; the
+    tailer reports the gap and the primary ships a snapshot instead."""
+    pair.primary_db.execute(DDL)
+    pair.primary_db.ingest_rows("People", ROWS)
+    pair.primary_db.checkpoint()  # WAL truncated: records 1..N are gone
+    pair.primary_db.ingest_rows("People", [(4, "Dan")])
+
+    replica = pair.start_replica()
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    assert _count(replica.database.connect()) == 4
+    snap = replica.database.metrics.snapshot()
+    assert snap.get("graql_repl_snapshots_installed_total", 0) == 1
+    psnap = pair.primary_db.metrics.snapshot()
+    assert psnap.get("graql_repl_snapshots_sent_total", 0) == 1
+
+
+def test_resubscribe_after_checkpoint_gap_reseeds(pair):
+    """A replica partitioned across a checkpoint re-subscribes past the
+    truncated history via a fresh snapshot."""
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+
+    replica.stop()  # partition: the applier is gone, the store remains
+    pair.primary_db.ingest_rows("People", ROWS)
+    pair.primary_db.checkpoint()
+    pair.primary_db.ingest_rows("People", [(4, "Dan")])
+
+    replica.start()
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    assert _count(replica.database.connect()) == 4
+
+
+def test_user_accounts_replicate(pair):
+    replica = pair.start_replica()
+    pair.primary_db.server.create_user("admin", "ana", "writer")
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    wait_until(lambda: "ana" in replica.database.server.users)
+    assert replica.database.server.users["ana"].role == "writer"
+
+    pair.primary_db.server.drop_user("admin", "ana")
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    wait_until(lambda: "ana" not in replica.database.server.users)
+    # the bootstrap admin is never dropped by sync
+    assert "admin" in replica.database.server.users
+
+
+def test_ack_and_lag_accounting(pair):
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    pair.primary_db.ingest_rows("People", ROWS)
+    seq = pair.primary_db.store.seq
+    wait_caught_up(replica, seq)
+
+    peers = pair.server.replication.peers
+    wait_until(lambda: peers() and peers()[0]["ack_seq"] == seq)
+    (peer,) = peers()
+    assert peer["lag_records"] == 0
+    assert peer["streamed_seq"] == seq
+
+    snap = replica.database.metrics.snapshot()
+    assert snap["graql_repl_records_applied_total"] == seq
+    assert snap["graql_repl_connected"] == 1.0
+
+
+def test_replica_reconnects_after_primary_restart(pair):
+    """Losing the primary is backoff-and-redial, not a dead replica."""
+    replica = pair.start_replica()
+    pair.primary_db.execute(DDL)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+
+    port = pair.server.port
+    pair.server.shutdown(drain=False, timeout=10.0)
+    wait_until(lambda: not replica.connected)
+
+    # the primary comes back on the same address; the replica redials
+    pair.server = GraqlServer(pair.primary_db, port=port)
+    pair.server.start()
+    wait_until(lambda: replica.connected, timeout=15.0)
+    pair.primary_db.ingest_rows("People", ROWS)
+    wait_caught_up(replica, pair.primary_db.store.seq)
+    assert _count(replica.database.connect()) == len(ROWS)
+
+
+def test_replica_status_surface(pair):
+    replica = pair.start_replica()
+    wait_until(lambda: replica.connected)
+    status = replica.status()
+    assert status["role"] == "replica"
+    assert status["primary"] == pair.url
+    assert status["connected"] is True
+    assert status["last_error"] is None

@@ -1,0 +1,185 @@
+"""WalTailer unit tests: torn tails, rotation, gaps, repair-and-resume.
+
+The tailer is the primary's eye on its own WAL; its contract
+(docs/REPLICATION.md) is *exactly once past last_seq, never past a
+record it cannot validate*.  These tests author WAL files byte-by-byte
+to hit every stop condition.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.durability.wal import (
+    END_CLEAN,
+    END_CRC_MISMATCH,
+    END_TORN_HEADER,
+    END_TORN_PAYLOAD,
+    MAGIC,
+    WalWriter,
+    encode_record,
+)
+from repro.replication import WalTailer
+
+
+def _write(path: str, seqs: list[int]) -> WalWriter:
+    w = WalWriter(path, fsync="off")
+    for seq in seqs:
+        w.append({"seq": seq, "kind": "test", "n": seq * 10})
+    w.sync()
+    return w
+
+
+def test_poll_delivers_records_in_order_exactly_once(tmp_path):
+    path = str(tmp_path / "wal.log")
+    w = _write(path, [1, 2])
+    t = WalTailer(path, last_seq=0)
+    poll = t.poll()
+    assert [r["seq"] for r in poll.records] == [1, 2]
+    assert poll.reason == END_CLEAN and not poll.halted and not poll.gap
+
+    # nothing new: an empty, clean poll
+    assert t.poll().records == []
+
+    w.append({"seq": 3, "kind": "test", "n": 30})
+    w.sync()
+    assert [r["seq"] for r in t.poll().records] == [3]
+    w.close()
+
+
+def test_from_seq_skips_already_delivered_records(tmp_path):
+    path = str(tmp_path / "wal.log")
+    _write(path, [1, 2, 3]).close()
+    t = WalTailer(path, last_seq=2)
+    assert [r["seq"] for r in t.poll().records] == [3]
+
+
+def test_torn_tail_parks_without_advancing(tmp_path):
+    """A half-written record halts the poll at the last valid record;
+    when the tail is completed (the append finishes) the next poll
+    delivers it whole."""
+    path = str(tmp_path / "wal.log")
+    _write(path, [1]).close()
+    whole = encode_record({"seq": 2, "kind": "test", "n": 20})
+    with open(path, "ab") as fh:
+        fh.write(whole[: len(whole) // 2])  # append racing the tailer
+
+    t = WalTailer(path, last_seq=0)
+    poll = t.poll()
+    assert [r["seq"] for r in poll.records] == [1]
+    assert poll.halted and poll.reason in (END_TORN_HEADER, END_TORN_PAYLOAD)
+    parked = t.offset
+
+    # repeated polls stay parked, do not advance, do not duplicate
+    again = t.poll()
+    assert again.records == [] and again.halted and t.offset == parked
+
+    with open(path, "ab") as fh:
+        fh.write(whole[len(whole) // 2 :])  # the append completes
+    done = t.poll()
+    assert [r["seq"] for r in done.records] == [2]
+    assert done.reason == END_CLEAN
+
+
+def test_torn_tail_resumes_after_repair(tmp_path):
+    """After a crash the primary's recovery truncates the torn tail in
+    place; the parked tailer resumes from its held offset and streams
+    the records appended after the repair."""
+    path = str(tmp_path / "wal.log")
+    _write(path, [1, 2]).close()
+    clean_size = os.path.getsize(path)
+    garbage = encode_record({"seq": 3, "kind": "test", "n": 30})[:-4]
+    with open(path, "ab") as fh:
+        fh.write(garbage)  # a genuinely torn record: crashed mid-append
+
+    t = WalTailer(path, last_seq=0)
+    poll = t.poll()
+    assert [r["seq"] for r in poll.records] == [1, 2]
+    assert poll.halted
+
+    # repair: recovery truncates the tail back to the last valid record
+    with open(path, "r+b") as fh:
+        fh.truncate(clean_size)
+    w = WalWriter(path, fsync="off")  # reopens in append mode
+    w.append({"seq": 3, "kind": "test", "n": 30})
+    w.sync()
+    w.close()
+
+    resumed = t.poll()
+    assert [r["seq"] for r in resumed.records] == [3]
+    assert resumed.reason == END_CLEAN and not resumed.gap
+
+
+def test_corrupt_record_halts_scan(tmp_path):
+    path = str(tmp_path / "wal.log")
+    _write(path, [1, 2]).close()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:  # flip a byte in record 2's payload
+        fh.seek(size - 3)
+        b = fh.read(1)
+        fh.seek(size - 3)
+        fh.write(bytes([b[0] ^ 0xFF]))
+
+    t = WalTailer(path, last_seq=0)
+    poll = t.poll()
+    assert [r["seq"] for r in poll.records] == [1]
+    assert poll.reason == END_CRC_MISMATCH and poll.halted
+
+
+def test_rotation_rescans_and_skips_delivered(tmp_path):
+    """A checkpoint swap replaces the file; the tailer restarts at byte
+    0 and drops records with seq <= last_seq."""
+    path = str(tmp_path / "wal.log")
+    _write(path, [1, 2]).close()
+    t = WalTailer(path, last_seq=0)
+    assert [r["seq"] for r in t.poll().records] == [1, 2]
+
+    # rotate: a fresh file whose history overlaps what we delivered
+    rotated = str(tmp_path / "wal.rotated")
+    _write(rotated, [2, 3, 4]).close()
+    os.replace(rotated, path)
+
+    poll = t.poll()
+    assert [r["seq"] for r in poll.records] == [3, 4]
+    assert not poll.gap
+
+
+def test_rotation_past_subscriber_reports_gap(tmp_path):
+    """A checkpoint that truncated records the subscriber never saw is
+    unrecoverable by reading — the poll must say so."""
+    path = str(tmp_path / "wal.log")
+    _write(path, [1, 2]).close()
+    t = WalTailer(path, last_seq=0)
+    t.poll()
+
+    rotated = str(tmp_path / "wal.rotated")
+    _write(rotated, [5, 6]).close()  # 3 and 4 are gone
+    os.replace(rotated, path)
+
+    poll = t.poll()
+    assert poll.gap
+    assert poll.records == []
+
+
+def test_missing_file_is_an_empty_poll(tmp_path):
+    t = WalTailer(str(tmp_path / "nope.log"), last_seq=0)
+    poll = t.poll()
+    assert poll.records == [] and not poll.halted and not poll.gap
+
+
+def test_truncated_in_place_rescans(tmp_path):
+    """An in-place shrink below our offset (recovery repair that cut
+    deeper than our position) forces a rescan from the top."""
+    path = str(tmp_path / "wal.log")
+    _write(path, [1, 2, 3]).close()
+    t = WalTailer(path, last_seq=0)
+    assert [r["seq"] for r in t.poll().records] == [1, 2, 3]
+
+    _write(str(tmp_path / "w2"), [1, 2]).close()
+    data = (tmp_path / "w2").read_bytes()
+    with open(path, "wb") as fh:  # same inode, shorter content
+        fh.write(data)
+
+    poll = t.poll()
+    assert poll.records == [] and not poll.gap  # nothing new, no dupes
+    assert t.offset == os.path.getsize(path)
